@@ -1,0 +1,1 @@
+bin/cachier_cli.ml: Arg Benchmarks Cachier Cmd Cmdliner Fmt Fun Lang Memsys String Term Trace Wwt

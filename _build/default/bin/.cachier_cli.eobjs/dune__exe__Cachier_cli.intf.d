@@ -1,0 +1,1 @@
+bin/cachier_cli.mli:

@@ -1,0 +1,1 @@
+bin/simulate.ml: Arg Cmd Cmdliner Fmt Fun Lang List Memsys String Term Trace Wwt

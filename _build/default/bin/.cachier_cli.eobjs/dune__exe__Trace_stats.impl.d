@@ -1,0 +1,1 @@
+bin/trace_stats.ml: Arg Cmd Cmdliner Fmt Term Trace

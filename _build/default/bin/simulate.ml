@@ -1,0 +1,92 @@
+(* simulate — run a mini-language program on the simulated Dir1SW machine
+   and report execution time and memory-system statistics. *)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run file nodes cache_kb assoc block annotations prefetch trace_mode
+    trace_out print_memory =
+  let machine =
+    {
+      Wwt.Machine.default with
+      Wwt.Machine.nodes;
+      cache_bytes = cache_kb * 1024;
+      assoc;
+      block_size = block;
+    }
+  in
+  let program = Lang.Parser.parse (read_file file) in
+  ignore (Lang.Sema.check program);
+  let outcome =
+    if trace_mode then Wwt.Run.collect_trace ~machine program
+    else Wwt.Run.measure ~machine ~annotations ~prefetch program
+  in
+  List.iter print_endline outcome.Wwt.Interp.output;
+  Fmt.pr "execution time: %d cycles@." outcome.Wwt.Interp.time;
+  Fmt.pr "%a@." Memsys.Stats.pp outcome.Wwt.Interp.stats;
+  (match trace_out with
+  | Some path ->
+      Trace.Trace_file.save path outcome.Wwt.Interp.trace;
+      Fmt.pr "trace written to %s (%d records)@." path
+        (List.length outcome.Wwt.Interp.trace)
+  | None -> ());
+  if print_memory then begin
+    Fmt.pr "--- final shared memory ---@.";
+    List.iter
+      (fun (e : Lang.Label.entry) ->
+        let elems = min e.Lang.Label.elems 16 in
+        let values =
+          List.init elems (fun i ->
+              Lang.Value.to_string (Wwt.Interp.shared_value outcome e.Lang.Label.name i))
+        in
+        Fmt.pr "%s[0..%d] = %s%s@." e.Lang.Label.name (elems - 1)
+          (String.concat " " values)
+          (if e.Lang.Label.elems > elems then " ..." else ""))
+      (Lang.Label.entries outcome.Wwt.Interp.layout)
+  end;
+  0
+
+open Cmdliner
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Program to simulate.")
+
+let nodes =
+  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Simulated processors.")
+
+let cache_kb =
+  Arg.(value & opt int 16 & info [ "cache-kb" ] ~docv:"KB" ~doc:"Per-node cache size in KB.")
+
+let assoc = Arg.(value & opt int 4 & info [ "assoc" ] ~doc:"Cache associativity.")
+let block = Arg.(value & opt int 32 & info [ "block" ] ~doc:"Cache block size in bytes.")
+
+let annotations =
+  Arg.(value & flag & info [ "a"; "annotations" ]
+         ~doc:"Execute CICO annotations as memory-system directives.")
+
+let prefetch =
+  Arg.(value & flag & info [ "p"; "prefetch" ] ~doc:"Also execute prefetch annotations.")
+
+let trace_mode =
+  Arg.(value & flag & info [ "t"; "trace" ]
+         ~doc:"Trace-collection mode: flush caches at barriers and record misses.")
+
+let trace_out =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Write the trace to $(docv) (use with --trace).")
+
+let print_memory =
+  Arg.(value & flag & info [ "memory" ] ~doc:"Dump the first elements of each shared array.")
+
+let cmd =
+  let doc = "simulate a shared-memory program on a Dir1SW machine" in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    Term.(const run $ file $ nodes $ cache_kb $ assoc $ block $ annotations
+          $ prefetch $ trace_mode $ trace_out $ print_memory)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,32 @@
+(* trace_stats — profile a saved execution trace the way the paper's
+   hand-annotators profiled their programs: per-region miss counts, the
+   per-epoch breakdown, and the producer-to-consumer handoff matrix that
+   check-in/check-out annotations optimise.
+
+   The trace can come from `simulate --trace --trace-out FILE` or from
+   `cachier --trace-out FILE`. *)
+
+let run file nodes =
+  let records = Trace.Trace_file.load file in
+  let summary = Trace.Summary.analyze ~nodes ~labels:[] records in
+  print_endline (Trace.Summary.to_string summary);
+  (match Trace.Summary.hottest_region summary with
+  | Some name -> Fmt.pr "@.hottest region: %s@." name
+  | None -> Fmt.pr "@.trace contains no misses@.");
+  0
+
+open Cmdliner
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
+         ~doc:"Trace file to analyse.")
+
+let nodes =
+  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N"
+         ~doc:"Number of nodes the trace was collected on.")
+
+let cmd =
+  let doc = "profile an execution trace (per-region, per-epoch, handoffs)" in
+  Cmd.v (Cmd.info "trace_stats" ~doc) Term.(const run $ file $ nodes)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/jacobi_cost.ml: Benchmarks Cachier Cico Fmt Lang Memsys Wwt

@@ -1,0 +1,1 @@
+examples/matmul_restructure.ml: Array Benchmarks Cachier Cico Float Fmt Lang Memsys Wwt

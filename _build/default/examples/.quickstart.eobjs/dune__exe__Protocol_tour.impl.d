@@ -1,0 +1,1 @@
+examples/protocol_tour.ml: Fmt Memsys Network Protocol Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cachier Fmt Lang Wwt

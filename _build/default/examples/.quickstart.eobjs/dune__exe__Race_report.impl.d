@@ -1,0 +1,1 @@
+examples/race_report.ml: Benchmarks Cachier Fmt Wwt

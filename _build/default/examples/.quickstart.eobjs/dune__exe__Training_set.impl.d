@@ -1,0 +1,1 @@
+examples/training_set.ml: Benchmarks Cachier Fmt Lang Wwt

@@ -1,0 +1,69 @@
+(* A guided tour of the Dir1SW protocol model, directive by directive —
+   the machine-level story behind every number in the evaluation.
+
+   Run with: dune exec examples/protocol_tour.exe *)
+
+open Memsys
+
+let costs = Network.default
+
+let p = Protocol.create ~nodes:4 ~cache_bytes:1024 ~assoc:2 ~block_size:32 ~costs
+
+let show label (o : Protocol.outcome) =
+  Fmt.pr "  %-52s %4d cycles%s@." label o.Protocol.latency
+    (match o.Protocol.miss with
+    | Some Protocol.Read_miss -> "  (read miss)"
+    | Some Protocol.Write_miss -> "  (write miss)"
+    | Some Protocol.Write_fault -> "  (write fault)"
+    | None -> "")
+
+let () =
+  Fmt.pr "Dir1SW, 4 nodes, %d-cycle 2-hop miss, %d-cycle software trap@.@."
+    costs.Network.miss_2hop costs.Network.sw_trap;
+
+  Fmt.pr "1. The implicit check-outs: every miss is one.@.";
+  show "node 0 reads addr 0 (implicit check_out_s)" (Protocol.read p ~node:0 ~addr:0 ~now:0);
+  show "node 0 reads addr 8, same block: hit" (Protocol.read p ~node:0 ~addr:8 ~now:10);
+
+  Fmt.pr "@.2. The write fault: a Shared copy upgrades...@.";
+  show "node 0 writes addr 0 (lone sharer: hardware upgrade)"
+    (Protocol.write p ~node:0 ~addr:0 ~now:20);
+
+  Fmt.pr "@.3. ...but with other sharers Dir1SW traps to software.@.";
+  show "node 1 reads addr 0 (3-hop: owner has it dirty)"
+    (Protocol.read p ~node:1 ~addr:0 ~now:30);
+  show "node 2 reads addr 0" (Protocol.read p ~node:2 ~addr:0 ~now:40);
+  show "node 0 writes addr 0 again: TRAP + 2 invalidations"
+    (Protocol.write p ~node:0 ~addr:0 ~now:50);
+  Fmt.pr "  (so far: %d software traps, %d invalidations)@."
+    (Protocol.stats p).Stats.sw_traps
+    (Protocol.stats p).Stats.invalidations;
+
+  Fmt.pr "@.4. check_out_x claims the block before the read-then-write,@.";
+  Fmt.pr "   so the fault never happens.@.";
+  show "node 1 check_out_x addr 64" (Protocol.check_out_x p ~node:1 ~addr:64 ~now:60);
+  show "node 1 reads addr 64: hit" (Protocol.read p ~node:1 ~addr:64 ~now:70);
+  show "node 1 writes addr 64: hit, no fault" (Protocol.write p ~node:1 ~addr:64 ~now:80);
+
+  Fmt.pr "@.5. check_in releases the block, so the next claimant pays a@.";
+  Fmt.pr "   clean 2-hop fetch instead of a trap or a 3-hop recall.@.";
+  show "node 1 check_in addr 64" (Protocol.check_in p ~node:1 ~addr:64 ~now:90);
+  show "node 2 writes addr 64: clean 2-hop" (Protocol.write p ~node:2 ~addr:64 ~now:100);
+
+  Fmt.pr "@.6. prefetch overlaps the transfer with computation.@.";
+  show "node 3 prefetch_s addr 128 (issue cost only)"
+    (Protocol.prefetch_s p ~node:3 ~addr:128 ~now:110);
+  show "node 3 reads addr 128 at now+40: residual stall"
+    (Protocol.read p ~node:3 ~addr:128 ~now:150);
+  show "node 3 reads addr 136 much later: free"
+    (Protocol.read p ~node:3 ~addr:136 ~now:500);
+
+  Fmt.pr "@.7. post_store (KSR-1 extension): the producer pushes read-only@.";
+  Fmt.pr "   copies back to everyone who lost the block.@.";
+  ignore (Protocol.read p ~node:3 ~addr:192 ~now:600);
+  ignore (Protocol.write p ~node:0 ~addr:192 ~now:610);  (* invalidates node 3 *)
+  show "node 0 post_store addr 192" (Protocol.post_store p ~node:0 ~addr:192 ~now:620);
+  show "node 3 reads addr 192 later: hit, data was pushed"
+    (Protocol.read p ~node:3 ~addr:192 ~now:900);
+
+  Fmt.pr "@.Final statistics:@.%a@." Stats.pp (Protocol.stats p)

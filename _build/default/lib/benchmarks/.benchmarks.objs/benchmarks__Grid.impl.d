@@ -1,0 +1,1 @@
+lib/benchmarks/grid.ml: Printf

@@ -1,0 +1,1 @@
+lib/benchmarks/matmul.ml: Grid Printf

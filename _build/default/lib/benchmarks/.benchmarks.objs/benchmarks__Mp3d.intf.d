@@ -1,0 +1,1 @@
+lib/benchmarks/mp3d.mli:

@@ -1,0 +1,1 @@
+lib/benchmarks/suite.ml: Barnes Grid Lang List Matmul Mp3d Ocean Tomcatv

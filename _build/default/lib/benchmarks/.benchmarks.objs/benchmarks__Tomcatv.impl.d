@@ -1,0 +1,1 @@
+lib/benchmarks/tomcatv.ml: Printf

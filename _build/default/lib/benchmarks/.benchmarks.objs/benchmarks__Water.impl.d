@@ -1,0 +1,1 @@
+lib/benchmarks/water.ml: Printf

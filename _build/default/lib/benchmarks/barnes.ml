@@ -1,0 +1,226 @@
+let default_bodies = 64
+let default_t = 2
+
+let header ~bodies ~t ~seed ~nodes =
+  if bodies mod nodes <> 0 then
+    invalid_arg "barnes: body count must be a multiple of the node count";
+  Printf.sprintf
+    {|const NB = %d;
+const MAXN = %d;
+const T = %d;
+const SEED = %d;
+const NPROCS = %d;
+const BP = NB / NPROCS;
+shared BX[NB];
+shared BY[NB];
+shared BM[NB];
+shared AX[NB];
+shared AY[NB];
+shared CH[MAXN*4];
+shared NX[MAXN];
+shared NY[MAXN];
+shared NM[MAXN];
+shared NCX[MAXN];
+shared NCY[MAXN];
+shared NHS[MAXN];
+shared NN[4];
+private STK[512];
+|}
+    bodies (4 * bodies) t seed nodes
+
+let procs_body =
+  {|
+proc insert(b) {
+  x = BX[b];
+  y = BY[b];
+  m = BM[b];
+  cur = 1;
+  placing = 1;
+  while (placing == 1) {
+    NM[cur] = NM[cur] + m;
+    NX[cur] = NX[cur] + m * x;
+    NY[cur] = NY[cur] + m * y;
+    qx = 0;
+    if (x > NCX[cur]) {
+      qx = 1;
+    }
+    qy = 0;
+    if (y > NCY[cur]) {
+      qy = 1;
+    }
+    slot = cur*4 + qx + 2*qy;
+    v = int(CH[slot]);
+    if (v == 0) {
+      CH[slot] = 0 - (b + 1);
+      placing = 0;
+    } else {
+      if (v < 0) {
+        old = 0 - v - 1;
+        nn = int(NN[0]);
+        if (nn >= MAXN || NHS[cur] < 0.0005) {
+          placing = 0;
+        } else {
+          NN[0] = nn + 1;
+          NCX[nn] = NCX[cur] + (2*qx - 1) * NHS[cur] / 2.0;
+          NCY[nn] = NCY[cur] + (2*qy - 1) * NHS[cur] / 2.0;
+          NHS[nn] = NHS[cur] / 2.0;
+          ox = BX[old];
+          oy = BY[old];
+          om = BM[old];
+          NM[nn] = om;
+          NX[nn] = om * ox;
+          NY[nn] = om * oy;
+          oqx = 0;
+          if (ox > NCX[nn]) {
+            oqx = 1;
+          }
+          oqy = 0;
+          if (oy > NCY[nn]) {
+            oqy = 1;
+          }
+          CH[nn*4 + oqx + 2*oqy] = 0 - (old + 1);
+          CH[slot] = nn;
+          cur = nn;
+        }
+      } else {
+        cur = v;
+      }
+    }
+  }
+}
+
+proc force(b) {
+  x = BX[b];
+  y = BY[b];
+  ax = 0.0;
+  ay = 0.0;
+  sp = 0;
+  STK[0] = 1;
+  while (sp >= 0) {
+    nd = STK[sp];
+    sp = sp - 1;
+    if (nd < 0) {
+      b2 = 0 - nd - 1;
+      if (b2 != b) {
+        dx = BX[b2] - x;
+        dy = BY[b2] - y;
+        d2 = dx*dx + dy*dy + 0.00001;
+        w = BM[b2] / (d2 * sqrt(d2));
+        ax = ax + dx * w;
+        ay = ay + dy * w;
+      }
+    } else {
+      dx = NX[nd] - x;
+      dy = NY[nd] - y;
+      d2 = dx*dx + dy*dy + 0.00001;
+      if (4.0 * NHS[nd] * NHS[nd] < 0.25 * d2) {
+        w = NM[nd] / (d2 * sqrt(d2));
+        ax = ax + dx * w;
+        ay = ay + dy * w;
+      } else {
+        for k = 0 to 3 {
+          v = int(CH[nd*4 + k]);
+          if (v != 0) {
+            sp = sp + 1;
+            STK[sp] = v;
+          }
+        }
+      }
+    }
+  }
+  AX[b] = ax;
+  AY[b] = ay;
+}
+|}
+
+let main_body ~annots =
+  (* The hand annotator flushes the builder's copies after the build and
+     has every reader check the tree back in after the force phase — but
+     forgets the first quarter of the node-mass array (whose stale read
+     copies make the builder's writes trap to software) and checks each
+     updated position in immediately, one body at a time, even though the
+     same cache block holds the next bodies: "the hand-annotated version
+     missed a few annotations". *)
+  let build_ci, force_ci, update_ci =
+    match annots with
+    | `None -> ("", "", "")
+    | `Hand ->
+        ( "    check_in BX[0 .. NB - 1];\n    check_in BY[0 .. NB - 1];\n\
+          \    check_in CH[0 .. MAXN*4 - 1];\n    check_in NM[0 .. MAXN - 1];\n\
+          \    check_in NX[0 .. MAXN - 1];\n    check_in NY[0 .. MAXN - 1];\n\
+          \    check_in NHS[0 .. MAXN - 1];\n",
+          "    check_in CH[0 .. MAXN*4 - 1];\n    check_in NM[MAXN/4 .. MAXN - 1];\n\
+          \    check_in NX[0 .. MAXN - 1];\n    check_in NY[0 .. MAXN - 1];\n\
+          \    check_in NHS[0 .. MAXN - 1];\n",
+          "      check_in BX[b];\n      check_in BY[b];\n" )
+  in
+  Printf.sprintf
+    {|
+proc main() {
+  if (pid == 0) {
+    for b = 0 to NB - 1 {
+      BX[b] = 0.02 + 0.96 * noise(b + SEED * 1000003);
+      BY[b] = 0.02 + 0.96 * noise(b + 31337 + SEED * 1000003);
+      BM[b] = 0.5 + noise(b + 99991 + SEED * 1000003);
+      AX[b] = 0.0;
+      AY[b] = 0.0;
+    }
+  }
+  barrier;
+  for ts = 1 to T {
+    if (pid == 0) {
+      NN[0] = 2;
+      for q = 0 to MAXN*4 - 1 {
+        CH[q] = 0;
+      }
+      for q = 0 to MAXN - 1 {
+        NM[q] = 0.0;
+        NX[q] = 0.0;
+        NY[q] = 0.0;
+      }
+      NCX[1] = 0.5;
+      NCY[1] = 0.5;
+      NHS[1] = 0.5;
+      for b = 0 to NB - 1 {
+        insert(b);
+      }
+      for nd = 1 to int(NN[0]) - 1 {
+        if (NM[nd] > 0.0) {
+          NX[nd] = NX[nd] / NM[nd];
+          NY[nd] = NY[nd] / NM[nd];
+        }
+      }
+%s    }
+    barrier;
+    for b = pid*BP to pid*BP + BP - 1 {
+      force(b);
+    }
+%s    barrier;
+    for b = pid*BP to pid*BP + BP - 1 {
+      BX[b] = BX[b] + 0.005 * AX[b];
+      BY[b] = BY[b] + 0.005 * AY[b];
+      if (BX[b] < 0.001) {
+        BX[b] = 0.001;
+      }
+      if (BX[b] > 0.999) {
+        BX[b] = 0.999;
+      }
+      if (BY[b] < 0.001) {
+        BY[b] = 0.001;
+      }
+      if (BY[b] > 0.999) {
+        BY[b] = 0.999;
+      }
+%s    }
+    barrier;
+  }
+}
+|}
+    build_ci force_ci update_ci
+
+let source ?(bodies = default_bodies) ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~bodies ~t ~seed ~nodes ^ procs_body ^ main_body ~annots:`None
+
+let hand_source ?(bodies = default_bodies) ?(t = default_t) ?(seed = 1) ~nodes
+    () =
+  header ~bodies ~t ~seed ~nodes ^ procs_body ^ main_body ~annots:`Hand

@@ -1,0 +1,28 @@
+(** Barnes: gravitational N-body simulation with the Barnes-Hut
+    algorithm (2-D, array-encoded quadtree).
+
+    Each time step: node 0 rebuilds the quadtree (sequential epoch —
+    pointer-based structure, input-dependent addresses), every node then
+    computes forces for its slice of bodies by traversing the tree with an
+    explicit stack (read-shared pointer chasing that defeats static
+    analysis — the case Cachier's dynamic information is for), and finally
+    owners integrate their bodies' positions. Sharing is low (the paper
+    reports 25.5 % shared loads, 1.3 % shared stores), so the win is
+    smaller than Ocean/Mp3d.
+
+    Tree encoding: child slots hold 0 (empty), a positive internal-node
+    id, or [-(body+1)]. *)
+
+val source :
+  ?bodies:int -> ?t:int -> ?seed:int -> nodes:int -> unit -> string
+(** Default [bodies = 128], [t = 2], [seed = 1]. *)
+
+val hand_source :
+  ?bodies:int -> ?t:int -> ?seed:int -> nodes:int -> unit -> string
+(** Hand version that misses a few annotations: the tree arrays are never
+    checked in after the build and the acceleration arrays are never
+    checked out exclusive (the paper: "the hand-annotated version missed a
+    few annotations"). *)
+
+val default_bodies : int
+val default_t : int

@@ -1,0 +1,132 @@
+let default_n = 64
+
+let log2i n =
+  let rec go k acc = if k = 1 then acc else go (k / 2) (acc + 1) in
+  go n 0
+
+let header ~n ~seed ~nodes =
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg "fft: N must be a power of two";
+  if n mod nodes <> 0 || n / 2 mod nodes <> 0 then
+    invalid_arg "fft: N/2 must be a multiple of the node count";
+  Printf.sprintf
+    {|const N = %d;
+const LOGN = %d;
+const SEED = %d;
+const NPROCS = %d;
+const BFLY = N / 2 / NPROCS;
+const PI = 3.14159265358979;
+shared RE[N];
+shared IM[N];
+|}
+    n (log2i n) seed nodes
+
+(* Node 0 loads the signal in bit-reversed order, so the stages produce
+   the transform in natural order. *)
+let init_body =
+  {|  if (pid == 0) {
+    for i = 0 to N - 1 {
+      j = 0;
+      tmp = i;
+      for b = 1 to LOGN {
+        j = j * 2 + tmp % 2;
+        tmp = tmp / 2;
+      }
+      RE[j] = noise(i + SEED * 1000003) - 0.5;
+      IM[j] = 0.0;
+    }
+  }
+  barrier;
+|}
+
+(* One butterfly stage: m doubles each stage; butterfly b pairs elements
+   k+t and k+t+half where k = (b/half)*m and t = b%half. Both writes of a
+   butterfly go to its owner, so every element has one writer per stage. *)
+let stages_body ~annots =
+  let ci =
+    if annots then
+      "    check_in RE[pid * (N / NPROCS) .. pid * (N / NPROCS) + N / NPROCS - 1];\n\
+      \    check_in IM[pid * (N / NPROCS) .. pid * (N / NPROCS) + N / NPROCS - 1];\n"
+    else ""
+  in
+  Printf.sprintf
+    {|  m = 1;
+  for s = 1 to LOGN {
+    m = m * 2;
+    half = m / 2;
+    for b = pid * BFLY to pid * BFLY + BFLY - 1 {
+      k = (b / half) * m;
+      t = b %% half;
+      ang = 0.0 - 2.0 * PI * t / m;
+      wr = cos(ang);
+      wi = sin(ang);
+      i1 = k + t;
+      i2 = k + t + half;
+      vr = RE[i2] * wr - IM[i2] * wi;
+      vi = RE[i2] * wi + IM[i2] * wr;
+      ur = RE[i1];
+      ui = IM[i1];
+      RE[i1] = ur + vr;
+      IM[i1] = ui + vi;
+      RE[i2] = ur - vr;
+      IM[i2] = ui - vi;
+    }
+%s    barrier;
+  }
+|}
+    ci
+
+let conjugate_body =
+  {|  for i = pid * (N / NPROCS) to pid * (N / NPROCS) + N / NPROCS - 1 {
+    IM[i] = 0.0 - IM[i];
+  }
+  barrier;
+|}
+
+let scale_body =
+  {|  for i = pid * (N / NPROCS) to pid * (N / NPROCS) + N / NPROCS - 1 {
+    RE[i] = RE[i] / N;
+    IM[i] = (0.0 - IM[i]) / N;
+  }
+  barrier;
+|}
+
+(* The inverse transform needs bit-reversal again before the stages; we
+   reuse node 0 for the permutation (in place, swapping pairs once). *)
+let rebitrev_body =
+  {|  if (pid == 0) {
+    for i = 0 to N - 1 {
+      j = 0;
+      tmp = i;
+      for b = 1 to LOGN {
+        j = j * 2 + tmp % 2;
+        tmp = tmp / 2;
+      }
+      if (j > i) {
+        tr = RE[i];
+        ti = IM[i];
+        RE[i] = RE[j];
+        IM[i] = IM[j];
+        RE[j] = tr;
+        IM[j] = ti;
+      }
+    }
+  }
+  barrier;
+|}
+
+let source ?(n = default_n) ?(seed = 1) ~nodes () =
+  header ~n ~seed ~nodes ^ "\nproc main() {\n" ^ init_body
+  ^ stages_body ~annots:false ^ "}\n"
+
+let inverse_source ?(n = default_n) ?(seed = 1) ~nodes () =
+  header ~n ~seed ~nodes ^ "\nproc main() {\n" ^ init_body
+  ^ stages_body ~annots:false
+  (* inverse: conjugate, bit-reverse, transform again, conjugate+scale *)
+  ^ conjugate_body ^ rebitrev_body
+  ^ stages_body ~annots:false
+  ^ scale_body ^ "}\n"
+
+let hand_source ?(n = default_n) ?(seed = 1) ~nodes () =
+  header ~n ~seed ~nodes ^ "\nproc main() {\n" ^ init_body
+  ^ stages_body ~annots:true ^ "}\n"

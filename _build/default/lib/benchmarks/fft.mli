@@ -1,0 +1,26 @@
+(** Radix-2 Fourier transform over a block-distributed complex array
+    (modelled on the SPLASH-2 FFT; an extension benchmark).
+
+    The input is bit-reverse permuted by node 0, then [log2 N] butterfly
+    stages run with a barrier between them. Early stages pair elements
+    within a node's block (local); late stages pair elements across nodes
+    (the all-to-all exchange whose latency prefetch and check-in target).
+    Each butterfly's writes go to the elements the {e lower}-index node
+    owns, so every location has a single writer per stage — race-free.
+
+    Correctness is testable analytically: forward transform followed by
+    the inverse transform (conjugate, transform, conjugate, scale)
+    reproduces the input. *)
+
+val source : ?n:int -> ?seed:int -> nodes:int -> unit -> string
+(** [n] must be a power of two and a multiple of [nodes]; default 64. *)
+
+val inverse_source : ?n:int -> ?seed:int -> nodes:int -> unit -> string
+(** Forward transform immediately followed by the inverse transform: the
+    final [RE]/[IM] arrays equal the initial input (used by the tests). *)
+
+val hand_source : ?n:int -> ?seed:int -> nodes:int -> unit -> string
+(** Hand annotation: each node checks in its block before the barrier of
+    every cross-node stage. *)
+
+val default_n : int

@@ -1,0 +1,16 @@
+let factor nprocs =
+  if nprocs <= 0 then invalid_arg "Grid.factor: nprocs must be positive";
+  let rec best d acc =
+    if d * d > nprocs then acc
+    else if nprocs mod d = 0 then best (d + 1) d
+    else best (d + 1) acc
+  in
+  let pr = best 1 1 in
+  (pr, nprocs / pr)
+
+let check_divisible ~n ~nodes bench =
+  let pr, pc = factor nodes in
+  if n mod pr <> 0 || n mod pc <> 0 then
+    invalid_arg
+      (Printf.sprintf "%s: N=%d must divide over the %dx%d processor grid"
+         bench n pr pc)

@@ -1,0 +1,9 @@
+(** Processor-grid factorisation shared by the blocked benchmarks. *)
+
+val factor : int -> int * int
+(** [factor nprocs] is [(pr, pc)] with [pr * pc = nprocs] and [pr <= pc],
+    choosing the most square split (8 → 2x4, 16 → 4x4, 32 → 4x8). *)
+
+val check_divisible : n:int -> nodes:int -> string -> unit
+(** Ensure the problem size divides evenly over the processor grid.
+    @raise Invalid_argument naming the benchmark otherwise. *)

@@ -1,0 +1,105 @@
+let default_n = 32
+let default_t = 4
+
+let header ~n ~t ~seed ~nodes =
+  let pr, pc = Grid.factor nodes in
+  Grid.check_divisible ~n ~nodes "jacobi";
+  Printf.sprintf
+    {|const N = %d;
+const T = %d;
+const SEED = %d;
+const PR = %d;
+const PC = %d;
+const IB = N / PR;
+const JB = N / PC;
+shared U[N*N];
+shared V[N*N];
+|}
+    n t seed pr pc
+
+let init_body =
+  {|  if (pid == 0) {
+    for q = 0 to N*N - 1 {
+      U[q] = noise(q + SEED * 1000003);
+      V[q] = 0.0;
+    }
+  }
+  barrier;
+|}
+
+let step_body =
+  {|  for ts = 1 to T {
+    for i = (pid / PC) * IB to (pid / PC) * IB + IB - 1 {
+      for j = (pid % PC) * JB to (pid % PC) * JB + JB - 1 {
+        if (i > 0 && i < N - 1 && j > 0 && j < N - 1) {
+          V[i*N + j] = 0.25 * (U[(i-1)*N + j] + U[(i+1)*N + j] + U[i*N + j - 1] + U[i*N + j + 1]);
+        }
+      }
+    }
+    barrier;
+    for i = (pid / PC) * IB to (pid / PC) * IB + IB - 1 {
+      for j = (pid % PC) * JB to (pid % PC) * JB + JB - 1 {
+        U[i*N + j] = V[i*N + j];
+      }
+    }
+    barrier;
+  }
+|}
+
+let source ?(n = default_n) ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~n ~t ~seed ~nodes ^ "\nproc main() {\n" ^ init_body ^ step_body ^ "}\n"
+
+(* The Section 2.1 presentation: the owned block is checked out exclusive
+   once; each step checks the neighbouring boundary rows/columns out
+   shared and back in. Boundary rows are contiguous in memory (row-major),
+   boundary columns are strided, annotated per row with a generated
+   loop — the Section 4.3 collapsing. *)
+let hand_step_body =
+  {|  for r = (pid / PC) * IB to (pid / PC) * IB + IB - 1 {
+    check_out_x V[r*N + (pid % PC) * JB .. r*N + (pid % PC) * JB + JB - 1];
+  }
+  for ts = 1 to T {
+    if (pid / PC > 0) {
+      check_out_s U[((pid / PC) * IB - 1) * N + (pid % PC) * JB .. ((pid / PC) * IB - 1) * N + (pid % PC) * JB + JB - 1];
+    }
+    if (pid / PC < PR - 1) {
+      check_out_s U[((pid / PC) * IB + IB) * N + (pid % PC) * JB .. ((pid / PC) * IB + IB) * N + (pid % PC) * JB + JB - 1];
+    }
+    for r = (pid / PC) * IB to (pid / PC) * IB + IB - 1 {
+      if (pid % PC > 0) {
+        check_out_s U[r*N + (pid % PC) * JB - 1];
+      }
+      if (pid % PC < PC - 1) {
+        check_out_s U[r*N + (pid % PC) * JB + JB];
+      }
+    }
+    for i = (pid / PC) * IB to (pid / PC) * IB + IB - 1 {
+      for j = (pid % PC) * JB to (pid % PC) * JB + JB - 1 {
+        if (i > 0 && i < N - 1 && j > 0 && j < N - 1) {
+          V[i*N + j] = 0.25 * (U[(i-1)*N + j] + U[(i+1)*N + j] + U[i*N + j - 1] + U[i*N + j + 1]);
+        }
+      }
+    }
+    if (pid / PC > 0) {
+      check_in U[((pid / PC) * IB - 1) * N + (pid % PC) * JB .. ((pid / PC) * IB - 1) * N + (pid % PC) * JB + JB - 1];
+    }
+    if (pid / PC < PR - 1) {
+      check_in U[((pid / PC) * IB + IB) * N + (pid % PC) * JB .. ((pid / PC) * IB + IB) * N + (pid % PC) * JB + JB - 1];
+    }
+    barrier;
+    for i = (pid / PC) * IB to (pid / PC) * IB + IB - 1 {
+      for j = (pid % PC) * JB to (pid % PC) * JB + JB - 1 {
+        U[i*N + j] = V[i*N + j];
+      }
+    }
+    check_in U[(pid / PC) * IB * N + (pid % PC) * JB .. (pid / PC) * IB * N + (pid % PC) * JB + JB - 1];
+    barrier;
+  }
+  for r = (pid / PC) * IB to (pid / PC) * IB + IB - 1 {
+    check_in V[r*N + (pid % PC) * JB .. r*N + (pid % PC) * JB + JB - 1];
+  }
+|}
+
+let hand_source ?(n = default_n) ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~n ~t ~seed ~nodes ^ "\nproc main() {\n" ^ init_body ^ hand_step_body
+  ^ "}\n"

@@ -1,0 +1,19 @@
+(** Jacobi relaxation, the worked example of Section 2.1.
+
+    The [N x N] grid is block-partitioned over a [PR x PC] processor grid;
+    each time step computes a 5-point stencil into a second buffer and
+    copies it back, with a barrier between the phases. Reads of the
+    boundary rows and columns of neighbouring blocks are the only
+    communication, which is what makes the closed-form check-out counts of
+    the CICO cost model exact. *)
+
+val source : ?n:int -> ?t:int -> ?seed:int -> nodes:int -> unit -> string
+(** Default [n = 32], [t = 4], [seed = 1]. *)
+
+val hand_source : ?n:int -> ?t:int -> ?seed:int -> nodes:int -> unit -> string
+(** Annotated the way Section 2.1 presents it: check-out of the owned
+    block once, boundary rows and columns checked out shared and back in
+    each step. *)
+
+val default_n : int
+val default_t : int

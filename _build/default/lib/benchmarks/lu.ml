@@ -1,0 +1,67 @@
+let default_n = 16
+
+(* The matrix is stored column-major (element (i, j) at M[j*N + i]), so a
+   column — the unit of LU's producer/consumer handoff — is one contiguous
+   range of blocks, as in SPLASH's blocked LU. *)
+let header ~n ~seed ~nodes =
+  Printf.sprintf
+    {|const N = %d;
+const SEED = %d;
+const NPROCS = %d;
+shared M[N*N];
+|}
+    n seed nodes
+
+(* Diagonally dominant initialisation keeps the factorisation stable
+   without pivoting. *)
+let init_body =
+  {|  if (pid == 0) {
+    for j = 0 to N - 1 {
+      for i = 0 to N - 1 {
+        if (i == j) {
+          M[j*N + i] = noise(j*N + i + SEED * 1000003) + N;
+        } else {
+          M[j*N + i] = noise(j*N + i + SEED * 1000003);
+        }
+      }
+    }
+  }
+  barrier;
+|}
+
+let factor_body ~annots =
+  let owner_ci, consumer_ci =
+    if annots then
+      ( "      check_in M[k*N + k .. k*N + N - 1];\n",
+        "    if (pid != k % NPROCS) {\n\
+        \      check_in M[k*N + k .. k*N + N - 1];\n\
+        \    }\n" )
+    else ("", "")
+  in
+  Printf.sprintf
+    {|  for k = 0 to N - 2 {
+    if (pid == k %% NPROCS) {
+      for i = k + 1 to N - 1 {
+        M[k*N + i] = M[k*N + i] / M[k*N + k];
+      }
+%s    }
+    barrier;
+    for j = k + 1 to N - 1 {
+      if (j %% NPROCS == pid) {
+        for i = k + 1 to N - 1 {
+          M[j*N + i] = M[j*N + i] - M[k*N + i] * M[j*N + k];
+        }
+      }
+    }
+%s    barrier;
+  }
+|}
+    owner_ci consumer_ci
+
+let source ?(n = default_n) ?(seed = 1) ~nodes () =
+  header ~n ~seed ~nodes ^ "\nproc main() {\n" ^ init_body
+  ^ factor_body ~annots:false ^ "}\n"
+
+let hand_source ?(n = default_n) ?(seed = 1) ~nodes () =
+  header ~n ~seed ~nodes ^ "\nproc main() {\n" ^ init_body
+  ^ factor_body ~annots:true ^ "}\n"

@@ -1,0 +1,18 @@
+(** LU decomposition without pivoting, columns distributed cyclically
+    (modelled on the SPLASH LU kernel; an extension benchmark).
+
+    Iteration [k] has two epochs: the owner of column [k] computes the
+    multipliers (everyone else waits), then every processor updates its
+    own columns [j > k] after reading the freshly written column [k] — a
+    one-producer/many-consumer handoff each iteration, the pattern
+    check-in/check-out (and post-store) target. The matrix is made
+    diagonally dominant so no pivoting is needed. *)
+
+val source : ?n:int -> ?seed:int -> nodes:int -> unit -> string
+(** Default [n = 16]. *)
+
+val hand_source : ?n:int -> ?seed:int -> nodes:int -> unit -> string
+(** Hand annotation: the column owner checks its column in after the
+    multiplier phase; consumers check it in after the update phase. *)
+
+val default_n : int

@@ -1,0 +1,135 @@
+let default_n = 24
+
+let header ~n ~seed ~nodes =
+  let pr, pc = Grid.factor nodes in
+  Grid.check_divisible ~n ~nodes "matmul";
+  Printf.sprintf
+    {|const N = %d;
+const SEED = %d;
+const PR = %d;
+const PC = %d;
+const KB = N / PR;
+const JB = N / PC;
+shared A[N*N];
+shared B[N*N];
+shared C[N*N];
+|}
+    n seed pr pc
+
+let init_body =
+  {|  if (pid == 0) {
+    for q = 0 to N*N - 1 {
+      A[q] = noise(q + SEED * 1000003);
+      B[q] = noise(q + 500000 + SEED * 1000003);
+      C[q] = 0.0;
+    }
+  }
+  barrier;
+|}
+
+let compute_body =
+  {|  for i = 0 to N - 1 {
+    for k = (pid / PC) * KB to (pid / PC) * KB + KB - 1 {
+      t = A[i*N + k];
+      for j = (pid % PC) * JB to (pid % PC) * JB + JB - 1 {
+        C[i*N + j] = C[i*N + j] + t * B[k*N + j];
+      }
+    }
+  }
+  barrier;
+|}
+
+let source ?(n = default_n) ?(seed = 1) ~nodes () =
+  header ~n ~seed ~nodes ^ "\nproc main() {\n" ^ init_body ^ compute_body ^ "}\n"
+
+(* The hand version checks the racy C elements out exclusive but never
+   checks them back in (so the next claimant pays a three-hop recall
+   instead of a clean fetch), adds the unnecessary explicit check-outs
+   Section 6 blames for its small deficit (check_out_s of A and of the B
+   row — Dir1SW's implicit check-out already covers them), and places its
+   prefetches inappropriately in the inner loop. *)
+let hand_compute_body =
+  {|  for i = 0 to N - 1 {
+    for k = (pid / PC) * KB to (pid / PC) * KB + KB - 1 {
+      check_out_s A[i*N + k];
+      t = A[i*N + k];
+      check_out_s B[k*N + (pid % PC) * JB .. k*N + (pid % PC) * JB + JB - 1];
+      for j = (pid % PC) * JB to (pid % PC) * JB + JB - 1 {
+        prefetch_x C[i*N + j];
+        check_out_x C[i*N + j];
+        C[i*N + j] = C[i*N + j] + t * B[k*N + j];
+      }
+    }
+  }
+  check_in A[0 .. N*N - 1];
+  barrier;
+|}
+
+let hand_init_body =
+  {|  if (pid == 0) {
+    for q = 0 to N*N - 1 {
+      A[q] = noise(q + SEED * 1000003);
+      B[q] = noise(q + 500000 + SEED * 1000003);
+      C[q] = 0.0;
+    }
+    check_in A[0 .. N*N - 1];
+    check_in B[0 .. N*N - 1];
+    check_in C[0 .. N*N - 1];
+  }
+  barrier;
+|}
+
+let hand_source ?(n = default_n) ?(seed = 1) ~nodes () =
+  header ~n ~seed ~nodes ^ "\nproc main() {\n" ^ hand_init_body
+  ^ hand_compute_body ^ "}\n"
+
+(* Section 5 restructuring: copy the owned columns of C to a private
+   array, accumulate locally, then merge back under a lock per cache
+   block. The annotations are the ones printed in the paper. *)
+let restructured_compute_body =
+  {|  for i = 0 to N - 1 {
+    for j = (pid % PC) * JB to (pid % PC) * JB + JB - 1 step 4 {
+      check_out_s C[i*N + j .. i*N + j + 3];
+      cp[i*JB + (j - (pid % PC) * JB)] = C[i*N + j];
+      cp[i*JB + (j - (pid % PC) * JB) + 1] = C[i*N + j + 1];
+      cp[i*JB + (j - (pid % PC) * JB) + 2] = C[i*N + j + 2];
+      cp[i*JB + (j - (pid % PC) * JB) + 3] = C[i*N + j + 3];
+      co[i*JB + (j - (pid % PC) * JB)] = C[i*N + j];
+      co[i*JB + (j - (pid % PC) * JB) + 1] = C[i*N + j + 1];
+      co[i*JB + (j - (pid % PC) * JB) + 2] = C[i*N + j + 2];
+      co[i*JB + (j - (pid % PC) * JB) + 3] = C[i*N + j + 3];
+      check_in C[i*N + j .. i*N + j + 3];
+    }
+  }
+  barrier;
+  for i = 0 to N - 1 {
+    for k = (pid / PC) * KB to (pid / PC) * KB + KB - 1 {
+      t = A[i*N + k];
+      for j = (pid % PC) * JB to (pid % PC) * JB + JB - 1 {
+        cp[i*JB + (j - (pid % PC) * JB)] = cp[i*JB + (j - (pid % PC) * JB)] + t * B[k*N + j];
+      }
+    }
+  }
+  barrier;
+  for i = 0 to N - 1 {
+    for j = (pid % PC) * JB to (pid % PC) * JB + JB - 1 step 4 {
+      lock((i*N + j) / 4);
+      check_out_x C[i*N + j .. i*N + j + 3];
+      C[i*N + j] = C[i*N + j] + cp[i*JB + (j - (pid % PC) * JB)] - co[i*JB + (j - (pid % PC) * JB)];
+      C[i*N + j + 1] = C[i*N + j + 1] + cp[i*JB + (j - (pid % PC) * JB) + 1] - co[i*JB + (j - (pid % PC) * JB) + 1];
+      C[i*N + j + 2] = C[i*N + j + 2] + cp[i*JB + (j - (pid % PC) * JB) + 2] - co[i*JB + (j - (pid % PC) * JB) + 2];
+      C[i*N + j + 3] = C[i*N + j + 3] + cp[i*JB + (j - (pid % PC) * JB) + 3] - co[i*JB + (j - (pid % PC) * JB) + 3];
+      check_in C[i*N + j .. i*N + j + 3];
+      unlock((i*N + j) / 4);
+    }
+  }
+  barrier;
+|}
+
+let restructured_source ?(n = default_n) ?(seed = 1) ~nodes () =
+  let pc = snd (Grid.factor nodes) in
+  if n / pc mod 4 <> 0 then
+    invalid_arg "matmul restructured: JB must be a multiple of 4";
+  header ~n ~seed ~nodes
+  ^ "private cp[N * JB];\nprivate co[N * JB];\n"
+  ^ "\nproc main() {\n" ^ init_body ^ restructured_compute_body ^ "}\n"

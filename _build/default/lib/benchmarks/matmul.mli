@@ -1,0 +1,26 @@
+(** Matrix Multiply, Section 4.4's "unconventional" blocked algorithm.
+
+    Each processor owns a block of rows [Lk..Uk] and columns [Lj..Uj] of
+    [B] and accumulates its partial products directly into the shared
+    result matrix [C], so [C] is read-write shared with a potential data
+    race on every element — the property Sections 4.4 and 5 revolve
+    around. [A] is read-shared; [B] is effectively private per block.
+
+    One processor initialises all three matrices (Section 6 attributes
+    part of Cachier's win to checking the matrices in after
+    initialisation). *)
+
+val source : ?n:int -> ?seed:int -> nodes:int -> unit -> string
+(** Unannotated program. Default [n = 24], [seed = 1]. *)
+
+val hand_source : ?n:int -> ?seed:int -> nodes:int -> unit -> string
+(** The hand-annotated version: correct near-access annotations on [C]
+    plus the paper's documented flaw — a few unnecessary check-out-shared
+    annotations (and, when prefetch is enabled, inappropriately placed
+    prefetches inside the inner loop). *)
+
+val restructured_source : ?n:int -> ?seed:int -> nodes:int -> unit -> string
+(** The Section 5 restructuring: copy the owned part of [C] into a private
+    array, compute locally, and merge back under locks. *)
+
+val default_n : int

@@ -1,0 +1,118 @@
+let default_particles = 1024
+let default_cells = 64
+let default_t = 3
+
+let header ~particles ~cells ~t ~seed ~nodes =
+  if particles mod nodes <> 0 then
+    invalid_arg "mp3d: particle count must be a multiple of the node count";
+  Printf.sprintf
+    {|const NP = %d;
+const NC = %d;
+const T = %d;
+const SEED = %d;
+const NPROCS = %d;
+const PP = NP / NPROCS;
+shared PX[NP];
+shared VX[NP];
+shared CELL[NC];
+|}
+    particles cells t seed nodes
+
+let init_body =
+  {|  if (pid == 0) {
+    for q = 0 to NP - 1 {
+      PX[q] = noise(q + SEED * 1000003) * NC;
+      VX[q] = noise(q + 777777 + SEED * 1000003) * 2.0 - 1.0;
+    }
+    for c = 0 to NC - 1 {
+      CELL[c] = 0.0;
+    }
+  }
+  barrier;
+|}
+
+(* Move phase: advance owned particles and scatter counts into the shared
+   cell array (data race, dynamic addresses). Collide phase: scale each
+   owned particle's velocity by its cell's density (scattered shared
+   reads). Reset phase: cell owners zero their slice. *)
+let step_body =
+  {|  for ts = 1 to T {
+    for q = pid * PP to pid * PP + PP - 1 {
+      x = PX[q] + VX[q];
+      if (x < 0.0) {
+        x = x + NC;
+      }
+      if (x >= NC) {
+        x = x - NC;
+      }
+      PX[q] = x;
+      c = int(x);
+      CELL[c] = CELL[c] + 1.0;
+    }
+    barrier;
+    for q = pid * PP to pid * PP + PP - 1 {
+      c = int(PX[q]);
+      d = CELL[c];
+      if (d > NP / NC) {
+        VX[q] = VX[q] * 0.95;
+      } else {
+        VX[q] = VX[q] * 1.05;
+      }
+    }
+    barrier;
+    for c = pid * (NC / NPROCS) to pid * (NC / NPROCS) + NC / NPROCS - 1 {
+      CELL[c] = 0.0;
+    }
+    barrier;
+  }
+|}
+
+let source ?(particles = default_particles) ?(cells = default_cells)
+    ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~particles ~cells ~t ~seed ~nodes
+  ^ "\nproc main() {\n" ^ init_body ^ step_body ^ "}\n"
+
+(* The flawed hand annotation: PX/VX checked in immediately after each
+   write even though the same cache block holds the next owned particles
+   (checked in too early), and CELL never checked in (neglected), so the
+   reset phase pays invalidations for every sharer. *)
+let hand_step_body =
+  {|  for ts = 1 to T {
+    for q = pid * PP to pid * PP + PP - 1 {
+      x = PX[q] + VX[q];
+      if (x < 0.0) {
+        x = x + NC;
+      }
+      if (x >= NC) {
+        x = x - NC;
+      }
+      PX[q] = x;
+      check_in PX[q];
+      c = int(x);
+      check_out_x CELL[c];
+      CELL[c] = CELL[c] + 1.0;
+    }
+    barrier;
+    for q = pid * PP to pid * PP + PP - 1 {
+      c = int(PX[q]);
+      d = CELL[c];
+      if (d > NP / NC) {
+        VX[q] = VX[q] * 0.95;
+      } else {
+        VX[q] = VX[q] * 1.05;
+      }
+      check_in VX[q];
+      check_in PX[q];
+    }
+    barrier;
+    for c = pid * (NC / NPROCS) to pid * (NC / NPROCS) + NC / NPROCS - 1 {
+      CELL[c] = 0.0;
+    }
+    barrier;
+  }
+|}
+
+let hand_source ?(particles = default_particles) ?(cells = default_cells)
+    ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~particles ~cells ~t ~seed ~nodes
+  ^ "\nproc main() {\n" ^ init_body ^ hand_step_body ^ "}\n"

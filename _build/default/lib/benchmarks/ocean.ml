@@ -1,0 +1,189 @@
+let default_n = 32
+let default_t = 4
+
+let header ~n ~t ~seed ~nodes =
+  if n mod nodes <> 0 then
+    invalid_arg "ocean: N must be a multiple of the node count";
+  Printf.sprintf
+    {|const N = %d;
+const T = %d;
+const SEED = %d;
+const NPROCS = %d;
+const RB = N / NPROCS;
+shared G[N*N];
+shared R[NPROCS];
+|}
+    n t seed nodes
+
+let init_body =
+  {|  if (pid == 0) {
+    for q = 0 to N*N - 1 {
+      G[q] = noise(q + SEED * 1000003);
+    }
+    for q = 0 to NPROCS - 1 {
+      R[q] = 0.0;
+    }
+  }
+  barrier;
+|}
+
+(* One red sweep then one black sweep per step, followed by a residual
+   phase: each node writes its residual into R[pid] (false sharing: R is
+   smaller than a handful of cache blocks) and node 0 reduces it. *)
+let step_body =
+  {|  for ts = 1 to T {
+    for i = max(1, pid * RB) to min(N - 2, pid * RB + RB - 1) {
+      for j = 1 to N - 2 {
+        if ((i + j) % 2 == 0) {
+          G[i*N + j] = G[i*N + j] + 0.9 * (0.25 * (G[(i-1)*N + j] + G[(i+1)*N + j] + G[i*N + j - 1] + G[i*N + j + 1]) - G[i*N + j]);
+        }
+      }
+    }
+    barrier;
+    for i = max(1, pid * RB) to min(N - 2, pid * RB + RB - 1) {
+      for j = 1 to N - 2 {
+        if ((i + j) % 2 == 1) {
+          G[i*N + j] = G[i*N + j] + 0.9 * (0.25 * (G[(i-1)*N + j] + G[(i+1)*N + j] + G[i*N + j - 1] + G[i*N + j + 1]) - G[i*N + j]);
+        }
+      }
+    }
+    barrier;
+    res = 0.0;
+    for i = pid * RB to pid * RB + RB - 1 {
+      res = res + abs(G[i*N + N/2]);
+    }
+    R[pid] = res;
+    barrier;
+    if (pid == 0) {
+      total = 0.0;
+      for q = 0 to NPROCS - 1 {
+        total = total + R[q];
+      }
+      R[0] = total;
+    }
+    barrier;
+  }
+|}
+
+let source ?(n = default_n) ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~n ~t ~seed ~nodes ^ "\nproc main() {\n" ^ init_body ^ step_body ^ "}\n"
+
+(* Hand version: handles its own rows correctly (check-out exclusive at
+   sweep start, boundary rows checked in at sweep end) and remembers to
+   check in the neighbour rows after the red sweep — but forgets to after
+   the black sweep, so every other claim by the owner pays a software
+   trap, and it adds one redundant check-out-shared (the paper: 7 % worse
+   than Cachier). *)
+let hand_step_body =
+  {|  for ts = 1 to T {
+    check_out_s G[pid * RB * N .. pid * RB * N + N - 1];
+    check_out_x G[max(1, pid * RB) * N + 1 .. min(N - 2, pid * RB + RB - 1) * N + N - 2];
+    for i = max(1, pid * RB) to min(N - 2, pid * RB + RB - 1) {
+      for j = 1 to N - 2 {
+        if ((i + j) % 2 == 0) {
+          G[i*N + j] = G[i*N + j] + 0.9 * (0.25 * (G[(i-1)*N + j] + G[(i+1)*N + j] + G[i*N + j - 1] + G[i*N + j + 1]) - G[i*N + j]);
+        }
+      }
+    }
+    check_in G[pid * RB * N .. pid * RB * N + N - 1];
+    check_in G[(pid * RB + RB - 1) * N .. (pid * RB + RB - 1) * N + N - 1];
+    if (pid > 0) {
+      check_in G[(pid * RB - 1) * N .. (pid * RB - 1) * N + N - 1];
+    }
+    if (pid < NPROCS - 1) {
+      check_in G[(pid * RB + RB) * N .. (pid * RB + RB) * N + N - 1];
+    }
+    barrier;
+    check_out_x G[max(1, pid * RB) * N + 1 .. min(N - 2, pid * RB + RB - 1) * N + N - 2];
+    for i = max(1, pid * RB) to min(N - 2, pid * RB + RB - 1) {
+      for j = 1 to N - 2 {
+        if ((i + j) % 2 == 1) {
+          G[i*N + j] = G[i*N + j] + 0.9 * (0.25 * (G[(i-1)*N + j] + G[(i+1)*N + j] + G[i*N + j - 1] + G[i*N + j + 1]) - G[i*N + j]);
+        }
+      }
+    }
+    check_in G[pid * RB * N .. pid * RB * N + N - 1];
+    check_in G[(pid * RB + RB - 1) * N .. (pid * RB + RB - 1) * N + N - 1];
+    barrier;
+    res = 0.0;
+    for i = pid * RB to pid * RB + RB - 1 {
+      res = res + abs(G[i*N + N/2]);
+    }
+    R[pid] = res;
+    check_in R[pid];
+    barrier;
+    if (pid == 0) {
+      total = 0.0;
+      for q = 0 to NPROCS - 1 {
+        total = total + R[q];
+      }
+      R[0] = total;
+    }
+    barrier;
+  }
+|}
+
+let hand_source ?(n = default_n) ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~n ~t ~seed ~nodes ^ "\nproc main() {\n" ^ init_body ^ hand_step_body
+  ^ "}\n"
+
+(* KSR-1-style variant: after each sweep the owner post-stores its
+   boundary rows, pushing read-only copies to the neighbours that read
+   them last sweep instead of merely releasing the blocks. *)
+let post_store_step_body =
+  {|  for ts = 1 to T {
+    check_out_x G[max(1, pid * RB) * N + 1 .. min(N - 2, pid * RB + RB - 1) * N + N - 2];
+    for i = max(1, pid * RB) to min(N - 2, pid * RB + RB - 1) {
+      for j = 1 to N - 2 {
+        if ((i + j) % 2 == 0) {
+          G[i*N + j] = G[i*N + j] + 0.9 * (0.25 * (G[(i-1)*N + j] + G[(i+1)*N + j] + G[i*N + j - 1] + G[i*N + j + 1]) - G[i*N + j]);
+        }
+      }
+    }
+    post_store G[pid * RB * N .. pid * RB * N + N - 1];
+    post_store G[(pid * RB + RB - 1) * N .. (pid * RB + RB - 1) * N + N - 1];
+    if (pid > 0) {
+      check_in G[(pid * RB - 1) * N .. (pid * RB - 1) * N + N - 1];
+    }
+    if (pid < NPROCS - 1) {
+      check_in G[(pid * RB + RB) * N .. (pid * RB + RB) * N + N - 1];
+    }
+    barrier;
+    check_out_x G[max(1, pid * RB) * N + 1 .. min(N - 2, pid * RB + RB - 1) * N + N - 2];
+    for i = max(1, pid * RB) to min(N - 2, pid * RB + RB - 1) {
+      for j = 1 to N - 2 {
+        if ((i + j) % 2 == 1) {
+          G[i*N + j] = G[i*N + j] + 0.9 * (0.25 * (G[(i-1)*N + j] + G[(i+1)*N + j] + G[i*N + j - 1] + G[i*N + j + 1]) - G[i*N + j]);
+        }
+      }
+    }
+    post_store G[pid * RB * N .. pid * RB * N + N - 1];
+    post_store G[(pid * RB + RB - 1) * N .. (pid * RB + RB - 1) * N + N - 1];
+    if (pid > 0) {
+      check_in G[(pid * RB - 1) * N .. (pid * RB - 1) * N + N - 1];
+    }
+    if (pid < NPROCS - 1) {
+      check_in G[(pid * RB + RB) * N .. (pid * RB + RB) * N + N - 1];
+    }
+    barrier;
+    res = 0.0;
+    for i = pid * RB to pid * RB + RB - 1 {
+      res = res + abs(G[i*N + N/2]);
+    }
+    R[pid] = res;
+    check_in R[pid];
+    barrier;
+    if (pid == 0) {
+      total = 0.0;
+      for q = 0 to NPROCS - 1 {
+        total = total + R[q];
+      }
+      R[0] = total;
+    }
+    barrier;
+  }
+|}
+
+let post_store_source ?(n = default_n) ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~n ~t ~seed ~nodes ^ "\nproc main() {\n" ^ init_body
+  ^ post_store_step_body ^ "}\n"

@@ -1,0 +1,28 @@
+(** Ocean: cuboidal ocean-basin simulation by Gauss-Seidel with
+    successive over-relaxation (the SPLASH kernel, scaled down).
+
+    Row-block partitioning with in-place red-black SOR sweeps. Rows on
+    partition boundaries are written by their owner and read by the
+    neighbour every sweep, so blocks ping-pong between Shared and
+    Exclusive — the highest degree of sharing in the suite (the paper
+    reports 88 % shared loads / 68 % shared stores), which is why Cachier
+    helps Ocean the most. *)
+
+val source : ?n:int -> ?t:int -> ?seed:int -> nodes:int -> unit -> string
+(** Default [n = 32], [t = 4] red+black iterations, [seed = 1]. *)
+
+val hand_source : ?n:int -> ?t:int -> ?seed:int -> nodes:int -> unit -> string
+(** Hand annotation with the documented weaknesses: the neighbour rows a
+    node reads are checked in after the red sweep but forgotten after the
+    black sweep (so every other owner claim traps to software), and a
+    redundant check-out-shared is issued each step (paper: 7 % worse than
+    Cachier). *)
+
+val post_store_source :
+  ?n:int -> ?t:int -> ?seed:int -> nodes:int -> unit -> string
+(** Extension: the producer post-stores its boundary rows after each sweep
+    (the KSR-1-style push the paper's introduction compares to check-in),
+    so the neighbour's next-sweep reads hit without a directory trip. *)
+
+val default_n : int
+val default_t : int

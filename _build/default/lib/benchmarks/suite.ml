@@ -1,0 +1,71 @@
+type t = {
+  name : string;
+  source : string;
+  hand_source : string;
+  trace_seed : int;
+  eval_seed : int;
+}
+
+let reseed program seed = Lang.Ast_util.set_const program "SEED" seed
+
+let names = [ "matmul"; "barnes"; "tomcatv"; "ocean"; "mp3d" ]
+
+let scaled scale base = max 1 (int_of_float (float_of_int base *. scale))
+
+(* Problem sizes must respect each benchmark's divisibility constraints;
+   round to the nearest valid size. *)
+let round_to multiple v = max multiple (v / multiple * multiple)
+
+let all ?(scale = 1.0) ~nodes () =
+  let pr, pc = Grid.factor nodes in
+  let lcm_grid = pr * pc / (let rec gcd a b = if b = 0 then a else gcd b (a mod b) in gcd pr pc) in
+  let n_mm = round_to lcm_grid (scaled scale Matmul.default_n) in
+  let n_jac = round_to lcm_grid (scaled scale Ocean.default_n) in
+  ignore n_jac;
+  let n_oc = round_to nodes (scaled scale Ocean.default_n) in
+  let n_tc = scaled scale Tomcatv.default_n in
+  let np = round_to nodes (scaled scale Mp3d.default_particles) in
+  let nb = round_to nodes (scaled scale Barnes.default_bodies) in
+  let trace_seed = 1 and eval_seed = 2 in
+  [
+    {
+      name = "matmul";
+      source = Matmul.source ~n:n_mm ~seed:trace_seed ~nodes ();
+      hand_source = Matmul.hand_source ~n:n_mm ~seed:trace_seed ~nodes ();
+      trace_seed;
+      eval_seed;
+    };
+    {
+      name = "barnes";
+      source = Barnes.source ~bodies:nb ~seed:trace_seed ~nodes ();
+      hand_source = Barnes.hand_source ~bodies:nb ~seed:trace_seed ~nodes ();
+      trace_seed;
+      eval_seed;
+    };
+    {
+      name = "tomcatv";
+      source = Tomcatv.source ~n:n_tc ~seed:trace_seed ~nodes ();
+      hand_source = Tomcatv.hand_source ~n:n_tc ~seed:trace_seed ~nodes ();
+      trace_seed;
+      eval_seed;
+    };
+    {
+      name = "ocean";
+      source = Ocean.source ~n:n_oc ~seed:trace_seed ~nodes ();
+      hand_source = Ocean.hand_source ~n:n_oc ~seed:trace_seed ~nodes ();
+      trace_seed;
+      eval_seed;
+    };
+    {
+      name = "mp3d";
+      source = Mp3d.source ~particles:np ~seed:trace_seed ~nodes ();
+      hand_source = Mp3d.hand_source ~particles:np ~seed:trace_seed ~nodes ();
+      trace_seed;
+      eval_seed;
+    };
+  ]
+
+let find ?(scale = 1.0) ~nodes name =
+  match List.find_opt (fun b -> b.name = name) (all ~scale ~nodes ()) with
+  | Some b -> b
+  | None -> raise Not_found

@@ -1,0 +1,103 @@
+let default_n = 40
+let default_t = 3
+
+let header ~n ~t ~seed ~nodes =
+  Printf.sprintf
+    {|const N = %d;
+const T = %d;
+const SEED = %d;
+const NPROCS = %d;
+shared XB[N * NPROCS];
+shared YB[N * NPROCS];
+private X[N*N];
+private Y[N*N];
+|}
+    n t seed nodes
+
+(* Each node owns an N x N private mesh slice; boundary column N-1 is
+   published to XB/YB and the left neighbour's boundary is read back. The
+   inner relaxation is deliberately arithmetic-heavy (sqrt, abs) so that
+   computation dominates communication. *)
+let body =
+  {|  for q = 0 to N*N - 1 {
+    X[q] = noise(q + pid * 7919 + SEED * 1000003);
+    Y[q] = noise(q + pid * 104729 + SEED * 1000003);
+  }
+  barrier;
+  for ts = 1 to T {
+    for i = 1 to N - 2 {
+      for j = 1 to N - 2 {
+        xx = X[i*N + j + 1] - X[i*N + j - 1];
+        yx = Y[i*N + j + 1] - Y[i*N + j - 1];
+        xy = X[(i+1)*N + j] - X[(i-1)*N + j];
+        yy = Y[(i+1)*N + j] - Y[(i-1)*N + j];
+        a = 0.25 * (xy*xy + yy*yy);
+        b = 0.25 * (xx*xx + yx*yx);
+        c = 0.125 * (xx*xy + yx*yy);
+        d = sqrt(abs(a*b - c*c)) + 0.0001;
+        X[i*N + j] = X[i*N + j] + 0.05 * (a + b - 2.0*c) / d;
+        Y[i*N + j] = Y[i*N + j] + 0.05 * (a + b + 2.0*c) / d;
+      }
+    }
+    for i = 0 to N - 1 {
+      XB[pid*N + i] = X[i*N + N - 1];
+      YB[pid*N + i] = Y[i*N + N - 1];
+    }
+    barrier;
+    if (pid > 0) {
+      for i = 0 to N - 1 {
+        X[i*N] = 0.5 * (X[i*N] + XB[(pid-1)*N + i]);
+        Y[i*N] = 0.5 * (Y[i*N] + YB[(pid-1)*N + i]);
+      }
+    }
+    barrier;
+  }
+|}
+
+let source ?(n = default_n) ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~n ~t ~seed ~nodes ^ "\nproc main() {\n" ^ body ^ "}\n"
+
+let hand_body =
+  {|  for q = 0 to N*N - 1 {
+    X[q] = noise(q + pid * 7919 + SEED * 1000003);
+    Y[q] = noise(q + pid * 104729 + SEED * 1000003);
+  }
+  barrier;
+  for ts = 1 to T {
+    for i = 1 to N - 2 {
+      for j = 1 to N - 2 {
+        xx = X[i*N + j + 1] - X[i*N + j - 1];
+        yx = Y[i*N + j + 1] - Y[i*N + j - 1];
+        xy = X[(i+1)*N + j] - X[(i-1)*N + j];
+        yy = Y[(i+1)*N + j] - Y[(i-1)*N + j];
+        a = 0.25 * (xy*xy + yy*yy);
+        b = 0.25 * (xx*xx + yx*yx);
+        c = 0.125 * (xx*xy + yx*yy);
+        d = sqrt(abs(a*b - c*c)) + 0.0001;
+        X[i*N + j] = X[i*N + j] + 0.05 * (a + b - 2.0*c) / d;
+        Y[i*N + j] = Y[i*N + j] + 0.05 * (a + b + 2.0*c) / d;
+      }
+    }
+    check_out_x XB[pid*N .. pid*N + N - 1];
+    check_out_x YB[pid*N .. pid*N + N - 1];
+    for i = 0 to N - 1 {
+      XB[pid*N + i] = X[i*N + N - 1];
+      YB[pid*N + i] = Y[i*N + N - 1];
+    }
+    check_in XB[pid*N .. pid*N + N - 1];
+    check_in YB[pid*N .. pid*N + N - 1];
+    barrier;
+    if (pid > 0) {
+      for i = 0 to N - 1 {
+        X[i*N] = 0.5 * (X[i*N] + XB[(pid-1)*N + i]);
+        Y[i*N] = 0.5 * (Y[i*N] + YB[(pid-1)*N + i]);
+      }
+      check_in XB[(pid-1)*N .. (pid-1)*N + N - 1];
+      check_in YB[(pid-1)*N .. (pid-1)*N + N - 1];
+    }
+    barrier;
+  }
+|}
+
+let hand_source ?(n = default_n) ?(t = default_t) ?(seed = 1) ~nodes () =
+  header ~n ~t ~seed ~nodes ^ "\nproc main() {\n" ^ hand_body ^ "}\n"

@@ -1,0 +1,16 @@
+(** Tomcatv: vectorised mesh-generation kernel (parallel SPEC code).
+
+    Each node iterates a heavy arithmetic relaxation over its private mesh
+    slice; the only shared data are the slice-boundary columns exchanged
+    once per iteration. Roughly 90 % of execution time is local
+    computation, so CICO annotations barely move it — the paper's control
+    point. *)
+
+val source : ?n:int -> ?t:int -> ?seed:int -> nodes:int -> unit -> string
+(** Default [n = 40] (private slice is [n x n] per node), [t = 3]. *)
+
+val hand_source : ?n:int -> ?t:int -> ?seed:int -> nodes:int -> unit -> string
+(** Minimal hand annotation of the boundary exchange. *)
+
+val default_n : int
+val default_t : int

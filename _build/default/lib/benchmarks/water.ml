@@ -1,0 +1,155 @@
+let default_molecules = 64
+let default_t = 3
+
+let header ~molecules ~t ~seed ~nodes =
+  if molecules mod nodes <> 0 then
+    invalid_arg "water: molecule count must be a multiple of the node count";
+  Printf.sprintf
+    {|const NM = %d;
+const T = %d;
+const SEED = %d;
+const NPROCS = %d;
+const MP = NM / NPROCS;
+shared WX[NM];
+shared WY[NM];
+shared UX[NM];
+shared UY[NM];
+shared FX[NM];
+shared FY[NM];
+shared EP[NPROCS];
+|}
+    molecules t seed nodes
+
+let init_body =
+  {|  if (pid == 0) {
+    for q = 0 to NM - 1 {
+      WX[q] = noise(q + SEED * 1000003) * 8.0;
+      WY[q] = noise(q + 55555 + SEED * 1000003) * 8.0;
+      UX[q] = noise(q + 111111 + SEED * 1000003) * 0.2 - 0.1;
+      UY[q] = noise(q + 222222 + SEED * 1000003) * 0.2 - 0.1;
+      FX[q] = 0.0;
+      FY[q] = 0.0;
+    }
+    for q = 0 to NPROCS - 1 {
+      EP[q] = 0.0;
+    }
+  }
+  barrier;
+|}
+
+(* Force phase: every node reads all positions; update phase: each node
+   integrates its own slice. The cutoff keeps the force short-range, like
+   Water's spherical cutoff. *)
+let step_body =
+  {|  for ts = 1 to T {
+    ep = 0.0;
+    for i = pid * MP to pid * MP + MP - 1 {
+      fx = 0.0;
+      fy = 0.0;
+      for j = 0 to NM - 1 {
+        if (j != i) {
+          dx = WX[j] - WX[i];
+          dy = WY[j] - WY[i];
+          r2 = dx*dx + dy*dy + 0.5;
+          if (r2 < 6.25) {
+            ir2 = 1.0 / r2;
+            ir6 = ir2 * ir2 * ir2;
+            w = ir6 * (ir6 - 0.5) * ir2;
+            fx = fx - dx * w;
+            fy = fy - dy * w;
+            ep = ep + ir6 * (ir6 - 1.0);
+          }
+        }
+      }
+      FX[i] = fx;
+      FY[i] = fy;
+    }
+    EP[pid] = EP[pid] + ep;
+    barrier;
+    for i = pid * MP to pid * MP + MP - 1 {
+      UX[i] = UX[i] + 0.002 * FX[i];
+      UY[i] = UY[i] + 0.002 * FY[i];
+      WX[i] = WX[i] + 0.002 * UX[i];
+      WY[i] = WY[i] + 0.002 * UY[i];
+      if (WX[i] < 0.0) {
+        WX[i] = WX[i] + 8.0;
+      }
+      if (WX[i] >= 8.0) {
+        WX[i] = WX[i] - 8.0;
+      }
+      if (WY[i] < 0.0) {
+        WY[i] = WY[i] + 8.0;
+      }
+      if (WY[i] >= 8.0) {
+        WY[i] = WY[i] - 8.0;
+      }
+    }
+    barrier;
+  }
+|}
+
+let source ?(molecules = default_molecules) ?(t = default_t) ?(seed = 1) ~nodes
+    () =
+  header ~molecules ~t ~seed ~nodes ^ "\nproc main() {\n" ^ init_body
+  ^ step_body ^ "}\n"
+
+let hand_step_body =
+  {|  for ts = 1 to T {
+    ep = 0.0;
+    check_out_x FX[pid * MP .. pid * MP + MP - 1];
+    check_out_x FY[pid * MP .. pid * MP + MP - 1];
+    for i = pid * MP to pid * MP + MP - 1 {
+      fx = 0.0;
+      fy = 0.0;
+      for j = 0 to NM - 1 {
+        if (j != i) {
+          dx = WX[j] - WX[i];
+          dy = WY[j] - WY[i];
+          r2 = dx*dx + dy*dy + 0.5;
+          if (r2 < 6.25) {
+            ir2 = 1.0 / r2;
+            ir6 = ir2 * ir2 * ir2;
+            w = ir6 * (ir6 - 0.5) * ir2;
+            fx = fx - dx * w;
+            fy = fy - dy * w;
+            ep = ep + ir6 * (ir6 - 1.0);
+          }
+        }
+      }
+      FX[i] = fx;
+      FY[i] = fy;
+    }
+    EP[pid] = EP[pid] + ep;
+    check_in WX[0 .. NM - 1];
+    check_in WY[0 .. NM - 1];
+    barrier;
+    check_out_x WX[pid * MP .. pid * MP + MP - 1];
+    check_out_x WY[pid * MP .. pid * MP + MP - 1];
+    for i = pid * MP to pid * MP + MP - 1 {
+      UX[i] = UX[i] + 0.002 * FX[i];
+      UY[i] = UY[i] + 0.002 * FY[i];
+      WX[i] = WX[i] + 0.002 * UX[i];
+      WY[i] = WY[i] + 0.002 * UY[i];
+      if (WX[i] < 0.0) {
+        WX[i] = WX[i] + 8.0;
+      }
+      if (WX[i] >= 8.0) {
+        WX[i] = WX[i] - 8.0;
+      }
+      if (WY[i] < 0.0) {
+        WY[i] = WY[i] + 8.0;
+      }
+      if (WY[i] >= 8.0) {
+        WY[i] = WY[i] - 8.0;
+      }
+    }
+    check_in WX[pid * MP .. pid * MP + MP - 1];
+    check_in WY[pid * MP .. pid * MP + MP - 1];
+    barrier;
+  }
+|}
+
+let hand_source ?(molecules = default_molecules) ?(t = default_t) ?(seed = 1)
+    ~nodes () =
+  header ~molecules ~t ~seed ~nodes ^ "\nproc main() {\n" ^ init_body
+  ^ hand_step_body ^ "}\n"

@@ -1,0 +1,1 @@
+lib/cico/annotation.mli: Lang

@@ -1,0 +1,1 @@
+lib/cico/cost_model.ml: Memsys

@@ -1,0 +1,42 @@
+type t = Lang.Ast.annot_kind =
+  | Check_out_x
+  | Check_out_s
+  | Check_in
+  | Prefetch_x
+  | Prefetch_s
+  | Post_store
+
+let name = Lang.Ast.annot_kind_name
+
+let of_name = function
+  | "check_out_x" -> Some Check_out_x
+  | "check_out_s" -> Some Check_out_s
+  | "check_in" -> Some Check_in
+  | "prefetch_x" -> Some Prefetch_x
+  | "prefetch_s" -> Some Prefetch_s
+  | "post_store" -> Some Post_store
+  | _ -> None
+
+let all = [ Check_out_x; Check_out_s; Check_in; Prefetch_x; Prefetch_s; Post_store ]
+
+let is_check_out = function
+  | Check_out_x | Check_out_s -> true
+  | Check_in | Prefetch_x | Prefetch_s | Post_store -> false
+
+let is_prefetch = function
+  | Prefetch_x | Prefetch_s -> true
+  | Check_out_x | Check_out_s | Check_in | Post_store -> false
+
+let describe = function
+  | Check_out_x ->
+      "request exclusive access to a cache block before first write \
+       (avoids a later shared-to-exclusive upgrade)"
+  | Check_out_s -> "request shared read-only access to a cache block"
+  | Check_in ->
+      "relinquish a cache block: flush it and release the directory entry \
+       (avoids later invalidations)"
+  | Prefetch_x -> "hint that the block will be written in the near future"
+  | Prefetch_s -> "hint that the block will be read in the near future"
+  | Post_store ->
+      "write the block back and push read-only copies to the nodes that \
+       previously held it (KSR-1-style post-store; extension)"

@@ -1,0 +1,28 @@
+(** The five CICO annotations and their roles (Section 1, Section 2.1).
+
+    This module documents the model-level meaning of each annotation and
+    provides the small amount of shared vocabulary used by the cost model
+    and the reports. The syntactic representation lives in {!Lang.Ast}. *)
+
+type t = Lang.Ast.annot_kind =
+  | Check_out_x
+      (** request exclusive (writable) access to a cache block *)
+  | Check_out_s  (** request shared (read-only) access *)
+  | Check_in  (** relinquish access: flush the block, release the
+                  directory entry *)
+  | Prefetch_x  (** hint: the block will be written soon *)
+  | Prefetch_s  (** hint: the block will be read soon *)
+  | Post_store
+      (** extension: the KSR-1 post-store the paper's introduction
+          compares to check-in — push read-only copies to past holders *)
+
+val name : t -> string
+val of_name : string -> t option
+val all : t list
+(** The paper's five annotations plus the [Post_store] extension. *)
+
+val is_check_out : t -> bool
+val is_prefetch : t -> bool
+
+val describe : t -> string
+(** One-line description of the annotation's role in the CICO model. *)

@@ -1,0 +1,70 @@
+type jacobi_params = { n : int; p : int; b : int; t : int }
+
+let check_jacobi { n; p; b; t } =
+  if n <= 0 || p <= 0 || b <= 0 || t <= 0 then
+    invalid_arg "Cost_model: Jacobi parameters must be positive";
+  if n mod p <> 0 then
+    invalid_arg "Cost_model: N must be a multiple of P"
+
+let jacobi_boundary_blocks_per_step jp =
+  check_jacobi jp;
+  let n = float_of_int jp.n
+  and p = float_of_int jp.p
+  and b = float_of_int jp.b in
+  2.0 *. n *. p *. (1.0 +. b) /. b
+
+let jacobi_matrix_blocks jp =
+  check_jacobi jp;
+  let n = float_of_int jp.n and b = float_of_int jp.b in
+  n *. n /. b
+
+let jacobi_blocks_cache_fits jp =
+  check_jacobi jp;
+  (jacobi_boundary_blocks_per_step jp *. float_of_int jp.t)
+  +. jacobi_matrix_blocks jp
+
+let jacobi_blocks_column_fits jp =
+  check_jacobi jp;
+  (jacobi_boundary_blocks_per_step jp +. jacobi_matrix_blocks jp)
+  *. float_of_int jp.t
+
+let jacobi_per_processor_column_checkouts jp ~cache_fits =
+  check_jacobi jp;
+  let n = float_of_int jp.n
+  and p = float_of_int jp.p
+  and b = float_of_int jp.b
+  and t = float_of_int jp.t in
+  if cache_fits then n /. (b *. p) else n *. t /. (b *. p)
+
+type matmul_params = { mm_n : int; mm_p : int }
+
+let check_matmul { mm_n; mm_p } =
+  if mm_n <= 0 || mm_p <= 0 then
+    invalid_arg "Cost_model: MatMul parameters must be positive";
+  if mm_n mod mm_p <> 0 then
+    invalid_arg "Cost_model: N must be a multiple of P"
+
+let matmul_c_checkouts_original mp =
+  check_matmul mp;
+  let n = float_of_int mp.mm_n in
+  n *. n *. n
+
+let matmul_c_checkouts_restructured mp =
+  check_matmul mp;
+  let n = float_of_int mp.mm_n and p = float_of_int mp.mm_p in
+  n *. n *. p /. 2.0
+
+let matmul_c_raced_checkouts_restructured mp =
+  check_matmul mp;
+  let n = float_of_int mp.mm_n and p = float_of_int mp.mm_p in
+  n *. n *. p /. 4.0
+
+let communication_cycles ~costs ~check_out_blocks ~check_in_blocks
+    ~upgrades_avoided =
+  let open Memsys.Network in
+  (check_out_blocks * (costs.check_out_overhead + costs.miss_2hop))
+  + (check_in_blocks * costs.check_in_cost)
+  - (upgrades_avoided * costs.upgrade)
+
+let measured_checkouts (s : Memsys.Stats.t) =
+  s.Memsys.Stats.check_outs_x + s.Memsys.Stats.check_outs_s

@@ -1,0 +1,64 @@
+(** The CICO cost model (Section 2).
+
+    The model attributes a program's shared-memory communication cost to
+    its check-out and check-in annotations: each checked-out cache block is
+    one unit of communication, and the closed-form expressions below are
+    the paper's worked Jacobi (Section 2.1) and matrix-multiply
+    (Section 5) examples. [communication_cycles] converts block counts
+    into cycles using a {!Memsys.Network.costs} table, which is how the
+    model "attributes costs to these annotations". *)
+
+type jacobi_params = {
+  n : int;  (** matrix is n x n *)
+  p : int;  (** processor grid is p x p (P² processors) *)
+  b : int;  (** matrix elements per cache block *)
+  t : int;  (** number of time steps *)
+}
+
+val jacobi_blocks_cache_fits : jacobi_params -> float
+(** Total blocks checked out by all processors when each processor's
+    sub-matrix fits in its cache: [2NPT(1+b)/b + N²/b]. *)
+
+val jacobi_blocks_column_fits : jacobi_params -> float
+(** Total when only individual columns fit: [(2NP(1+b)/b + N²/b) · T]. *)
+
+val jacobi_boundary_blocks_per_step : jacobi_params -> float
+(** Blocks checked out per time step for boundary rows and columns by all
+    processors: [2NP(1+b)/b]. *)
+
+val jacobi_matrix_blocks : jacobi_params -> float
+(** Blocks for the matrix itself: [N²/b]. *)
+
+val jacobi_per_processor_column_checkouts :
+  jacobi_params -> cache_fits:bool -> float
+(** Per-processor check-outs per matrix column: [N/(bP)] when the block
+    fits in cache, [NT/(bP)] otherwise — the comparison that closes
+    Section 2.1. *)
+
+type matmul_params = {
+  mm_n : int;  (** matrices are n x n *)
+  mm_p : int;  (** p = sqrt(number of processors) *)
+}
+
+val matmul_c_checkouts_original : matmul_params -> float
+(** Check-outs of result-matrix elements in the Section 4.4 algorithm:
+    [N³] (every inner-loop iteration checks C out and back in). *)
+
+val matmul_c_checkouts_restructured : matmul_params -> float
+(** After the Section 5 restructuring: [N²P/2]. *)
+
+val matmul_c_raced_checkouts_restructured : matmul_params -> float
+(** Of those, the lock-protected racy ones: [N²P/4]. *)
+
+val communication_cycles :
+  costs:Memsys.Network.costs ->
+  check_out_blocks:int -> check_in_blocks:int -> upgrades_avoided:int ->
+  int
+(** Cycle-level cost the model attributes to a given annotation count:
+    check-outs pay a 2-hop fetch, check-ins pay the flush, and each
+    avoided upgrade credits the write-fault cost. May be negative when the
+    annotations save more than they cost. *)
+
+val measured_checkouts : Memsys.Stats.t -> int
+(** Explicit check-outs (X + S) a simulation actually performed —
+    comparable against the closed forms above. *)

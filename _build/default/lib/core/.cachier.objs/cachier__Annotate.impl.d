@@ -1,0 +1,1 @@
+lib/core/annotate.ml: Epoch_info Lang List Placement Report Wwt

@@ -1,0 +1,1 @@
+lib/core/annotate.mli: Epoch_info Lang Placement Report Trace Wwt

@@ -1,0 +1,1 @@
+lib/core/drfs.ml: Hashtbl List Memsys Option Trace

@@ -1,0 +1,1 @@
+lib/core/epoch_info.ml: Array Drfs Trace

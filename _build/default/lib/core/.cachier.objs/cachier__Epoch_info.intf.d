@@ -1,0 +1,1 @@
+lib/core/epoch_info.mli: Drfs Trace

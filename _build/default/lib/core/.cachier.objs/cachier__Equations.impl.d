@@ -1,0 +1,1 @@
+lib/core/equations.ml: Array Drfs Epoch_info Trace

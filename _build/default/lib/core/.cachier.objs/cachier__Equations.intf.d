@@ -1,0 +1,1 @@
+lib/core/equations.mli: Epoch_info Trace

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Array Drfs Epoch_info Equations Format Fun Hashtbl Lang List Option Printf String Trace

@@ -1,0 +1,1 @@
+lib/core/explain.mli: Epoch_info Equations Format Lang Trace

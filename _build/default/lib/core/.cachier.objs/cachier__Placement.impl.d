@@ -1,0 +1,1 @@
+lib/core/placement.ml: Array Ast Drfs Epoch_info Equations Hashtbl Label Lang List Loops Memsys Option Presentation Pretty Printf Sema String Trace Value Wwt

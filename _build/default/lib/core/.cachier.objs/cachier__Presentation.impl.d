@@ -1,0 +1,1 @@
+lib/core/presentation.ml: Array Ast Label Lang List Pretty Trace Value

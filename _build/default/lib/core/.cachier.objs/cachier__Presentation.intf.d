@@ -1,0 +1,1 @@
+lib/core/presentation.mli: Lang Trace

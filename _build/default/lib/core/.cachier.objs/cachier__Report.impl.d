@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Drfs Epoch_info Format Hashtbl Lang List Presentation String Trace

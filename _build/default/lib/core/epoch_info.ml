@@ -1,0 +1,61 @@
+module Iset = Trace.Epoch.Iset
+
+type node_sets = { sw : Iset.t; sr : Iset.t; wf : Iset.t }
+
+let empty_sets = { sw = Iset.empty; sr = Iset.empty; wf = Iset.empty }
+
+let s_of ns = Iset.union ns.sw ns.sr
+
+type t = {
+  nodes : int;
+  block_size : int;
+  epochs : Trace.Epoch.t array;
+  sets : node_sets array array;
+  drfs : Drfs.t array;
+  labels : (string * int * int) list;
+}
+
+let sets_of_epoch (e : Trace.Epoch.t) node =
+  let nm = e.Trace.Epoch.per_node.(node) in
+  let reads = nm.Trace.Epoch.reads
+  and writes = nm.Trace.Epoch.writes
+  and faults = nm.Trace.Epoch.faults in
+  {
+    sw = Iset.union writes faults;
+    sr = Iset.diff reads faults;
+    wf = faults;
+  }
+
+let build ~nodes ~block_size records =
+  let epochs, labels = Trace.Epoch.split ~nodes records in
+  let epochs = Array.of_list epochs in
+  let sets =
+    Array.map
+      (fun e -> Array.init nodes (fun node -> sets_of_epoch e node))
+      epochs
+  in
+  let drfs = Array.map (fun e -> Drfs.analyze ~block_size e) epochs in
+  { nodes; block_size; epochs; sets; drfs; labels }
+
+let n_epochs t = Array.length t.epochs
+
+let sets_at t ~epoch ~node =
+  if epoch < 0 || epoch >= Array.length t.sets then empty_sets
+  else t.sets.(epoch).(node)
+
+let sw_any_node t ~epoch =
+  if epoch < 0 || epoch >= Array.length t.sets then Iset.empty
+  else
+    Array.fold_left
+      (fun acc ns -> Iset.union acc ns.sw)
+      Iset.empty t.sets.(epoch)
+
+let sw_any_node_except t ~epoch ~node =
+  if epoch < 0 || epoch >= Array.length t.sets then Iset.empty
+  else begin
+    let acc = ref Iset.empty in
+    Array.iteri
+      (fun m ns -> if m <> node then acc := Iset.union !acc ns.sw)
+      t.sets.(epoch);
+    !acc
+  end

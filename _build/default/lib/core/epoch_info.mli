@@ -1,0 +1,46 @@
+(** Assimilation of trace information (Section 4, phase one).
+
+    For each epoch and node the paper derives:
+    - [SWᵢ] = shared write misses ∪ shared write faults,
+    - [SRᵢ] = shared read misses − shared write faults
+      (a location that was read then written contributes only to [SW]),
+    - [Sᵢ]  = SWᵢ ∪ SRᵢ,
+
+    plus the per-epoch DRFS analysis. *)
+
+module Iset = Trace.Epoch.Iset
+
+type node_sets = {
+  sw : Iset.t;  (** SWᵢ for this node *)
+  sr : Iset.t;  (** SRᵢ for this node *)
+  wf : Iset.t;  (** raw shared write faults (used by Performance CICO) *)
+}
+
+val s_of : node_sets -> Iset.t
+(** [Sᵢ = SWᵢ ∪ SRᵢ]. *)
+
+type t = {
+  nodes : int;
+  block_size : int;
+  epochs : Trace.Epoch.t array;
+  sets : node_sets array array;  (** [sets.(epoch).(node)] *)
+  drfs : Drfs.t array;  (** per epoch *)
+  labels : (string * int * int) list;  (** labelled shared regions *)
+}
+
+val build : nodes:int -> block_size:int -> Trace.Event.record list -> t
+(** Segment the trace into epochs and compute every per-epoch set. *)
+
+val n_epochs : t -> int
+
+val sets_at : t -> epoch:int -> node:int -> node_sets
+(** Out-of-range epochs yield empty sets (used for i-1 and i+1 at the
+    trace boundaries). *)
+
+val sw_any_node : t -> epoch:int -> Iset.t
+(** Union of SWᵢ over all nodes ("written by some processor"). *)
+
+val sw_any_node_except : t -> epoch:int -> node:int -> Iset.t
+(** Union of SWᵢ over every node other than [node] ("written by some
+    {e other} processor") — used by the Performance check-in rule so a
+    node never flushes data only it will write next epoch. *)

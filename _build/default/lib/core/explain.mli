@@ -1,0 +1,43 @@
+(** Explain where each annotation came from.
+
+    For every epoch and node, the Section 4.1 equations are re-derived
+    term by term so a user can see {e why} Cachier checked something out
+    or in: a fresh write, a read-before-write fault, a hand-off to next
+    epoch's writer, or race/false-sharing churn. The unions of the terms
+    are asserted (in the tests) to equal {!Equations.for_epoch}'s sets. *)
+
+type term = {
+  label : string;  (** e.g. "co_x: read-before-write faults" *)
+  per_array : (string * int) list;
+      (** labelled array -> number of addresses the term contributes,
+          only non-zero entries, sorted by count descending *)
+}
+
+type node_explanation = {
+  node : int;
+  terms : term list;  (** only terms contributing at least one address *)
+}
+
+type epoch_explanation = {
+  eindex : int;
+  racy_arrays : string list;  (** arrays with a data race this epoch *)
+  false_shared_arrays : string list;
+  nodes : node_explanation list;  (** only nodes with contributions *)
+}
+
+type t = {
+  mode : Equations.mode;
+  epochs : epoch_explanation list;
+}
+
+val build : mode:Equations.mode -> layout:Lang.Label.t -> Epoch_info.t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val term_sets :
+  Equations.mode -> Epoch_info.t -> epoch:int -> node:int ->
+  (string * Trace.Epoch.Iset.t) list
+(** The raw labelled term sets (exposed so tests can check that their
+    union per annotation kind equals the equation output). Labels are
+    prefixed ["co_x:"], ["co_s:"] or ["ci:"]. *)

@@ -1,0 +1,28 @@
+(** Race and false-sharing reporting (Sections 1, 4.3).
+
+    Besides inserting annotations, Cachier flags potential data races (so
+    the programmer can add locks) and false sharing (so the programmer can
+    pad data structures). Each item names the array, the element ranges
+    involved, the epochs in which the event occurred, and the statements
+    (pcs) that touched the locations. *)
+
+type kind = Data_race | False_sharing
+
+type item = {
+  kind : kind;
+  arr : string;  (** labelled array; ["<unlabelled>"] if outside any *)
+  ranges : (int * int) list;  (** element ranges within the array *)
+  epochs : int list;  (** dynamic epoch indices *)
+  pcs : int list;  (** statement ids of the involved accesses *)
+}
+
+type t = { items : item list }
+
+val build : layout:Lang.Label.t -> Epoch_info.t -> t
+
+val is_empty : t -> bool
+val races : t -> item list
+val false_sharing : t -> item list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

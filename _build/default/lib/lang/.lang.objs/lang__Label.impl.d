@@ -1,0 +1,1 @@
+lib/lang/label.ml: Array List Printf Sema

@@ -1,0 +1,1 @@
+lib/lang/label.mli: Sema

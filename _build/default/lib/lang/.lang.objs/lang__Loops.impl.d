@@ -1,0 +1,1 @@
+lib/lang/loops.ml: Ast List

@@ -1,0 +1,1 @@
+lib/lang/pretty.ml: Array Ast Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/lang/sema.ml: Ast Float Format Hashtbl List Value

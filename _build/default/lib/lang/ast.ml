@@ -1,0 +1,192 @@
+(* Abstract syntax of the mini shared-memory SPMD language.
+
+   Programs are SPMD: every node runs [main] with the builtin [pid]
+   distinguishing nodes. Shared arrays live in a flat shared address space;
+   private arrays and scalars are per-node. Barriers delimit epochs. CICO
+   annotations are statements that never affect semantics.
+
+   Every statement carries a unique [sid] used as the "program counter" in
+   traces and as the anchor for annotation placement. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+
+type unop = Neg | Not
+
+type expr =
+  | Eint of int
+  | Efloat of float
+  | Evar of string
+  | Eindex of string * expr  (* A[e] *)
+  | Ebinop of binop * expr * expr
+  | Eunop of unop * expr
+  | Ecall of string * expr list  (* intrinsic or user function *)
+
+type annot_kind =
+  | Check_out_x
+  | Check_out_s
+  | Check_in
+  | Prefetch_x
+  | Prefetch_s
+  | Post_store
+      (* extension: the KSR-1 post-store of the paper's introduction *)
+
+(* An element range [arr[lo .. hi]], both bounds inclusive. *)
+type range = { arr : string; lo : expr; hi : expr }
+
+type lvalue = Lvar of string | Lindex of string * expr
+
+type stmt = { sid : int; node : stmt_kind }
+
+and stmt_kind =
+  | Sassign of lvalue * expr
+  | Sif of expr * block * block
+  | Sfor of for_loop
+  | Swhile of expr * block
+  | Sbarrier
+  | Scall of string * expr list
+  | Sreturn of expr option
+  | Slock of expr
+  | Sunlock of expr
+  | Sannot of annot_kind * range
+  | Sannot_table of annot_table
+  | Sprint of expr list
+
+and for_loop = {
+  var : string;
+  from_ : expr;
+  to_ : expr;  (* inclusive upper bound *)
+  step : expr;
+  body : block;
+}
+
+(* Placement artifact: a per-pid set of concrete element ranges for one
+   array, produced by the annotator when no affine form exists. *)
+and annot_table = {
+  akind : annot_kind;
+  aarr : string;
+  aranges : (int * int) list array;  (* indexed by pid *)
+}
+
+and block = stmt list
+
+type decl =
+  | Dshared of string * expr  (* element count *)
+  | Dprivate of string * expr
+  | Dconst of string * expr
+
+type proc = { pname : string; params : string list; body : block }
+
+type program = { decls : decl list; procs : proc list }
+
+let annot_kind_name = function
+  | Check_out_x -> "check_out_x"
+  | Check_out_s -> "check_out_s"
+  | Check_in -> "check_in"
+  | Prefetch_x -> "prefetch_x"
+  | Prefetch_s -> "prefetch_s"
+  | Post_store -> "post_store"
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+
+let find_proc program name =
+  List.find_opt (fun p -> p.pname = name) program.procs
+
+(* Iterate over every statement (pre-order, recursing into nested blocks
+   across all procedures). *)
+let iter_stmts f program =
+  let rec stmt s =
+    f s;
+    match s.node with
+    | Sif (_, b1, b2) ->
+        List.iter stmt b1;
+        List.iter stmt b2
+    | Sfor { body; _ } -> List.iter stmt body
+    | Swhile (_, body) -> List.iter stmt body
+    | Sassign _ | Sbarrier | Scall _ | Sreturn _ | Slock _ | Sunlock _
+    | Sannot _ | Sannot_table _ | Sprint _ ->
+        ()
+  in
+  List.iter (fun p -> List.iter stmt p.body) program.procs
+
+let fold_stmts f acc program =
+  let acc = ref acc in
+  iter_stmts (fun s -> acc := f !acc s) program;
+  !acc
+
+let max_sid program = fold_stmts (fun m s -> max m s.sid) (-1) program
+
+(* Rewrite every block in the program bottom-up. [f] receives each block
+   after its nested blocks were rewritten and returns the replacement. *)
+let map_blocks f program =
+  let rec stmt s =
+    let node =
+      match s.node with
+      | Sif (e, b1, b2) -> Sif (e, blk b1, blk b2)
+      | Sfor fl -> Sfor { fl with body = blk fl.body }
+      | Swhile (e, b) -> Swhile (e, blk b)
+      | (Sassign _ | Sbarrier | Scall _ | Sreturn _ | Slock _ | Sunlock _
+        | Sannot _ | Sannot_table _ | Sprint _) as n ->
+          n
+    in
+    { s with node }
+  and blk b = f (List.map stmt b) in
+  { program with procs = List.map (fun p -> { p with body = blk p.body }) program.procs }
+
+(* Give fresh consecutive sids to every statement (used after inserting
+   annotation statements, which are created with sid -1). *)
+let renumber program =
+  let next = ref 0 in
+  let rec stmt s =
+    let sid = !next in
+    incr next;
+    let node =
+      match s.node with
+      | Sif (e, b1, b2) -> Sif (e, List.map stmt b1, List.map stmt b2)
+      | Sfor fl -> Sfor { fl with body = List.map stmt fl.body }
+      | Swhile (e, b) -> Swhile (e, List.map stmt b)
+      | (Sassign _ | Sbarrier | Scall _ | Sreturn _ | Slock _ | Sunlock _
+        | Sannot _ | Sannot_table _ | Sprint _) as n ->
+          n
+    in
+    { sid; node }
+  in
+  {
+    program with
+    procs = List.map (fun p -> { p with body = List.map stmt p.body }) program.procs;
+  }
+
+let is_annotation s =
+  match s.node with Sannot _ | Sannot_table _ -> true | _ -> false
+
+(* Remove every CICO annotation (gives back the unannotated program). *)
+let strip_annotations program =
+  map_blocks (fun b -> List.filter (fun s -> not (is_annotation s)) b) program
+
+let count_annotations program =
+  fold_stmts (fun n s -> if is_annotation s then n + 1 else n) 0 program
+
+(* Structural equality ignoring statement ids (programs that print the
+   same are equal under this relation). *)
+let equal_modulo_sids p1 p2 =
+  let rec strip_stmt s =
+    let node =
+      match s.node with
+      | Sif (e, b1, b2) -> Sif (e, List.map strip_stmt b1, List.map strip_stmt b2)
+      | Sfor fl -> Sfor { fl with body = List.map strip_stmt fl.body }
+      | Swhile (e, b) -> Swhile (e, List.map strip_stmt b)
+      | (Sassign _ | Sbarrier | Scall _ | Sreturn _ | Slock _ | Sunlock _
+        | Sannot _ | Sannot_table _ | Sprint _) as n ->
+          n
+    in
+    { sid = 0; node }
+  in
+  let strip p =
+    { p with procs = List.map (fun pr -> { pr with body = List.map strip_stmt pr.body }) p.procs }
+  in
+  strip p1 = strip p2

@@ -1,0 +1,35 @@
+let i n = Ast.Eint n
+let f x = Ast.Efloat x
+let v name = Ast.Evar name
+let idx name e = Ast.Eindex (name, e)
+let ( + ) a b = Ast.Ebinop (Ast.Add, a, b)
+let ( - ) a b = Ast.Ebinop (Ast.Sub, a, b)
+let ( * ) a b = Ast.Ebinop (Ast.Mul, a, b)
+let ( / ) a b = Ast.Ebinop (Ast.Div, a, b)
+let ( % ) a b = Ast.Ebinop (Ast.Mod, a, b)
+let ( < ) a b = Ast.Ebinop (Ast.Lt, a, b)
+let ( <= ) a b = Ast.Ebinop (Ast.Le, a, b)
+let ( == ) a b = Ast.Ebinop (Ast.Eq, a, b)
+let call name args = Ast.Ecall (name, args)
+let pid = Ast.Evar "pid"
+let nprocs = Ast.Evar "nprocs"
+
+let stmt node = { Ast.sid = -1; node }
+let assign name e = stmt (Ast.Sassign (Ast.Lvar name, e))
+let store arr index value = stmt (Ast.Sassign (Ast.Lindex (arr, index), value))
+
+let for_ var from_ to_ ?(step = Ast.Eint 1) body =
+  stmt (Ast.Sfor { var; from_; to_; step; body })
+
+let if_ cond then_ ?(else_ = []) () = stmt (Ast.Sif (cond, then_, else_))
+let barrier = stmt Ast.Sbarrier
+let annot kind arr ~lo ~hi = stmt (Ast.Sannot (kind, { Ast.arr; lo; hi }))
+
+let annot_table kind arr ranges =
+  stmt (Ast.Sannot_table { akind = kind; aarr = arr; aranges = ranges })
+
+let print args = stmt (Ast.Sprint args)
+
+let proc name ?(params = []) body = { Ast.pname = name; params; body }
+
+let program ~decls ~procs = Ast.renumber { Ast.decls; procs }

@@ -1,0 +1,37 @@
+(** Combinators for building AST fragments programmatically.
+
+    All statements are created with [sid = -1]; run {!Ast.renumber} on the
+    finished program before interpreting it. *)
+
+val i : int -> Ast.expr
+val f : float -> Ast.expr
+val v : string -> Ast.expr
+val idx : string -> Ast.expr -> Ast.expr
+val ( + ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( - ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( * ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( / ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( % ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( < ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( <= ) : Ast.expr -> Ast.expr -> Ast.expr
+val ( == ) : Ast.expr -> Ast.expr -> Ast.expr
+val call : string -> Ast.expr list -> Ast.expr
+val pid : Ast.expr
+val nprocs : Ast.expr
+
+val stmt : Ast.stmt_kind -> Ast.stmt
+val assign : string -> Ast.expr -> Ast.stmt
+val store : string -> Ast.expr -> Ast.expr -> Ast.stmt
+(** [store arr idx value] is [arr\[idx\] = value;]. *)
+
+val for_ : string -> Ast.expr -> Ast.expr -> ?step:Ast.expr -> Ast.block -> Ast.stmt
+val if_ : Ast.expr -> Ast.block -> ?else_:Ast.block -> unit -> Ast.stmt
+val barrier : Ast.stmt
+val annot : Ast.annot_kind -> string -> lo:Ast.expr -> hi:Ast.expr -> Ast.stmt
+val annot_table :
+  Ast.annot_kind -> string -> (int * int) list array -> Ast.stmt
+val print : Ast.expr list -> Ast.stmt
+
+val proc : string -> ?params:string list -> Ast.block -> Ast.proc
+val program : decls:Ast.decl list -> procs:Ast.proc list -> Ast.program
+(** Assembles and renumbers the program. *)

@@ -1,0 +1,65 @@
+type t = {
+  succs : (int, int list) Hashtbl.t;
+  preds : (int, int list) Hashtbl.t;
+  all : int list;
+}
+
+let entry = -1
+let exit_node = -2
+
+let add_edge succs preds a b =
+  Hashtbl.replace succs a (b :: (try Hashtbl.find succs a with Not_found -> []));
+  Hashtbl.replace preds b (a :: (try Hashtbl.find preds b with Not_found -> []))
+
+let build (proc : Ast.proc) =
+  let succs = Hashtbl.create 64 and preds = Hashtbl.create 64 in
+  let all = ref [ entry; exit_node ] in
+  let edge = add_edge succs preds in
+  (* [wire block ~succ] wires the block so that falling off its end goes to
+     [succ]; returns the id of the block's first node ([succ] if empty). *)
+  let rec wire block ~succ =
+    match block with
+    | [] -> succ
+    | s :: rest ->
+        let next = wire rest ~succ in
+        wire_stmt s ~next;
+        s.Ast.sid
+  and wire_stmt (s : Ast.stmt) ~next =
+    all := s.Ast.sid :: !all;
+    match s.Ast.node with
+    | Ast.Sif (_, b1, b2) ->
+        let t1 = wire b1 ~succ:next in
+        let t2 = wire b2 ~succ:next in
+        edge s.Ast.sid t1;
+        if t2 <> t1 || b2 = [] then edge s.Ast.sid t2
+    | Ast.Sfor { body; _ } | Ast.Swhile (_, body) ->
+        let first = wire body ~succ:s.Ast.sid in
+        edge s.Ast.sid first;
+        edge s.Ast.sid next
+    | Ast.Sreturn _ -> edge s.Ast.sid exit_node
+    | Ast.Sassign _ | Ast.Sbarrier | Ast.Scall _ | Ast.Slock _ | Ast.Sunlock _
+    | Ast.Sannot _ | Ast.Sannot_table _ | Ast.Sprint _ ->
+        edge s.Ast.sid next
+  in
+  let first = wire proc.Ast.body ~succ:exit_node in
+  edge entry first;
+  { succs; preds; all = List.sort_uniq compare !all }
+
+let successors t n = try Hashtbl.find t.succs n with Not_found -> []
+let predecessors t n = try Hashtbl.find t.preds n with Not_found -> []
+let nodes t = t.all
+
+let reachable t =
+  let seen = Hashtbl.create 64 in
+  let rec visit n =
+    if not (Hashtbl.mem seen n) then begin
+      Hashtbl.add seen n ();
+      List.iter visit (successors t n)
+    end
+  in
+  visit entry;
+  List.filter (Hashtbl.mem seen) t.all
+
+let unreachable_sids t =
+  let reach = reachable t in
+  List.filter (fun n -> n >= 0 && not (List.mem n reach)) t.all

@@ -1,0 +1,28 @@
+(** Control-flow graph of one procedure, at statement granularity.
+
+    Nodes are statement ids plus two virtual nodes, [entry] and [exit].
+    Structured control flow makes construction syntax-directed: an [if]
+    branches to both arms, a loop header branches to its body and to the
+    loop exit, the last body statement branches back to the header, and a
+    [return] jumps straight to [exit]. *)
+
+type t
+
+val entry : int
+(** Virtual entry node id (-1). *)
+
+val exit_node : int
+(** Virtual exit node id (-2). *)
+
+val build : Ast.proc -> t
+
+val successors : t -> int -> int list
+val predecessors : t -> int -> int list
+val nodes : t -> int list
+(** All statement ids plus [entry] and [exit_node]. *)
+
+val reachable : t -> int list
+(** Nodes reachable from [entry] (always includes [entry]). *)
+
+val unreachable_sids : t -> int list
+(** Statement ids that can never execute (e.g. code after [return]). *)

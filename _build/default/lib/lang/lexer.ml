@@ -1,0 +1,139 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | AT
+  | ASSIGN
+  | DOTDOT
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | ANDAND | OROR | BANG
+  | EOF
+
+exception Error of string
+
+let error line fmt =
+  Format.kasprintf (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let emit tok = tokens := (tok, !line) :: !tokens in
+  let rec scan i =
+    if i >= n then emit EOF
+    else
+      let c = src.[i] in
+      match c with
+      | ' ' | '\t' | '\r' -> scan (i + 1)
+      | '\n' ->
+          incr line;
+          scan (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+          let rec skip j =
+            if j >= n || src.[j] = '\n' then j else skip (j + 1)
+          in
+          scan (skip (i + 2))
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+          let rec skip j =
+            if j + 1 >= n then error !line "unterminated comment"
+            else if src.[j] = '*' && src.[j + 1] = '/' then j + 2
+            else begin
+              if src.[j] = '\n' then incr line;
+              skip (j + 1)
+            end
+          in
+          scan (skip (i + 2))
+      | '(' -> emit LPAREN; scan (i + 1)
+      | ')' -> emit RPAREN; scan (i + 1)
+      | '{' -> emit LBRACE; scan (i + 1)
+      | '}' -> emit RBRACE; scan (i + 1)
+      | '[' -> emit LBRACKET; scan (i + 1)
+      | ']' -> emit RBRACKET; scan (i + 1)
+      | ',' -> emit COMMA; scan (i + 1)
+      | ';' -> emit SEMI; scan (i + 1)
+      | ':' -> emit COLON; scan (i + 1)
+      | '@' -> emit AT; scan (i + 1)
+      | '+' -> emit PLUS; scan (i + 1)
+      | '-' -> emit MINUS; scan (i + 1)
+      | '*' -> emit STAR; scan (i + 1)
+      | '/' -> emit SLASH; scan (i + 1)
+      | '%' -> emit PERCENT; scan (i + 1)
+      | '.' when i + 1 < n && src.[i + 1] = '.' ->
+          emit DOTDOT;
+          scan (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; scan (i + 2)
+      | '<' -> emit LT; scan (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; scan (i + 2)
+      | '>' -> emit GT; scan (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQ; scan (i + 2)
+      | '=' -> emit ASSIGN; scan (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE; scan (i + 2)
+      | '!' -> emit BANG; scan (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit ANDAND; scan (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit OROR; scan (i + 2)
+      | c when is_digit c ->
+          let j = ref i in
+          while !j < n && is_digit src.[!j] do incr j done;
+          (* An exponent may follow the integer digits directly ("1e-05")
+             if actual exponent digits are present. *)
+          let exponent_at k =
+            k < n
+            && (src.[k] = 'e' || src.[k] = 'E')
+            &&
+            let k' =
+              if k + 1 < n && (src.[k + 1] = '+' || src.[k + 1] = '-') then k + 2
+              else k + 1
+            in
+            k' < n && is_digit src.[k']
+          in
+          let scan_exponent () =
+            if exponent_at !j then begin
+              incr j;
+              if !j < n && (src.[!j] = '+' || src.[!j] = '-') then incr j;
+              while !j < n && is_digit src.[!j] do incr j done
+            end
+          in
+          (* A '.' starts a fraction only if not the ".." range operator. *)
+          if !j + 1 < n && src.[!j] = '.' && src.[!j + 1] <> '.' then begin
+            incr j;
+            while !j < n && is_digit src.[!j] do incr j done;
+            scan_exponent ();
+            emit (FLOAT (float_of_string (String.sub src i (!j - i))))
+          end
+          else if exponent_at !j then begin
+            scan_exponent ();
+            emit (FLOAT (float_of_string (String.sub src i (!j - i))))
+          end
+          else emit (INT (int_of_string (String.sub src i (!j - i))));
+          scan !j
+      | c when is_ident_start c ->
+          let j = ref i in
+          while !j < n && is_ident_char src.[!j] do incr j done;
+          emit (IDENT (String.sub src i (!j - i)));
+          scan !j
+      | c -> error !line "unexpected character %C" c
+  in
+  scan 0;
+  List.rev !tokens
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | FLOAT f -> Printf.sprintf "%g" f
+  | IDENT s -> s
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | SEMI -> ";" | COLON -> ":" | AT -> "@"
+  | ASSIGN -> "=" | DOTDOT -> ".."
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQ -> "==" | NE -> "!="
+  | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | EOF -> "<eof>"

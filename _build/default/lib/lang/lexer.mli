@@ -1,0 +1,28 @@
+(** Hand-written lexer for the mini-language.
+
+    Comments are [//] to end of line and [/* ... */] (non-nesting). Tokens
+    carry the 1-based line on which they start, for error reporting. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | LPAREN | RPAREN
+  | LBRACE | RBRACE
+  | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | AT
+  | ASSIGN  (** [=] *)
+  | DOTDOT  (** [..] *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | LT | LE | GT | GE | EQ | NE
+  | ANDAND | OROR | BANG
+  | EOF
+
+exception Error of string
+(** Raised on an invalid character or unterminated comment; the message
+    includes the line number. *)
+
+val tokenize : string -> (token * int) list
+(** [tokenize src] is the token stream, ending with [(EOF, line)]. *)
+
+val token_to_string : token -> string

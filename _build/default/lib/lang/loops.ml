@@ -1,0 +1,70 @@
+type loop = {
+  header_sid : int;
+  var : string option;
+  depth : int;
+  body_sids : int list;
+}
+
+let sids_of_block block =
+  let acc = ref [] in
+  let rec stmt (s : Ast.stmt) =
+    acc := s.Ast.sid :: !acc;
+    match s.Ast.node with
+    | Ast.Sif (_, b1, b2) ->
+        List.iter stmt b1;
+        List.iter stmt b2
+    | Ast.Sfor { body; _ } | Ast.Swhile (_, body) -> List.iter stmt body
+    | Ast.Sassign _ | Ast.Sbarrier | Ast.Scall _ | Ast.Sreturn _ | Ast.Slock _
+    | Ast.Sunlock _ | Ast.Sannot _ | Ast.Sannot_table _ | Ast.Sprint _ ->
+        ()
+  in
+  List.iter stmt block;
+  List.rev !acc
+
+let of_proc (proc : Ast.proc) =
+  let loops = ref [] in
+  let rec walk_block depth block = List.iter (walk_stmt depth) block
+  and walk_stmt depth (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Sfor { var; body; _ } ->
+        loops :=
+          {
+            header_sid = s.Ast.sid;
+            var = Some var;
+            depth = depth + 1;
+            body_sids = sids_of_block body;
+          }
+          :: !loops;
+        walk_block (depth + 1) body
+    | Ast.Swhile (_, body) ->
+        loops :=
+          {
+            header_sid = s.Ast.sid;
+            var = None;
+            depth = depth + 1;
+            body_sids = sids_of_block body;
+          }
+          :: !loops;
+        walk_block (depth + 1) body
+    | Ast.Sif (_, b1, b2) ->
+        walk_block depth b1;
+        walk_block depth b2
+    | Ast.Sassign _ | Ast.Sbarrier | Ast.Scall _ | Ast.Sreturn _ | Ast.Slock _
+    | Ast.Sunlock _ | Ast.Sannot _ | Ast.Sannot_table _ | Ast.Sprint _ ->
+        ()
+  in
+  walk_block 0 proc.Ast.body;
+  List.rev !loops
+
+let of_program (program : Ast.program) =
+  List.concat_map of_proc program.Ast.procs
+
+let containing loops sid =
+  List.filter (fun l -> List.mem sid l.body_sids) loops
+  |> List.sort (fun a b -> compare a.depth b.depth)
+
+let innermost_containing loops sid =
+  match List.rev (containing loops sid) with [] -> None | l :: _ -> Some l
+
+let loop_of_header loops sid =
+  List.find_opt (fun l -> l.header_sid = sid) loops

@@ -1,0 +1,400 @@
+exception Error of string
+
+type state = {
+  toks : (Lexer.token * int) array;
+  mutable pos : int;
+  mutable next_sid : int;
+}
+
+let error st fmt =
+  let line = match st.toks.(st.pos) with _, l -> l in
+  Format.kasprintf
+    (fun s -> raise (Error (Printf.sprintf "line %d: %s" line s)))
+    fmt
+
+let peek st = fst st.toks.(st.pos)
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    error st "expected %s, found %s" what
+      (Lexer.token_to_string (peek st))
+
+let fresh_sid st =
+  let sid = st.next_sid in
+  st.next_sid <- sid + 1;
+  sid
+
+let ident st =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | t -> error st "expected identifier, found %s" (Lexer.token_to_string t)
+
+(* ---- expressions ---- *)
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let lhs = and_expr st in
+  if peek st = Lexer.OROR then begin
+    advance st;
+    Ast.Ebinop (Ast.Or, lhs, or_expr st)
+  end
+  else lhs
+
+and and_expr st =
+  let lhs = eq_expr st in
+  if peek st = Lexer.ANDAND then begin
+    advance st;
+    Ast.Ebinop (Ast.And, lhs, and_expr st)
+  end
+  else lhs
+
+and eq_expr st =
+  let lhs = rel_expr st in
+  match peek st with
+  | Lexer.EQ ->
+      advance st;
+      Ast.Ebinop (Ast.Eq, lhs, rel_expr st)
+  | Lexer.NE ->
+      advance st;
+      Ast.Ebinop (Ast.Ne, lhs, rel_expr st)
+  | _ -> lhs
+
+and rel_expr st =
+  let lhs = add_expr st in
+  match peek st with
+  | Lexer.LT -> advance st; Ast.Ebinop (Ast.Lt, lhs, add_expr st)
+  | Lexer.LE -> advance st; Ast.Ebinop (Ast.Le, lhs, add_expr st)
+  | Lexer.GT -> advance st; Ast.Ebinop (Ast.Gt, lhs, add_expr st)
+  | Lexer.GE -> advance st; Ast.Ebinop (Ast.Ge, lhs, add_expr st)
+  | _ -> lhs
+
+and add_expr st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.PLUS -> advance st; loop (Ast.Ebinop (Ast.Add, lhs, mul_expr st))
+    | Lexer.MINUS -> advance st; loop (Ast.Ebinop (Ast.Sub, lhs, mul_expr st))
+    | _ -> lhs
+  in
+  loop (mul_expr st)
+
+and mul_expr st =
+  let rec loop lhs =
+    match peek st with
+    | Lexer.STAR -> advance st; loop (Ast.Ebinop (Ast.Mul, lhs, unary st))
+    | Lexer.SLASH -> advance st; loop (Ast.Ebinop (Ast.Div, lhs, unary st))
+    | Lexer.PERCENT -> advance st; loop (Ast.Ebinop (Ast.Mod, lhs, unary st))
+    | _ -> lhs
+  in
+  loop (unary st)
+
+and unary st =
+  match peek st with
+  | Lexer.MINUS ->
+      advance st;
+      Ast.Eunop (Ast.Neg, unary st)
+  | Lexer.BANG ->
+      advance st;
+      Ast.Eunop (Ast.Not, unary st)
+  | _ -> primary st
+
+and primary st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      Ast.Eint i
+  | Lexer.FLOAT f ->
+      advance st;
+      Ast.Efloat f
+  | Lexer.LPAREN ->
+      advance st;
+      let e = expr st in
+      expect st Lexer.RPAREN ")";
+      e
+  | Lexer.IDENT name -> (
+      advance st;
+      match peek st with
+      | Lexer.LPAREN ->
+          advance st;
+          let args = arg_list st in
+          expect st Lexer.RPAREN ")";
+          Ast.Ecall (name, args)
+      | Lexer.LBRACKET ->
+          advance st;
+          let e = expr st in
+          expect st Lexer.RBRACKET "]";
+          Ast.Eindex (name, e)
+      | _ -> Ast.Evar name)
+  | t -> error st "expected expression, found %s" (Lexer.token_to_string t)
+
+and arg_list st =
+  if peek st = Lexer.RPAREN then []
+  else
+    let rec loop acc =
+      let e = expr st in
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        loop (e :: acc)
+      end
+      else List.rev (e :: acc)
+    in
+    loop []
+
+(* ---- statements ---- *)
+
+let annot_kind_of_name = function
+  | "check_out_x" -> Some Ast.Check_out_x
+  | "check_out_s" -> Some Ast.Check_out_s
+  | "check_in" -> Some Ast.Check_in
+  | "prefetch_x" -> Some Ast.Prefetch_x
+  | "prefetch_s" -> Some Ast.Prefetch_s
+  | "post_store" -> Some Ast.Post_store
+  | _ -> None
+
+let int_lit st =
+  match peek st with
+  | Lexer.INT i ->
+      advance st;
+      i
+  | Lexer.MINUS -> (
+      advance st;
+      match peek st with
+      | Lexer.INT i ->
+          advance st;
+          -i
+      | t -> error st "expected integer, found %s" (Lexer.token_to_string t))
+  | t -> error st "expected integer, found %s" (Lexer.token_to_string t)
+
+(* "@pid: lo..hi, lo..hi @pid: ..." inside the brackets of an annotation *)
+let annot_table st kind arr =
+  let rows = ref [] in
+  while peek st = Lexer.AT do
+    advance st;
+    let pid = int_lit st in
+    expect st Lexer.COLON ":";
+    let ranges = ref [] in
+    let rec more () =
+      let lo = int_lit st in
+      expect st Lexer.DOTDOT "..";
+      let hi = int_lit st in
+      ranges := (lo, hi) :: !ranges;
+      if peek st = Lexer.COMMA then begin
+        advance st;
+        more ()
+      end
+    in
+    more ();
+    rows := (pid, List.rev !ranges) :: !rows
+  done;
+  let rows = List.rev !rows in
+  let max_pid = List.fold_left (fun m (p, _) -> max m p) (-1) rows in
+  let table = Array.make (max_pid + 1) [] in
+  List.iter (fun (p, rs) -> table.(p) <- table.(p) @ rs) rows;
+  Ast.Sannot_table { akind = kind; aarr = arr; aranges = table }
+
+let rec stmt st =
+  let sid = fresh_sid st in
+  let node = stmt_kind st in
+  { Ast.sid; node }
+
+and block st =
+  expect st Lexer.LBRACE "{";
+  let rec loop acc =
+    if peek st = Lexer.RBRACE then begin
+      advance st;
+      List.rev acc
+    end
+    else loop (stmt st :: acc)
+  in
+  loop []
+
+and stmt_kind st =
+  match peek st with
+  | Lexer.IDENT "if" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let cond = expr st in
+      expect st Lexer.RPAREN ")";
+      let then_ = block st in
+      let else_ =
+        if peek st = Lexer.IDENT "else" then begin
+          advance st;
+          if peek st = Lexer.IDENT "if" then [ stmt st ] else block st
+        end
+        else []
+      in
+      Ast.Sif (cond, then_, else_)
+  | Lexer.IDENT "for" ->
+      advance st;
+      let var = ident st in
+      expect st Lexer.ASSIGN "=";
+      let from_ = expr st in
+      expect st (Lexer.IDENT "to") "to";
+      let to_ = expr st in
+      let step =
+        if peek st = Lexer.IDENT "step" then begin
+          advance st;
+          expr st
+        end
+        else Ast.Eint 1
+      in
+      let body = block st in
+      Ast.Sfor { var; from_; to_; step; body }
+  | Lexer.IDENT "while" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let cond = expr st in
+      expect st Lexer.RPAREN ")";
+      Ast.Swhile (cond, block st)
+  | Lexer.IDENT "barrier" ->
+      advance st;
+      expect st Lexer.SEMI ";";
+      Ast.Sbarrier
+  | Lexer.IDENT "return" ->
+      advance st;
+      if peek st = Lexer.SEMI then begin
+        advance st;
+        Ast.Sreturn None
+      end
+      else
+        let e = expr st in
+        expect st Lexer.SEMI ";";
+        Ast.Sreturn (Some e)
+  | Lexer.IDENT "lock" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let e = expr st in
+      expect st Lexer.RPAREN ")";
+      expect st Lexer.SEMI ";";
+      Ast.Slock e
+  | Lexer.IDENT "unlock" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let e = expr st in
+      expect st Lexer.RPAREN ")";
+      expect st Lexer.SEMI ";";
+      Ast.Sunlock e
+  | Lexer.IDENT "print" ->
+      advance st;
+      expect st Lexer.LPAREN "(";
+      let args = arg_list st in
+      expect st Lexer.RPAREN ")";
+      expect st Lexer.SEMI ";";
+      Ast.Sprint args
+  | Lexer.IDENT name when annot_kind_of_name name <> None -> (
+      let kind = Option.get (annot_kind_of_name name) in
+      advance st;
+      let arr = ident st in
+      expect st Lexer.LBRACKET "[";
+      if peek st = Lexer.AT then begin
+        let node = annot_table st kind arr in
+        expect st Lexer.RBRACKET "]";
+        expect st Lexer.SEMI ";";
+        node
+      end
+      else
+        let lo = expr st in
+        let hi =
+          if peek st = Lexer.DOTDOT then begin
+            advance st;
+            expr st
+          end
+          else lo
+        in
+        expect st Lexer.RBRACKET "]";
+        expect st Lexer.SEMI ";";
+        Ast.Sannot (kind, { Ast.arr; lo; hi }))
+  | Lexer.IDENT name -> (
+      advance st;
+      match peek st with
+      | Lexer.LPAREN ->
+          advance st;
+          let args = arg_list st in
+          expect st Lexer.RPAREN ")";
+          expect st Lexer.SEMI ";";
+          Ast.Scall (name, args)
+      | Lexer.LBRACKET ->
+          advance st;
+          let idx = expr st in
+          expect st Lexer.RBRACKET "]";
+          expect st Lexer.ASSIGN "=";
+          let rhs = expr st in
+          expect st Lexer.SEMI ";";
+          Ast.Sassign (Ast.Lindex (name, idx), rhs)
+      | Lexer.ASSIGN ->
+          advance st;
+          let rhs = expr st in
+          expect st Lexer.SEMI ";";
+          Ast.Sassign (Ast.Lvar name, rhs)
+      | t ->
+          error st "expected '(', '[' or '=' after %s, found %s" name
+            (Lexer.token_to_string t))
+  | t -> error st "expected statement, found %s" (Lexer.token_to_string t)
+
+(* ---- top level ---- *)
+
+let decl_or_proc st =
+  match peek st with
+  | Lexer.IDENT "const" ->
+      advance st;
+      let name = ident st in
+      expect st Lexer.ASSIGN "=";
+      let e = expr st in
+      expect st Lexer.SEMI ";";
+      `Decl (Ast.Dconst (name, e))
+  | Lexer.IDENT (("shared" | "private") as kw) ->
+      advance st;
+      let name = ident st in
+      expect st Lexer.LBRACKET "[";
+      let size = expr st in
+      expect st Lexer.RBRACKET "]";
+      expect st Lexer.SEMI ";";
+      `Decl
+        (if kw = "shared" then Ast.Dshared (name, size)
+         else Ast.Dprivate (name, size))
+  | Lexer.IDENT "proc" ->
+      advance st;
+      let name = ident st in
+      expect st Lexer.LPAREN "(";
+      let params =
+        if peek st = Lexer.RPAREN then []
+        else
+          let rec loop acc =
+            let p = ident st in
+            if peek st = Lexer.COMMA then begin
+              advance st;
+              loop (p :: acc)
+            end
+            else List.rev (p :: acc)
+          in
+          loop []
+      in
+      expect st Lexer.RPAREN ")";
+      let body = block st in
+      `Proc { Ast.pname = name; params; body }
+  | t ->
+      error st "expected 'const', 'shared', 'private' or 'proc', found %s"
+        (Lexer.token_to_string t)
+
+let parse src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0; next_sid = 0 } in
+  let decls = ref [] and procs = ref [] in
+  while peek st <> Lexer.EOF do
+    match decl_or_proc st with
+    | `Decl d -> decls := d :: !decls
+    | `Proc p -> procs := p :: !procs
+  done;
+  { Ast.decls = List.rev !decls; procs = List.rev !procs }
+
+let parse_expr src =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let st = { toks; pos = 0; next_sid = 0 } in
+  let e = expr st in
+  expect st Lexer.EOF "end of input";
+  e

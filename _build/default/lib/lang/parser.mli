@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the mini-language.
+
+    Statement ids ([sid]) are assigned in textual order starting at 0.
+    See the grammar summary in the repository README; annotation statements
+    accept either an expression range ([check_in A\[lo .. hi\];]) or a
+    per-pid table ([check_in A\[\@0: 1..3, 7..9 \@1: 4..6\];]) so that
+    pretty-printed annotated programs parse back. *)
+
+exception Error of string
+
+val parse : string -> Ast.program
+(** [parse src] parses a whole program. @raise Error with a line number on
+    syntax errors. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (used by tests and examples). *)

@@ -1,0 +1,177 @@
+type assoc = Left | Right | Non
+
+let op_info = function
+  | Ast.Or -> (1, Right)
+  | Ast.And -> (2, Right)
+  | Ast.Eq | Ast.Ne -> (3, Non)
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> (4, Non)
+  | Ast.Add | Ast.Sub -> (5, Left)
+  | Ast.Mul | Ast.Div | Ast.Mod -> (6, Left)
+
+let float_literal f =
+  (* Print floats so they re-lex as FLOAT (always keep a decimal point). *)
+  let s = Printf.sprintf "%.12g" f in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+  then s
+  else s ^ ".0"
+
+let rec expr_prec buf min_prec e =
+  let add = Buffer.add_string buf in
+  match e with
+  | Ast.Eint i ->
+      if i < 0 then add (Printf.sprintf "(%d)" i) else add (string_of_int i)
+  | Ast.Efloat f ->
+      if f < 0.0 then add (Printf.sprintf "(%s)" (float_literal f))
+      else add (float_literal f)
+  | Ast.Evar name -> add name
+  | Ast.Eindex (name, e) ->
+      add name;
+      add "[";
+      expr_prec buf 0 e;
+      add "]"
+  | Ast.Ecall (name, args) ->
+      add name;
+      add "(";
+      List.iteri
+        (fun k a ->
+          if k > 0 then add ", ";
+          expr_prec buf 0 a)
+        args;
+      add ")"
+  | Ast.Eunop (op, a) ->
+      add (match op with Ast.Neg -> "-" | Ast.Not -> "!");
+      expr_prec buf 7 a
+  | Ast.Ebinop (op, l, r) ->
+      let prec, assoc = op_info op in
+      let need_parens = prec < min_prec in
+      if need_parens then add "(";
+      expr_prec buf (if assoc = Left then prec else prec + 1) l;
+      add " ";
+      add (Ast.binop_name op);
+      add " ";
+      expr_prec buf (if assoc = Right then prec else prec + 1) r;
+      if need_parens then add ")"
+
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  expr_prec buf 0 e;
+  Buffer.contents buf
+
+let range_to_string { Ast.arr; lo; hi } =
+  if lo = hi then Printf.sprintf "%s[%s]" arr (expr_to_string lo)
+  else Printf.sprintf "%s[%s .. %s]" arr (expr_to_string lo) (expr_to_string hi)
+
+let table_to_string { Ast.akind; aarr; aranges } =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Ast.annot_kind_name akind);
+  Buffer.add_string buf (" " ^ aarr ^ "[");
+  Array.iteri
+    (fun pid ranges ->
+      if ranges <> [] then begin
+        Buffer.add_string buf (Printf.sprintf "@%d: " pid);
+        List.iteri
+          (fun k (lo, hi) ->
+            if k > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf (Printf.sprintf "%d..%d" lo hi))
+          ranges;
+        Buffer.add_string buf " "
+      end)
+    aranges;
+  (* A table with no ranges at all still needs one row to re-parse. *)
+  if Array.for_all (fun r -> r = []) aranges then
+    Buffer.add_string buf "@0: 0..-1 ";
+  Buffer.add_string buf "];";
+  Buffer.contents buf
+
+let rec stmt_lines ~note ~indent (s : Ast.stmt) =
+  let pad = String.make (indent * 2) ' ' in
+  let line txt = pad ^ txt in
+  let comment =
+    match note s.Ast.sid with
+    | Some msg -> [ line (Printf.sprintf "/*** %s ***/" msg) ]
+    | None -> []
+  in
+  comment
+  @
+  match s.Ast.node with
+  | Ast.Sassign (Ast.Lvar name, e) ->
+      [ line (Printf.sprintf "%s = %s;" name (expr_to_string e)) ]
+  | Ast.Sassign (Ast.Lindex (name, idx), e) ->
+      [
+        line
+          (Printf.sprintf "%s[%s] = %s;" name (expr_to_string idx)
+             (expr_to_string e));
+      ]
+  | Ast.Sif (cond, b1, b2) ->
+      let head = line (Printf.sprintf "if (%s) {" (expr_to_string cond)) in
+      let mid = block_lines ~note ~indent:(indent + 1) b1 in
+      if b2 = [] then (head :: mid) @ [ line "}" ]
+      else
+        (head :: mid)
+        @ [ line "} else {" ]
+        @ block_lines ~note ~indent:(indent + 1) b2
+        @ [ line "}" ]
+  | Ast.Sfor { var; from_; to_; step; body } ->
+      let step_txt =
+        match step with
+        | Ast.Eint 1 -> ""
+        | e -> " step " ^ expr_to_string e
+      in
+      let head =
+        line
+          (Printf.sprintf "for %s = %s to %s%s {" var (expr_to_string from_)
+             (expr_to_string to_) step_txt)
+      in
+      (head :: block_lines ~note ~indent:(indent + 1) body) @ [ line "}" ]
+  | Ast.Swhile (cond, body) ->
+      let head = line (Printf.sprintf "while (%s) {" (expr_to_string cond)) in
+      (head :: block_lines ~note ~indent:(indent + 1) body) @ [ line "}" ]
+  | Ast.Sbarrier -> [ line "barrier;" ]
+  | Ast.Scall (name, args) ->
+      [
+        line
+          (Printf.sprintf "%s(%s);" name
+             (String.concat ", " (List.map expr_to_string args)));
+      ]
+  | Ast.Sreturn None -> [ line "return;" ]
+  | Ast.Sreturn (Some e) -> [ line (Printf.sprintf "return %s;" (expr_to_string e)) ]
+  | Ast.Slock e -> [ line (Printf.sprintf "lock(%s);" (expr_to_string e)) ]
+  | Ast.Sunlock e -> [ line (Printf.sprintf "unlock(%s);" (expr_to_string e)) ]
+  | Ast.Sannot (kind, r) ->
+      [ line (Printf.sprintf "%s %s;" (Ast.annot_kind_name kind) (range_to_string r)) ]
+  | Ast.Sannot_table tbl -> [ line (table_to_string tbl) ]
+  | Ast.Sprint args ->
+      [
+        line
+          (Printf.sprintf "print(%s);"
+             (String.concat ", " (List.map expr_to_string args)));
+      ]
+
+and block_lines ~note ~indent block =
+  List.concat_map (stmt_lines ~note ~indent) block
+
+let decl_to_string = function
+  | Ast.Dconst (name, e) -> Printf.sprintf "const %s = %s;" name (expr_to_string e)
+  | Ast.Dshared (name, e) -> Printf.sprintf "shared %s[%s];" name (expr_to_string e)
+  | Ast.Dprivate (name, e) ->
+      Printf.sprintf "private %s[%s];" name (expr_to_string e)
+
+let program_to_string ?(note = fun _ -> None) (p : Ast.program) =
+  let buf = Buffer.create 1024 in
+  List.iter (fun d -> Buffer.add_string buf (decl_to_string d ^ "\n")) p.Ast.decls;
+  if p.Ast.decls <> [] then Buffer.add_char buf '\n';
+  List.iteri
+    (fun k (proc : Ast.proc) ->
+      if k > 0 then Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "proc %s(%s) {\n" proc.pname
+           (String.concat ", " proc.params));
+      List.iter
+        (fun l -> Buffer.add_string buf (l ^ "\n"))
+        (block_lines ~note ~indent:1 proc.body);
+      Buffer.add_string buf "}\n")
+    p.Ast.procs;
+  Buffer.contents buf
+
+let stmt_to_string s =
+  String.concat "\n" (stmt_lines ~note:(fun _ -> None) ~indent:0 s)

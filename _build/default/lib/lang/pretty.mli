@@ -1,0 +1,13 @@
+(** Unparser. Output is valid input for {!Parser.parse} (round-trip).
+
+    [note] lets a caller attach a comment to statements — Cachier uses it
+    to print the [/*** Data Race on ... ***/] warnings of Section 4.4. *)
+
+val expr_to_string : Ast.expr -> string
+
+val program_to_string : ?note:(int -> string option) -> Ast.program -> string
+(** [note sid] is printed as a [/*** ... ***/] comment line immediately
+    before the statement with id [sid]. *)
+
+val stmt_to_string : Ast.stmt -> string
+(** Single statement at indentation 0 (used in reports and tests). *)

@@ -1,0 +1,216 @@
+exception Error of string
+
+type info = {
+  consts : (string * Value.t) list;
+  shared : (string * int) list;
+  privates : (string * int) list;
+  procs : (string * int) list;
+}
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let keywords =
+  [
+    "const"; "shared"; "private"; "proc"; "if"; "else"; "for"; "to"; "step";
+    "while"; "barrier"; "lock"; "unlock"; "return"; "print"; "check_out_x";
+    "check_out_s"; "check_in"; "prefetch_x"; "prefetch_s"; "post_store";
+  ]
+
+let intrinsics =
+  [
+    ("min", 2); ("max", 2); ("abs", 1); ("sqrt", 1); ("floor", 1);
+    ("float", 1); ("int", 1); ("noise", 1); ("sin", 1); ("cos", 1);
+  ]
+
+let builtins = [ "pid"; "nprocs" ]
+
+let reserved = keywords @ builtins @ List.map fst intrinsics
+
+let rec const_eval ~consts e =
+  let recur e = const_eval ~consts e in
+  match e with
+  | Ast.Eint i -> Value.Vint i
+  | Ast.Efloat f -> Value.Vfloat f
+  | Ast.Evar name -> (
+      match List.assoc_opt name consts with
+      | Some v -> v
+      | None -> error "constant expression uses non-constant %S" name)
+  | Ast.Eunop (Ast.Neg, e) -> Value.neg (recur e)
+  | Ast.Eunop (Ast.Not, e) -> Value.of_bool (not (Value.to_bool (recur e)))
+  | Ast.Ebinop (op, a, b) -> (
+      let va = recur a and vb = recur b in
+      match op with
+      | Ast.Add -> Value.add va vb
+      | Ast.Sub -> Value.sub va vb
+      | Ast.Mul -> Value.mul va vb
+      | Ast.Div -> Value.div va vb
+      | Ast.Mod -> Value.modulo va vb
+      | Ast.Lt -> Value.of_bool (Value.compare_num va vb < 0)
+      | Ast.Le -> Value.of_bool (Value.compare_num va vb <= 0)
+      | Ast.Gt -> Value.of_bool (Value.compare_num va vb > 0)
+      | Ast.Ge -> Value.of_bool (Value.compare_num va vb >= 0)
+      | Ast.Eq -> Value.of_bool (Value.equal va vb)
+      | Ast.Ne -> Value.of_bool (not (Value.equal va vb))
+      | Ast.And -> Value.of_bool (Value.to_bool va && Value.to_bool vb)
+      | Ast.Or -> Value.of_bool (Value.to_bool va || Value.to_bool vb))
+  | Ast.Ecall ("min", [ a; b ]) ->
+      let va = recur a and vb = recur b in
+      if Value.compare_num va vb <= 0 then va else vb
+  | Ast.Ecall ("max", [ a; b ]) ->
+      let va = recur a and vb = recur b in
+      if Value.compare_num va vb >= 0 then va else vb
+  | Ast.Ecall ("abs", [ a ]) -> (
+      match recur a with
+      | Value.Vint i -> Value.Vint (abs i)
+      | Value.Vfloat f -> Value.Vfloat (Float.abs f))
+  | Ast.Ecall ("floor", [ a ]) ->
+      Value.Vfloat (Float.floor (Value.to_float (recur a)))
+  | Ast.Ecall ("float", [ a ]) -> Value.Vfloat (Value.to_float (recur a))
+  | Ast.Ecall ("int", [ a ]) -> Value.Vint (Value.to_int (recur a))
+  | Ast.Ecall ("sqrt", [ a ]) ->
+      Value.Vfloat (sqrt (Value.to_float (recur a)))
+  | Ast.Ecall ("sin", [ a ]) -> Value.Vfloat (sin (Value.to_float (recur a)))
+  | Ast.Ecall ("cos", [ a ]) -> Value.Vfloat (cos (Value.to_float (recur a)))
+  | Ast.Ecall (name, _) -> error "call of %S in constant expression" name
+  | Ast.Eindex (name, _) -> error "array %S in constant expression" name
+
+let is_shared info name = List.mem_assoc name info.shared
+
+let array_elems info name =
+  match List.assoc_opt name info.shared with
+  | Some n -> Some n
+  | None -> List.assoc_opt name info.privates
+
+let check program =
+  (* Pass 1: declarations. *)
+  let consts = ref [] and shared = ref [] and privates = ref [] in
+  let declared name =
+    List.mem_assoc name !consts
+    || List.mem_assoc name !shared
+    || List.mem_assoc name !privates
+  in
+  let check_decl_name name =
+    if List.mem name reserved then error "%S is a reserved name" name;
+    if declared name then error "duplicate declaration of %S" name
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Dconst (name, e) ->
+          check_decl_name name;
+          consts := !consts @ [ (name, const_eval ~consts:!consts e) ]
+      | Ast.Dshared (name, e) | Ast.Dprivate (name, e) -> (
+          check_decl_name name;
+          match const_eval ~consts:!consts e with
+          | Value.Vint n when n > 0 ->
+              if (match d with Ast.Dshared _ -> true | _ -> false) then
+                shared := !shared @ [ (name, n) ]
+              else privates := !privates @ [ (name, n) ]
+          | v ->
+              error "array %S has non-positive or non-integer size %s" name
+                (Value.to_string v)))
+    program.Ast.decls;
+  let procs =
+    List.map (fun p -> (p.Ast.pname, List.length p.Ast.params)) program.Ast.procs
+  in
+  List.iter
+    (fun (name, _) ->
+      if List.mem name reserved then error "procedure %S uses a reserved name" name;
+      if declared name then error "procedure %S clashes with a declaration" name)
+    procs;
+  let dup =
+    List.find_opt
+      (fun (name, _) ->
+        List.length (List.filter (fun (n, _) -> n = name) procs) > 1)
+      procs
+  in
+  (match dup with
+  | Some (name, _) -> error "duplicate procedure %S" name
+  | None -> ());
+  (match List.assoc_opt "main" procs with
+  | Some 0 -> ()
+  | Some _ -> error "main must take no parameters"
+  | None -> error "program has no main procedure");
+  let info = { consts = !consts; shared = !shared; privates = !privates; procs } in
+  (* Pass 2: bodies. *)
+  let is_array name = array_elems info name <> None in
+  let rec check_expr e =
+    match e with
+    | Ast.Eint _ | Ast.Efloat _ -> ()
+    | Ast.Evar name ->
+        if is_array name then
+          error "array %S used without a subscript" name
+    | Ast.Eindex (name, idx) ->
+        if not (is_array name) then error "subscript of non-array %S" name;
+        check_expr idx
+    | Ast.Ebinop (_, a, b) ->
+        check_expr a;
+        check_expr b
+    | Ast.Eunop (_, a) -> check_expr a
+    | Ast.Ecall (name, args) ->
+        List.iter check_expr args;
+        let arity = List.length args in
+        (match
+           (List.assoc_opt name intrinsics, List.assoc_opt name info.procs)
+         with
+        | Some a, _ ->
+            if a <> arity then
+              error "intrinsic %S expects %d argument(s), got %d" name a arity
+        | None, Some a ->
+            if a <> arity then
+              error "procedure %S expects %d argument(s), got %d" name a arity
+        | None, None -> error "call of undefined procedure %S" name)
+  in
+  let check_range { Ast.arr; lo; hi } =
+    if not (is_shared info arr) then
+      error "annotation on non-shared array %S" arr;
+    check_expr lo;
+    check_expr hi
+  in
+  let check_stmt (s : Ast.stmt) =
+    match s.Ast.node with
+    | Ast.Sassign (lv, e) -> (
+        check_expr e;
+        match lv with
+        | Ast.Lvar name ->
+            if List.mem name reserved then
+              error "cannot assign to reserved name %S" name;
+            if List.mem_assoc name info.consts then
+              error "cannot assign to constant %S" name;
+            if is_array name then
+              error "cannot assign to array %S without a subscript" name
+        | Ast.Lindex (name, idx) ->
+            if not (is_array name) then
+              error "assignment to subscript of non-array %S" name;
+            check_expr idx)
+    | Ast.Sif (cond, _, _) -> check_expr cond
+    | Ast.Sfor { var; from_; to_; step; _ } ->
+        if List.mem var reserved then
+          error "loop variable %S is a reserved name" var;
+        if is_array var then error "loop variable %S names an array" var;
+        check_expr from_;
+        check_expr to_;
+        check_expr step
+    | Ast.Swhile (cond, _) -> check_expr cond
+    | Ast.Sbarrier -> ()
+    | Ast.Scall (name, args) ->
+        check_expr (Ast.Ecall (name, args))
+    | Ast.Sreturn (Some e) -> check_expr e
+    | Ast.Sreturn None -> ()
+    | Ast.Slock e | Ast.Sunlock e -> check_expr e
+    | Ast.Sannot (_, r) -> check_range r
+    | Ast.Sannot_table { aarr; _ } ->
+        if not (is_shared info aarr) then
+          error "annotation on non-shared array %S" aarr
+    | Ast.Sprint args -> List.iter check_expr args
+  in
+  Ast.iter_stmts check_stmt program;
+  (* Unique sids. *)
+  let seen = Hashtbl.create 64 in
+  Ast.iter_stmts
+    (fun s ->
+      if Hashtbl.mem seen s.Ast.sid then
+        error "duplicate statement id %d (internal error)" s.Ast.sid;
+      Hashtbl.add seen s.Ast.sid ())
+    program;
+  info

@@ -1,0 +1,32 @@
+(** Semantic analysis: name resolution, arity checks, constant evaluation.
+
+    [check] validates a parsed program and returns the symbol information
+    that later phases (layout, interpretation, annotation) need. *)
+
+exception Error of string
+
+type info = {
+  consts : (string * Value.t) list;  (** in declaration order *)
+  shared : (string * int) list;  (** shared arrays: name, element count *)
+  privates : (string * int) list;  (** private arrays: name, element count *)
+  procs : (string * int) list;  (** procedures: name, arity *)
+}
+
+val reserved : string list
+(** Names that cannot be declared or assigned: keywords, builtins
+    ([pid], [nprocs]) and intrinsic functions. *)
+
+val intrinsics : (string * int) list
+(** Intrinsic functions and their arities: [min], [max], [abs], [sqrt],
+    [floor], [float], [int], [noise], [sin], [cos]. *)
+
+val const_eval : consts:(string * Value.t) list -> Ast.expr -> Value.t
+(** Evaluate a compile-time-constant expression.
+    @raise Error if the expression mentions a non-constant name. *)
+
+val check : Ast.program -> info
+(** Validate the program. @raise Error describing the first problem. *)
+
+val is_shared : info -> string -> bool
+val array_elems : info -> string -> int option
+(** Element count of a shared or private array. *)

@@ -1,0 +1,1 @@
+lib/memsys/protocol.ml: Array Block Cache Directory Hashtbl List Network Option Stats

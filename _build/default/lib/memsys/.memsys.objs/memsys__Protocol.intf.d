@@ -1,0 +1,1 @@
+lib/memsys/protocol.mli: Cache Directory Network Stats

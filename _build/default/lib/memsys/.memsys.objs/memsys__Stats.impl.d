@@ -1,0 +1,1 @@
+lib/memsys/stats.ml: Array Format

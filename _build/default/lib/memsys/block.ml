@@ -1,0 +1,29 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let check_block_size block_size =
+  if not (is_power_of_two block_size) then
+    invalid_arg "Block: block size must be a positive power of two"
+
+let of_addr ~block_size addr =
+  check_block_size block_size;
+  if addr < 0 then invalid_arg "Block.of_addr: negative address";
+  addr / block_size
+
+let base_addr ~block_size blk =
+  check_block_size block_size;
+  blk * block_size
+
+let offset ~block_size addr =
+  check_block_size block_size;
+  addr land (block_size - 1)
+
+let count_blocks ~block_size ~lo ~hi =
+  if hi < lo then 0
+  else of_addr ~block_size hi - of_addr ~block_size lo + 1
+
+let blocks_of_range ~block_size ~lo ~hi =
+  if hi < lo then []
+  else
+    let first = of_addr ~block_size lo and last = of_addr ~block_size hi in
+    let rec loop b acc = if b < first then acc else loop (b - 1) (b :: acc) in
+    loop last []

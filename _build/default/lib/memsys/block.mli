@@ -1,0 +1,28 @@
+(** Cache-block address arithmetic.
+
+    Addresses are byte addresses in a flat shared address space. A cache
+    block is identified by its block number ([addr / block_size]). All
+    functions take the block size explicitly so that different simulated
+    machines can coexist. Block sizes must be powers of two. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two n] is [true] iff [n] is a positive power of two. *)
+
+val of_addr : block_size:int -> int -> int
+(** [of_addr ~block_size addr] is the block number containing [addr]. *)
+
+val base_addr : block_size:int -> int -> int
+(** [base_addr ~block_size blk] is the first byte address of block [blk]. *)
+
+val offset : block_size:int -> int -> int
+(** [offset ~block_size addr] is the byte offset of [addr] within its
+    block. *)
+
+val blocks_of_range : block_size:int -> lo:int -> hi:int -> int list
+(** [blocks_of_range ~block_size ~lo ~hi] is the ordered list of block
+    numbers spanned by the byte range [\[lo, hi\]] (inclusive). Empty if
+    [hi < lo]. *)
+
+val count_blocks : block_size:int -> lo:int -> hi:int -> int
+(** [count_blocks ~block_size ~lo ~hi] is the number of blocks spanned by
+    the inclusive byte range, without materialising the list. *)

@@ -1,0 +1,136 @@
+type coherence = Shared | Exclusive
+
+type line = {
+  block : int;
+  mutable state : coherence;
+  mutable dirty : bool;
+  mutable ready_at : int;
+  mutable last_use : int;
+}
+
+type t = {
+  block_size : int;
+  n_sets : int;
+  n_assoc : int;
+  sets : line option array array;  (* [n_sets][n_assoc] *)
+  mutable tick : int;  (* LRU clock *)
+  mutable resident : int;
+}
+
+let create ~size_bytes ~assoc ~block_size =
+  if not (Block.is_power_of_two block_size) then
+    invalid_arg "Cache.create: block size must be a power of two";
+  if assoc <= 0 then invalid_arg "Cache.create: associativity must be positive";
+  if size_bytes <= 0 || size_bytes mod (assoc * block_size) <> 0 then
+    invalid_arg "Cache.create: size must be a multiple of assoc * block size";
+  let n_sets = size_bytes / (assoc * block_size) in
+  if not (Block.is_power_of_two n_sets) then
+    invalid_arg "Cache.create: number of sets must be a power of two";
+  {
+    block_size;
+    n_sets;
+    n_assoc = assoc;
+    sets = Array.init n_sets (fun _ -> Array.make assoc None);
+    tick = 0;
+    resident = 0;
+  }
+
+let block_size t = t.block_size
+let sets t = t.n_sets
+let assoc t = t.n_assoc
+let capacity_blocks t = t.n_sets * t.n_assoc
+let capacity_bytes t = capacity_blocks t * t.block_size
+let occupancy t = t.resident
+let set_of t blk = blk land (t.n_sets - 1)
+
+let find t blk =
+  let set = t.sets.(set_of t blk) in
+  let rec loop i =
+    if i >= t.n_assoc then None
+    else
+      match set.(i) with
+      | Some l when l.block = blk -> Some l
+      | Some _ | None -> loop (i + 1)
+  in
+  loop 0
+
+let touch t blk =
+  match find t blk with
+  | None -> ()
+  | Some l ->
+      t.tick <- t.tick + 1;
+      l.last_use <- t.tick
+
+let insert t ~block ~state ~dirty ~ready_at =
+  match find t block with
+  | Some l ->
+      l.state <- state;
+      l.dirty <- dirty || l.dirty;
+      l.ready_at <- ready_at;
+      t.tick <- t.tick + 1;
+      l.last_use <- t.tick;
+      None
+  | None ->
+      let set = t.sets.(set_of t block) in
+      t.tick <- t.tick + 1;
+      let fresh =
+        Some { block; state; dirty; ready_at; last_use = t.tick }
+      in
+      (* Prefer an empty way; otherwise evict the LRU way. *)
+      let empty = ref (-1) and lru = ref 0 in
+      for i = 0 to t.n_assoc - 1 do
+        match set.(i) with
+        | None -> if !empty < 0 then empty := i
+        | Some l -> (
+            match set.(!lru) with
+            | Some m when l.last_use < m.last_use -> lru := i
+            | Some _ -> ()
+            | None -> lru := i)
+      done;
+      if !empty >= 0 then begin
+        set.(!empty) <- fresh;
+        t.resident <- t.resident + 1;
+        None
+      end
+      else
+        match set.(!lru) with
+        | None -> assert false
+        | Some victim ->
+            set.(!lru) <- fresh;
+            Some (victim.block, victim.state, victim.dirty)
+
+let remove t blk =
+  let set = t.sets.(set_of t blk) in
+  let rec loop i =
+    if i >= t.n_assoc then None
+    else
+      match set.(i) with
+      | Some l when l.block = blk ->
+          set.(i) <- None;
+          t.resident <- t.resident - 1;
+          Some (l.state, l.dirty)
+      | Some _ | None -> loop (i + 1)
+  in
+  loop 0
+
+let flush_all t =
+  let acc = ref [] in
+  Array.iter
+    (fun set ->
+      Array.iteri
+        (fun i slot ->
+          match slot with
+          | None -> ()
+          | Some l ->
+              acc := (l.block, l.state, l.dirty) :: !acc;
+              set.(i) <- None)
+        set)
+    t.sets;
+  t.resident <- 0;
+  !acc
+
+let iter t f =
+  Array.iter
+    (fun set ->
+      Array.iter (function None -> () | Some l -> f l) set)
+    t.sets

@@ -1,0 +1,60 @@
+(** A finite-capacity, set-associative, LRU data cache for one node.
+
+    Blocks are cached in one of two coherence states, [Shared] (read-only)
+    or [Exclusive] (writable); a dirty bit tracks whether an exclusive block
+    must be written back. Each line carries a [ready_at] virtual time so
+    that prefetched blocks can arrive asynchronously: an access before
+    [ready_at] stalls for the residual latency. *)
+
+type coherence = Shared | Exclusive
+
+type line = {
+  block : int;
+  mutable state : coherence;
+  mutable dirty : bool;
+  mutable ready_at : int;  (** virtual time at which the data is usable *)
+  mutable last_use : int;  (** LRU timestamp, maintained by [touch] *)
+}
+
+type t
+
+val create : size_bytes:int -> assoc:int -> block_size:int -> t
+(** [create ~size_bytes ~assoc ~block_size] is an empty cache.
+    @raise Invalid_argument if the geometry is not a power-of-two split. *)
+
+val block_size : t -> int
+val sets : t -> int
+val assoc : t -> int
+
+val capacity_blocks : t -> int
+(** Total number of lines. *)
+
+val capacity_bytes : t -> int
+
+val find : t -> int -> line option
+(** [find t blk] is the resident line for block [blk], without touching
+    LRU state. *)
+
+val touch : t -> int -> unit
+(** [touch t blk] marks block [blk] most recently used (no-op if absent). *)
+
+val insert :
+  t -> block:int -> state:coherence -> dirty:bool -> ready_at:int ->
+  (int * coherence * bool) option
+(** [insert t ~block ~state ~dirty ~ready_at] installs a line, evicting the
+    LRU line of the set if full. Returns [Some (victim, state, dirty)] when
+    a block was evicted. Inserting an already-resident block updates it in
+    place and returns [None]. *)
+
+val remove : t -> int -> (coherence * bool) option
+(** [remove t blk] drops block [blk], returning its state and dirty bit. *)
+
+val flush_all : t -> (int * coherence * bool) list
+(** [flush_all t] empties the cache, returning every resident
+    [(block, state, dirty)] in unspecified order. *)
+
+val occupancy : t -> int
+(** Number of resident lines. *)
+
+val iter : t -> (line -> unit) -> unit
+(** Iterate over resident lines in unspecified order. *)

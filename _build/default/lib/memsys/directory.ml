@@ -1,0 +1,63 @@
+type state = Idle | Shared of int | Exclusive of int
+
+type t = { n_nodes : int; table : (int, state) Hashtbl.t }
+
+let max_nodes = 62
+
+let create ~nodes =
+  if nodes <= 0 || nodes > max_nodes then
+    invalid_arg "Directory.create: nodes must be in [1, 62]";
+  { n_nodes = nodes; table = Hashtbl.create 4096 }
+
+let nodes t = t.n_nodes
+
+let get t blk =
+  match Hashtbl.find_opt t.table blk with None -> Idle | Some st -> st
+
+let set t blk st =
+  match st with
+  | Idle | Shared 0 -> Hashtbl.remove t.table blk
+  | Shared _ | Exclusive _ -> Hashtbl.replace t.table blk st
+
+let check_node t node =
+  if node < 0 || node >= t.n_nodes then
+    invalid_arg "Directory: node out of range"
+
+let add_sharer t blk ~node =
+  check_node t node;
+  match get t blk with
+  | Idle -> set t blk (Shared (1 lsl node))
+  | Shared mask -> set t blk (Shared (mask lor (1 lsl node)))
+  | Exclusive _ ->
+      invalid_arg "Directory.add_sharer: block is held exclusive"
+
+let remove_sharer t blk ~node =
+  check_node t node;
+  match get t blk with
+  | Idle | Exclusive _ -> ()
+  | Shared mask -> set t blk (Shared (mask land lnot (1 lsl node)))
+
+let popcount mask =
+  let rec loop m acc = if m = 0 then acc else loop (m lsr 1) (acc + (m land 1)) in
+  loop mask 0
+
+let sharers t blk =
+  match get t blk with
+  | Idle | Exclusive _ -> []
+  | Shared mask ->
+      let rec loop node acc =
+        if node < 0 then acc
+        else if mask land (1 lsl node) <> 0 then loop (node - 1) (node :: acc)
+        else loop (node - 1) acc
+      in
+      loop (t.n_nodes - 1) []
+
+let sharer_count t blk =
+  match get t blk with Idle | Exclusive _ -> 0 | Shared mask -> popcount mask
+
+let is_sharer t blk ~node =
+  match get t blk with
+  | Idle | Exclusive _ -> false
+  | Shared mask -> mask land (1 lsl node) <> 0
+
+let entries t = Hashtbl.fold (fun blk st acc -> (blk, st) :: acc) t.table []

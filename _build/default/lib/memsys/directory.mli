@@ -1,0 +1,50 @@
+(** Dir1SW directory state, one entry per cache block.
+
+    Dir1SW (Hill et al., "Cooperative Shared Memory") keeps one hardware
+    pointer plus a sharer count per block; common transitions run in
+    hardware, and a store to a block with other sharers traps to system
+    software, which sends the invalidations. For simulation we track the
+    exact sharer set (as a bitmask over at most 62 nodes) so invalidation
+    *counts* are exact, while the *cost* of the >1-sharer case is charged
+    as a software trap by the protocol engine. *)
+
+type state =
+  | Idle  (** no cached copies *)
+  | Shared of int  (** bitmask of nodes holding read-only copies *)
+  | Exclusive of int  (** node holding the writable copy *)
+
+type t
+
+val create : nodes:int -> t
+(** A directory for a machine with [nodes] nodes (at most 62). *)
+
+val nodes : t -> int
+
+val get : t -> int -> state
+(** [get t blk] is the state of block [blk] ([Idle] if never referenced). *)
+
+val set : t -> int -> state -> unit
+(** [set t blk st] overwrites the state of block [blk]; [Idle] and
+    [Shared 0] both normalise to [Idle]. *)
+
+val add_sharer : t -> int -> node:int -> unit
+(** [add_sharer t blk ~node] adds [node] to the sharer set.
+    @raise Invalid_argument if the block is [Exclusive]. *)
+
+val remove_sharer : t -> int -> node:int -> unit
+(** [remove_sharer t blk ~node] removes [node]; removing the last sharer
+    leaves the block [Idle]. No-op if [node] is not a sharer. *)
+
+val sharers : t -> int -> int list
+(** Sorted list of sharer nodes ([]) for [Idle]/[Exclusive] blocks). *)
+
+val sharer_count : t -> int -> int
+(** Number of sharers (0 for [Idle] and [Exclusive]). *)
+
+val is_sharer : t -> int -> node:int -> bool
+
+val entries : t -> (int * state) list
+(** All non-[Idle] entries, in unspecified order. *)
+
+val popcount : int -> int
+(** Number of set bits (exposed for tests). *)

@@ -1,0 +1,43 @@
+type costs = {
+  cache_hit : int;
+  local_op : int;
+  miss_2hop : int;
+  miss_3hop : int;
+  upgrade : int;
+  inval_per_sharer : int;
+  sw_trap : int;
+  dir_hw_sharers : int;
+  writeback : int;
+  check_in_cost : int;
+  check_out_overhead : int;
+  prefetch_issue : int;
+  barrier : int;
+  lock_transfer : int;
+}
+
+let default =
+  {
+    cache_hit = 1;
+    local_op = 1;
+    miss_2hop = 100;
+    miss_3hop = 150;
+    upgrade = 80;
+    inval_per_sharer = 50;
+    sw_trap = 500;
+    dir_hw_sharers = 0;
+    writeback = 20;
+    check_in_cost = 3;
+    check_out_overhead = 4;
+    prefetch_issue = 3;
+    barrier = 100;
+    lock_transfer = 60;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>hit %d / op %d / 2-hop %d / 3-hop %d / upgrade %d / inval %d per \
+     sharer@,\
+     trap %d / wb %d / ci %d / co-overhead %d / pf %d / barrier %d / lock %d@]"
+    c.cache_hit c.local_op c.miss_2hop c.miss_3hop c.upgrade c.inval_per_sharer
+    c.sw_trap c.writeback c.check_in_cost c.check_out_overhead c.prefetch_issue
+    c.barrier c.lock_transfer

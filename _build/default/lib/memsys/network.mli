@@ -1,0 +1,36 @@
+(** Latency and message-cost model for the simulated Dir1SW machine.
+
+    The Wisconsin Wind Tunnel charged fixed latencies for protocol
+    transactions; we follow the same style. All latencies are in processor
+    cycles. A [costs] value is immutable configuration; the defaults are
+    loosely calibrated to the WWT/Dir1SW papers (local hit 1 cycle, remote
+    miss on the order of 100 cycles, software trap several times that). *)
+
+type costs = {
+  cache_hit : int;  (** load/store that hits in the local cache *)
+  local_op : int;  (** one private-memory or ALU operation *)
+  miss_2hop : int;  (** directory satisfies the miss from memory *)
+  miss_3hop : int;  (** miss forwarded to a remote owner cache *)
+  upgrade : int;  (** write fault: Shared copy upgraded to Exclusive *)
+  inval_per_sharer : int;  (** invalidation round-trip, per sharer *)
+  sw_trap : int;  (** Dir1SW trap to software (write to >1-sharer block) *)
+  dir_hw_sharers : int;
+      (** how many {e other} sharers the directory hardware can invalidate
+          without trapping: 0 models Dir1SW's single pointer (any foreign
+          sharer traps to software); 62 models a full-map hardware
+          directory (Dir_n NB), under which CICO's trap-avoidance value
+          shrinks — the ablation of the evaluation *)
+  writeback : int;  (** dirty block written back to home memory *)
+  check_in_cost : int;  (** explicit check-in directive *)
+  check_out_overhead : int;  (** address-generation overhead of an explicit
+                                 check-out that the implicit one subsumes *)
+  prefetch_issue : int;  (** issuing a prefetch (non-blocking) *)
+  barrier : int;  (** barrier synchronisation cost *)
+  lock_transfer : int;  (** handing a lock between nodes *)
+}
+
+val default : costs
+(** Default cost table used throughout the evaluation. *)
+
+val pp : Format.formatter -> costs -> unit
+(** Render the cost table. *)

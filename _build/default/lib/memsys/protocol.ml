@@ -1,0 +1,385 @@
+type miss_kind = Read_miss | Write_miss | Write_fault
+
+type outcome = { latency : int; miss : miss_kind option }
+
+type t = {
+  n_nodes : int;
+  blk_size : int;
+  caches : Cache.t array;
+  dir : Directory.t;
+  cost : Network.costs;
+  stat : Stats.t;
+  pf_pending : (int * int, unit) Hashtbl.t;  (* (node, block) with an
+                                                outstanding prefetch *)
+  past_sharers : (int, int) Hashtbl.t;
+      (* block -> bitmask of nodes that once held it and lost it; the
+         recipient set of a KSR-1-style post-store *)
+}
+
+let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
+  {
+    n_nodes = nodes;
+    blk_size = block_size;
+    caches =
+      Array.init nodes (fun _ ->
+          Cache.create ~size_bytes:cache_bytes ~assoc ~block_size);
+    dir = Directory.create ~nodes;
+    cost = costs;
+    stat = Stats.create ~nodes;
+    pf_pending = Hashtbl.create 256;
+    past_sharers = Hashtbl.create 256;
+  }
+
+let nodes t = t.n_nodes
+let block_size t = t.blk_size
+let stats t = t.stat
+let directory t = t.dir
+let cache t ~node = t.caches.(node)
+let costs t = t.cost
+let block_of_addr t addr = Block.of_addr ~block_size:t.blk_size addr
+
+let forget_prefetch t ~node ~blk = Hashtbl.remove t.pf_pending (node, blk)
+
+let note_past_sharer t ~node ~blk =
+  let prev = Option.value ~default:0 (Hashtbl.find_opt t.past_sharers blk) in
+  Hashtbl.replace t.past_sharers blk (prev lor (1 lsl node))
+
+(* Account a prefetched block that is touched for the first time. *)
+let note_prefetch_hit t ~node ~blk =
+  if Hashtbl.mem t.pf_pending (node, blk) then begin
+    Hashtbl.remove t.pf_pending (node, blk);
+    t.stat.useful_prefetches <- t.stat.useful_prefetches + 1
+  end
+
+(* Install a block in [node]'s cache, handling the victim's protocol
+   actions. A Shared victim is dropped silently (stale directory entry); an
+   Exclusive victim releases the directory and writes back if dirty. *)
+let install t ~node ~blk ~state ~dirty ~ready_at =
+  match Cache.insert t.caches.(node) ~block:blk ~state ~dirty ~ready_at with
+  | None -> ()
+  | Some (victim, vstate, vdirty) ->
+      t.stat.evictions <- t.stat.evictions + 1;
+      forget_prefetch t ~node ~blk:victim;
+      note_past_sharer t ~node ~blk:victim;
+      (match vstate with
+      | Cache.Exclusive ->
+          if vdirty then begin
+            t.stat.writebacks <- t.stat.writebacks + 1;
+            t.stat.messages <- t.stat.messages + 1
+          end;
+          Directory.set t.dir victim Directory.Idle
+      | Cache.Shared -> ())
+
+(* Remove [blk] from every cache in [mask] except [node]; returns the
+   number of invalidation messages sent (one per directory sharer, stale or
+   not, since Dir1SW software trusts its sharer list). *)
+let invalidate_sharers t ~blk ~except:node mask =
+  let count = ref 0 in
+  for victim = 0 to t.n_nodes - 1 do
+    if victim <> node && mask land (1 lsl victim) <> 0 then begin
+      incr count;
+      forget_prefetch t ~node:victim ~blk;
+      if Cache.remove t.caches.(victim) blk <> None then
+        note_past_sharer t ~node:victim ~blk
+    end
+  done;
+  t.stat.invalidations <- t.stat.invalidations + !count;
+  t.stat.messages <- t.stat.messages + (2 * !count);
+  !count
+
+(* Take the block away from its exclusive [owner] (3-hop transaction);
+   returns true if a dirty copy was written back. *)
+let recall_exclusive t ~blk ~owner ~downgrade_to_shared =
+  forget_prefetch t ~node:owner ~blk;
+  let dirty =
+    match Cache.find t.caches.(owner) blk with
+    | None -> false
+    | Some line ->
+        let d = line.Cache.dirty in
+        if downgrade_to_shared then begin
+          line.Cache.state <- Cache.Shared;
+          line.Cache.dirty <- false
+        end
+        else begin
+          ignore (Cache.remove t.caches.(owner) blk);
+          note_past_sharer t ~node:owner ~blk
+        end;
+        d
+  in
+  if dirty then t.stat.writebacks <- t.stat.writebacks + 1;
+  t.stat.messages <- t.stat.messages + 3;
+  dirty
+
+(* Residual stall if the line's data has not yet arrived (prefetch). *)
+let residual line ~now =
+  let r = line.Cache.ready_at - now in
+  if r > 0 then r else 0
+
+(* Fetch a shared copy of [blk] into [node]'s cache; returns latency. *)
+let fetch_shared t ~node ~blk ~now =
+  match Directory.get t.dir blk with
+  | Directory.Idle ->
+      Directory.set t.dir blk (Directory.Shared (1 lsl node));
+      t.stat.messages <- t.stat.messages + 2;
+      install t ~node ~blk ~state:Cache.Shared ~dirty:false ~ready_at:now;
+      t.cost.Network.miss_2hop
+  | Directory.Shared mask ->
+      Directory.set t.dir blk (Directory.Shared (mask lor (1 lsl node)));
+      t.stat.messages <- t.stat.messages + 2;
+      install t ~node ~blk ~state:Cache.Shared ~dirty:false ~ready_at:now;
+      t.cost.Network.miss_2hop
+  | Directory.Exclusive owner when owner = node ->
+      (* Cannot normally happen: exclusive lines are never dropped
+         silently. Repair defensively. *)
+      Directory.set t.dir blk (Directory.Shared (1 lsl node));
+      install t ~node ~blk ~state:Cache.Shared ~dirty:false ~ready_at:now;
+      t.cost.Network.miss_2hop
+  | Directory.Exclusive owner ->
+      ignore (recall_exclusive t ~blk ~owner ~downgrade_to_shared:true);
+      Directory.set t.dir blk
+        (Directory.Shared ((1 lsl owner) lor (1 lsl node)));
+      install t ~node ~blk ~state:Cache.Shared ~dirty:false ~ready_at:now;
+      t.cost.Network.miss_3hop
+
+(* Fetch an exclusive copy of [blk] into [node]'s cache; returns latency.
+   [dirty] marks the line modified immediately (write-miss path). *)
+let fetch_exclusive t ~node ~blk ~now ~dirty =
+  match Directory.get t.dir blk with
+  | Directory.Idle ->
+      Directory.set t.dir blk (Directory.Exclusive node);
+      t.stat.messages <- t.stat.messages + 2;
+      install t ~node ~blk ~state:Cache.Exclusive ~dirty ~ready_at:now;
+      t.cost.Network.miss_2hop
+  | Directory.Shared mask ->
+      (* Invalidate every listed sharer: in hardware when the directory
+         can name them all, through the software trap otherwise. *)
+      let n_others =
+        Directory.popcount (mask land lnot (1 lsl node))
+      in
+      let in_hw = n_others <= t.cost.Network.dir_hw_sharers in
+      if not in_hw then t.stat.sw_traps <- t.stat.sw_traps + 1;
+      let n_inval = invalidate_sharers t ~blk ~except:node mask in
+      Directory.set t.dir blk (Directory.Exclusive node);
+      install t ~node ~blk ~state:Cache.Exclusive ~dirty ~ready_at:now;
+      if in_hw then
+        t.cost.Network.miss_2hop + (n_inval * t.cost.Network.inval_per_sharer)
+      else t.cost.Network.sw_trap + (n_inval * t.cost.Network.inval_per_sharer)
+  | Directory.Exclusive owner when owner = node ->
+      Directory.set t.dir blk (Directory.Exclusive node);
+      install t ~node ~blk ~state:Cache.Exclusive ~dirty ~ready_at:now;
+      t.cost.Network.miss_2hop
+  | Directory.Exclusive owner ->
+      ignore (recall_exclusive t ~blk ~owner ~downgrade_to_shared:false);
+      Directory.set t.dir blk (Directory.Exclusive node);
+      install t ~node ~blk ~state:Cache.Exclusive ~dirty ~ready_at:now;
+      t.cost.Network.miss_3hop
+
+let read t ~node ~addr ~now =
+  let blk = block_of_addr t addr in
+  t.stat.shared_reads <- t.stat.shared_reads + 1;
+  match Cache.find t.caches.(node) blk with
+  | Some line ->
+      note_prefetch_hit t ~node ~blk;
+      Cache.touch t.caches.(node) blk;
+      t.stat.read_hits <- t.stat.read_hits + 1;
+      { latency = t.cost.Network.cache_hit + residual line ~now; miss = None }
+  | None ->
+      t.stat.read_misses <- t.stat.read_misses + 1;
+      let latency = fetch_shared t ~node ~blk ~now in
+      { latency; miss = Some Read_miss }
+
+let write t ~node ~addr ~now =
+  let blk = block_of_addr t addr in
+  t.stat.shared_writes <- t.stat.shared_writes + 1;
+  match Cache.find t.caches.(node) blk with
+  | Some line when line.Cache.state = Cache.Exclusive ->
+      note_prefetch_hit t ~node ~blk;
+      Cache.touch t.caches.(node) blk;
+      line.Cache.dirty <- true;
+      t.stat.write_hits <- t.stat.write_hits + 1;
+      { latency = t.cost.Network.cache_hit + residual line ~now; miss = None }
+  | Some line ->
+      (* Write fault: upgrade the Shared copy. *)
+      note_prefetch_hit t ~node ~blk;
+      Cache.touch t.caches.(node) blk;
+      t.stat.write_faults <- t.stat.write_faults + 1;
+      let latency =
+        match Directory.get t.dir blk with
+        | Directory.Shared mask ->
+            let others = mask land lnot (1 lsl node) in
+            if others = 0 then begin
+              Directory.set t.dir blk (Directory.Exclusive node);
+              t.stat.messages <- t.stat.messages + 2;
+              t.cost.Network.upgrade
+            end
+            else begin
+              let in_hw =
+                Directory.popcount others <= t.cost.Network.dir_hw_sharers
+              in
+              if not in_hw then t.stat.sw_traps <- t.stat.sw_traps + 1;
+              let n_inval = invalidate_sharers t ~blk ~except:node others in
+              Directory.set t.dir blk (Directory.Exclusive node);
+              (if in_hw then t.cost.Network.upgrade
+               else t.cost.Network.sw_trap)
+              + (n_inval * t.cost.Network.inval_per_sharer)
+            end
+        | Directory.Idle | Directory.Exclusive _ ->
+            (* Defensive: directory lost track of us; redo as exclusive
+               fetch. *)
+            Directory.set t.dir blk (Directory.Exclusive node);
+            t.stat.messages <- t.stat.messages + 2;
+            t.cost.Network.upgrade
+      in
+      line.Cache.state <- Cache.Exclusive;
+      line.Cache.dirty <- true;
+      { latency = latency + residual line ~now; miss = Some Write_fault }
+  | None ->
+      t.stat.write_misses <- t.stat.write_misses + 1;
+      let latency = fetch_exclusive t ~node ~blk ~now ~dirty:true in
+      { latency; miss = Some Write_miss }
+
+let check_out_x t ~node ~addr ~now =
+  let blk = block_of_addr t addr in
+  t.stat.check_outs_x <- t.stat.check_outs_x + 1;
+  let overhead = t.cost.Network.check_out_overhead in
+  match Cache.find t.caches.(node) blk with
+  | Some line when line.Cache.state = Cache.Exclusive ->
+      Cache.touch t.caches.(node) blk;
+      { latency = overhead; miss = None }
+  | Some line ->
+      (* Upgrade now, before the read, avoiding the later write fault. *)
+      Cache.touch t.caches.(node) blk;
+      let latency =
+        match Directory.get t.dir blk with
+        | Directory.Shared mask ->
+            let others = mask land lnot (1 lsl node) in
+            if others = 0 then begin
+              Directory.set t.dir blk (Directory.Exclusive node);
+              t.stat.messages <- t.stat.messages + 2;
+              t.cost.Network.upgrade
+            end
+            else begin
+              let in_hw =
+                Directory.popcount others <= t.cost.Network.dir_hw_sharers
+              in
+              if not in_hw then t.stat.sw_traps <- t.stat.sw_traps + 1;
+              let n_inval = invalidate_sharers t ~blk ~except:node others in
+              Directory.set t.dir blk (Directory.Exclusive node);
+              (if in_hw then t.cost.Network.upgrade
+               else t.cost.Network.sw_trap)
+              + (n_inval * t.cost.Network.inval_per_sharer)
+            end
+        | Directory.Idle | Directory.Exclusive _ ->
+            Directory.set t.dir blk (Directory.Exclusive node);
+            t.stat.messages <- t.stat.messages + 2;
+            t.cost.Network.upgrade
+      in
+      line.Cache.state <- Cache.Exclusive;
+      { latency = overhead + latency; miss = None }
+  | None ->
+      let latency = fetch_exclusive t ~node ~blk ~now ~dirty:false in
+      { latency = overhead + latency; miss = None }
+
+let check_out_s t ~node ~addr ~now =
+  let blk = block_of_addr t addr in
+  t.stat.check_outs_s <- t.stat.check_outs_s + 1;
+  let overhead = t.cost.Network.check_out_overhead in
+  match Cache.find t.caches.(node) blk with
+  | Some _ ->
+      Cache.touch t.caches.(node) blk;
+      { latency = overhead; miss = None }
+  | None ->
+      let latency = fetch_shared t ~node ~blk ~now in
+      { latency = overhead + latency; miss = None }
+
+let check_in t ~node ~addr ~now:_ =
+  let blk = block_of_addr t addr in
+  t.stat.check_ins <- t.stat.check_ins + 1;
+  (match Cache.remove t.caches.(node) blk with
+  | None -> ()
+  | Some (state, dirty) ->
+      t.stat.check_in_flushes <- t.stat.check_in_flushes + 1;
+      forget_prefetch t ~node ~blk;
+      t.stat.messages <- t.stat.messages + 1;
+      (match state with
+      | Cache.Exclusive ->
+          if dirty then t.stat.writebacks <- t.stat.writebacks + 1;
+          Directory.set t.dir blk Directory.Idle
+      | Cache.Shared -> Directory.remove_sharer t.dir blk ~node));
+  { latency = t.cost.Network.check_in_cost; miss = None }
+
+let prefetch ~exclusive t ~node ~addr ~now =
+  let blk = block_of_addr t addr in
+  t.stat.prefetches <- t.stat.prefetches + 1;
+  let wanted_ok (line : Cache.line) =
+    (not exclusive) || line.Cache.state = Cache.Exclusive
+  in
+  match Cache.find t.caches.(node) blk with
+  | Some line when wanted_ok line ->
+      { latency = t.cost.Network.prefetch_issue; miss = None }
+  | Some _ | None ->
+      (* Run the transaction now but charge only the issue cost; the
+         transfer latency is hidden behind [ready_at]. *)
+      let fetch_latency =
+        if exclusive then fetch_exclusive t ~node ~blk ~now ~dirty:false
+        else fetch_shared t ~node ~blk ~now
+      in
+      (match Cache.find t.caches.(node) blk with
+      | Some line -> line.Cache.ready_at <- now + fetch_latency
+      | None -> ());
+      Hashtbl.replace t.pf_pending (node, blk) ();
+      { latency = t.cost.Network.prefetch_issue; miss = None }
+
+let prefetch_x t = prefetch ~exclusive:true t
+let prefetch_s t = prefetch ~exclusive:false t
+
+let post_store t ~node ~addr ~now =
+  let blk = block_of_addr t addr in
+  t.stat.post_stores <- t.stat.post_stores + 1;
+  (match Cache.find t.caches.(node) blk with
+  | Some line when line.Cache.state = Cache.Exclusive ->
+      (* write the data back and downgrade to a shared copy *)
+      if line.Cache.dirty then begin
+        t.stat.writebacks <- t.stat.writebacks + 1;
+        t.stat.messages <- t.stat.messages + 1
+      end;
+      line.Cache.state <- Cache.Shared;
+      line.Cache.dirty <- false;
+      let mask = ref (1 lsl node) in
+      (* broadcast read-only copies to every past holder *)
+      let past =
+        Option.value ~default:0 (Hashtbl.find_opt t.past_sharers blk)
+      in
+      for recipient = 0 to t.n_nodes - 1 do
+        if recipient <> node && past land (1 lsl recipient) <> 0 then begin
+          t.stat.messages <- t.stat.messages + 1;
+          install t ~node:recipient ~blk ~state:Cache.Shared ~dirty:false
+            ~ready_at:(now + t.cost.Network.miss_2hop);
+          mask := !mask lor (1 lsl recipient)
+        end
+      done;
+      Directory.set t.dir blk (Directory.Shared !mask)
+  | Some _ | None -> ());
+  { latency = t.cost.Network.check_in_cost; miss = None }
+
+let flush_node t ~node =
+  let flushed = Cache.flush_all t.caches.(node) in
+  List.iter
+    (fun (blk, state, dirty) ->
+      forget_prefetch t ~node ~blk;
+      match state with
+      | Cache.Exclusive ->
+          if dirty then t.stat.writebacks <- t.stat.writebacks + 1;
+          Directory.set t.dir blk Directory.Idle
+      | Cache.Shared -> Directory.remove_sharer t.dir blk ~node)
+    flushed
+
+let reset t =
+  for node = 0 to t.n_nodes - 1 do
+    ignore (Cache.flush_all t.caches.(node))
+  done;
+  List.iter (fun (blk, _) -> Directory.set t.dir blk Directory.Idle)
+    (Directory.entries t.dir);
+  Hashtbl.reset t.pf_pending;
+  Hashtbl.reset t.past_sharers;
+  Stats.reset t.stat

@@ -1,0 +1,78 @@
+(** The Dir1SW cache-coherence protocol engine with CICO directives.
+
+    One [t] models a whole machine: per-node set-associative caches, a
+    directory, and a cost table. Data values are *not* stored here — the
+    simulator keeps shared memory in a flat array that is always current —
+    so the protocol tracks only coherence state and cost, which is all the
+    CICO model needs (annotations never change program semantics).
+
+    Protocol behaviour follows Dir1SW:
+    - a read miss performs an implicit check-out-shared;
+    - a write miss performs an implicit check-out-exclusive;
+    - a store that hits a [Shared] copy is a {e write fault}: if the block
+      has other sharers the directory traps to software, which sends one
+      invalidation per sharer; a lone sharer upgrades in hardware;
+    - [check_out_x] fetches (or upgrades to) an exclusive copy eagerly, so
+      a later read-then-write sequence pays no upgrade;
+    - [check_in] flushes the local copy and releases the directory entry,
+      so later writers pay no invalidation;
+    - replacement of a [Shared] line is silent, leaving a stale sharer in
+      the directory (whose invalidation is still paid later) — exactly the
+      waste check-in removes;
+    - prefetches start the transaction immediately but charge only the
+      issue cost; the block's [ready_at] models the overlapped latency. *)
+
+type miss_kind = Read_miss | Write_miss | Write_fault
+
+type outcome = {
+  latency : int;  (** cycles charged to the issuing node *)
+  miss : miss_kind option;  (** [None] for hits and directives *)
+}
+
+type t
+
+val create :
+  nodes:int -> cache_bytes:int -> assoc:int -> block_size:int ->
+  costs:Network.costs -> t
+
+val nodes : t -> int
+val block_size : t -> int
+val stats : t -> Stats.t
+val directory : t -> Directory.t
+val cache : t -> node:int -> Cache.t
+val costs : t -> Network.costs
+
+val block_of_addr : t -> int -> int
+
+val read : t -> node:int -> addr:int -> now:int -> outcome
+(** A shared-data load by [node] at virtual time [now]. *)
+
+val write : t -> node:int -> addr:int -> now:int -> outcome
+(** A shared-data store by [node] at virtual time [now]. *)
+
+val check_out_x : t -> node:int -> addr:int -> now:int -> outcome
+(** Explicit check-out-exclusive of the block containing [addr]. *)
+
+val check_out_s : t -> node:int -> addr:int -> now:int -> outcome
+(** Explicit check-out-shared of the block containing [addr]. *)
+
+val check_in : t -> node:int -> addr:int -> now:int -> outcome
+(** Explicit check-in (flush) of the block containing [addr]. *)
+
+val prefetch_x : t -> node:int -> addr:int -> now:int -> outcome
+val prefetch_s : t -> node:int -> addr:int -> now:int -> outcome
+
+val post_store : t -> node:int -> addr:int -> now:int -> outcome
+(** The KSR-1-style post-store the paper's introduction compares to
+    check-in: write the block back and broadcast read-only copies to every
+    node that held the block before losing it (invalidation or eviction).
+    The issuing node keeps a [Shared] copy; recipients get the data with
+    a one-transfer delay hidden behind [ready_at]. A no-op (beyond its
+    cost) when the node does not hold the block exclusive. *)
+
+val flush_node : t -> node:int -> unit
+(** Flush the node's entire shared-data cache, updating the directory.
+    Used at barriers during trace-collection runs (Section 3.3). *)
+
+val reset : t -> unit
+(** Drop all cache and directory state and zero the statistics. *)

@@ -1,0 +1,1 @@
+lib/trace/epoch.ml: Array Event Int List Printf Set

@@ -1,0 +1,1 @@
+lib/trace/epoch.mli: Event Set

@@ -1,0 +1,1 @@
+lib/trace/summary.ml: Array Epoch Event Format Fun Hashtbl List String

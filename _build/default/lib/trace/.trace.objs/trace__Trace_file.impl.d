@@ -1,0 +1,1 @@
+lib/trace/trace_file.ml: Buffer Event Format Fun List Printf String

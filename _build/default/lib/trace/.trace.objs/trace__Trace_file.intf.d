@@ -1,0 +1,1 @@
+lib/trace/trace_file.mli: Buffer Event

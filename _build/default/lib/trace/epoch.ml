@@ -1,0 +1,98 @@
+module Iset = Set.Make (Int)
+
+type node_misses = { reads : Iset.t; writes : Iset.t; faults : Iset.t }
+
+let empty_misses =
+  { reads = Iset.empty; writes = Iset.empty; faults = Iset.empty }
+
+type t = {
+  index : int;
+  start_pc : int option;
+  end_pc : int option;
+  misses : Event.miss list;
+  per_node : node_misses array;
+}
+
+let static_key e = (e.start_pc, e.end_pc)
+
+let per_node_of_misses ~nodes misses =
+  let arr = Array.make nodes empty_misses in
+  List.iter
+    (fun (m : Event.miss) ->
+      if m.node < 0 || m.node >= nodes then
+        failwith (Printf.sprintf "trace: node %d out of range" m.node);
+      let nm = arr.(m.node) in
+      arr.(m.node) <-
+        (match m.kind with
+        | Event.Read_miss -> { nm with reads = Iset.add m.addr nm.reads }
+        | Event.Write_miss -> { nm with writes = Iset.add m.addr nm.writes }
+        | Event.Write_fault -> { nm with faults = Iset.add m.addr nm.faults }))
+    misses;
+  arr
+
+let split ~nodes records =
+  let labels = ref [] in
+  let epochs = ref [] in
+  let current_misses = ref [] in
+  let current_barriers = ref [] in
+  let start_pc = ref None in
+  let index = ref 0 in
+  let close_epoch ~end_pc =
+    let misses = List.rev !current_misses in
+    epochs :=
+      {
+        index = !index;
+        start_pc = !start_pc;
+        end_pc;
+        misses;
+        per_node = per_node_of_misses ~nodes misses;
+      }
+      :: !epochs;
+    incr index;
+    current_misses := [];
+    start_pc := end_pc
+  in
+  let flush_barriers () =
+    match !current_barriers with
+    | [] -> ()
+    | (b : Event.barrier) :: rest ->
+        let n = List.length !current_barriers in
+        if n <> nodes then
+          failwith
+            (Printf.sprintf "trace: barrier group has %d records, expected %d"
+               n nodes);
+        List.iter
+          (fun (b' : Event.barrier) ->
+            if b'.vt <> b.vt || b'.bpc <> b.bpc then
+              failwith "trace: inconsistent barrier group")
+          rest;
+        current_barriers := [];
+        close_epoch ~end_pc:(Some b.bpc)
+  in
+  List.iter
+    (fun r ->
+      match r with
+      | Event.Label { name; lo; hi } -> labels := (name, lo, hi) :: !labels
+      | Event.Barrier b -> current_barriers := b :: !current_barriers
+      | Event.Miss m ->
+          flush_barriers ();
+          current_misses := m :: !current_misses)
+    records;
+  flush_barriers ();
+  if !current_misses <> [] then close_epoch ~end_pc:None;
+  (List.rev !epochs, List.rev !labels)
+
+let touched_nodes e ~addr =
+  List.filter_map
+    (fun (m : Event.miss) ->
+      if m.addr = addr then
+        Some (m.node, m.kind = Event.Write_miss || m.kind = Event.Write_fault)
+      else None)
+    e.misses
+
+let pcs_for_addr e ~node ~addr =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (m : Event.miss) ->
+         if m.node = node && m.addr = addr then Some m.pc else None)
+       e.misses)

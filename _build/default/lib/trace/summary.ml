@@ -1,0 +1,165 @@
+type region_stats = {
+  rname : string;
+  read_misses : int;
+  write_misses : int;
+  write_faults : int;
+  touching_nodes : int;
+  distinct_addrs : int;
+}
+
+type epoch_summary = {
+  eindex : int;
+  start_pc : int option;
+  end_pc : int option;
+  total_misses : int;
+  regions : region_stats list;
+}
+
+type t = {
+  nodes : int;
+  epochs : epoch_summary list;
+  totals : region_stats list;
+  handoffs : int array array;
+}
+
+type acc = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable faults : int;
+  mutable nodes_mask : int;
+  addrs : (int, unit) Hashtbl.t;
+}
+
+let fresh_acc () =
+  { reads = 0; writes = 0; faults = 0; nodes_mask = 0; addrs = Hashtbl.create 64 }
+
+let stats_of_acc rname a =
+  {
+    rname;
+    read_misses = a.reads;
+    write_misses = a.writes;
+    write_faults = a.faults;
+    touching_nodes = a.nodes_mask;
+    distinct_addrs = Hashtbl.length a.addrs;
+  }
+
+let total_of r = r.read_misses + r.write_misses + r.write_faults
+
+let analyze ~nodes ~labels records =
+  let epochs, trace_labels = Epoch.split ~nodes records in
+  let all_labels =
+    labels
+    @ List.filter
+        (fun (name, _, _) -> not (List.mem_assoc name (List.map (fun (n, l, h) -> (n, (l, h))) labels)))
+        trace_labels
+  in
+  let region_of addr =
+    match
+      List.find_opt (fun (_, lo, hi) -> addr >= lo && addr <= hi) all_labels
+    with
+    | Some (name, _, _) -> name
+    | None -> "<unlabelled>"
+  in
+  let tally misses =
+    let table : (string, acc) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (m : Event.miss) ->
+        let name = region_of m.Event.addr in
+        let a =
+          match Hashtbl.find_opt table name with
+          | Some a -> a
+          | None ->
+              let a = fresh_acc () in
+              Hashtbl.add table name a;
+              a
+        in
+        (match m.Event.kind with
+        | Event.Read_miss -> a.reads <- a.reads + 1
+        | Event.Write_miss -> a.writes <- a.writes + 1
+        | Event.Write_fault -> a.faults <- a.faults + 1);
+        a.nodes_mask <- a.nodes_mask lor (1 lsl m.Event.node);
+        Hashtbl.replace a.addrs m.Event.addr ())
+      misses;
+    Hashtbl.fold (fun name a l -> stats_of_acc name a :: l) table []
+    |> List.sort (fun a b -> compare (total_of b) (total_of a))
+  in
+  let epoch_summaries =
+    List.map
+      (fun (e : Epoch.t) ->
+        let regions = tally e.Epoch.misses in
+        {
+          eindex = e.Epoch.index;
+          start_pc = e.Epoch.start_pc;
+          end_pc = e.Epoch.end_pc;
+          total_misses = List.length e.Epoch.misses;
+          regions;
+        })
+      epochs
+  in
+  let totals =
+    tally (List.concat_map (fun (e : Epoch.t) -> e.Epoch.misses) epochs)
+  in
+  (* producer-to-consumer handoffs between consecutive epochs *)
+  let handoffs = Array.make_matrix nodes nodes 0 in
+  let rec scan = function
+    | (e1 : Epoch.t) :: (e2 :: _ as rest) ->
+        for producer = 0 to nodes - 1 do
+          let written =
+            Epoch.Iset.union e1.Epoch.per_node.(producer).Epoch.writes
+              e1.Epoch.per_node.(producer).Epoch.faults
+          in
+          for consumer = 0 to nodes - 1 do
+            if consumer <> producer then begin
+              let touched =
+                let nm = e2.Epoch.per_node.(consumer) in
+                Epoch.Iset.union nm.Epoch.reads
+                  (Epoch.Iset.union nm.Epoch.writes nm.Epoch.faults)
+              in
+              handoffs.(producer).(consumer) <-
+                handoffs.(producer).(consumer)
+                + Epoch.Iset.cardinal (Epoch.Iset.inter written touched)
+            end
+          done
+        done;
+        scan rest
+    | [ _ ] | [] -> ()
+  in
+  scan epochs;
+  { nodes; epochs = epoch_summaries; totals; handoffs }
+
+let hottest_region t =
+  match t.totals with [] -> None | r :: _ -> Some r.rname
+
+let pp_region ppf r =
+  Format.fprintf ppf "%-12s %6dR %6dW %6dF  %3d addrs  nodes %s" r.rname
+    r.read_misses r.write_misses r.write_faults r.distinct_addrs
+    (String.concat ","
+       (List.filter_map
+          (fun i ->
+            if r.touching_nodes land (1 lsl i) <> 0 then Some (string_of_int i)
+            else None)
+          (List.init 62 Fun.id)))
+
+let pp ppf t =
+  let f fmt = Format.fprintf ppf fmt in
+  f "@[<v>== per-region totals ==@,";
+  List.iter (fun r -> f "%a@," pp_region r) t.totals;
+  f "@,== per-epoch profile ==@,";
+  List.iter
+    (fun e ->
+      f "epoch %d (pc %s -> %s): %d misses@," e.eindex
+        (match e.start_pc with None -> "start" | Some p -> string_of_int p)
+        (match e.end_pc with None -> "end" | Some p -> string_of_int p)
+        e.total_misses;
+      List.iter (fun r -> f "  %a@," pp_region r) e.regions)
+    t.epochs;
+  f "@,== producer -> consumer handoffs (addresses) ==@,";
+  for p = 0 to t.nodes - 1 do
+    for c = 0 to t.nodes - 1 do
+      if t.handoffs.(p).(c) > 0 then
+        f "node %d -> node %d: %d@," p c t.handoffs.(p).(c)
+    done
+  done;
+  f "@]"
+
+let to_string t = Format.asprintf "%a" pp t

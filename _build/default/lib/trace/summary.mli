@@ -1,0 +1,51 @@
+(** Trace analysis: the kind of profile the paper's hand-annotators worked
+    from ("the hand CICO was carefully done ... with the aid of existing
+    profiling tools").
+
+    Summaries are computed per labelled region and per epoch: miss counts
+    by kind, the set of nodes touching each region, and a node-to-node
+    sharing matrix (how many addresses written by one node are touched by
+    another in the next epoch — the communication the CICO annotations
+    target). *)
+
+type region_stats = {
+  rname : string;
+  read_misses : int;
+  write_misses : int;
+  write_faults : int;
+  touching_nodes : int;  (** bitmask *)
+  distinct_addrs : int;
+}
+
+type epoch_summary = {
+  eindex : int;
+  start_pc : int option;
+  end_pc : int option;
+  total_misses : int;
+  regions : region_stats list;  (** only regions with misses, sorted by
+                                    total misses, descending *)
+}
+
+type t = {
+  nodes : int;
+  epochs : epoch_summary list;
+  totals : region_stats list;  (** whole-trace per-region totals *)
+  handoffs : int array array;
+      (** [handoffs.(from).(to_)] counts addresses written by [from] in
+          one epoch and touched by [to_] in the next — the producer to
+          consumer traffic check-in/check-out optimise *)
+}
+
+val analyze :
+  nodes:int -> labels:(string * int * int) list -> Event.record list -> t
+(** [labels] maps region names to byte ranges (as produced by
+    {!Lang.Label.to_label_records} or read from the trace itself); any
+    [Label] records present in the trace are used as well. *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-section human-readable report. *)
+
+val to_string : t -> string
+
+val hottest_region : t -> string option
+(** Name of the region with the most misses overall. *)

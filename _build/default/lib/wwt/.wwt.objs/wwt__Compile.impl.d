@@ -1,0 +1,1 @@
+lib/wwt/compile.ml: Array Ast Float Format Hashtbl Interp Label Lang List Machine Memsys Option Printf Sched Sema String Trace Value

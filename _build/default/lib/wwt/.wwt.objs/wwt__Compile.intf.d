@@ -1,0 +1,1 @@
+lib/wwt/compile.mli: Interp Lang Machine

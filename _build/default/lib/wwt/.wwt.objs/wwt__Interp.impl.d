@@ -1,0 +1,1 @@
+lib/wwt/interp.ml: Array Ast Float Format Hashtbl Int64 Label Lang List Machine Memsys Option Printf Sched Sema String Trace Value

@@ -1,0 +1,1 @@
+lib/wwt/interp.mli: Lang Machine Memsys Trace

@@ -1,0 +1,1 @@
+lib/wwt/machine.ml: Memsys

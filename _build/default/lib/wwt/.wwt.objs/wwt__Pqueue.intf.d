@@ -1,0 +1,1 @@
+lib/wwt/pqueue.mli:

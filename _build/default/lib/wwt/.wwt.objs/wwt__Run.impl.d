@@ -1,0 +1,1 @@
+lib/wwt/run.ml: Compile Interp Lang Machine

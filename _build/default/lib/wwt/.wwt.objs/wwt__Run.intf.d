@@ -1,0 +1,1 @@
+lib/wwt/run.mli: Interp Lang Machine

@@ -1,0 +1,1 @@
+lib/wwt/sched.ml: Array Effect Hashtbl List Pqueue Printf Queue

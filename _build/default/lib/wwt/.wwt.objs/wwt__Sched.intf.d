@@ -1,0 +1,1 @@
+lib/wwt/sched.mli:

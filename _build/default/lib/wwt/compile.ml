@@ -1,0 +1,605 @@
+open Lang
+
+let error fmt = Format.kasprintf (fun s -> raise (Interp.Runtime_error s)) fmt
+
+exception Returning of Value.t option
+
+(* ---- runtime state (mirrors Interp's) ---- *)
+
+type rt_global = {
+  machine : Machine.t;
+  layout : Label.t;
+  proto : Memsys.Protocol.t;
+  shared : Value.t array;
+  trace_buf : Trace.Event.record list ref;
+  output_buf : string list ref;
+}
+
+type rt = {
+  node : int;
+  privates : Value.t array array;  (* indexed by compile-time private id *)
+  mutable pending : int;
+  mutable held_locks : int list;
+}
+
+type frame = Value.t array
+
+type cexpr = rt_global -> rt -> frame -> Value.t
+type cstmt = rt_global -> rt -> frame -> unit
+
+type cproc = { arity : int; nslots : int; mutable cbody : cstmt }
+
+(* ---- cost plumbing (identical to Interp) ---- *)
+
+let flush_pending r =
+  if r.pending > 0 then begin
+    Sched.advance r.pending;
+    r.pending <- 0
+  end
+
+let charge g r =
+  r.pending <- r.pending + g.machine.Machine.costs.Memsys.Network.local_op
+
+let maybe_yield g r =
+  if r.pending >= g.machine.Machine.quantum then flush_pending r
+
+let virtual_now r = Sched.now () + r.pending
+
+let record_miss g r ~pc ~addr (o : Memsys.Protocol.outcome) =
+  (match o.Memsys.Protocol.miss with
+  | Some kind when g.machine.Machine.collect_trace ->
+      g.trace_buf :=
+        Trace.Event.Miss
+          {
+            node = r.node;
+            pc;
+            addr;
+            kind = Trace.Event.miss_kind_of_protocol kind;
+            held = r.held_locks;
+          }
+        :: !(g.trace_buf)
+  | Some _ | None -> ());
+  r.pending <- r.pending + o.Memsys.Protocol.latency
+
+(* ---- compile-time environment ---- *)
+
+type array_ref =
+  | Ashared of Label.entry
+  | Aprivate of int * int  (* private id, element count *)
+
+type cenv = {
+  info : Sema.info;
+  genv_layout : Label.t;
+  consts : (string * Value.t) list;
+  procs : (string, cproc) Hashtbl.t;
+  private_ids : (string * int) list;
+  (* per-proc, during compilation: *)
+  slots : (string, int) Hashtbl.t;
+  mutable next_slot : int;
+}
+
+let array_ref env name =
+  match Label.find_array env.genv_layout name with
+  | Some e -> Some (Ashared e)
+  | None -> (
+      match List.assoc_opt name env.private_ids with
+      | Some id -> Some (Aprivate (id, List.assoc name env.info.Sema.privates))
+      | None -> None)
+
+let slot_of env name =
+  match Hashtbl.find_opt env.slots name with
+  | Some i -> i
+  | None ->
+      let i = env.next_slot in
+      env.next_slot <- i + 1;
+      Hashtbl.add env.slots name i;
+      i
+
+(* names assigned anywhere in the procedure become frame slots *)
+let collect_slots env (proc : Ast.proc) =
+  Hashtbl.reset env.slots;
+  env.next_slot <- 0;
+  List.iter (fun p -> ignore (slot_of env p)) proc.Ast.params;
+  let probe = { Ast.decls = []; procs = [ proc ] } in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Sassign (Ast.Lvar name, _) -> ignore (slot_of env name)
+      | Ast.Sfor { var; _ } -> ignore (slot_of env var)
+      | _ -> ())
+    probe
+
+(* ---- shared-memory accesses ---- *)
+
+let shared_read g r ~pc (entry : Label.entry) i =
+  if i < 0 || i >= entry.Label.elems then
+    error "index %d out of bounds for shared array %s[%d]" i entry.Label.name
+      entry.Label.elems;
+  let addr = entry.Label.base + (i * entry.Label.elem_size) in
+  let o = Memsys.Protocol.read g.proto ~node:r.node ~addr ~now:(virtual_now r) in
+  record_miss g r ~pc ~addr o;
+  g.shared.(addr / g.machine.Machine.elem_size)
+
+let shared_write g r ~pc (entry : Label.entry) i v =
+  if i < 0 || i >= entry.Label.elems then
+    error "index %d out of bounds for shared array %s[%d]" i entry.Label.name
+      entry.Label.elems;
+  let addr = entry.Label.base + (i * entry.Label.elem_size) in
+  let o = Memsys.Protocol.write g.proto ~node:r.node ~addr ~now:(virtual_now r) in
+  record_miss g r ~pc ~addr o;
+  g.shared.(addr / g.machine.Machine.elem_size) <- v
+
+(* ---- expression compilation ---- *)
+
+let apply_binop op va vb =
+  match op with
+  | Ast.Add -> Value.add va vb
+  | Ast.Sub -> Value.sub va vb
+  | Ast.Mul -> Value.mul va vb
+  | Ast.Div -> Value.div va vb
+  | Ast.Mod -> Value.modulo va vb
+  | Ast.Lt -> Value.of_bool (Value.compare_num va vb < 0)
+  | Ast.Le -> Value.of_bool (Value.compare_num va vb <= 0)
+  | Ast.Gt -> Value.of_bool (Value.compare_num va vb > 0)
+  | Ast.Ge -> Value.of_bool (Value.compare_num va vb >= 0)
+  | Ast.Eq -> Value.of_bool (Value.equal va vb)
+  | Ast.Ne -> Value.of_bool (not (Value.equal va vb))
+  | Ast.And | Ast.Or -> assert false
+
+let rec compile_expr env ~pc (e : Ast.expr) : cexpr =
+  match e with
+  | Ast.Eint i ->
+      let v = Value.Vint i in
+      fun g r _ -> charge g r; v
+  | Ast.Efloat f ->
+      let v = Value.Vfloat f in
+      fun g r _ -> charge g r; v
+  | Ast.Evar name -> (
+      match array_ref env name with
+      | Some _ ->
+          (* sema rejects this; defensive *)
+          fun _ _ _ -> error "array %S used without a subscript" name
+      | None ->
+          if Hashtbl.mem env.slots name then begin
+            let i = Hashtbl.find env.slots name in
+            fun g r frame -> charge g r; frame.(i)
+          end
+          else if name = "pid" then fun g r _ -> charge g r; Value.Vint r.node
+          else if name = "nprocs" then
+            fun g r _ ->
+              charge g r;
+              Value.Vint g.machine.Machine.nodes
+          else (
+            match List.assoc_opt name env.consts with
+            | Some v -> fun g r _ -> charge g r; v
+            | None -> fun _ _ _ -> error "undefined variable %S" name))
+  | Ast.Eindex (name, idx) -> (
+      let cidx = compile_expr env ~pc idx in
+      match array_ref env name with
+      | Some (Ashared entry) ->
+          fun g r frame ->
+            charge g r;
+            let i = Value.to_int (cidx g r frame) in
+            shared_read g r ~pc entry i
+      | Some (Aprivate (id, size)) ->
+          fun g r frame ->
+            charge g r;
+            let i = Value.to_int (cidx g r frame) in
+            if i < 0 || i >= size then
+              error "index %d out of bounds for private array %s[%d]" i name size;
+            let stats = Memsys.Protocol.stats g.proto in
+            stats.Memsys.Stats.private_reads <-
+              stats.Memsys.Stats.private_reads + 1;
+            r.privates.(id).(i)
+      | None -> fun _ _ _ -> error "subscript of non-array %S" name)
+  | Ast.Ebinop (Ast.And, a, b) ->
+      let ca = compile_expr env ~pc a and cb = compile_expr env ~pc b in
+      fun g r frame ->
+        charge g r;
+        if Value.to_bool (ca g r frame) then
+          Value.of_bool (Value.to_bool (cb g r frame))
+        else Value.of_bool false
+  | Ast.Ebinop (Ast.Or, a, b) ->
+      let ca = compile_expr env ~pc a and cb = compile_expr env ~pc b in
+      fun g r frame ->
+        charge g r;
+        if Value.to_bool (ca g r frame) then Value.of_bool true
+        else Value.of_bool (Value.to_bool (cb g r frame))
+  | Ast.Ebinop (op, a, b) ->
+      let ca = compile_expr env ~pc a and cb = compile_expr env ~pc b in
+      fun g r frame ->
+        charge g r;
+        let va = ca g r frame in
+        let vb = cb g r frame in
+        (try apply_binop op va vb
+         with Division_by_zero -> error "division by zero")
+  | Ast.Eunop (Ast.Neg, a) ->
+      let ca = compile_expr env ~pc a in
+      fun g r frame -> charge g r; Value.neg (ca g r frame)
+  | Ast.Eunop (Ast.Not, a) ->
+      let ca = compile_expr env ~pc a in
+      fun g r frame ->
+        charge g r;
+        Value.of_bool (not (Value.to_bool (ca g r frame)))
+  | Ast.Ecall (name, args) ->
+      let call = compile_call env ~pc name args in
+      fun g r frame ->
+        charge g r;
+        call g r frame
+
+(* calls in statement position are not charged as an expression node *)
+and compile_call env ~pc name args : cexpr =
+  let cargs = List.map (compile_expr env ~pc) args in
+  let eval2 g r frame =
+    match cargs with
+    | [ c1; c2 ] ->
+        let v1 = c1 g r frame in
+        let v2 = c2 g r frame in
+        (v1, v2)
+    | _ -> assert false
+  in
+  let eval1 g r frame =
+    match cargs with [ c ] -> c g r frame | _ -> assert false
+  in
+  match (name, List.length args) with
+  | "min", 2 ->
+      fun g r frame ->
+        let a, b = eval2 g r frame in
+        if Value.compare_num a b <= 0 then a else b
+  | "max", 2 ->
+      fun g r frame ->
+        let a, b = eval2 g r frame in
+        if Value.compare_num a b >= 0 then a else b
+  | "abs", 1 -> (
+      fun g r frame ->
+        match eval1 g r frame with
+        | Value.Vint i -> Value.Vint (abs i)
+        | Value.Vfloat f -> Value.Vfloat (Float.abs f))
+  | "sqrt", 1 ->
+      fun g r frame -> Value.Vfloat (sqrt (Value.to_float (eval1 g r frame)))
+  | "sin", 1 ->
+      fun g r frame -> Value.Vfloat (sin (Value.to_float (eval1 g r frame)))
+  | "cos", 1 ->
+      fun g r frame -> Value.Vfloat (cos (Value.to_float (eval1 g r frame)))
+  | "floor", 1 ->
+      fun g r frame ->
+        Value.Vfloat (Float.floor (Value.to_float (eval1 g r frame)))
+  | "float", 1 ->
+      fun g r frame -> Value.Vfloat (Value.to_float (eval1 g r frame))
+  | "int", 1 ->
+      fun g r frame -> Value.Vint (Value.to_int (eval1 g r frame))
+  | "noise", 1 ->
+      fun g r frame -> Value.Vfloat (Interp.noise (Value.to_int (eval1 g r frame)))
+  | _ ->
+      let procs = env.procs in
+      fun g r frame ->
+        let rec eval_list = function
+          | [] -> []
+          | c :: rest ->
+              let v = c g r frame in
+              v :: eval_list rest
+        in
+        let values = eval_list cargs in
+        let cp =
+          match Hashtbl.find_opt procs name with
+          | Some cp -> cp
+          | None -> error "call of unknown procedure %S" name
+        in
+        if List.length values <> cp.arity then
+          error "procedure %S called with %d argument(s), expects %d" name
+            (List.length values) cp.arity;
+        let callee = Array.make (max 1 cp.nslots) Value.zero in
+        List.iteri (fun i v -> callee.(i) <- v) values;
+        (try
+           cp.cbody g r callee;
+           Value.zero
+         with Returning v -> Option.value ~default:Value.zero v)
+
+(* ---- statement compilation ---- *)
+
+let compile_annot env (kind : Ast.annot_kind) arr =
+  let directive =
+    match kind with
+    | Ast.Check_out_x -> Memsys.Protocol.check_out_x
+    | Ast.Check_out_s -> Memsys.Protocol.check_out_s
+    | Ast.Check_in -> Memsys.Protocol.check_in
+    | Ast.Prefetch_x -> Memsys.Protocol.prefetch_x
+    | Ast.Prefetch_s -> Memsys.Protocol.prefetch_s
+    | Ast.Post_store -> Memsys.Protocol.post_store
+  in
+  let is_prefetch = kind = Ast.Prefetch_x || kind = Ast.Prefetch_s in
+  match array_ref env arr with
+  | Some (Ashared entry) ->
+      Some
+        (fun g r (ranges : (int * int) list) ->
+          match g.machine.Machine.annotations with
+          | Machine.Ignore_annotations -> ()
+          | Machine.Execute_annotations ->
+              if not (is_prefetch && not g.machine.Machine.prefetch) then
+                let elem_size = entry.Label.elem_size in
+                let block_size = g.machine.Machine.block_size in
+                List.iter
+                  (fun (lo_i, hi_i) ->
+                    let lo_i = max 0 lo_i
+                    and hi_i = min (entry.Label.elems - 1) hi_i in
+                    if lo_i <= hi_i then
+                      let lo_addr = entry.Label.base + (lo_i * elem_size) in
+                      let hi_addr =
+                        entry.Label.base + (hi_i * elem_size) + elem_size - 1
+                      in
+                      List.iter
+                        (fun blk ->
+                          let addr =
+                            Memsys.Block.base_addr ~block_size blk
+                          in
+                          let o =
+                            directive g.proto ~node:r.node ~addr
+                              ~now:(virtual_now r)
+                          in
+                          r.pending <- r.pending + o.Memsys.Protocol.latency)
+                        (Memsys.Block.blocks_of_range ~block_size ~lo:lo_addr
+                           ~hi:hi_addr))
+                  ranges)
+  | Some (Aprivate _) | None -> None
+
+let rec compile_stmt env (s : Ast.stmt) : cstmt =
+  let pc = s.Ast.sid in
+  let is_annot = Ast.is_annotation s in
+  let body : cstmt =
+    match s.Ast.node with
+    | Ast.Sassign (Ast.Lvar name, e) ->
+        let ce = compile_expr env ~pc e in
+        let i = slot_of env name in
+        fun g r frame -> frame.(i) <- ce g r frame
+    | Ast.Sassign (Ast.Lindex (name, idx), e) -> (
+        let ce = compile_expr env ~pc e in
+        let cidx = compile_expr env ~pc idx in
+        match array_ref env name with
+        | Some (Ashared entry) ->
+            fun g r frame ->
+              let v = ce g r frame in
+              let i = Value.to_int (cidx g r frame) in
+              shared_write g r ~pc entry i v
+        | Some (Aprivate (id, size)) ->
+            fun g r frame ->
+              let v = ce g r frame in
+              let i = Value.to_int (cidx g r frame) in
+              if i < 0 || i >= size then
+                error "index %d out of bounds for private array %s[%d]" i name
+                  size;
+              let stats = Memsys.Protocol.stats g.proto in
+              stats.Memsys.Stats.private_writes <-
+                stats.Memsys.Stats.private_writes + 1;
+              r.privates.(id).(i) <- v
+        | None -> fun _ _ _ -> error "assignment to non-array %S" name)
+    | Ast.Sif (cond, b1, b2) ->
+        let cc = compile_expr env ~pc cond in
+        let cb1 = compile_block env b1 and cb2 = compile_block env b2 in
+        fun g r frame ->
+          if Value.to_bool (cc g r frame) then cb1 g r frame else cb2 g r frame
+    | Ast.Sfor { var; from_; to_; step; body } ->
+        let cfrom = compile_expr env ~pc from_ in
+        let cto = compile_expr env ~pc to_ in
+        let cstep = compile_expr env ~pc step in
+        let slot = slot_of env var in
+        let cbody = compile_block env body in
+        fun g r frame ->
+          let lo = cfrom g r frame in
+          let hi = cto g r frame in
+          let st = cstep g r frame in
+          let stf = Value.to_float st in
+          if stf = 0.0 then error "loop step is zero";
+          let continues v =
+            if stf > 0.0 then Value.compare_num v hi <= 0
+            else Value.compare_num v hi >= 0
+          in
+          let cur = ref lo in
+          while continues !cur do
+            frame.(slot) <- !cur;
+            cbody g r frame;
+            r.pending <- r.pending + 1;
+            cur := Value.add !cur st
+          done
+    | Ast.Swhile (cond, body) ->
+        let cc = compile_expr env ~pc cond in
+        let cbody = compile_block env body in
+        fun g r frame ->
+          while Value.to_bool (cc g r frame) do
+            cbody g r frame
+          done
+    | Ast.Sbarrier ->
+        fun _ r _ ->
+          flush_pending r;
+          Sched.barrier_sync ~pc
+    | Ast.Scall (name, args) ->
+        let call = compile_call env ~pc name args in
+        fun g r frame -> ignore (call g r frame)
+    | Ast.Sreturn None -> fun _ _ _ -> raise (Returning None)
+    | Ast.Sreturn (Some e) ->
+        let ce = compile_expr env ~pc e in
+        fun g r frame -> raise (Returning (Some (ce g r frame)))
+    | Ast.Slock e ->
+        let ce = compile_expr env ~pc e in
+        fun g r frame ->
+          let l = Value.to_int (ce g r frame) in
+          flush_pending r;
+          Sched.lock_acquire l;
+          r.held_locks <- l :: r.held_locks
+    | Ast.Sunlock e ->
+        let ce = compile_expr env ~pc e in
+        fun g r frame ->
+          let l = Value.to_int (ce g r frame) in
+          r.held_locks <- List.filter (fun h -> h <> l) r.held_locks;
+          flush_pending r;
+          Sched.lock_release l
+    | Ast.Sannot (kind, { arr; lo; hi }) -> (
+        let clo = compile_expr env ~pc lo in
+        let chi = compile_expr env ~pc hi in
+        match compile_annot env kind arr with
+        | Some exec ->
+            fun g r frame ->
+              let lo_i = Value.to_int (clo g r frame) in
+              let hi_i = Value.to_int (chi g r frame) in
+              exec g r [ (lo_i, hi_i) ]
+        | None -> fun _ _ _ -> error "annotation on unknown shared array %S" arr)
+    | Ast.Sannot_table { akind; aarr; aranges } -> (
+        match compile_annot env akind aarr with
+        | Some exec ->
+            fun g r _ ->
+              let ranges =
+                if r.node < Array.length aranges then aranges.(r.node) else []
+              in
+              exec g r ranges
+        | None -> fun _ _ _ -> error "annotation on unknown shared array %S" aarr)
+    | Ast.Sprint args ->
+        let cargs = List.map (compile_expr env ~pc) args in
+        fun g r frame ->
+          let rec eval_list = function
+            | [] -> []
+            | c :: rest ->
+                let v = c g r frame in
+                v :: eval_list rest
+          in
+          let values = eval_list cargs in
+          g.output_buf :=
+            Printf.sprintf "p%d: %s" r.node
+              (String.concat " " (List.map Value.to_string values))
+            :: !(g.output_buf)
+  in
+  if is_annot then fun g r frame ->
+    charge g r;
+    body g r frame
+  else fun g r frame ->
+    charge g r;
+    maybe_yield g r;
+    body g r frame
+
+and compile_block env block =
+  let stmts = List.map (compile_stmt env) block in
+  fun g r frame -> List.iter (fun st -> st g r frame) stmts
+
+(* ---- program compilation and execution ---- *)
+
+let compile ~machine program =
+  let info = Sema.check program in
+  let layout =
+    Label.layout ~block_size:machine.Machine.block_size
+      ~elem_size:machine.Machine.elem_size info
+  in
+  let env =
+    {
+      info;
+      genv_layout = layout;
+      consts = info.Sema.consts;
+      procs = Hashtbl.create 16;
+      private_ids = List.mapi (fun i (name, _) -> (name, i)) info.Sema.privates;
+      slots = Hashtbl.create 16;
+      next_slot = 0;
+    }
+  in
+  (* declare every procedure first so calls resolve in any order *)
+  List.iter
+    (fun (p : Ast.proc) ->
+      Hashtbl.replace env.procs p.Ast.pname
+        {
+          arity = List.length p.Ast.params;
+          nslots = 0;
+          cbody = (fun _ _ _ -> ());
+        })
+    program.Ast.procs;
+  List.iter
+    (fun (p : Ast.proc) ->
+      collect_slots env p;
+      let cbody = compile_block env p.Ast.body in
+      let cp = Hashtbl.find env.procs p.Ast.pname in
+      cp.cbody <- cbody;
+      Hashtbl.replace env.procs p.Ast.pname { cp with nslots = env.next_slot })
+    program.Ast.procs;
+  (info, layout, env)
+
+let run ~machine program =
+  let info, layout, env = compile ~machine program in
+  let proto =
+    Memsys.Protocol.create ~nodes:machine.Machine.nodes
+      ~cache_bytes:machine.Machine.cache_bytes ~assoc:machine.Machine.assoc
+      ~block_size:machine.Machine.block_size ~costs:machine.Machine.costs
+  in
+  let total_elems =
+    (Label.total_bytes layout + machine.Machine.elem_size - 1)
+    / machine.Machine.elem_size
+  in
+  let g =
+    {
+      machine;
+      layout;
+      proto;
+      shared = Array.make (max 1 total_elems) Value.zero;
+      trace_buf = ref [];
+      output_buf = ref [];
+    }
+  in
+  if machine.Machine.collect_trace then
+    g.trace_buf :=
+      List.rev_map
+        (fun (name, lo, hi) -> Trace.Event.Label { name; lo; hi })
+        (Label.to_label_records layout);
+  let stats = Memsys.Protocol.stats proto in
+  let on_barrier ~vt ~arrivals =
+    stats.Memsys.Stats.barriers <- stats.Memsys.Stats.barriers + 1;
+    if machine.Machine.flush_at_barrier then
+      for node = 0 to machine.Machine.nodes - 1 do
+        Memsys.Protocol.flush_node proto ~node
+      done;
+    if machine.Machine.collect_trace then
+      List.iter
+        (fun (node, bpc) ->
+          g.trace_buf :=
+            Trace.Event.Barrier { bnode = node; bpc; vt } :: !(g.trace_buf))
+        arrivals
+  in
+  let on_lock_acquire ~node:_ ~lock:_ =
+    stats.Memsys.Stats.lock_acquires <- stats.Memsys.Stats.lock_acquires + 1
+  in
+  let main =
+    match Hashtbl.find_opt env.procs "main" with
+    | Some cp -> cp
+    | None -> error "program has no main procedure"
+  in
+  let body node =
+    let r =
+      {
+        node;
+        privates =
+          Array.of_list
+            (List.map (fun (_, elems) -> Array.make elems Value.zero)
+               info.Sema.privates);
+        pending = 0;
+        held_locks = [];
+      }
+    in
+    let frame = Array.make (max 1 main.nslots) Value.zero in
+    (try main.cbody g r frame with Returning _ -> ());
+    flush_pending r
+  in
+  let time =
+    Sched.run
+      {
+        Sched.nodes = machine.Machine.nodes;
+        barrier_cost = machine.Machine.costs.Memsys.Network.barrier;
+        lock_transfer = machine.Machine.costs.Memsys.Network.lock_transfer;
+        on_barrier;
+        on_lock_acquire;
+      }
+      body
+  in
+  {
+    Interp.time;
+    stats;
+    trace = List.rev !(g.trace_buf);
+    output = List.rev !(g.output_buf);
+    shared = g.shared;
+    layout;
+    info;
+  }
+
+let compile_only ~machine program = ignore (compile ~machine program)

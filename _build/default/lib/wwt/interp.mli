@@ -1,0 +1,34 @@
+(** SPMD interpreter: runs a mini-language program on the simulated
+    Dir1SW machine.
+
+    Every node executes [main] as a fiber under {!Sched}; shared-array
+    accesses are costed by {!Memsys.Protocol} and, in trace mode, recorded
+    as miss events grouped into epochs by barrier records (Section 3.3).
+    CICO annotations are executed as memory-system directives when the
+    machine says so, and are otherwise free no-ops — they never change
+    program results. *)
+
+exception Runtime_error of string
+
+type outcome = {
+  time : int;  (** simulated execution time in cycles *)
+  stats : Memsys.Stats.t;
+  trace : Trace.Event.record list;  (** empty unless trace collection is on *)
+  output : string list;  (** [print] statements, tagged with the node *)
+  shared : Lang.Value.t array;  (** final shared memory, element-indexed *)
+  layout : Lang.Label.t;
+  info : Lang.Sema.info;
+}
+
+val run : machine:Machine.t -> Lang.Ast.program -> outcome
+(** @raise Runtime_error on out-of-bounds accesses, undefined variables,
+    division by zero, zero loop steps, or unknown calls.
+    @raise Sched.Deadlock if the program's barriers do not line up. *)
+
+val shared_value : outcome -> string -> int -> Lang.Value.t
+(** [shared_value o arr i] reads element [i] of shared array [arr] from the
+    final memory image. *)
+
+val noise : int -> float
+(** The deterministic [noise] intrinsic: a splitmix64-style hash of the
+    argument mapped to [0, 1). Exposed for tests and workload builders. *)

@@ -1,0 +1,57 @@
+type annot_mode = Ignore_annotations | Execute_annotations
+
+type t = {
+  nodes : int;
+  cache_bytes : int;
+  assoc : int;
+  block_size : int;
+  elem_size : int;
+  costs : Memsys.Network.costs;
+  flush_at_barrier : bool;
+  collect_trace : bool;
+  annotations : annot_mode;
+  prefetch : bool;
+  quantum : int;
+}
+
+let default =
+  {
+    nodes = 8;
+    cache_bytes = 16 * 1024;
+    assoc = 4;
+    block_size = 32;
+    elem_size = 8;
+    costs = Memsys.Network.default;
+    flush_at_barrier = false;
+    collect_trace = false;
+    annotations = Ignore_annotations;
+    prefetch = false;
+    quantum = 64;
+  }
+
+let paper =
+  {
+    default with
+    nodes = 32;
+    cache_bytes = 256 * 1024;
+  }
+
+let trace_mode t =
+  {
+    t with
+    flush_at_barrier = true;
+    collect_trace = true;
+    annotations = Ignore_annotations;
+    prefetch = false;
+  }
+
+let perf_mode ~annotations ~prefetch t =
+  {
+    t with
+    flush_at_barrier = false;
+    collect_trace = false;
+    annotations = (if annotations then Execute_annotations else Ignore_annotations);
+    prefetch;
+  }
+
+let elems_per_block t = t.block_size / t.elem_size

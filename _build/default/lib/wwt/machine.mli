@@ -1,0 +1,40 @@
+(** Configuration of the simulated machine and of one simulation run. *)
+
+type annot_mode =
+  | Ignore_annotations  (** annotations cost nothing and do nothing *)
+  | Execute_annotations  (** annotations act as Dir1SW memory directives *)
+
+type t = {
+  nodes : int;
+  cache_bytes : int;
+  assoc : int;
+  block_size : int;  (** bytes *)
+  elem_size : int;  (** bytes per language value; 8, so 4 elements/block *)
+  costs : Memsys.Network.costs;
+  flush_at_barrier : bool;
+      (** flush shared-data caches at every barrier (trace collection,
+          Section 3.3); off for performance runs *)
+  collect_trace : bool;
+  annotations : annot_mode;
+  prefetch : bool;  (** execute prefetch annotations *)
+  quantum : int;
+      (** scheduling quantum in cycles: local work is accumulated and the
+          fiber yields to the event loop once per quantum, like WWT's
+          quantum-based simulation *)
+}
+
+val default : t
+(** Scaled machine for the benchmark suite: 8 nodes, 16 KB 4-way caches,
+    32-byte blocks — capacity effects appear at scaled problem sizes. *)
+
+val paper : t
+(** The machine of Section 6: 32 nodes, 256 KB 4-way, 32-byte blocks. *)
+
+val trace_mode : t -> t
+(** Run an unannotated program to collect a trace: caches flushed at
+    barriers, trace on, annotations ignored. *)
+
+val perf_mode : annotations:bool -> prefetch:bool -> t -> t
+(** Run for time measurement: no barrier flushes, no trace. *)
+
+val elems_per_block : t -> int

@@ -1,0 +1,16 @@
+(** A mutable binary min-heap keyed by integer priority.
+
+    Entries with equal priority are returned in insertion (FIFO) order, so
+    discrete-event simulations using it are deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> prio:int -> 'a -> unit
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the minimum-priority entry. *)
+
+val peek_prio : 'a t -> int option

@@ -1,0 +1,20 @@
+type engine = Tree_walk | Compiled
+
+let run_with engine ~machine program =
+  match engine with
+  | Tree_walk -> Interp.run ~machine program
+  | Compiled -> Compile.run ~machine program
+
+let collect_trace ?(engine = Compiled) ~machine program =
+  let program = Lang.Ast.strip_annotations program in
+  run_with engine ~machine:(Machine.trace_mode machine) program
+
+let measure ?(engine = Compiled) ~machine ~annotations ~prefetch program =
+  run_with engine
+    ~machine:(Machine.perf_mode ~annotations ~prefetch machine)
+    program
+
+let source_trace ~machine src = collect_trace ~machine (Lang.Parser.parse src)
+
+let source_measure ~machine ~annotations ~prefetch src =
+  measure ~machine ~annotations ~prefetch (Lang.Parser.parse src)

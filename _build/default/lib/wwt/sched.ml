@@ -1,0 +1,143 @@
+exception Deadlock of string
+
+type _ Effect.t +=
+  | Now : int Effect.t
+  | Advance : int -> unit Effect.t
+  | Barrier_sync : int -> unit Effect.t
+  | Lock_acquire : int -> unit Effect.t
+  | Lock_release : int -> unit Effect.t
+
+let now () = Effect.perform Now
+
+let advance n =
+  if n < 0 then invalid_arg "Sched.advance: negative cycle count";
+  Effect.perform (Advance n)
+let barrier_sync ~pc = Effect.perform (Barrier_sync pc)
+let lock_acquire l = Effect.perform (Lock_acquire l)
+let lock_release l = Effect.perform (Lock_release l)
+
+type config = {
+  nodes : int;
+  barrier_cost : int;
+  lock_transfer : int;
+  on_barrier : vt:int -> arrivals:(int * int) list -> unit;
+  on_lock_acquire : node:int -> lock:int -> unit;
+}
+
+type waiting_lock = { wnode : int; resume : unit -> unit }
+
+let run cfg body =
+  let clock = Array.make cfg.nodes 0 in
+  let ready : (unit -> unit) Pqueue.t = Pqueue.create () in
+  let finished = ref 0 in
+  (* Barrier bookkeeping: (node, pc, resume) until all nodes arrive. *)
+  let barrier_waiters : (int * int * (unit -> unit)) list ref = ref [] in
+  (* Lock bookkeeping: owner per lock plus FIFO waiter queues. *)
+  let lock_owner : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let lock_waiters : (int, waiting_lock Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  let release_barrier () =
+    let waiters = List.rev !barrier_waiters in
+    barrier_waiters := [];
+    let vt =
+      cfg.barrier_cost + Array.fold_left max 0 clock
+    in
+    Array.fill clock 0 cfg.nodes vt;
+    let arrivals =
+      List.sort compare (List.map (fun (n, pc, _) -> (n, pc)) waiters)
+    in
+    cfg.on_barrier ~vt ~arrivals;
+    List.iter (fun (_, _, resume) -> Pqueue.push ready ~prio:vt resume) waiters
+  in
+  let spawn node =
+    let open Effect.Deep in
+    match_with
+      (fun () -> body node)
+      ()
+      {
+        retc = (fun () -> incr finished);
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Now ->
+                Some (fun (k : (a, unit) continuation) -> continue k clock.(node))
+            | Advance n ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    clock.(node) <- clock.(node) + n;
+                    Pqueue.push ready ~prio:clock.(node) (fun () ->
+                        continue k ()))
+            | Barrier_sync pc ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    barrier_waiters :=
+                      (node, pc, fun () -> continue k ()) :: !barrier_waiters;
+                    if List.length !barrier_waiters = cfg.nodes then
+                      release_barrier ())
+            | Lock_acquire l ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    if Hashtbl.mem lock_owner l then begin
+                      let q =
+                        match Hashtbl.find_opt lock_waiters l with
+                        | Some q -> q
+                        | None ->
+                            let q = Queue.create () in
+                            Hashtbl.add lock_waiters l q;
+                            q
+                      in
+                      Queue.add { wnode = node; resume = (fun () -> continue k ()) } q
+                    end
+                    else begin
+                      Hashtbl.add lock_owner l node;
+                      cfg.on_lock_acquire ~node ~lock:l;
+                      clock.(node) <- clock.(node) + cfg.lock_transfer;
+                      Pqueue.push ready ~prio:clock.(node) (fun () -> continue k ())
+                    end)
+            | Lock_release l ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    (match Hashtbl.find_opt lock_owner l with
+                    | Some owner when owner = node -> Hashtbl.remove lock_owner l
+                    | Some _ | None ->
+                        raise (Deadlock
+                                 (Printf.sprintf
+                                    "node %d releases lock %d it does not hold"
+                                    node l)));
+                    (match Hashtbl.find_opt lock_waiters l with
+                    | Some q when not (Queue.is_empty q) ->
+                        let w = Queue.take q in
+                        Hashtbl.add lock_owner l w.wnode;
+                        cfg.on_lock_acquire ~node:w.wnode ~lock:l;
+                        clock.(w.wnode) <-
+                          max clock.(w.wnode) clock.(node) + cfg.lock_transfer;
+                        Pqueue.push ready ~prio:clock.(w.wnode) w.resume
+                    | Some _ | None -> ());
+                    Pqueue.push ready ~prio:clock.(node) (fun () -> continue k ()))
+            | _ -> None);
+      }
+  in
+  for node = 0 to cfg.nodes - 1 do
+    Pqueue.push ready ~prio:0 (fun () -> spawn node)
+  done;
+  let rec drain () =
+    match Pqueue.pop ready with
+    | Some (_, resume) ->
+        resume ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  if !finished < cfg.nodes then begin
+    let parked = List.length !barrier_waiters in
+    let lock_parked =
+      Hashtbl.fold (fun _ q acc -> acc + Queue.length q) lock_waiters 0
+    in
+    raise
+      (Deadlock
+         (Printf.sprintf
+            "%d of %d nodes finished; %d parked at a barrier, %d waiting on \
+             locks"
+            !finished cfg.nodes parked lock_parked))
+  end;
+  Array.fold_left max 0 clock

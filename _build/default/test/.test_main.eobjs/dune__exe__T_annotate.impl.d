@@ -1,0 +1,1 @@
+test/t_annotate.ml: Alcotest Ast Benchmarks Cachier Lang List Parser Sema Trace Wwt

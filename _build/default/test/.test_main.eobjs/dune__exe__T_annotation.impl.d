@@ -1,0 +1,1 @@
+test/t_annotation.ml: Alcotest Annotation Cico Lang List String

@@ -1,0 +1,1 @@
+test/t_ast_gen.ml: Array Ast Gen Lang List Parser Pretty QCheck QCheck_alcotest Sema String Test Wwt

@@ -1,0 +1,1 @@
+test/t_ast_util.ml: Alcotest Ast Ast_util Lang List Parser

@@ -1,0 +1,1 @@
+test/t_block.ml: Alcotest Memsys

@@ -1,0 +1,1 @@
+test/t_cache.ml: Alcotest Cache List Memsys

@@ -1,0 +1,1 @@
+test/t_cfg.ml: Alcotest Ast Cfg Lang List Parser

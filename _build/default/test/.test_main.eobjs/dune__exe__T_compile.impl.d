@@ -1,0 +1,1 @@
+test/t_compile.ml: Alcotest Benchmarks Cachier Lang List Memsys Printf Unix Wwt

@@ -1,0 +1,1 @@
+test/t_cost_model.ml: Alcotest Cico Cost_model Memsys

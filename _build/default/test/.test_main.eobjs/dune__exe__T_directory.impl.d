@@ -1,0 +1,1 @@
+test/t_directory.ml: Alcotest Directory List Memsys

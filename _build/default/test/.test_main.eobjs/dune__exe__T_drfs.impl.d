@@ -1,0 +1,1 @@
+test/t_drfs.ml: Alcotest Cachier Fmt Trace

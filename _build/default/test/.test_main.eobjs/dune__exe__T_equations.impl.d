@@ -1,0 +1,1 @@
+test/t_equations.ml: Alcotest Array Cachier Fmt Trace

@@ -1,0 +1,1 @@
+test/t_extensions.ml: Alcotest Array Benchmarks Cache Cachier Directory Lang List Memsys Network Protocol Stats Trace Wwt

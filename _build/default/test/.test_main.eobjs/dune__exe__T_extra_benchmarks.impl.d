@@ -1,0 +1,1 @@
+test/t_extra_benchmarks.ml: Alcotest Array Benchmarks Cachier Float Lang List Memsys Printf Wwt

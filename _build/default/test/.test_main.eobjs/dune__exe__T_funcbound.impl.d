@@ -1,0 +1,1 @@
+test/t_funcbound.ml: Alcotest Cachier Lang List Wwt

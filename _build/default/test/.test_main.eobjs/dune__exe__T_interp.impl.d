@@ -1,0 +1,1 @@
+test/t_interp.ml: Alcotest Benchmarks Lang List Memsys Parser Printf Trace Value Wwt

@@ -1,0 +1,1 @@
+test/t_interp2.ml: Alcotest Lang List Memsys Parser Printf Value Wwt

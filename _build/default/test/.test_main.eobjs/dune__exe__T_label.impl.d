@@ -1,0 +1,1 @@
+test/t_label.ml: Alcotest Label Lang List Parser Sema

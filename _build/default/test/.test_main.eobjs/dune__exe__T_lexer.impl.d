@@ -1,0 +1,1 @@
+test/t_lexer.ml: Alcotest Lang Lexer List

@@ -1,0 +1,1 @@
+test/t_loops.ml: Alcotest Lang List Loops Parser

@@ -1,0 +1,1 @@
+test/t_machine.ml: Alcotest Memsys Wwt

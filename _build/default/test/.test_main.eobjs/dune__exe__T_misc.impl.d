@@ -1,0 +1,1 @@
+test/t_misc.ml: Alcotest Ast Ast_util Builder Cachier Format Label Lang List Memsys Parser Pretty Sema String Trace Value Wwt

@@ -1,0 +1,1 @@
+test/t_parser.ml: Alcotest Array Ast Lang List Parser

@@ -1,0 +1,1 @@
+test/t_pipeline.ml: Alcotest Array Benchmarks Cachier Lang List Memsys Printf Wwt

@@ -1,0 +1,1 @@
+test/t_placement.ml: Alcotest Ast Ast_util Benchmarks Cachier Lang List Parser Pretty Sema Wwt

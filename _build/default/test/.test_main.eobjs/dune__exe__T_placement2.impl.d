@@ -1,0 +1,1 @@
+test/t_placement2.ml: Alcotest Array Ast Cachier Lang List Parser String Wwt

@@ -1,0 +1,1 @@
+test/t_pqueue.ml: Alcotest List Wwt

@@ -1,0 +1,1 @@
+test/t_presentation.ml: Alcotest Array Ast Cachier Label Lang List Parser Pretty Sema Trace Value

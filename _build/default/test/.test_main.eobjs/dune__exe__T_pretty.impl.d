@@ -1,0 +1,1 @@
+test/t_pretty.ml: Alcotest Ast Benchmarks Lang List Parser Pretty String

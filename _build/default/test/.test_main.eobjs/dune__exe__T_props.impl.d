@@ -1,0 +1,1 @@
+test/t_props.ml: Array Cachier Gen Hashtbl List Memsys QCheck QCheck_alcotest Trace Wwt

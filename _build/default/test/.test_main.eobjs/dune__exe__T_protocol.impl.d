@@ -1,0 +1,1 @@
+test/t_protocol.ml: Alcotest Cache Directory Memsys Network Protocol Stats

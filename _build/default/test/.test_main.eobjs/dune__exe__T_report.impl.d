@@ -1,0 +1,1 @@
+test/t_report.ml: Alcotest Benchmarks Cachier Lang List Printf String Wwt

@@ -1,0 +1,1 @@
+test/t_sched.ml: Alcotest List Wwt

@@ -1,0 +1,1 @@
+test/t_sema.ml: Alcotest Benchmarks Lang List Parser Printf Sema String Value

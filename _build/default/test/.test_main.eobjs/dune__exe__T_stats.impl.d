@@ -1,0 +1,1 @@
+test/t_stats.ml: Alcotest Array Format Memsys Stats String

@@ -1,0 +1,1 @@
+test/t_summary.ml: Alcotest Array Benchmarks Cachier List String Trace Wwt

@@ -1,0 +1,1 @@
+test/t_trace.ml: Alcotest Array Epoch Event Filename Fun List Sys Trace Trace_file

@@ -1,0 +1,1 @@
+test/t_value.ml: Alcotest Lang Value

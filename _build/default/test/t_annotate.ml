@@ -1,0 +1,120 @@
+open Lang
+
+let machine = { Wwt.Machine.default with Wwt.Machine.nodes = 4 }
+let opts = Cachier.Placement.default_options
+
+let test_end_to_end_produces_annotations () =
+  let r = Cachier.Annotate.annotate_source ~machine ~options:opts
+      (Benchmarks.Matmul.source ~n:8 ~nodes:4 ()) in
+  Alcotest.(check bool) "some edits" true (r.Cachier.Annotate.n_edits > 0);
+  Alcotest.(check bool) "annotations in output" true
+    (Ast.count_annotations r.Cachier.Annotate.annotated > 0)
+
+let test_strips_existing_annotations_first () =
+  (* Annotating a hand-annotated program starts from scratch. *)
+  let r = Cachier.Annotate.annotate_source ~machine ~options:opts
+      (Benchmarks.Matmul.hand_source ~n:8 ~nodes:4 ()) in
+  let r2 = Cachier.Annotate.annotate_source ~machine ~options:opts
+      (Benchmarks.Matmul.source ~n:8 ~nodes:4 ()) in
+  Alcotest.(check int) "same number of edits" r2.Cachier.Annotate.n_edits
+    r.Cachier.Annotate.n_edits
+
+let test_annotated_runs_and_matches () =
+  (* A race-free benchmark must compute the same result annotated. *)
+  let src = Benchmarks.Jacobi.source ~n:16 ~t:2 ~nodes:4 () in
+  let prog = Parser.parse src in
+  let base = Wwt.Run.measure ~machine ~annotations:false ~prefetch:false prog in
+  let r = Cachier.Annotate.annotate_program ~machine ~options:opts prog in
+  let ann = Wwt.Run.measure ~machine ~annotations:true ~prefetch:false
+      r.Cachier.Annotate.annotated in
+  Alcotest.(check bool) "identical final memory" true
+    (base.Wwt.Interp.shared = ann.Wwt.Interp.shared)
+
+let test_output_reparses_and_rechecks () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let r = Cachier.Annotate.annotate_source ~machine ~options:opts
+          b.Benchmarks.Suite.source in
+      let printed = Cachier.Annotate.to_source r in
+      let reparsed = Parser.parse printed in
+      ignore (Sema.check reparsed))
+    (Benchmarks.Suite.all ~nodes:4 ())
+
+let test_race_reported_for_matmul () =
+  let r = Cachier.Annotate.annotate_source ~machine ~options:opts
+      (Benchmarks.Matmul.source ~n:8 ~nodes:4 ()) in
+  let races = Cachier.Report.races r.Cachier.Annotate.report in
+  Alcotest.(check bool) "race on C reported" true
+    (List.exists (fun i -> i.Cachier.Report.arr = "C") races);
+  Alcotest.(check bool) "race note rendered" true
+    (r.Cachier.Annotate.notes <> [])
+
+let test_no_race_in_jacobi () =
+  let r = Cachier.Annotate.annotate_source ~machine ~options:opts
+      (Benchmarks.Jacobi.source ~n:16 ~t:2 ~nodes:4 ()) in
+  Alcotest.(check (list string)) "no races" []
+    (List.map (fun i -> i.Cachier.Report.arr)
+       (Cachier.Report.races r.Cachier.Annotate.report))
+
+let test_annotate_with_external_trace () =
+  (* The trace can come from a file (or another input set). *)
+  let src = Benchmarks.Mp3d.source ~particles:64 ~cells:16 ~t:2 ~nodes:4 () in
+  let prog = Parser.parse src in
+  let outcome = Wwt.Run.collect_trace ~machine prog in
+  let text = Trace.Trace_file.to_string outcome.Wwt.Interp.trace in
+  let records = Trace.Trace_file.of_string text in
+  let r = Cachier.Annotate.annotate_with_trace ~machine ~options:opts prog records in
+  Alcotest.(check bool) "edits from file trace" true (r.Cachier.Annotate.n_edits > 0)
+
+let test_programmer_mode_exposes_more () =
+  let src = Benchmarks.Jacobi.source ~n:16 ~t:2 ~nodes:4 () in
+  let perf = Cachier.Annotate.annotate_source ~machine ~options:opts src in
+  let prog_mode =
+    Cachier.Annotate.annotate_source ~machine
+      ~options:{ opts with Cachier.Placement.mode = Cachier.Equations.Programmer }
+      src
+  in
+  (* Programmer CICO adds check-out-shared annotations that Performance
+     CICO suppresses, so it inserts at least as many. *)
+  Alcotest.(check bool) "programmer >= performance" true
+    (prog_mode.Cachier.Annotate.n_edits >= perf.Cachier.Annotate.n_edits)
+
+let test_prefetch_option_adds_prefetches () =
+  let src = Benchmarks.Jacobi.source ~n:16 ~t:2 ~nodes:4 () in
+  let r =
+    Cachier.Annotate.annotate_source ~machine
+      ~options:{ opts with Cachier.Placement.prefetch = true } src
+  in
+  let has_prefetch = ref false in
+  Ast.iter_stmts
+    (fun s ->
+      match s.Ast.node with
+      | Ast.Sannot ((Ast.Prefetch_x | Ast.Prefetch_s), _)
+      | Ast.Sannot_table { akind = Ast.Prefetch_x | Ast.Prefetch_s; _ } ->
+          has_prefetch := true
+      | _ -> ())
+    r.Cachier.Annotate.annotated;
+  Alcotest.(check bool) "prefetch annotations present" true !has_prefetch
+
+let test_einfo_exposed () =
+  let r = Cachier.Annotate.annotate_source ~machine ~options:opts
+      (Benchmarks.Jacobi.source ~n:16 ~t:2 ~nodes:4 ()) in
+  Alcotest.(check bool) "epochs assimilated" true
+    (Cachier.Epoch_info.n_epochs r.Cachier.Annotate.einfo >= 4)
+
+let suite =
+  [
+    Alcotest.test_case "end to end annotations" `Quick test_end_to_end_produces_annotations;
+    Alcotest.test_case "existing annotations stripped" `Quick
+      test_strips_existing_annotations_first;
+    Alcotest.test_case "annotated result identical" `Quick test_annotated_runs_and_matches;
+    Alcotest.test_case "output reparses and rechecks" `Quick
+      test_output_reparses_and_rechecks;
+    Alcotest.test_case "matmul race reported" `Quick test_race_reported_for_matmul;
+    Alcotest.test_case "jacobi race-free" `Quick test_no_race_in_jacobi;
+    Alcotest.test_case "external trace input" `Quick test_annotate_with_external_trace;
+    Alcotest.test_case "Programmer mode exposes more" `Quick
+      test_programmer_mode_exposes_more;
+    Alcotest.test_case "prefetch option" `Quick test_prefetch_option_adds_prefetches;
+    Alcotest.test_case "einfo exposed" `Quick test_einfo_exposed;
+  ]

@@ -1,0 +1,48 @@
+open Cico
+
+let test_names_round_trip () =
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) (Annotation.name a ^ " round trips") true
+        (Annotation.of_name (Annotation.name a) = Some a))
+    Annotation.all
+
+let test_of_name_unknown () =
+  Alcotest.(check bool) "unknown" true (Annotation.of_name "frobnicate" = None)
+
+let test_classification () =
+  Alcotest.(check bool) "co_x is a check-out" true
+    (Annotation.is_check_out Annotation.Check_out_x);
+  Alcotest.(check bool) "ci is not" false (Annotation.is_check_out Annotation.Check_in);
+  Alcotest.(check bool) "pf_s is a prefetch" true
+    (Annotation.is_prefetch Annotation.Prefetch_s);
+  Alcotest.(check bool) "co_s is not a prefetch" false
+    (Annotation.is_prefetch Annotation.Check_out_s)
+
+let test_six_annotations () =
+  (* the paper's five annotations (Section 1) plus the KSR-1 post-store
+     extension *)
+  Alcotest.(check int) "six" 6 (List.length Annotation.all);
+  Alcotest.(check int) "five are the paper's" 5
+    (List.length (List.filter (fun a -> a <> Annotation.Post_store) Annotation.all))
+
+let test_descriptions_nonempty () =
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "described" true (String.length (Annotation.describe a) > 10))
+    Annotation.all
+
+let test_same_type_as_ast () =
+  (* the cico type is an alias of the AST's annotation kind *)
+  let k : Lang.Ast.annot_kind = Annotation.Check_in in
+  Alcotest.(check string) "shared constructor" "check_in" (Lang.Ast.annot_kind_name k)
+
+let suite =
+  [
+    Alcotest.test_case "name round trip" `Quick test_names_round_trip;
+    Alcotest.test_case "unknown name" `Quick test_of_name_unknown;
+    Alcotest.test_case "classification" `Quick test_classification;
+    Alcotest.test_case "five plus post-store" `Quick test_six_annotations;
+    Alcotest.test_case "descriptions" `Quick test_descriptions_nonempty;
+    Alcotest.test_case "alias of AST kind" `Quick test_same_type_as_ast;
+  ]

@@ -1,0 +1,109 @@
+open Lang
+
+let src = "proc main() { a = 1; if (a) { b = 2; } barrier; c = 3; }"
+(* sids: 0=a, 1=if, 2=b, 3=barrier, 4=c *)
+
+let annot () =
+  { Ast.sid = -1;
+    node = Ast.Sannot (Ast.Check_in, { Ast.arr = "X"; lo = Ast.Eint 0; hi = Ast.Eint 0 }) }
+
+let count_stmts p =
+  Ast.fold_stmts (fun n _ -> n + 1) 0 p
+
+let test_stmt_by_sid () =
+  let p = Parser.parse src in
+  (match Ast_util.stmt_by_sid p 3 with
+  | Some { Ast.node = Ast.Sbarrier; _ } -> ()
+  | _ -> Alcotest.fail "expected the barrier");
+  Alcotest.(check bool) "missing sid" true (Ast_util.stmt_by_sid p 99 = None)
+
+let test_proc_of_sid () =
+  let p = Parser.parse "proc f() { x = 1; } proc main() { f(); }" in
+  Alcotest.(check bool) "sid 0 in f" true (Ast_util.proc_of_sid p 0 = Some "f");
+  Alcotest.(check bool) "sid 1 in main" true (Ast_util.proc_of_sid p 1 = Some "main")
+
+let test_insert_before_nested () =
+  let p = Parser.parse src in
+  let p' = Ast_util.insert_before p ~sid:2 [ annot () ] in
+  Alcotest.(check int) "one more statement" (count_stmts p + 1) (count_stmts p');
+  (* the annotation landed inside the if's then-block, before sid 2 *)
+  match Ast_util.stmt_by_sid p' 1 with
+  | Some { Ast.node = Ast.Sif (_, [ a; b ], _); _ } ->
+      Alcotest.(check bool) "annotation first" true (Ast.is_annotation a);
+      Alcotest.(check int) "original second" 2 b.Ast.sid
+  | _ -> Alcotest.fail "if structure lost"
+
+let test_insert_after () =
+  let p = Parser.parse src in
+  let p' = Ast_util.insert_after p ~sid:0 [ annot (); annot () ] in
+  match (List.hd p'.Ast.procs).Ast.body with
+  | s0 :: a1 :: a2 :: _ ->
+      Alcotest.(check int) "original first" 0 s0.Ast.sid;
+      Alcotest.(check bool) "both annotations follow" true
+        (Ast.is_annotation a1 && Ast.is_annotation a2)
+  | _ -> Alcotest.fail "insertion failed"
+
+let test_prepend_append () =
+  let p = Parser.parse src in
+  let p' = Ast_util.prepend_to_proc p ~proc:"main" [ annot () ] in
+  let p' = Ast_util.append_to_proc p' ~proc:"main" [ annot () ] in
+  let body = (List.hd p'.Ast.procs).Ast.body in
+  Alcotest.(check bool) "first is annotation" true (Ast.is_annotation (List.hd body));
+  Alcotest.(check bool) "last is annotation" true
+    (Ast.is_annotation (List.nth body (List.length body - 1)))
+
+let test_insert_missing_sid () =
+  let p = Parser.parse src in
+  let p' = Ast_util.insert_before p ~sid:42 [ annot () ] in
+  Alcotest.(check int) "unchanged" (count_stmts p) (count_stmts p')
+
+let test_barrier_sids () =
+  let p = Parser.parse "proc main() { barrier; a = 1; barrier; }" in
+  Alcotest.(check (list int)) "both barriers" [ 0; 2 ] (Ast_util.barrier_sids p)
+
+let test_set_const () =
+  let p = Parser.parse "const SEED = 1; const N = 2; proc main() { }" in
+  let p' = Ast_util.set_const p "SEED" 99 in
+  (match p'.Ast.decls with
+  | [ Ast.Dconst ("SEED", Ast.Eint 99); Ast.Dconst ("N", Ast.Eint 2) ] -> ()
+  | _ -> Alcotest.fail "seed not replaced");
+  let p'' = Ast_util.set_const p "MISSING" 1 in
+  Alcotest.(check bool) "missing name unchanged" true (p'' = p)
+
+let test_strip_annotations () =
+  let p =
+    Parser.parse
+      "shared A[4]; proc main() { check_out_x A[0]; a = 1; check_in A[0]; }"
+  in
+  Alcotest.(check int) "two annotations" 2 (Ast.count_annotations p);
+  let p' = Ast.strip_annotations p in
+  Alcotest.(check int) "stripped" 0 (Ast.count_annotations p');
+  Alcotest.(check int) "one statement left" 1 (count_stmts p')
+
+let test_renumber () =
+  let p = Parser.parse src in
+  let p' = Ast_util.insert_before p ~sid:2 [ annot () ] in
+  let p'' = Ast.renumber p' in
+  let sids = ref [] in
+  Ast.iter_stmts (fun s -> sids := s.Ast.sid :: !sids) p'';
+  let sorted = List.sort compare !sids in
+  Alcotest.(check (list int)) "consecutive from zero" [ 0; 1; 2; 3; 4; 5 ] sorted
+
+let test_max_sid () =
+  let p = Parser.parse src in
+  Alcotest.(check int) "max sid" 4 (Ast.max_sid p)
+
+let suite =
+  [
+    Alcotest.test_case "stmt_by_sid" `Quick test_stmt_by_sid;
+    Alcotest.test_case "proc_of_sid" `Quick test_proc_of_sid;
+    Alcotest.test_case "insert_before nested" `Quick test_insert_before_nested;
+    Alcotest.test_case "insert_after multiple" `Quick test_insert_after;
+    Alcotest.test_case "prepend/append to proc" `Quick test_prepend_append;
+    Alcotest.test_case "insert at missing sid" `Quick test_insert_missing_sid;
+    Alcotest.test_case "barrier_sids" `Quick test_barrier_sids;
+    Alcotest.test_case "set_const" `Quick test_set_const;
+    Alcotest.test_case "strip_annotations" `Quick test_strip_annotations;
+    Alcotest.test_case "renumber" `Quick test_renumber;
+    Alcotest.test_case "max_sid" `Quick test_max_sid;
+  ]

@@ -1,0 +1,53 @@
+let bs = 32
+
+let test_power_of_two () =
+  Alcotest.(check bool) "1 is a power" true (Memsys.Block.is_power_of_two 1);
+  Alcotest.(check bool) "32 is a power" true (Memsys.Block.is_power_of_two 32);
+  Alcotest.(check bool) "0 is not" false (Memsys.Block.is_power_of_two 0);
+  Alcotest.(check bool) "-4 is not" false (Memsys.Block.is_power_of_two (-4));
+  Alcotest.(check bool) "48 is not" false (Memsys.Block.is_power_of_two 48)
+
+let test_of_addr () =
+  Alcotest.(check int) "addr 0" 0 (Memsys.Block.of_addr ~block_size:bs 0);
+  Alcotest.(check int) "addr 31" 0 (Memsys.Block.of_addr ~block_size:bs 31);
+  Alcotest.(check int) "addr 32" 1 (Memsys.Block.of_addr ~block_size:bs 32);
+  Alcotest.(check int) "addr 1000" 31 (Memsys.Block.of_addr ~block_size:bs 1000)
+
+let test_of_addr_invalid () =
+  Alcotest.check_raises "non-power block size"
+    (Invalid_argument "Block: block size must be a positive power of two")
+    (fun () -> ignore (Memsys.Block.of_addr ~block_size:33 0));
+  Alcotest.check_raises "negative address"
+    (Invalid_argument "Block.of_addr: negative address") (fun () ->
+      ignore (Memsys.Block.of_addr ~block_size:bs (-1)))
+
+let test_base_and_offset () =
+  Alcotest.(check int) "base of block 3" 96 (Memsys.Block.base_addr ~block_size:bs 3);
+  Alcotest.(check int) "offset of 97" 1 (Memsys.Block.offset ~block_size:bs 97);
+  Alcotest.(check int) "offset of 96" 0 (Memsys.Block.offset ~block_size:bs 96)
+
+let test_blocks_of_range () =
+  Alcotest.(check (list int)) "single block" [ 0 ]
+    (Memsys.Block.blocks_of_range ~block_size:bs ~lo:0 ~hi:31);
+  Alcotest.(check (list int)) "two blocks" [ 0; 1 ]
+    (Memsys.Block.blocks_of_range ~block_size:bs ~lo:31 ~hi:32);
+  Alcotest.(check (list int)) "empty range" []
+    (Memsys.Block.blocks_of_range ~block_size:bs ~lo:10 ~hi:9);
+  Alcotest.(check (list int)) "spanning" [ 1; 2; 3 ]
+    (Memsys.Block.blocks_of_range ~block_size:bs ~lo:40 ~hi:100)
+
+let test_count_blocks () =
+  Alcotest.(check int) "count matches list" 3
+    (Memsys.Block.count_blocks ~block_size:bs ~lo:40 ~hi:100);
+  Alcotest.(check int) "count empty" 0
+    (Memsys.Block.count_blocks ~block_size:bs ~lo:5 ~hi:4)
+
+let suite =
+  [
+    Alcotest.test_case "is_power_of_two" `Quick test_power_of_two;
+    Alcotest.test_case "of_addr" `Quick test_of_addr;
+    Alcotest.test_case "of_addr invalid" `Quick test_of_addr_invalid;
+    Alcotest.test_case "base and offset" `Quick test_base_and_offset;
+    Alcotest.test_case "blocks_of_range" `Quick test_blocks_of_range;
+    Alcotest.test_case "count_blocks" `Quick test_count_blocks;
+  ]

@@ -1,0 +1,106 @@
+open Memsys
+
+let mk () = Cache.create ~size_bytes:1024 ~assoc:2 ~block_size:32
+(* 1024 / (2 * 32) = 16 sets, 32 lines *)
+
+let test_geometry () =
+  let c = mk () in
+  Alcotest.(check int) "sets" 16 (Cache.sets c);
+  Alcotest.(check int) "assoc" 2 (Cache.assoc c);
+  Alcotest.(check int) "capacity blocks" 32 (Cache.capacity_blocks c);
+  Alcotest.(check int) "capacity bytes" 1024 (Cache.capacity_bytes c);
+  Alcotest.(check int) "block size" 32 (Cache.block_size c)
+
+let test_bad_geometry () =
+  Alcotest.check_raises "unaligned size"
+    (Invalid_argument
+       "Cache.create: size must be a multiple of assoc * block size")
+    (fun () -> ignore (Cache.create ~size_bytes:1000 ~assoc:2 ~block_size:32));
+  Alcotest.check_raises "zero assoc"
+    (Invalid_argument "Cache.create: associativity must be positive")
+    (fun () -> ignore (Cache.create ~size_bytes:1024 ~assoc:0 ~block_size:32))
+
+let test_insert_find () =
+  let c = mk () in
+  Alcotest.(check bool) "absent" true (Cache.find c 5 = None);
+  let evicted = Cache.insert c ~block:5 ~state:Cache.Shared ~dirty:false ~ready_at:0 in
+  Alcotest.(check bool) "no eviction" true (evicted = None);
+  (match Cache.find c 5 with
+  | Some line ->
+      Alcotest.(check bool) "state" true (line.Cache.state = Cache.Shared);
+      Alcotest.(check bool) "clean" false line.Cache.dirty
+  | None -> Alcotest.fail "block 5 should be resident");
+  Alcotest.(check int) "occupancy" 1 (Cache.occupancy c)
+
+let test_reinsert_updates () =
+  let c = mk () in
+  ignore (Cache.insert c ~block:7 ~state:Cache.Shared ~dirty:false ~ready_at:0);
+  ignore (Cache.insert c ~block:7 ~state:Cache.Exclusive ~dirty:true ~ready_at:9);
+  (match Cache.find c 7 with
+  | Some line ->
+      Alcotest.(check bool) "upgraded" true (line.Cache.state = Cache.Exclusive);
+      Alcotest.(check bool) "dirty" true line.Cache.dirty;
+      Alcotest.(check int) "ready_at" 9 line.Cache.ready_at
+  | None -> Alcotest.fail "resident");
+  Alcotest.(check int) "still one line" 1 (Cache.occupancy c)
+
+let test_lru_eviction () =
+  let c = mk () in
+  (* Blocks 0, 16, 32 map to set 0 (16 sets). Assoc 2: third insert evicts
+     the least recently used. *)
+  ignore (Cache.insert c ~block:0 ~state:Cache.Shared ~dirty:false ~ready_at:0);
+  ignore (Cache.insert c ~block:16 ~state:Cache.Shared ~dirty:false ~ready_at:0);
+  Cache.touch c 0;
+  (* now 16 is LRU *)
+  let evicted = Cache.insert c ~block:32 ~state:Cache.Exclusive ~dirty:true ~ready_at:0 in
+  (match evicted with
+  | Some (victim, state, dirty) ->
+      Alcotest.(check int) "victim is LRU" 16 victim;
+      Alcotest.(check bool) "victim state" true (state = Cache.Shared);
+      Alcotest.(check bool) "victim clean" false dirty
+  | None -> Alcotest.fail "expected an eviction");
+  Alcotest.(check bool) "0 survives" true (Cache.find c 0 <> None);
+  Alcotest.(check bool) "32 resident" true (Cache.find c 32 <> None)
+
+let test_remove () =
+  let c = mk () in
+  ignore (Cache.insert c ~block:3 ~state:Cache.Exclusive ~dirty:true ~ready_at:0);
+  (match Cache.remove c 3 with
+  | Some (state, dirty) ->
+      Alcotest.(check bool) "state" true (state = Cache.Exclusive);
+      Alcotest.(check bool) "dirty" true dirty
+  | None -> Alcotest.fail "expected removal");
+  Alcotest.(check bool) "gone" true (Cache.find c 3 = None);
+  Alcotest.(check bool) "second remove is None" true (Cache.remove c 3 = None);
+  Alcotest.(check int) "occupancy" 0 (Cache.occupancy c)
+
+let test_flush_all () =
+  let c = mk () in
+  for b = 0 to 9 do
+    ignore (Cache.insert c ~block:b ~state:Cache.Shared ~dirty:false ~ready_at:0)
+  done;
+  let flushed = Cache.flush_all c in
+  Alcotest.(check int) "flushed count" 10 (List.length flushed);
+  Alcotest.(check int) "empty" 0 (Cache.occupancy c);
+  let blocks = List.sort compare (List.map (fun (b, _, _) -> b) flushed) in
+  Alcotest.(check (list int)) "all blocks" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] blocks
+
+let test_iter () =
+  let c = mk () in
+  ignore (Cache.insert c ~block:1 ~state:Cache.Shared ~dirty:false ~ready_at:0);
+  ignore (Cache.insert c ~block:2 ~state:Cache.Exclusive ~dirty:true ~ready_at:0);
+  let n = ref 0 in
+  Cache.iter c (fun _ -> incr n);
+  Alcotest.(check int) "iterated twice" 2 !n
+
+let suite =
+  [
+    Alcotest.test_case "geometry" `Quick test_geometry;
+    Alcotest.test_case "bad geometry" `Quick test_bad_geometry;
+    Alcotest.test_case "insert and find" `Quick test_insert_find;
+    Alcotest.test_case "reinsert updates in place" `Quick test_reinsert_updates;
+    Alcotest.test_case "LRU eviction" `Quick test_lru_eviction;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "flush_all" `Quick test_flush_all;
+    Alcotest.test_case "iter" `Quick test_iter;
+  ]

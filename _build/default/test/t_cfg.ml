@@ -1,0 +1,73 @@
+open Lang
+
+let proc_of src = List.hd (Parser.parse src).Ast.procs
+
+let test_straight_line () =
+  (* sids: 0 and 1 *)
+  let cfg = Cfg.build (proc_of "proc main() { a = 1; b = 2; }") in
+  Alcotest.(check (list int)) "entry to first" [ 0 ] (Cfg.successors cfg Cfg.entry);
+  Alcotest.(check (list int)) "first to second" [ 1 ] (Cfg.successors cfg 0);
+  Alcotest.(check (list int)) "second to exit" [ Cfg.exit_node ] (Cfg.successors cfg 1);
+  Alcotest.(check (list int)) "preds of exit" [ 1 ] (Cfg.predecessors cfg Cfg.exit_node)
+
+let test_if_branches () =
+  (* sid 0 = if, 1 = then, 2 = else, 3 = after *)
+  let cfg =
+    Cfg.build (proc_of "proc main() { if (x) { a = 1; } else { b = 2; } c = 3; }")
+  in
+  let succs = List.sort compare (Cfg.successors cfg 0) in
+  Alcotest.(check (list int)) "if branches to both arms" [ 1; 2 ] succs;
+  Alcotest.(check (list int)) "then falls through" [ 3 ] (Cfg.successors cfg 1);
+  Alcotest.(check (list int)) "else falls through" [ 3 ] (Cfg.successors cfg 2)
+
+let test_if_no_else () =
+  (* sid 0 = if, 1 = then, 2 = after *)
+  let cfg = Cfg.build (proc_of "proc main() { if (x) { a = 1; } c = 3; }") in
+  let succs = List.sort compare (Cfg.successors cfg 0) in
+  Alcotest.(check (list int)) "if branches to then and after" [ 1; 2 ] succs
+
+let test_loop_back_edge () =
+  (* sid 0 = for, 1 = body, 2 = after *)
+  let cfg = Cfg.build (proc_of "proc main() { for i = 0 to 3 { a = i; } b = 1; }") in
+  let succs = List.sort compare (Cfg.successors cfg 0) in
+  Alcotest.(check (list int)) "header to body and exit" [ 1; 2 ] succs;
+  Alcotest.(check (list int)) "body back to header" [ 0 ] (Cfg.successors cfg 1)
+
+let test_while_back_edge () =
+  let cfg = Cfg.build (proc_of "proc main() { while (x) { x = x - 1; } }") in
+  Alcotest.(check (list int)) "body back to header" [ 0 ] (Cfg.successors cfg 1)
+
+let test_return_to_exit () =
+  (* sid 0 = return, 1 = dead code *)
+  let cfg = Cfg.build (proc_of "proc main() { return; a = 1; }") in
+  Alcotest.(check (list int)) "return to exit" [ Cfg.exit_node ] (Cfg.successors cfg 0);
+  Alcotest.(check (list int)) "dead statement" [ 1 ] (Cfg.unreachable_sids cfg)
+
+let test_reachable () =
+  let cfg = Cfg.build (proc_of "proc main() { a = 1; if (a) { return; } b = 2; }") in
+  Alcotest.(check (list int)) "nothing unreachable" [] (Cfg.unreachable_sids cfg);
+  let reach = Cfg.reachable cfg in
+  Alcotest.(check bool) "exit reachable" true (List.mem Cfg.exit_node reach)
+
+let test_nodes () =
+  let cfg = Cfg.build (proc_of "proc main() { a = 1; b = 2; }") in
+  Alcotest.(check (list int)) "all nodes" [ Cfg.exit_node; Cfg.entry; 0; 1 ]
+    (Cfg.nodes cfg)
+
+let test_empty_proc () =
+  let cfg = Cfg.build (proc_of "proc main() { }") in
+  Alcotest.(check (list int)) "entry straight to exit" [ Cfg.exit_node ]
+    (Cfg.successors cfg Cfg.entry)
+
+let suite =
+  [
+    Alcotest.test_case "straight line" `Quick test_straight_line;
+    Alcotest.test_case "if branches" `Quick test_if_branches;
+    Alcotest.test_case "if without else" `Quick test_if_no_else;
+    Alcotest.test_case "for back edge" `Quick test_loop_back_edge;
+    Alcotest.test_case "while back edge" `Quick test_while_back_edge;
+    Alcotest.test_case "return to exit" `Quick test_return_to_exit;
+    Alcotest.test_case "reachability" `Quick test_reachable;
+    Alcotest.test_case "node enumeration" `Quick test_nodes;
+    Alcotest.test_case "empty procedure" `Quick test_empty_proc;
+  ]

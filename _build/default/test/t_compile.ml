@@ -1,0 +1,164 @@
+(* Differential testing of the two execution engines: the tree-walking
+   Interp and the closure-compiling Compile must produce identical
+   simulated times, statistics, traces, outputs and final memory. *)
+
+let stats_tuple (s : Memsys.Stats.t) =
+  ( ( s.Memsys.Stats.read_hits, s.Memsys.Stats.write_hits,
+      s.Memsys.Stats.read_misses, s.Memsys.Stats.write_misses,
+      s.Memsys.Stats.write_faults, s.Memsys.Stats.invalidations ),
+    ( s.Memsys.Stats.sw_traps, s.Memsys.Stats.writebacks,
+      s.Memsys.Stats.evictions, s.Memsys.Stats.check_outs_x,
+      s.Memsys.Stats.check_outs_s, s.Memsys.Stats.check_ins ),
+    ( s.Memsys.Stats.prefetches, s.Memsys.Stats.useful_prefetches,
+      s.Memsys.Stats.post_stores, s.Memsys.Stats.messages,
+      s.Memsys.Stats.barriers, s.Memsys.Stats.lock_acquires ),
+    ( s.Memsys.Stats.shared_reads, s.Memsys.Stats.shared_writes,
+      s.Memsys.Stats.private_reads, s.Memsys.Stats.private_writes ) )
+
+let check_equivalent name machine program =
+  let a = Wwt.Interp.run ~machine program in
+  let b = Wwt.Compile.run ~machine program in
+  Alcotest.(check int) (name ^ ": time") a.Wwt.Interp.time b.Wwt.Interp.time;
+  Alcotest.(check bool) (name ^ ": stats") true
+    (stats_tuple a.Wwt.Interp.stats = stats_tuple b.Wwt.Interp.stats);
+  Alcotest.(check bool) (name ^ ": trace") true
+    (a.Wwt.Interp.trace = b.Wwt.Interp.trace);
+  Alcotest.(check bool) (name ^ ": output") true
+    (a.Wwt.Interp.output = b.Wwt.Interp.output);
+  Alcotest.(check bool) (name ^ ": memory") true
+    (a.Wwt.Interp.shared = b.Wwt.Interp.shared)
+
+let nodes = 4
+let base_machine = { Wwt.Machine.default with Wwt.Machine.nodes }
+
+let modes =
+  [
+    ("trace", Wwt.Machine.trace_mode base_machine);
+    ("perf", Wwt.Machine.perf_mode ~annotations:false ~prefetch:false base_machine);
+    ("annot", Wwt.Machine.perf_mode ~annotations:true ~prefetch:true base_machine);
+  ]
+
+let small_benchmarks =
+  [
+    ("matmul", Benchmarks.Matmul.source ~n:8 ~nodes ());
+    ("matmul-hand", Benchmarks.Matmul.hand_source ~n:8 ~nodes ());
+    ("matmul-restructured", Benchmarks.Matmul.restructured_source ~n:8 ~nodes ());
+    ("jacobi", Benchmarks.Jacobi.source ~n:16 ~t:2 ~nodes ());
+    ("jacobi-hand", Benchmarks.Jacobi.hand_source ~n:16 ~t:2 ~nodes ());
+    ("ocean", Benchmarks.Ocean.source ~n:16 ~t:2 ~nodes ());
+    ("ocean-post-store", Benchmarks.Ocean.post_store_source ~n:16 ~t:2 ~nodes ());
+    ("tomcatv", Benchmarks.Tomcatv.source ~n:10 ~t:2 ~nodes ());
+    ("mp3d", Benchmarks.Mp3d.source ~particles:64 ~cells:16 ~t:2 ~nodes ());
+    ("mp3d-hand", Benchmarks.Mp3d.hand_source ~particles:64 ~cells:16 ~t:2 ~nodes ());
+    ("barnes", Benchmarks.Barnes.source ~bodies:32 ~t:2 ~nodes ());
+    ("water", Benchmarks.Water.source ~molecules:32 ~t:2 ~nodes ());
+  ]
+
+let test_benchmark_equivalence () =
+  List.iter
+    (fun (bname, src) ->
+      let program = Lang.Parser.parse src in
+      List.iter
+        (fun (mname, machine) ->
+          check_equivalent (bname ^ "/" ^ mname) machine program)
+        modes)
+    small_benchmarks
+
+let test_annotated_equivalence () =
+  (* the Cachier-annotated programs exercise range and table annotations *)
+  List.iter
+    (fun (bname, src) ->
+      let program = Lang.Parser.parse src in
+      let r =
+        Cachier.Annotate.annotate_program ~machine:base_machine
+          ~options:{ Cachier.Placement.default_options with Cachier.Placement.prefetch = true }
+          program
+      in
+      let m = Wwt.Machine.perf_mode ~annotations:true ~prefetch:true base_machine in
+      check_equivalent (bname ^ "/cachier") m r.Cachier.Annotate.annotated)
+    [
+      ("jacobi", Benchmarks.Jacobi.source ~n:16 ~t:2 ~nodes ());
+      ("mp3d", Benchmarks.Mp3d.source ~particles:64 ~cells:16 ~t:2 ~nodes ());
+      ("barnes", Benchmarks.Barnes.source ~bodies:32 ~t:2 ~nodes ());
+    ]
+
+let test_language_features_equivalence () =
+  let sources =
+    [
+      (* recursion + returns *)
+      "shared A[4]; proc fib(n) { if (n < 2) { return n; } return fib(n-1) + \
+       fib(n-2); } proc main() { if (pid == 0) { A[0] = fib(9); } }";
+      (* locks *)
+      "shared A[4]; proc main() { for i = 1 to 5 { lock(0); A[0] = A[0] + 1; \
+       unlock(0); } }";
+      (* while loops, prints, intrinsics *)
+      "shared A[4]; proc main() { if (pid == 0) { n = 19; while (n != 1) { \
+       if (n % 2 == 0) { n = n / 2; } else { n = 3*n + 1; } } A[0] = n; \
+       print(min(3, 4), sqrt(9.0)); } }";
+      (* short-circuit evaluation affects charges *)
+      "shared A[8]; proc main() { x = pid > 0 && A[pid] > 0.0; y = pid == 0 \
+       || A[pid] > 0.0; A[pid] = float(x) + float(y); }";
+      (* negative steps *)
+      "shared A[8]; proc main() { for i = 7 to 0 step -2 { A[i] = i; } }";
+    ]
+  in
+  List.iteri
+    (fun k src ->
+      let program = Lang.Parser.parse src in
+      List.iter
+        (fun (mname, machine) ->
+          check_equivalent (Printf.sprintf "feature%d/%s" k mname) machine program)
+        modes)
+    sources
+
+let test_runtime_errors_agree () =
+  let erroring =
+    [
+      "shared A[4]; proc main() { A[9] = 1.0; }";
+      "shared A[4]; proc main() { x = 1 / 0; }";
+      "shared A[4]; proc main() { for i = 0 to 3 step 0 { } }";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let program = Lang.Parser.parse src in
+      let outcome run =
+        match run ~machine:base_machine program with
+        | (_ : Wwt.Interp.outcome) -> `Ok
+        | exception Wwt.Interp.Runtime_error _ -> `Error
+      in
+      Alcotest.(check bool) "both engines error" true
+        (outcome Wwt.Interp.run = `Error && outcome Wwt.Compile.run = `Error))
+    erroring
+
+let test_compiled_is_faster () =
+  (* not a strict guarantee, but the motivation: check it holds on a
+     decently sized run *)
+  let program =
+    Lang.Parser.parse (Benchmarks.Matmul.source ~n:16 ~nodes ())
+  in
+  let machine = Wwt.Machine.perf_mode ~annotations:false ~prefetch:false base_machine in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ~machine program);
+    Unix.gettimeofday () -. t0
+  in
+  ignore (time Wwt.Compile.run);
+  (* warm up *)
+  let t_interp = time Wwt.Interp.run in
+  let t_compile = time Wwt.Compile.run in
+  if t_compile > t_interp then
+    Printf.eprintf
+      "note: compiled engine slower on this run (%.4fs vs %.4fs)\n%!"
+      t_compile t_interp
+
+let suite =
+  [
+    Alcotest.test_case "benchmark equivalence" `Slow test_benchmark_equivalence;
+    Alcotest.test_case "annotated-program equivalence" `Slow
+      test_annotated_equivalence;
+    Alcotest.test_case "language-feature equivalence" `Quick
+      test_language_features_equivalence;
+    Alcotest.test_case "runtime errors agree" `Quick test_runtime_errors_agree;
+    Alcotest.test_case "compiled engine speed" `Slow test_compiled_is_faster;
+  ]

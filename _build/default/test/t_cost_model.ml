@@ -1,0 +1,88 @@
+open Cico
+
+let jp = { Cost_model.n = 48; p = 2; b = 4; t = 4 }
+
+let test_jacobi_closed_forms () =
+  (* 2NPT(1+b)/b + N^2/b with N=48 P=2 b=4 T=4:
+     2*48*2*4*(5)/4 = 960; 48^2/4 = 576; total 1536 *)
+  Alcotest.(check (float 1e-9)) "cache fits" 1536.0
+    (Cost_model.jacobi_blocks_cache_fits jp);
+  (* (2NP(1+b)/b + N^2/b) * T = (240 + 576) * 4 = 3264 *)
+  Alcotest.(check (float 1e-9)) "column fits" 3264.0
+    (Cost_model.jacobi_blocks_column_fits jp);
+  Alcotest.(check (float 1e-9)) "boundary per step" 240.0
+    (Cost_model.jacobi_boundary_blocks_per_step jp);
+  Alcotest.(check (float 1e-9)) "matrix blocks" 576.0
+    (Cost_model.jacobi_matrix_blocks jp)
+
+let test_jacobi_per_column () =
+  (* N/(bP) = 48/8 = 6; NT/(bP) = 24 *)
+  Alcotest.(check (float 1e-9)) "cache fits per column" 6.0
+    (Cost_model.jacobi_per_processor_column_checkouts jp ~cache_fits:true);
+  Alcotest.(check (float 1e-9)) "column only per column" 24.0
+    (Cost_model.jacobi_per_processor_column_checkouts jp ~cache_fits:false)
+
+let test_jacobi_cache_fits_wins () =
+  (* the Section 2.1 conclusion: retaining the block saves a factor T *)
+  let fits = Cost_model.jacobi_per_processor_column_checkouts jp ~cache_fits:true in
+  let spills = Cost_model.jacobi_per_processor_column_checkouts jp ~cache_fits:false in
+  Alcotest.(check (float 1e-9)) "factor T apart" (float_of_int jp.Cost_model.t)
+    (spills /. fits)
+
+let test_jacobi_validation () =
+  Alcotest.check_raises "N not multiple of P"
+    (Invalid_argument "Cost_model: N must be a multiple of P") (fun () ->
+      ignore (Cost_model.jacobi_blocks_cache_fits { jp with Cost_model.n = 49 }));
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Cost_model: Jacobi parameters must be positive") (fun () ->
+      ignore (Cost_model.jacobi_blocks_cache_fits { jp with Cost_model.t = 0 }))
+
+let mp = { Cost_model.mm_n = 32; mm_p = 4 }
+
+let test_matmul_section5 () =
+  Alcotest.(check (float 1e-9)) "original N^3" 32768.0
+    (Cost_model.matmul_c_checkouts_original mp);
+  (* N^2 * P / 2 = 1024 * 4 / 2 = 2048 *)
+  Alcotest.(check (float 1e-9)) "restructured N^2 P/2" 2048.0
+    (Cost_model.matmul_c_checkouts_restructured mp);
+  (* N^2 * P / 4 = 1024 *)
+  Alcotest.(check (float 1e-9)) "raced N^2 P/4" 1024.0
+    (Cost_model.matmul_c_raced_checkouts_restructured mp);
+  (* the paper's point: restructuring reduces check-outs by 2N/P *)
+  Alcotest.(check (float 1e-9)) "reduction factor 2N/P" 16.0
+    (Cost_model.matmul_c_checkouts_original mp
+    /. Cost_model.matmul_c_checkouts_restructured mp)
+
+let test_communication_cycles () =
+  let costs = Memsys.Network.default in
+  let c =
+    Cost_model.communication_cycles ~costs ~check_out_blocks:10
+      ~check_in_blocks:10 ~upgrades_avoided:0
+  in
+  Alcotest.(check int) "check-outs and check-ins"
+    ((10 * (costs.Memsys.Network.check_out_overhead + costs.Memsys.Network.miss_2hop))
+    + (10 * costs.Memsys.Network.check_in_cost))
+    c;
+  let saving =
+    Cost_model.communication_cycles ~costs ~check_out_blocks:0
+      ~check_in_blocks:0 ~upgrades_avoided:5
+  in
+  Alcotest.(check int) "avoided upgrades are credits"
+    (-5 * costs.Memsys.Network.upgrade) saving
+
+let test_measured_checkouts () =
+  let s = Memsys.Stats.create ~nodes:2 in
+  s.Memsys.Stats.check_outs_x <- 3;
+  s.Memsys.Stats.check_outs_s <- 4;
+  Alcotest.(check int) "sum of X and S" 7 (Cost_model.measured_checkouts s)
+
+let suite =
+  [
+    Alcotest.test_case "Jacobi closed forms" `Quick test_jacobi_closed_forms;
+    Alcotest.test_case "Jacobi per-column counts" `Quick test_jacobi_per_column;
+    Alcotest.test_case "cache-fits wins by factor T" `Quick test_jacobi_cache_fits_wins;
+    Alcotest.test_case "Jacobi validation" `Quick test_jacobi_validation;
+    Alcotest.test_case "MatMul Section 5 counts" `Quick test_matmul_section5;
+    Alcotest.test_case "communication cycles" `Quick test_communication_cycles;
+    Alcotest.test_case "measured check-outs" `Quick test_measured_checkouts;
+  ]

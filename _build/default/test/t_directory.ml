@@ -1,0 +1,69 @@
+open Memsys
+
+let test_initial_idle () =
+  let d = Directory.create ~nodes:4 in
+  Alcotest.(check bool) "unreferenced block is Idle" true
+    (Directory.get d 42 = Directory.Idle);
+  Alcotest.(check int) "no sharers" 0 (Directory.sharer_count d 42)
+
+let test_add_remove_sharers () =
+  let d = Directory.create ~nodes:4 in
+  Directory.add_sharer d 7 ~node:1;
+  Directory.add_sharer d 7 ~node:3;
+  Alcotest.(check (list int)) "sharers sorted" [ 1; 3 ] (Directory.sharers d 7);
+  Alcotest.(check int) "count" 2 (Directory.sharer_count d 7);
+  Alcotest.(check bool) "is sharer" true (Directory.is_sharer d 7 ~node:3);
+  Alcotest.(check bool) "not sharer" false (Directory.is_sharer d 7 ~node:0);
+  Directory.remove_sharer d 7 ~node:1;
+  Alcotest.(check (list int)) "one left" [ 3 ] (Directory.sharers d 7);
+  Directory.remove_sharer d 7 ~node:3;
+  Alcotest.(check bool) "back to Idle" true (Directory.get d 7 = Directory.Idle)
+
+let test_exclusive () =
+  let d = Directory.create ~nodes:4 in
+  Directory.set d 9 (Directory.Exclusive 2);
+  Alcotest.(check bool) "exclusive" true (Directory.get d 9 = Directory.Exclusive 2);
+  Alcotest.(check (list int)) "no sharers while exclusive" [] (Directory.sharers d 9);
+  Alcotest.check_raises "add_sharer on exclusive"
+    (Invalid_argument "Directory.add_sharer: block is held exclusive")
+    (fun () -> Directory.add_sharer d 9 ~node:1)
+
+let test_set_normalises () =
+  let d = Directory.create ~nodes:4 in
+  Directory.set d 5 (Directory.Shared 0);
+  Alcotest.(check bool) "Shared 0 is Idle" true (Directory.get d 5 = Directory.Idle);
+  Directory.set d 5 (Directory.Shared 0b1010);
+  Directory.set d 5 Directory.Idle;
+  Alcotest.(check bool) "Idle clears" true (Directory.get d 5 = Directory.Idle);
+  Alcotest.(check bool) "entries empty" true (Directory.entries d = [])
+
+let test_entries () =
+  let d = Directory.create ~nodes:4 in
+  Directory.add_sharer d 1 ~node:0;
+  Directory.set d 2 (Directory.Exclusive 3);
+  Alcotest.(check int) "two entries" 2 (List.length (Directory.entries d))
+
+let test_bounds () =
+  Alcotest.check_raises "too many nodes"
+    (Invalid_argument "Directory.create: nodes must be in [1, 62]") (fun () ->
+      ignore (Directory.create ~nodes:63));
+  let d = Directory.create ~nodes:2 in
+  Alcotest.check_raises "node out of range"
+    (Invalid_argument "Directory: node out of range") (fun () ->
+      Directory.add_sharer d 0 ~node:2)
+
+let test_popcount () =
+  Alcotest.(check int) "popcount 0" 0 (Directory.popcount 0);
+  Alcotest.(check int) "popcount 0b1011" 3 (Directory.popcount 0b1011);
+  Alcotest.(check int) "popcount max" 62 (Directory.popcount ((1 lsl 62) - 1))
+
+let suite =
+  [
+    Alcotest.test_case "initially idle" `Quick test_initial_idle;
+    Alcotest.test_case "add/remove sharers" `Quick test_add_remove_sharers;
+    Alcotest.test_case "exclusive state" `Quick test_exclusive;
+    Alcotest.test_case "set normalises" `Quick test_set_normalises;
+    Alcotest.test_case "entries" `Quick test_entries;
+    Alcotest.test_case "bounds checks" `Quick test_bounds;
+    Alcotest.test_case "popcount" `Quick test_popcount;
+  ]

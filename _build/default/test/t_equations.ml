@@ -1,0 +1,186 @@
+(* The worked example of Figure 4, reconstructed as a hand-written trace.
+
+   Two processors; variables a, b, c, d in distinct cache blocks
+   (addresses 0, 32, 64, 96). In epoch 0 (the program's first), P0 writes
+   a and b and reads d while P1 also writes a — a potential data race on
+   a. In epoch 1, P0 reads c, a and d and writes b. In epoch 2, P0 touches
+   a and b again and P1 writes c.
+
+   The paper's expected annotations for P0:
+   - Programmer, epoch 1: co_s(c), co_s(a), ci(c), ci(d)
+   - Performance, epoch 1: just ci(c)
+   - Programmer, epoch 0: co_x(a), co_x(b), co_s(d), ci(a)
+   - Performance, epoch 0: just ci(a)  (a is racy, hence the check-in) *)
+
+module Iset = Trace.Epoch.Iset
+
+let a = 0
+let b = 32
+let c = 64
+let d = 96
+
+let miss node pc addr kind = Trace.Event.Miss { node; pc; addr; kind; held = [] }
+let barrier_pair pc vt =
+  [ Trace.Event.Barrier { bnode = 0; bpc = pc; vt };
+    Trace.Event.Barrier { bnode = 1; bpc = pc; vt } ]
+
+let records =
+  [
+    miss 0 1 a Trace.Event.Write_miss;
+    miss 0 2 b Trace.Event.Write_miss;
+    miss 0 3 d Trace.Event.Read_miss;
+    miss 1 4 a Trace.Event.Write_miss;
+  ]
+  @ barrier_pair 10 100
+  @ [
+      miss 0 11 c Trace.Event.Read_miss;
+      miss 0 12 a Trace.Event.Read_miss;
+      miss 0 13 b Trace.Event.Write_miss;
+      miss 0 14 d Trace.Event.Read_miss;
+    ]
+  @ barrier_pair 20 200
+  @ [
+      miss 0 21 a Trace.Event.Read_miss;
+      miss 0 22 b Trace.Event.Write_miss;
+      miss 1 23 c Trace.Event.Write_miss;
+    ]
+
+let info () = Cachier.Epoch_info.build ~nodes:2 ~block_size:32 records
+
+let set = Alcotest.testable
+    (fun ppf s -> Fmt.(list ~sep:comma int) ppf (Iset.elements s))
+    Iset.equal
+
+let iset xs = Iset.of_list xs
+
+let test_epoch_sets () =
+  let i = info () in
+  Alcotest.(check int) "three epochs" 3 (Cachier.Epoch_info.n_epochs i);
+  let s0 = Cachier.Epoch_info.sets_at i ~epoch:0 ~node:0 in
+  Alcotest.check set "SW0(P0)" (iset [ a; b ]) s0.Cachier.Epoch_info.sw;
+  Alcotest.check set "SR0(P0)" (iset [ d ]) s0.Cachier.Epoch_info.sr;
+  Alcotest.check set "S0(P0)" (iset [ a; b; d ]) (Cachier.Epoch_info.s_of s0)
+
+let test_drfs_on_a () =
+  let i = info () in
+  Alcotest.check set "race on a in epoch 0" (iset [ a ])
+    (Cachier.Drfs.race i.Cachier.Epoch_info.drfs.(0));
+  Alcotest.check set "no race in epoch 1" Iset.empty
+    (Cachier.Drfs.race i.Cachier.Epoch_info.drfs.(1))
+
+let test_programmer_epoch1 () =
+  let i = info () in
+  let ann = Cachier.Equations.for_epoch Cachier.Equations.Programmer i ~epoch:1 ~node:0 in
+  Alcotest.check set "co_s = {a, c}" (iset [ a; c ]) ann.Cachier.Equations.co_s;
+  Alcotest.check set "co_x empty" Iset.empty ann.Cachier.Equations.co_x;
+  Alcotest.check set "ci = {c, d}" (iset [ c; d ]) ann.Cachier.Equations.ci
+
+let test_performance_epoch1 () =
+  let i = info () in
+  let ann = Cachier.Equations.for_epoch Cachier.Equations.Performance i ~epoch:1 ~node:0 in
+  Alcotest.check set "co_x empty" Iset.empty ann.Cachier.Equations.co_x;
+  Alcotest.check set "co_s always empty" Iset.empty ann.Cachier.Equations.co_s;
+  Alcotest.check set "ci = {c}" (iset [ c ]) ann.Cachier.Equations.ci
+
+let test_programmer_epoch0 () =
+  let i = info () in
+  let ann = Cachier.Equations.for_epoch Cachier.Equations.Programmer i ~epoch:0 ~node:0 in
+  Alcotest.check set "co_x = {a, b}" (iset [ a; b ]) ann.Cachier.Equations.co_x;
+  Alcotest.check set "co_s = {d}" (iset [ d ]) ann.Cachier.Equations.co_s;
+  Alcotest.check set "ci = {a}" (iset [ a ]) ann.Cachier.Equations.ci
+
+let test_performance_epoch0 () =
+  let i = info () in
+  let ann = Cachier.Equations.for_epoch Cachier.Equations.Performance i ~epoch:0 ~node:0 in
+  Alcotest.check set "co_x empty" Iset.empty ann.Cachier.Equations.co_x;
+  Alcotest.check set "ci = {a}" (iset [ a ]) ann.Cachier.Equations.ci
+
+let test_write_fault_assimilation () =
+  (* A read followed by a write fault on the same address contributes the
+     address to SW only (Section 4: faults are removed from the read
+     misses and added to the write misses). *)
+  let records =
+    [
+      miss 0 1 a Trace.Event.Read_miss;
+      miss 0 2 a Trace.Event.Write_fault;
+    ]
+  in
+  let i = Cachier.Epoch_info.build ~nodes:1 ~block_size:32 records in
+  let s = Cachier.Epoch_info.sets_at i ~epoch:0 ~node:0 in
+  Alcotest.check set "a in SW" (iset [ a ]) s.Cachier.Epoch_info.sw;
+  Alcotest.check set "a not in SR" Iset.empty s.Cachier.Epoch_info.sr;
+  Alcotest.check set "fault recorded" (iset [ a ]) s.Cachier.Epoch_info.wf
+
+let test_performance_co_x_on_fault () =
+  (* Performance co_x targets exactly the read-before-write locations. *)
+  let records =
+    [
+      miss 0 1 a Trace.Event.Read_miss;
+      miss 0 2 a Trace.Event.Write_fault;
+      miss 0 3 b Trace.Event.Write_miss;
+    ]
+  in
+  let i = Cachier.Epoch_info.build ~nodes:1 ~block_size:32 records in
+  let ann = Cachier.Equations.for_epoch Cachier.Equations.Performance i ~epoch:0 ~node:0 in
+  Alcotest.check set "co_x only the faulted address" (iset [ a ])
+    ann.Cachier.Equations.co_x
+
+let test_self_write_next_epoch_not_checked_in () =
+  (* A node that reads x and will itself write x next epoch must not check
+     it in: flushing would turn a cheap upgrade into a full miss. *)
+  let records =
+    [ miss 0 1 a Trace.Event.Read_miss ]
+    @ barrier_pair 5 100
+    @ [ miss 0 6 a Trace.Event.Write_fault; miss 1 7 b Trace.Event.Write_miss ]
+  in
+  let i = Cachier.Epoch_info.build ~nodes:2 ~block_size:32 records in
+  let ann = Cachier.Equations.for_epoch Cachier.Equations.Performance i ~epoch:0 ~node:0 in
+  Alcotest.check set "no ci for self-written data" Iset.empty
+    ann.Cachier.Equations.ci
+
+let test_other_write_next_epoch_checked_in () =
+  let records =
+    [ miss 0 1 a Trace.Event.Read_miss ]
+    @ barrier_pair 5 100
+    @ [ miss 1 6 a Trace.Event.Write_miss ]
+  in
+  let i = Cachier.Epoch_info.build ~nodes:2 ~block_size:32 records in
+  let ann = Cachier.Equations.for_epoch Cachier.Equations.Performance i ~epoch:0 ~node:0 in
+  Alcotest.check set "ci for data another node writes next" (iset [ a ])
+    ann.Cachier.Equations.ci
+
+let test_all_matches_for_epoch () =
+  let i = info () in
+  let table = Cachier.Equations.all Cachier.Equations.Programmer i in
+  for e = 0 to 2 do
+    for n = 0 to 1 do
+      let direct = Cachier.Equations.for_epoch Cachier.Equations.Programmer i ~epoch:e ~node:n in
+      Alcotest.check set "co_x" direct.Cachier.Equations.co_x table.(e).(n).Cachier.Equations.co_x;
+      Alcotest.check set "ci" direct.Cachier.Equations.ci table.(e).(n).Cachier.Equations.ci
+    done
+  done
+
+let test_union () =
+  let a1 = { Cachier.Equations.co_x = iset [ 1 ]; co_s = iset [ 2 ]; ci = Iset.empty } in
+  let a2 = { Cachier.Equations.co_x = iset [ 3 ]; co_s = Iset.empty; ci = iset [ 4 ] } in
+  let u = Cachier.Equations.union a1 a2 in
+  Alcotest.check set "co_x union" (iset [ 1; 3 ]) u.Cachier.Equations.co_x;
+  Alcotest.check set "ci union" (iset [ 4 ]) u.Cachier.Equations.ci
+
+let suite =
+  [
+    Alcotest.test_case "epoch set assimilation" `Quick test_epoch_sets;
+    Alcotest.test_case "race detection on a" `Quick test_drfs_on_a;
+    Alcotest.test_case "Fig.4 Programmer epoch i" `Quick test_programmer_epoch1;
+    Alcotest.test_case "Fig.4 Performance epoch i" `Quick test_performance_epoch1;
+    Alcotest.test_case "Fig.4 Programmer first epoch" `Quick test_programmer_epoch0;
+    Alcotest.test_case "Fig.4 Performance first epoch" `Quick test_performance_epoch0;
+    Alcotest.test_case "write-fault assimilation" `Quick test_write_fault_assimilation;
+    Alcotest.test_case "Performance co_x on faults" `Quick test_performance_co_x_on_fault;
+    Alcotest.test_case "no ci for self-written data" `Quick
+      test_self_write_next_epoch_not_checked_in;
+    Alcotest.test_case "ci for other-written data" `Quick
+      test_other_write_next_epoch_checked_in;
+    Alcotest.test_case "all = for_epoch" `Quick test_all_matches_for_epoch;
+    Alcotest.test_case "annots union" `Quick test_union;
+  ]

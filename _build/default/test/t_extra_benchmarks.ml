@@ -1,0 +1,167 @@
+(* LU and FFT: the two extension kernels beyond the Figure 6 suite. *)
+
+let machine = { Wwt.Machine.default with Wwt.Machine.nodes = 4 }
+
+let run src = Wwt.Run.source_measure ~machine ~annotations:false ~prefetch:false src
+let run_annotated src = Wwt.Run.source_measure ~machine ~annotations:true ~prefetch:false src
+
+(* ---- LU ---- *)
+
+(* OCaml reference LU (no pivoting, column-major) on the same input. *)
+let reference_lu n seed =
+  let m = Array.make_matrix n n 0.0 in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let v = Wwt.Interp.noise ((j * n) + i + (seed * 1000003)) in
+      m.(i).(j) <- (if i = j then v +. float_of_int n else v)
+    done
+  done;
+  for k = 0 to n - 2 do
+    for i = k + 1 to n - 1 do
+      m.(i).(k) <- m.(i).(k) /. m.(k).(k)
+    done;
+    for j = k + 1 to n - 1 do
+      for i = k + 1 to n - 1 do
+        m.(i).(j) <- m.(i).(j) -. (m.(i).(k) *. m.(k).(j))
+      done
+    done
+  done;
+  m
+
+let test_lu_matches_reference () =
+  let n = 12 in
+  let o = run (Benchmarks.Lu.source ~n ~seed:1 ~nodes:4 ()) in
+  let expect = reference_lu n 1 in
+  let max_err = ref 0.0 in
+  for j = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let got = Lang.Value.to_float (Wwt.Interp.shared_value o "M" ((j * n) + i)) in
+      max_err := max !max_err (Float.abs (got -. expect.(i).(j)))
+    done
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "LU max error %g" !max_err)
+    true (!max_err < 1e-9)
+
+let test_lu_hand_equivalent_and_helps () =
+  let n = 16 in
+  let base = run (Benchmarks.Lu.source ~n ~nodes:4 ()) in
+  let hand = run_annotated (Benchmarks.Lu.hand_source ~n ~nodes:4 ()) in
+  Alcotest.(check bool) "same factorisation" true
+    (base.Wwt.Interp.shared = hand.Wwt.Interp.shared);
+  Alcotest.(check bool) "column handoff annotations issued" true
+    (hand.Wwt.Interp.stats.Memsys.Stats.check_ins > 0)
+
+let test_lu_through_cachier () =
+  let src = Benchmarks.Lu.source ~n:12 ~nodes:4 () in
+  let prog = Lang.Parser.parse src in
+  let r =
+    Cachier.Annotate.annotate_program ~machine
+      ~options:Cachier.Placement.default_options prog
+  in
+  Alcotest.(check bool) "annotations inserted" true (r.Cachier.Annotate.n_edits > 0);
+  let base = Wwt.Run.measure ~machine ~annotations:false ~prefetch:false prog in
+  let ann =
+    Wwt.Run.measure ~machine ~annotations:true ~prefetch:false
+      r.Cachier.Annotate.annotated
+  in
+  Alcotest.(check bool) "identical result" true
+    (base.Wwt.Interp.shared = ann.Wwt.Interp.shared)
+
+(* ---- FFT ---- *)
+
+let test_fft_parseval () =
+  (* energy is conserved up to the 1/N convention: sum |x|^2 = sum |X|^2 / N *)
+  let n = 32 in
+  let o = run (Benchmarks.Fft.source ~n ~seed:1 ~nodes:4 ()) in
+  let input_energy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let v = Wwt.Interp.noise (i + 1000003) -. 0.5 in
+    input_energy := !input_energy +. (v *. v)
+  done;
+  let output_energy = ref 0.0 in
+  for i = 0 to n - 1 do
+    let re = Lang.Value.to_float (Wwt.Interp.shared_value o "RE" i) in
+    let im = Lang.Value.to_float (Wwt.Interp.shared_value o "IM" i) in
+    output_energy := !output_energy +. (re *. re) +. (im *. im)
+  done;
+  Alcotest.(check (float 1e-6)) "Parseval" !input_energy
+    (!output_energy /. float_of_int n)
+
+let test_fft_inverse_round_trip () =
+  let n = 32 in
+  let o = run (Benchmarks.Fft.inverse_source ~n ~seed:1 ~nodes:4 ()) in
+  let max_err = ref 0.0 in
+  for i = 0 to n - 1 do
+    let expect = Wwt.Interp.noise (i + 1000003) -. 0.5 in
+    let got = Lang.Value.to_float (Wwt.Interp.shared_value o "RE" i) in
+    let im = Lang.Value.to_float (Wwt.Interp.shared_value o "IM" i) in
+    max_err := max !max_err (Float.abs (got -. expect));
+    max_err := max !max_err (Float.abs im)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "round-trip max error %g" !max_err)
+    true (!max_err < 1e-9)
+
+let test_fft_dc_component () =
+  (* X[0] is the sum of the inputs *)
+  let n = 32 in
+  let o = run (Benchmarks.Fft.source ~n ~seed:2 ~nodes:4 ()) in
+  let sum = ref 0.0 in
+  for i = 0 to n - 1 do
+    sum := !sum +. Wwt.Interp.noise (i + 2 * 1000003) -. 0.5
+  done;
+  Alcotest.(check (float 1e-9)) "DC bin" !sum
+    (Lang.Value.to_float (Wwt.Interp.shared_value o "RE" 0))
+
+let test_fft_race_free_and_annotatable () =
+  let src = Benchmarks.Fft.source ~n:32 ~nodes:4 () in
+  let prog = Lang.Parser.parse src in
+  let r =
+    Cachier.Annotate.annotate_program ~machine
+      ~options:Cachier.Placement.default_options prog
+  in
+  Alcotest.(check (list string)) "no races" []
+    (List.map (fun i -> i.Cachier.Report.arr)
+       (Cachier.Report.races r.Cachier.Annotate.report));
+  let base = Wwt.Run.measure ~machine ~annotations:false ~prefetch:false prog in
+  let ann =
+    Wwt.Run.measure ~machine ~annotations:true ~prefetch:false
+      r.Cachier.Annotate.annotated
+  in
+  Alcotest.(check bool) "identical spectrum" true
+    (base.Wwt.Interp.shared = ann.Wwt.Interp.shared)
+
+let test_fft_validation () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "fft: N must be a power of two") (fun () ->
+      ignore (Benchmarks.Fft.source ~n:48 ~nodes:4 ()))
+
+let test_engines_agree_on_lu_and_fft () =
+  List.iter
+    (fun src ->
+      let prog = Lang.Parser.parse src in
+      let a = Wwt.Interp.run ~machine prog in
+      let b = Wwt.Compile.run ~machine prog in
+      Alcotest.(check int) "same time" a.Wwt.Interp.time b.Wwt.Interp.time;
+      Alcotest.(check bool) "same memory" true
+        (a.Wwt.Interp.shared = b.Wwt.Interp.shared))
+    [
+      Benchmarks.Lu.source ~n:12 ~nodes:4 ();
+      Benchmarks.Fft.source ~n:32 ~nodes:4 ();
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "LU matches reference" `Quick test_lu_matches_reference;
+    Alcotest.test_case "LU hand annotation" `Quick test_lu_hand_equivalent_and_helps;
+    Alcotest.test_case "LU through Cachier" `Slow test_lu_through_cachier;
+    Alcotest.test_case "FFT Parseval" `Quick test_fft_parseval;
+    Alcotest.test_case "FFT inverse round trip" `Quick test_fft_inverse_round_trip;
+    Alcotest.test_case "FFT DC bin" `Quick test_fft_dc_component;
+    Alcotest.test_case "FFT race-free + annotatable" `Slow
+      test_fft_race_free_and_annotatable;
+    Alcotest.test_case "FFT validation" `Quick test_fft_validation;
+    Alcotest.test_case "engines agree on LU/FFT" `Slow
+      test_engines_agree_on_lu_and_fft;
+  ]

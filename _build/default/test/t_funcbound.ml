@@ -1,0 +1,70 @@
+(* Section 4.2: Programmer CICO places annotations at the boundaries of
+   the procedure that references the locations when an epoch spans
+   procedures. *)
+
+let machine = { Wwt.Machine.default with Wwt.Machine.nodes = 2 }
+
+let src =
+  {|shared A[32];
+proc work() {
+  for i = 0 to 15 {
+    x = A[pid * 16 + i];
+    A[pid * 16 + i] = x + 1.0;
+  }
+}
+proc main() {
+  work();
+  barrier;
+}|}
+
+let plan_with mode =
+  let prog = Lang.Parser.parse src in
+  let outcome = Wwt.Run.collect_trace ~machine prog in
+  let einfo =
+    Cachier.Epoch_info.build ~nodes:2 ~block_size:32 outcome.Wwt.Interp.trace
+  in
+  Cachier.Placement.plan ~program:prog ~layout:outcome.Wwt.Interp.layout
+    ~machine ~einfo
+    ~options:{ Cachier.Placement.default_options with Cachier.Placement.mode = mode }
+
+let anchors_of plan =
+  List.map (fun (e : Cachier.Placement.edit) -> e.Cachier.Placement.anchor)
+    plan.Cachier.Placement.edits
+
+let test_programmer_uses_function_boundaries () =
+  let plan = plan_with Cachier.Equations.Programmer in
+  Alcotest.(check bool) "co anchored at work's beginning" true
+    (List.mem (Cachier.Placement.Proc_begin "work") (anchors_of plan));
+  Alcotest.(check bool) "ci anchored at work's end" true
+    (List.mem (Cachier.Placement.Proc_end "work") (anchors_of plan))
+
+let test_performance_keeps_epoch_boundaries () =
+  let plan = plan_with Cachier.Equations.Performance in
+  Alcotest.(check bool) "no function-boundary anchors" true
+    (not (List.mem (Cachier.Placement.Proc_begin "work") (anchors_of plan)))
+
+let test_annotated_still_runs () =
+  let prog = Lang.Parser.parse src in
+  let r =
+    Cachier.Annotate.annotate_program ~machine
+      ~options:{ Cachier.Placement.default_options with
+                 Cachier.Placement.mode = Cachier.Equations.Programmer }
+      prog
+  in
+  let base = Wwt.Run.measure ~machine ~annotations:false ~prefetch:false prog in
+  let ann =
+    Wwt.Run.measure ~machine ~annotations:true ~prefetch:false
+      r.Cachier.Annotate.annotated
+  in
+  Alcotest.(check bool) "same result" true
+    (base.Wwt.Interp.shared = ann.Wwt.Interp.shared)
+
+let suite =
+  [
+    Alcotest.test_case "Programmer mode uses function boundaries" `Quick
+      test_programmer_uses_function_boundaries;
+    Alcotest.test_case "Performance mode keeps epoch boundaries" `Quick
+      test_performance_keeps_epoch_boundaries;
+    Alcotest.test_case "annotated program still runs" `Quick
+      test_annotated_still_runs;
+  ]

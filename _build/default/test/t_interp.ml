@@ -1,0 +1,202 @@
+open Lang
+
+let machine ?(nodes = 2) () = { Wwt.Machine.default with Wwt.Machine.nodes }
+
+let run ?(nodes = 2) src =
+  Wwt.Interp.run ~machine:(machine ~nodes ()) (Parser.parse src)
+
+let run_trace ?(nodes = 2) src =
+  Wwt.Interp.run
+    ~machine:(Wwt.Machine.trace_mode (machine ~nodes ()))
+    (Parser.parse src)
+
+let vint = function Value.Vint i -> i | Value.Vfloat f -> int_of_float f
+
+let test_arith_and_memory () =
+  let o = run "shared A[8]; proc main() { if (pid == 0) { A[0] = 2 + 3 * 4; A[1] = A[0] - 1; } }" in
+  Alcotest.(check int) "A[0]" 14 (vint (Wwt.Interp.shared_value o "A" 0));
+  Alcotest.(check int) "A[1]" 13 (vint (Wwt.Interp.shared_value o "A" 1))
+
+let test_pid_and_nprocs () =
+  let o = run ~nodes:4 "shared A[4]; proc main() { A[pid] = pid * 10 + nprocs; }" in
+  for p = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "A[%d]" p)
+      ((p * 10) + 4)
+      (vint (Wwt.Interp.shared_value o "A" p))
+  done
+
+let test_for_loop_semantics () =
+  let o = run "shared A[4]; proc main() { if (pid == 0) { s = 0; for i = 1 to 10 { s = s + i; } A[0] = s; s = 0; for i = 10 to 1 step -3 { s = s + i; } A[1] = s; for i = 5 to 4 { A[2] = 99; } } }" in
+  Alcotest.(check int) "sum 1..10" 55 (vint (Wwt.Interp.shared_value o "A" 0));
+  Alcotest.(check int) "descending 10+7+4+1" 22 (vint (Wwt.Interp.shared_value o "A" 1));
+  Alcotest.(check int) "empty loop body never runs" 0
+    (vint (Wwt.Interp.shared_value o "A" 2))
+
+let test_while_and_if () =
+  let o = run "shared A[2]; proc main() { if (pid == 0) { n = 27; steps = 0; while (n != 1) { if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; } steps = steps + 1; } A[0] = steps; } }" in
+  Alcotest.(check int) "collatz(27)" 111 (vint (Wwt.Interp.shared_value o "A" 0))
+
+let test_procedures_and_recursion () =
+  let o = run
+    "shared A[2]; proc fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); } proc main() { if (pid == 0) { A[0] = fib(10); } }" in
+  Alcotest.(check int) "fib 10" 55 (vint (Wwt.Interp.shared_value o "A" 0))
+
+let test_private_arrays_are_per_node () =
+  let o = run ~nodes:2
+    "shared A[2]; private P[4]; proc main() { P[0] = pid + 1; barrier; A[pid] = P[0]; }" in
+  Alcotest.(check int) "node 0 sees its own" 1 (vint (Wwt.Interp.shared_value o "A" 0));
+  Alcotest.(check int) "node 1 sees its own" 2 (vint (Wwt.Interp.shared_value o "A" 1))
+
+let test_barrier_ordering () =
+  (* producer/consumer across a barrier must observe the write *)
+  let o = run ~nodes:2
+    "shared A[2]; proc main() { if (pid == 0) { A[0] = 42; } barrier; if (pid == 1) { A[1] = A[0] + 1; } }" in
+  Alcotest.(check int) "consumer saw 42" 43 (vint (Wwt.Interp.shared_value o "A" 1))
+
+let test_locks_protect () =
+  let o = run ~nodes:4
+    "shared A[1]; proc main() { for i = 1 to 10 { lock(0); A[0] = A[0] + 1; unlock(0); } }" in
+  Alcotest.(check int) "40 atomic increments" 40 (vint (Wwt.Interp.shared_value o "A" 0));
+  Alcotest.(check int) "lock acquisitions counted" 40
+    o.Wwt.Interp.stats.Memsys.Stats.lock_acquires
+
+let test_intrinsics () =
+  let o = run "shared A[8]; proc main() { if (pid == 0) { A[0] = min(3, 7); A[1] = max(3, 7); A[2] = abs(0 - 9); A[3] = int(3.99); A[4] = sqrt(16.0); A[5] = floor(2.7); A[6] = float(3); } }" in
+  Alcotest.(check int) "min" 3 (vint (Wwt.Interp.shared_value o "A" 0));
+  Alcotest.(check int) "max" 7 (vint (Wwt.Interp.shared_value o "A" 1));
+  Alcotest.(check int) "abs" 9 (vint (Wwt.Interp.shared_value o "A" 2));
+  Alcotest.(check int) "int" 3 (vint (Wwt.Interp.shared_value o "A" 3));
+  Alcotest.(check bool) "sqrt" true (Wwt.Interp.shared_value o "A" 4 = Value.Vfloat 4.0);
+  Alcotest.(check bool) "floor" true (Wwt.Interp.shared_value o "A" 5 = Value.Vfloat 2.0);
+  Alcotest.(check bool) "float" true (Wwt.Interp.shared_value o "A" 6 = Value.Vfloat 3.0)
+
+let test_noise_deterministic () =
+  Alcotest.(check bool) "same input same output" true
+    (Wwt.Interp.noise 42 = Wwt.Interp.noise 42);
+  Alcotest.(check bool) "different inputs differ" true
+    (Wwt.Interp.noise 42 <> Wwt.Interp.noise 43);
+  Alcotest.(check bool) "in [0,1)" true
+    (let v = Wwt.Interp.noise 123 in v >= 0.0 && v < 1.0)
+
+let test_print_output () =
+  let o = run "proc main() { if (pid == 0) { print(1 + 1, 3.5); } }" in
+  Alcotest.(check (list string)) "output" [ "p0: 2 3.5" ] o.Wwt.Interp.output
+
+let test_runtime_errors () =
+  let expect_error src =
+    match run src with
+    | exception Wwt.Interp.Runtime_error _ -> ()
+    | _ -> Alcotest.fail ("expected a runtime error for: " ^ src)
+  in
+  expect_error "shared A[4]; proc main() { A[4] = 1; }";
+  expect_error "shared A[4]; proc main() { A[0 - 1] = 1; }";
+  expect_error "private P[2]; proc main() { x = P[5]; }";
+  expect_error "proc main() { x = 1 / 0; }";
+  expect_error "proc main() { for i = 0 to 3 step 0 { } }";
+  expect_error "proc main() { x = y; }"
+
+let test_barrier_divergence_deadlocks () =
+  match run ~nodes:2 "proc main() { if (pid == 0) { barrier; } }" with
+  | exception Wwt.Sched.Deadlock _ -> ()
+  | _ -> Alcotest.fail "expected a deadlock"
+
+let test_trace_collection () =
+  let o = run_trace ~nodes:2
+    "shared A[8]; proc main() { A[pid] = 1; barrier; x = A[1 - pid]; }" in
+  let misses =
+    List.filter (function Trace.Event.Miss _ -> true | _ -> false) o.Wwt.Interp.trace
+  in
+  let barriers =
+    List.filter (function Trace.Event.Barrier _ -> true | _ -> false) o.Wwt.Interp.trace
+  in
+  let labels =
+    List.filter (function Trace.Event.Label _ -> true | _ -> false) o.Wwt.Interp.trace
+  in
+  Alcotest.(check bool) "misses recorded" true (List.length misses >= 2);
+  Alcotest.(check int) "one barrier group" 2 (List.length barriers);
+  Alcotest.(check int) "one label" 1 (List.length labels);
+  (* flushed caches mean the post-barrier reads miss again *)
+  let epochs, _ = Trace.Epoch.split ~nodes:2 o.Wwt.Interp.trace in
+  Alcotest.(check int) "two epochs" 2 (List.length epochs);
+  let e1 = List.nth epochs 1 in
+  Alcotest.(check bool) "post-barrier reads missed" true
+    (List.length e1.Trace.Epoch.misses >= 2)
+
+let test_no_trace_in_perf_mode () =
+  let o = run "shared A[4]; proc main() { A[pid] = 1; }" in
+  Alcotest.(check (list string)) "no trace" []
+    (List.map (fun _ -> "x") o.Wwt.Interp.trace)
+
+let test_annotations_no_semantic_effect () =
+  let src annots =
+    Printf.sprintf
+      "shared A[8]; proc main() { %s A[pid] = pid + 5; %s barrier; x = A[0]; }"
+      (if annots then "check_out_x A[pid];" else "")
+      (if annots then "check_in A[pid];" else "")
+  in
+  let machine = Wwt.Machine.perf_mode ~annotations:true ~prefetch:false (machine ()) in
+  let o1 = Wwt.Interp.run ~machine (Parser.parse (src true)) in
+  let o2 = Wwt.Interp.run ~machine (Parser.parse (src false)) in
+  Alcotest.(check bool) "same result" true
+    (Wwt.Interp.shared_value o1 "A" 0 = Wwt.Interp.shared_value o2 "A" 0
+    && Wwt.Interp.shared_value o1 "A" 1 = Wwt.Interp.shared_value o2 "A" 1)
+
+let test_annotation_directives_counted () =
+  let src = "shared A[8]; proc main() { check_out_x A[0 .. 7]; A[pid] = 1.0; check_in A[0 .. 7]; }" in
+  let machine = Wwt.Machine.perf_mode ~annotations:true ~prefetch:false (machine ~nodes:1 ()) in
+  let o = Wwt.Interp.run ~machine (Parser.parse src) in
+  (* 8 elems * 8 bytes = 64 bytes = 2 blocks *)
+  Alcotest.(check int) "co_x per block" 2 o.Wwt.Interp.stats.Memsys.Stats.check_outs_x;
+  Alcotest.(check int) "ci per block" 2 o.Wwt.Interp.stats.Memsys.Stats.check_ins
+
+let test_annotations_ignored_mode () =
+  let src = "shared A[8]; proc main() { check_out_x A[0 .. 7]; A[pid] = 1.0; }" in
+  let o = Wwt.Interp.run ~machine:(machine ~nodes:1 ()) (Parser.parse src) in
+  Alcotest.(check int) "no directives" 0 o.Wwt.Interp.stats.Memsys.Stats.check_outs_x
+
+let test_annotation_table_per_pid () =
+  let src = "shared A[16]; proc main() { check_out_x A[@0: 0..3 @1: 8..11]; x = 1; }" in
+  let machine = Wwt.Machine.perf_mode ~annotations:true ~prefetch:false (machine ()) in
+  let o = Wwt.Interp.run ~machine (Parser.parse src) in
+  (* each node checks out 4 elems = 1 block *)
+  Alcotest.(check int) "one block each" 2 o.Wwt.Interp.stats.Memsys.Stats.check_outs_x
+
+let test_determinism () =
+  let src = Benchmarks.Mp3d.source ~particles:64 ~cells:16 ~t:2 ~nodes:2 () in
+  let o1 = run ~nodes:2 src and o2 = run ~nodes:2 src in
+  Alcotest.(check int) "same simulated time" o1.Wwt.Interp.time o2.Wwt.Interp.time;
+  Alcotest.(check bool) "same memory image" true (o1.Wwt.Interp.shared = o2.Wwt.Interp.shared)
+
+let test_time_advances () =
+  let o = run "shared A[4]; proc main() { for i = 0 to 3 { A[i] = i; } barrier; }" in
+  Alcotest.(check bool) "nonzero time" true (o.Wwt.Interp.time > 0);
+  Alcotest.(check int) "barrier counted" 1 o.Wwt.Interp.stats.Memsys.Stats.barriers
+
+let suite =
+  [
+    Alcotest.test_case "arithmetic and memory" `Quick test_arith_and_memory;
+    Alcotest.test_case "pid and nprocs" `Quick test_pid_and_nprocs;
+    Alcotest.test_case "for loop semantics" `Quick test_for_loop_semantics;
+    Alcotest.test_case "while and if" `Quick test_while_and_if;
+    Alcotest.test_case "procedures and recursion" `Quick test_procedures_and_recursion;
+    Alcotest.test_case "private arrays per node" `Quick test_private_arrays_are_per_node;
+    Alcotest.test_case "barrier ordering" `Quick test_barrier_ordering;
+    Alcotest.test_case "locks protect" `Quick test_locks_protect;
+    Alcotest.test_case "intrinsics" `Quick test_intrinsics;
+    Alcotest.test_case "noise determinism" `Quick test_noise_deterministic;
+    Alcotest.test_case "print output" `Quick test_print_output;
+    Alcotest.test_case "runtime errors" `Quick test_runtime_errors;
+    Alcotest.test_case "barrier divergence deadlocks" `Quick
+      test_barrier_divergence_deadlocks;
+    Alcotest.test_case "trace collection" `Quick test_trace_collection;
+    Alcotest.test_case "no trace in perf mode" `Quick test_no_trace_in_perf_mode;
+    Alcotest.test_case "annotations are semantics-free" `Quick
+      test_annotations_no_semantic_effect;
+    Alcotest.test_case "directives counted per block" `Quick
+      test_annotation_directives_counted;
+    Alcotest.test_case "annotations ignored mode" `Quick test_annotations_ignored_mode;
+    Alcotest.test_case "per-pid table execution" `Quick test_annotation_table_per_pid;
+    Alcotest.test_case "deterministic simulation" `Quick test_determinism;
+    Alcotest.test_case "time advances" `Quick test_time_advances;
+  ]

@@ -1,0 +1,132 @@
+(* Second round of interpreter edge cases. *)
+
+open Lang
+
+let machine ?(nodes = 2) () = { Wwt.Machine.default with Wwt.Machine.nodes }
+
+let run ?(nodes = 2) ?(annotations = false) ?(prefetch = false) src =
+  Wwt.Interp.run
+    ~machine:(Wwt.Machine.perf_mode ~annotations ~prefetch (machine ~nodes ()))
+    (Parser.parse src)
+
+let vint = function Value.Vint i -> i | Value.Vfloat f -> int_of_float f
+
+let test_annotation_range_clamped () =
+  (* out-of-bounds annotation ranges are clamped, not errors: annotations
+     must never change whether a program runs; annotations execute on
+     every node, so counts scale with the node count (2 here) *)
+  let o = run ~annotations:true
+    "shared A[8]; proc main() { check_out_x A[0 - 5 .. 100]; check_in A[50 .. 60]; A[pid] = 1.0; }" in
+  Alcotest.(check int) "clamped to the array's two blocks, per node" 4
+    o.Wwt.Interp.stats.Memsys.Stats.check_outs_x;
+  (* fully out-of-range check-in touches nothing *)
+  Alcotest.(check int) "empty range after clamping" 0
+    o.Wwt.Interp.stats.Memsys.Stats.check_ins
+
+let test_annotation_reversed_range_empty () =
+  let o = run ~annotations:true
+    "shared A[8]; proc main() { check_in A[5 .. 2]; x = 1; }" in
+  Alcotest.(check int) "hi < lo is empty" 0 o.Wwt.Interp.stats.Memsys.Stats.check_ins
+
+let test_table_with_fewer_rows_than_nodes () =
+  (* nodes beyond the table's rows execute nothing *)
+  let o = run ~nodes:2 ~annotations:true
+    "shared A[8]; proc main() { check_in A[@0: 0..3]; A[pid] = 1.0; }" in
+  Alcotest.(check int) "only node 0's row runs" 1
+    o.Wwt.Interp.stats.Memsys.Stats.check_ins
+
+let test_sin_cos_intrinsics () =
+  let o = run "shared A[4]; proc main() { if (pid == 0) { A[0] = sin(0.0); A[1] = cos(0.0); } }" in
+  Alcotest.(check bool) "sin 0" true
+    (Wwt.Interp.shared_value o "A" 0 = Value.Vfloat 0.0);
+  Alcotest.(check bool) "cos 0" true
+    (Wwt.Interp.shared_value o "A" 1 = Value.Vfloat 1.0)
+
+let test_nested_procedure_frames () =
+  (* callee locals must not clobber the caller's *)
+  let o = run
+    {|shared A[4];
+proc inner(x) { x = x * 10; return x; }
+proc outer(x) { y = inner(x + 1); return x + y; }
+proc main() { if (pid == 0) { A[0] = outer(3); } }|} in
+  (* outer: x=3, y=inner(4)=40, result 43 *)
+  Alcotest.(check int) "frames isolated" 43 (vint (Wwt.Interp.shared_value o "A" 0))
+
+let test_mutual_recursion () =
+  let o = run
+    {|shared A[4];
+proc is_even(n) { if (n == 0) { return 1; } return is_odd(n - 1); }
+proc is_odd(n) { if (n == 0) { return 0; } return is_even(n - 1); }
+proc main() { if (pid == 0) { A[0] = is_even(10); A[1] = is_even(7); } }|} in
+  Alcotest.(check int) "even 10" 1 (vint (Wwt.Interp.shared_value o "A" 0));
+  Alcotest.(check int) "even 7" 0 (vint (Wwt.Interp.shared_value o "A" 1))
+
+let test_barriers_inside_procedures () =
+  let o = run ~nodes:2
+    {|shared A[4];
+proc phase() { A[pid] = A[pid] + 1.0; barrier; }
+proc main() { for i = 1 to 3 { phase(); } }|} in
+  Alcotest.(check int) "three barriers" 3 o.Wwt.Interp.stats.Memsys.Stats.barriers;
+  Alcotest.(check int) "value accumulated" 3 (vint (Wwt.Interp.shared_value o "A" 0))
+
+let test_float_loop_bounds () =
+  let o = run
+    "shared A[4]; proc main() { if (pid == 0) { s = 0.0; for x = 0.5 to 2.5 step 0.5 { s = s + x; } A[0] = s; } }" in
+  (* 0.5 + 1.0 + 1.5 + 2.0 + 2.5 = 7.5 *)
+  Alcotest.(check (float 1e-9)) "float induction" 7.5
+    (Value.to_float (Wwt.Interp.shared_value o "A" 0))
+
+let test_shadowing_param_assignment () =
+  let o = run
+    {|shared A[4];
+proc f(n) { n = n + 1; return n; }
+proc main() { if (pid == 0) { m = 5; A[0] = f(m); A[1] = m; } }|} in
+  Alcotest.(check int) "param is by value" 6 (vint (Wwt.Interp.shared_value o "A" 0));
+  Alcotest.(check int) "caller unchanged" 5 (vint (Wwt.Interp.shared_value o "A" 1))
+
+let test_time_monotone_in_work () =
+  let t work =
+    (run (Printf.sprintf
+            "shared A[4]; proc main() { s = 0; for i = 1 to %d { s = s + i; } A[pid] = s; }"
+            work)).Wwt.Interp.time
+  in
+  Alcotest.(check bool) "more work, more cycles" true (t 1000 > t 10)
+
+let test_lock_heavy_contention () =
+  let o = run ~nodes:8
+    "shared C[4]; proc main() { for i = 1 to 20 { lock(0); C[0] = C[0] + 1; unlock(0); } }" in
+  Alcotest.(check int) "all increments serialized" 160
+    (vint (Wwt.Interp.shared_value o "C" 0))
+
+let test_compiled_engine_same_edge_cases () =
+  (* the same edge programs through the compiled engine *)
+  List.iter
+    (fun src ->
+      let prog = Parser.parse src in
+      let m = Wwt.Machine.perf_mode ~annotations:true ~prefetch:false (machine ()) in
+      let a = Wwt.Interp.run ~machine:m prog in
+      let b = Wwt.Compile.run ~machine:m prog in
+      Alcotest.(check int) "time" a.Wwt.Interp.time b.Wwt.Interp.time;
+      Alcotest.(check bool) "memory" true (a.Wwt.Interp.shared = b.Wwt.Interp.shared))
+    [
+      "shared A[8]; proc main() { check_out_x A[0 - 5 .. 100]; A[pid] = 1.0; }";
+      "shared A[8]; proc main() { check_in A[@0: 0..3]; A[pid] = 1.0; }";
+      "shared A[4]; proc main() { if (pid == 0) { s = 0.0; for x = 0.5 to 2.5 step 0.5 { s = s + x; } A[0] = s; } }";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "annotation ranges clamped" `Quick test_annotation_range_clamped;
+    Alcotest.test_case "reversed range empty" `Quick test_annotation_reversed_range_empty;
+    Alcotest.test_case "short tables" `Quick test_table_with_fewer_rows_than_nodes;
+    Alcotest.test_case "sin/cos" `Quick test_sin_cos_intrinsics;
+    Alcotest.test_case "nested frames" `Quick test_nested_procedure_frames;
+    Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+    Alcotest.test_case "barriers in procedures" `Quick test_barriers_inside_procedures;
+    Alcotest.test_case "float loop bounds" `Quick test_float_loop_bounds;
+    Alcotest.test_case "by-value parameters" `Quick test_shadowing_param_assignment;
+    Alcotest.test_case "time monotone in work" `Quick test_time_monotone_in_work;
+    Alcotest.test_case "lock-heavy contention" `Quick test_lock_heavy_contention;
+    Alcotest.test_case "compiled engine edge cases" `Quick
+      test_compiled_engine_same_edge_cases;
+  ]

@@ -1,0 +1,61 @@
+open Lang
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let test_basic_tokens () =
+  Alcotest.(check bool) "operators" true
+    (toks "+ - * / % < <= > >= == != && || !"
+    = Lexer.[ PLUS; MINUS; STAR; SLASH; PERCENT; LT; LE; GT; GE; EQ; NE;
+              ANDAND; OROR; BANG; EOF ])
+
+let test_numbers () =
+  Alcotest.(check bool) "int" true (toks "42" = Lexer.[ INT 42; EOF ]);
+  Alcotest.(check bool) "float" true (toks "2.5" = Lexer.[ FLOAT 2.5; EOF ]);
+  Alcotest.(check bool) "exponent" true (toks "1.5e2" = Lexer.[ FLOAT 150.0; EOF ])
+
+let test_dotdot_vs_float () =
+  (* "0..5" must lex as INT DOTDOT INT, not a float *)
+  Alcotest.(check bool) "range" true
+    (toks "0..5" = Lexer.[ INT 0; DOTDOT; INT 5; EOF ]);
+  Alcotest.(check bool) "float then range" true
+    (toks "1.5 .. 2" = Lexer.[ FLOAT 1.5; DOTDOT; INT 2; EOF ])
+
+let test_identifiers () =
+  Alcotest.(check bool) "idents" true
+    (toks "foo _bar x2" = Lexer.[ IDENT "foo"; IDENT "_bar"; IDENT "x2"; EOF ])
+
+let test_comments () =
+  Alcotest.(check bool) "line comment" true
+    (toks "a // comment\nb" = Lexer.[ IDENT "a"; IDENT "b"; EOF ]);
+  Alcotest.(check bool) "block comment" true
+    (toks "a /* multi\nline */ b" = Lexer.[ IDENT "a"; IDENT "b"; EOF ])
+
+let test_line_numbers () =
+  let toks_lines = Lexer.tokenize "a\nb\n\nc" in
+  let lines = List.map snd toks_lines in
+  Alcotest.(check (list int)) "line tracking" [ 1; 2; 4; 4 ] lines
+
+let test_errors () =
+  Alcotest.check_raises "bad char" (Lexer.Error "line 1: unexpected character '#'")
+    (fun () -> ignore (Lexer.tokenize "#"));
+  Alcotest.check_raises "unterminated comment"
+    (Lexer.Error "line 1: unterminated comment") (fun () ->
+      ignore (Lexer.tokenize "/* never ends"))
+
+let test_punctuation () =
+  Alcotest.(check bool) "brackets etc" true
+    (toks "( ) { } [ ] , ; : @ = .."
+    = Lexer.[ LPAREN; RPAREN; LBRACE; RBRACE; LBRACKET; RBRACKET; COMMA;
+              SEMI; COLON; AT; ASSIGN; DOTDOT; EOF ])
+
+let suite =
+  [
+    Alcotest.test_case "operators" `Quick test_basic_tokens;
+    Alcotest.test_case "numbers" `Quick test_numbers;
+    Alcotest.test_case "ranges vs floats" `Quick test_dotdot_vs_float;
+    Alcotest.test_case "identifiers" `Quick test_identifiers;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "line numbers" `Quick test_line_numbers;
+    Alcotest.test_case "lex errors" `Quick test_errors;
+    Alcotest.test_case "punctuation" `Quick test_punctuation;
+  ]

@@ -1,0 +1,73 @@
+open Lang
+
+let src =
+  {|proc main() {
+  for i = 0 to 9 {
+    a = i;
+    for j = 0 to 4 {
+      b = j;
+    }
+  }
+  while (b > 0) {
+    b = b - 1;
+  }
+}|}
+(* sids: 0=for i, 1=a, 2=for j, 3=b, 4=while, 5=b dec *)
+
+let loops () = Loops.of_program (Parser.parse src)
+
+let test_forest () =
+  let ls = loops () in
+  Alcotest.(check int) "three loops" 3 (List.length ls);
+  match ls with
+  | [ outer; inner; wh ] ->
+      Alcotest.(check int) "outer header" 0 outer.Loops.header_sid;
+      Alcotest.(check bool) "outer var" true (outer.Loops.var = Some "i");
+      Alcotest.(check int) "outer depth" 1 outer.Loops.depth;
+      Alcotest.(check (list int)) "outer body" [ 1; 2; 3 ] outer.Loops.body_sids;
+      Alcotest.(check int) "inner depth" 2 inner.Loops.depth;
+      Alcotest.(check (list int)) "inner body" [ 3 ] inner.Loops.body_sids;
+      Alcotest.(check bool) "while has no var" true (wh.Loops.var = None);
+      Alcotest.(check int) "while depth" 1 wh.Loops.depth
+  | _ -> Alcotest.fail "unexpected forest"
+
+let test_containing () =
+  let ls = loops () in
+  let chain = Loops.containing ls 3 in
+  Alcotest.(check (list int)) "outermost first" [ 0; 2 ]
+    (List.map (fun l -> l.Loops.header_sid) chain);
+  Alcotest.(check (list int)) "stmt 1 only outer" [ 0 ]
+    (List.map (fun l -> l.Loops.header_sid) (Loops.containing ls 1));
+  Alcotest.(check (list int)) "stmt 5 in while" [ 4 ]
+    (List.map (fun l -> l.Loops.header_sid) (Loops.containing ls 5))
+
+let test_innermost () =
+  let ls = loops () in
+  (match Loops.innermost_containing ls 3 with
+  | Some l -> Alcotest.(check int) "innermost is j loop" 2 l.Loops.header_sid
+  | None -> Alcotest.fail "expected a loop");
+  Alcotest.(check bool) "header not inside itself" true
+    (match Loops.innermost_containing ls 0 with None -> true | Some _ -> false)
+
+let test_loop_of_header () =
+  let ls = loops () in
+  Alcotest.(check bool) "find by header" true
+    (match Loops.loop_of_header ls 2 with
+    | Some l -> l.Loops.var = Some "j"
+    | None -> false);
+  Alcotest.(check bool) "missing header" true (Loops.loop_of_header ls 99 = None)
+
+let test_loops_in_if () =
+  let p = Parser.parse "proc main() { if (x) { for i = 0 to 3 { a = i; } } }" in
+  let ls = Loops.of_program p in
+  Alcotest.(check int) "loop found inside if" 1 (List.length ls);
+  Alcotest.(check int) "depth unaffected by if" 1 (List.hd ls).Loops.depth
+
+let suite =
+  [
+    Alcotest.test_case "loop forest" `Quick test_forest;
+    Alcotest.test_case "containing chains" `Quick test_containing;
+    Alcotest.test_case "innermost" `Quick test_innermost;
+    Alcotest.test_case "loop_of_header" `Quick test_loop_of_header;
+    Alcotest.test_case "loops inside if" `Quick test_loops_in_if;
+  ]

@@ -1,0 +1,58 @@
+let test_default_geometry () =
+  let m = Wwt.Machine.default in
+  Alcotest.(check int) "4 elems per block" 4 (Wwt.Machine.elems_per_block m);
+  Alcotest.(check bool) "annotations off by default" true
+    (m.Wwt.Machine.annotations = Wwt.Machine.Ignore_annotations);
+  Alcotest.(check bool) "no trace by default" false m.Wwt.Machine.collect_trace
+
+let test_paper_machine () =
+  let m = Wwt.Machine.paper in
+  Alcotest.(check int) "32 nodes" 32 m.Wwt.Machine.nodes;
+  Alcotest.(check int) "256 KB caches" (256 * 1024) m.Wwt.Machine.cache_bytes;
+  Alcotest.(check int) "4-way" 4 m.Wwt.Machine.assoc;
+  Alcotest.(check int) "32-byte blocks" 32 m.Wwt.Machine.block_size
+
+let test_trace_mode () =
+  let m = Wwt.Machine.trace_mode Wwt.Machine.default in
+  Alcotest.(check bool) "flush at barriers" true m.Wwt.Machine.flush_at_barrier;
+  Alcotest.(check bool) "trace on" true m.Wwt.Machine.collect_trace;
+  Alcotest.(check bool) "annotations ignored" true
+    (m.Wwt.Machine.annotations = Wwt.Machine.Ignore_annotations)
+
+let test_perf_mode () =
+  let m = Wwt.Machine.perf_mode ~annotations:true ~prefetch:true Wwt.Machine.default in
+  Alcotest.(check bool) "no flush" false m.Wwt.Machine.flush_at_barrier;
+  Alcotest.(check bool) "no trace" false m.Wwt.Machine.collect_trace;
+  Alcotest.(check bool) "annotations executed" true
+    (m.Wwt.Machine.annotations = Wwt.Machine.Execute_annotations);
+  Alcotest.(check bool) "prefetch on" true m.Wwt.Machine.prefetch;
+  let m2 = Wwt.Machine.perf_mode ~annotations:false ~prefetch:false Wwt.Machine.default in
+  Alcotest.(check bool) "annotations off" true
+    (m2.Wwt.Machine.annotations = Wwt.Machine.Ignore_annotations)
+
+let test_run_helpers () =
+  let machine = { Wwt.Machine.default with Wwt.Machine.nodes = 2 } in
+  let src = "shared A[8]; proc main() { A[pid] = 1; barrier; x = A[0]; }" in
+  let tr = Wwt.Run.source_trace ~machine src in
+  Alcotest.(check bool) "trace produced" true (tr.Wwt.Interp.trace <> []);
+  let pf = Wwt.Run.source_measure ~machine ~annotations:false ~prefetch:false src in
+  Alcotest.(check bool) "no trace in measure" true (pf.Wwt.Interp.trace = []);
+  Alcotest.(check bool) "time positive" true (pf.Wwt.Interp.time > 0)
+
+let test_collect_trace_strips_annotations () =
+  let machine = { Wwt.Machine.default with Wwt.Machine.nodes = 2 } in
+  let src = "shared A[8]; proc main() { check_out_x A[0 .. 7]; A[pid] = 1; }" in
+  let o = Wwt.Run.source_trace ~machine src in
+  Alcotest.(check int) "no directives in the trace run" 0
+    o.Wwt.Interp.stats.Memsys.Stats.check_outs_x
+
+let suite =
+  [
+    Alcotest.test_case "default geometry" `Quick test_default_geometry;
+    Alcotest.test_case "paper machine" `Quick test_paper_machine;
+    Alcotest.test_case "trace mode" `Quick test_trace_mode;
+    Alcotest.test_case "perf mode" `Quick test_perf_mode;
+    Alcotest.test_case "run helpers" `Quick test_run_helpers;
+    Alcotest.test_case "trace run strips annotations" `Quick
+      test_collect_trace_strips_annotations;
+  ]

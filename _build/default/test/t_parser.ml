@@ -1,0 +1,145 @@
+open Lang
+
+let parse = Parser.parse
+
+let minimal = "proc main() { x = 1; }"
+
+let test_minimal () =
+  let p = parse minimal in
+  Alcotest.(check int) "one proc" 1 (List.length p.Ast.procs);
+  Alcotest.(check int) "no decls" 0 (List.length p.Ast.decls)
+
+let test_declarations () =
+  let p = parse "const N = 4; shared A[N*N]; private B[8]; proc main() { }" in
+  match p.Ast.decls with
+  | [ Ast.Dconst ("N", Ast.Eint 4); Ast.Dshared ("A", _); Ast.Dprivate ("B", Ast.Eint 8) ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected declarations"
+
+let test_expression_precedence () =
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  Alcotest.(check bool) "mul binds tighter" true
+    (e = Ast.Ebinop (Ast.Add, Ast.Eint 1, Ast.Ebinop (Ast.Mul, Ast.Eint 2, Ast.Eint 3)));
+  let e = Parser.parse_expr "(1 + 2) * 3" in
+  Alcotest.(check bool) "parens override" true
+    (e = Ast.Ebinop (Ast.Mul, Ast.Ebinop (Ast.Add, Ast.Eint 1, Ast.Eint 2), Ast.Eint 3))
+
+let test_logical_precedence () =
+  let e = Parser.parse_expr "a < 1 && b > 2 || c == 3" in
+  match e with
+  | Ast.Ebinop (Ast.Or, Ast.Ebinop (Ast.And, _, _), Ast.Ebinop (Ast.Eq, _, _)) -> ()
+  | _ -> Alcotest.fail "|| should be outermost, && above comparisons"
+
+let test_unary () =
+  Alcotest.(check bool) "negation" true
+    (Parser.parse_expr "-x" = Ast.Eunop (Ast.Neg, Ast.Evar "x"));
+  Alcotest.(check bool) "not" true
+    (Parser.parse_expr "!a" = Ast.Eunop (Ast.Not, Ast.Evar "a"));
+  Alcotest.(check bool) "double negation" true
+    (Parser.parse_expr "--x" = Ast.Eunop (Ast.Neg, Ast.Eunop (Ast.Neg, Ast.Evar "x")))
+
+let test_index_and_call () =
+  Alcotest.(check bool) "subscript" true
+    (Parser.parse_expr "A[i + 1]"
+    = Ast.Eindex ("A", Ast.Ebinop (Ast.Add, Ast.Evar "i", Ast.Eint 1)));
+  Alcotest.(check bool) "call" true
+    (Parser.parse_expr "min(a, b)" = Ast.Ecall ("min", [ Ast.Evar "a"; Ast.Evar "b" ]))
+
+let first_stmt src =
+  match (List.hd (parse src).Ast.procs).Ast.body with
+  | s :: _ -> s.Ast.node
+  | [] -> Alcotest.fail "no statement"
+
+let test_for_loop () =
+  (match first_stmt "proc main() { for i = 0 to 9 { x = i; } }" with
+  | Ast.Sfor { var = "i"; from_ = Ast.Eint 0; to_ = Ast.Eint 9; step = Ast.Eint 1; body } ->
+      Alcotest.(check int) "body size" 1 (List.length body)
+  | _ -> Alcotest.fail "bad for");
+  match first_stmt "proc main() { for i = 0 to 9 step 2 { } }" with
+  | Ast.Sfor { step = Ast.Eint 2; _ } -> ()
+  | _ -> Alcotest.fail "bad step"
+
+let test_if_else_chain () =
+  match first_stmt "proc main() { if (a) { x = 1; } else if (b) { x = 2; } else { x = 3; } }" with
+  | Ast.Sif (_, [ _ ], [ { Ast.node = Ast.Sif (_, [ _ ], [ _ ]); _ } ]) -> ()
+  | _ -> Alcotest.fail "bad if/else-if chain"
+
+let test_statements () =
+  (match first_stmt "proc main() { barrier; }" with
+  | Ast.Sbarrier -> ()
+  | _ -> Alcotest.fail "barrier");
+  (match first_stmt "proc main() { lock(3); }" with
+  | Ast.Slock (Ast.Eint 3) -> ()
+  | _ -> Alcotest.fail "lock");
+  (match first_stmt "proc main() { foo(1, 2); }" with
+  | Ast.Scall ("foo", [ _; _ ]) -> ()
+  | _ -> Alcotest.fail "call stmt");
+  (match first_stmt "proc main() { return x + 1; }" with
+  | Ast.Sreturn (Some _) -> ()
+  | _ -> Alcotest.fail "return");
+  match first_stmt "proc main() { print(x, 2); }" with
+  | Ast.Sprint [ _; _ ] -> ()
+  | _ -> Alcotest.fail "print"
+
+let test_annotations () =
+  (match first_stmt "proc main() { check_out_x A[3]; }" with
+  | Ast.Sannot (Ast.Check_out_x, { arr = "A"; lo = Ast.Eint 3; hi = Ast.Eint 3 }) -> ()
+  | _ -> Alcotest.fail "point annotation");
+  (match first_stmt "proc main() { check_in A[i .. i + 3]; }" with
+  | Ast.Sannot (Ast.Check_in, { lo = Ast.Evar "i"; hi = _; _ }) -> ()
+  | _ -> Alcotest.fail "range annotation");
+  match first_stmt "proc main() { prefetch_s A[0]; }" with
+  | Ast.Sannot (Ast.Prefetch_s, _) -> ()
+  | _ -> Alcotest.fail "prefetch"
+
+let test_annotation_table () =
+  match first_stmt "proc main() { check_in A[@0: 1..3, 7..9 @2: 4..6]; }" with
+  | Ast.Sannot_table { akind = Ast.Check_in; aarr = "A"; aranges } ->
+      Alcotest.(check int) "three rows" 3 (Array.length aranges);
+      Alcotest.(check bool) "pid 0 ranges" true (aranges.(0) = [ (1, 3); (7, 9) ]);
+      Alcotest.(check bool) "pid 1 empty" true (aranges.(1) = []);
+      Alcotest.(check bool) "pid 2 ranges" true (aranges.(2) = [ (4, 6) ])
+  | _ -> Alcotest.fail "table annotation"
+
+let test_unique_sids () =
+  let p = parse "proc f() { a = 1; } proc main() { f(); if (a) { b = 2; } }" in
+  let sids = ref [] in
+  Ast.iter_stmts (fun s -> sids := s.Ast.sid :: !sids) p;
+  let sorted = List.sort_uniq compare !sids in
+  Alcotest.(check int) "all distinct" (List.length !sids) (List.length sorted)
+
+let test_parse_errors () =
+  let expect_error src =
+    match parse src with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.fail ("expected syntax error for: " ^ src)
+  in
+  expect_error "proc main() { x = ; }";
+  expect_error "proc main() { for i = 0 { } }";
+  expect_error "proc main() { if a { } }";
+  expect_error "shared A[; proc main() { }";
+  expect_error "proc main() { check_in 3; }"
+
+let test_params () =
+  let p = parse "proc f(a, b, c) { return a; } proc main() { }" in
+  match p.Ast.procs with
+  | [ f; _ ] -> Alcotest.(check (list string)) "params" [ "a"; "b"; "c" ] f.Ast.params
+  | _ -> Alcotest.fail "procs"
+
+let suite =
+  [
+    Alcotest.test_case "minimal program" `Quick test_minimal;
+    Alcotest.test_case "declarations" `Quick test_declarations;
+    Alcotest.test_case "arithmetic precedence" `Quick test_expression_precedence;
+    Alcotest.test_case "logical precedence" `Quick test_logical_precedence;
+    Alcotest.test_case "unary operators" `Quick test_unary;
+    Alcotest.test_case "index and call" `Quick test_index_and_call;
+    Alcotest.test_case "for loops" `Quick test_for_loop;
+    Alcotest.test_case "if/else chains" `Quick test_if_else_chain;
+    Alcotest.test_case "statement forms" `Quick test_statements;
+    Alcotest.test_case "annotations" `Quick test_annotations;
+    Alcotest.test_case "annotation tables" `Quick test_annotation_table;
+    Alcotest.test_case "unique statement ids" `Quick test_unique_sids;
+    Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+    Alcotest.test_case "parameters" `Quick test_params;
+  ]

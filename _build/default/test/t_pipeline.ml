@@ -1,0 +1,181 @@
+(* Integration tests: the full Cachier pipeline on every benchmark, at
+   reduced sizes so the whole suite stays fast. These assert the
+   qualitative claims of Section 6:
+   - Cachier's annotations never change program results;
+   - annotated sharing-heavy programs run faster than unannotated ones;
+   - the Cachier version beats the flawed hand version on mp3d. *)
+
+let nodes = 4
+let machine = { Wwt.Machine.default with Wwt.Machine.nodes }
+let opts = Cachier.Placement.default_options
+
+let small_sources =
+  [
+    ("matmul", Benchmarks.Matmul.source ~n:16 ~nodes ());
+    ("jacobi", Benchmarks.Jacobi.source ~n:16 ~t:2 ~nodes ());
+    ("ocean", Benchmarks.Ocean.source ~n:16 ~t:2 ~nodes ());
+    ("tomcatv", Benchmarks.Tomcatv.source ~n:12 ~t:2 ~nodes ());
+    ("mp3d", Benchmarks.Mp3d.source ~particles:128 ~cells:16 ~t:2 ~nodes ());
+    ("barnes", Benchmarks.Barnes.source ~bodies:32 ~t:2 ~nodes ());
+  ]
+
+let annotate src =
+  Cachier.Annotate.annotate_program ~machine ~options:opts (Lang.Parser.parse src)
+
+let measure ?(annotations = false) prog =
+  Wwt.Run.measure ~machine ~annotations ~prefetch:false prog
+
+let test_all_benchmarks_run () =
+  List.iter
+    (fun (name, src) ->
+      let o = measure (Lang.Parser.parse src) in
+      Alcotest.(check bool) (name ^ " runs") true (o.Wwt.Interp.time > 0))
+    small_sources
+
+let test_all_benchmarks_annotate () =
+  List.iter
+    (fun (name, src) ->
+      let r = annotate src in
+      Alcotest.(check bool) (name ^ " gets annotations") true
+        (r.Cachier.Annotate.n_edits > 0))
+    small_sources
+
+let test_race_free_results_unchanged () =
+  (* Jacobi, Tomcatv and Barnes are race-free: annotated and unannotated
+     runs must produce bit-identical shared memory. *)
+  List.iter
+    (fun (name, src) ->
+      let prog = Lang.Parser.parse src in
+      let base = measure prog in
+      let r = annotate src in
+      let ann = measure ~annotations:true r.Cachier.Annotate.annotated in
+      Alcotest.(check bool) (name ^ " results identical") true
+        (base.Wwt.Interp.shared = ann.Wwt.Interp.shared))
+    [
+      ("jacobi", List.assoc "jacobi" small_sources);
+      ("tomcatv", List.assoc "tomcatv" small_sources);
+      ("barnes", List.assoc "barnes" small_sources);
+    ]
+
+let test_sharing_heavy_benchmarks_improve () =
+  (* mp3d has the highest write sharing; Cachier must help it. *)
+  let src = Benchmarks.Mp3d.source ~particles:256 ~cells:32 ~t:3 ~nodes () in
+  let base = measure (Lang.Parser.parse src) in
+  let r = annotate src in
+  let ann = measure ~annotations:true r.Cachier.Annotate.annotated in
+  Alcotest.(check bool) "mp3d faster with Cachier" true
+    (ann.Wwt.Interp.time < base.Wwt.Interp.time)
+
+let test_cachier_beats_hand_on_mp3d () =
+  let src = Benchmarks.Mp3d.source ~particles:256 ~cells:32 ~t:3 ~nodes () in
+  let hand_src = Benchmarks.Mp3d.hand_source ~particles:256 ~cells:32 ~t:3 ~nodes () in
+  let hand = measure ~annotations:true (Lang.Parser.parse hand_src) in
+  let r = annotate src in
+  let ann = measure ~annotations:true r.Cachier.Annotate.annotated in
+  Alcotest.(check bool) "Cachier beats hand" true
+    (ann.Wwt.Interp.time < hand.Wwt.Interp.time)
+
+let test_annotations_reduce_traps () =
+  let src = Benchmarks.Mp3d.source ~particles:256 ~cells:32 ~t:3 ~nodes () in
+  let base = measure (Lang.Parser.parse src) in
+  let r = annotate src in
+  let ann = measure ~annotations:true r.Cachier.Annotate.annotated in
+  Alcotest.(check bool) "fewer software traps" true
+    (ann.Wwt.Interp.stats.Memsys.Stats.sw_traps
+    <= base.Wwt.Interp.stats.Memsys.Stats.sw_traps)
+
+let test_prefetch_improves_jacobi () =
+  let src = Benchmarks.Jacobi.source ~n:16 ~t:3 ~nodes () in
+  let r = Cachier.Annotate.annotate_program ~machine
+      ~options:{ opts with Cachier.Placement.prefetch = true }
+      (Lang.Parser.parse src) in
+  let plain = annotate src in
+  let t_plain =
+    (Wwt.Run.measure ~machine ~annotations:true ~prefetch:false
+       plain.Cachier.Annotate.annotated).Wwt.Interp.time
+  in
+  let t_pf =
+    (Wwt.Run.measure ~machine ~annotations:true ~prefetch:true
+       r.Cachier.Annotate.annotated).Wwt.Interp.time
+  in
+  Alcotest.(check bool) "prefetch helps jacobi" true (t_pf < t_plain)
+
+let test_cross_input_stability () =
+  (* Section 4.5: annotations from one input work on another. *)
+  let src = Benchmarks.Mp3d.source ~particles:128 ~cells:16 ~t:2 ~nodes ~seed:1 () in
+  let r = annotate src in
+  let other = Benchmarks.Suite.reseed r.Cachier.Annotate.annotated 2 in
+  let base2 =
+    measure (Benchmarks.Suite.reseed (Lang.Parser.parse src) 2)
+  in
+  let ann2 = measure ~annotations:true other in
+  Alcotest.(check bool) "still faster on a different input" true
+    (ann2.Wwt.Interp.time < base2.Wwt.Interp.time)
+
+let test_restructured_matmul_correct () =
+  (* Section 5: the restructured version is race-free under locks and must
+     equal the sum semantics. *)
+  let n = 16 in
+  let src = Benchmarks.Matmul.restructured_source ~n ~nodes () in
+  let machine = Wwt.Machine.perf_mode ~annotations:true ~prefetch:false machine in
+  let o = Wwt.Interp.run ~machine (Lang.Parser.parse src) in
+  (* reference product computed in OCaml with the same noise inputs *)
+  let a = Array.init (n * n) (fun q -> Wwt.Interp.noise (q + 1000003)) in
+  let b = Array.init (n * n) (fun q -> Wwt.Interp.noise (q + 500000 + 1000003)) in
+  let expect i j =
+    let s = ref 0.0 in
+    for k = 0 to n - 1 do
+      s := !s +. (a.((i * n) + k) *. b.((k * n) + j))
+    done;
+    !s
+  in
+  List.iter
+    (fun (i, j) ->
+      let got = Lang.Value.to_float (Wwt.Interp.shared_value o "C" ((i * n) + j)) in
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "C[%d,%d]" i j) (expect i j) got)
+    [ (0, 0); (3, 7); (15, 15); (8, 2) ]
+
+let test_locks_outperform_races_in_message_traffic () =
+  (* The restructured version must move fewer C blocks (Section 5). *)
+  let n = 16 in
+  let base =
+    measure (Lang.Parser.parse (Benchmarks.Matmul.source ~n ~nodes ()))
+  in
+  let restructured =
+    Wwt.Run.measure ~machine ~annotations:true ~prefetch:false
+      (Lang.Parser.parse (Benchmarks.Matmul.restructured_source ~n ~nodes ()))
+  in
+  Alcotest.(check bool) "fewer software traps after restructuring" true
+    (restructured.Wwt.Interp.stats.Memsys.Stats.sw_traps
+    < base.Wwt.Interp.stats.Memsys.Stats.sw_traps)
+
+let test_sharing_profile_ordering () =
+  (* Section 6: ocean and mp3d have high sharing, barnes low, tomcatv
+     dominated by private computation. *)
+  let frac name src =
+    let o = measure (Lang.Parser.parse src) in
+    ignore name;
+    Memsys.Stats.shared_read_fraction o.Wwt.Interp.stats
+  in
+  let tomcatv = frac "tomcatv" (List.assoc "tomcatv" small_sources) in
+  let ocean = frac "ocean" (List.assoc "ocean" small_sources) in
+  Alcotest.(check bool) "tomcatv mostly private" true (tomcatv < 0.3);
+  Alcotest.(check bool) "ocean mostly shared" true (ocean > 0.7)
+
+let suite =
+  [
+    Alcotest.test_case "all benchmarks run" `Slow test_all_benchmarks_run;
+    Alcotest.test_case "all benchmarks annotate" `Slow test_all_benchmarks_annotate;
+    Alcotest.test_case "race-free results unchanged" `Slow
+      test_race_free_results_unchanged;
+    Alcotest.test_case "mp3d improves" `Slow test_sharing_heavy_benchmarks_improve;
+    Alcotest.test_case "Cachier beats hand (mp3d)" `Slow test_cachier_beats_hand_on_mp3d;
+    Alcotest.test_case "traps reduced" `Slow test_annotations_reduce_traps;
+    Alcotest.test_case "prefetch helps jacobi" `Slow test_prefetch_improves_jacobi;
+    Alcotest.test_case "cross-input stability" `Slow test_cross_input_stability;
+    Alcotest.test_case "restructured matmul correct" `Slow
+      test_restructured_matmul_correct;
+    Alcotest.test_case "restructuring cuts traps" `Slow
+      test_locks_outperform_races_in_message_traffic;
+    Alcotest.test_case "sharing profile" `Slow test_sharing_profile_ordering;
+  ]

@@ -1,0 +1,186 @@
+open Lang
+
+let machine = { Wwt.Machine.default with Wwt.Machine.nodes = 2 }
+
+let annot kind arr lo hi =
+  { Ast.sid = -1;
+    node = Ast.Sannot (kind, { Ast.arr; lo = Ast.Eint lo; hi = Ast.Eint hi }) }
+
+let test_apply_edits_positions () =
+  let p = Parser.parse "shared A[8]; proc main() { a = 1; for i = 0 to 3 { b = i; } c = 2; }" in
+  (* sids: 0=a, 1=for, 2=b, 3=c *)
+  let edits =
+    [
+      { Cachier.Placement.anchor = Cachier.Placement.Before 0;
+        stmt = annot Ast.Check_out_x "A" 0 0 };
+      { Cachier.Placement.anchor = Cachier.Placement.After 3;
+        stmt = annot Ast.Check_in "A" 0 0 };
+      { Cachier.Placement.anchor = Cachier.Placement.Loop_begin 1;
+        stmt = annot Ast.Check_out_s "A" 1 1 };
+      { Cachier.Placement.anchor = Cachier.Placement.Loop_end 1;
+        stmt = annot Ast.Check_in "A" 1 1 };
+      { Cachier.Placement.anchor = Cachier.Placement.Proc_begin "main";
+        stmt = annot Ast.Prefetch_s "A" 2 2 };
+      { Cachier.Placement.anchor = Cachier.Placement.Proc_end "main";
+        stmt = annot Ast.Check_in "A" 2 2 };
+    ]
+  in
+  let p' = Cachier.Placement.apply_edits p edits in
+  let body = (List.hd p'.Ast.procs).Ast.body in
+  (* expected order: prefetch(proc begin), co_x(before 0), a, for, c,
+     ci(after 3), ci(proc end) *)
+  Alcotest.(check int) "body grew" 7 (List.length body);
+  (match (List.hd body).Ast.node with
+  | Ast.Sannot (Ast.Prefetch_s, _) -> ()
+  | _ -> Alcotest.fail "proc_begin first");
+  (match (List.nth body 1).Ast.node with
+  | Ast.Sannot (Ast.Check_out_x, _) -> ()
+  | _ -> Alcotest.fail "before-0 second");
+  (match List.rev body with
+  | { Ast.node = Ast.Sannot (Ast.Check_in, { lo = Ast.Eint 2; _ }); _ } :: _ -> ()
+  | _ -> Alcotest.fail "proc_end last");
+  (* loop body wrapped *)
+  match Ast_util.stmt_by_sid p' 1 with
+  | Some { Ast.node = Ast.Sfor { body = lb; _ }; _ } ->
+      Alcotest.(check int) "loop body has 3 stmts" 3 (List.length lb);
+      (match (List.hd lb).Ast.node with
+      | Ast.Sannot (Ast.Check_out_s, _) -> ()
+      | _ -> Alcotest.fail "loop_begin first in body");
+      (match (List.nth lb 2).Ast.node with
+      | Ast.Sannot (Ast.Check_in, _) -> ()
+      | _ -> Alcotest.fail "loop_end last in body")
+  | _ -> Alcotest.fail "loop missing"
+
+let test_assign_fresh_sids () =
+  let p = Parser.parse "proc main() { a = 1; b = 2; }" in
+  let p' =
+    Cachier.Placement.apply_edits p
+      [ { Cachier.Placement.anchor = Cachier.Placement.After 0;
+          stmt = { Ast.sid = -1; node = Ast.Sbarrier } } ]
+  in
+  let p'' = Cachier.Placement.assign_fresh_sids p' in
+  let sids = ref [] in
+  Ast.iter_stmts (fun s -> sids := s.Ast.sid :: !sids) p'';
+  Alcotest.(check bool) "all non-negative" true (List.for_all (fun s -> s >= 0) !sids);
+  Alcotest.(check int) "distinct" (List.length !sids)
+    (List.length (List.sort_uniq compare !sids));
+  (* original sids preserved *)
+  Alcotest.(check bool) "sid 0 kept" true (List.mem 0 !sids);
+  Alcotest.(check bool) "sid 1 kept" true (List.mem 1 !sids)
+
+let plan_for src =
+  let prog = Parser.parse src in
+  let outcome = Wwt.Run.collect_trace ~machine prog in
+  let einfo =
+    Cachier.Epoch_info.build ~nodes:machine.Wwt.Machine.nodes
+      ~block_size:machine.Wwt.Machine.block_size outcome.Wwt.Interp.trace
+  in
+  let plan =
+    Cachier.Placement.plan ~program:prog ~layout:outcome.Wwt.Interp.layout
+      ~machine ~einfo ~options:Cachier.Placement.default_options
+  in
+  (prog, plan)
+
+let kind_counts (plan : Cachier.Placement.plan) =
+  List.fold_left
+    (fun (cox, cos_, ci, pf) { Cachier.Placement.stmt; _ } ->
+      match stmt.Ast.node with
+      | Ast.Sannot (k, _) | Ast.Sannot_table { akind = k; _ } -> (
+          match k with
+          | Ast.Check_out_x -> (cox + 1, cos_, ci, pf)
+          | Ast.Check_out_s -> (cox, cos_ + 1, ci, pf)
+          | Ast.Check_in -> (cox, cos_, ci + 1, pf)
+          | Ast.Prefetch_x | Ast.Prefetch_s -> (cox, cos_, ci, pf + 1)
+          | Ast.Post_store -> (cox, cos_, ci, pf))
+      | _ -> (cox, cos_, ci, pf))
+    (0, 0, 0, 0) plan.Cachier.Placement.edits
+
+let test_performance_mode_no_co_s () =
+  let _, plan =
+    plan_for
+      "shared A[16]; proc main() { x = A[pid]; barrier; A[pid + 2] = x; }"
+  in
+  let _, cos_, _, pf = kind_counts plan in
+  Alcotest.(check int) "no co_s in Performance mode" 0 cos_;
+  Alcotest.(check int) "no prefetch unless asked" 0 pf
+
+let test_read_then_write_gets_co_x () =
+  (* each node reads then writes its own element: a classic write fault *)
+  let _, plan =
+    plan_for "shared A[16]; proc main() { x = A[pid * 4]; A[pid * 4] = x + 1; }"
+  in
+  let cox, _, _, _ = kind_counts plan in
+  Alcotest.(check bool) "co_x planned" true (cox >= 1)
+
+let test_racy_updates_get_near_access () =
+  let prog, plan =
+    plan_for
+      "shared A[4]; proc main() { for i = 0 to 3 { A[0] = A[0] + 1; } }"
+  in
+  ignore prog;
+  (* the racy A[0] update must be wrapped co_x before / ci after *)
+  let has_before = List.exists (fun { Cachier.Placement.anchor; stmt } ->
+      match (anchor, stmt.Ast.node) with
+      | Cachier.Placement.Before _, Ast.Sannot (Ast.Check_out_x, _) -> true
+      | _ -> false) plan.Cachier.Placement.edits in
+  let has_after = List.exists (fun { Cachier.Placement.anchor; stmt } ->
+      match (anchor, stmt.Ast.node) with
+      | Cachier.Placement.After _, Ast.Sannot (Ast.Check_in, _) -> true
+      | _ -> false) plan.Cachier.Placement.edits in
+  Alcotest.(check bool) "co_x near access" true has_before;
+  Alcotest.(check bool) "ci near access" true has_after;
+  (* and a data-race note anchored at the statement *)
+  Alcotest.(check bool) "race note" true (plan.Cachier.Placement.notes <> [])
+
+let test_no_duplicate_edits () =
+  let src = Benchmarks.Ocean.source ~n:16 ~t:3 ~nodes:2 () in
+  let _, plan = plan_for src in
+  let keys =
+    List.map
+      (fun { Cachier.Placement.anchor; stmt } ->
+        (anchor, Pretty.stmt_to_string stmt))
+      plan.Cachier.Placement.edits
+  in
+  Alcotest.(check int) "edits deduplicated" (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_epochs_repeat_no_duplication () =
+  (* the same static epoch executes 4 times; annotations appear once *)
+  let src =
+    "shared A[16]; proc main() { for t = 1 to 4 { A[pid * 8] = A[pid * 8] + 1; barrier; } }"
+  in
+  let _, plan1 = plan_for src in
+  let src1 =
+    "shared A[16]; proc main() { for t = 1 to 1 { A[pid * 8] = A[pid * 8] + 1; barrier; } }"
+  in
+  let _, plan2 = plan_for src1 in
+  (* 4 iterations should not produce 4x the edits of 1 iteration *)
+  Alcotest.(check bool) "no per-iteration duplication" true
+    (List.length plan1.Cachier.Placement.edits
+    <= List.length plan2.Cachier.Placement.edits + 2)
+
+let test_annotated_program_still_valid () =
+  let prog, plan = plan_for (Benchmarks.Matmul.source ~n:8 ~nodes:2 ()) in
+  let annotated =
+    Cachier.Placement.assign_fresh_sids
+      (Cachier.Placement.apply_edits prog plan.Cachier.Placement.edits)
+  in
+  ignore (Sema.check annotated);
+  (* and it still parses after pretty-printing *)
+  ignore (Parser.parse (Pretty.program_to_string annotated))
+
+let suite =
+  [
+    Alcotest.test_case "apply_edits positions" `Quick test_apply_edits_positions;
+    Alcotest.test_case "assign_fresh_sids" `Quick test_assign_fresh_sids;
+    Alcotest.test_case "Performance mode has no co_s" `Quick
+      test_performance_mode_no_co_s;
+    Alcotest.test_case "read-then-write gets co_x" `Quick test_read_then_write_gets_co_x;
+    Alcotest.test_case "racy updates annotated near access" `Quick
+      test_racy_updates_get_near_access;
+    Alcotest.test_case "no duplicate edits" `Quick test_no_duplicate_edits;
+    Alcotest.test_case "repeated epochs not duplicated" `Quick
+      test_epochs_repeat_no_duplication;
+    Alcotest.test_case "annotated program is valid" `Quick
+      test_annotated_program_still_valid;
+  ]

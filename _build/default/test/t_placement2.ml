@@ -1,0 +1,177 @@
+(* Targeted tests of the placement strategies (Section 4.2's cascade and
+   the refinements documented in DESIGN.md). *)
+
+open Lang
+
+let plan_with ?(machine = { Wwt.Machine.default with Wwt.Machine.nodes = 4 })
+    ?(options = Cachier.Placement.default_options) src =
+  let prog = Parser.parse src in
+  let outcome = Wwt.Run.collect_trace ~machine prog in
+  let einfo =
+    Cachier.Epoch_info.build ~nodes:machine.Wwt.Machine.nodes
+      ~block_size:machine.Wwt.Machine.block_size outcome.Wwt.Interp.trace
+  in
+  Cachier.Placement.plan ~program:prog ~layout:outcome.Wwt.Interp.layout
+    ~machine ~einfo ~options
+
+let edits_matching plan pred =
+  List.filter
+    (fun ({ Cachier.Placement.anchor; stmt } : Cachier.Placement.edit) ->
+      pred anchor stmt.Ast.node)
+    plan.Cachier.Placement.edits
+
+let test_ci_never_inside_loops () =
+  (* a single-writer clear loop: the check-in must sit at the epoch
+     boundary, never inside the loop where it would flush hot data *)
+  let src =
+    "const NB = 64; shared A[NB]; shared B[8]; proc main() { if (pid == 0) \
+     { for b = 0 to NB - 1 { A[b] = 0.0; } } barrier; B[pid] = 1.0; }"
+  in
+  let plan = plan_with src in
+  let in_loop =
+    edits_matching plan (fun anchor node ->
+        match (anchor, node) with
+        | (Cachier.Placement.Loop_begin _ | Cachier.Placement.Loop_end _),
+          (Ast.Sannot (Ast.Check_in, _) | Ast.Sannot_table { akind = Ast.Check_in; _ })
+          -> true
+        | _ -> false)
+  in
+  Alcotest.(check int) "no loop-level check-ins" 0 (List.length in_loop);
+  let boundary_ci =
+    edits_matching plan (fun anchor node ->
+        match (anchor, node) with
+        | Cachier.Placement.Before _, Ast.Sannot (Ast.Check_in, _) -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "check-in at the closing barrier" true
+    (boundary_ci <> [])
+
+let test_budget_drops_oversized_checkouts () =
+  (* a tiny cache cannot hold the whole read-then-written array: the co_x
+     must be dropped (Performance mode) rather than placed to thrash *)
+  let tiny =
+    { Wwt.Machine.default with Wwt.Machine.nodes = 2; cache_bytes = 512 }
+  in
+  let src =
+    "const N = 512; shared A[N]; proc main() { for i = 0 to N/2 - 1 { x = \
+     A[pid * (N/2) + i]; A[pid * (N/2) + i] = x + 1.0; } }"
+  in
+  let plan = plan_with ~machine:tiny src in
+  let co =
+    edits_matching plan (fun _ node ->
+        match node with
+        | Ast.Sannot (Ast.Check_out_x, _)
+        | Ast.Sannot_table { akind = Ast.Check_out_x; _ } ->
+            true
+        | _ -> false)
+  in
+  Alcotest.(check int) "oversized check-out dropped" 0 (List.length co)
+
+let test_programmer_mode_keeps_oversized_per_access () =
+  let tiny =
+    { Wwt.Machine.default with Wwt.Machine.nodes = 2; cache_bytes = 512 }
+  in
+  let src =
+    "const N = 512; shared A[N]; proc main() { for i = 0 to N/2 - 1 { x = \
+     A[pid * (N/2) + i]; A[pid * (N/2) + i] = x + 1.0; } }"
+  in
+  let options =
+    { Cachier.Placement.default_options with
+      Cachier.Placement.mode = Cachier.Equations.Programmer }
+  in
+  let plan = plan_with ~machine:tiny ~options src in
+  (* Programmer CICO exposes the communication even when the cache cannot
+     hold it: the "cache too small" case of Section 2.1 *)
+  let near =
+    edits_matching plan (fun anchor node ->
+        match (anchor, node) with
+        | Cachier.Placement.Before _,
+          Ast.Sannot ((Ast.Check_out_x | Ast.Check_out_s), _) -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "per-access check-outs survive" true (near <> [])
+
+let test_affine_hoisting_to_epoch_start () =
+  (* the whole slice fits: co_x hoists to one range at the epoch start *)
+  let src =
+    "const N = 64; shared A[N]; proc main() { for i = 0 to N/nprocs - 1 { x \
+     = A[pid * (N/nprocs) + i]; A[pid * (N/nprocs) + i] = x + 1.0; } }"
+  in
+  let plan = plan_with src in
+  let hoisted =
+    edits_matching plan (fun anchor node ->
+        match (anchor, node) with
+        | Cachier.Placement.Proc_begin _, Ast.Sannot (Ast.Check_out_x, _) -> true
+        | _ -> false)
+  in
+  Alcotest.(check bool) "range hoisted to program start" true (hoisted <> [])
+
+let test_tables_are_block_aligned () =
+  (* scattered single-element accesses coalesce into block-aligned table
+     ranges *)
+  let src =
+    "const N = 64; shared A[N]; proc main() { if (pid == 0) { x = A[1]; \
+     A[1] = x + 1.0; y = A[2]; A[2] = y + 1.0; } barrier; if (pid == 1) { \
+     A[1] = 0.0; } }"
+  in
+  let plan = plan_with src in
+  let tables =
+    List.filter_map
+      (fun ({ Cachier.Placement.stmt; _ } : Cachier.Placement.edit) ->
+        match stmt.Ast.node with
+        | Ast.Sannot_table { aranges; _ } -> Some aranges
+        | _ -> None)
+      plan.Cachier.Placement.edits
+  in
+  List.iter
+    (fun aranges ->
+      Array.iter
+        (List.iter (fun (lo, hi) ->
+             Alcotest.(check int) "lo block aligned" 0 (lo mod 4);
+             Alcotest.(check int) "hi ends a block" 3 (hi mod 4)))
+        aranges)
+    tables
+
+let test_empty_program_plans_nothing () =
+  let plan = plan_with "proc main() { x = 1; }" in
+  Alcotest.(check int) "no edits" 0 (List.length plan.Cachier.Placement.edits);
+  Alcotest.(check int) "no notes" 0 (List.length plan.Cachier.Placement.notes)
+
+let test_private_only_program_plans_nothing () =
+  let plan =
+    plan_with "private P[64]; proc main() { for i = 0 to 63 { P[i] = i; } }"
+  in
+  Alcotest.(check int) "private traffic needs no annotations" 0
+    (List.length plan.Cachier.Placement.edits)
+
+let test_race_notes_name_the_expression () =
+  let plan =
+    plan_with "shared A[4]; proc main() { A[0] = A[0] + 1.0; }"
+  in
+  match plan.Cachier.Placement.notes with
+  | (_, msg) :: _ ->
+      let contains needle =
+        let n = String.length needle in
+        let rec go i =
+          i + n <= String.length msg && (String.sub msg i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      Alcotest.(check bool) "mentions Data Race" true (contains "Data Race");
+      Alcotest.(check bool) "names A" true (contains "A[")
+  | [] -> Alcotest.fail "expected a race note"
+
+let suite =
+  [
+    Alcotest.test_case "check-ins never inside loops" `Quick test_ci_never_inside_loops;
+    Alcotest.test_case "budget drops oversized check-outs" `Quick
+      test_budget_drops_oversized_checkouts;
+    Alcotest.test_case "Programmer mode keeps per-access" `Quick
+      test_programmer_mode_keeps_oversized_per_access;
+    Alcotest.test_case "affine hoisting" `Quick test_affine_hoisting_to_epoch_start;
+    Alcotest.test_case "tables block-aligned" `Quick test_tables_are_block_aligned;
+    Alcotest.test_case "empty program" `Quick test_empty_program_plans_nothing;
+    Alcotest.test_case "private-only program" `Quick
+      test_private_only_program_plans_nothing;
+    Alcotest.test_case "race notes" `Quick test_race_notes_name_the_expression;
+  ]

@@ -1,0 +1,75 @@
+let test_empty () =
+  let q = Wwt.Pqueue.create () in
+  Alcotest.(check bool) "is_empty" true (Wwt.Pqueue.is_empty q);
+  Alcotest.(check int) "length" 0 (Wwt.Pqueue.length q);
+  Alcotest.(check bool) "pop None" true (Wwt.Pqueue.pop q = None);
+  Alcotest.(check bool) "peek None" true (Wwt.Pqueue.peek_prio q = None)
+
+let test_ordering () =
+  let q = Wwt.Pqueue.create () in
+  List.iter (fun (p, v) -> Wwt.Pqueue.push q ~prio:p v)
+    [ (5, "e"); (1, "a"); (3, "c"); (2, "b"); (4, "d") ];
+  let popped = ref [] in
+  let rec drain () =
+    match Wwt.Pqueue.pop q with
+    | Some (_, v) ->
+        popped := v :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "min first" [ "a"; "b"; "c"; "d"; "e" ]
+    (List.rev !popped)
+
+let test_fifo_ties () =
+  let q = Wwt.Pqueue.create () in
+  Wwt.Pqueue.push q ~prio:7 "first";
+  Wwt.Pqueue.push q ~prio:7 "second";
+  Wwt.Pqueue.push q ~prio:7 "third";
+  let take () = match Wwt.Pqueue.pop q with Some (_, v) -> v | None -> "?" in
+  let a = take () in
+  let b = take () in
+  let c = take () in
+  Alcotest.(check (list string)) "insertion order"
+    [ "first"; "second"; "third" ] [ a; b; c ]
+
+let test_interleaved () =
+  let q = Wwt.Pqueue.create () in
+  Wwt.Pqueue.push q ~prio:10 1;
+  Wwt.Pqueue.push q ~prio:5 2;
+  Alcotest.(check bool) "pop min" true (Wwt.Pqueue.pop q = Some (5, 2));
+  Wwt.Pqueue.push q ~prio:1 3;
+  Alcotest.(check bool) "new min" true (Wwt.Pqueue.pop q = Some (1, 3));
+  Alcotest.(check bool) "remaining" true (Wwt.Pqueue.pop q = Some (10, 1))
+
+let test_large_heap_property () =
+  let q = Wwt.Pqueue.create () in
+  let n = 2000 in
+  (* deterministic pseudo-random insertions *)
+  let x = ref 123456789 in
+  let next () =
+    x := (!x * 1103515245) + 12345;
+    !x land 0xFFFF
+  in
+  for _ = 1 to n do
+    let p = next () in
+    Wwt.Pqueue.push q ~prio:p p
+  done;
+  Alcotest.(check int) "length" n (Wwt.Pqueue.length q);
+  let rec drain last count =
+    match Wwt.Pqueue.pop q with
+    | None -> count
+    | Some (p, _) ->
+        if p < last then Alcotest.fail "heap order violated";
+        drain p (count + 1)
+  in
+  Alcotest.(check int) "drained all" n (drain min_int 0)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "priority ordering" `Quick test_ordering;
+    Alcotest.test_case "FIFO on ties" `Quick test_fifo_ties;
+    Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
+    Alcotest.test_case "large heap order" `Quick test_large_heap_property;
+  ]

@@ -1,0 +1,144 @@
+open Lang
+module Iset = Trace.Epoch.Iset
+module P = Cachier.Presentation
+
+let test_coalesce () =
+  Alcotest.(check (list (pair int int))) "runs" [ (1, 3); (5, 5); (7, 9) ]
+    (P.coalesce [ 3; 1; 2; 5; 8; 7; 9 ]);
+  Alcotest.(check (list (pair int int))) "empty" [] (P.coalesce []);
+  Alcotest.(check (list (pair int int))) "duplicates collapse" [ (4, 5) ]
+    (P.coalesce [ 4; 5; 4; 5 ])
+
+let test_block_align () =
+  Alcotest.(check (list (pair int int))) "aligned out and merged"
+    [ (0, 7); (16, 19) ]
+    (P.block_align_ranges ~elems_per_block:4 [ (1, 2); (5, 6); (17, 17) ]);
+  Alcotest.(check (list (pair int int))) "identity when epb=1" [ (1, 2) ]
+    (P.block_align_ranges ~elems_per_block:1 [ (1, 2) ])
+
+let layout () =
+  let info = Sema.check (Parser.parse "shared A[16]; shared B[8]; proc main() { }") in
+  Label.layout ~block_size:32 ~elem_size:8 info
+
+let test_ranges_for_array () =
+  let l = layout () in
+  let base_b = Label.base l "B" in
+  let addrs = Iset.of_list [ 0; 8; 16; base_b; base_b + 8; 999999 ] in
+  Alcotest.(check (list (pair int int))) "A elems" [ (0, 2) ]
+    (P.ranges_for_array ~layout:l ~arr:"A" addrs);
+  Alcotest.(check (list (pair int int))) "B elems" [ (0, 1) ]
+    (P.ranges_for_array ~layout:l ~arr:"B" addrs);
+  Alcotest.(check int) "addrs_in_array A" 3
+    (Iset.cardinal (P.addrs_in_array ~layout:l ~arr:"A" addrs))
+
+let const_env consts name = List.assoc_opt name consts
+
+let lin ?(consts = []) src = P.linearize ~const_env:(const_env consts) (Parser.parse_expr src)
+
+let test_linearize_basic () =
+  (match lin "3 * i + j - 2" with
+  | Some aff ->
+      Alcotest.(check int) "const" (-2) aff.P.const;
+      Alcotest.(check int) "coeff i" 3 (P.coeff_of_var aff "i");
+      Alcotest.(check int) "coeff j" 1 (P.coeff_of_var aff "j")
+  | None -> Alcotest.fail "should linearize");
+  match lin ~consts:[ ("N", Value.Vint 8) ] "i * N + j" with
+  | Some aff -> Alcotest.(check int) "N folds into coeff" 8 (P.coeff_of_var aff "i")
+  | None -> Alcotest.fail "should linearize with consts"
+
+let test_linearize_cancellation () =
+  (* identical opaque atoms cancel: (pid % 4) * 8 - (pid % 4) * 8 = 0 *)
+  match lin "(pid % 4) * 8 + j - ((pid % 4) * 8)" with
+  | Some aff ->
+      Alcotest.(check int) "atom cancelled" 1 (List.length aff.P.terms);
+      Alcotest.(check int) "j remains" 1 (P.coeff_of_var aff "j")
+  | None -> Alcotest.fail "should linearize"
+
+let test_linearize_atoms () =
+  (match lin "i * j" with
+  | Some aff ->
+      (* whole product is one opaque atom *)
+      Alcotest.(check int) "single atom" 1 (List.length aff.P.terms)
+  | None -> Alcotest.fail "product becomes an atom");
+  match lin "2.5" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "floats are not affine"
+
+let test_affine_to_expr_round_trip () =
+  List.iter
+    (fun src ->
+      match lin src with
+      | Some aff ->
+          let e = P.affine_to_expr aff in
+          (* both must evaluate identically on sample points *)
+          let eval expr env =
+            Sema.const_eval ~consts:env expr
+          in
+          List.iter
+            (fun (i, j) ->
+              let env = [ ("i", Value.Vint i); ("j", Value.Vint j); ("pid", Value.Vint 2) ] in
+              Alcotest.(check bool) (src ^ " consistent") true
+                (Value.equal (eval (Parser.parse_expr src) env) (eval e env)))
+            [ (0, 0); (1, 5); (7, 3) ]
+      | None -> Alcotest.fail (src ^ " should linearize"))
+    [ "3 * i + j - 2"; "i - j"; "4 - 2 * i" ]
+
+let test_subst_var () =
+  let e = Parser.parse_expr "i * 8 + j" in
+  let e' = P.subst_var "i" (Parser.parse_expr "lo + 1") e in
+  Alcotest.(check string) "substituted" "(lo + 1) * 8 + j" (Pretty.expr_to_string e');
+  let e'' = P.subst_var "zz" (Ast.Eint 0) e in
+  Alcotest.(check bool) "absent var is no-op" true (e'' = e)
+
+let test_free_vars () =
+  Alcotest.(check (list string)) "vars" [ "i"; "j"; "pid" ]
+    (P.free_vars (Parser.parse_expr "A[i + pid] * j + min(i, 3)"))
+
+let stmt_of src =
+  match (List.hd (Parser.parse src).Ast.procs).Ast.body with
+  | s :: _ -> s
+  | [] -> Alcotest.fail "no stmt"
+
+let test_array_subscripts () =
+  let s = stmt_of "shared C[64]; shared B[64]; proc main() { C[i*8 + j] = C[i*8 + j] + B[k]; }" in
+  let subs = P.array_subscripts s ~arr:"C" in
+  Alcotest.(check int) "C subscript deduplicated" 1 (List.length subs);
+  Alcotest.(check string) "the subscript" "i * 8 + j"
+    (Pretty.expr_to_string (List.hd subs));
+  Alcotest.(check int) "B subscript" 1 (List.length (P.array_subscripts s ~arr:"B"));
+  Alcotest.(check int) "absent array" 0 (List.length (P.array_subscripts s ~arr:"Z"))
+
+let test_write_subscripts () =
+  let s = stmt_of "shared C[64]; proc main() { C[i] = C[j] + 1; }" in
+  let w = P.array_write_subscripts s ~arr:"C" in
+  Alcotest.(check int) "only the store target" 1 (List.length w);
+  Alcotest.(check string) "target subscript" "i" (Pretty.expr_to_string (List.hd w));
+  let r = stmt_of "shared C[64]; proc main() { x = C[j]; }" in
+  Alcotest.(check int) "read has no write subscript" 0
+    (List.length (P.array_write_subscripts r ~arr:"C"))
+
+let test_table_stmt () =
+  (match P.table_stmt Ast.Check_in ~arr:"A" ~nodes:3
+           ~per_node_ranges:(fun n -> if n = 1 then [ (0, 3) ] else [])
+   with
+  | Some { Ast.node = Ast.Sannot_table { akind = Ast.Check_in; aarr = "A"; aranges }; _ } ->
+      Alcotest.(check bool) "node 1 ranges" true (aranges.(1) = [ (0, 3) ])
+  | _ -> Alcotest.fail "expected a table");
+  Alcotest.(check bool) "all-empty yields None" true
+    (P.table_stmt Ast.Check_out_x ~arr:"A" ~nodes:2 ~per_node_ranges:(fun _ -> []) = None)
+
+let suite =
+  [
+    Alcotest.test_case "coalesce" `Quick test_coalesce;
+    Alcotest.test_case "block alignment" `Quick test_block_align;
+    Alcotest.test_case "ranges per array" `Quick test_ranges_for_array;
+    Alcotest.test_case "linearize basics" `Quick test_linearize_basic;
+    Alcotest.test_case "atom cancellation" `Quick test_linearize_cancellation;
+    Alcotest.test_case "opaque atoms" `Quick test_linearize_atoms;
+    Alcotest.test_case "affine_to_expr" `Quick test_affine_to_expr_round_trip;
+    Alcotest.test_case "substitution" `Quick test_subst_var;
+    Alcotest.test_case "free variables" `Quick test_free_vars;
+    Alcotest.test_case "statement subscripts" `Quick test_array_subscripts;
+    Alcotest.test_case "write subscripts" `Quick test_write_subscripts;
+    Alcotest.test_case "table construction" `Quick test_table_stmt;
+  ]

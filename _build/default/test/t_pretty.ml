@@ -1,0 +1,110 @@
+open Lang
+
+(* Structural equality of programs modulo statement ids. *)
+let rec strip_expr e = e
+
+and strip_stmt (s : Ast.stmt) =
+  let node =
+    match s.Ast.node with
+    | Ast.Sif (e, b1, b2) -> Ast.Sif (strip_expr e, strip_block b1, strip_block b2)
+    | Ast.Sfor fl -> Ast.Sfor { fl with Ast.body = strip_block fl.Ast.body }
+    | Ast.Swhile (e, b) -> Ast.Swhile (e, strip_block b)
+    | n -> n
+  in
+  { Ast.sid = 0; node }
+
+and strip_block b = List.map strip_stmt b
+
+let strip (p : Ast.program) =
+  { p with Ast.procs = List.map (fun pr -> { pr with Ast.body = strip_block pr.Ast.body }) p.Ast.procs }
+
+let round_trips src =
+  let p = Parser.parse src in
+  let printed = Pretty.program_to_string p in
+  let p2 = Parser.parse printed in
+  strip p = strip p2
+
+let test_round_trip_simple () =
+  Alcotest.(check bool) "simple" true
+    (round_trips "const N = 4; shared A[N]; proc main() { A[0] = 1; }")
+
+let test_round_trip_control () =
+  Alcotest.(check bool) "control flow" true
+    (round_trips
+       "proc main() { for i = 0 to 9 step 2 { if (i % 2 == 0) { x = i; } \
+        else { x = -i; } } while (x > 0) { x = x - 1; } }")
+
+let test_round_trip_annotations () =
+  Alcotest.(check bool) "annotations" true
+    (round_trips
+       "shared A[64]; proc main() { check_out_x A[0 .. 31]; check_in A[5]; \
+        prefetch_s A[1 .. 2]; check_in A[@0: 1..3 @1: 4..6]; }")
+
+let test_round_trip_benchmarks () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      Alcotest.(check bool) (b.Benchmarks.Suite.name ^ " round trips") true
+        (round_trips b.Benchmarks.Suite.source);
+      Alcotest.(check bool) (b.Benchmarks.Suite.name ^ " hand round trips") true
+        (round_trips b.Benchmarks.Suite.hand_source))
+    (Benchmarks.Suite.all ~nodes:8 ())
+
+let test_expr_parens () =
+  let check_expr src expected =
+    Alcotest.(check string) src expected
+      (Pretty.expr_to_string (Parser.parse_expr src))
+  in
+  check_expr "1 + 2 * 3" "1 + 2 * 3";
+  check_expr "(1 + 2) * 3" "(1 + 2) * 3";
+  check_expr "a - (b - c)" "a - (b - c)";
+  check_expr "a - b - c" "a - b - c";
+  check_expr "-(a + b)" "-(a + b)"
+
+let test_expr_round_trip_precedence () =
+  (* printing then reparsing preserves the tree *)
+  let exprs =
+    [ "a * (b + c) - d / e"; "a && (b || c)"; "!(a == b)"; "-x * y";
+      "a < b + 1 && c >= d * 2"; "A[i * 4 + j] + min(a, b)" ]
+  in
+  List.iter
+    (fun src ->
+      let e = Parser.parse_expr src in
+      let printed = Pretty.expr_to_string e in
+      Alcotest.(check bool) (src ^ " stable") true (Parser.parse_expr printed = e))
+    exprs
+
+let test_float_literals_relex () =
+  let e = Ast.Efloat 2.0 in
+  let printed = Pretty.expr_to_string e in
+  Alcotest.(check bool) "prints with decimal point" true
+    (Parser.parse_expr printed = e)
+
+let test_notes () =
+  let p = Parser.parse "proc main() { x = 1; y = 2; }" in
+  let note sid = if sid = 0 then Some "Data Race on x" else None in
+  let printed = Pretty.program_to_string ~note p in
+  Alcotest.(check bool) "note rendered" true
+    (let re = "/*** Data Race on x ***/" in
+     let rec contains i =
+       i + String.length re <= String.length printed
+       && (String.sub printed i (String.length re) = re || contains (i + 1))
+     in
+     contains 0)
+
+let test_stmt_to_string () =
+  let p = Parser.parse "proc main() { barrier; }" in
+  let s = List.hd (List.hd p.Ast.procs).Ast.body in
+  Alcotest.(check string) "single stmt" "barrier;" (Pretty.stmt_to_string s)
+
+let suite =
+  [
+    Alcotest.test_case "round trip: simple" `Quick test_round_trip_simple;
+    Alcotest.test_case "round trip: control flow" `Quick test_round_trip_control;
+    Alcotest.test_case "round trip: annotations" `Quick test_round_trip_annotations;
+    Alcotest.test_case "round trip: all benchmarks" `Quick test_round_trip_benchmarks;
+    Alcotest.test_case "parenthesisation" `Quick test_expr_parens;
+    Alcotest.test_case "expression stability" `Quick test_expr_round_trip_precedence;
+    Alcotest.test_case "float literals re-lex" `Quick test_float_literals_relex;
+    Alcotest.test_case "race notes as comments" `Quick test_notes;
+    Alcotest.test_case "stmt_to_string" `Quick test_stmt_to_string;
+  ]

@@ -1,0 +1,221 @@
+open Memsys
+
+let costs = Network.default
+
+let mk () =
+  Protocol.create ~nodes:4 ~cache_bytes:1024 ~assoc:2 ~block_size:32 ~costs
+
+let test_read_miss_then_hit () =
+  let p = mk () in
+  let o1 = Protocol.read p ~node:0 ~addr:0 ~now:0 in
+  Alcotest.(check bool) "first read misses" true (o1.Protocol.miss = Some Protocol.Read_miss);
+  Alcotest.(check int) "2-hop latency" costs.Network.miss_2hop o1.Protocol.latency;
+  let o2 = Protocol.read p ~node:0 ~addr:8 ~now:10 in
+  Alcotest.(check bool) "same block hits" true (o2.Protocol.miss = None);
+  Alcotest.(check int) "hit latency" costs.Network.cache_hit o2.Protocol.latency;
+  Alcotest.(check bool) "directory has sharer" true
+    (Directory.is_sharer (Protocol.directory p) 0 ~node:0)
+
+let test_write_miss_exclusive () =
+  let p = mk () in
+  let o = Protocol.write p ~node:1 ~addr:64 ~now:0 in
+  Alcotest.(check bool) "write miss" true (o.Protocol.miss = Some Protocol.Write_miss);
+  Alcotest.(check bool) "directory exclusive" true
+    (Directory.get (Protocol.directory p) 2 = Directory.Exclusive 1);
+  let o2 = Protocol.write p ~node:1 ~addr:65 ~now:5 in
+  Alcotest.(check bool) "subsequent write hits" true (o2.Protocol.miss = None)
+
+let test_write_fault_lone_sharer () =
+  let p = mk () in
+  ignore (Protocol.read p ~node:2 ~addr:0 ~now:0);
+  let o = Protocol.write p ~node:2 ~addr:0 ~now:10 in
+  Alcotest.(check bool) "write fault" true (o.Protocol.miss = Some Protocol.Write_fault);
+  Alcotest.(check int) "upgrade cost" costs.Network.upgrade o.Protocol.latency;
+  Alcotest.(check int) "no trap" 0 (Protocol.stats p).Stats.sw_traps
+
+let test_write_fault_with_sharers_traps () =
+  let p = mk () in
+  ignore (Protocol.read p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.read p ~node:1 ~addr:0 ~now:0);
+  ignore (Protocol.read p ~node:2 ~addr:0 ~now:0);
+  let o = Protocol.write p ~node:0 ~addr:0 ~now:10 in
+  Alcotest.(check bool) "fault" true (o.Protocol.miss = Some Protocol.Write_fault);
+  let s = Protocol.stats p in
+  Alcotest.(check int) "software trap" 1 s.Stats.sw_traps;
+  Alcotest.(check int) "two invalidations" 2 s.Stats.invalidations;
+  Alcotest.(check int) "trap + inval cost"
+    (costs.Network.sw_trap + (2 * costs.Network.inval_per_sharer))
+    o.Protocol.latency;
+  (* victims lost their copies *)
+  Alcotest.(check bool) "node 1 invalidated" true
+    (Cache.find (Protocol.cache p ~node:1) 0 = None);
+  Alcotest.(check bool) "node 2 invalidated" true
+    (Cache.find (Protocol.cache p ~node:2) 0 = None);
+  Alcotest.(check bool) "writer exclusive" true
+    (Directory.get (Protocol.directory p) 0 = Directory.Exclusive 0)
+
+let test_read_from_remote_exclusive () =
+  let p = mk () in
+  ignore (Protocol.write p ~node:3 ~addr:0 ~now:0);
+  let o = Protocol.read p ~node:0 ~addr:0 ~now:10 in
+  Alcotest.(check int) "3-hop" costs.Network.miss_3hop o.Protocol.latency;
+  let s = Protocol.stats p in
+  Alcotest.(check int) "dirty copy written back" 1 s.Stats.writebacks;
+  (* owner downgraded, both now share *)
+  Alcotest.(check (list int)) "both sharers" [ 0; 3 ]
+    (Directory.sharers (Protocol.directory p) 0)
+
+let test_check_out_x_avoids_fault () =
+  let p = mk () in
+  let o = Protocol.check_out_x p ~node:0 ~addr:0 ~now:0 in
+  Alcotest.(check bool) "directive is not a miss" true (o.Protocol.miss = None);
+  ignore (Protocol.read p ~node:0 ~addr:0 ~now:10);
+  let w = Protocol.write p ~node:0 ~addr:0 ~now:20 in
+  Alcotest.(check bool) "write hits after co_x" true (w.Protocol.miss = None);
+  Alcotest.(check int) "no write faults" 0 (Protocol.stats p).Stats.write_faults
+
+let test_check_out_x_upgrades_shared () =
+  let p = mk () in
+  ignore (Protocol.read p ~node:0 ~addr:0 ~now:0);
+  let o = Protocol.check_out_x p ~node:0 ~addr:0 ~now:10 in
+  Alcotest.(check int) "overhead + upgrade"
+    (costs.Network.check_out_overhead + costs.Network.upgrade)
+    o.Protocol.latency;
+  let w = Protocol.write p ~node:0 ~addr:0 ~now:20 in
+  Alcotest.(check bool) "write hits" true (w.Protocol.miss = None)
+
+let test_check_in_releases () =
+  let p = mk () in
+  ignore (Protocol.write p ~node:0 ~addr:0 ~now:0);
+  let o = Protocol.check_in p ~node:0 ~addr:0 ~now:10 in
+  Alcotest.(check int) "check-in cost" costs.Network.check_in_cost o.Protocol.latency;
+  Alcotest.(check bool) "directory idle" true
+    (Directory.get (Protocol.directory p) 0 = Directory.Idle);
+  Alcotest.(check int) "dirty data written back" 1
+    (Protocol.stats p).Stats.writebacks;
+  (* the next writer pays a clean 2-hop, no trap *)
+  let w = Protocol.write p ~node:1 ~addr:0 ~now:20 in
+  Alcotest.(check int) "2-hop for next writer" costs.Network.miss_2hop
+    w.Protocol.latency;
+  Alcotest.(check int) "no traps" 0 (Protocol.stats p).Stats.sw_traps
+
+let test_check_in_absent_is_cheap () =
+  let p = mk () in
+  let o = Protocol.check_in p ~node:0 ~addr:0 ~now:0 in
+  Alcotest.(check int) "cost only" costs.Network.check_in_cost o.Protocol.latency;
+  Alcotest.(check int) "no flush counted" 0 (Protocol.stats p).Stats.check_in_flushes
+
+let test_prefetch_overlap () =
+  let p = mk () in
+  let o = Protocol.prefetch_s p ~node:0 ~addr:0 ~now:0 in
+  Alcotest.(check int) "issue cost only" costs.Network.prefetch_issue o.Protocol.latency;
+  (* access long after arrival: plain hit *)
+  let r = Protocol.read p ~node:0 ~addr:0 ~now:1000 in
+  Alcotest.(check int) "hit after arrival" costs.Network.cache_hit r.Protocol.latency;
+  Alcotest.(check int) "useful prefetch" 1 (Protocol.stats p).Stats.useful_prefetches
+
+let test_prefetch_partial_overlap () =
+  let p = mk () in
+  ignore (Protocol.prefetch_s p ~node:0 ~addr:0 ~now:0);
+  (* access before the data arrives stalls for the residual *)
+  let r = Protocol.read p ~node:0 ~addr:0 ~now:40 in
+  Alcotest.(check int) "residual stall"
+    (costs.Network.miss_2hop - 40 + costs.Network.cache_hit)
+    r.Protocol.latency
+
+let test_silent_shared_eviction_leaves_stale_sharer () =
+  let p = mk () in
+  (* Fill set 0 of node 0's cache: blocks 0, 16, 32 conflict (16 sets). *)
+  ignore (Protocol.read p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.read p ~node:0 ~addr:(16 * 32) ~now:0);
+  ignore (Protocol.read p ~node:0 ~addr:(32 * 32) ~now:0);
+  (* block 0 was evicted silently, but the directory still lists node 0 *)
+  Alcotest.(check bool) "evicted from cache" true
+    (Cache.find (Protocol.cache p ~node:0) 0 = None);
+  Alcotest.(check bool) "directory stale" true
+    (Directory.is_sharer (Protocol.directory p) 0 ~node:0);
+  (* a writer still pays the invalidation for the stale sharer *)
+  ignore (Protocol.write p ~node:1 ~addr:0 ~now:10);
+  Alcotest.(check int) "stale sharer invalidated" 1
+    (Protocol.stats p).Stats.invalidations
+
+let test_flush_node () =
+  let p = mk () in
+  ignore (Protocol.write p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.read p ~node:0 ~addr:64 ~now:0);
+  Protocol.flush_node p ~node:0;
+  Alcotest.(check int) "cache empty" 0 (Cache.occupancy (Protocol.cache p ~node:0));
+  Alcotest.(check bool) "exclusive released" true
+    (Directory.get (Protocol.directory p) 0 = Directory.Idle);
+  Alcotest.(check bool) "shared released" true
+    (Directory.get (Protocol.directory p) 2 = Directory.Idle)
+
+let test_reset () =
+  let p = mk () in
+  ignore (Protocol.write p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.read p ~node:1 ~addr:0 ~now:0);
+  Protocol.reset p;
+  Alcotest.(check int) "stats cleared" 0 (Stats.total_misses (Protocol.stats p));
+  Alcotest.(check bool) "directory cleared" true
+    (Directory.entries (Protocol.directory p) = []);
+  Alcotest.(check int) "caches cleared" 0
+    (Cache.occupancy (Protocol.cache p ~node:0))
+
+let test_dir_hw_limit () =
+  (* with enough hardware sharers, the same write fault costs an upgrade
+     plus invalidations instead of a software trap *)
+  let costs = { Network.default with Network.dir_hw_sharers = 4 } in
+  let p = Protocol.create ~nodes:4 ~cache_bytes:1024 ~assoc:2 ~block_size:32 ~costs in
+  ignore (Protocol.read p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.read p ~node:1 ~addr:0 ~now:0);
+  ignore (Protocol.read p ~node:2 ~addr:0 ~now:0);
+  let o = Protocol.write p ~node:0 ~addr:0 ~now:10 in
+  Alcotest.(check int) "no trap under a full-map directory" 0
+    (Protocol.stats p).Stats.sw_traps;
+  Alcotest.(check int) "invalidations still counted" 2
+    (Protocol.stats p).Stats.invalidations;
+  Alcotest.(check int) "hardware cost"
+    (costs.Network.upgrade + (2 * costs.Network.inval_per_sharer))
+    o.Protocol.latency
+
+let test_dir_hw_limit_exceeded () =
+  (* one hardware sharer: a single foreign sharer is handled in hardware,
+     two still trap *)
+  let costs = { Network.default with Network.dir_hw_sharers = 1 } in
+  let p = Protocol.create ~nodes:4 ~cache_bytes:1024 ~assoc:2 ~block_size:32 ~costs in
+  ignore (Protocol.read p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.read p ~node:1 ~addr:0 ~now:0);
+  ignore (Protocol.write p ~node:0 ~addr:0 ~now:10);
+  Alcotest.(check int) "one foreign sharer: hardware" 0
+    (Protocol.stats p).Stats.sw_traps;
+  ignore (Protocol.read p ~node:1 ~addr:32 ~now:20);
+  ignore (Protocol.read p ~node:2 ~addr:32 ~now:20);
+  ignore (Protocol.read p ~node:3 ~addr:32 ~now:20);
+  ignore (Protocol.write p ~node:1 ~addr:32 ~now:30);
+  Alcotest.(check int) "two foreign sharers: trap" 1
+    (Protocol.stats p).Stats.sw_traps
+
+let suite =
+  [
+    Alcotest.test_case "read miss then hit" `Quick test_read_miss_then_hit;
+    Alcotest.test_case "write miss takes exclusive" `Quick test_write_miss_exclusive;
+    Alcotest.test_case "write fault, lone sharer" `Quick test_write_fault_lone_sharer;
+    Alcotest.test_case "write fault traps with sharers" `Quick
+      test_write_fault_with_sharers_traps;
+    Alcotest.test_case "read from remote exclusive" `Quick
+      test_read_from_remote_exclusive;
+    Alcotest.test_case "check_out_x avoids the fault" `Quick
+      test_check_out_x_avoids_fault;
+    Alcotest.test_case "check_out_x upgrades shared" `Quick
+      test_check_out_x_upgrades_shared;
+    Alcotest.test_case "check_in releases the block" `Quick test_check_in_releases;
+    Alcotest.test_case "check_in of absent block" `Quick test_check_in_absent_is_cheap;
+    Alcotest.test_case "prefetch hides latency" `Quick test_prefetch_overlap;
+    Alcotest.test_case "prefetch partial overlap" `Quick test_prefetch_partial_overlap;
+    Alcotest.test_case "silent shared eviction goes stale" `Quick
+      test_silent_shared_eviction_leaves_stale_sharer;
+    Alcotest.test_case "flush_node" `Quick test_flush_node;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "directory hardware limit" `Quick test_dir_hw_limit;
+    Alcotest.test_case "hardware limit exceeded" `Quick test_dir_hw_limit_exceeded;
+  ]

@@ -1,0 +1,70 @@
+let machine = { Wwt.Machine.default with Wwt.Machine.nodes = 2 }
+
+let report_for src =
+  let prog = Lang.Parser.parse src in
+  let outcome = Wwt.Run.collect_trace ~machine prog in
+  let einfo =
+    Cachier.Epoch_info.build ~nodes:2 ~block_size:32 outcome.Wwt.Interp.trace
+  in
+  Cachier.Report.build ~layout:outcome.Wwt.Interp.layout einfo
+
+let test_clean_program () =
+  let r = report_for "shared A[16]; proc main() { A[pid * 8] = 1; }" in
+  Alcotest.(check bool) "empty report" true (Cachier.Report.is_empty r);
+  Alcotest.(check string) "rendering" "no data races or false sharing detected"
+    (Cachier.Report.to_string r)
+
+let test_data_race_item () =
+  let r = report_for "shared A[16]; proc main() { A[0] = A[0] + 1; }" in
+  match Cachier.Report.races r with
+  | [ item ] ->
+      Alcotest.(check string) "array" "A" item.Cachier.Report.arr;
+      Alcotest.(check (list (pair int int))) "element" [ (0, 0) ]
+        item.Cachier.Report.ranges;
+      Alcotest.(check bool) "pcs recorded" true (item.Cachier.Report.pcs <> []);
+      Alcotest.(check (list int)) "epoch 0" [ 0 ] item.Cachier.Report.epochs
+  | items ->
+      Alcotest.fail (Printf.sprintf "expected one race item, got %d" (List.length items))
+
+let test_false_sharing_item () =
+  (* nodes write adjacent elements of one block *)
+  let r = report_for "shared A[16]; proc main() { A[pid] = 1; }" in
+  match Cachier.Report.false_sharing r with
+  | [ item ] ->
+      Alcotest.(check string) "array" "A" item.Cachier.Report.arr;
+      Alcotest.(check (list (pair int int))) "both elements" [ (0, 1) ]
+        item.Cachier.Report.ranges
+  | _ -> Alcotest.fail "expected one false-sharing item"
+
+let test_padding_fixes_false_sharing () =
+  (* the paper's advice: pad the structure so nodes use distinct blocks *)
+  let r = report_for "shared A[16]; proc main() { A[pid * 4] = 1; }" in
+  Alcotest.(check bool) "no false sharing after padding" true
+    (Cachier.Report.false_sharing r = [])
+
+let test_mp3d_reports_cell_race () =
+  let r = report_for (Benchmarks.Mp3d.source ~particles:64 ~cells:16 ~t:2 ~nodes:2 ()) in
+  Alcotest.(check bool) "CELL race reported" true
+    (List.exists (fun i -> i.Cachier.Report.arr = "CELL") (Cachier.Report.races r))
+
+let test_rendering_mentions_kind () =
+  let r = report_for "shared A[16]; proc main() { A[0] = A[0] + 1; }" in
+  let text = Cachier.Report.to_string r in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length text && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions the race" true (contains "potential data race");
+  Alcotest.(check bool) "names the array" true (contains "A[")
+
+let suite =
+  [
+    Alcotest.test_case "clean program" `Quick test_clean_program;
+    Alcotest.test_case "data race item" `Quick test_data_race_item;
+    Alcotest.test_case "false sharing item" `Quick test_false_sharing_item;
+    Alcotest.test_case "padding removes false sharing" `Quick
+      test_padding_fixes_false_sharing;
+    Alcotest.test_case "mp3d cell race" `Quick test_mp3d_reports_cell_race;
+    Alcotest.test_case "report rendering" `Quick test_rendering_mentions_kind;
+  ]

@@ -1,0 +1,106 @@
+open Lang
+
+let check src = Sema.check (Parser.parse src)
+
+let expect_error fragment src =
+  match check src with
+  | exception Sema.Error msg ->
+      if not (String.length msg >= String.length fragment) then
+        Alcotest.fail msg;
+      let contains =
+        let n = String.length fragment in
+        let rec go i =
+          i + n <= String.length msg
+          && (String.sub msg i n = fragment || go (i + 1))
+        in
+        go 0
+      in
+      if not contains then
+        Alcotest.fail (Printf.sprintf "error %S does not mention %S" msg fragment)
+  | _ -> Alcotest.fail ("expected a semantic error for: " ^ src)
+
+let test_valid_program () =
+  let info = check "const N = 4; shared A[N*2]; private P[3]; proc main() { A[0] = 1; }" in
+  Alcotest.(check bool) "const value" true
+    (List.assoc "N" info.Sema.consts = Value.Vint 4);
+  Alcotest.(check bool) "shared size evaluated" true
+    (List.assoc "A" info.Sema.shared = 8);
+  Alcotest.(check bool) "private size" true (List.assoc "P" info.Sema.privates = 3);
+  Alcotest.(check bool) "A is shared" true (Sema.is_shared info "A");
+  Alcotest.(check bool) "P is not shared" false (Sema.is_shared info "P");
+  Alcotest.(check bool) "array_elems" true (Sema.array_elems info "P" = Some 3)
+
+let test_missing_main () = expect_error "no main" "shared A[4];"
+let test_main_params () = expect_error "main must take no parameters" "proc main(x) { }"
+let test_duplicate_decl () = expect_error "duplicate" "const N = 1; shared N[4]; proc main() { }"
+let test_reserved_decl () = expect_error "reserved" "const pid = 1; proc main() { }"
+let test_bad_size () = expect_error "non-positive" "shared A[0]; proc main() { }"
+let test_nonconst_size () =
+  expect_error "non-constant" "shared A[n]; proc main() { }"
+let test_undeclared_array () = expect_error "non-array" "proc main() { A[0] = 1; }"
+let test_array_without_subscript () =
+  expect_error "without a subscript" "shared A[4]; proc main() { x = A; }"
+let test_assign_to_const () =
+  expect_error "constant" "const N = 1; proc main() { N = 2; }"
+let test_assign_to_reserved () = expect_error "reserved" "proc main() { pid = 1; }"
+let test_unknown_call () = expect_error "undefined procedure" "proc main() { frob(); }"
+let test_bad_arity_intrinsic () =
+  expect_error "expects 2 argument" "proc main() { x = min(1); }"
+let test_bad_arity_proc () =
+  expect_error "expects 1 argument" "proc f(a) { } proc main() { f(); }"
+let test_annotation_on_private () =
+  expect_error "non-shared" "private P[4]; proc main() { check_in P[0]; }"
+let test_annotation_on_unknown () =
+  expect_error "non-shared" "proc main() { check_in Q[0]; }"
+let test_reserved_loop_var () =
+  expect_error "reserved" "proc main() { for step = 0 to 3 { } }"
+let test_duplicate_proc () =
+  expect_error "duplicate procedure" "proc f() { } proc f() { } proc main() { }"
+
+let test_const_eval_intrinsics () =
+  let consts = [ ("N", Value.Vint 10) ] in
+  let eval src = Sema.const_eval ~consts (Parser.parse_expr src) in
+  Alcotest.(check bool) "min" true (eval "min(N, 3)" = Value.Vint 3);
+  Alcotest.(check bool) "max" true (eval "max(N, 3)" = Value.Vint 10);
+  Alcotest.(check bool) "abs" true (eval "abs(0 - 4)" = Value.Vint 4);
+  Alcotest.(check bool) "arith" true (eval "N * N / 2 - 1" = Value.Vint 49);
+  Alcotest.(check bool) "comparison" true (eval "N > 5" = Value.Vint 1)
+
+let test_const_eval_rejects () =
+  let eval src = Sema.const_eval ~consts:[] (Parser.parse_expr src) in
+  Alcotest.(check bool) "variable" true
+    (match eval "x + 1" with exception Sema.Error _ -> true | _ -> false);
+  Alcotest.(check bool) "noise call" true
+    (match eval "noise(1)" with exception Sema.Error _ -> true | _ -> false)
+
+let test_benchmarks_check () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      ignore (check b.Benchmarks.Suite.source);
+      ignore (check b.Benchmarks.Suite.hand_source))
+    (Benchmarks.Suite.all ~nodes:8 ())
+
+let suite =
+  [
+    Alcotest.test_case "valid program" `Quick test_valid_program;
+    Alcotest.test_case "missing main" `Quick test_missing_main;
+    Alcotest.test_case "main with params" `Quick test_main_params;
+    Alcotest.test_case "duplicate declaration" `Quick test_duplicate_decl;
+    Alcotest.test_case "reserved declaration" `Quick test_reserved_decl;
+    Alcotest.test_case "non-positive size" `Quick test_bad_size;
+    Alcotest.test_case "non-constant size" `Quick test_nonconst_size;
+    Alcotest.test_case "undeclared array" `Quick test_undeclared_array;
+    Alcotest.test_case "array without subscript" `Quick test_array_without_subscript;
+    Alcotest.test_case "assign to constant" `Quick test_assign_to_const;
+    Alcotest.test_case "assign to reserved" `Quick test_assign_to_reserved;
+    Alcotest.test_case "unknown call" `Quick test_unknown_call;
+    Alcotest.test_case "intrinsic arity" `Quick test_bad_arity_intrinsic;
+    Alcotest.test_case "procedure arity" `Quick test_bad_arity_proc;
+    Alcotest.test_case "annotation on private" `Quick test_annotation_on_private;
+    Alcotest.test_case "annotation on unknown" `Quick test_annotation_on_unknown;
+    Alcotest.test_case "reserved loop variable" `Quick test_reserved_loop_var;
+    Alcotest.test_case "duplicate procedure" `Quick test_duplicate_proc;
+    Alcotest.test_case "const_eval intrinsics" `Quick test_const_eval_intrinsics;
+    Alcotest.test_case "const_eval rejections" `Quick test_const_eval_rejects;
+    Alcotest.test_case "benchmark sources check" `Quick test_benchmarks_check;
+  ]

@@ -1,0 +1,58 @@
+open Memsys
+
+let test_create_zeroed () =
+  let s = Stats.create ~nodes:4 in
+  Alcotest.(check int) "no misses" 0 (Stats.total_misses s);
+  Alcotest.(check int) "no accesses" 0 (Stats.total_accesses s);
+  Alcotest.(check (float 1e-9)) "read fraction" 0.0 (Stats.shared_read_fraction s)
+
+let test_fractions () =
+  let s = Stats.create ~nodes:2 in
+  s.Stats.shared_reads <- 88;
+  s.Stats.private_reads <- 12;
+  s.Stats.shared_writes <- 68;
+  s.Stats.private_writes <- 32;
+  Alcotest.(check (float 1e-9)) "ocean-like shared loads" 0.88
+    (Stats.shared_read_fraction s);
+  Alcotest.(check (float 1e-9)) "ocean-like shared stores" 0.68
+    (Stats.shared_write_fraction s)
+
+let test_stall_accounting () =
+  let s = Stats.create ~nodes:2 in
+  Stats.add_stall s ~node:1 10;
+  Stats.add_stall s ~node:1 5;
+  Alcotest.(check int) "accumulated" 15 s.Stats.stall_cycles.(1);
+  Alcotest.(check int) "other node untouched" 0 s.Stats.stall_cycles.(0);
+  Alcotest.check_raises "bad node" (Invalid_argument "Stats.add_stall: bad node")
+    (fun () -> Stats.add_stall s ~node:2 1)
+
+let test_reset () =
+  let s = Stats.create ~nodes:2 in
+  s.Stats.read_misses <- 5;
+  s.Stats.check_ins <- 7;
+  Stats.add_stall s ~node:0 3;
+  Stats.reset s;
+  Alcotest.(check int) "misses cleared" 0 (Stats.total_misses s);
+  Alcotest.(check int) "check-ins cleared" 0 s.Stats.check_ins;
+  Alcotest.(check int) "stalls cleared" 0 s.Stats.stall_cycles.(0)
+
+let test_pp_renders () =
+  let s = Stats.create ~nodes:2 in
+  s.Stats.read_hits <- 3;
+  let text = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "non-empty rendering" true (String.length text > 100)
+
+let test_invalid_create () =
+  Alcotest.check_raises "zero nodes"
+    (Invalid_argument "Stats.create: nodes must be positive") (fun () ->
+      ignore (Stats.create ~nodes:0))
+
+let suite =
+  [
+    Alcotest.test_case "create zeroed" `Quick test_create_zeroed;
+    Alcotest.test_case "sharing fractions" `Quick test_fractions;
+    Alcotest.test_case "stall accounting" `Quick test_stall_accounting;
+    Alcotest.test_case "reset" `Quick test_reset;
+    Alcotest.test_case "pretty printing" `Quick test_pp_renders;
+    Alcotest.test_case "invalid create" `Quick test_invalid_create;
+  ]

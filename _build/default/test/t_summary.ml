@@ -1,0 +1,155 @@
+(* Tests of the trace-profiling and explanation tooling. *)
+
+let machine = { Wwt.Machine.default with Wwt.Machine.nodes = 4 }
+
+let summary_of src =
+  let o = Wwt.Run.source_trace ~machine src in
+  Trace.Summary.analyze ~nodes:4 ~labels:[] o.Wwt.Interp.trace
+
+let test_region_totals () =
+  (* node 0 writes A (16 elems = 4 blocks -> 4 write misses), everyone
+     reads B *)
+  let s =
+    summary_of
+      "shared A[16]; shared B[16]; proc main() { if (pid == 0) { for i = 0 \
+       to 15 { A[i] = 1.0; } } barrier; x = B[pid * 4]; }"
+  in
+  let find name = List.find (fun r -> r.Trace.Summary.rname = name) s.Trace.Summary.totals in
+  let a = find "A" and b = find "B" in
+  Alcotest.(check int) "A write misses" 4 a.Trace.Summary.write_misses;
+  Alcotest.(check int) "A read misses" 0 a.Trace.Summary.read_misses;
+  Alcotest.(check int) "A touched by node 0 only" 0b1 a.Trace.Summary.touching_nodes;
+  Alcotest.(check int) "B read misses" 4 b.Trace.Summary.read_misses;
+  Alcotest.(check int) "B touched by everyone" 0b1111 b.Trace.Summary.touching_nodes
+
+let test_epoch_breakdown () =
+  let s =
+    summary_of
+      "shared A[8]; proc main() { A[pid] = 1.0; barrier; x = A[(pid + 1) % 4]; }"
+  in
+  Alcotest.(check int) "two epochs" 2 (List.length s.Trace.Summary.epochs);
+  let e0 = List.hd s.Trace.Summary.epochs in
+  Alcotest.(check bool) "epoch 0 has misses" true (e0.Trace.Summary.total_misses > 0)
+
+let test_handoffs () =
+  (* node 0 writes, node 1 reads it next epoch: exactly one handoff 0->1 *)
+  let s =
+    summary_of
+      "shared A[16]; proc main() { if (pid == 0) { A[0] = 1.0; } barrier; \
+       if (pid == 1) { x = A[0]; } barrier; }"
+  in
+  Alcotest.(check int) "handoff 0 -> 1" 1 s.Trace.Summary.handoffs.(0).(1);
+  Alcotest.(check int) "no handoff 1 -> 0" 0 s.Trace.Summary.handoffs.(1).(0);
+  Alcotest.(check int) "no self handoff" 0 s.Trace.Summary.handoffs.(0).(0)
+
+let test_hottest_region () =
+  let s =
+    summary_of
+      "shared HOT[64]; shared COLD[16]; proc main() { for i = 0 to 15 { \
+       HOT[i * 4] = 1.0; } barrier; if (pid == 0) { x = COLD[0]; } }"
+  in
+  Alcotest.(check (option string)) "hottest" (Some "HOT")
+    (Trace.Summary.hottest_region s)
+
+let test_rendering () =
+  let s =
+    summary_of "shared A[8]; proc main() { A[pid] = 1.0; barrier; }"
+  in
+  let text = Trace.Summary.to_string s in
+  let contains needle =
+    let n = String.length needle in
+    let rec go i = i + n <= String.length text && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions regions" true (contains "per-region totals");
+  Alcotest.(check bool) "mentions epochs" true (contains "per-epoch profile");
+  Alcotest.(check bool) "names A" true (contains "A")
+
+let test_explicit_labels_override () =
+  let records =
+    [ Trace.Event.Miss { node = 0; pc = 1; addr = 100; kind = Trace.Event.Read_miss; held = [] } ]
+  in
+  let s =
+    Trace.Summary.analyze ~nodes:1 ~labels:[ ("mine", 0, 255) ] records
+  in
+  Alcotest.(check (option string)) "caller label used" (Some "mine")
+    (Trace.Summary.hottest_region s)
+
+(* ---- Explain ---- *)
+
+let einfo_of src =
+  let o = Wwt.Run.source_trace ~machine src in
+  ( Cachier.Epoch_info.build ~nodes:4 ~block_size:32 o.Wwt.Interp.trace,
+    o.Wwt.Interp.layout )
+
+let test_explain_terms_union_to_equations () =
+  let einfo, _ =
+    einfo_of (Benchmarks.Mp3d.source ~particles:64 ~cells:16 ~t:2 ~nodes:4 ())
+  in
+  List.iter
+    (fun mode ->
+      for e = 0 to Cachier.Epoch_info.n_epochs einfo - 1 do
+        for node = 0 to 3 do
+          let ann = Cachier.Equations.for_epoch mode einfo ~epoch:e ~node in
+          let union_of prefix =
+            List.fold_left
+              (fun acc (label, set) ->
+                if String.length label >= String.length prefix
+                   && String.sub label 0 (String.length prefix) = prefix
+                then Trace.Epoch.Iset.union acc set
+                else acc)
+              Trace.Epoch.Iset.empty
+              (Cachier.Explain.term_sets mode einfo ~epoch:e ~node)
+          in
+          if not (Trace.Epoch.Iset.equal (union_of "co_x:") ann.Cachier.Equations.co_x)
+          then Alcotest.fail "co_x terms do not sum to the equation";
+          if not (Trace.Epoch.Iset.equal (union_of "co_s:") ann.Cachier.Equations.co_s)
+          then Alcotest.fail "co_s terms do not sum to the equation";
+          if not (Trace.Epoch.Iset.equal (union_of "ci:") ann.Cachier.Equations.ci)
+          then Alcotest.fail "ci terms do not sum to the equation"
+        done
+      done)
+    [ Cachier.Equations.Programmer; Cachier.Equations.Performance ]
+
+let test_explain_names_racy_array () =
+  let einfo, layout =
+    einfo_of "shared A[4]; proc main() { A[0] = A[0] + 1.0; }"
+  in
+  let ex =
+    Cachier.Explain.build ~mode:Cachier.Equations.Performance ~layout einfo
+  in
+  let e0 = List.hd ex.Cachier.Explain.epochs in
+  Alcotest.(check (list string)) "racy array named" [ "A" ]
+    e0.Cachier.Explain.racy_arrays
+
+let test_explain_renders () =
+  let einfo, layout =
+    einfo_of (Benchmarks.Jacobi.source ~n:16 ~t:2 ~nodes:4 ())
+  in
+  let ex = Cachier.Explain.build ~mode:Cachier.Equations.Performance ~layout einfo in
+  let text = Cachier.Explain.to_string ex in
+  Alcotest.(check bool) "non-trivial rationale" true (String.length text > 200)
+
+let test_explain_quiet_on_clean_program () =
+  let einfo, layout = einfo_of "private P[8]; proc main() { P[0] = 1.0; }" in
+  let ex = Cachier.Explain.build ~mode:Cachier.Equations.Performance ~layout einfo in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "no contributions" true (e.Cachier.Explain.nodes = []))
+    ex.Cachier.Explain.epochs
+
+let suite =
+  [
+    Alcotest.test_case "region totals" `Quick test_region_totals;
+    Alcotest.test_case "epoch breakdown" `Quick test_epoch_breakdown;
+    Alcotest.test_case "handoff matrix" `Quick test_handoffs;
+    Alcotest.test_case "hottest region" `Quick test_hottest_region;
+    Alcotest.test_case "rendering" `Quick test_rendering;
+    Alcotest.test_case "caller labels" `Quick test_explicit_labels_override;
+    Alcotest.test_case "explain terms = equations" `Quick
+      test_explain_terms_union_to_equations;
+    Alcotest.test_case "explain names racy array" `Quick test_explain_names_racy_array;
+    Alcotest.test_case "explain renders" `Quick test_explain_renders;
+    Alcotest.test_case "explain quiet when clean" `Quick
+      test_explain_quiet_on_clean_program;
+  ]

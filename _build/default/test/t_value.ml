@@ -1,0 +1,59 @@
+open Lang
+
+let test_arith_int () =
+  Alcotest.(check bool) "add" true (Value.add (Value.Vint 2) (Value.Vint 3) = Value.Vint 5);
+  Alcotest.(check bool) "sub" true (Value.sub (Value.Vint 2) (Value.Vint 3) = Value.Vint (-1));
+  Alcotest.(check bool) "mul" true (Value.mul (Value.Vint 4) (Value.Vint 3) = Value.Vint 12);
+  Alcotest.(check bool) "div" true (Value.div (Value.Vint 7) (Value.Vint 2) = Value.Vint 3);
+  Alcotest.(check bool) "mod" true (Value.modulo (Value.Vint 7) (Value.Vint 2) = Value.Vint 1)
+
+let test_promotion () =
+  Alcotest.(check bool) "int+float" true
+    (Value.add (Value.Vint 1) (Value.Vfloat 0.5) = Value.Vfloat 1.5);
+  Alcotest.(check bool) "float*int" true
+    (Value.mul (Value.Vfloat 2.5) (Value.Vint 2) = Value.Vfloat 5.0);
+  Alcotest.(check bool) "float div" true
+    (Value.div (Value.Vint 1) (Value.Vfloat 4.0) = Value.Vfloat 0.25)
+
+let test_division_by_zero () =
+  Alcotest.check_raises "int div" Division_by_zero (fun () ->
+      ignore (Value.div (Value.Vint 1) (Value.Vint 0)));
+  Alcotest.check_raises "float div" Division_by_zero (fun () ->
+      ignore (Value.div (Value.Vfloat 1.0) (Value.Vint 0)));
+  Alcotest.check_raises "int mod" Division_by_zero (fun () ->
+      ignore (Value.modulo (Value.Vint 1) (Value.Vint 0)))
+
+let test_comparison () =
+  Alcotest.(check bool) "cross equal" true
+    (Value.equal (Value.Vint 2) (Value.Vfloat 2.0));
+  Alcotest.(check bool) "less" true
+    (Value.compare_num (Value.Vint 1) (Value.Vfloat 1.5) < 0);
+  Alcotest.(check bool) "greater" true
+    (Value.compare_num (Value.Vfloat 3.0) (Value.Vint 2) > 0)
+
+let test_bool_conversion () =
+  Alcotest.(check bool) "0 is false" false (Value.to_bool (Value.Vint 0));
+  Alcotest.(check bool) "0.0 is false" false (Value.to_bool (Value.Vfloat 0.0));
+  Alcotest.(check bool) "1 is true" true (Value.to_bool (Value.Vint 1));
+  Alcotest.(check bool) "of_bool" true (Value.of_bool true = Value.Vint 1)
+
+let test_truncation () =
+  Alcotest.(check int) "to_int truncates" 3 (Value.to_int (Value.Vfloat 3.9));
+  Alcotest.(check int) "negative trunc toward zero" (-3)
+    (Value.to_int (Value.Vfloat (-3.9)))
+
+let test_neg_and_print () =
+  Alcotest.(check bool) "neg int" true (Value.neg (Value.Vint 5) = Value.Vint (-5));
+  Alcotest.(check string) "print int" "42" (Value.to_string (Value.Vint 42));
+  Alcotest.(check string) "print float" "2.5" (Value.to_string (Value.Vfloat 2.5))
+
+let suite =
+  [
+    Alcotest.test_case "integer arithmetic" `Quick test_arith_int;
+    Alcotest.test_case "float promotion" `Quick test_promotion;
+    Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+    Alcotest.test_case "comparison" `Quick test_comparison;
+    Alcotest.test_case "booleans" `Quick test_bool_conversion;
+    Alcotest.test_case "truncation" `Quick test_truncation;
+    Alcotest.test_case "negation and printing" `Quick test_neg_and_print;
+  ]
