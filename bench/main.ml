@@ -7,11 +7,21 @@
    *shape* (who wins, by roughly what factor) is. Paper numbers are
    printed alongside for comparison.
 
+   Every experiment writes into its own buffer and independent
+   (benchmark × variant) simulations fan out across domains via
+   {!Wwt.Jobs}, so the printed output is byte-identical whatever the job
+   count. Per-experiment wall-clock times land in BENCH_1.json so later
+   PRs can track the perf trajectory.
+
    Environment knobs:
      CACHIER_BENCH_NODES   simulated processors (default 8)
      CACHIER_BENCH_SCALE   problem-size multiplier (default 1.0); use >= 3
                            with 32 nodes so the decomposition stays sane
-     CACHIER_BENCH_FAST    set to skip the Bechamel micro-benchmarks *)
+     CACHIER_BENCH_FAST    set to skip the Bechamel micro-benchmarks
+     CACHIER_BENCH_JOBS    domains for the experiment fan-out (default:
+                           Domain.recommended_domain_count)
+     CACHIER_BENCH_JSON    where to write the machine-readable results
+                           (default BENCH_1.json) *)
 
 let nodes =
   match Sys.getenv_opt "CACHIER_BENCH_NODES" with
@@ -23,12 +33,12 @@ let scale =
   | Some s -> float_of_string s
   | None -> 1.0
 
+let jobs = Wwt.Jobs.default_jobs ()
+
 let machine = { Wwt.Machine.default with Wwt.Machine.nodes }
 
 let opts = Cachier.Placement.default_options
 let opts_pf = { opts with Cachier.Placement.prefetch = true }
-
-let section title = Printf.printf "\n=== %s ===\n%!" title
 
 let pct a b = 100.0 *. float_of_int a /. float_of_int b
 
@@ -41,6 +51,8 @@ let annotate ?(prefetch = false) prog =
   let options = if prefetch then opts_pf else opts in
   (Cachier.Annotate.annotate_program ~machine ~options prog)
     .Cachier.Annotate.annotated
+
+let pmap f items = Wwt.Jobs.map ~jobs f items
 
 (* ------------------------------------------------------------------ *)
 (* E1 + E6 — Figure 6: normalised execution times                      *)
@@ -57,36 +69,40 @@ let fig6_paper =
     ("mp3d", (1.00, 0.75, 0.73));
   ]
 
-let figure6 () =
-  section "E1/E6  Figure 6: normalised execution time";
-  Printf.printf "%-9s %10s | %6s %7s %10s | paper: hand cachier +pf\n"
+let figure6 buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "%-9s %10s | %6s %7s %10s | paper: hand cachier +pf\n"
     "benchmark" "base(cyc)" "hand" "cachier" "cachier+pf";
-  List.iter
-    (fun (b : Benchmarks.Suite.t) ->
-      let prog = parse b.Benchmarks.Suite.source in
-      let eval_seed = b.Benchmarks.Suite.eval_seed in
-      (* Section 6: the trace input differs from the measurement input *)
-      let reseed p = Benchmarks.Suite.reseed p eval_seed in
-      let base = measure (reseed prog) in
-      let hand =
-        measure ~annotations:true (reseed (parse b.Benchmarks.Suite.hand_source))
-      in
-      let cachier = measure ~annotations:true (reseed (annotate prog)) in
-      let cachier_pf =
-        measure ~annotations:true ~prefetch:true
-          (reseed (annotate ~prefetch:true prog))
-      in
-      let ph, pc, pp =
-        match List.assoc_opt b.Benchmarks.Suite.name fig6_paper with
-        | Some v -> v
-        | None -> (nan, nan, nan)
-      in
-      Printf.printf
-        "%-9s %10d | %5.1f%% %6.1f%% %9.1f%% | %11.2f %7.2f %4.2f\n%!"
-        b.Benchmarks.Suite.name base (pct hand base) (pct cachier base)
-        (pct cachier_pf base) ph pc pp)
-    (Benchmarks.Suite.all ~scale ~nodes ());
-  Printf.printf
+  let rows =
+    pmap
+      (fun (b : Benchmarks.Suite.t) ->
+        let prog = parse b.Benchmarks.Suite.source in
+        let eval_seed = b.Benchmarks.Suite.eval_seed in
+        (* Section 6: the trace input differs from the measurement input *)
+        let reseed p = Benchmarks.Suite.reseed p eval_seed in
+        let base = measure (reseed prog) in
+        let hand =
+          measure ~annotations:true
+            (reseed (parse b.Benchmarks.Suite.hand_source))
+        in
+        let cachier = measure ~annotations:true (reseed (annotate prog)) in
+        let cachier_pf =
+          measure ~annotations:true ~prefetch:true
+            (reseed (annotate ~prefetch:true prog))
+        in
+        let ph, pc, pp =
+          match List.assoc_opt b.Benchmarks.Suite.name fig6_paper with
+          | Some v -> v
+          | None -> (nan, nan, nan)
+        in
+        Printf.sprintf
+          "%-9s %10d | %5.1f%% %6.1f%% %9.1f%% | %11.2f %7.2f %4.2f\n"
+          b.Benchmarks.Suite.name base (pct hand base) (pct cachier base)
+          (pct cachier_pf base) ph pc pp)
+      (Benchmarks.Suite.all ~scale ~nodes ())
+  in
+  List.iter (Buffer.add_string buf) rows;
+  pr
     "shape checks: cachier <= hand on every benchmark; largest win on the\n\
      sharing-heavy mp3d/ocean; tomcatv flat; mp3d hand ~45 points behind\n\
      cachier (the paper's hand version checked blocks in too early).\n"
@@ -95,33 +111,36 @@ let figure6 () =
 (* E7 — sharing profile (Section 6 prose)                              *)
 (* ------------------------------------------------------------------ *)
 
-let sharing_profile () =
-  section "E7  Degree of sharing";
+let sharing_profile buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let paper =
     [ ("matmul", (nan, nan)); ("barnes", (0.255, 0.013));
       ("tomcatv", (nan, nan)); ("ocean", (0.88, 0.68)); ("mp3d", (0.71, 0.80)) ]
   in
-  Printf.printf "%-9s %13s %14s | paper (loads, stores)\n" "benchmark"
+  pr "%-9s %13s %14s | paper (loads, stores)\n" "benchmark"
     "shared loads" "shared stores";
-  List.iter
-    (fun (b : Benchmarks.Suite.t) ->
-      let o =
-        Wwt.Run.measure ~machine ~annotations:false ~prefetch:false
-          (parse b.Benchmarks.Suite.source)
-      in
-      let s = o.Wwt.Interp.stats in
-      let pl, ps =
-        match List.assoc_opt b.Benchmarks.Suite.name paper with
-        | Some v -> v
-        | None -> (nan, nan)
-      in
-      Printf.printf "%-9s %12.1f%% %13.1f%% | %17.1f%% %5.1f%%\n%!"
-        b.Benchmarks.Suite.name
-        (100.0 *. Memsys.Stats.shared_read_fraction s)
-        (100.0 *. Memsys.Stats.shared_write_fraction s)
-        (100.0 *. pl) (100.0 *. ps))
-    (Benchmarks.Suite.all ~scale ~nodes ());
-  Printf.printf
+  let rows =
+    pmap
+      (fun (b : Benchmarks.Suite.t) ->
+        let o =
+          Wwt.Run.measure ~machine ~annotations:false ~prefetch:false
+            (parse b.Benchmarks.Suite.source)
+        in
+        let s = o.Wwt.Interp.stats in
+        let pl, ps =
+          match List.assoc_opt b.Benchmarks.Suite.name paper with
+          | Some v -> v
+          | None -> (nan, nan)
+        in
+        Printf.sprintf "%-9s %12.1f%% %13.1f%% | %17.1f%% %5.1f%%\n"
+          b.Benchmarks.Suite.name
+          (100.0 *. Memsys.Stats.shared_read_fraction s)
+          (100.0 *. Memsys.Stats.shared_write_fraction s)
+          (100.0 *. pl) (100.0 *. ps))
+      (Benchmarks.Suite.all ~scale ~nodes ())
+  in
+  List.iter (Buffer.add_string buf) rows;
+  pr
     "(our mini-language keeps scalars in registers, so fractions are over\n\
      array traffic only; the ordering — ocean/mp3d high, tomcatv low —\n\
      is what drives Figure 6's shape)\n"
@@ -130,21 +149,21 @@ let sharing_profile () =
 (* E2 — Section 2.1: the Jacobi cost model                             *)
 (* ------------------------------------------------------------------ *)
 
-let jacobi_cost () =
-  section "E2  Section 2.1: Jacobi check-out counts";
+let jacobi_cost buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let sq = int_of_float (sqrt (float_of_int nodes)) in
   let p = if sq * sq = nodes then sq else 2 in
   let n = 32 and t = 4 in
   let jp = { Cico.Cost_model.n; p; b = 4; t } in
-  Printf.printf "N=%d, P^2=%d processors, b=%d elems/block, T=%d steps\n" n
+  pr "N=%d, P^2=%d processors, b=%d elems/block, T=%d steps\n" n
     (p * p) jp.Cico.Cost_model.b t;
-  Printf.printf
+  pr
     "  analytic, block fits in cache : %8.0f blocks (2NPT(1+b)/b + N^2/b)\n"
     (Cico.Cost_model.jacobi_blocks_cache_fits jp);
-  Printf.printf
+  pr
     "  analytic, only columns fit    : %8.0f blocks ((2NP(1+b)/b + N^2/b)T)\n"
     (Cico.Cost_model.jacobi_blocks_column_fits jp);
-  Printf.printf "  per processor per column      : %.1f vs %.1f (factor T = %d)\n"
+  pr "  per processor per column      : %.1f vs %.1f (factor T = %d)\n"
     (Cico.Cost_model.jacobi_per_processor_column_checkouts jp ~cache_fits:true)
     (Cico.Cost_model.jacobi_per_processor_column_checkouts jp ~cache_fits:false)
     t;
@@ -152,12 +171,12 @@ let jacobi_cost () =
   let m = { machine with Wwt.Machine.nodes = grid_nodes } in
   let hand = parse (Benchmarks.Jacobi.hand_source ~n ~t ~nodes:grid_nodes ()) in
   let o = Wwt.Run.measure ~machine:m ~annotations:true ~prefetch:false hand in
-  Printf.printf "  measured (Section 2.1-style hand annotation, %d nodes):\n"
+  pr "  measured (Section 2.1-style hand annotation, %d nodes):\n"
     grid_nodes;
-  Printf.printf "    explicit check-outs: %d   explicit check-ins: %d\n%!"
+  pr "    explicit check-outs: %d   explicit check-ins: %d\n"
     (Cico.Cost_model.measured_checkouts o.Wwt.Interp.stats)
     o.Wwt.Interp.stats.Memsys.Stats.check_ins;
-  Printf.printf
+  pr
     "  (the measured directives cover the boundary exchange, the term\n\
     \   2NPT(1+b)/b = %.0f of the analytic count; the bulk N^2/b term is\n\
     \   the one-time initial fetch that Dir1SW performs implicitly)\n"
@@ -167,8 +186,8 @@ let jacobi_cost () =
 (* E3 — Section 4.4: annotated MatMul listings                         *)
 (* ------------------------------------------------------------------ *)
 
-let matmul_listings () =
-  section "E3  Section 4.4: Cachier's MatMul annotations";
+let matmul_listings buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let grid = if nodes >= 4 then 4 else nodes in
   let m = { machine with Wwt.Machine.nodes = grid } in
   let prog = parse (Benchmarks.Matmul.source ~n:8 ~nodes:grid ()) in
@@ -178,13 +197,13 @@ let matmul_listings () =
         ~options:{ opts with Cachier.Placement.mode }
         prog
     in
-    Printf.printf "--- %s CICO (%d annotations) ---\n%s\n%!" title
+    pr "--- %s CICO (%d annotations) ---\n%s\n" title
       r.Cachier.Annotate.n_edits
       (Cachier.Annotate.to_source r)
   in
   show Cachier.Equations.Programmer "Programmer";
   show Cachier.Equations.Performance "Performance";
-  Printf.printf
+  pr
     "(as in the paper: Programmer CICO adds check_out_s for the read-shared\n\
      matrices; Performance CICO keeps only check_out_x/check_in around the\n\
      racy C update — Dir1SW's implicit check-outs make explicit co_s pure\n\
@@ -194,69 +213,84 @@ let matmul_listings () =
 (* E4 — Section 5: restructuring                                       *)
 (* ------------------------------------------------------------------ *)
 
-let restructuring () =
-  section "E4  Section 5: restructured MatMul";
+let restructuring buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let n = 16 in
   let mp = { Cico.Cost_model.mm_n = n; mm_p = nodes } in
-  Printf.printf "cost model, N=%d, P=%d:\n" n nodes;
-  Printf.printf "  original C check-outs     N^3     = %8.0f\n"
+  pr "cost model, N=%d, P=%d:\n" n nodes;
+  pr "  original C check-outs     N^3     = %8.0f\n"
     (Cico.Cost_model.matmul_c_checkouts_original mp);
-  Printf.printf "  restructured C check-outs N^2 P/2 = %8.0f\n"
+  pr "  restructured C check-outs N^2 P/2 = %8.0f\n"
     (Cico.Cost_model.matmul_c_checkouts_restructured mp);
-  Printf.printf "  of which lock-protected   N^2 P/4 = %8.0f\n"
+  pr "  of which lock-protected   N^2 P/4 = %8.0f\n"
     (Cico.Cost_model.matmul_c_raced_checkouts_restructured mp);
   let original = parse (Benchmarks.Matmul.source ~n ~nodes ()) in
   let restructured = parse (Benchmarks.Matmul.restructured_source ~n ~nodes ()) in
-  let base = Wwt.Run.measure ~machine ~annotations:false ~prefetch:false original in
-  let ann =
-    Wwt.Run.measure ~machine ~annotations:true ~prefetch:false (annotate original)
+  let results =
+    pmap
+      (fun job -> job ())
+      [
+        (fun () ->
+          Wwt.Run.measure ~machine ~annotations:false ~prefetch:false original);
+        (fun () ->
+          Wwt.Run.measure ~machine ~annotations:true ~prefetch:false
+            (annotate original));
+        (fun () ->
+          Wwt.Run.measure ~machine ~annotations:true ~prefetch:false
+            restructured);
+      ]
   in
-  let restr = Wwt.Run.measure ~machine ~annotations:true ~prefetch:false restructured in
-  Printf.printf "measured:\n";
-  Printf.printf "  original unannotated : %8d cycles, %5d software traps\n"
-    base.Wwt.Interp.time base.Wwt.Interp.stats.Memsys.Stats.sw_traps;
-  Printf.printf "  original + Cachier   : %8d cycles, %5d software traps\n"
-    ann.Wwt.Interp.time ann.Wwt.Interp.stats.Memsys.Stats.sw_traps;
-  Printf.printf "  restructured + locks : %8d cycles, %5d software traps\n%!"
-    restr.Wwt.Interp.time restr.Wwt.Interp.stats.Memsys.Stats.sw_traps
+  match results with
+  | [ base; ann; restr ] ->
+      pr "measured:\n";
+      pr "  original unannotated : %8d cycles, %5d software traps\n"
+        base.Wwt.Interp.time base.Wwt.Interp.stats.Memsys.Stats.sw_traps;
+      pr "  original + Cachier   : %8d cycles, %5d software traps\n"
+        ann.Wwt.Interp.time ann.Wwt.Interp.stats.Memsys.Stats.sw_traps;
+      pr "  restructured + locks : %8d cycles, %5d software traps\n"
+        restr.Wwt.Interp.time restr.Wwt.Interp.stats.Memsys.Stats.sw_traps
+  | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
 (* E5 — Section 4.5: cross-input sensitivity                           *)
 (* ------------------------------------------------------------------ *)
 
-let sensitivity () =
-  section "E5  Section 4.5: trace-input sensitivity";
-  Printf.printf
+let sensitivity buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr
     "annotations derived from seed-1 traces, measured on seed 1 vs seed 2\n";
-  Printf.printf "%-9s %14s %14s %8s   (paper: < 2%% even for barnes)\n"
+  pr "%-9s %14s %14s %8s   (paper: < 2%% even for barnes)\n"
     "benchmark" "speedup@seed1" "speedup@seed2" "delta";
-  List.iter
-    (fun (b : Benchmarks.Suite.t) ->
-      let prog = parse b.Benchmarks.Suite.source in
-      let annotated = annotate prog in
-      let speedup seed =
-        let reseed p = Benchmarks.Suite.reseed p seed in
-        let base = measure (reseed prog) in
-        let ann = measure ~annotations:true (reseed annotated) in
-        float_of_int base /. float_of_int ann
-      in
-      let s1 = speedup b.Benchmarks.Suite.trace_seed in
-      let s2 = speedup b.Benchmarks.Suite.eval_seed in
-      Printf.printf "%-9s %13.3fx %13.3fx %7.1f%%\n%!" b.Benchmarks.Suite.name
-        s1 s2
-        (100.0 *. Float.abs (s1 -. s2) /. s1))
-    (List.filter
-       (fun (b : Benchmarks.Suite.t) ->
-         (* only the data-dependent benchmarks react to the seed at all *)
-         List.mem b.Benchmarks.Suite.name [ "barnes"; "mp3d" ])
-       (Benchmarks.Suite.all ~scale ~nodes ()))
+  let rows =
+    pmap
+      (fun (b : Benchmarks.Suite.t) ->
+        let prog = parse b.Benchmarks.Suite.source in
+        let annotated = annotate prog in
+        let speedup seed =
+          let reseed p = Benchmarks.Suite.reseed p seed in
+          let base = measure (reseed prog) in
+          let ann = measure ~annotations:true (reseed annotated) in
+          float_of_int base /. float_of_int ann
+        in
+        let s1 = speedup b.Benchmarks.Suite.trace_seed in
+        let s2 = speedup b.Benchmarks.Suite.eval_seed in
+        Printf.sprintf "%-9s %13.3fx %13.3fx %7.1f%%\n"
+          b.Benchmarks.Suite.name s1 s2
+          (100.0 *. Float.abs (s1 -. s2) /. s1))
+      (List.filter
+         (fun (b : Benchmarks.Suite.t) ->
+           (* only the data-dependent benchmarks react to the seed at all *)
+           List.mem b.Benchmarks.Suite.name [ "barnes"; "mp3d" ])
+         (Benchmarks.Suite.all ~scale ~nodes ()))
+  in
+  List.iter (Buffer.add_string buf) rows
 
 (* ------------------------------------------------------------------ *)
 (* E8 — Figure 4: the worked equation example                          *)
 (* ------------------------------------------------------------------ *)
 
-let fig4 () =
-  section "E8  Figure 4: worked annotation sets";
+let fig4 buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   (* the reconstruction used in the unit tests: a, b, c, d in distinct
      blocks; a raced in epoch 0 *)
   let a = 0 and b = 32 and c = 64 and d = 96 in
@@ -284,7 +318,7 @@ let fig4 () =
   in
   let line mode label epoch =
     let ann = Cachier.Equations.for_epoch mode info ~epoch ~node:0 in
-    Printf.printf "  %-22s co_x={%s}  co_s={%s}  ci={%s}\n" label
+    pr "  %-22s co_x={%s}  co_s={%s}  ci={%s}\n" label
       (show ann.Cachier.Equations.co_x)
       (show ann.Cachier.Equations.co_s)
       (show ann.Cachier.Equations.ci)
@@ -293,159 +327,188 @@ let fig4 () =
   line Cachier.Equations.Performance "Performance, epoch i-1" 0;
   line Cachier.Equations.Programmer "Programmer, epoch i" 1;
   line Cachier.Equations.Performance "Performance, epoch i" 1;
-  Printf.printf
+  pr
     "  (paper: epoch i-1 Programmer co_x(a) co_x(b) co_s(d) ci(a);\n\
     \   Performance just ci(a) — the check-in for a is needed because of\n\
     \   the data race; epoch i Programmer co_s(a) co_s(c) ci(c) ci(d);\n\
-    \   Performance just ci(c))\n%!"
+    \   Performance just ci(c))\n"
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let ablation_barnes_capacity () =
-  section "Ablation: Barnes working set vs cache capacity";
-  Printf.printf
+let ablation_barnes_capacity buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr
     "cachier speedup by problem size (16 KB caches; the tree outgrows the\n\
      cache and capacity misses drown the coherence traffic annotations fix)\n";
-  Printf.printf "%8s %12s %10s %10s\n" "bodies" "base(cyc)" "cachier" "evictions";
-  List.iter
-    (fun bodies ->
-      let src = Benchmarks.Barnes.source ~bodies ~nodes () in
-      let prog = parse src in
-      let base = Wwt.Run.measure ~machine ~annotations:false ~prefetch:false prog in
-      let ann =
-        Wwt.Run.measure ~machine ~annotations:true ~prefetch:false (annotate prog)
-      in
-      Printf.printf "%8d %12d %9.1f%% %10d\n%!" bodies base.Wwt.Interp.time
-        (pct ann.Wwt.Interp.time base.Wwt.Interp.time)
-        base.Wwt.Interp.stats.Memsys.Stats.evictions)
-    [ 32; 64; 96; 128 ]
+  pr "%8s %12s %10s %10s\n" "bodies" "base(cyc)" "cachier" "evictions";
+  let rows =
+    pmap
+      (fun bodies ->
+        let src = Benchmarks.Barnes.source ~bodies ~nodes () in
+        let prog = parse src in
+        let base =
+          Wwt.Run.measure ~machine ~annotations:false ~prefetch:false prog
+        in
+        let ann =
+          Wwt.Run.measure ~machine ~annotations:true ~prefetch:false
+            (annotate prog)
+        in
+        Printf.sprintf "%8d %12d %9.1f%% %10d\n" bodies base.Wwt.Interp.time
+          (pct ann.Wwt.Interp.time base.Wwt.Interp.time)
+          base.Wwt.Interp.stats.Memsys.Stats.evictions)
+      [ 32; 64; 96; 128 ]
+  in
+  List.iter (Buffer.add_string buf) rows
 
-let ablation_trap_cost () =
-  section "Ablation: Dir1SW software-trap cost";
-  Printf.printf
+let ablation_trap_cost buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr
     "mp3d cachier speedup as the >1-sharer trap cost varies (CICO's value\n\
      tracks how expensive the software fallback is)\n";
-  Printf.printf "%10s %10s\n" "trap(cyc)" "cachier";
-  List.iter
-    (fun trap ->
-      let costs = { Memsys.Network.default with Memsys.Network.sw_trap = trap } in
-      let m = { machine with Wwt.Machine.costs = costs } in
-      let prog = parse (Benchmarks.Mp3d.source ~particles:512 ~nodes ()) in
-      let base = Wwt.Run.measure ~machine:m ~annotations:false ~prefetch:false prog in
-      let r = Cachier.Annotate.annotate_program ~machine:m ~options:opts prog in
-      let ann =
-        Wwt.Run.measure ~machine:m ~annotations:true ~prefetch:false
-          r.Cachier.Annotate.annotated
-      in
-      Printf.printf "%10d %9.1f%%\n%!" trap
-        (pct ann.Wwt.Interp.time base.Wwt.Interp.time))
-    [ 125; 250; 500; 1000 ]
+  pr "%10s %10s\n" "trap(cyc)" "cachier";
+  let rows =
+    pmap
+      (fun trap ->
+        let costs =
+          { Memsys.Network.default with Memsys.Network.sw_trap = trap }
+        in
+        let m = { machine with Wwt.Machine.costs = costs } in
+        let prog = parse (Benchmarks.Mp3d.source ~particles:512 ~nodes ()) in
+        let base =
+          Wwt.Run.measure ~machine:m ~annotations:false ~prefetch:false prog
+        in
+        let r = Cachier.Annotate.annotate_program ~machine:m ~options:opts prog in
+        let ann =
+          Wwt.Run.measure ~machine:m ~annotations:true ~prefetch:false
+            r.Cachier.Annotate.annotated
+        in
+        Printf.sprintf "%10d %9.1f%%\n" trap
+          (pct ann.Wwt.Interp.time base.Wwt.Interp.time))
+      [ 125; 250; 500; 1000 ]
+  in
+  List.iter (Buffer.add_string buf) rows
 
-let ablation_modes () =
-  section "Ablation: Programmer vs Performance CICO as directives";
-  Printf.printf
+let ablation_modes buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr
     "executing Programmer-CICO annotations as directives pays the explicit\n\
      check-out overhead that Dir1SW's implicit check-outs make redundant\n";
-  Printf.printf "%-9s %12s %12s\n" "benchmark" "Performance" "Programmer";
-  List.iter
-    (fun (name, src) ->
-      let prog = parse src in
-      let base = measure prog in
-      let run mode =
-        let r =
-          Cachier.Annotate.annotate_program ~machine
-            ~options:{ opts with Cachier.Placement.mode }
-            prog
+  pr "%-9s %12s %12s\n" "benchmark" "Performance" "Programmer";
+  let rows =
+    pmap
+      (fun (name, src) ->
+        let prog = parse src in
+        let base = measure prog in
+        let run mode =
+          let r =
+            Cachier.Annotate.annotate_program ~machine
+              ~options:{ opts with Cachier.Placement.mode }
+              prog
+          in
+          measure ~annotations:true r.Cachier.Annotate.annotated
         in
-        measure ~annotations:true r.Cachier.Annotate.annotated
-      in
-      Printf.printf "%-9s %11.1f%% %11.1f%%\n%!" name
-        (pct (run Cachier.Equations.Performance) base)
-        (pct (run Cachier.Equations.Programmer) base))
-    [
-      ("ocean", Benchmarks.Ocean.source ~n:32 ~t:3 ~nodes ());
-      ("mp3d", Benchmarks.Mp3d.source ~particles:512 ~nodes ());
-    ]
+        Printf.sprintf "%-9s %11.1f%% %11.1f%%\n" name
+          (pct (run Cachier.Equations.Performance) base)
+          (pct (run Cachier.Equations.Programmer) base))
+      [
+        ("ocean", Benchmarks.Ocean.source ~n:32 ~t:3 ~nodes ());
+        ("mp3d", Benchmarks.Mp3d.source ~particles:512 ~nodes ());
+      ]
+  in
+  List.iter (Buffer.add_string buf) rows
 
-let water_extension () =
-  section "Extension benchmarks: Water, LU, FFT (not in Figure 6)";
-  Printf.printf
+let water_extension buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr
     "SPLASH-style kernels the tool was never tuned for\n";
-  Printf.printf "%-9s %10s | %6s %8s\n" "kernel" "base(cyc)" "hand" "cachier";
-  List.iter
-    (fun (name, src, hand_src) ->
-      let prog = parse src in
-      let base = measure prog in
-      let hand = measure ~annotations:true (parse hand_src) in
-      let cachier = measure ~annotations:true (annotate prog) in
-      Printf.printf "%-9s %10d | %5.1f%% %7.1f%%\n%!" name base
-        (pct hand base) (pct cachier base))
-    [
-      ( "water",
-        Benchmarks.Water.source ~molecules:64 ~t:3 ~nodes (),
-        Benchmarks.Water.hand_source ~molecules:64 ~t:3 ~nodes () );
-      ( "lu",
-        Benchmarks.Lu.source ~n:24 ~nodes (),
-        Benchmarks.Lu.hand_source ~n:24 ~nodes () );
-      ( "fft",
-        Benchmarks.Fft.source ~n:64 ~nodes (),
-        Benchmarks.Fft.hand_source ~n:64 ~nodes () );
-    ]
+  pr "%-9s %10s | %6s %8s\n" "kernel" "base(cyc)" "hand" "cachier";
+  let rows =
+    pmap
+      (fun (name, src, hand_src) ->
+        let prog = parse src in
+        let base = measure prog in
+        let hand = measure ~annotations:true (parse hand_src) in
+        let cachier = measure ~annotations:true (annotate prog) in
+        Printf.sprintf "%-9s %10d | %5.1f%% %7.1f%%\n" name base
+          (pct hand base) (pct cachier base))
+      [
+        ( "water",
+          Benchmarks.Water.source ~molecules:64 ~t:3 ~nodes (),
+          Benchmarks.Water.hand_source ~molecules:64 ~t:3 ~nodes () );
+        ( "lu",
+          Benchmarks.Lu.source ~n:24 ~nodes (),
+          Benchmarks.Lu.hand_source ~n:24 ~nodes () );
+        ( "fft",
+          Benchmarks.Fft.source ~n:64 ~nodes (),
+          Benchmarks.Fft.hand_source ~n:64 ~nodes () );
+      ]
+  in
+  List.iter (Buffer.add_string buf) rows
 
-let ablation_directory () =
-  section "Ablation: Dir1SW vs full-map hardware directory";
-  Printf.printf
+let ablation_directory buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr
     "mp3d speedup from Cachier's annotations under Dir1SW (any foreign\n\
      sharer traps to software) vs a full-map hardware directory (Dir_n NB,\n\
      invalidations in hardware): CICO's trap-avoidance value is protocol-\n\
      dependent, which is why the annotations are only *hints*\n";
-  Printf.printf "%24s %10s %10s\n" "directory" "base(cyc)" "cachier";
-  List.iter
-    (fun (label, hw) ->
-      let costs =
-        { Memsys.Network.default with Memsys.Network.dir_hw_sharers = hw }
-      in
-      let m = { machine with Wwt.Machine.costs = costs } in
-      let prog = parse (Benchmarks.Mp3d.source ~particles:512 ~nodes ()) in
-      let base = Wwt.Run.measure ~machine:m ~annotations:false ~prefetch:false prog in
-      let r = Cachier.Annotate.annotate_program ~machine:m ~options:opts prog in
-      let ann =
-        Wwt.Run.measure ~machine:m ~annotations:true ~prefetch:false
-          r.Cachier.Annotate.annotated
-      in
-      Printf.printf "%24s %10d %9.1f%%\n%!" label base.Wwt.Interp.time
-        (pct ann.Wwt.Interp.time base.Wwt.Interp.time))
-    [ ("Dir1SW (hw sharers 0)", 0); ("Dir4 (hw sharers 4)", 4);
-      ("full-map (hw sharers 62)", 62) ]
+  pr "%24s %10s %10s\n" "directory" "base(cyc)" "cachier";
+  let rows =
+    pmap
+      (fun (label, hw) ->
+        let costs =
+          { Memsys.Network.default with Memsys.Network.dir_hw_sharers = hw }
+        in
+        let m = { machine with Wwt.Machine.costs = costs } in
+        let prog = parse (Benchmarks.Mp3d.source ~particles:512 ~nodes ()) in
+        let base =
+          Wwt.Run.measure ~machine:m ~annotations:false ~prefetch:false prog
+        in
+        let r = Cachier.Annotate.annotate_program ~machine:m ~options:opts prog in
+        let ann =
+          Wwt.Run.measure ~machine:m ~annotations:true ~prefetch:false
+            r.Cachier.Annotate.annotated
+        in
+        Printf.sprintf "%24s %10d %9.1f%%\n" label base.Wwt.Interp.time
+          (pct ann.Wwt.Interp.time base.Wwt.Interp.time))
+      [ ("Dir1SW (hw sharers 0)", 0); ("Dir4 (hw sharers 4)", 4);
+        ("full-map (hw sharers 62)", 62) ]
+  in
+  List.iter (Buffer.add_string buf) rows
 
-let ablation_post_store () =
-  section "Ablation: check-in vs KSR-1 post-store (extension)";
-  Printf.printf
+let ablation_post_store buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr
     "ocean boundary-row handoff: the producer can merely release its rows\n\
      (check_in) or push read-only copies to last sweep's readers\n\
      (post_store, the KSR-1 directive of the paper's introduction)\n";
   let n = 32 and t = 4 in
-  let base =
-    measure (parse (Benchmarks.Ocean.source ~n ~t ~nodes ()))
+  let results =
+    pmap
+      (fun job -> job ())
+      [
+        (fun () -> measure (parse (Benchmarks.Ocean.source ~n ~t ~nodes ())));
+        (fun () ->
+          measure ~annotations:true
+            (annotate (parse (Benchmarks.Ocean.source ~n ~t ~nodes ()))));
+        (fun () ->
+          measure ~annotations:true
+            (parse (Benchmarks.Ocean.post_store_source ~n ~t ~nodes ())));
+      ]
   in
-  let cachier =
-    measure ~annotations:true
-      (annotate (parse (Benchmarks.Ocean.source ~n ~t ~nodes ())))
-  in
-  let post_store =
-    measure ~annotations:true
-      (parse (Benchmarks.Ocean.post_store_source ~n ~t ~nodes ()))
-  in
-  Printf.printf "%24s %10s\n" "variant" "time";
-  Printf.printf "%24s %9.1f%%\n" "unannotated" 100.0;
-  Printf.printf "%24s %9.1f%%\n" "cachier (check_in)" (pct cachier base);
-  Printf.printf "%24s %9.1f%%\n%!" "hand post_store" (pct post_store base)
+  match results with
+  | [ base; cachier; post_store ] ->
+      pr "%24s %10s\n" "variant" "time";
+      pr "%24s %9.1f%%\n" "unannotated" 100.0;
+      pr "%24s %9.1f%%\n" "cachier (check_in)" (pct cachier base);
+      pr "%24s %9.1f%%\n" "hand post_store" (pct post_store base)
+  | _ -> assert false
 
-let ablation_training_set () =
-  section "Ablation: single trace vs training set (Section 4.5)";
-  Printf.printf
+let ablation_training_set buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr
     "mp3d annotated from one seed vs the union of three seeds, measured on\n\
      an input none of the traces saw\n";
   let prog = parse (Benchmarks.Mp3d.source ~particles:512 ~nodes ()) in
@@ -461,11 +524,11 @@ let ablation_training_set () =
   in
   let t1 = measure ~annotations:true (fresh single.Cachier.Annotate.annotated) in
   let t3 = measure ~annotations:true (fresh multi.Cachier.Annotate.annotated) in
-  Printf.printf "  single trace:  %.1f%%  (%d annotations)\n" (pct t1 base)
+  pr "  single trace:  %.1f%%  (%d annotations)\n" (pct t1 base)
     single.Cachier.Annotate.n_edits;
-  Printf.printf "  training set:  %.1f%%  (%d annotations)\n%!" (pct t3 base)
+  pr "  training set:  %.1f%%  (%d annotations)\n" (pct t3 base)
     multi.Cachier.Annotate.n_edits;
-  Printf.printf
+  pr
     "  (the paper found a single execution sufficient — the training set\n\
     \   confirms it: the difference stays small)\n"
 
@@ -473,8 +536,8 @@ let ablation_training_set () =
 (* Bechamel micro-benchmarks of the tool itself                        *)
 (* ------------------------------------------------------------------ *)
 
-let bechamel_suite () =
-  section "Tool micro-benchmarks (Bechamel, wall-clock)";
+let bechamel_suite buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   let open Bechamel in
   let src = Benchmarks.Mp3d.source ~particles:128 ~cells:16 ~t:2 ~nodes:4 () in
   let m4 = { machine with Wwt.Machine.nodes = 4 } in
@@ -519,14 +582,90 @@ let bechamel_suite () =
   in
   let rows = ref [] in
   Hashtbl.iter (fun name result -> rows := (name, result) :: !rows) results;
-  List.iter
-    (fun (name, result) ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-32s %14.0f ns/run\n%!" name est
-      | Some _ | None -> Printf.printf "  %-32s (no estimate)\n%!" name)
-    (List.sort compare !rows)
+  let estimates =
+    List.filter_map
+      (fun (name, result) ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] ->
+            pr "  %-32s %14.0f ns/run\n" name est;
+            Some (name, est)
+        | Some _ | None ->
+            pr "  %-32s (no estimate)\n" name;
+            None)
+      (List.sort compare !rows)
+  in
+  estimates
 
 (* ------------------------------------------------------------------ *)
+(* Driver: buffered experiments, wall-clocked, JSON trajectory file    *)
+(* ------------------------------------------------------------------ *)
+
+let experiments : (string * string * (Buffer.t -> unit)) list =
+  [
+    ("figure6", "E1/E6  Figure 6: normalised execution time", figure6);
+    ("sharing-profile", "E7  Degree of sharing", sharing_profile);
+    ("jacobi-cost", "E2  Section 2.1: Jacobi check-out counts", jacobi_cost);
+    ("matmul-listings", "E3  Section 4.4: Cachier's MatMul annotations",
+     matmul_listings);
+    ("restructuring", "E4  Section 5: restructured MatMul", restructuring);
+    ("sensitivity", "E5  Section 4.5: trace-input sensitivity", sensitivity);
+    ("fig4", "E8  Figure 4: worked annotation sets", fig4);
+    ("extensions", "Extension benchmarks: Water, LU, FFT (not in Figure 6)",
+     water_extension);
+    ("barnes-capacity", "Ablation: Barnes working set vs cache capacity",
+     ablation_barnes_capacity);
+    ("trap-cost", "Ablation: Dir1SW software-trap cost", ablation_trap_cost);
+    ("modes", "Ablation: Programmer vs Performance CICO as directives",
+     ablation_modes);
+    ("directory", "Ablation: Dir1SW vs full-map hardware directory",
+     ablation_directory);
+    ("post-store", "Ablation: check-in vs KSR-1 post-store (extension)",
+     ablation_post_store);
+    ("training-set", "Ablation: single trace vs training set (Section 4.5)",
+     ablation_training_set);
+  ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~path ~timings ~bechamel ~total =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf b "  \"nodes\": %d,\n" nodes;
+  Printf.bprintf b "  \"scale\": %g,\n" scale;
+  Printf.bprintf b "  \"total_seconds\": %.6f,\n" total;
+  Buffer.add_string b "  \"experiments\": [\n";
+  List.iteri
+    (fun i (name, dt) ->
+      Printf.bprintf b "    {\"name\": \"%s\", \"seconds\": %.6f}%s\n"
+        (json_escape name) dt
+        (if i = List.length timings - 1 then "" else ","))
+    timings;
+  Buffer.add_string b "  ],\n";
+  Buffer.add_string b "  \"bechamel_ns_per_run\": [\n";
+  List.iteri
+    (fun i (name, est) ->
+      Printf.bprintf b "    {\"name\": \"%s\", \"ns\": %.1f}%s\n"
+        (json_escape name) est
+        (if i = List.length bechamel - 1 then "" else ","))
+    bechamel;
+  Buffer.add_string b "  ]\n}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc b)
 
 let () =
   Printf.printf
@@ -534,19 +673,38 @@ let () =
      4-way caches, 32-byte blocks, Dir1SW\n"
     nodes
     (machine.Wwt.Machine.cache_bytes / 1024);
-  figure6 ();
-  sharing_profile ();
-  jacobi_cost ();
-  matmul_listings ();
-  restructuring ();
-  sensitivity ();
-  fig4 ();
-  water_extension ();
-  ablation_barnes_capacity ();
-  ablation_trap_cost ();
-  ablation_modes ();
-  ablation_directory ();
-  ablation_post_store ();
-  ablation_training_set ();
-  if Sys.getenv_opt "CACHIER_BENCH_FAST" = None then bechamel_suite ();
-  Printf.printf "\ndone.\n"
+  let t_start = Unix.gettimeofday () in
+  let timings =
+    List.map
+      (fun (name, title, f) ->
+        let buf = Buffer.create 4096 in
+        Printf.bprintf buf "\n=== %s ===\n" title;
+        let t0 = Unix.gettimeofday () in
+        f buf;
+        let dt = Unix.gettimeofday () -. t0 in
+        print_string (Buffer.contents buf);
+        flush stdout;
+        (name, dt))
+      experiments
+  in
+  let bechamel, timings =
+    if Sys.getenv_opt "CACHIER_BENCH_FAST" = None then begin
+      let buf = Buffer.create 4096 in
+      Printf.bprintf buf "\n=== %s ===\n"
+        "Tool micro-benchmarks (Bechamel, wall-clock)";
+      let t0 = Unix.gettimeofday () in
+      let rows = bechamel_suite buf in
+      let dt = Unix.gettimeofday () -. t0 in
+      print_string (Buffer.contents buf);
+      flush stdout;
+      (rows, timings @ [ ("bechamel", dt) ])
+    end
+    else ([], timings)
+  in
+  let total = Unix.gettimeofday () -. t_start in
+  let json_path =
+    Option.value ~default:"BENCH_1.json" (Sys.getenv_opt "CACHIER_BENCH_JSON")
+  in
+  write_json ~path:json_path ~timings ~bechamel ~total;
+  Printf.printf "\ndone.  (%.2fs wall, %d jobs; wrote %s)\n" total jobs
+    json_path

@@ -1,5 +1,10 @@
-(* simulate — run a mini-language program on the simulated Dir1SW machine
-   and report execution time and memory-system statistics. *)
+(* simulate — run mini-language programs on the simulated Dir1SW machine
+   and report execution time and memory-system statistics.
+
+   Several FILE arguments run concurrently on separate domains (see
+   --jobs / CACHIER_BENCH_JOBS); each simulation owns all its mutable
+   state, and reports print in argument order regardless of the job
+   count. *)
 
 let read_file path =
   let ic = open_in path in
@@ -7,8 +12,52 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run file nodes cache_kb assoc block annotations prefetch trace_mode
-    trace_out print_memory =
+let simulate_file machine annotations prefetch trace_mode trace_out
+    print_memory ~many file =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if many then pr "--- %s ---\n" file;
+  let program = Lang.Parser.parse (read_file file) in
+  ignore (Lang.Sema.check program);
+  let outcome =
+    if trace_mode then Wwt.Run.collect_trace ~machine program
+    else Wwt.Run.measure ~machine ~annotations ~prefetch program
+  in
+  List.iter (fun line -> pr "%s\n" line) outcome.Wwt.Interp.output;
+  pr "execution time: %d cycles\n" outcome.Wwt.Interp.time;
+  pr "%s\n" (Fmt.str "%a" Memsys.Stats.pp outcome.Wwt.Interp.stats);
+  (match trace_out with
+  | Some path ->
+      (* with several inputs, write one trace per input *)
+      let path =
+        if many then
+          Filename.concat (Filename.dirname path)
+            (Filename.basename file ^ "." ^ Filename.basename path)
+        else path
+      in
+      Trace.Trace_file.save path outcome.Wwt.Interp.trace;
+      pr "trace written to %s (%d records)\n" path
+        (List.length outcome.Wwt.Interp.trace)
+  | None -> ());
+  if print_memory then begin
+    pr "--- final shared memory ---\n";
+    List.iter
+      (fun (e : Lang.Label.entry) ->
+        let elems = min e.Lang.Label.elems 16 in
+        let values =
+          List.init elems (fun i ->
+              Lang.Value.to_string
+                (Wwt.Interp.shared_value outcome e.Lang.Label.name i))
+        in
+        pr "%s[0..%d] = %s%s\n" e.Lang.Label.name (elems - 1)
+          (String.concat " " values)
+          (if e.Lang.Label.elems > elems then " ..." else ""))
+      (Lang.Label.entries outcome.Wwt.Interp.layout)
+  end;
+  Buffer.contents buf
+
+let run files nodes cache_kb assoc block annotations prefetch trace_mode
+    trace_out print_memory jobs =
   let machine =
     {
       Wwt.Machine.default with
@@ -18,42 +67,21 @@ let run file nodes cache_kb assoc block annotations prefetch trace_mode
       block_size = block;
     }
   in
-  let program = Lang.Parser.parse (read_file file) in
-  ignore (Lang.Sema.check program);
-  let outcome =
-    if trace_mode then Wwt.Run.collect_trace ~machine program
-    else Wwt.Run.measure ~machine ~annotations ~prefetch program
+  let many = List.length files > 1 in
+  let reports =
+    Wwt.Jobs.map ?jobs
+      (simulate_file machine annotations prefetch trace_mode trace_out
+         print_memory ~many)
+      files
   in
-  List.iter print_endline outcome.Wwt.Interp.output;
-  Fmt.pr "execution time: %d cycles@." outcome.Wwt.Interp.time;
-  Fmt.pr "%a@." Memsys.Stats.pp outcome.Wwt.Interp.stats;
-  (match trace_out with
-  | Some path ->
-      Trace.Trace_file.save path outcome.Wwt.Interp.trace;
-      Fmt.pr "trace written to %s (%d records)@." path
-        (List.length outcome.Wwt.Interp.trace)
-  | None -> ());
-  if print_memory then begin
-    Fmt.pr "--- final shared memory ---@.";
-    List.iter
-      (fun (e : Lang.Label.entry) ->
-        let elems = min e.Lang.Label.elems 16 in
-        let values =
-          List.init elems (fun i ->
-              Lang.Value.to_string (Wwt.Interp.shared_value outcome e.Lang.Label.name i))
-        in
-        Fmt.pr "%s[0..%d] = %s%s@." e.Lang.Label.name (elems - 1)
-          (String.concat " " values)
-          (if e.Lang.Label.elems > elems then " ..." else ""))
-      (Lang.Label.entries outcome.Wwt.Interp.layout)
-  end;
+  List.iter print_string reports;
   0
 
 open Cmdliner
 
-let file =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
-         ~doc:"Program to simulate.")
+let files =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Program(s) to simulate. Several files fan out across domains.")
 
 let nodes =
   Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Simulated processors.")
@@ -77,16 +105,23 @@ let trace_mode =
 
 let trace_out =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
-         ~doc:"Write the trace to $(docv) (use with --trace).")
+         ~doc:"Write the trace to $(docv) (use with --trace; with several \
+               inputs each trace goes to $(i,input).$(docv)).")
 
 let print_memory =
   Arg.(value & flag & info [ "memory" ] ~doc:"Dump the first elements of each shared array.")
 
+let jobs =
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+         ~doc:"Run up to $(docv) simulations concurrently on separate \
+               domains (default: $(b,CACHIER_BENCH_JOBS) or the \
+               recommended domain count).")
+
 let cmd =
-  let doc = "simulate a shared-memory program on a Dir1SW machine" in
+  let doc = "simulate shared-memory programs on a Dir1SW machine" in
   Cmd.v
     (Cmd.info "simulate" ~doc)
-    Term.(const run $ file $ nodes $ cache_kb $ assoc $ block $ annotations
-          $ prefetch $ trace_mode $ trace_out $ print_memory)
+    Term.(const run $ files $ nodes $ cache_kb $ assoc $ block $ annotations
+          $ prefetch $ trace_mode $ trace_out $ print_memory $ jobs)
 
 let () = exit (Cmd.eval' cmd)

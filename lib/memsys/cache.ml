@@ -1,18 +1,24 @@
 type coherence = Shared | Exclusive
 
 type line = {
-  block : int;
+  mutable block : int;
   mutable state : coherence;
   mutable dirty : bool;
   mutable ready_at : int;
   mutable last_use : int;
 }
 
+(* Sentinel block number for an empty way; no real block is negative. *)
+let absent = min_int
+
 type t = {
   block_size : int;
   n_sets : int;
   n_assoc : int;
-  sets : line option array array;  (* [n_sets][n_assoc] *)
+  lines : line array;  (* flat [n_sets * n_assoc]; lines are reused in
+                          place so the steady-state probe/insert path
+                          allocates nothing *)
+  mru : int array;  (* per-set memo of the last way that hit *)
   mutable tick : int;  (* LRU clock *)
   mutable resident : int;
 }
@@ -30,7 +36,11 @@ let create ~size_bytes ~assoc ~block_size =
     block_size;
     n_sets;
     n_assoc = assoc;
-    sets = Array.init n_sets (fun _ -> Array.make assoc None);
+    lines =
+      Array.init (n_sets * assoc) (fun _ ->
+          { block = absent; state = Shared; dirty = false; ready_at = 0;
+            last_use = 0 });
+    mru = Array.make n_sets 0;
     tick = 0;
     resident = 0;
   }
@@ -43,94 +53,110 @@ let capacity_bytes t = capacity_blocks t * t.block_size
 let occupancy t = t.resident
 let set_of t blk = blk land (t.n_sets - 1)
 
+let line_at t i = t.lines.(i)
+
+(* Option-free probe: the flat index of [blk]'s line, or -1. Checks the
+   set's most-recently-hit way first, which short-circuits the common
+   run of repeated touches to the same block. *)
+let probe t blk =
+  let s = set_of t blk in
+  let base = s * t.n_assoc in
+  let memo = t.mru.(s) in
+  if t.lines.(base + memo).block = blk then base + memo
+  else begin
+    let rec loop i =
+      if i >= t.n_assoc then -1
+      else if i <> memo && t.lines.(base + i).block = blk then begin
+        t.mru.(s) <- i;
+        base + i
+      end
+      else loop (i + 1)
+    in
+    loop 0
+  end
+
 let find t blk =
-  let set = t.sets.(set_of t blk) in
-  let rec loop i =
-    if i >= t.n_assoc then None
-    else
-      match set.(i) with
-      | Some l when l.block = blk -> Some l
-      | Some _ | None -> loop (i + 1)
-  in
-  loop 0
+  let i = probe t blk in
+  if i < 0 then None else Some t.lines.(i)
+
+let touch_idx t i =
+  t.tick <- t.tick + 1;
+  t.lines.(i).last_use <- t.tick
 
 let touch t blk =
-  match find t blk with
-  | None -> ()
-  | Some l ->
-      t.tick <- t.tick + 1;
-      l.last_use <- t.tick
+  let i = probe t blk in
+  if i >= 0 then touch_idx t i
+
+(* Fill a way in place; never allocates. *)
+let fill l ~block ~state ~dirty ~ready_at ~last_use =
+  l.block <- block;
+  l.state <- state;
+  l.dirty <- dirty;
+  l.ready_at <- ready_at;
+  l.last_use <- last_use
 
 let insert t ~block ~state ~dirty ~ready_at =
-  match find t block with
-  | Some l ->
-      l.state <- state;
-      l.dirty <- dirty || l.dirty;
-      l.ready_at <- ready_at;
-      t.tick <- t.tick + 1;
-      l.last_use <- t.tick;
-      None
-  | None ->
-      let set = t.sets.(set_of t block) in
-      t.tick <- t.tick + 1;
-      let fresh =
-        Some { block; state; dirty; ready_at; last_use = t.tick }
-      in
-      (* Prefer an empty way; otherwise evict the LRU way. *)
-      let empty = ref (-1) and lru = ref 0 in
-      for i = 0 to t.n_assoc - 1 do
-        match set.(i) with
-        | None -> if !empty < 0 then empty := i
-        | Some l -> (
-            match set.(!lru) with
-            | Some m when l.last_use < m.last_use -> lru := i
-            | Some _ -> ()
-            | None -> lru := i)
-      done;
-      if !empty >= 0 then begin
-        set.(!empty) <- fresh;
-        t.resident <- t.resident + 1;
-        None
+  let i = probe t block in
+  if i >= 0 then begin
+    let l = t.lines.(i) in
+    l.state <- state;
+    l.dirty <- dirty || l.dirty;
+    l.ready_at <- ready_at;
+    t.tick <- t.tick + 1;
+    l.last_use <- t.tick;
+    None
+  end
+  else begin
+    let base = set_of t block * t.n_assoc in
+    t.tick <- t.tick + 1;
+    (* Prefer an empty way; otherwise evict the LRU way. *)
+    let empty = ref (-1) and lru = ref 0 in
+    for i = 0 to t.n_assoc - 1 do
+      let l = t.lines.(base + i) in
+      if l.block = absent then begin
+        if !empty < 0 then empty := i
       end
-      else
-        match set.(!lru) with
-        | None -> assert false
-        | Some victim ->
-            set.(!lru) <- fresh;
-            Some (victim.block, victim.state, victim.dirty)
+      else begin
+        let m = t.lines.(base + !lru) in
+        if m.block = absent || l.last_use < m.last_use then lru := i
+      end
+    done;
+    if !empty >= 0 then begin
+      fill t.lines.(base + !empty) ~block ~state ~dirty ~ready_at
+        ~last_use:t.tick;
+      t.resident <- t.resident + 1;
+      None
+    end
+    else begin
+      let victim = t.lines.(base + !lru) in
+      let v = (victim.block, victim.state, victim.dirty) in
+      fill victim ~block ~state ~dirty ~ready_at ~last_use:t.tick;
+      Some v
+    end
+  end
 
 let remove t blk =
-  let set = t.sets.(set_of t blk) in
-  let rec loop i =
-    if i >= t.n_assoc then None
-    else
-      match set.(i) with
-      | Some l when l.block = blk ->
-          set.(i) <- None;
-          t.resident <- t.resident - 1;
-          Some (l.state, l.dirty)
-      | Some _ | None -> loop (i + 1)
-  in
-  loop 0
+  let i = probe t blk in
+  if i < 0 then None
+  else begin
+    let l = t.lines.(i) in
+    let r = Some (l.state, l.dirty) in
+    l.block <- absent;
+    t.resident <- t.resident - 1;
+    r
+  end
 
 let flush_all t =
   let acc = ref [] in
   Array.iter
-    (fun set ->
-      Array.iteri
-        (fun i slot ->
-          match slot with
-          | None -> ()
-          | Some l ->
-              acc := (l.block, l.state, l.dirty) :: !acc;
-              set.(i) <- None)
-        set)
-    t.sets;
+    (fun l ->
+      if l.block <> absent then begin
+        acc := (l.block, l.state, l.dirty) :: !acc;
+        l.block <- absent
+      end)
+    t.lines;
   t.resident <- 0;
   !acc
 
 let iter t f =
-  Array.iter
-    (fun set ->
-      Array.iter (function None -> () | Some l -> f l) set)
-    t.sets
+  Array.iter (fun l -> if l.block <> absent then f l) t.lines

@@ -9,7 +9,7 @@
 type coherence = Shared | Exclusive
 
 type line = {
-  block : int;
+  mutable block : int;  (** owned by the cache; never write from outside *)
   mutable state : coherence;
   mutable dirty : bool;
   mutable ready_at : int;  (** virtual time at which the data is usable *)
@@ -33,10 +33,24 @@ val capacity_bytes : t -> int
 
 val find : t -> int -> line option
 (** [find t blk] is the resident line for block [blk], without touching
-    LRU state. *)
+    LRU state. Allocates the [Some]; hot paths should use {!probe}. *)
+
+val probe : t -> int -> int
+(** [probe t blk] is the flat index of the resident line for block [blk],
+    or [-1]. Allocation-free; a per-set MRU memo makes back-to-back probes
+    of the same block O(1). Pass the index to {!line_at} / {!touch_idx}. *)
+
+val line_at : t -> int -> line
+(** [line_at t i] is the line at a flat index returned by {!probe}. The
+    line record is reused across occupants of the way — read its fields
+    immediately, do not retain it across [insert]/[remove]. *)
 
 val touch : t -> int -> unit
 (** [touch t blk] marks block [blk] most recently used (no-op if absent). *)
+
+val touch_idx : t -> int -> unit
+(** [touch_idx t i] marks the line at flat index [i] most recently used,
+    skipping the probe. *)
 
 val insert :
   t -> block:int -> state:coherence -> dirty:bool -> ready_at:int ->

@@ -29,6 +29,27 @@ type outcome = {
   miss : miss_kind option;  (** [None] for hits and directives *)
 }
 
+(** {2 Packed outcomes}
+
+    The hot path returns outcomes as a single immediate int,
+    [(latency lsl 2) lor kind], so a simulated access that hits in the
+    cache allocates nothing. Decode with {!packed_latency} /
+    {!packed_kind}; the kind codes are {!no_miss}, {!read_miss},
+    {!write_miss}, {!write_fault}. *)
+
+val no_miss : int  (** 0 *)
+
+val read_miss : int  (** 1 *)
+
+val write_miss : int  (** 2 *)
+
+val write_fault : int  (** 3 *)
+
+val packed_latency : int -> int
+val packed_kind : int -> int
+
+val outcome_of_packed : int -> outcome
+
 type t
 
 val create :
@@ -44,11 +65,32 @@ val costs : t -> Network.costs
 
 val block_of_addr : t -> int -> int
 
+val read_p : t -> node:int -> addr:int -> now:int -> int
+(** A shared-data load by [node] at virtual time [now]; packed outcome.
+    Cache hits are allocation-free: an index probe with a per-set MRU
+    memo, an in-place LRU touch, and no directory bookkeeping. *)
+
+val write_p : t -> node:int -> addr:int -> now:int -> int
+(** A shared-data store by [node] at virtual time [now]; packed outcome.
+    Exclusive hits are allocation-free like {!read_p}. *)
+
 val read : t -> node:int -> addr:int -> now:int -> outcome
-(** A shared-data load by [node] at virtual time [now]. *)
+(** A shared-data load by [node] at virtual time [now]. Allocating wrapper
+    around {!read_p}. *)
 
 val write : t -> node:int -> addr:int -> now:int -> outcome
-(** A shared-data store by [node] at virtual time [now]. *)
+(** A shared-data store by [node] at virtual time [now]. Allocating
+    wrapper around {!write_p}. *)
+
+(** Latency-only entry points for the CICO directives (directives never
+    miss, so the latency is the whole outcome): *)
+
+val check_out_x_lat : t -> node:int -> addr:int -> now:int -> int
+val check_out_s_lat : t -> node:int -> addr:int -> now:int -> int
+val check_in_lat : t -> node:int -> addr:int -> now:int -> int
+val prefetch_x_lat : t -> node:int -> addr:int -> now:int -> int
+val prefetch_s_lat : t -> node:int -> addr:int -> now:int -> int
+val post_store_lat : t -> node:int -> addr:int -> now:int -> int
 
 val check_out_x : t -> node:int -> addr:int -> now:int -> outcome
 (** Explicit check-out-exclusive of the block containing [addr]. *)

@@ -1,0 +1,165 @@
+(* A packed, growable miss-log buffer.
+
+   The simulation engines append records as flat ints instead of consing a
+   [Event.record list]: a miss is five words, a barrier four, a label four
+   (with the array name interned in a side table). The [held] lock-set of
+   a miss is interned once per lock-set change — the engines keep the
+   current set's id in node state and pass it with every miss — so the
+   per-event cost is bounds-check + five stores, with no allocation except
+   on the amortised buffer doubling.
+
+   Consumers never see the packed form: [to_records] decodes back to the
+   [Event.record] list the epoch splitter, summaries and trace files
+   already understand. *)
+
+(* record tags *)
+let tag_miss = 0
+let tag_barrier = 1
+let tag_label = 2
+
+(* miss kind codes, in Event.miss_kind declaration order *)
+let kind_read = 0
+let kind_write = 1
+let kind_fault = 2
+
+let kind_to_event = function
+  | 0 -> Event.Read_miss
+  | 1 -> Event.Write_miss
+  | _ -> Event.Write_fault
+
+let kind_of_protocol = function
+  | Memsys.Protocol.Read_miss -> kind_read
+  | Memsys.Protocol.Write_miss -> kind_write
+  | Memsys.Protocol.Write_fault -> kind_fault
+
+type t = {
+  mutable data : int array;
+  mutable len : int;  (* words used *)
+  mutable records : int;
+  (* held lock-set interning; id 0 is always the empty set *)
+  held_ids : (int list, int) Hashtbl.t;
+  mutable held_sets : int list array;
+  mutable n_held : int;
+  (* label-name interning *)
+  name_ids : (string, int) Hashtbl.t;
+  mutable names : string array;
+  mutable n_names : int;
+}
+
+let create () =
+  let held_ids = Hashtbl.create 16 in
+  Hashtbl.add held_ids [] 0;
+  {
+    data = Array.make 1024 0;
+    len = 0;
+    records = 0;
+    held_ids;
+    held_sets = Array.make 16 [];
+    n_held = 1;
+    name_ids = Hashtbl.create 16;
+    names = Array.make 16 "";
+    n_names = 0;
+  }
+
+let length t = t.records
+
+let reserve t words =
+  let need = t.len + words in
+  if need > Array.length t.data then begin
+    let grown = Array.make (max need (2 * Array.length t.data)) 0 in
+    Array.blit t.data 0 grown 0 t.len;
+    t.data <- grown
+  end
+
+let empty_held = 0
+
+let intern_held t locks =
+  match Hashtbl.find_opt t.held_ids locks with
+  | Some id -> id
+  | None ->
+      let id = t.n_held in
+      if id >= Array.length t.held_sets then begin
+        let grown = Array.make (2 * Array.length t.held_sets) [] in
+        Array.blit t.held_sets 0 grown 0 t.n_held;
+        t.held_sets <- grown
+      end;
+      t.held_sets.(id) <- locks;
+      t.n_held <- id + 1;
+      Hashtbl.add t.held_ids locks id;
+      id
+
+let intern_name t name =
+  match Hashtbl.find_opt t.name_ids name with
+  | Some id -> id
+  | None ->
+      let id = t.n_names in
+      if id >= Array.length t.names then begin
+        let grown = Array.make (2 * Array.length t.names) "" in
+        Array.blit t.names 0 grown 0 t.n_names;
+        t.names <- grown
+      end;
+      t.names.(id) <- name;
+      t.n_names <- id + 1;
+      Hashtbl.add t.name_ids name id;
+      id
+
+let add_miss t ~node ~pc ~addr ~kind ~held =
+  reserve t 5;
+  let d = t.data and i = t.len in
+  d.(i) <- (tag_miss lsl 2) lor kind;
+  d.(i + 1) <- node;
+  d.(i + 2) <- pc;
+  d.(i + 3) <- addr;
+  d.(i + 4) <- held;
+  t.len <- i + 5;
+  t.records <- t.records + 1
+
+let add_barrier t ~node ~pc ~vt =
+  reserve t 4;
+  let d = t.data and i = t.len in
+  d.(i) <- tag_barrier lsl 2;
+  d.(i + 1) <- node;
+  d.(i + 2) <- pc;
+  d.(i + 3) <- vt;
+  t.len <- i + 4;
+  t.records <- t.records + 1
+
+let add_label t ~name ~lo ~hi =
+  let id = intern_name t name in
+  reserve t 4;
+  let d = t.data and i = t.len in
+  d.(i) <- tag_label lsl 2;
+  d.(i + 1) <- id;
+  d.(i + 2) <- lo;
+  d.(i + 3) <- hi;
+  t.len <- i + 4;
+  t.records <- t.records + 1
+
+let to_records t =
+  let d = t.data in
+  let rec decode i acc =
+    if i >= t.len then List.rev acc
+    else
+      let tag = d.(i) lsr 2 in
+      if tag = tag_miss then
+        decode (i + 5)
+          (Event.Miss
+             {
+               node = d.(i + 1);
+               pc = d.(i + 2);
+               addr = d.(i + 3);
+               kind = kind_to_event (d.(i) land 3);
+               held = t.held_sets.(d.(i + 4));
+             }
+          :: acc)
+      else if tag = tag_barrier then
+        decode (i + 4)
+          (Event.Barrier { bnode = d.(i + 1); bpc = d.(i + 2); vt = d.(i + 3) }
+          :: acc)
+      else
+        decode (i + 4)
+          (Event.Label
+             { name = t.names.(d.(i + 1)); lo = d.(i + 2); hi = d.(i + 3) }
+          :: acc)
+  in
+  decode 0 []

@@ -1,0 +1,42 @@
+(** Packed, growable miss-log buffer for the simulation engines.
+
+    Appending a record writes a handful of ints into a flat growable
+    array — no list cons, no copy of the held lock list — so trace
+    collection stays off the simulation's allocation profile. [held]
+    lock-sets and label names are interned: the engines call
+    {!intern_held} only when a node's lock-set changes (lock/unlock) and
+    pass the resulting id with every miss in between.
+
+    The packed form is private to the writer; {!to_records} decodes the
+    buffer back to the {!Event.record} list that {!Epoch}, {!Summary} and
+    {!Trace_file} consume, preserving append order exactly. *)
+
+type t
+
+val create : unit -> t
+
+val empty_held : int
+(** The interned id of the empty lock-set (a node holding no locks). *)
+
+val intern_held : t -> int list -> int
+(** Intern a held lock-set (innermost lock first) and return its id.
+    Stable: interning the same list again returns the same id. *)
+
+val kind_read : int
+val kind_write : int
+val kind_fault : int
+
+val kind_of_protocol : Memsys.Protocol.miss_kind -> int
+
+val add_miss : t -> node:int -> pc:int -> addr:int -> kind:int -> held:int -> unit
+(** [kind] is one of {!kind_read} / {!kind_write} / {!kind_fault}; [held]
+    an id from {!intern_held}. *)
+
+val add_barrier : t -> node:int -> pc:int -> vt:int -> unit
+val add_label : t -> name:string -> lo:int -> hi:int -> unit
+
+val length : t -> int
+(** Number of records appended so far. *)
+
+val to_records : t -> Event.record list
+(** Decode to the classic record list, in append order. *)

@@ -11,20 +11,47 @@ type rt_global = {
   layout : Label.t;
   proto : Memsys.Protocol.t;
   shared : Value.t array;
-  trace_buf : Trace.Event.record list ref;
+  elem_shift : int;  (* log2 elem_size, or -1 if not a power of two *)
+  trace_buf : Trace.Buf.t;
   output_buf : string list ref;
 }
 
 type rt = {
   node : int;
   privates : Value.t array array;  (* indexed by compile-time private id *)
+  lop : int;  (* cost of a local op, lifted out of the machine record *)
+  quantum : int;
   mutable pending : int;
+  mutable base_now : int;  (* cached [Sched.now]; see Interp.nstate *)
   mutable held_locks : int list;
+  mutable held_id : int;
 }
 
-type frame = Value.t array
+let elem_shift_of elem_size =
+  if elem_size > 0 && elem_size land (elem_size - 1) = 0 then begin
+    let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
+    log2 elem_size 0
+  end
+  else -1
+
+let elem_index g addr =
+  if g.elem_shift >= 0 then addr lsr g.elem_shift
+  else addr / g.machine.Machine.elem_size
+
+(* Statically int-typed variables live unboxed in [ints]; everything else
+   is a boxed [Value.t] in [vals]. Which slots are int is decided per
+   procedure by [analyze_int_slots]; an int slot is only ever written
+   from expressions whose value is guaranteed [Value.Vint], so the two
+   representations never disagree. *)
+type frame = { vals : Value.t array; ints : int array }
+
+let make_frame nslots =
+  { vals = Array.make (max 1 nslots) Value.zero;
+    ints = Array.make (max 1 nslots) 0 }
 
 type cexpr = rt_global -> rt -> frame -> Value.t
+type cint = rt_global -> rt -> frame -> int
+type cbool = rt_global -> rt -> frame -> bool
 type cstmt = rt_global -> rt -> frame -> unit
 
 type cproc = { arity : int; nslots : int; mutable cbody : cstmt }
@@ -34,32 +61,28 @@ type cproc = { arity : int; nslots : int; mutable cbody : cstmt }
 let flush_pending r =
   if r.pending > 0 then begin
     Sched.advance r.pending;
+    r.base_now <- r.base_now + r.pending;
     r.pending <- 0
   end
 
-let charge g r =
-  r.pending <- r.pending + g.machine.Machine.costs.Memsys.Network.local_op
+let charge _g r = r.pending <- r.pending + r.lop
 
-let maybe_yield g r =
-  if r.pending >= g.machine.Machine.quantum then flush_pending r
+let maybe_yield _g r = if r.pending >= r.quantum then flush_pending r
 
-let virtual_now r = Sched.now () + r.pending
+let virtual_now r = r.base_now + r.pending
 
-let record_miss g r ~pc ~addr (o : Memsys.Protocol.outcome) =
-  (match o.Memsys.Protocol.miss with
-  | Some kind when g.machine.Machine.collect_trace ->
-      g.trace_buf :=
-        Trace.Event.Miss
-          {
-            node = r.node;
-            pc;
-            addr;
-            kind = Trace.Event.miss_kind_of_protocol kind;
-            held = r.held_locks;
-          }
-        :: !(g.trace_buf)
-  | Some _ | None -> ());
-  r.pending <- r.pending + o.Memsys.Protocol.latency
+let record_miss g r ~pc ~addr packed =
+  let kind = Memsys.Protocol.packed_kind packed in
+  if kind <> Memsys.Protocol.no_miss && g.machine.Machine.collect_trace then begin
+    let bkind =
+      if kind = Memsys.Protocol.read_miss then Trace.Buf.kind_read
+      else if kind = Memsys.Protocol.write_miss then Trace.Buf.kind_write
+      else Trace.Buf.kind_fault
+    in
+    Trace.Buf.add_miss g.trace_buf ~node:r.node ~pc ~addr ~kind:bkind
+      ~held:r.held_id
+  end;
+  r.pending <- r.pending + Memsys.Protocol.packed_latency packed
 
 (* ---- compile-time environment ---- *)
 
@@ -75,6 +98,7 @@ type cenv = {
   private_ids : (string * int) list;
   (* per-proc, during compilation: *)
   slots : (string, int) Hashtbl.t;
+  islots : (string, bool) Hashtbl.t;  (* slot is statically int-typed *)
   mutable next_slot : int;
 }
 
@@ -109,6 +133,75 @@ let collect_slots env (proc : Ast.proc) =
       | _ -> ())
     probe
 
+(* ---- static int typing ---- *)
+
+(* [true] only if the expression's runtime value is guaranteed to be
+   [Value.Vint] under the current slot typing. Comparisons and boolean
+   operators always produce ints; arithmetic does iff both operands do
+   (matching [Value.arith]'s promotion rule). *)
+let rec expr_is_int env (e : Ast.expr) =
+  match e with
+  | Ast.Eint _ -> true
+  | Ast.Efloat _ -> false
+  | Ast.Evar name -> (
+      match array_ref env name with
+      | Some _ -> false
+      | None ->
+          if Hashtbl.mem env.slots name then
+            Option.value ~default:false (Hashtbl.find_opt env.islots name)
+          else if name = "pid" || name = "nprocs" then true
+          else (
+            match List.assoc_opt name env.consts with
+            | Some (Value.Vint _) -> true
+            | Some (Value.Vfloat _) | None -> false))
+  | Ast.Eindex _ -> false  (* array elements are not statically typed *)
+  | Ast.Ebinop ((Ast.And | Ast.Or), _, _) -> true
+  | Ast.Ebinop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), _, _)
+    -> true
+  | Ast.Ebinop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), a, b) ->
+      expr_is_int env a && expr_is_int env b
+  | Ast.Eunop (Ast.Neg, a) -> expr_is_int env a
+  | Ast.Eunop (Ast.Not, _) -> true
+  | Ast.Ecall ("int", [ _ ]) -> true
+  | Ast.Ecall ("abs", [ a ]) -> expr_is_int env a
+  | Ast.Ecall (("min" | "max"), [ a; b ]) ->
+      expr_is_int env a && expr_is_int env b
+  | Ast.Ecall _ -> false
+
+(* A slot is int-typed iff every write to it (assignment or loop header)
+   is an int-typed expression. Demotions can cascade, so iterate to a
+   fixed point; params arrive as boxed values and stay non-int. *)
+let analyze_int_slots env (proc : Ast.proc) =
+  Hashtbl.reset env.islots;
+  Hashtbl.iter (fun name _ -> Hashtbl.replace env.islots name true) env.slots;
+  List.iter (fun p -> Hashtbl.replace env.islots p false) proc.Ast.params;
+  let probe = { Ast.decls = []; procs = [ proc ] } in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Ast.iter_stmts
+      (fun s ->
+        let demote name is_int =
+          if (not is_int)
+             && Option.value ~default:false (Hashtbl.find_opt env.islots name)
+          then begin
+            Hashtbl.replace env.islots name false;
+            changed := true
+          end
+        in
+        match s.Ast.node with
+        | Ast.Sassign (Ast.Lvar name, e) -> demote name (expr_is_int env e)
+        | Ast.Sfor { var; from_; to_; step; _ } ->
+            demote var
+              (expr_is_int env from_ && expr_is_int env to_
+              && expr_is_int env step)
+        | _ -> ())
+      probe
+  done
+
+let int_slot env name =
+  Option.value ~default:false (Hashtbl.find_opt env.islots name)
+
 (* ---- shared-memory accesses ---- *)
 
 let shared_read g r ~pc (entry : Label.entry) i =
@@ -116,18 +209,22 @@ let shared_read g r ~pc (entry : Label.entry) i =
     error "index %d out of bounds for shared array %s[%d]" i entry.Label.name
       entry.Label.elems;
   let addr = entry.Label.base + (i * entry.Label.elem_size) in
-  let o = Memsys.Protocol.read g.proto ~node:r.node ~addr ~now:(virtual_now r) in
-  record_miss g r ~pc ~addr o;
-  g.shared.(addr / g.machine.Machine.elem_size)
+  let p =
+    Memsys.Protocol.read_p g.proto ~node:r.node ~addr ~now:(virtual_now r)
+  in
+  record_miss g r ~pc ~addr p;
+  g.shared.(elem_index g addr)
 
 let shared_write g r ~pc (entry : Label.entry) i v =
   if i < 0 || i >= entry.Label.elems then
     error "index %d out of bounds for shared array %s[%d]" i entry.Label.name
       entry.Label.elems;
   let addr = entry.Label.base + (i * entry.Label.elem_size) in
-  let o = Memsys.Protocol.write g.proto ~node:r.node ~addr ~now:(virtual_now r) in
-  record_miss g r ~pc ~addr o;
-  g.shared.(addr / g.machine.Machine.elem_size) <- v
+  let p =
+    Memsys.Protocol.write_p g.proto ~node:r.node ~addr ~now:(virtual_now r)
+  in
+  record_miss g r ~pc ~addr p;
+  g.shared.(elem_index g addr) <- v
 
 (* ---- expression compilation ---- *)
 
@@ -146,7 +243,19 @@ let apply_binop op va vb =
   | Ast.Ne -> Value.of_bool (not (Value.equal va vb))
   | Ast.And | Ast.Or -> assert false
 
+(* Int-typed expressions compile to unboxed [cint] closures; everything
+   else boxes as before. Charging is per AST node in evaluation order in
+   both variants, so simulated cycle counts cannot differ. *)
 let rec compile_expr env ~pc (e : Ast.expr) : cexpr =
+  match e with
+  | Ast.Eint _ | Ast.Efloat _ | Ast.Evar _ -> compile_expr_node env ~pc e
+  | _ when expr_is_int env e ->
+      (* box once at the root instead of at every leaf and interior node *)
+      let ci = compile_int env ~pc e in
+      fun g r frame -> Value.Vint (ci g r frame)
+  | _ -> compile_expr_node env ~pc e
+
+and compile_expr_node env ~pc (e : Ast.expr) : cexpr =
   match e with
   | Ast.Eint i ->
       let v = Value.Vint i in
@@ -162,7 +271,9 @@ let rec compile_expr env ~pc (e : Ast.expr) : cexpr =
       | None ->
           if Hashtbl.mem env.slots name then begin
             let i = Hashtbl.find env.slots name in
-            fun g r frame -> charge g r; frame.(i)
+            if int_slot env name then
+              fun g r frame -> charge g r; Value.Vint frame.ints.(i)
+            else fun g r frame -> charge g r; frame.vals.(i)
           end
           else if name = "pid" then fun g r _ -> charge g r; Value.Vint r.node
           else if name = "nprocs" then
@@ -174,17 +285,17 @@ let rec compile_expr env ~pc (e : Ast.expr) : cexpr =
             | Some v -> fun g r _ -> charge g r; v
             | None -> fun _ _ _ -> error "undefined variable %S" name))
   | Ast.Eindex (name, idx) -> (
-      let cidx = compile_expr env ~pc idx in
+      let cidx = compile_index env ~pc idx in
       match array_ref env name with
       | Some (Ashared entry) ->
           fun g r frame ->
             charge g r;
-            let i = Value.to_int (cidx g r frame) in
+            let i = cidx g r frame in
             shared_read g r ~pc entry i
       | Some (Aprivate (id, size)) ->
           fun g r frame ->
             charge g r;
-            let i = Value.to_int (cidx g r frame) in
+            let i = cidx g r frame in
             if i < 0 || i >= size then
               error "index %d out of bounds for private array %s[%d]" i name size;
             let stats = Memsys.Protocol.stats g.proto in
@@ -226,6 +337,144 @@ let rec compile_expr env ~pc (e : Ast.expr) : cexpr =
       fun g r frame ->
         charge g r;
         call g r frame
+
+(* unboxed compilation; precondition: [expr_is_int env e] *)
+and compile_int env ~pc (e : Ast.expr) : cint =
+  match e with
+  | Ast.Eint i -> fun g r _ -> charge g r; i
+  | Ast.Evar name ->
+      if Hashtbl.mem env.slots name then begin
+        let i = Hashtbl.find env.slots name in
+        fun g r frame -> charge g r; frame.ints.(i)
+      end
+      else if name = "pid" then fun g r _ -> charge g r; r.node
+      else if name = "nprocs" then
+        fun g r _ ->
+          charge g r;
+          g.machine.Machine.nodes
+      else (
+        match List.assoc_opt name env.consts with
+        | Some (Value.Vint i) -> fun g r _ -> charge g r; i
+        | Some (Value.Vfloat _) | None -> assert false)
+  | Ast.Ebinop (Ast.And, a, b) ->
+      let ba = compile_bool env ~pc a and bb = compile_bool env ~pc b in
+      fun g r frame ->
+        charge g r;
+        if ba g r frame then if bb g r frame then 1 else 0 else 0
+  | Ast.Ebinop (Ast.Or, a, b) ->
+      let ba = compile_bool env ~pc a and bb = compile_bool env ~pc b in
+      fun g r frame ->
+        charge g r;
+        if ba g r frame then 1 else if bb g r frame then 1 else 0
+  | Ast.Ebinop
+      ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op, a, b) ->
+      if expr_is_int env a && expr_is_int env b then begin
+        let ca = compile_int env ~pc a and cb = compile_int env ~pc b in
+        let cmp : int -> int -> bool =
+          match op with
+          | Ast.Lt -> ( < )
+          | Ast.Le -> ( <= )
+          | Ast.Gt -> ( > )
+          | Ast.Ge -> ( >= )
+          | Ast.Eq -> ( = )
+          | Ast.Ne -> ( <> )
+          | _ -> assert false
+        in
+        fun g r frame ->
+          charge g r;
+          let x = ca g r frame in
+          let y = cb g r frame in
+          if cmp x y then 1 else 0
+      end
+      else begin
+        let ca = compile_expr env ~pc a and cb = compile_expr env ~pc b in
+        let test : Value.t -> Value.t -> bool =
+          match op with
+          | Ast.Lt -> fun va vb -> Value.compare_num va vb < 0
+          | Ast.Le -> fun va vb -> Value.compare_num va vb <= 0
+          | Ast.Gt -> fun va vb -> Value.compare_num va vb > 0
+          | Ast.Ge -> fun va vb -> Value.compare_num va vb >= 0
+          | Ast.Eq -> Value.equal
+          | Ast.Ne -> fun va vb -> not (Value.equal va vb)
+          | _ -> assert false
+        in
+        fun g r frame ->
+          charge g r;
+          let va = ca g r frame in
+          let vb = cb g r frame in
+          if test va vb then 1 else 0
+      end
+  | Ast.Ebinop ((Ast.Add | Ast.Sub | Ast.Mul) as op, a, b) ->
+      let ca = compile_int env ~pc a and cb = compile_int env ~pc b in
+      let f : int -> int -> int =
+        match op with
+        | Ast.Add -> ( + )
+        | Ast.Sub -> ( - )
+        | Ast.Mul -> ( * )
+        | _ -> assert false
+      in
+      fun g r frame ->
+        charge g r;
+        let x = ca g r frame in
+        let y = cb g r frame in
+        f x y
+  | Ast.Ebinop ((Ast.Div | Ast.Mod) as op, a, b) ->
+      let ca = compile_int env ~pc a and cb = compile_int env ~pc b in
+      let is_div = op = Ast.Div in
+      fun g r frame ->
+        charge g r;
+        let x = ca g r frame in
+        let y = cb g r frame in
+        if y = 0 then error "division by zero"
+        else if is_div then x / y
+        else x mod y
+  | Ast.Eunop (Ast.Neg, a) ->
+      let ca = compile_int env ~pc a in
+      fun g r frame ->
+        charge g r;
+        -ca g r frame
+  | Ast.Eunop (Ast.Not, a) ->
+      let ba = compile_bool env ~pc a in
+      fun g r frame ->
+        charge g r;
+        if ba g r frame then 0 else 1
+  | Ast.Ecall ("int", [ a ]) ->
+      let ca = compile_expr env ~pc a in
+      fun g r frame ->
+        charge g r;
+        Value.to_int (ca g r frame)
+  | Ast.Ecall ("abs", [ a ]) ->
+      let ca = compile_int env ~pc a in
+      fun g r frame ->
+        charge g r;
+        abs (ca g r frame)
+  | Ast.Ecall (("min" | "max") as name, [ a; b ]) ->
+      let ca = compile_int env ~pc a and cb = compile_int env ~pc b in
+      let is_min = name = "min" in
+      fun g r frame ->
+        charge g r;
+        let x = ca g r frame in
+        let y = cb g r frame in
+        if is_min then if x <= y then x else y else if x >= y then x else y
+  | Ast.Efloat _ | Ast.Eindex _ | Ast.Ecall _ -> assert false
+
+and compile_bool env ~pc (e : Ast.expr) : cbool =
+  if expr_is_int env e then begin
+    let ci = compile_int env ~pc e in
+    fun g r frame -> ci g r frame <> 0
+  end
+  else begin
+    let ce = compile_expr env ~pc e in
+    fun g r frame -> Value.to_bool (ce g r frame)
+  end
+
+(* array subscripts: unboxed when int-typed, [Value.to_int] otherwise *)
+and compile_index env ~pc (e : Ast.expr) : cint =
+  if expr_is_int env e then compile_int env ~pc e
+  else begin
+    let ce = compile_expr env ~pc e in
+    fun g r frame -> Value.to_int (ce g r frame)
+  end
 
 (* calls in statement position are not charged as an expression node *)
 and compile_call env ~pc name args : cexpr =
@@ -288,8 +537,8 @@ and compile_call env ~pc name args : cexpr =
         if List.length values <> cp.arity then
           error "procedure %S called with %d argument(s), expects %d" name
             (List.length values) cp.arity;
-        let callee = Array.make (max 1 cp.nslots) Value.zero in
-        List.iteri (fun i v -> callee.(i) <- v) values;
+        let callee = make_frame cp.nslots in
+        List.iteri (fun i v -> callee.vals.(i) <- v) values;
         (try
            cp.cbody g r callee;
            Value.zero
@@ -300,12 +549,12 @@ and compile_call env ~pc name args : cexpr =
 let compile_annot env (kind : Ast.annot_kind) arr =
   let directive =
     match kind with
-    | Ast.Check_out_x -> Memsys.Protocol.check_out_x
-    | Ast.Check_out_s -> Memsys.Protocol.check_out_s
-    | Ast.Check_in -> Memsys.Protocol.check_in
-    | Ast.Prefetch_x -> Memsys.Protocol.prefetch_x
-    | Ast.Prefetch_s -> Memsys.Protocol.prefetch_s
-    | Ast.Post_store -> Memsys.Protocol.post_store
+    | Ast.Check_out_x -> Memsys.Protocol.check_out_x_lat
+    | Ast.Check_out_s -> Memsys.Protocol.check_out_s_lat
+    | Ast.Check_in -> Memsys.Protocol.check_in_lat
+    | Ast.Prefetch_x -> Memsys.Protocol.prefetch_x_lat
+    | Ast.Prefetch_s -> Memsys.Protocol.prefetch_s_lat
+    | Ast.Post_store -> Memsys.Protocol.post_store_lat
   in
   let is_prefetch = kind = Ast.Prefetch_x || kind = Ast.Prefetch_s in
   match array_ref env arr with
@@ -332,11 +581,11 @@ let compile_annot env (kind : Ast.annot_kind) arr =
                           let addr =
                             Memsys.Block.base_addr ~block_size blk
                           in
-                          let o =
+                          let lat =
                             directive g.proto ~node:r.node ~addr
                               ~now:(virtual_now r)
                           in
-                          r.pending <- r.pending + o.Memsys.Protocol.latency)
+                          r.pending <- r.pending + lat)
                         (Memsys.Block.blocks_of_range ~block_size ~lo:lo_addr
                            ~hi:hi_addr))
                   ranges)
@@ -348,22 +597,28 @@ let rec compile_stmt env (s : Ast.stmt) : cstmt =
   let body : cstmt =
     match s.Ast.node with
     | Ast.Sassign (Ast.Lvar name, e) ->
-        let ce = compile_expr env ~pc e in
         let i = slot_of env name in
-        fun g r frame -> frame.(i) <- ce g r frame
+        if int_slot env name then begin
+          let ci = compile_int env ~pc e in
+          fun g r frame -> frame.ints.(i) <- ci g r frame
+        end
+        else begin
+          let ce = compile_expr env ~pc e in
+          fun g r frame -> frame.vals.(i) <- ce g r frame
+        end
     | Ast.Sassign (Ast.Lindex (name, idx), e) -> (
         let ce = compile_expr env ~pc e in
-        let cidx = compile_expr env ~pc idx in
+        let cidx = compile_index env ~pc idx in
         match array_ref env name with
         | Some (Ashared entry) ->
             fun g r frame ->
               let v = ce g r frame in
-              let i = Value.to_int (cidx g r frame) in
+              let i = cidx g r frame in
               shared_write g r ~pc entry i v
         | Some (Aprivate (id, size)) ->
             fun g r frame ->
               let v = ce g r frame in
-              let i = Value.to_int (cidx g r frame) in
+              let i = cidx g r frame in
               if i < 0 || i >= size then
                 error "index %d out of bounds for private array %s[%d]" i name
                   size;
@@ -373,44 +628,68 @@ let rec compile_stmt env (s : Ast.stmt) : cstmt =
               r.privates.(id).(i) <- v
         | None -> fun _ _ _ -> error "assignment to non-array %S" name)
     | Ast.Sif (cond, b1, b2) ->
-        let cc = compile_expr env ~pc cond in
+        let cc = compile_bool env ~pc cond in
         let cb1 = compile_block env b1 and cb2 = compile_block env b2 in
         fun g r frame ->
-          if Value.to_bool (cc g r frame) then cb1 g r frame else cb2 g r frame
+          if cc g r frame then cb1 g r frame else cb2 g r frame
     | Ast.Sfor { var; from_; to_; step; body } ->
-        let cfrom = compile_expr env ~pc from_ in
-        let cto = compile_expr env ~pc to_ in
-        let cstep = compile_expr env ~pc step in
         let slot = slot_of env var in
         let cbody = compile_block env body in
-        fun g r frame ->
-          let lo = cfrom g r frame in
-          let hi = cto g r frame in
-          let st = cstep g r frame in
-          let stf = Value.to_float st in
-          if stf = 0.0 then error "loop step is zero";
-          let continues v =
-            if stf > 0.0 then Value.compare_num v hi <= 0
-            else Value.compare_num v hi >= 0
-          in
-          let cur = ref lo in
-          while continues !cur do
-            frame.(slot) <- !cur;
-            cbody g r frame;
-            r.pending <- r.pending + 1;
-            cur := Value.add !cur st
-          done
+        if
+          int_slot env var && expr_is_int env from_ && expr_is_int env to_
+          && expr_is_int env step
+        then begin
+          (* the allocation-free common case: unboxed counter and bounds *)
+          let cfrom = compile_int env ~pc from_ in
+          let cto = compile_int env ~pc to_ in
+          let cstep = compile_int env ~pc step in
+          fun g r frame ->
+            let lo = cfrom g r frame in
+            let hi = cto g r frame in
+            let st = cstep g r frame in
+            if st = 0 then error "loop step is zero";
+            let cur = ref lo in
+            while if st > 0 then !cur <= hi else !cur >= hi do
+              frame.ints.(slot) <- !cur;
+              cbody g r frame;
+              r.pending <- r.pending + 1;
+              cur := !cur + st
+            done
+        end
+        else begin
+          let cfrom = compile_expr env ~pc from_ in
+          let cto = compile_expr env ~pc to_ in
+          let cstep = compile_expr env ~pc step in
+          fun g r frame ->
+            let lo = cfrom g r frame in
+            let hi = cto g r frame in
+            let st = cstep g r frame in
+            let stf = Value.to_float st in
+            if stf = 0.0 then error "loop step is zero";
+            let continues v =
+              if stf > 0.0 then Value.compare_num v hi <= 0
+              else Value.compare_num v hi >= 0
+            in
+            let cur = ref lo in
+            while continues !cur do
+              frame.vals.(slot) <- !cur;
+              cbody g r frame;
+              r.pending <- r.pending + 1;
+              cur := Value.add !cur st
+            done
+        end
     | Ast.Swhile (cond, body) ->
-        let cc = compile_expr env ~pc cond in
+        let cc = compile_bool env ~pc cond in
         let cbody = compile_block env body in
         fun g r frame ->
-          while Value.to_bool (cc g r frame) do
+          while cc g r frame do
             cbody g r frame
           done
     | Ast.Sbarrier ->
         fun _ r _ ->
           flush_pending r;
-          Sched.barrier_sync ~pc
+          Sched.barrier_sync ~pc;
+          r.base_now <- Sched.now ()
     | Ast.Scall (name, args) ->
         let call = compile_call env ~pc name args in
         fun g r frame -> ignore (call g r frame)
@@ -419,27 +698,33 @@ let rec compile_stmt env (s : Ast.stmt) : cstmt =
         let ce = compile_expr env ~pc e in
         fun g r frame -> raise (Returning (Some (ce g r frame)))
     | Ast.Slock e ->
-        let ce = compile_expr env ~pc e in
+        let ce = compile_index env ~pc e in
         fun g r frame ->
-          let l = Value.to_int (ce g r frame) in
+          let l = ce g r frame in
           flush_pending r;
           Sched.lock_acquire l;
-          r.held_locks <- l :: r.held_locks
+          r.base_now <- Sched.now ();
+          r.held_locks <- l :: r.held_locks;
+          if g.machine.Machine.collect_trace then
+            r.held_id <- Trace.Buf.intern_held g.trace_buf r.held_locks
     | Ast.Sunlock e ->
-        let ce = compile_expr env ~pc e in
+        let ce = compile_index env ~pc e in
         fun g r frame ->
-          let l = Value.to_int (ce g r frame) in
-          r.held_locks <- List.filter (fun h -> h <> l) r.held_locks;
+          let l = ce g r frame in
+          r.held_locks <- Interp.remove_lock l r.held_locks;
+          if g.machine.Machine.collect_trace then
+            r.held_id <- Trace.Buf.intern_held g.trace_buf r.held_locks;
           flush_pending r;
-          Sched.lock_release l
+          Sched.lock_release l;
+          r.base_now <- Sched.now ()
     | Ast.Sannot (kind, { arr; lo; hi }) -> (
-        let clo = compile_expr env ~pc lo in
-        let chi = compile_expr env ~pc hi in
+        let clo = compile_index env ~pc lo in
+        let chi = compile_index env ~pc hi in
         match compile_annot env kind arr with
         | Some exec ->
             fun g r frame ->
-              let lo_i = Value.to_int (clo g r frame) in
-              let hi_i = Value.to_int (chi g r frame) in
+              let lo_i = clo g r frame in
+              let hi_i = chi g r frame in
               exec g r [ (lo_i, hi_i) ]
         | None -> fun _ _ _ -> error "annotation on unknown shared array %S" arr)
     | Ast.Sannot_table { akind; aarr; aranges } -> (
@@ -494,6 +779,7 @@ let compile ~machine program =
       procs = Hashtbl.create 16;
       private_ids = List.mapi (fun i (name, _) -> (name, i)) info.Sema.privates;
       slots = Hashtbl.create 16;
+      islots = Hashtbl.create 16;
       next_slot = 0;
     }
   in
@@ -510,6 +796,7 @@ let compile ~machine program =
   List.iter
     (fun (p : Ast.proc) ->
       collect_slots env p;
+      analyze_int_slots env p;
       let cbody = compile_block env p.Ast.body in
       let cp = Hashtbl.find env.procs p.Ast.pname in
       cp.cbody <- cbody;
@@ -534,15 +821,15 @@ let run ~machine program =
       layout;
       proto;
       shared = Array.make (max 1 total_elems) Value.zero;
-      trace_buf = ref [];
+      elem_shift = elem_shift_of machine.Machine.elem_size;
+      trace_buf = Trace.Buf.create ();
       output_buf = ref [];
     }
   in
   if machine.Machine.collect_trace then
-    g.trace_buf :=
-      List.rev_map
-        (fun (name, lo, hi) -> Trace.Event.Label { name; lo; hi })
-        (Label.to_label_records layout);
+    List.iter
+      (fun (name, lo, hi) -> Trace.Buf.add_label g.trace_buf ~name ~lo ~hi)
+      (Label.to_label_records layout);
   let stats = Memsys.Protocol.stats proto in
   let on_barrier ~vt ~arrivals =
     stats.Memsys.Stats.barriers <- stats.Memsys.Stats.barriers + 1;
@@ -553,8 +840,7 @@ let run ~machine program =
     if machine.Machine.collect_trace then
       List.iter
         (fun (node, bpc) ->
-          g.trace_buf :=
-            Trace.Event.Barrier { bnode = node; bpc; vt } :: !(g.trace_buf))
+          Trace.Buf.add_barrier g.trace_buf ~node ~pc:bpc ~vt)
         arrivals
   in
   let on_lock_acquire ~node:_ ~lock:_ =
@@ -573,11 +859,15 @@ let run ~machine program =
           Array.of_list
             (List.map (fun (_, elems) -> Array.make elems Value.zero)
                info.Sema.privates);
+        lop = machine.Machine.costs.Memsys.Network.local_op;
+        quantum = machine.Machine.quantum;
         pending = 0;
+        base_now = 0;
         held_locks = [];
+        held_id = Trace.Buf.empty_held;
       }
     in
-    let frame = Array.make (max 1 main.nslots) Value.zero in
+    let frame = make_frame main.nslots in
     (try main.cbody g r frame with Returning _ -> ());
     flush_pending r
   in
@@ -595,7 +885,7 @@ let run ~machine program =
   {
     Interp.time;
     stats;
-    trace = List.rev !(g.trace_buf);
+    trace = Trace.Buf.to_records g.trace_buf;
     output = List.rev !(g.output_buf);
     shared = g.shared;
     layout;

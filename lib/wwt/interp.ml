@@ -31,7 +31,7 @@ type gstate = {
   layout : Label.t;
   proto : Memsys.Protocol.t;
   shared : Value.t array;
-  trace_buf : Trace.Event.record list ref;  (* reversed *)
+  trace_buf : Trace.Buf.t;  (* packed miss log *)
   output_buf : string list ref;  (* reversed *)
   consts : (string, Value.t) Hashtbl.t;
   procs : (string, Ast.proc) Hashtbl.t;
@@ -41,12 +41,27 @@ type nstate = {
   node : int;
   privates : (string, Value.t array) Hashtbl.t;
   mutable pending : int;  (* local cycles not yet surrendered to the DES *)
+  mutable base_now : int;  (* cached [Sched.now]; refreshed after every
+                              effect that can move this node's clock, so
+                              the per-access virtual time needs no effect
+                              perform *)
   mutable held_locks : int list;  (* innermost first *)
+  mutable held_id : int;  (* interned id of [held_locks] in the trace
+                             buffer; maintained only when tracing *)
 }
+
+(* Remove the innermost occurrence of [l] only, so a nested re-acquire of
+   the same lock stays in the held set until its outer release. *)
+let rec remove_lock l = function
+  | [] -> []
+  | h :: t -> if h = l then t else h :: remove_lock l t
 
 let flush_pending n =
   if n.pending > 0 then begin
     Sched.advance n.pending;
+    (* clock moved by exactly [pending]; keep the cache without a
+       [Sched.now] perform *)
+    n.base_now <- n.base_now + n.pending;
     n.pending <- 0
   end
 
@@ -62,23 +77,20 @@ let local_cost _g n c = n.pending <- n.pending + c
 let maybe_yield g n =
   if n.pending >= g.machine.Machine.quantum then flush_pending n
 
-let virtual_now n = Sched.now () + n.pending
+let virtual_now n = n.base_now + n.pending
 
-let record_miss g n ~pc ~addr outcome =
-  (match outcome.Memsys.Protocol.miss with
-  | Some kind when g.machine.Machine.collect_trace ->
-      g.trace_buf :=
-        Trace.Event.Miss
-          {
-            node = n.node;
-            pc;
-            addr;
-            kind = Trace.Event.miss_kind_of_protocol kind;
-            held = n.held_locks;
-          }
-        :: !(g.trace_buf)
-  | Some _ | None -> ());
-  local_cost g n outcome.Memsys.Protocol.latency
+let record_miss g n ~pc ~addr packed =
+  let kind = Memsys.Protocol.packed_kind packed in
+  if kind <> Memsys.Protocol.no_miss && g.machine.Machine.collect_trace then begin
+    let bkind =
+      if kind = Memsys.Protocol.read_miss then Trace.Buf.kind_read
+      else if kind = Memsys.Protocol.write_miss then Trace.Buf.kind_write
+      else Trace.Buf.kind_fault
+    in
+    Trace.Buf.add_miss g.trace_buf ~node:n.node ~pc ~addr ~kind:bkind
+      ~held:n.held_id
+  end;
+  local_cost g n (Memsys.Protocol.packed_latency packed)
 
 let elem_addr arr_entry i =
   let open Label in
@@ -89,14 +101,18 @@ let elem_addr arr_entry i =
 
 let shared_read g n ~pc entry i =
   let addr = elem_addr entry i in
-  let o = Memsys.Protocol.read g.proto ~node:n.node ~addr ~now:(virtual_now n) in
-  record_miss g n ~pc ~addr o;
+  let p =
+    Memsys.Protocol.read_p g.proto ~node:n.node ~addr ~now:(virtual_now n)
+  in
+  record_miss g n ~pc ~addr p;
   g.shared.(addr / g.machine.Machine.elem_size)
 
 let shared_write g n ~pc entry i v =
   let addr = elem_addr entry i in
-  let o = Memsys.Protocol.write g.proto ~node:n.node ~addr ~now:(virtual_now n) in
-  record_miss g n ~pc ~addr o;
+  let p =
+    Memsys.Protocol.write_p g.proto ~node:n.node ~addr ~now:(virtual_now n)
+  in
+  record_miss g n ~pc ~addr p;
   g.shared.(addr / g.machine.Machine.elem_size) <- v
 
 let private_array n name =
@@ -294,7 +310,8 @@ and exec_stmt g n frame (s : Ast.stmt) =
       done
   | Ast.Sbarrier ->
       flush_pending n;
-      Sched.barrier_sync ~pc
+      Sched.barrier_sync ~pc;
+      n.base_now <- Sched.now ()
   | Ast.Scall (name, args) -> ignore (eval_call g n frame ~pc name args)
   | Ast.Sreturn e ->
       let v = Option.map (eval g n frame ~pc) e in
@@ -303,12 +320,18 @@ and exec_stmt g n frame (s : Ast.stmt) =
       let l = Value.to_int (eval g n frame ~pc e) in
       flush_pending n;
       Sched.lock_acquire l;
-      n.held_locks <- l :: n.held_locks
+      n.base_now <- Sched.now ();
+      n.held_locks <- l :: n.held_locks;
+      if g.machine.Machine.collect_trace then
+        n.held_id <- Trace.Buf.intern_held g.trace_buf n.held_locks
   | Ast.Sunlock e ->
       let l = Value.to_int (eval g n frame ~pc e) in
-      n.held_locks <- List.filter (fun h -> h <> l) n.held_locks;
+      n.held_locks <- remove_lock l n.held_locks;
+      if g.machine.Machine.collect_trace then
+        n.held_id <- Trace.Buf.intern_held g.trace_buf n.held_locks;
       flush_pending n;
-      Sched.lock_release l
+      Sched.lock_release l;
+      n.base_now <- Sched.now ()
   | Ast.Sannot (kind, { arr; lo; hi }) ->
       let lo_i = Value.to_int (eval g n frame ~pc lo) in
       let hi_i = Value.to_int (eval g n frame ~pc hi) in
@@ -347,12 +370,12 @@ and exec_annot g n kind arr ranges =
             let block_size = g.machine.Machine.block_size in
             let directive =
               match kind with
-              | Ast.Check_out_x -> Memsys.Protocol.check_out_x
-              | Ast.Check_out_s -> Memsys.Protocol.check_out_s
-              | Ast.Check_in -> Memsys.Protocol.check_in
-              | Ast.Prefetch_x -> Memsys.Protocol.prefetch_x
-              | Ast.Prefetch_s -> Memsys.Protocol.prefetch_s
-              | Ast.Post_store -> Memsys.Protocol.post_store
+              | Ast.Check_out_x -> Memsys.Protocol.check_out_x_lat
+              | Ast.Check_out_s -> Memsys.Protocol.check_out_s_lat
+              | Ast.Check_in -> Memsys.Protocol.check_in_lat
+              | Ast.Prefetch_x -> Memsys.Protocol.prefetch_x_lat
+              | Ast.Prefetch_s -> Memsys.Protocol.prefetch_s_lat
+              | Ast.Post_store -> Memsys.Protocol.post_store_lat
             in
             List.iter
               (fun (lo_i, hi_i) ->
@@ -366,11 +389,11 @@ and exec_annot g n kind arr ranges =
                   List.iter
                     (fun blk ->
                       let addr = Memsys.Block.base_addr ~block_size blk in
-                      let o =
+                      let lat =
                         directive g.proto ~node:n.node ~addr
                           ~now:(virtual_now n)
                       in
-                      local_cost g n o.Memsys.Protocol.latency)
+                      local_cost g n lat)
                     (Memsys.Block.blocks_of_range ~block_size ~lo:lo_addr
                        ~hi:hi_addr)
                 end)
@@ -398,7 +421,7 @@ let run ~machine program =
       layout;
       proto;
       shared = Array.make (max 1 total_elems) Value.zero;
-      trace_buf = ref [];
+      trace_buf = Trace.Buf.create ();
       output_buf = ref [];
       consts = Hashtbl.create 16;
       procs = Hashtbl.create 16;
@@ -407,10 +430,9 @@ let run ~machine program =
   List.iter (fun (name, v) -> Hashtbl.replace g.consts name v) info.Sema.consts;
   List.iter (fun (p : Ast.proc) -> Hashtbl.replace g.procs p.pname p) program.Ast.procs;
   if machine.Machine.collect_trace then
-    g.trace_buf :=
-      List.rev_map
-        (fun (name, lo, hi) -> Trace.Event.Label { name; lo; hi })
-        (Label.to_label_records layout);
+    List.iter
+      (fun (name, lo, hi) -> Trace.Buf.add_label g.trace_buf ~name ~lo ~hi)
+      (Label.to_label_records layout);
   let stats = Memsys.Protocol.stats proto in
   let on_barrier ~vt ~arrivals =
     stats.Memsys.Stats.barriers <- stats.Memsys.Stats.barriers + 1;
@@ -420,9 +442,7 @@ let run ~machine program =
       done;
     if machine.Machine.collect_trace then
       List.iter
-        (fun (node, pc) ->
-          g.trace_buf :=
-            Trace.Event.Barrier { bnode = node; bpc = pc; vt } :: !(g.trace_buf))
+        (fun (node, pc) -> Trace.Buf.add_barrier g.trace_buf ~node ~pc ~vt)
         arrivals
   in
   let on_lock_acquire ~node:_ ~lock:_ =
@@ -435,7 +455,14 @@ let run ~machine program =
   in
   let body node =
     let n =
-      { node; privates = Hashtbl.create 8; pending = 0; held_locks = [] }
+      {
+        node;
+        privates = Hashtbl.create 8;
+        pending = 0;
+        base_now = 0;
+        held_locks = [];
+        held_id = Trace.Buf.empty_held;
+      }
     in
     List.iter
       (fun (name, elems) ->
@@ -458,7 +485,7 @@ let run ~machine program =
   {
     time;
     stats;
-    trace = List.rev !(g.trace_buf);
+    trace = Trace.Buf.to_records g.trace_buf;
     output = List.rev !(g.output_buf);
     shared = g.shared;
     layout;

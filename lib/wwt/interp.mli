@@ -32,3 +32,8 @@ val shared_value : outcome -> string -> int -> Lang.Value.t
 val noise : int -> float
 (** The deterministic [noise] intrinsic: a splitmix64-style hash of the
     argument mapped to [0, 1). Exposed for tests and workload builders. *)
+
+val remove_lock : int -> int list -> int list
+(** Remove the innermost occurrence (only) of a lock from a held-lock
+    list, preserving outer holds of a reentrantly-acquired lock. Shared
+    with {!Compile} so both engines age lock-sets identically. *)

@@ -1,0 +1,54 @@
+(* A small fork-join pool over OCaml 5 domains.
+
+   Each simulation owns its whole mutable world — Protocol, caches,
+   scheduler run state, trace buffer — so independent (benchmark ×
+   variant) runs parallelise with no shared mutation beyond the work
+   queue index and the per-slot result writes, which are disjoint. *)
+
+let env_var = "CACHIER_BENCH_JOBS"
+
+let default_jobs () =
+  match Sys.getenv_opt env_var with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | Some _ | None ->
+          invalid_arg (Printf.sprintf "%s must be a positive integer" env_var))
+  | None -> Domain.recommended_domain_count ()
+
+let map ?jobs f items =
+  let jobs = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if jobs <= 1 || n <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let first_error = Atomic.make None in
+    let next = Atomic.make 0 in
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        (match Atomic.get first_error with
+        | Some _ -> ()  (* bail out; a sibling already failed *)
+        | None -> (
+            try results.(i) <- Some (f arr.(i))
+            with e ->
+              let bt = Printexc.get_raw_backtrace () in
+              ignore
+                (Atomic.compare_and_set first_error None (Some (e, bt)))));
+        worker ()
+      end
+    in
+    let helpers =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join helpers;
+    (match Atomic.get first_error with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some v -> v | None -> assert false (* all slots ran *))
+         results)
+  end

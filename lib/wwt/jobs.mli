@@ -1,0 +1,24 @@
+(** Fork-join fan-out of independent simulations over OCaml 5 domains.
+
+    Every simulation run builds its own protocol, scheduler and trace
+    state, so (benchmark × variant) experiments are embarrassingly
+    parallel; this pool spreads them across cores while keeping results
+    in input order, so harness output stays deterministic. *)
+
+val env_var : string
+(** ["CACHIER_BENCH_JOBS"]. *)
+
+val default_jobs : unit -> int
+(** The [CACHIER_BENCH_JOBS] environment variable if set, otherwise
+    [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if the variable is set but not a positive
+    integer. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item, running up to [jobs]
+    applications concurrently on separate domains ([default_jobs ()] when
+    omitted), and returns the results in input order. With [jobs = 1] (or
+    a single item) it degrades to plain [List.map] on the calling domain.
+    If any application raises, the first exception (in completion order)
+    is re-raised after all workers drain; remaining unstarted items are
+    skipped. [f] must not perform effects handled outside [map]. *)

@@ -30,10 +30,15 @@ let run cfg body =
   let clock = Array.make cfg.nodes 0 in
   let ready : (unit -> unit) Pqueue.t = Pqueue.create () in
   let finished = ref 0 in
+  (* Consecutive direct resumes since the last trip through [drain]; each
+     one leaves a live handler frame on the native stack, so bound them. *)
+  let fast_depth = ref 0 in
   (* Barrier bookkeeping: (node, pc, resume) until all nodes arrive. *)
   let barrier_waiters : (int * int * (unit -> unit)) list ref = ref [] in
-  (* Lock bookkeeping: owner per lock plus FIFO waiter queues. *)
-  let lock_owner : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  (* Lock bookkeeping: (owner, recursion depth) per lock plus FIFO waiter
+     queues. Locks are reentrant: the owner may re-acquire, which nests
+     without a transfer and releases outermost-last. *)
+  let lock_state : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
   let lock_waiters : (int, waiting_lock Queue.t) Hashtbl.t = Hashtbl.create 8 in
   let release_barrier () =
     let waiters = List.rev !barrier_waiters in
@@ -65,8 +70,23 @@ let run cfg body =
                 Some
                   (fun (k : (a, unit) continuation) ->
                     clock.(node) <- clock.(node) + n;
-                    Pqueue.push ready ~prio:clock.(node) (fun () ->
-                        continue k ()))
+                    (* Fast path: when every other runnable fiber is
+                       strictly later, parking would be popped right back
+                       (pops have no side effects of their own), so resume
+                       directly and skip the queue round-trip. Ties must
+                       park: equal-priority pops are FIFO. *)
+                    let parked_first =
+                      match Pqueue.peek_prio ready with
+                      | Some p -> p <= clock.(node)
+                      | None -> false
+                    in
+                    if parked_first || !fast_depth > 500 then
+                      Pqueue.push ready ~prio:clock.(node) (fun () ->
+                          continue k ())
+                    else begin
+                      incr fast_depth;
+                      continue k ()
+                    end)
             | Barrier_sync pc ->
                 Some
                   (fun (k : (a, unit) continuation) ->
@@ -77,42 +97,56 @@ let run cfg body =
             | Lock_acquire l ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    if Hashtbl.mem lock_owner l then begin
-                      let q =
-                        match Hashtbl.find_opt lock_waiters l with
-                        | Some q -> q
-                        | None ->
-                            let q = Queue.create () in
-                            Hashtbl.add lock_waiters l q;
-                            q
-                      in
-                      Queue.add { wnode = node; resume = (fun () -> continue k ()) } q
-                    end
-                    else begin
-                      Hashtbl.add lock_owner l node;
-                      cfg.on_lock_acquire ~node ~lock:l;
-                      clock.(node) <- clock.(node) + cfg.lock_transfer;
-                      Pqueue.push ready ~prio:clock.(node) (fun () -> continue k ())
-                    end)
+                    match Hashtbl.find_opt lock_state l with
+                    | Some (owner, depth) when owner = node ->
+                        (* reentrant re-acquire: already local, no transfer *)
+                        Hashtbl.replace lock_state l (owner, depth + 1);
+                        cfg.on_lock_acquire ~node ~lock:l;
+                        Pqueue.push ready ~prio:clock.(node) (fun () ->
+                            continue k ())
+                    | Some _ ->
+                        let q =
+                          match Hashtbl.find_opt lock_waiters l with
+                          | Some q -> q
+                          | None ->
+                              let q = Queue.create () in
+                              Hashtbl.add lock_waiters l q;
+                              q
+                        in
+                        Queue.add
+                          { wnode = node; resume = (fun () -> continue k ()) }
+                          q
+                    | None ->
+                        Hashtbl.add lock_state l (node, 1);
+                        cfg.on_lock_acquire ~node ~lock:l;
+                        clock.(node) <- clock.(node) + cfg.lock_transfer;
+                        Pqueue.push ready ~prio:clock.(node) (fun () ->
+                            continue k ()))
             | Lock_release l ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    (match Hashtbl.find_opt lock_owner l with
-                    | Some owner when owner = node -> Hashtbl.remove lock_owner l
+                    (match Hashtbl.find_opt lock_state l with
+                    | Some (owner, depth) when owner = node ->
+                        if depth > 1 then
+                          Hashtbl.replace lock_state l (owner, depth - 1)
+                        else begin
+                          Hashtbl.remove lock_state l;
+                          match Hashtbl.find_opt lock_waiters l with
+                          | Some q when not (Queue.is_empty q) ->
+                              let w = Queue.take q in
+                              Hashtbl.add lock_state l (w.wnode, 1);
+                              cfg.on_lock_acquire ~node:w.wnode ~lock:l;
+                              clock.(w.wnode) <-
+                                max clock.(w.wnode) clock.(node)
+                                + cfg.lock_transfer;
+                              Pqueue.push ready ~prio:clock.(w.wnode) w.resume
+                          | Some _ | None -> ()
+                        end
                     | Some _ | None ->
                         raise (Deadlock
                                  (Printf.sprintf
                                     "node %d releases lock %d it does not hold"
                                     node l)));
-                    (match Hashtbl.find_opt lock_waiters l with
-                    | Some q when not (Queue.is_empty q) ->
-                        let w = Queue.take q in
-                        Hashtbl.add lock_owner l w.wnode;
-                        cfg.on_lock_acquire ~node:w.wnode ~lock:l;
-                        clock.(w.wnode) <-
-                          max clock.(w.wnode) clock.(node) + cfg.lock_transfer;
-                        Pqueue.push ready ~prio:clock.(w.wnode) w.resume
-                    | Some _ | None -> ());
                     Pqueue.push ready ~prio:clock.(node) (fun () -> continue k ()))
             | _ -> None);
       }
@@ -123,6 +157,7 @@ let run cfg body =
   let rec drain () =
     match Pqueue.pop ready with
     | Some (_, resume) ->
+        fast_depth := 0;
         resume ();
         drain ()
     | None -> ()

@@ -6,7 +6,10 @@
     discrete-event interleaving. Barriers synchronise all nodes: when the
     last fiber arrives, every clock is set to the maximum plus the barrier
     cost and the [on_barrier] hook runs (the interpreter uses it to flush
-    caches and emit trace records). Queued locks hand over FIFO. *)
+    caches and emit trace records). Queued locks hand over FIFO; locks are
+    reentrant — the holder may nest re-acquires (each counted by
+    [on_lock_acquire] but paying no transfer) and the lock hands over only
+    when the outermost hold is released. *)
 
 exception Deadlock of string
 (** Raised when no fiber can make progress (e.g. a node exits without

@@ -1,0 +1,98 @@
+(* Whole-suite engine equivalence: every benchmark program in
+   Benchmarks.Suite must behave identically under the tree-walking and
+   the closure-compiling engine, in both trace and performance modes —
+   same simulated time, statistics, printed output, final memory and
+   decoded trace. This is the end-to-end guard for the packed trace
+   buffer and the option-free protocol fast path, which both engines
+   share.
+
+   Also the regression test for the Sunlock held-list bug: releasing a
+   reentrantly-held lock must drop only the innermost hold, so misses
+   recorded after the inner unlock still carry the outer lock. *)
+
+let nodes = 4
+let machine = { Wwt.Machine.default with Wwt.Machine.nodes }
+
+let stats_equal (a : Memsys.Stats.t) (b : Memsys.Stats.t) = a = b
+
+let check_same name (a : Wwt.Interp.outcome) (b : Wwt.Interp.outcome) =
+  Alcotest.(check int) (name ^ ": time") a.Wwt.Interp.time b.Wwt.Interp.time;
+  Alcotest.(check bool) (name ^ ": stats") true
+    (stats_equal a.Wwt.Interp.stats b.Wwt.Interp.stats);
+  Alcotest.(check bool) (name ^ ": trace") true
+    (a.Wwt.Interp.trace = b.Wwt.Interp.trace);
+  Alcotest.(check bool) (name ^ ": output") true
+    (a.Wwt.Interp.output = b.Wwt.Interp.output);
+  Alcotest.(check bool) (name ^ ": memory") true
+    (a.Wwt.Interp.shared = b.Wwt.Interp.shared)
+
+let suite_equivalence () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Lang.Parser.parse b.Benchmarks.Suite.source in
+      let name = b.Benchmarks.Suite.name in
+      check_same (name ^ "/trace")
+        (Wwt.Run.collect_trace ~engine:Wwt.Run.Tree_walk ~machine prog)
+        (Wwt.Run.collect_trace ~engine:Wwt.Run.Compiled ~machine prog);
+      check_same (name ^ "/perf")
+        (Wwt.Run.measure ~engine:Wwt.Run.Tree_walk ~machine
+           ~annotations:false ~prefetch:false prog)
+        (Wwt.Run.measure ~engine:Wwt.Run.Compiled ~machine
+           ~annotations:false ~prefetch:false prog))
+    (Benchmarks.Suite.all ~scale:1.0 ~nodes ())
+
+(* node 0 re-acquires lock 1 while holding it; A[0] and A[32] are in
+   different 32-byte blocks, so both stores miss in trace mode. The miss
+   after the inner unlock must still list the outer hold. *)
+let reentrant_source =
+  {|const N = 64;
+shared A[N];
+proc main() {
+  if (pid == 0) {
+    lock(1);
+    lock(1);
+    A[0] = 1.0;
+    unlock(1);
+    A[32] = 2.0;
+    unlock(1);
+  }
+  barrier;
+}
+|}
+
+let node0_held trace =
+  List.filter_map
+    (function
+      | Trace.Event.Miss m when m.Trace.Event.node = 0 ->
+          Some m.Trace.Event.held
+      | _ -> None)
+    trace
+
+let sunlock_reentrant () =
+  let prog = Lang.Parser.parse reentrant_source in
+  let a = Wwt.Run.collect_trace ~engine:Wwt.Run.Tree_walk ~machine prog in
+  let b = Wwt.Run.collect_trace ~engine:Wwt.Run.Compiled ~machine prog in
+  check_same "reentrant" a b;
+  match node0_held a.Wwt.Interp.trace with
+  | [ inner; outer ] ->
+      Alcotest.(check (list int)) "held inside nested hold" [ 1; 1 ] inner;
+      Alcotest.(check (list int)) "outer hold survives inner unlock" [ 1 ]
+        outer
+  | held ->
+      Alcotest.failf "expected 2 node-0 misses, got %d" (List.length held)
+
+let remove_lock_innermost () =
+  Alcotest.(check (list int)) "innermost only" [ 7; 3 ]
+    (Wwt.Interp.remove_lock 7 [ 7; 7; 3 ]);
+  Alcotest.(check (list int)) "absent lock is a no-op" [ 7; 3 ]
+    (Wwt.Interp.remove_lock 9 [ 7; 3 ]);
+  Alcotest.(check (list int)) "empty" [] (Wwt.Interp.remove_lock 1 [])
+
+let suite =
+  [
+    Alcotest.test_case "suite equivalence (both modes)" `Slow suite_equivalence;
+    Alcotest.test_case "sunlock keeps outer reentrant hold" `Quick
+      sunlock_reentrant;
+    Alcotest.test_case "remove_lock drops innermost occurrence" `Quick
+      remove_lock_innermost;
+  ]
