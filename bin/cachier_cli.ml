@@ -21,9 +21,9 @@ let load_source input nodes =
           Fmt.failwith "unknown benchmark %S (expected one of %s)" name
             (String.concat ", " Benchmarks.Suite.names))
 
-let run input nodes mode prefetch trace_out show_trace_stats measure explain
+let run input machine mode prefetch trace_out show_trace_stats measure explain
     train_seeds =
-  let machine = { Wwt.Machine.default with Wwt.Machine.nodes } in
+  let nodes = machine.Wwt.Machine.nodes in
   let src = load_source input nodes in
   let program = Lang.Parser.parse src in
   ignore (Lang.Sema.check program);
@@ -53,9 +53,7 @@ let run input nodes mode prefetch trace_out show_trace_stats measure explain
           ~seed_const:"SEED" ~seeds program
   in
   print_string (Cachier.Annotate.to_source result);
-  Fmt.epr "@.%d annotation(s) inserted@." result.Cachier.Annotate.n_edits;
-  Fmt.epr "--- report ---@.%s@."
-    (Cachier.Report.to_string result.Cachier.Annotate.report);
+  prerr_string (Service.Oneshot.annotate_summary result);
   if show_trace_stats then
     Fmt.epr "--- trace-run statistics ---@.%a@." Memsys.Stats.pp
       trace_outcome.Wwt.Interp.stats;
@@ -102,10 +100,6 @@ let input =
   in
   Term.(ret (const combine $ file $ bench))
 
-let nodes =
-  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N"
-         ~doc:"Number of simulated processors.")
-
 let mode =
   Arg.(value & opt (enum [ ("performance", `Performance); ("programmer", `Programmer) ])
          `Performance
@@ -139,7 +133,7 @@ let cmd =
   let doc = "automatically insert CICO annotations into shared-memory programs" in
   Cmd.v
     (Cmd.info "cachier" ~doc)
-    Term.(const run $ input $ nodes $ mode $ prefetch $ trace_out $ stats
-          $ measure $ explain $ train_seeds)
+    Term.(const run $ input $ Service.Cli.machine_term $ mode $ prefetch
+          $ trace_out $ stats $ measure $ explain $ train_seeds)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,75 @@
+(* cachierd — the resident annotation service.
+
+   Serves the operations of the one-shot tools (parse, simulate,
+   annotate, race_report, trace_stats) over newline-delimited JSON, on
+   stdio or a Unix-domain socket, with a content-addressed artifact cache
+   so repeated work is answered without re-simulating. See the
+   "Running the service" section of the README for the protocol. *)
+
+let run machine socket budget_mb cache_dir workers capacity =
+  let machine_defaults =
+    {
+      Service.Protocol.nodes = machine.Wwt.Machine.nodes;
+      cache_kb = machine.Wwt.Machine.cache_bytes / 1024;
+      assoc = machine.Wwt.Machine.assoc;
+      block = machine.Wwt.Machine.block_size;
+    }
+  in
+  let config =
+    {
+      Service.Server.machine_defaults;
+      budget_bytes = budget_mb * 1024 * 1024;
+      cache_dir;
+      workers;
+      queue_capacity = capacity;
+    }
+  in
+  let server = Service.Server.create config in
+  Fun.protect
+    ~finally:(fun () -> Service.Server.shutdown server)
+    (fun () ->
+      match socket with
+      | Some path ->
+          Fmt.epr "cachierd: serving on %s (%d workers, %d MB cache)@." path
+            workers budget_mb;
+          Service.Server.serve_socket server ~path
+      | None ->
+          Fmt.epr "cachierd: serving on stdio (%d workers, %d MB cache)@."
+            workers budget_mb;
+          ignore (Service.Server.serve server stdin stdout));
+  0
+
+open Cmdliner
+
+let socket =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Serve on a Unix-domain socket bound at $(docv) instead of \
+               stdio.")
+
+let budget_mb =
+  Arg.(value & opt int 64 & info [ "cache-budget-mb" ] ~docv:"MB"
+         ~doc:"Artifact-cache byte budget; least-recently-used entries are \
+               evicted beyond it.")
+
+let cache_dir =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+         ~doc:"Persist collected traces under $(docv) so the cache is warm \
+               after a restart.")
+
+let workers =
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
+         ~doc:"Worker domains executing requests.")
+
+let capacity =
+  Arg.(value & opt int 64 & info [ "queue-capacity" ] ~docv:"N"
+         ~doc:"Bounded submission queue; beyond it requests are refused \
+               with an $(b,overloaded) error.")
+
+let cmd =
+  let doc = "resident CICO annotation service with an artifact cache" in
+  Cmd.v
+    (Cmd.info "cachierd" ~doc)
+    Term.(const run $ Service.Cli.machine_term $ socket $ budget_mb
+          $ cache_dir $ workers $ capacity)
+
+let () = exit (Cmd.eval' cmd)

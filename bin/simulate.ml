@@ -23,9 +23,7 @@ let simulate_file machine annotations prefetch trace_mode trace_out
     if trace_mode then Wwt.Run.collect_trace ~machine program
     else Wwt.Run.measure ~machine ~annotations ~prefetch program
   in
-  List.iter (fun line -> pr "%s\n" line) outcome.Wwt.Interp.output;
-  pr "execution time: %d cycles\n" outcome.Wwt.Interp.time;
-  pr "%s\n" (Fmt.str "%a" Memsys.Stats.pp outcome.Wwt.Interp.stats);
+  Buffer.add_string buf (Service.Oneshot.simulate_report outcome);
   (match trace_out with
   | Some path ->
       (* with several inputs, write one trace per input *)
@@ -56,17 +54,8 @@ let simulate_file machine annotations prefetch trace_mode trace_out
   end;
   Buffer.contents buf
 
-let run files nodes cache_kb assoc block annotations prefetch trace_mode
-    trace_out print_memory jobs =
-  let machine =
-    {
-      Wwt.Machine.default with
-      Wwt.Machine.nodes;
-      cache_bytes = cache_kb * 1024;
-      assoc;
-      block_size = block;
-    }
-  in
+let run files machine annotations prefetch trace_mode trace_out print_memory
+    jobs =
   let many = List.length files > 1 in
   let reports =
     Wwt.Jobs.map ?jobs
@@ -82,15 +71,6 @@ open Cmdliner
 let files =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
          ~doc:"Program(s) to simulate. Several files fan out across domains.")
-
-let nodes =
-  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Simulated processors.")
-
-let cache_kb =
-  Arg.(value & opt int 16 & info [ "cache-kb" ] ~docv:"KB" ~doc:"Per-node cache size in KB.")
-
-let assoc = Arg.(value & opt int 4 & info [ "assoc" ] ~doc:"Cache associativity.")
-let block = Arg.(value & opt int 32 & info [ "block" ] ~doc:"Cache block size in bytes.")
 
 let annotations =
   Arg.(value & flag & info [ "a"; "annotations" ]
@@ -121,7 +101,7 @@ let cmd =
   let doc = "simulate shared-memory programs on a Dir1SW machine" in
   Cmd.v
     (Cmd.info "simulate" ~doc)
-    Term.(const run $ files $ nodes $ cache_kb $ assoc $ block $ annotations
+    Term.(const run $ files $ Service.Cli.machine_term $ annotations
           $ prefetch $ trace_mode $ trace_out $ print_memory $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,16 +4,20 @@
    check-in/check-out annotations optimise.
 
    The trace can come from `simulate --trace --trace-out FILE` or from
-   `cachier --trace-out FILE`. *)
+   `cachier --trace-out FILE`. A truncated or malformed trace is a
+   diagnostic on stderr and exit code 2, not a backtrace. *)
 
 let run file nodes =
-  let records = Trace.Trace_file.load file in
-  let summary = Trace.Summary.analyze ~nodes ~labels:[] records in
-  print_endline (Trace.Summary.to_string summary);
-  (match Trace.Summary.hottest_region summary with
-  | Some name -> Fmt.pr "@.hottest region: %s@." name
-  | None -> Fmt.pr "@.trace contains no misses@.");
-  0
+  match Trace.Trace_file.load file with
+  | records ->
+      print_string (Service.Oneshot.trace_stats_report ~nodes records);
+      0
+  | exception Failure msg ->
+      Fmt.epr "trace_stats: %s: %s@." file msg;
+      2
+  | exception Sys_error msg ->
+      Fmt.epr "trace_stats: %s@." msg;
+      2
 
 open Cmdliner
 
@@ -21,12 +25,9 @@ let file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
          ~doc:"Trace file to analyse.")
 
-let nodes =
-  Arg.(value & opt int 8 & info [ "n"; "nodes" ] ~docv:"N"
-         ~doc:"Number of nodes the trace was collected on.")
-
 let cmd =
   let doc = "profile an execution trace (per-region, per-epoch, handoffs)" in
-  Cmd.v (Cmd.info "trace_stats" ~doc) Term.(const run $ file $ nodes)
+  Cmd.v (Cmd.info "trace_stats" ~doc)
+    Term.(const run $ file $ Service.Cli.nodes_term)
 
 let () = exit (Cmd.eval' cmd)

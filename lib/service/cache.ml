@@ -1,0 +1,117 @@
+(* LRU over a doubly-linked list threaded through a hashtable's nodes:
+   [first] is most recently used, [last] the eviction candidate. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable nsize : int;
+  mutable prev : 'a node option;  (* towards [first] *)
+  mutable next : 'a node option;  (* towards [last] *)
+}
+
+type 'a t = {
+  mu : Mutex.t;
+  tbl : (string, 'a node) Hashtbl.t;
+  budget : int;
+  mutable first : 'a node option;
+  mutable last : 'a node option;
+  mutable total : int;
+  mutable evicted : int;
+}
+
+let create ~budget =
+  if budget < 0 then invalid_arg "Cache.create: negative budget";
+  {
+    mu = Mutex.create ();
+    tbl = Hashtbl.create 64;
+    budget;
+    first = None;
+    last = None;
+    total = 0;
+    evicted = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let budget t = t.budget
+let size t = locked t (fun () -> t.total)
+let entries t = locked t (fun () -> Hashtbl.length t.tbl)
+let evictions t = locked t (fun () -> t.evicted)
+
+(* list surgery; all called with the lock held *)
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.first <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.first;
+  n.prev <- None;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.tbl n.key;
+  t.total <- t.total - n.nsize
+
+let rec evict_until_fits t =
+  if t.total > t.budget then
+    match t.last with
+    | Some victim ->
+        drop t victim;
+        t.evicted <- t.evicted + 1;
+        evict_until_fits t
+    | None -> assert false (* total > budget >= 0 implies an entry *)
+
+let put t ~key ~size value =
+  if size < 0 then invalid_arg "Cache.put: negative size";
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+          (* replacing never counts as an eviction *)
+          drop t n
+      | None -> ());
+      if size > t.budget then
+        (* could never fit: refuse rather than emptying the whole cache *)
+        t.evicted <- t.evicted + 1
+      else begin
+        let n = { key; value; nsize = size; prev = None; next = None } in
+        Hashtbl.add t.tbl key n;
+        push_front t n;
+        t.total <- t.total + size;
+        evict_until_fits t
+      end)
+
+let get t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+          unlink t n;
+          push_front t n;
+          Some n.value
+      | None -> None)
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.tbl key)
+
+let remove t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n -> drop t n
+      | None -> ())
+
+let keys_by_recency t =
+  locked t (fun () ->
+      let rec walk acc = function
+        | Some n -> walk (n.key :: acc) n.next
+        | None -> List.rev acc
+      in
+      walk [] t.first)

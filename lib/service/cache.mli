@@ -1,0 +1,43 @@
+(** A content-addressed artifact cache with LRU eviction under a byte
+    budget.
+
+    Keys are stable hashes of the inputs that determine an artifact
+    (source text, machine configuration, seed, pipeline stage — see
+    {!Server.stage_key}); values carry an explicit size in bytes. A put
+    that would push the total over the budget evicts least-recently-used
+    entries first; an artifact bigger than the whole budget is refused
+    outright (and counted), so the invariant [size t <= budget t] holds
+    after every operation.
+
+    All operations are thread-safe (one internal lock); get/put are O(1)
+    apart from eviction work, which is amortised against the puts that
+    made the entries. *)
+
+type 'a t
+
+val create : budget:int -> 'a t
+(** @raise Invalid_argument when [budget] is negative. *)
+
+val budget : 'a t -> int
+
+val put : 'a t -> key:string -> size:int -> 'a -> unit
+(** Insert or replace; the entry becomes most-recently-used.
+    @raise Invalid_argument when [size] is negative. *)
+
+val get : 'a t -> string -> 'a option
+(** A hit refreshes the entry's recency. *)
+
+val mem : 'a t -> string -> bool
+(** Like {!get} but without touching recency. *)
+
+val remove : 'a t -> string -> unit
+
+val size : 'a t -> int
+(** Total bytes currently held. *)
+
+val entries : 'a t -> int
+val evictions : 'a t -> int
+(** Entries evicted by the budget so far (refused oversize puts count). *)
+
+val keys_by_recency : 'a t -> string list
+(** Most-recently-used first; for tests and introspection. *)

@@ -1,0 +1,29 @@
+open Cmdliner
+
+let nodes_term =
+  Arg.(value & opt int Wwt.Machine.default.Wwt.Machine.nodes
+       & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of simulated processors.")
+
+let cache_kb =
+  Arg.(value & opt int (Wwt.Machine.default.Wwt.Machine.cache_bytes / 1024)
+       & info [ "cache-kb" ] ~docv:"KB" ~doc:"Per-node cache size in KB.")
+
+let assoc =
+  Arg.(value & opt int Wwt.Machine.default.Wwt.Machine.assoc
+       & info [ "assoc" ] ~doc:"Cache associativity.")
+
+let block =
+  Arg.(value & opt int Wwt.Machine.default.Wwt.Machine.block_size
+       & info [ "block" ] ~doc:"Cache block size in bytes.")
+
+let machine_term =
+  let build nodes cache_kb assoc block =
+    {
+      Wwt.Machine.default with
+      Wwt.Machine.nodes;
+      cache_bytes = cache_kb * 1024;
+      assoc;
+      block_size = block;
+    }
+  in
+  Term.(const build $ nodes_term $ cache_kb $ assoc $ block)

@@ -1,0 +1,13 @@
+(** The machine-configuration command line shared by every binary.
+
+    [cachier_cli], [simulate], [trace_stats] and [cachierd] all build
+    their simulated machine through {!machine_term}, so flag names,
+    defaults and semantics cannot drift between the one-shot tools and
+    the service. *)
+
+val machine_term : Wwt.Machine.t Cmdliner.Term.t
+(** [--nodes]/[-n] (8), [--cache-kb] (16), [--assoc] (4), [--block] (32)
+    over {!Wwt.Machine.default}. *)
+
+val nodes_term : int Cmdliner.Term.t
+(** Just [--nodes]/[-n], for tools that only need the node count. *)

@@ -1,0 +1,39 @@
+(** A minimal JSON tree, parser and printer.
+
+    The service protocol is newline-delimited JSON; this module is the
+    whole JSON dependency (the toolchain image has no yojson). Values
+    print on one line with no insignificant whitespace, so one encoded
+    message is always exactly one line. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a character position and description. *)
+
+val of_string : string -> t
+(** Parse one JSON value (surrounding whitespace allowed; trailing
+    non-space input is an error). Numbers without [.], [e] or [E] parse
+    as [Int]. @raise Parse_error on malformed input. *)
+
+val to_string : t -> string
+(** One-line encoding; strings are escaped per RFC 8259 (control
+    characters as [\uXXXX]). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+(** Accessors, all total: *)
+
+val member : string -> t -> t
+(** [member k j] is the field [k] of object [j], or [Null] when absent or
+    when [j] is not an object. *)
+
+val to_int_opt : t -> int option
+val to_bool_opt : t -> bool option
+val to_string_opt : t -> string option

@@ -1,0 +1,100 @@
+let buckets = 30 (* <=1us .. <=2^29us, then overflow *)
+
+type hist = { mutable count : int; mutable sum_us : int; slots : int array }
+
+type t = {
+  mu : Mutex.t;
+  mutable nrequests : int;
+  ops : (string, hist) Hashtbl.t;
+  errors : (string, int) Hashtbl.t;
+  stage_hits : (string, int) Hashtbl.t;
+  stage_misses : (string, int) Hashtbl.t;
+}
+
+let create () =
+  {
+    mu = Mutex.create ();
+    nrequests = 0;
+    ops = Hashtbl.create 8;
+    errors = Hashtbl.create 8;
+    stage_hits = Hashtbl.create 8;
+    stage_misses = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let bucket_of us =
+  let rec find i bound =
+    if i >= buckets then buckets else if us <= bound then i else find (i + 1) (bound * 2)
+  in
+  find 0 1
+
+let record_request t ~op ~elapsed_us =
+  locked t (fun () ->
+      t.nrequests <- t.nrequests + 1;
+      let h =
+        match Hashtbl.find_opt t.ops op with
+        | Some h -> h
+        | None ->
+            let h = { count = 0; sum_us = 0; slots = Array.make (buckets + 1) 0 } in
+            Hashtbl.add t.ops op h;
+            h
+      in
+      h.count <- h.count + 1;
+      h.sum_us <- h.sum_us + elapsed_us;
+      let b = bucket_of (max 0 elapsed_us) in
+      h.slots.(b) <- h.slots.(b) + 1)
+
+let record_error t ~kind = locked t (fun () -> bump t.errors kind)
+let record_hit t ~stage = locked t (fun () -> bump t.stage_hits stage)
+let record_miss t ~stage = locked t (fun () -> bump t.stage_misses stage)
+
+let requests t = locked t (fun () -> t.nrequests)
+
+let hits t ~stage =
+  locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.stage_hits stage))
+
+let misses t ~stage =
+  locked t (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt t.stage_misses stage))
+
+let sorted_fields tbl value =
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let hist_to_json h =
+  (* only the populated prefix, as [le_us, count] pairs *)
+  let cells = ref [] in
+  for i = buckets downto 0 do
+    if h.slots.(i) > 0 then
+      let bound = if i >= buckets then -1 (* overflow *) else 1 lsl i in
+      cells := Json.List [ Json.Int bound; Json.Int h.slots.(i) ] :: !cells
+  done;
+  Json.Obj
+    [
+      ("count", Json.Int h.count);
+      ("sum_us", Json.Int h.sum_us);
+      ( "mean_us",
+        Json.Int (if h.count = 0 then 0 else h.sum_us / h.count) );
+      ("le_us_counts", Json.List !cells);
+    ]
+
+let to_json t ~evictions ~cache_bytes ~cache_entries =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ("requests", Json.Int t.nrequests);
+          ("errors", Json.Obj (sorted_fields t.errors (fun v -> Json.Int v)));
+          ("hits", Json.Obj (sorted_fields t.stage_hits (fun v -> Json.Int v)));
+          ( "misses",
+            Json.Obj (sorted_fields t.stage_misses (fun v -> Json.Int v)) );
+          ("evictions", Json.Int evictions);
+          ("cache_bytes", Json.Int cache_bytes);
+          ("cache_entries", Json.Int cache_entries);
+          ("latency", Json.Obj (sorted_fields t.ops hist_to_json));
+        ])

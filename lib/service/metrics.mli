@@ -1,0 +1,26 @@
+(** Server counters and per-operation latency histograms.
+
+    Counters: total requests, errors by kind, and per-stage cache
+    hits/misses (stages are ["parse"], ["trace"], ["measure"],
+    ["annotate"], ["trace_stats"]). Latencies are recorded per operation
+    into power-of-two microsecond buckets ([<=1us, <=2us, ..., <=2^29us],
+    plus an overflow bucket), cheap enough to keep on for every request.
+
+    All updates take one internal lock; {!to_json} renders a snapshot for
+    the [stats] operation. *)
+
+type t
+
+val create : unit -> t
+
+val record_request : t -> op:string -> elapsed_us:int -> unit
+val record_error : t -> kind:string -> unit
+val record_hit : t -> stage:string -> unit
+val record_miss : t -> stage:string -> unit
+
+val requests : t -> int
+val hits : t -> stage:string -> int
+val misses : t -> stage:string -> int
+
+val to_json : t -> evictions:int -> cache_bytes:int -> cache_entries:int -> Json.t
+(** Snapshot, embedding the artifact-cache gauges passed by the caller. *)

@@ -1,0 +1,551 @@
+type config = {
+  machine_defaults : Protocol.machine_config;
+  budget_bytes : int;
+  cache_dir : string option;
+  workers : int;
+  queue_capacity : int;
+}
+
+let default_config =
+  {
+    machine_defaults = Protocol.default_machine;
+    budget_bytes = 64 * 1024 * 1024;
+    cache_dir = None;
+    workers = 2;
+    queue_capacity = 64;
+  }
+
+(* Stage artifacts. ASTs are cached post-sema and treated as immutable by
+   every consumer (the engines and the annotator copy before rewriting),
+   so one cached program may serve concurrent requests. *)
+type artifact =
+  | Ast of Lang.Ast.program
+  | Trace_art of { records : Trace.Event.record list; payload : string }
+  | Annotate_art of { payload : string; summary : string }
+  | Text of string
+
+type t = {
+  config : config;
+  cache : artifact Cache.t;
+  metrics : Metrics.t;
+  pool : Wwt.Jobs.Pool.t;
+}
+
+let create config =
+  {
+    config;
+    cache = Cache.create ~budget:config.budget_bytes;
+    metrics = Metrics.create ();
+    pool =
+      Wwt.Jobs.Pool.create ~workers:(max 1 config.workers)
+        ~capacity:config.queue_capacity ();
+  }
+
+let shutdown t = Wwt.Jobs.Pool.shutdown t.pool
+let cache_bytes t = Cache.size t.cache
+let cache_entries t = Cache.entries t.cache
+let cache_evictions t = Cache.evictions t.cache
+let metrics t = t.metrics
+
+(* ------------------------------------------------------------------ *)
+(* cache keys and sizes                                                *)
+
+let stage_key ~stage ~machine ~seed ~source_digest =
+  Printf.sprintf "%s|%s|n%d:c%d:a%d:b%d|%s" stage source_digest
+    machine.Protocol.nodes machine.Protocol.cache_kb machine.Protocol.assoc
+    machine.Protocol.block
+    (match seed with Some s -> string_of_int s | None -> "-")
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+(* sizes are estimates: the cache budgets memory, it does not meter it *)
+let ast_size source = 64 + (8 * String.length source)
+let trace_size records payload = (48 * List.length records) + String.length payload
+
+(* ------------------------------------------------------------------ *)
+(* trace persistence                                                   *)
+
+(* One file per trace artifact under the cache directory, named by the
+   hash of the stage key. The simulation report rides along as [#P ]
+   comment lines, which {!Trace.Trace_file.of_string} ignores, so the
+   file is simultaneously a loadable trace and a complete artifact. *)
+
+let persist_path dir key = Filename.concat dir (digest_hex key ^ ".trace")
+
+let persist_trace dir key ~records ~payload =
+  (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error _ -> ());
+  let path = persist_path dir key in
+  let tmp = path ^ ".tmp" in
+  let buf = Buffer.create 4096 in
+  let payload_lines =
+    match List.rev (String.split_on_char '\n' payload) with
+    | "" :: rest -> List.rev rest (* drop the split's trailing empty *)
+    | all -> List.rev all
+  in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf "#P ";
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    payload_lines;
+  Trace.Trace_file.to_buffer buf records;
+  try
+    let oc = open_out tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> Buffer.output_buffer oc buf);
+    Sys.rename tmp path
+  with Sys_error _ -> ()
+
+let load_persisted_trace dir key =
+  let path = persist_path dir key in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let ic = open_in path in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      let payload =
+        String.split_on_char '\n' text
+        |> List.filter_map (fun line ->
+               if String.length line >= 3 && String.sub line 0 3 = "#P " then
+                 Some (String.sub line 3 (String.length line - 3))
+               else None)
+        |> List.map (fun l -> l ^ "\n")
+        |> String.concat ""
+      in
+      let records = Trace.Trace_file.of_string text in
+      Some (Trace_art { records; payload })
+    with Sys_error _ | Failure _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* request execution                                                   *)
+
+exception Reject of Protocol.error_kind * string
+
+let resolve_source ~nodes = function
+  | Protocol.Text s -> s
+  | Protocol.Bench name -> (
+      match Benchmarks.Suite.find ~nodes name with
+      | b -> b.Benchmarks.Suite.source
+      | exception Not_found ->
+          raise
+            (Reject
+               ( Protocol.Unknown_benchmark,
+                 Printf.sprintf "unknown benchmark %S (expected one of %s)"
+                   name
+                   (String.concat ", " Benchmarks.Suite.names) )))
+
+let make_poll ~received = function
+  | None -> None
+  | Some ms ->
+      let deadline = received +. (float_of_int ms /. 1000.) in
+      Some
+        (fun () ->
+          if Unix.gettimeofday () > deadline then
+            raise
+              (Wwt.Sched.Cancelled
+                 (Printf.sprintf "deadline of %d ms exceeded" ms)))
+
+let check_deadline ~received = function
+  | Some ms when Unix.gettimeofday () > received +. (float_of_int ms /. 1000.)
+    ->
+      raise
+        (Reject
+           ( Protocol.Deadline_exceeded,
+             Printf.sprintf "deadline of %d ms exceeded before execution" ms ))
+  | _ -> ()
+
+(* Stage: parse (+ sema + optional reseed). Machine-independent, so the
+   key carries only source digest and seed. *)
+let parsed_program t ~source ~seed =
+  let key =
+    stage_key ~stage:"parse" ~machine:Protocol.default_machine ~seed
+      ~source_digest:(digest_hex source)
+  in
+  match Cache.get t.cache key with
+  | Some (Ast p) ->
+      Metrics.record_hit t.metrics ~stage:"parse";
+      p
+  | _ ->
+      Metrics.record_miss t.metrics ~stage:"parse";
+      let p = Lang.Parser.parse source in
+      ignore (Lang.Sema.check p);
+      let p =
+        match seed with
+        | Some s -> Lang.Ast_util.set_const p "SEED" s
+        | None -> p
+      in
+      Cache.put t.cache ~key ~size:(ast_size source) (Ast p);
+      p
+
+(* Stage: trace-mode simulation (shared by simulate --trace, annotate,
+   race_report and trace_stats). Returns the artifact and whether it came
+   from the cache (memory or disk). *)
+let trace_stage t ~machine ~seed ~source ~poll =
+  let key =
+    stage_key ~stage:"trace" ~machine ~seed ~source_digest:(digest_hex source)
+  in
+  match Cache.get t.cache key with
+  | Some (Trace_art a) ->
+      Metrics.record_hit t.metrics ~stage:"trace";
+      (a.records, a.payload, true)
+  | _ -> (
+      let from_disk =
+        match t.config.cache_dir with
+        | Some dir -> load_persisted_trace dir key
+        | None -> None
+      in
+      match from_disk with
+      | Some (Trace_art a) ->
+          Metrics.record_hit t.metrics ~stage:"trace";
+          Cache.put t.cache ~key ~size:(trace_size a.records a.payload)
+            (Trace_art { records = a.records; payload = a.payload });
+          (a.records, a.payload, true)
+      | _ ->
+          Metrics.record_miss t.metrics ~stage:"trace";
+          let program = parsed_program t ~source ~seed in
+          let outcome =
+            Wwt.Run.collect_trace ?poll
+              ~machine:(Protocol.to_machine machine)
+              program
+          in
+          let payload = Oneshot.simulate_report outcome in
+          let records = outcome.Wwt.Interp.trace in
+          Cache.put t.cache ~key ~size:(trace_size records payload)
+            (Trace_art { records; payload });
+          (match t.config.cache_dir with
+          | Some dir -> persist_trace dir key ~records ~payload
+          | None -> ());
+          (records, payload, false))
+
+(* Stage: performance-mode simulation. *)
+let measure_stage t ~machine ~seed ~source ~annotations ~prefetch ~poll =
+  let stage =
+    Printf.sprintf "measure:%c%c"
+      (if annotations then 'a' else '-')
+      (if prefetch then 'p' else '-')
+  in
+  let key = stage_key ~stage ~machine ~seed ~source_digest:(digest_hex source) in
+  match Cache.get t.cache key with
+  | Some (Text payload) ->
+      Metrics.record_hit t.metrics ~stage:"measure";
+      (payload, true)
+  | _ ->
+      Metrics.record_miss t.metrics ~stage:"measure";
+      let program = parsed_program t ~source ~seed in
+      let outcome =
+        Wwt.Run.measure ?poll
+          ~machine:(Protocol.to_machine machine)
+          ~annotations ~prefetch program
+      in
+      let payload = Oneshot.simulate_report outcome in
+      Cache.put t.cache ~key ~size:(String.length payload) (Text payload);
+      (payload, false)
+
+(* Stage: annotation. A hit skips parsing and simulation entirely; a miss
+   reuses the cached trace when one exists. *)
+let annotate_stage t ~machine ~seed ~source ~mode ~prefetch ~poll =
+  let stage =
+    Printf.sprintf "annotate:%s:%c"
+      (match mode with Protocol.Performance -> "perf" | Programmer -> "prog")
+      (if prefetch then 'p' else '-')
+  in
+  let key = stage_key ~stage ~machine ~seed ~source_digest:(digest_hex source) in
+  match Cache.get t.cache key with
+  | Some (Annotate_art a) ->
+      Metrics.record_hit t.metrics ~stage:"annotate";
+      (a.payload, a.summary, true)
+  | _ ->
+      Metrics.record_miss t.metrics ~stage:"annotate";
+      let program = parsed_program t ~source ~seed in
+      let records, _, _ = trace_stage t ~machine ~seed ~source ~poll in
+      let options =
+        {
+          Cachier.Placement.default_options with
+          Cachier.Placement.mode =
+            (match mode with
+            | Protocol.Performance -> Cachier.Equations.Performance
+            | Protocol.Programmer -> Cachier.Equations.Programmer);
+          prefetch;
+        }
+      in
+      let result =
+        Cachier.Annotate.annotate_with_trace
+          ~machine:(Protocol.to_machine machine)
+          ~options program records
+      in
+      let payload = Cachier.Annotate.to_source result in
+      let summary = Oneshot.annotate_summary result in
+      Cache.put t.cache ~key
+        ~size:(String.length payload + String.length summary)
+        (Annotate_art { payload; summary });
+      (payload, summary, false)
+
+let race_stage t ~machine ~seed ~source ~poll =
+  let key =
+    stage_key ~stage:"races" ~machine ~seed ~source_digest:(digest_hex source)
+  in
+  match Cache.get t.cache key with
+  | Some (Text payload) ->
+      Metrics.record_hit t.metrics ~stage:"annotate";
+      (payload, true)
+  | _ ->
+      Metrics.record_miss t.metrics ~stage:"annotate";
+      let program = parsed_program t ~source ~seed in
+      let records, _, _ = trace_stage t ~machine ~seed ~source ~poll in
+      let result =
+        Cachier.Annotate.annotate_with_trace
+          ~machine:(Protocol.to_machine machine)
+          ~options:Cachier.Placement.default_options program records
+      in
+      let payload = Oneshot.race_report result in
+      Cache.put t.cache ~key ~size:(String.length payload) (Text payload);
+      (payload, false)
+
+let trace_stats_stage t ~machine ~seed ~input ~poll =
+  match input with
+  | `Trace_text text -> (
+      let key =
+        stage_key ~stage:"trace_stats:inline" ~machine ~seed:None
+          ~source_digest:(digest_hex text)
+      in
+      match Cache.get t.cache key with
+      | Some (Text payload) ->
+          Metrics.record_hit t.metrics ~stage:"trace_stats";
+          (payload, true)
+      | _ ->
+          Metrics.record_miss t.metrics ~stage:"trace_stats";
+          let records =
+            try Trace.Trace_file.of_string text
+            with Failure msg -> raise (Reject (Protocol.Parse_error, msg))
+          in
+          let payload =
+            Oneshot.trace_stats_report ~nodes:machine.Protocol.nodes records
+          in
+          Cache.put t.cache ~key ~size:(String.length payload) (Text payload);
+          (payload, false))
+  | `Source source -> (
+      let key =
+        stage_key ~stage:"trace_stats" ~machine ~seed
+          ~source_digest:(digest_hex source)
+      in
+      match Cache.get t.cache key with
+      | Some (Text payload) ->
+          Metrics.record_hit t.metrics ~stage:"trace_stats";
+          (payload, true)
+      | _ ->
+          Metrics.record_miss t.metrics ~stage:"trace_stats";
+          let records, _, _ = trace_stage t ~machine ~seed ~source ~poll in
+          let payload =
+            Oneshot.trace_stats_report ~nodes:machine.Protocol.nodes records
+          in
+          Cache.put t.cache ~key ~size:(String.length payload) (Text payload);
+          (payload, false))
+
+(* ------------------------------------------------------------------ *)
+(* the dispatcher                                                      *)
+
+let execute t (req : Protocol.request) ~poll =
+  let nodes = req.machine.Protocol.nodes in
+  match req.op with
+  | Protocol.Parse { source } ->
+      let source = resolve_source ~nodes source in
+      let program = parsed_program t ~source ~seed:req.seed in
+      (Oneshot.parse_report program, false, [])
+  | Protocol.Simulate { source; annotations; prefetch; trace } ->
+      let source = resolve_source ~nodes source in
+      let payload, cached =
+        if trace then
+          let _, payload, cached =
+            trace_stage t ~machine:req.machine ~seed:req.seed ~source ~poll
+          in
+          (payload, cached)
+        else
+          measure_stage t ~machine:req.machine ~seed:req.seed ~source
+            ~annotations ~prefetch ~poll
+      in
+      (payload, cached, [])
+  | Protocol.Annotate { source; mode; prefetch } ->
+      let source = resolve_source ~nodes source in
+      let payload, summary, cached =
+        annotate_stage t ~machine:req.machine ~seed:req.seed ~source ~mode
+          ~prefetch ~poll
+      in
+      (payload, cached, [ ("report", Json.String summary) ])
+  | Protocol.Race_report { source } ->
+      let source = resolve_source ~nodes source in
+      let payload, cached =
+        race_stage t ~machine:req.machine ~seed:req.seed ~source ~poll
+      in
+      (payload, cached, [])
+  | Protocol.Trace_stats { source; trace_text } ->
+      let input =
+        match (trace_text, source) with
+        | Some text, _ -> `Trace_text text
+        | None, Some s -> `Source (resolve_source ~nodes s)
+        | None, None ->
+            raise (Reject (Protocol.Bad_request, "missing trace input"))
+      in
+      let payload, cached =
+        trace_stats_stage t ~machine:req.machine ~seed:req.seed ~input ~poll
+      in
+      (payload, cached, [])
+  | Protocol.Stats ->
+      let stats =
+        Metrics.to_json t.metrics
+          ~evictions:(Cache.evictions t.cache)
+          ~cache_bytes:(Cache.size t.cache)
+          ~cache_entries:(Cache.entries t.cache)
+      in
+      ("", false, [ ("stats", stats) ])
+  | Protocol.Ping -> ("pong", false, [])
+  | Protocol.Shutdown -> ("shutting down", false, [])
+
+let handle ?received t (req : Protocol.request) =
+  let received =
+    match received with Some r -> r | None -> Unix.gettimeofday ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let finish resp =
+    (match resp with
+    | Protocol.Ok_response { op; elapsed_us; _ } ->
+        Metrics.record_request t.metrics ~op ~elapsed_us
+    | Protocol.Error_response { error; _ } ->
+        Metrics.record_request t.metrics ~op:(Protocol.op_name req.op)
+          ~elapsed_us:
+            (int_of_float ((Unix.gettimeofday () -. t0) *. 1_000_000.));
+        Metrics.record_error t.metrics
+          ~kind:(Protocol.error_kind_to_string error));
+    resp
+  in
+  let error kind message =
+    finish (Protocol.Error_response { id = req.id; error = kind; message })
+  in
+  match
+    check_deadline ~received req.deadline_ms;
+    let poll = make_poll ~received req.deadline_ms in
+    execute t req ~poll
+  with
+  | payload, cached, extra ->
+      let elapsed_us =
+        int_of_float ((Unix.gettimeofday () -. t0) *. 1_000_000.)
+      in
+      finish
+        (Protocol.Ok_response
+           {
+             id = req.id;
+             op = Protocol.op_name req.op;
+             cached;
+             elapsed_us;
+             payload;
+             extra;
+           })
+  | exception Reject (kind, msg) -> error kind msg
+  | exception Lang.Parser.Error msg -> error Protocol.Parse_error msg
+  | exception Lang.Sema.Error msg -> error Protocol.Parse_error msg
+  | exception Wwt.Sched.Cancelled msg -> error Protocol.Deadline_exceeded msg
+  | exception Wwt.Interp.Runtime_error msg -> error Protocol.Runtime_error msg
+  | exception Wwt.Sched.Deadlock msg -> error Protocol.Runtime_error msg
+  | exception e -> error Protocol.Internal (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* serving                                                             *)
+
+let serve t ic oc =
+  let out_mu = Mutex.create () in
+  let send resp =
+    let buf = Buffer.create 1024 in
+    Protocol.write_response buf resp;
+    Mutex.lock out_mu;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock out_mu)
+      (fun () ->
+        Buffer.output_buffer oc buf;
+        flush oc)
+  in
+  let pending = ref [] in
+  let drain () =
+    List.iter (fun h -> ignore (Wwt.Jobs.Pool.await h)) !pending;
+    pending := []
+  in
+  let rec loop () =
+    match input_line ic with
+    | exception End_of_file -> `Eof
+    | line when String.trim line = "" -> loop ()
+    | line -> (
+        match
+          Protocol.read_request ~defaults:t.config.machine_defaults line
+        with
+        | Error msg ->
+            Metrics.record_error t.metrics ~kind:"bad_request";
+            send
+              (Protocol.Error_response
+                 { id = 0; error = Protocol.Bad_request; message = msg });
+            loop ()
+        | Ok req -> (
+            match req.Protocol.op with
+            | Protocol.Shutdown ->
+                (* answer only after every in-flight request has *)
+                drain ();
+                send (handle t req);
+                `Shutdown
+            | Protocol.Stats | Protocol.Ping ->
+                (* cheap and latency-sensitive: answer on the reader *)
+                send (handle t req);
+                loop ()
+            | _ -> (
+                let received = Unix.gettimeofday () in
+                match
+                  Wwt.Jobs.Pool.submit t.pool (fun () ->
+                      send (handle ~received t req))
+                with
+                | Some h ->
+                    pending := h :: !pending;
+                    loop ()
+                | None ->
+                    Metrics.record_error t.metrics ~kind:"overloaded";
+                    send
+                      (Protocol.Error_response
+                         {
+                           id = req.Protocol.id;
+                           error = Protocol.Overloaded;
+                           message =
+                             Printf.sprintf
+                               "submission queue full (capacity %d)"
+                               t.config.queue_capacity;
+                         });
+                    loop ())))
+  in
+  let outcome = loop () in
+  drain ();
+  outcome
+
+let serve_socket t ~path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16;
+      let rec accept_loop () =
+        let fd, _ = Unix.accept sock in
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        let outcome =
+          match serve t ic oc with
+          | outcome -> outcome
+          | exception Sys_error _ -> `Eof (* client went away mid-write *)
+        in
+        (try flush oc with Sys_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        match outcome with `Shutdown -> () | `Eof -> accept_loop ()
+      in
+      accept_loop ())

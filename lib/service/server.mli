@@ -1,0 +1,67 @@
+(** The resident annotation service.
+
+    A server owns one content-addressed {!Cache} of stage artifacts, one
+    {!Metrics} instance, and one {!Wwt.Jobs.Pool} of worker domains.
+    Requests ({!Protocol.request}) arrive as newline-delimited JSON over
+    stdio or a Unix-domain socket; each is executed on the pool, so
+    several simulations proceed concurrently while the reader keeps
+    accepting. When the pool's bounded queue is full, the server answers
+    an [overloaded] error immediately instead of buffering.
+
+    Stage artifacts are keyed by stable hashes of
+    [(source text, machine config, seed, stage)]: a [parse] hit returns
+    the cached AST, a trace hit returns the packed trace and the
+    simulation report, and an [annotate] hit returns the finished
+    response without simulating. Trace artifacts are additionally
+    persisted to [cache_dir] (via {!Trace.Trace_file}), so warm state
+    survives a restart. *)
+
+type config = {
+  machine_defaults : Protocol.machine_config;
+      (** for requests that omit machine fields *)
+  budget_bytes : int;  (** artifact-cache byte budget *)
+  cache_dir : string option;  (** persist traces here when set *)
+  workers : int;  (** worker domains *)
+  queue_capacity : int;  (** bounded submission queue *)
+}
+
+val default_config : config
+(** Machine defaults from the protocol, 64 MB budget, no cache dir, 2
+    workers, queue capacity 64. *)
+
+type t
+
+val create : config -> t
+(** Spawns the worker pool (workers are clamped to at least 1). *)
+
+val handle : ?received:float -> t -> Protocol.request -> Protocol.response
+(** Execute one request synchronously on the calling domain, consulting
+    and filling the artifact cache. [received] (a [Unix.gettimeofday]
+    stamp) anchors the request's deadline; it defaults to now. Never
+    raises: failures become [Error_response]s. *)
+
+val serve : t -> in_channel -> out_channel -> [ `Shutdown | `Eof ]
+(** NDJSON loop: read requests, fan them out on the pool, write one
+    response line per request (order follows completion; correlate by
+    [id]). Returns on end of input or on a [shutdown] request — after
+    every in-flight request has been answered. *)
+
+val serve_socket : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing any stale file) and
+    {!serve} connections one at a time until a [shutdown] request. The
+    socket file is removed on exit. *)
+
+val shutdown : t -> unit
+(** Drain and join the worker pool. *)
+
+(** Introspection (tests, [stats]): *)
+
+val cache_bytes : t -> int
+val cache_entries : t -> int
+val cache_evictions : t -> int
+val metrics : t -> Metrics.t
+
+val stage_key :
+  stage:string -> machine:Protocol.machine_config -> seed:int option ->
+  source_digest:string -> string
+(** The cache key for one pipeline stage (exposed for tests). *)

@@ -804,7 +804,7 @@ let compile ~machine program =
     program.Ast.procs;
   (info, layout, env)
 
-let run ~machine program =
+let run ?poll ~machine program =
   let info, layout, env = compile ~machine program in
   let proto =
     Memsys.Protocol.create ~nodes:machine.Machine.nodes
@@ -872,7 +872,7 @@ let run ~machine program =
     flush_pending r
   in
   let time =
-    Sched.run
+    Sched.run ?poll
       {
         Sched.nodes = machine.Machine.nodes;
         barrier_cost = machine.Machine.costs.Memsys.Network.barrier;

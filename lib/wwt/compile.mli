@@ -14,8 +14,11 @@
     pre-initialised); programs that error are outside the equivalence
     contract. *)
 
-val run : machine:Machine.t -> Lang.Ast.program -> Interp.outcome
+val run :
+  ?poll:(unit -> unit) -> machine:Machine.t -> Lang.Ast.program ->
+  Interp.outcome
 (** Compile and execute; the result type is shared with {!Interp}.
+    [poll] is forwarded to {!Sched.run} (periodic cancellation hook).
     @raise Interp.Runtime_error on out-of-bounds accesses, division by
     zero, zero loop steps or unknown calls, like the tree walk. *)
 

@@ -399,7 +399,7 @@ and exec_annot g n kind arr ranges =
                 end)
               ranges)
 
-let run ~machine program =
+let run ?poll ~machine program =
   let info = Sema.check program in
   let layout =
     Label.layout ~block_size:machine.Machine.block_size
@@ -472,7 +472,7 @@ let run ~machine program =
     flush_pending n
   in
   let time =
-    Sched.run
+    Sched.run ?poll
       {
         Sched.nodes = machine.Machine.nodes;
         barrier_cost = machine.Machine.costs.Memsys.Network.barrier;

@@ -20,8 +20,10 @@ type outcome = {
   info : Lang.Sema.info;
 }
 
-val run : machine:Machine.t -> Lang.Ast.program -> outcome
-(** @raise Runtime_error on out-of-bounds accesses, undefined variables,
+val run : ?poll:(unit -> unit) -> machine:Machine.t -> Lang.Ast.program -> outcome
+(** [poll] is forwarded to {!Sched.run}: called periodically from the
+    scheduler loop, it may raise {!Sched.Cancelled} to abandon the run.
+    @raise Runtime_error on out-of-bounds accesses, undefined variables,
     division by zero, zero loop steps, or unknown calls.
     @raise Sched.Deadlock if the program's barriers do not line up. *)
 

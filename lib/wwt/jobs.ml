@@ -52,3 +52,137 @@ let map ?jobs f items =
          (function Some v -> v | None -> assert false (* all slots ran *))
          results)
   end
+
+(* A persistent pool for a server workload: long-lived worker domains pull
+   jobs from one bounded queue. Unlike [map]'s fork-join, submissions
+   arrive over time and results are claimed individually through handles.
+   A worker that raises stores the exception in the job's handle and goes
+   back to the queue — one poisoned request never takes a worker down. *)
+module Pool = struct
+  type 'a state =
+    | Pending
+    | Done of 'a
+    | Failed of exn * Printexc.raw_backtrace
+
+  type 'a handle = {
+    hmu : Mutex.t;
+    hcond : Condition.t;
+    mutable result : 'a state;
+  }
+
+  type t = {
+    mu : Mutex.t;
+    nonempty : Condition.t;
+    queue : (unit -> unit) Queue.t;
+    capacity : int;
+    mutable closing : bool;
+    mutable domains : unit Domain.t list;
+    workers : int;
+  }
+
+  let worker_loop t =
+    let rec loop () =
+      Mutex.lock t.mu;
+      let rec next () =
+        if not (Queue.is_empty t.queue) then Some (Queue.pop t.queue)
+        else if t.closing then None
+        else begin
+          Condition.wait t.nonempty t.mu;
+          next ()
+        end
+      in
+      let job = next () in
+      Mutex.unlock t.mu;
+      match job with
+      | None -> ()
+      | Some job ->
+          job ();
+          loop ()
+    in
+    loop ()
+
+  let create ?workers ?(capacity = 64) () =
+    let workers =
+      match workers with Some w -> max 1 w | None -> default_jobs ()
+    in
+    if capacity < 0 then invalid_arg "Jobs.Pool.create: negative capacity";
+    let t =
+      {
+        mu = Mutex.create ();
+        nonempty = Condition.create ();
+        queue = Queue.create ();
+        capacity;
+        closing = false;
+        domains = [];
+        workers;
+      }
+    in
+    t.domains <- List.init workers (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t
+
+  let workers t = t.workers
+
+  let submit t f =
+    Mutex.lock t.mu;
+    if t.closing || Queue.length t.queue >= t.capacity then begin
+      Mutex.unlock t.mu;
+      None
+    end
+    else begin
+      let h = { hmu = Mutex.create (); hcond = Condition.create (); result = Pending } in
+      Queue.add
+        (fun () ->
+          let r =
+            try Done (f ())
+            with e -> Failed (e, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock h.hmu;
+          h.result <- r;
+          Condition.broadcast h.hcond;
+          Mutex.unlock h.hmu)
+        t.queue;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.mu;
+      Some h
+    end
+
+  let await h =
+    Mutex.lock h.hmu;
+    let rec wait () =
+      match h.result with
+      | Pending ->
+          Condition.wait h.hcond h.hmu;
+          wait ()
+      | r -> r
+    in
+    let r = wait () in
+    Mutex.unlock h.hmu;
+    match r with
+    | Done v -> Ok v
+    | Failed (e, _) -> Error e
+    | Pending -> assert false
+
+  let await_exn h =
+    Mutex.lock h.hmu;
+    let rec wait () =
+      match h.result with
+      | Pending ->
+          Condition.wait h.hcond h.hmu;
+          wait ()
+      | r -> r
+    in
+    let r = wait () in
+    Mutex.unlock h.hmu;
+    match r with
+    | Done v -> v
+    | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Pending -> assert false
+
+  let shutdown t =
+    Mutex.lock t.mu;
+    t.closing <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+end

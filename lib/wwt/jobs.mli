@@ -22,3 +22,43 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
     If any application raises, the first exception (in completion order)
     is re-raised after all workers drain; remaining unstarted items are
     skipped. [f] must not perform effects handled outside [map]. *)
+
+(** A persistent worker pool for server workloads.
+
+    [map] forks and joins around one batch; a service instead receives
+    requests over time, so [Pool] keeps its worker domains alive and feeds
+    them from a single bounded queue. Submission is non-blocking: when the
+    queue is full, {!Pool.submit} refuses (so the caller can answer
+    "overloaded") instead of buffering unboundedly. A job that raises
+    delivers its exception to the submitter via {!Pool.await} and leaves
+    the worker — and the pool — serving subsequent submissions. *)
+module Pool : sig
+  type t
+
+  type 'a handle
+  (** A claim on one submitted job's result. *)
+
+  val create : ?workers:int -> ?capacity:int -> unit -> t
+  (** [create ~workers ~capacity ()] spawns [workers] domains
+      ([default_jobs ()] when omitted, always at least 1) feeding from a
+      queue that holds at most [capacity] (default 64) not-yet-started
+      jobs. @raise Invalid_argument on negative [capacity]. *)
+
+  val workers : t -> int
+
+  val submit : t -> (unit -> 'a) -> 'a handle option
+  (** [submit t f] enqueues [f] and returns a handle, or [None] when the
+      queue is full or the pool is shutting down — the caller decides how
+      to shed the load. *)
+
+  val await : 'a handle -> ('a, exn) result
+  (** Block until the job has run; a raising job yields [Error]. *)
+
+  val await_exn : 'a handle -> 'a
+  (** Like {!await} but re-raises the job's exception, with its
+      backtrace. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting submissions, let already-queued jobs finish, then
+      join every worker domain. Idempotent. *)
+end

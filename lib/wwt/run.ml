@@ -1,16 +1,16 @@
 type engine = Tree_walk | Compiled
 
-let run_with engine ~machine program =
+let run_with ?poll engine ~machine program =
   match engine with
-  | Tree_walk -> Interp.run ~machine program
-  | Compiled -> Compile.run ~machine program
+  | Tree_walk -> Interp.run ?poll ~machine program
+  | Compiled -> Compile.run ?poll ~machine program
 
-let collect_trace ?(engine = Compiled) ~machine program =
+let collect_trace ?poll ?(engine = Compiled) ~machine program =
   let program = Lang.Ast.strip_annotations program in
-  run_with engine ~machine:(Machine.trace_mode machine) program
+  run_with ?poll engine ~machine:(Machine.trace_mode machine) program
 
-let measure ?(engine = Compiled) ~machine ~annotations ~prefetch program =
-  run_with engine
+let measure ?poll ?(engine = Compiled) ~machine ~annotations ~prefetch program =
+  run_with ?poll engine
     ~machine:(Machine.perf_mode ~annotations ~prefetch machine)
     program
 

@@ -7,20 +7,23 @@
 
 type engine = Tree_walk | Compiled
 
-val run_with : engine -> machine:Machine.t -> Lang.Ast.program -> Interp.outcome
+val run_with :
+  ?poll:(unit -> unit) -> engine -> machine:Machine.t -> Lang.Ast.program ->
+  Interp.outcome
 
 val collect_trace :
-  ?engine:engine -> machine:Machine.t -> Lang.Ast.program -> Interp.outcome
+  ?poll:(unit -> unit) -> ?engine:engine -> machine:Machine.t ->
+  Lang.Ast.program -> Interp.outcome
 (** Run the (annotation-stripped) program in trace mode: caches flushed at
     barriers, miss trace collected, annotations ignored. Default engine:
-    [Compiled]. *)
+    [Compiled]. [poll] is the {!Sched.run} cancellation hook. *)
 
 val measure :
-  ?engine:engine -> machine:Machine.t -> annotations:bool -> prefetch:bool ->
-  Lang.Ast.program -> Interp.outcome
+  ?poll:(unit -> unit) -> ?engine:engine -> machine:Machine.t ->
+  annotations:bool -> prefetch:bool -> Lang.Ast.program -> Interp.outcome
 (** Run in performance mode (no flushes, no trace) and report the
     simulated execution time in [Interp.outcome.time]. Default engine:
-    [Compiled]. *)
+    [Compiled]. [poll] is the {!Sched.run} cancellation hook. *)
 
 val source_trace : machine:Machine.t -> string -> Interp.outcome
 (** Parse then [collect_trace]. *)

@@ -1,4 +1,5 @@
 exception Deadlock of string
+exception Cancelled of string
 
 type _ Effect.t +=
   | Now : int Effect.t
@@ -26,7 +27,7 @@ type config = {
 
 type waiting_lock = { wnode : int; resume : unit -> unit }
 
-let run cfg body =
+let run ?poll cfg body =
   let clock = Array.make cfg.nodes 0 in
   let ready : (unit -> unit) Pqueue.t = Pqueue.create () in
   let finished = ref 0 in
@@ -154,9 +155,22 @@ let run cfg body =
   for node = 0 to cfg.nodes - 1 do
     Pqueue.push ready ~prio:0 (fun () -> spawn node)
   done;
+  (* Cancellation polls run between fiber resumptions, where no handler
+     frame is mid-transfer: an exception raised by [poll] propagates out
+     of [run] directly, abandoning the parked continuations to the GC.
+     Polling every pop would put a call on the hot path, so decimate. *)
+  let poll_countdown = ref 256 in
   let rec drain () =
     match Pqueue.pop ready with
     | Some (_, resume) ->
+        (match poll with
+        | Some p ->
+            decr poll_countdown;
+            if !poll_countdown <= 0 then begin
+              poll_countdown := 256;
+              p ()
+            end
+        | None -> ());
         fast_depth := 0;
         resume ();
         drain ()

@@ -15,6 +15,11 @@ exception Deadlock of string
 (** Raised when no fiber can make progress (e.g. a node exits without
     reaching a barrier the others wait at, or a lock is never released). *)
 
+exception Cancelled of string
+(** Raised by a [poll] hook (see {!run}) to abandon a simulation cleanly,
+    e.g. when a service request's deadline has passed. Never raised by the
+    scheduler itself. *)
+
 type config = {
   nodes : int;
   barrier_cost : int;
@@ -25,9 +30,15 @@ type config = {
   on_lock_acquire : node:int -> lock:int -> unit;
 }
 
-val run : config -> (int -> unit) -> int
+val run : ?poll:(unit -> unit) -> config -> (int -> unit) -> int
 (** [run config body] runs [body node] as a fiber for each node and
-    returns the final virtual time (the maximum clock). *)
+    returns the final virtual time (the maximum clock).
+
+    [poll], when given, is called periodically from the scheduler loop,
+    between fiber resumptions. It may raise (conventionally {!Cancelled})
+    to abandon the whole run: the exception propagates out of [run] and
+    the unfinished fibers are discarded, leaving no scheduler state
+    behind — a fresh [run] on the same domain is unaffected. *)
 
 (** Effects available inside fiber bodies: *)
 

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Smoke-test the cachierd service over stdio.
+
+Starts the server, issues the same simulate request twice, and checks
+that the second answer is a cache hit with a byte-identical payload and
+at least 10x lower latency, that the artifact cache warms the annotate
+path too, and that a shutdown request terminates the server gracefully.
+"""
+
+import json
+import subprocess
+import sys
+
+# One worker: all requests arrive in one burst, and a single worker
+# drains them FIFO, so the repeated request deterministically finds the
+# artifact its predecessor cached.
+SERVER = (sys.argv[1:] or ["_build/default/bin/cachierd.exe"]) + ["--workers", "1"]
+
+REQUESTS = [
+    {"id": 1, "op": "simulate", "bench": "matmul", "nodes": 4},
+    {"id": 2, "op": "simulate", "bench": "matmul", "nodes": 4},
+    {"id": 3, "op": "annotate", "bench": "matmul", "nodes": 4},
+    {"id": 4, "op": "annotate", "bench": "matmul", "nodes": 4},
+    {"id": 5, "op": "stats"},
+    {"id": 6, "op": "shutdown"},
+]
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    proc = subprocess.run(
+        SERVER,
+        input="".join(json.dumps(r) + "\n" for r in REQUESTS),
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        fail(f"server exited {proc.returncode}: {proc.stderr}")
+
+    by_id = {}
+    for line in proc.stdout.splitlines():
+        if line.strip():
+            resp = json.loads(line)
+            by_id[resp["id"]] = resp
+
+    for req in REQUESTS:
+        if req["id"] not in by_id:
+            fail(f"no response for id {req['id']}")
+    for rid, resp in by_id.items():
+        if "error" in resp:
+            fail(f"id {rid}: {resp['error']}: {resp.get('message')}")
+
+    for cold_id, warm_id, op in [(1, 2, "simulate"), (3, 4, "annotate")]:
+        cold, warm = by_id[cold_id], by_id[warm_id]
+        if cold["cached"]:
+            fail(f"{op}: first request was already cached")
+        if not warm["cached"]:
+            fail(f"{op}: repeated request missed the cache")
+        if warm["payload"] != cold["payload"]:
+            fail(f"{op}: warm payload differs from cold")
+        if warm["elapsed_us"] * 10 > cold["elapsed_us"]:
+            fail(
+                f"{op}: warm not >=10x faster "
+                f"(cold {cold['elapsed_us']}us, warm {warm['elapsed_us']}us)"
+            )
+        print(
+            f"ok: {op} cold {cold['elapsed_us']}us, "
+            f"warm hit {warm['elapsed_us']}us, payloads identical"
+        )
+
+    # stats is answered on the reader thread, so it may overtake the
+    # pooled requests; just require a well-formed counters object
+    stats = by_id[5]["stats"]
+    if "requests" not in stats or "hits" not in stats:
+        fail(f"malformed stats response: {stats}")
+    print(f"ok: stats well-formed (requests={stats['requests']})")
+    print("ok: graceful shutdown (exit 0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -123,7 +123,7 @@ let test_runtime_errors_agree () =
     (fun src ->
       let program = Lang.Parser.parse src in
       let outcome run =
-        match run ~machine:base_machine program with
+        match run ?poll:None ~machine:base_machine program with
         | (_ : Wwt.Interp.outcome) -> `Ok
         | exception Wwt.Interp.Runtime_error _ -> `Error
       in
@@ -140,7 +140,7 @@ let test_compiled_is_faster () =
   let machine = Wwt.Machine.perf_mode ~annotations:false ~prefetch:false base_machine in
   let time f =
     let t0 = Unix.gettimeofday () in
-    ignore (f ~machine program);
+    ignore (f ?poll:None ~machine program);
     Unix.gettimeofday () -. t0
   in
   ignore (time Wwt.Compile.run);

@@ -1,0 +1,152 @@
+(* Wwt.Jobs: the fork-join [map] and the persistent [Pool]. *)
+
+exception Boom of int
+
+(* ---- map ---- *)
+
+let test_map_propagates_exception () =
+  (match Wwt.Jobs.map ~jobs:4 (fun i -> if i = 7 then raise (Boom i) else i)
+           [ 1; 2; 7; 9; 12 ]
+   with
+  | (_ : int list) -> Alcotest.fail "expected Boom"
+  | exception Boom 7 -> ());
+  (* the failure must not poison later maps on the same domain set *)
+  Alcotest.(check (list int)) "map usable after exception" [ 2; 4; 6 ]
+    (Wwt.Jobs.map ~jobs:4 (fun i -> 2 * i) [ 1; 2; 3 ])
+
+let test_map_order_preserved () =
+  let items = List.init 100 Fun.id in
+  Alcotest.(check (list int)) "input order" (List.map (fun i -> i * i) items)
+    (Wwt.Jobs.map ~jobs:8 (fun i -> i * i) items)
+
+(* ---- pool ---- *)
+
+let test_pool_basic () =
+  let pool = Wwt.Jobs.Pool.create ~workers:2 ~capacity:16 () in
+  let handles =
+    List.init 10 (fun i ->
+        match Wwt.Jobs.Pool.submit pool (fun () -> i * i) with
+        | Some h -> h
+        | None -> Alcotest.fail "submission refused below capacity")
+  in
+  let results = List.map Wwt.Jobs.Pool.await_exn handles in
+  Wwt.Jobs.Pool.shutdown pool;
+  Alcotest.(check (list int)) "results" (List.init 10 (fun i -> i * i)) results
+
+let test_pool_exception_propagates_and_pool_survives () =
+  let pool = Wwt.Jobs.Pool.create ~workers:1 ~capacity:16 () in
+  let bad =
+    Option.get (Wwt.Jobs.Pool.submit pool (fun () -> raise (Boom 1)))
+  in
+  (match Wwt.Jobs.Pool.await bad with
+  | Error (Boom 1) -> ()
+  | Error e -> Alcotest.fail ("unexpected exception " ^ Printexc.to_string e)
+  | Ok _ -> Alcotest.fail "expected an error");
+  (* the single worker that just raised must still serve *)
+  let good = Option.get (Wwt.Jobs.Pool.submit pool (fun () -> 41 + 1)) in
+  Alcotest.(check int) "pool usable after exception" 42
+    (Wwt.Jobs.Pool.await_exn good);
+  Wwt.Jobs.Pool.shutdown pool
+
+let test_pool_overload_refuses () =
+  let pool = Wwt.Jobs.Pool.create ~workers:1 ~capacity:0 () in
+  (* capacity 0: the queue can never hold a job, so every submission is
+     refused, deterministically, even with an idle worker *)
+  (match Wwt.Jobs.Pool.submit pool (fun () -> ()) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "capacity-0 pool accepted a job");
+  Wwt.Jobs.Pool.shutdown pool
+
+let test_pool_bounded_queue () =
+  let pool = Wwt.Jobs.Pool.create ~workers:1 ~capacity:2 () in
+  let gate = Atomic.make false in
+  let started = Atomic.make false in
+  let blocker =
+    Option.get
+      (Wwt.Jobs.Pool.submit pool (fun () ->
+           Atomic.set started true;
+           while not (Atomic.get gate) do
+             Domain.cpu_relax ()
+           done;
+           0))
+  in
+  (* wait until the worker holds the blocker, so the queue is empty *)
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  let q1 = Wwt.Jobs.Pool.submit pool (fun () -> 1) in
+  let q2 = Wwt.Jobs.Pool.submit pool (fun () -> 2) in
+  let q3 = Wwt.Jobs.Pool.submit pool (fun () -> 3) in
+  Alcotest.(check bool) "two fit" true (q1 <> None && q2 <> None);
+  Alcotest.(check bool) "third refused" true (q3 = None);
+  Atomic.set gate true;
+  Alcotest.(check int) "blocker ran" 0 (Wwt.Jobs.Pool.await_exn blocker);
+  Alcotest.(check int) "queued 1 ran" 1
+    (Wwt.Jobs.Pool.await_exn (Option.get q1));
+  Alcotest.(check int) "queued 2 ran" 2
+    (Wwt.Jobs.Pool.await_exn (Option.get q2));
+  Wwt.Jobs.Pool.shutdown pool
+
+let test_pool_concurrent_submissions () =
+  (* several domains hammer one pool; every job must run exactly once and
+     deliver its own result to its own submitter *)
+  let pool = Wwt.Jobs.Pool.create ~workers:3 ~capacity:8 () in
+  let per_domain = 50 in
+  let ran = Atomic.make 0 in
+  let submitter d () =
+    List.init per_domain (fun i ->
+        let payload = (d * 1000) + i in
+        let rec submit () =
+          match
+            Wwt.Jobs.Pool.submit pool (fun () ->
+                Atomic.incr ran;
+                payload * 2)
+          with
+          | Some h -> h
+          | None ->
+              (* overloaded: back off and retry *)
+              Domain.cpu_relax ();
+              submit ()
+        in
+        (payload, submit ()))
+    |> List.map (fun (payload, h) -> (payload, Wwt.Jobs.Pool.await_exn h))
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (submitter d)) in
+  let all = List.concat_map Domain.join domains in
+  Wwt.Jobs.Pool.shutdown pool;
+  Alcotest.(check int) "every job ran once" (4 * per_domain) (Atomic.get ran);
+  List.iter
+    (fun (payload, result) ->
+      if result <> payload * 2 then
+        Alcotest.failf "job %d got result %d" payload result)
+    all
+
+let test_pool_shutdown_runs_queued_jobs () =
+  let pool = Wwt.Jobs.Pool.create ~workers:1 ~capacity:16 () in
+  let handles =
+    List.init 8 (fun i -> Option.get (Wwt.Jobs.Pool.submit pool (fun () -> i)))
+  in
+  Wwt.Jobs.Pool.shutdown pool;
+  (* graceful: everything queued before shutdown still completed *)
+  Alcotest.(check (list int)) "queued jobs completed" (List.init 8 Fun.id)
+    (List.map Wwt.Jobs.Pool.await_exn handles);
+  (* and new submissions are refused *)
+  Alcotest.(check bool) "closed pool refuses" true
+    (Wwt.Jobs.Pool.submit pool (fun () -> 0) = None)
+
+let suite =
+  [
+    Alcotest.test_case "map propagates exceptions" `Quick
+      test_map_propagates_exception;
+    Alcotest.test_case "map preserves order" `Quick test_map_order_preserved;
+    Alcotest.test_case "pool basic" `Quick test_pool_basic;
+    Alcotest.test_case "pool survives a raising job" `Quick
+      test_pool_exception_propagates_and_pool_survives;
+    Alcotest.test_case "pool capacity 0 always refuses" `Quick
+      test_pool_overload_refuses;
+    Alcotest.test_case "pool bounded queue" `Quick test_pool_bounded_queue;
+    Alcotest.test_case "pool concurrent submissions" `Quick
+      test_pool_concurrent_submissions;
+    Alcotest.test_case "pool shutdown drains queue" `Quick
+      test_pool_shutdown_runs_queued_jobs;
+  ]

@@ -1,0 +1,549 @@
+(* The cachierd service: protocol codecs, byte-identity with the
+   one-shot CLIs, caching/determinism, deadlines, overload, and
+   persistence across restarts. *)
+
+open Service
+
+(* ---- helpers ---- *)
+
+let small_machine = { Protocol.nodes = 4; cache_kb = 16; assoc = 4; block = 32 }
+
+let request ?(id = 1) ?(machine = small_machine) ?seed ?deadline_ms op =
+  { Protocol.id; machine; seed; deadline_ms; op }
+
+let memory_config =
+  { Server.default_config with machine_defaults = small_machine; workers = 1 }
+
+let with_server ?(config = memory_config) f =
+  let server = Server.create config in
+  Fun.protect ~finally:(fun () -> Server.shutdown server) (fun () -> f server)
+
+let ok_payload = function
+  | Protocol.Ok_response { payload; _ } -> payload
+  | Protocol.Error_response { message; error; _ } ->
+      Alcotest.failf "unexpected error %s: %s"
+        (Protocol.error_kind_to_string error)
+        message
+
+let ok_cached = function
+  | Protocol.Ok_response { cached; _ } -> cached
+  | Protocol.Error_response { message; _ } ->
+      Alcotest.failf "unexpected error: %s" message
+
+let error_kind = function
+  | Protocol.Error_response { error; _ } -> Protocol.error_kind_to_string error
+  | Protocol.Ok_response _ -> Alcotest.fail "expected an error response"
+
+let extra field = function
+  | Protocol.Ok_response { extra; _ } -> List.assoc_opt field extra
+  | Protocol.Error_response _ -> None
+
+(* ---- JSON ---- *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      {|null|};
+      {|true|};
+      {|-42|};
+      {|3.5|};
+      {|"he said \"hi\"\n\ttab \\ slash"|};
+      {|[1,[2,3],{"a":null}]|};
+      {|{"id":7,"op":"simulate","nested":{"x":[true,false]},"s":""}|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      let j = Json.of_string s in
+      Alcotest.(check string) s s (Json.to_string j);
+      (* reparse of the printed form is a fixpoint *)
+      Alcotest.(check string) ("fixpoint " ^ s) (Json.to_string j)
+        (Json.to_string (Json.of_string (Json.to_string j))))
+    samples
+
+let test_json_escapes () =
+  Alcotest.(check string) "control chars escaped" "\"a\\u0001b\127\""
+    (Json.to_string (Json.String "a\001b\127"));
+  Alcotest.(check string) "surrogate pair" "\xf0\x9f\x99\x82"
+    (match Json.of_string {|"🙂"|} with
+    | Json.String s -> s
+    | _ -> Alcotest.fail "expected string");
+  (match Json.of_string "{\"a\":1} trailing" with
+  | _ -> Alcotest.fail "trailing input accepted"
+  | exception Json.Parse_error _ -> ());
+  match Json.of_string "{broken" with
+  | _ -> Alcotest.fail "malformed input accepted"
+  | exception Json.Parse_error _ -> ()
+
+let test_request_roundtrip () =
+  let reqs =
+    [
+      request ~id:3 ~seed:11 ~deadline_ms:500
+        (Protocol.Simulate
+           { source = Bench "matmul"; annotations = true; prefetch = false;
+             trace = false });
+      request ~id:4
+        (Protocol.Annotate
+           { source = Text "begin x := 1 end"; mode = Programmer;
+             prefetch = true });
+      request ~id:5 (Protocol.Trace_stats { source = None; trace_text = Some "R 0 1 2 3 4 5 r" });
+      request ~id:6 Protocol.Stats;
+      request ~id:7 Protocol.Ping;
+      request ~id:8 Protocol.Shutdown;
+      request ~id:9 (Protocol.Parse { source = Bench "mp3d" });
+      request ~id:10 (Protocol.Race_report { source = Bench "matmul" });
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.request_of_json (Protocol.request_to_json r) with
+      | Ok r' ->
+          Alcotest.(check bool)
+            (Printf.sprintf "request %d roundtrips" r.Protocol.id)
+            true (r = r')
+      | Error msg -> Alcotest.fail msg)
+    reqs
+
+let test_request_defaults_and_validation () =
+  (match Protocol.read_request {|{"id":1,"op":"ping"}|} with
+  | Ok r ->
+      Alcotest.(check bool) "machine defaults applied" true
+        (r.Protocol.machine = Protocol.default_machine)
+  | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun line ->
+      match Protocol.read_request line with
+      | Ok _ -> Alcotest.failf "accepted %s" line
+      | Error _ -> ())
+    [
+      {|{"id":1,"op":"no_such_op"}|};
+      {|{"id":1,"op":"simulate"}|};
+      (* no source *)
+      {|{"id":1,"op":"ping","nodes":0}|};
+      {|{"id":1,"op":"ping","block":4}|};
+      {|not json at all|};
+    ]
+
+let test_response_roundtrip () =
+  let rs =
+    [
+      Protocol.Ok_response
+        { id = 2; op = "simulate"; cached = true; elapsed_us = 17;
+          payload = "out\n"; extra = [ ("report", Json.String "r\n") ] };
+      Protocol.Error_response
+        { id = 9; error = Protocol.Overloaded; message = "queue full" };
+    ]
+  in
+  List.iter
+    (fun r ->
+      match Protocol.response_of_json (Protocol.response_to_json r) with
+      | Ok r' -> Alcotest.(check bool) "response roundtrips" true (r = r')
+      | Error msg -> Alcotest.fail msg)
+    rs
+
+(* ---- byte-identity and caching ---- *)
+
+(* Compose what the one-shot CLIs print through direct library calls (the
+   same pipeline the binaries run) and demand the served payload is
+   byte-identical. *)
+let cli_simulate_output ~machine_config name =
+  let machine = Protocol.to_machine machine_config in
+  let bench =
+    Benchmarks.Suite.find ~nodes:machine.Wwt.Machine.nodes name
+  in
+  let program = Lang.Parser.parse bench.Benchmarks.Suite.source in
+  ignore (Lang.Sema.check program);
+  let outcome =
+    Wwt.Run.measure ~machine ~annotations:false ~prefetch:false program
+  in
+  Oneshot.simulate_report outcome
+
+let cli_annotate_output ~machine_config ~prefetch name =
+  let machine = Protocol.to_machine machine_config in
+  let bench =
+    Benchmarks.Suite.find ~nodes:machine.Wwt.Machine.nodes name
+  in
+  let program = Lang.Parser.parse bench.Benchmarks.Suite.source in
+  ignore (Lang.Sema.check program);
+  let options =
+    { Cachier.Placement.default_options with
+      mode = Cachier.Equations.Performance; prefetch }
+  in
+  let trace_outcome = Wwt.Run.collect_trace ~machine program in
+  let result =
+    Cachier.Annotate.annotate_with_trace ~machine ~options program
+      trace_outcome.Wwt.Interp.trace
+  in
+  (Cachier.Annotate.to_source result, Oneshot.annotate_summary result)
+
+let test_simulate_byte_identity_and_cache () =
+  with_server (fun server ->
+      List.iter
+        (fun name ->
+          let req =
+            request
+              (Protocol.Simulate
+                 { source = Bench name; annotations = false; prefetch = false;
+                   trace = false })
+          in
+          let cold = Server.handle server req in
+          let warm = Server.handle server req in
+          let expected = cli_simulate_output ~machine_config:small_machine name in
+          Alcotest.(check string)
+            (name ^ ": payload = CLI stdout") expected (ok_payload cold);
+          Alcotest.(check string)
+            (name ^ ": warm payload identical") (ok_payload cold)
+            (ok_payload warm);
+          Alcotest.(check bool) (name ^ ": cold miss") false (ok_cached cold);
+          Alcotest.(check bool) (name ^ ": warm hit") true (ok_cached warm))
+        [ "matmul"; "mp3d" ])
+
+let test_annotate_byte_identity_and_cache () =
+  with_server (fun server ->
+      List.iter
+        (fun name ->
+          let req =
+            request
+              (Protocol.Annotate
+                 { source = Bench name; mode = Performance; prefetch = false })
+          in
+          let cold = Server.handle server req in
+          let warm = Server.handle server req in
+          let expected_out, expected_summary =
+            cli_annotate_output ~machine_config:small_machine ~prefetch:false
+              name
+          in
+          Alcotest.(check string)
+            (name ^ ": payload = cachier stdout") expected_out
+            (ok_payload cold);
+          Alcotest.(check string)
+            (name ^ ": warm byte-identical to cold") (ok_payload cold)
+            (ok_payload warm);
+          Alcotest.(check bool) (name ^ ": warm hit") true (ok_cached warm);
+          match (extra "report" cold, extra "report" warm) with
+          | Some (Json.String c), Some (Json.String w) ->
+              Alcotest.(check string)
+                (name ^ ": report = cachier stderr") expected_summary c;
+              Alcotest.(check string)
+                (name ^ ": warm report identical") c w
+          | _ -> Alcotest.fail "annotate response missing report")
+        [ "matmul"; "mp3d" ])
+
+let test_parse_and_race_and_trace_stats () =
+  with_server (fun server ->
+      let parse =
+        Server.handle server (request (Protocol.Parse { source = Bench "matmul" }))
+      in
+      let bench = Benchmarks.Suite.find ~nodes:4 "matmul" in
+      let program = Lang.Parser.parse bench.Benchmarks.Suite.source in
+      ignore (Lang.Sema.check program);
+      Alcotest.(check string) "parse payload is the pretty program"
+        (Oneshot.parse_report program) (ok_payload parse);
+      let race =
+        Server.handle server
+          (request (Protocol.Race_report { source = Bench "matmul" }))
+      in
+      Alcotest.(check bool) "race report non-empty" true
+        (String.length (ok_payload race) > 0);
+      let ts =
+        Server.handle server
+          (request
+             (Protocol.Trace_stats { source = Some (Bench "matmul");
+                                     trace_text = None }))
+      in
+      let machine = Protocol.to_machine small_machine in
+      let outcome = Wwt.Run.collect_trace ~machine program in
+      Alcotest.(check string) "trace_stats payload = CLI stdout"
+        (Oneshot.trace_stats_report ~nodes:4 outcome.Wwt.Interp.trace)
+        (ok_payload ts);
+      (* second trace-derived request reuses the cached trace *)
+      let ts2 =
+        Server.handle server
+          (request
+             (Protocol.Trace_stats { source = Some (Bench "matmul");
+                                     trace_text = None }))
+      in
+      Alcotest.(check bool) "second trace_stats hits" true (ok_cached ts2))
+
+let test_malformed_inline_trace () =
+  with_server (fun server ->
+      let r =
+        Server.handle server
+          (request
+             (Protocol.Trace_stats
+                { source = None; trace_text = Some "R not-a-trace" }))
+      in
+      Alcotest.(check string) "malformed trace is parse_error" "parse_error"
+        (error_kind r))
+
+let test_unknown_benchmark () =
+  with_server (fun server ->
+      let r =
+        Server.handle server
+          (request (Protocol.Parse { source = Bench "nonesuch" }))
+      in
+      Alcotest.(check string) "unknown benchmark" "unknown_benchmark"
+        (error_kind r))
+
+let test_seed_distinguishes_cache_entries () =
+  with_server (fun server ->
+      let simulate seed =
+        Server.handle server
+          (request ?seed
+             (Protocol.Simulate
+                { source =
+                    Text
+                      "const SEED = 1;\n\
+                       shared a[16];\n\
+                       proc main() {\n\
+                       \  for i = 0 to 15 { a[i] = SEED + i; }\n\
+                       }\n";
+                  annotations = false; prefetch = false; trace = false }))
+      in
+      let a = simulate (Some 1) in
+      let b = simulate (Some 2) in
+      let a' = simulate (Some 1) in
+      Alcotest.(check bool) "different seeds are different entries" false
+        (ok_cached b);
+      Alcotest.(check bool) "same seed hits" true (ok_cached a');
+      Alcotest.(check string) "hit is byte-identical" (ok_payload a)
+        (ok_payload a'))
+
+(* ---- deadlines ---- *)
+
+let test_deadline_exceeded_leaves_pool_serving () =
+  with_server (fun server ->
+      let sim =
+        request ~deadline_ms:5
+          (Protocol.Simulate
+             { source = Bench "matmul"; annotations = false; prefetch = false;
+               trace = false })
+      in
+      (* anchor the request a second in the past so the deadline has
+         already expired however fast the machine is *)
+      let received = Unix.gettimeofday () -. 1.0 in
+      let r = Server.handle ~received server sim in
+      Alcotest.(check string) "deadline exceeded" "deadline_exceeded"
+        (error_kind r);
+      (* the server must keep serving afterwards *)
+      let ok =
+        Server.handle server
+          (request
+             (Protocol.Simulate
+                { source = Bench "matmul"; annotations = false;
+                  prefetch = false; trace = false }))
+      in
+      Alcotest.(check bool) "subsequent request succeeds" true
+        (String.length (ok_payload ok) > 0))
+
+let test_deadline_cancels_running_simulation () =
+  with_server (fun server ->
+      (* an unsatisfiable deadline anchored now: the poll hook must abandon
+         the simulation mid-flight rather than run it to completion *)
+      let r =
+        Server.handle server
+          (request ~deadline_ms:0
+             (Protocol.Simulate
+                { source = Bench "mp3d"; annotations = false; prefetch = false;
+                  trace = false }))
+      in
+      Alcotest.(check string) "cancelled mid-simulation" "deadline_exceeded"
+        (error_kind r);
+      let ok =
+        Server.handle server
+          (request
+             (Protocol.Simulate
+                { source = Bench "matmul"; annotations = false;
+                  prefetch = false; trace = false }))
+      in
+      Alcotest.(check bool) "still serving" true
+        (String.length (ok_payload ok) > 0))
+
+(* ---- the NDJSON loop: overload and shutdown ---- *)
+
+let serve_lines ~config lines =
+  (* run [serve] over pipes, feed it [lines], return the response lines *)
+  let req_r, req_w = Unix.pipe () and resp_r, resp_w = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr req_r
+  and oc = Unix.out_channel_of_descr resp_w in
+  let writer = Unix.out_channel_of_descr req_w
+  and reader = Unix.in_channel_of_descr resp_r in
+  let server = Server.create config in
+  let outcome = ref `Eof in
+  let server_domain =
+    Domain.spawn (fun () ->
+        outcome := Server.serve server ic oc;
+        close_out_noerr oc)
+  in
+  List.iter (fun l -> output_string writer (l ^ "\n")) lines;
+  close_out writer;
+  let responses = ref [] in
+  (try
+     while true do
+       responses := input_line reader :: !responses
+     done
+   with End_of_file -> ());
+  Domain.join server_domain;
+  Server.shutdown server;
+  close_in_noerr ic;
+  close_in_noerr reader;
+  (!outcome, List.rev_map Json.of_string !responses)
+
+let response_by_id id responses =
+  match
+    List.find_opt
+      (fun j -> Json.(to_int_opt (member "id" j)) = Some id)
+      responses
+  with
+  | Some j -> j
+  | None -> Alcotest.failf "no response with id %d" id
+
+let test_serve_overload_structured_error () =
+  (* capacity 0: every pooled request is refused deterministically *)
+  let config =
+    { memory_config with workers = 1; queue_capacity = 0 }
+  in
+  let outcome, responses =
+    serve_lines ~config
+      [
+        {|{"id":1,"op":"simulate","bench":"matmul","nodes":4}|};
+        {|{"id":2,"op":"ping"}|};
+      ]
+  in
+  Alcotest.(check bool) "eof outcome" true (outcome = `Eof);
+  let overloaded = response_by_id 1 responses in
+  Alcotest.(check (option string)) "structured overloaded error"
+    (Some "overloaded")
+    Json.(to_string_opt (member "error" overloaded));
+  (* ping is handled on the reader thread and still answered *)
+  let ping = response_by_id 2 responses in
+  Alcotest.(check (option string)) "ping still served" (Some "ping")
+    Json.(to_string_opt (member "op" ping))
+
+let test_serve_shutdown_and_bad_line () =
+  let outcome, responses =
+    serve_lines ~config:memory_config
+      [
+        {|this is not json|};
+        {|{"id":41,"op":"simulate","bench":"matmul","nodes":4}|};
+        {|{"id":42,"op":"shutdown"}|};
+      ]
+  in
+  Alcotest.(check bool) "shutdown outcome" true (outcome = `Shutdown);
+  let bad = response_by_id 0 responses in
+  Alcotest.(check (option string)) "bad line -> bad_request"
+    (Some "bad_request")
+    Json.(to_string_opt (member "error" bad));
+  let sim = response_by_id 41 responses in
+  Alcotest.(check bool) "in-flight request answered before shutdown" true
+    (Json.(to_string_opt (member "payload" sim)) <> None);
+  ignore (response_by_id 42 responses)
+
+(* ---- persistence across restarts ---- *)
+
+let test_trace_persistence_across_restart () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cachierd_test_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> Sys.remove (Filename.concat dir f))
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () ->
+      let config = { memory_config with cache_dir = Some dir } in
+      let trace_req =
+        request
+          (Protocol.Simulate
+             { source = Bench "matmul"; annotations = false; prefetch = false;
+               trace = true })
+      in
+      let ann_req =
+        request
+          (Protocol.Annotate
+             { source = Bench "matmul"; mode = Performance; prefetch = false })
+      in
+      let cold_trace, cold_ann =
+        with_server ~config (fun server ->
+            ( ok_payload (Server.handle server trace_req),
+              ok_payload (Server.handle server ann_req) ))
+      in
+      Alcotest.(check bool) "trace file persisted" true
+        (Array.exists
+           (fun f -> Filename.check_suffix f ".trace")
+           (Sys.readdir dir));
+      (* a fresh process-equivalent: new server, same cache_dir — the
+         trace stage must come from disk, skipping simulation *)
+      with_server ~config (fun server ->
+          let warm = Server.handle server trace_req in
+          Alcotest.(check bool) "restart serves from disk" true
+            (ok_cached warm);
+          Alcotest.(check string) "disk-warm byte-identical" cold_trace
+            (ok_payload warm);
+          (* annotation recomputed from the persisted trace is identical *)
+          Alcotest.(check string) "annotate identical across restart" cold_ann
+            (ok_payload (Server.handle server ann_req))))
+
+(* ---- stats ---- *)
+
+let test_stats_counters () =
+  with_server (fun server ->
+      let sim =
+        request
+          (Protocol.Simulate
+             { source = Bench "matmul"; annotations = false; prefetch = false;
+               trace = false })
+      in
+      ignore (Server.handle server sim);
+      ignore (Server.handle server sim);
+      match Server.handle server (request Protocol.Stats) with
+      | Protocol.Ok_response { extra; _ } -> (
+          match List.assoc_opt "stats" extra with
+          | Some stats ->
+              Alcotest.(check (option int)) "requests counted" (Some 2)
+                Json.(to_int_opt (member "requests" stats));
+              Alcotest.(check (option int)) "simulate latency histogram"
+                (Some 2)
+                Json.(
+                  to_int_opt
+                    (member "count" (member "simulate" (member "latency" stats))));
+              Alcotest.(check (option int)) "measure-stage hit counted"
+                (Some 1)
+                Json.(to_int_opt (member "measure" (member "hits" stats)))
+          | None -> Alcotest.fail "stats response missing stats field")
+      | Protocol.Error_response { message; _ } -> Alcotest.fail message)
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "json escapes and errors" `Quick test_json_escapes;
+    Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+    Alcotest.test_case "request defaults and validation" `Quick
+      test_request_defaults_and_validation;
+    Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+    Alcotest.test_case "simulate byte-identity + cache" `Quick
+      test_simulate_byte_identity_and_cache;
+    Alcotest.test_case "annotate byte-identity + cache" `Quick
+      test_annotate_byte_identity_and_cache;
+    Alcotest.test_case "parse / race_report / trace_stats" `Quick
+      test_parse_and_race_and_trace_stats;
+    Alcotest.test_case "malformed inline trace" `Quick
+      test_malformed_inline_trace;
+    Alcotest.test_case "unknown benchmark" `Quick test_unknown_benchmark;
+    Alcotest.test_case "seed distinguishes cache entries" `Quick
+      test_seed_distinguishes_cache_entries;
+    Alcotest.test_case "deadline exceeded leaves pool serving" `Quick
+      test_deadline_exceeded_leaves_pool_serving;
+    Alcotest.test_case "deadline cancels a running simulation" `Quick
+      test_deadline_cancels_running_simulation;
+    Alcotest.test_case "serve: overload is a structured error" `Quick
+      test_serve_overload_structured_error;
+    Alcotest.test_case "serve: shutdown drains, bad lines answered" `Quick
+      test_serve_shutdown_and_bad_line;
+    Alcotest.test_case "trace persistence across restart" `Quick
+      test_trace_persistence_across_restart;
+    Alcotest.test_case "stats counters" `Quick test_stats_counters;
+  ]

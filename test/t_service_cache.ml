@@ -1,0 +1,154 @@
+(* Service.Cache: LRU artifact cache under a byte budget, checked against
+   an executable model on random operation interleavings. *)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---- unit tests ---- *)
+
+let test_get_returns_last_put () =
+  let c = Service.Cache.create ~budget:100 in
+  Service.Cache.put c ~key:"k" ~size:10 "one";
+  Service.Cache.put c ~key:"k" ~size:10 "two";
+  Alcotest.(check (option string)) "last put wins" (Some "two")
+    (Service.Cache.get c "k");
+  Alcotest.(check int) "replaced, not accumulated" 10 (Service.Cache.size c)
+
+let test_lru_eviction_order () =
+  let c = Service.Cache.create ~budget:30 in
+  Service.Cache.put c ~key:"a" ~size:10 "a";
+  Service.Cache.put c ~key:"b" ~size:10 "b";
+  Service.Cache.put c ~key:"c" ~size:10 "c";
+  (* touch [a] so [b] is now the LRU entry *)
+  ignore (Service.Cache.get c "a");
+  Service.Cache.put c ~key:"d" ~size:10 "d";
+  Alcotest.(check (option string)) "b evicted" None (Service.Cache.get c "b");
+  Alcotest.(check (option string)) "a kept" (Some "a") (Service.Cache.get c "a");
+  Alcotest.(check int) "one eviction" 1 (Service.Cache.evictions c)
+
+let test_oversize_refused () =
+  let c = Service.Cache.create ~budget:20 in
+  Service.Cache.put c ~key:"small" ~size:5 "s";
+  Service.Cache.put c ~key:"huge" ~size:21 "h";
+  Alcotest.(check (option string)) "oversize absent" None
+    (Service.Cache.get c "huge");
+  Alcotest.(check (option string)) "rest untouched" (Some "s")
+    (Service.Cache.get c "small");
+  Alcotest.(check int) "refusal counted" 1 (Service.Cache.evictions c)
+
+(* ---- the model ---- *)
+
+(* Recency-ordered association list, most recent first; mirrors the
+   documented semantics exactly. *)
+module Model = struct
+  type t = {
+    budget : int;
+    mutable items : (string * (int * int)) list;  (* key -> size, value *)
+    mutable evicted : int;
+  }
+
+  let create ~budget = { budget; items = []; evicted = 0 }
+  let total m = List.fold_left (fun acc (_, (s, _)) -> acc + s) 0 m.items
+
+  let put m key size value =
+    m.items <- List.remove_assoc key m.items;
+    if size > m.budget then m.evicted <- m.evicted + 1
+    else begin
+      m.items <- (key, (size, value)) :: m.items;
+      while total m > m.budget do
+        match List.rev m.items with
+        | (victim, _) :: _ ->
+            m.items <- List.remove_assoc victim m.items;
+            m.evicted <- m.evicted + 1
+        | [] -> assert false
+      done
+    end
+
+  let get m key =
+    match List.assoc_opt key m.items with
+    | Some (size, value) ->
+        m.items <- (key, (size, value)) :: List.remove_assoc key m.items;
+        Some value
+    | None -> None
+
+  let remove m key = m.items <- List.remove_assoc key m.items
+  let keys m = List.map fst m.items
+end
+
+type op = Put of int * int * int | Get of int | Remove of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map3 (fun k s v -> Put (k, s, v)) (int_range 0 7) (int_range 0 30) int);
+        (4, map (fun k -> Get k) (int_range 0 7));
+        (1, map (fun k -> Remove k) (int_range 0 7));
+      ])
+
+let op_print = function
+  | Put (k, s, v) -> Printf.sprintf "Put(k%d,%d,%d)" k s v
+  | Get k -> Printf.sprintf "Get(k%d)" k
+  | Remove k -> Printf.sprintf "Remove(k%d)" k
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map op_print ops))
+    QCheck.Gen.(list_size (int_range 0 300) op_gen)
+
+let key i = Printf.sprintf "k%d" i
+
+let prop_model_equivalence =
+  QCheck.Test.make ~count:300
+    ~name:"cache matches LRU model on any interleaving" ops_arb (fun ops ->
+      let budget = 64 in
+      let c = Service.Cache.create ~budget in
+      let m = Model.create ~budget in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Put (k, s, v) ->
+              Service.Cache.put c ~key:(key k) ~size:s v;
+              Model.put m (key k) s v
+          | Remove k ->
+              Service.Cache.remove c (key k);
+              Model.remove m (key k)
+          | Get k ->
+              let got = Service.Cache.get c (key k) in
+              let expected = Model.get m (key k) in
+              if got <> expected then
+                QCheck.Test.fail_reportf "get %s: %s, model says %s" (key k)
+                  (match got with Some v -> string_of_int v | None -> "None")
+                  (match expected with
+                  | Some v -> string_of_int v
+                  | None -> "None"));
+          (* invariants after every single operation *)
+          Service.Cache.size c <= budget
+          && Service.Cache.size c = Model.total m
+          && Service.Cache.entries c = List.length m.Model.items
+          && Service.Cache.evictions c = m.Model.evicted
+          && Service.Cache.keys_by_recency c = Model.keys m)
+        ops)
+
+let prop_never_exceeds_budget =
+  QCheck.Test.make ~count:200 ~name:"size never exceeds budget" ops_arb
+    (fun ops ->
+      let budget = 40 in
+      let c = Service.Cache.create ~budget in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Put (k, s, v) -> Service.Cache.put c ~key:(key k) ~size:s v
+          | Get k -> ignore (Service.Cache.get c (key k))
+          | Remove k -> Service.Cache.remove c (key k));
+          Service.Cache.size c <= budget)
+        ops)
+
+let suite =
+  [
+    Alcotest.test_case "get returns the last put" `Quick
+      test_get_returns_last_put;
+    Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "oversize put refused" `Quick test_oversize_refused;
+    qtest prop_model_equivalence;
+    qtest prop_never_exceeds_budget;
+  ]
