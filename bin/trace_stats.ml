@@ -7,10 +7,17 @@
    `cachier --trace-out FILE`. A truncated or malformed trace is a
    diagnostic on stderr and exit code 2, not a backtrace. *)
 
+(* Parsing and assimilation both reject damaged input with [Failure]
+   (malformed records; barrier groups that do not match --nodes), so the
+   whole pipeline shares one diagnostic path. *)
 let run file nodes =
-  match Trace.Trace_file.load file with
-  | records ->
-      print_string (Service.Oneshot.trace_stats_report ~nodes records);
+  match
+    match Trace.Trace_file.load file with
+    | [] -> failwith "trace contains no records"
+    | records -> Service.Oneshot.trace_stats_report ~nodes records
+  with
+  | report ->
+      print_string report;
       0
   | exception Failure msg ->
       Fmt.epr "trace_stats: %s: %s@." file msg;

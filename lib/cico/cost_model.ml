@@ -68,3 +68,19 @@ let communication_cycles ~costs ~check_out_blocks ~check_in_blocks
 
 let measured_checkouts (s : Memsys.Stats.t) =
   s.Memsys.Stats.check_outs_x + s.Memsys.Stats.check_outs_s
+
+let closed_forms ~jacobi ~matmul =
+  [
+    ("jacobi boundary blocks/step", jacobi_boundary_blocks_per_step jacobi);
+    ("jacobi matrix blocks", jacobi_matrix_blocks jacobi);
+    ("jacobi total, cache fits", jacobi_blocks_cache_fits jacobi);
+    ("jacobi total, column fits", jacobi_blocks_column_fits jacobi);
+    ( "jacobi per-proc column check-outs, cache fits",
+      jacobi_per_processor_column_checkouts jacobi ~cache_fits:true );
+    ( "jacobi per-proc column check-outs, column fits",
+      jacobi_per_processor_column_checkouts jacobi ~cache_fits:false );
+    ("matmul C check-outs, original", matmul_c_checkouts_original matmul);
+    ("matmul C check-outs, restructured", matmul_c_checkouts_restructured matmul);
+    ( "matmul raced C check-outs, restructured",
+      matmul_c_raced_checkouts_restructured matmul );
+  ]

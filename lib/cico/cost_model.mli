@@ -62,3 +62,10 @@ val communication_cycles :
 val measured_checkouts : Memsys.Stats.t -> int
 (** Explicit check-outs (X + S) a simulation actually performed —
     comparable against the closed forms above. *)
+
+val closed_forms :
+  jacobi:jacobi_params -> matmul:matmul_params -> (string * float) list
+(** Every closed form above, evaluated and labelled. Block counts are
+    non-negative for any legal parameters — the fuzzer's cost-model
+    sanity oracle checks exactly that.
+    @raise Invalid_argument on non-positive or non-divisible sizes. *)

@@ -1,0 +1,94 @@
+(* Counterexample corpus: shrunk failing programs persisted as .cico
+   source files with a machine-readable `//` header. The lexer treats
+   `//` lines as comments, so a corpus file parses as-is; the header
+   records which oracle failed, under what machine, and from which fuzzer
+   seed, so the failure replays deterministically. *)
+
+type entry = {
+  oracle : string;
+  detail : string;
+  seed : int;
+  nodes : int;
+  source : string;
+}
+
+let one_line s =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) s
+
+let render e =
+  Printf.sprintf
+    "// cachier_fuzz counterexample\n\
+     // oracle: %s\n\
+     // nodes: %d\n\
+     // seed: %d\n\
+     // detail: %s\n\
+     %s"
+    e.oracle e.nodes e.seed (one_line e.detail) e.source
+
+let filename e =
+  Printf.sprintf "%s-%04x.cico" e.oracle (Hashtbl.hash e.source land 0xffff)
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && dir <> "" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let save ~dir e =
+  mkdir_p dir;
+  let path = Filename.concat dir (filename e) in
+  let oc = open_out path in
+  output_string oc (render e);
+  close_out oc;
+  path
+
+(* ---- loading ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let header_value line key =
+  let prefix = "// " ^ key ^ ": " in
+  if String.length line >= String.length prefix
+     && String.sub line 0 (String.length prefix) = prefix
+  then Some (String.sub line (String.length prefix)
+               (String.length line - String.length prefix))
+  else None
+
+let load path =
+  let text = read_file path in
+  let lines = String.split_on_char '\n' text in
+  let is_header l = String.length l >= 2 && String.sub l 0 2 = "//" in
+  let rec split hdr = function
+    | l :: rest when is_header l -> split (l :: hdr) rest
+    | rest -> (List.rev hdr, rest)
+  in
+  let header, body = split [] lines in
+  let field key default =
+    List.find_map (fun l -> header_value l key) header
+    |> Option.value ~default
+  in
+  let int_field key default =
+    match int_of_string_opt (field key "") with Some n -> n | None -> default
+  in
+  {
+    oracle = field "oracle" "unknown";
+    detail = field "detail" "";
+    seed = int_field "seed" 0;
+    nodes = int_field "nodes" 4;
+    source = String.concat "\n" body;
+  }
+
+let load_dir dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".cico")
+    |> List.sort String.compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load path))

@@ -1,0 +1,406 @@
+(* The five differential-testing oracles.
+
+   Every generated program is pushed through:
+
+   1. engines       — the tree-walking and closure-compiling engines must
+                      agree exactly (time, stats, trace, output, memory)
+                      on the program and on its annotated variants;
+   2. semantics     — annotating never changes results: the original, the
+                      program with its random directives executed, and
+                      the Performance- and Programmer-CICO annotated
+                      variants all print the same per-node output and
+                      leave the same final shared memory;
+   3. idempotence   — re-annotating an annotated program with the same
+                      trace is a fixpoint of the pretty-printed source;
+   4. protocol      — no run may trip the Dir1SW directory/cache
+                      invariant audit (Machine.debug_protocol);
+   5. equations     — Performance CICO's annotation sets are a subset of
+                      Programmer CICO's for every epoch and node, and the
+                      Section 2/5 cost-model closed forms are
+                      non-negative.
+
+   Output comparison for oracle 2 is per node: annotations legitimately
+   change timing, and timing changes the global interleaving of print
+   lines across nodes, but never a single node's own output sequence.
+   All value comparisons use [Stdlib.compare] so NaN equals itself. *)
+
+type verdict = Pass | Skip of string | Fail of string
+
+type report = {
+  engines : verdict;
+  semantics : verdict;
+  idempotence : verdict;
+  protocol : verdict;
+  equations : verdict;
+}
+
+let names = [ "engines"; "semantics"; "idempotence"; "protocol"; "equations" ]
+
+let to_list r =
+  [
+    ("engines", r.engines);
+    ("semantics", r.semantics);
+    ("idempotence", r.idempotence);
+    ("protocol", r.protocol);
+    ("equations", r.equations);
+  ]
+
+let first_failure r =
+  List.find_map
+    (fun (n, v) -> match v with Fail d -> Some (n, d) | _ -> None)
+    (to_list r)
+
+let pp_verdict ppf = function
+  | Pass -> Format.fprintf ppf "pass"
+  | Skip m -> Format.fprintf ppf "skip (%s)" m
+  | Fail m -> Format.fprintf ppf "FAIL: %s" m
+
+let pp ppf r =
+  List.iter
+    (fun (n, v) -> Format.fprintf ppf "%-12s %a@." n pp_verdict v)
+    (to_list r)
+
+(* ---- running programs, classifying how they stop ---- *)
+
+type run_result =
+  | Done of Wwt.Interp.outcome
+  | Runtime of string
+  | Deadlock of string
+  | Violation of string
+  | Timeout
+
+let describe = function
+  | Done _ -> "completed"
+  | Runtime m -> "runtime error (" ^ m ^ ")"
+  | Deadlock m -> "deadlock (" ^ m ^ ")"
+  | Violation m -> "protocol violation (" ^ m ^ ")"
+  | Timeout -> "timeout"
+
+let classify f =
+  match f () with
+  | o -> Done o
+  | exception Wwt.Interp.Runtime_error m -> Runtime m
+  | exception Wwt.Sched.Deadlock m -> Deadlock m
+  | exception Memsys.Protocol.Invariant_violation m -> Violation m
+  | exception Wwt.Sched.Cancelled _ -> Timeout
+
+(* ---- comparisons ---- *)
+
+(* Full outcome equality for the engine oracle. [compare] (not [=]) so a
+   NaN a program computed equals the same NaN from the other engine. *)
+let outcome_mismatch (a : Wwt.Interp.outcome) (b : Wwt.Interp.outcome) =
+  if a.Wwt.Interp.time <> b.Wwt.Interp.time then Some "simulated time"
+  else if compare a.Wwt.Interp.stats b.Wwt.Interp.stats <> 0 then Some "stats"
+  else if compare a.Wwt.Interp.trace b.Wwt.Interp.trace <> 0 then Some "trace"
+  else if compare a.Wwt.Interp.output b.Wwt.Interp.output <> 0 then Some "output"
+  else if compare a.Wwt.Interp.shared b.Wwt.Interp.shared <> 0 then
+    Some "final shared memory"
+  else None
+
+(* Semantic signature: per-node output sequences + final shared memory.
+   Print lines look like "p<node>: ...". *)
+let node_of_line line =
+  if String.length line > 1 && line.[0] = 'p' then
+    match String.index_opt line ':' with
+    | Some i -> ( try int_of_string (String.sub line 1 (i - 1)) with _ -> -1)
+    | None -> -1
+  else -1
+
+let signature ~nodes (o : Wwt.Interp.outcome) =
+  let per = Array.make (nodes + 1) [] in
+  List.iter
+    (fun line ->
+      let n = node_of_line line in
+      let slot = if n >= 0 && n < nodes then n else nodes in
+      per.(slot) <- line :: per.(slot))
+    o.Wwt.Interp.output;
+  (Array.map List.rev per, o.Wwt.Interp.shared)
+
+let same_signature ~nodes a b =
+  compare (signature ~nodes a) (signature ~nodes b) = 0
+
+(* ---- the oracle battery ---- *)
+
+let perf_options =
+  {
+    Cachier.Placement.mode = Cachier.Equations.Performance;
+    prefetch = true;
+    capacity_fraction = 0.5;
+  }
+
+let prog_options =
+  {
+    Cachier.Placement.mode = Cachier.Equations.Programmer;
+    prefetch = false;
+    capacity_fraction = 0.5;
+  }
+
+let subset_mismatch einfo =
+  let perf = Cachier.Equations.all Cachier.Equations.Performance einfo in
+  let prog = Cachier.Equations.all Cachier.Equations.Programmer einfo in
+  let bad = ref None in
+  Array.iteri
+    (fun e row ->
+      Array.iteri
+        (fun n (pf : Cachier.Equations.annots) ->
+          if !bad = None then begin
+            let pg : Cachier.Equations.annots = prog.(e).(n) in
+            let module I = Cachier.Equations.Iset in
+            let check name a b =
+              if !bad = None && not (I.subset a b) then
+                bad :=
+                  Some
+                    (Printf.sprintf
+                       "epoch %d node %d: Performance %s not a subset of \
+                        Programmer's (%d extra blocks)"
+                       e n name
+                       (I.cardinal (I.diff a b)))
+            in
+            check "co_x" pf.Cachier.Equations.co_x pg.Cachier.Equations.co_x;
+            check "co_s" pf.Cachier.Equations.co_s pg.Cachier.Equations.co_s;
+            check "ci" pf.Cachier.Equations.ci pg.Cachier.Equations.ci
+          end)
+        row)
+    perf;
+  !bad
+
+let cost_model_mismatch ~machine (annotated_stats : Memsys.Stats.t option) =
+  let jacobi = { Cico.Cost_model.n = 64; p = 2; b = 4; t = 3 } in
+  let matmul = { Cico.Cost_model.mm_n = 8; mm_p = 2 } in
+  let negative =
+    List.find_opt
+      (fun (_, v) -> v < 0.0 || Float.is_nan v)
+      (Cico.Cost_model.closed_forms ~jacobi ~matmul)
+  in
+  match negative with
+  | Some (name, v) -> Some (Printf.sprintf "closed form %s is %g" name v)
+  | None -> (
+      match annotated_stats with
+      | None -> None
+      | Some stats ->
+          let cycles =
+            Cico.Cost_model.communication_cycles
+              ~costs:machine.Wwt.Machine.costs
+              ~check_out_blocks:(Cico.Cost_model.measured_checkouts stats)
+              ~check_in_blocks:stats.Memsys.Stats.check_ins ~upgrades_avoided:0
+          in
+          if cycles < 0 then
+            Some
+              (Printf.sprintf
+                 "communication_cycles is %d for %d check-outs / %d check-ins \
+                  with no upgrade credit"
+                 cycles
+                 (Cico.Cost_model.measured_checkouts stats)
+                 stats.Memsys.Stats.check_ins)
+          else None)
+
+let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
+  let machine = { machine with Wwt.Machine.debug_protocol = true } in
+  let nodes = machine.Wwt.Machine.nodes in
+  let deadline = Unix.gettimeofday () +. budget_s in
+  let tick = ref 0 in
+  let poll () =
+    incr tick;
+    if !tick land 4095 = 0 && Unix.gettimeofday () > deadline then
+      raise (Wwt.Sched.Cancelled "fuzz oracle budget exhausted")
+  in
+  match Lang.Sema.check p with
+  | exception Lang.Sema.Error m ->
+      let s = Skip ("sema rejects the program: " ^ m) in
+      { engines = s; semantics = s; idempotence = s; protocol = s; equations = s }
+  | _ ->
+      let violations = ref [] in
+      let completed = ref false in
+      let note r =
+        (match r with
+        | Violation m -> violations := m :: !violations
+        | Done _ -> completed := true
+        | _ -> ());
+        r
+      in
+      let trace engine prog =
+        note (classify (fun () -> Wwt.Run.collect_trace ~poll ~engine ~machine prog))
+      in
+      let measure engine ~annotations ~prefetch prog =
+        note
+          (classify (fun () ->
+               Wwt.Run.measure ~poll ~engine ~machine ~annotations ~prefetch prog))
+      in
+      (* -- the program itself, both engines, all three modes -- *)
+      let tw_tr = trace Wwt.Run.Tree_walk p in
+      let co_tr = trace Wwt.Run.Compiled p in
+      let tw_pf = measure Wwt.Run.Tree_walk ~annotations:false ~prefetch:false p in
+      let co_pf = measure Wwt.Run.Compiled ~annotations:false ~prefetch:false p in
+      let tw_pa = measure Wwt.Run.Tree_walk ~annotations:true ~prefetch:true p in
+      let co_pa = measure Wwt.Run.Compiled ~annotations:true ~prefetch:true p in
+      (* -- annotated variants (need a trace and an annotator that ran) -- *)
+      let annotate options =
+        match co_tr with
+        | Done tr -> (
+            match
+              Cachier.Annotate.annotate_with_trace ~machine ~options p
+                tr.Wwt.Interp.trace
+            with
+            | r -> Ok (Some r)
+            | exception e -> Error (Printexc.to_string e))
+        | _ -> Ok None
+      in
+      let perf_r = annotate perf_options in
+      let prog_r = annotate prog_options in
+      let annotated_runs =
+        List.concat_map
+          (fun (label, r) ->
+            match r with
+            | Ok (Some res) ->
+                let prog = res.Cachier.Annotate.annotated in
+                [
+                  ( label,
+                    measure Wwt.Run.Tree_walk ~annotations:true ~prefetch:true prog,
+                    measure Wwt.Run.Compiled ~annotations:true ~prefetch:true prog
+                  );
+                ]
+            | _ -> [])
+          [ ("Performance-annotated", perf_r); ("Programmer-annotated", prog_r) ]
+      in
+      (* -- oracle 1: engine equivalence -- *)
+      let engine_pairs =
+        [
+          ("trace mode", tw_tr, co_tr);
+          ("perf mode", tw_pf, co_pf);
+          ("perf mode with directives", tw_pa, co_pa);
+        ]
+        @ List.map (fun (l, a, b) -> (l ^ " perf mode", a, b)) annotated_runs
+      in
+      let engines =
+        List.fold_left
+          (fun acc (name, a, b) ->
+            match acc with
+            | Fail _ -> acc
+            | _ -> (
+                match (a, b) with
+                | Done x, Done y -> (
+                    match outcome_mismatch x y with
+                    | None -> acc
+                    | Some field ->
+                        Fail
+                          (Printf.sprintf "%s: engines disagree on %s" name field))
+                | Runtime _, Runtime _ | Deadlock _, Deadlock _ -> acc
+                | Timeout, _ | _, Timeout -> acc
+                | Violation _, _ | _, Violation _ -> acc
+                | a, b ->
+                    Fail
+                      (Printf.sprintf "%s: tree-walk %s but compiled %s" name
+                         (describe a) (describe b))))
+          Pass engine_pairs
+      in
+      (* -- oracle 2: annotations preserve semantics -- *)
+      let semantics =
+        match co_pf with
+        | Done base ->
+            let variants =
+              (("program with its own directives executed", co_pa)
+              :: List.map (fun (l, _, co) -> (l, co)) annotated_runs)
+            in
+            let annot_error =
+              List.find_map
+                (fun (l, r) ->
+                  match r with Error e -> Some (l, e) | Ok _ -> None)
+                [ ("Performance", perf_r); ("Programmer", prog_r) ]
+            in
+            (match annot_error with
+            | Some (l, e) -> Fail (Printf.sprintf "%s annotator raised %s" l e)
+            | None ->
+                List.fold_left
+                  (fun acc (label, r) ->
+                    match acc with
+                    | Fail _ -> acc
+                    | _ -> (
+                        match r with
+                        | Done o ->
+                            if same_signature ~nodes base o then acc
+                            else
+                              Fail
+                                (label
+                                 ^ " changes per-node output or final shared \
+                                    memory")
+                        | Timeout -> acc
+                        | Violation _ -> acc
+                        | r ->
+                            Fail
+                              (Printf.sprintf "%s: baseline completed but %s"
+                                 label (describe r))))
+                  Pass variants)
+        | Timeout -> Skip "baseline run timed out"
+        | Violation _ -> Skip "baseline run tripped the protocol audit"
+        | r -> Skip ("baseline run: " ^ describe r)
+      in
+      (* -- oracle 3: annotation is a fixpoint -- *)
+      let idempotence =
+        match co_tr with
+        | Done tr ->
+            let fixpoint label options r =
+              match r with
+              | Ok (Some res) -> (
+                  let once = res.Cachier.Annotate.annotated in
+                  match
+                    Cachier.Annotate.annotate_with_trace ~machine ~options once
+                      tr.Wwt.Interp.trace
+                  with
+                  | res2 ->
+                      let s1 = Lang.Pretty.program_to_string once in
+                      let s2 =
+                        Lang.Pretty.program_to_string
+                          res2.Cachier.Annotate.annotated
+                      in
+                      if String.equal s1 s2 then Ok ()
+                      else Error (label ^ " re-annotation is not a fixpoint")
+                  | exception e ->
+                      Error
+                        (Printf.sprintf "%s re-annotation raised %s" label
+                           (Printexc.to_string e)))
+              | Ok None -> Ok ()
+              | Error e -> Error (label ^ " annotator raised " ^ e)
+            in
+            let combine = function
+              | Error e -> Fail e
+              | Ok () -> Pass
+            in
+            (match fixpoint "Performance" perf_options perf_r with
+            | Error e -> Fail e
+            | Ok () -> combine (fixpoint "Programmer" prog_options prog_r))
+        | r -> Skip ("trace collection: " ^ describe r)
+      in
+      (* -- oracle 4: Dir1SW invariants -- *)
+      let protocol =
+        match !violations with
+        | m :: _ -> Fail m
+        | [] -> if !completed then Pass else Skip "no run completed"
+      in
+      (* -- oracle 5: equation and cost-model sanity -- *)
+      let equations =
+        match co_tr with
+        | Done tr -> (
+            match
+              Cachier.Epoch_info.build ~nodes ~block_size:machine.Wwt.Machine.block_size
+                tr.Wwt.Interp.trace
+            with
+            | einfo -> (
+                match subset_mismatch einfo with
+                | Some m -> Fail m
+                | None -> (
+                    let annotated_stats =
+                      List.find_map
+                        (fun (_, _, co) ->
+                          match co with
+                          | Done o -> Some o.Wwt.Interp.stats
+                          | _ -> None)
+                        annotated_runs
+                    in
+                    match cost_model_mismatch ~machine annotated_stats with
+                    | Some m -> Fail m
+                    | None -> Pass))
+            | exception e ->
+                Fail ("trace assimilation raised " ^ Printexc.to_string e))
+        | r -> Skip ("trace collection: " ^ describe r)
+      in
+      { engines; semantics; idempotence; protocol; equations }

@@ -1,0 +1,49 @@
+(** The five differential-testing oracles.
+
+    {ol
+    {- [engines] — the tree-walking and closure-compiling engines agree
+       exactly (time, stats, trace, output, final memory) on the program
+       and its annotated variants;}
+    {- [semantics] — annotating never changes results: per-node output and
+       final shared memory are identical with and without CICO
+       annotations, in both Performance and Programmer mode;}
+    {- [idempotence] — re-annotating an annotated program with the same
+       trace reproduces the same source (fixpoint);}
+    {- [protocol] — no run trips the Dir1SW invariant audit
+       ({!Memsys.Protocol.check_invariants}, enabled through
+       [Machine.debug_protocol]);}
+    {- [equations] — Performance CICO's sets are a subset of Programmer
+       CICO's for every epoch and node, and the cost-model closed forms
+       are non-negative.}} *)
+
+type verdict =
+  | Pass
+  | Skip of string
+      (** the oracle did not apply — e.g. the program fails sema, or the
+          baseline run hit a runtime error; not a counterexample *)
+  | Fail of string  (** a real counterexample *)
+
+type report = {
+  engines : verdict;
+  semantics : verdict;
+  idempotence : verdict;
+  protocol : verdict;
+  equations : verdict;
+}
+
+val names : string list
+(** Oracle names, report order: ["engines"; "semantics"; "idempotence";
+    "protocol"; "equations"]. *)
+
+val to_list : report -> (string * verdict) list
+val first_failure : report -> (string * string) option
+
+val run_all :
+  ?budget_s:float -> machine:Wwt.Machine.t -> Lang.Ast.program -> report
+(** Run every oracle on one program. All simulations run with
+    [debug_protocol] forced on and are cancelled (and the affected
+    oracles skipped) once [budget_s] wall-clock seconds have passed, so a
+    shrink candidate with a pathological loop cannot stall the fuzzer. *)
+
+val pp : Format.formatter -> report -> unit
+val pp_verdict : Format.formatter -> verdict -> unit

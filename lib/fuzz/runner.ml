@@ -1,0 +1,187 @@
+(* The fuzzing loop: generate, run the oracle battery, shrink failures,
+   persist counterexamples.
+
+   Determinism: one master seed drives a single [Random.State.t] for the
+   whole campaign, and machines/generator configurations are cycled by
+   iteration index, so a campaign replays exactly from its seed. *)
+
+type config = {
+  seed : int;
+  budget_s : float;  (** wall-clock budget for the whole campaign *)
+  max_programs : int;  (** stop after this many programs; 0 = budget only *)
+  nodes : int;  (** largest machine to cycle through *)
+  corpus_dir : string option;  (** persist shrunk counterexamples here *)
+  per_program_budget_s : float;
+  shrink_fuel : int;  (** oracle re-runs allowed while shrinking *)
+  log : string -> unit;
+}
+
+let default =
+  {
+    seed = 0;
+    budget_s = 60.0;
+    max_programs = 0;
+    nodes = 4;
+    corpus_dir = None;
+    per_program_budget_s = 2.0;
+    shrink_fuel = 300;
+    log = ignore;
+  }
+
+type failure = {
+  oracle : string;
+  detail : string;
+  program : Lang.Ast.program;  (** shrunk *)
+  original : Lang.Ast.program;
+  machine : Wwt.Machine.t;
+  path : string option;  (** corpus file, when a corpus_dir was given *)
+}
+
+type stats = {
+  programs : int;
+  skips : int;  (** programs on which every oracle skipped *)
+  failures : failure list;
+  elapsed_s : float;
+}
+
+(* Machine geometries to cycle through: powers of two, and a 24-set
+   3-way configuration so non-power-of-two block counts get coverage. *)
+let geometries =
+  [| (512, 2, 32); (1024, 4, 32); (768, 3, 32); (256, 1, 32); (2048, 4, 64) |]
+
+let node_cycle = [| 2; 4; 3; 8; 1 |]
+
+let machine_for ~nodes ~index =
+  let cache_bytes, assoc, block_size =
+    geometries.(index mod Array.length geometries)
+  in
+  let n = min nodes node_cycle.(index mod Array.length node_cycle) in
+  {
+    Wwt.Machine.default with
+    Wwt.Machine.nodes = max 1 n;
+    cache_bytes;
+    assoc;
+    block_size;
+  }
+
+let verdict_for ~oracle report =
+  List.assoc_opt oracle (Oracle.to_list report)
+
+let still_fails ~machine ~budget_s ~oracle p =
+  match verdict_for ~oracle (Oracle.run_all ~budget_s ~machine p) with
+  | Some (Oracle.Fail d) -> Some d
+  | _ -> None
+
+(* Greedy shrink: take the first candidate that still fails the same
+   oracle, repeat until no candidate does or the fuel (counted in oracle
+   re-runs) is gone. *)
+let shrink ~machine ~budget_s ~fuel ~oracle p =
+  let fuel = ref fuel in
+  let rec go p =
+    let next =
+      Seq.find_map
+        (fun c ->
+          if !fuel <= 0 then None
+          else begin
+            decr fuel;
+            match still_fails ~machine ~budget_s ~oracle c with
+            | Some _ -> Some c
+            | None -> None
+          end)
+        (Gen.shrink_spmd p)
+    in
+    match next with Some c -> go c | None -> p
+  in
+  go p
+
+let run cfg =
+  let rng = Random.State.make [| cfg.seed |] in
+  let t0 = Unix.gettimeofday () in
+  let programs = ref 0 and skips = ref 0 and failures = ref [] in
+  let continue_ () =
+    (cfg.max_programs = 0 || !programs < cfg.max_programs)
+    && Unix.gettimeofday () -. t0 < cfg.budget_s
+  in
+  let index = ref 0 in
+  while continue_ () do
+    let i = !index in
+    incr index;
+    let machine = machine_for ~nodes:cfg.nodes ~index:i in
+    let gcfg =
+      {
+        Gen.default_config with
+        Gen.max_segments = Gen.int_range 1 4 rng;
+        max_stmts = Gen.int_range 2 6 rng;
+        max_depth = Gen.int_range 2 3 rng;
+        annotations = Random.State.bool rng;
+      }
+    in
+    let p = Gen.spmd ~config:gcfg rng in
+    incr programs;
+    let report = Oracle.run_all ~budget_s:cfg.per_program_budget_s ~machine p in
+    (match Oracle.first_failure report with
+    | None ->
+        if
+          List.for_all
+            (fun (_, v) -> match v with Oracle.Skip _ -> true | _ -> false)
+            (Oracle.to_list report)
+        then incr skips
+    | Some (oracle, detail) ->
+        cfg.log
+          (Printf.sprintf "#%d: %s oracle failed (%s); shrinking..." !programs
+             oracle detail);
+        let shrunk =
+          shrink ~machine ~budget_s:cfg.per_program_budget_s
+            ~fuel:cfg.shrink_fuel ~oracle p
+        in
+        let detail =
+          match
+            still_fails ~machine ~budget_s:cfg.per_program_budget_s ~oracle
+              shrunk
+          with
+          | Some d -> d
+          | None -> detail
+        in
+        cfg.log
+          (Printf.sprintf "  shrunk %d -> %d AST nodes" (Gen.size_program p)
+             (Gen.size_program shrunk));
+        let path =
+          Option.map
+            (fun dir ->
+              Corpus.save ~dir
+                {
+                  Corpus.oracle;
+                  detail;
+                  seed = cfg.seed;
+                  nodes = machine.Wwt.Machine.nodes;
+                  source = Lang.Pretty.program_to_string shrunk;
+                })
+            cfg.corpus_dir
+        in
+        failures :=
+          { oracle; detail; program = shrunk; original = p; machine; path }
+          :: !failures);
+    if !programs mod 100 = 0 then
+      cfg.log
+        (Printf.sprintf "%d programs, %d skipped, %d counterexamples (%.1fs)"
+           !programs !skips
+           (List.length !failures)
+           (Unix.gettimeofday () -. t0))
+  done;
+  {
+    programs = !programs;
+    skips = !skips;
+    failures = List.rev !failures;
+    elapsed_s = Unix.gettimeofday () -. t0;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "programs: %d@ all-oracles-skipped: %d@ counterexamples: %d@ elapsed: %.1fs"
+    s.programs s.skips (List.length s.failures) s.elapsed_s;
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "@ %s: %s (%d AST nodes%s)" f.oracle f.detail
+        (Gen.size_program f.program)
+        (match f.path with Some p -> ", saved to " ^ p | None -> ""))
+    s.failures

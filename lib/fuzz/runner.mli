@@ -1,0 +1,57 @@
+(** The fuzzing loop: generate SPMD programs, run the five-oracle battery
+    ({!Oracle.run_all}), shrink any failure with {!Gen.shrink_spmd}, and
+    persist shrunk counterexamples to a {!Corpus} directory.
+
+    A campaign is deterministic in its master seed: one [Random.State.t]
+    drives generation, and machine geometry / node count / generator
+    configuration cycle by iteration index, so re-running with the same
+    seed reproduces the same programs on the same machines. *)
+
+type config = {
+  seed : int;
+  budget_s : float;  (** wall-clock budget for the whole campaign *)
+  max_programs : int;  (** stop after this many programs; 0 = budget only *)
+  nodes : int;  (** largest machine to cycle through *)
+  corpus_dir : string option;  (** persist shrunk counterexamples here *)
+  per_program_budget_s : float;  (** oracle budget per program *)
+  shrink_fuel : int;  (** oracle re-runs allowed while shrinking *)
+  log : string -> unit;  (** progress sink (e.g. [print_endline]) *)
+}
+
+val default : config
+(** Seed 0, 60 s budget, machines up to 4 nodes, no corpus directory. *)
+
+type failure = {
+  oracle : string;
+  detail : string;
+  program : Lang.Ast.program;  (** shrunk *)
+  original : Lang.Ast.program;
+  machine : Wwt.Machine.t;
+  path : string option;  (** corpus file, when a corpus_dir was given *)
+}
+
+type stats = {
+  programs : int;
+  skips : int;  (** programs on which every oracle skipped *)
+  failures : failure list;
+  elapsed_s : float;
+}
+
+val machine_for : nodes:int -> index:int -> Wwt.Machine.t
+(** The machine used at a given iteration index: cache geometry (including
+    a non-power-of-two 24-set 3-way configuration) and node count cycle
+    independently, capped at [nodes]. *)
+
+val shrink :
+  machine:Wwt.Machine.t ->
+  budget_s:float ->
+  fuel:int ->
+  oracle:string ->
+  Lang.Ast.program ->
+  Lang.Ast.program
+(** Greedy shrink: repeatedly take the first {!Gen.shrink_spmd} candidate
+    on which [oracle] still fails, spending at most [fuel] oracle
+    re-runs. *)
+
+val run : config -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -61,3 +61,25 @@ let is_sharer t blk ~node =
   | Shared mask -> mask land (1 lsl node) <> 0
 
 let entries t = Hashtbl.fold (fun blk st acc -> (blk, st) :: acc) t.table []
+
+(* Structural well-formedness of the stored entries themselves: sharer
+   masks name only real nodes and are never empty (Shared 0 normalises to
+   Idle in [set]), exclusive owners are in range. The protocol engine's
+   [check_invariants] builds on this to cross-check against cache state. *)
+let validate t =
+  let full = (1 lsl t.n_nodes) - 1 in
+  Hashtbl.fold
+    (fun blk st acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match st with
+          | Idle -> None
+          | Shared 0 -> Some (blk, "stored empty sharer mask")
+          | Shared mask when mask land lnot full <> 0 ->
+              Some (blk, "sharer mask names a node out of range")
+          | Shared _ -> None
+          | Exclusive owner when owner < 0 || owner >= t.n_nodes ->
+              Some (blk, "exclusive owner out of range")
+          | Exclusive _ -> None))
+    t.table None

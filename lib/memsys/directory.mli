@@ -48,3 +48,10 @@ val entries : t -> (int * state) list
 
 val popcount : int -> int
 (** Number of set bits (exposed for tests). *)
+
+val validate : t -> (int * string) option
+(** Structural well-formedness of the stored entries: sharer masks are
+    non-empty and name only nodes in range, exclusive owners are in range.
+    Returns [Some (block, reason)] for the first offending entry. This is
+    the directory half of the Dir1SW debug oracle; {!Protocol.check_invariants}
+    adds the cross-checks against per-node cache state. *)

@@ -41,7 +41,12 @@ type t = {
   past_sharers : (int, int) Hashtbl.t;
       (* block -> bitmask of nodes that once held it and lost it; the
          recipient set of a KSR-1-style post-store *)
+  mutable debug_checks : bool;
+      (* run [check_invariants] after every protocol transition; off by
+         default so the hot path pays one predictable branch *)
 }
+
+exception Invariant_violation of string
 
 let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
   let blk_shift =
@@ -61,6 +66,7 @@ let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
     pf_pending = Hashtbl.create 256;
     pf_live = 0;
     past_sharers = Hashtbl.create 256;
+    debug_checks = false;
   }
 
 let nodes t = t.n_nodes
@@ -76,6 +82,100 @@ let block_of_addr t addr =
   addr lsr t.blk_shift
 
 let pf_key t ~node ~blk = (blk * t.n_nodes) + node
+
+(* ---- Dir1SW invariant oracle (debug hook) ----
+
+   Cross-checks directory state against every per-node cache after a
+   transition. The invariants:
+   - directory entries are structurally well formed ([Directory.validate]);
+   - an [Exclusive owner] entry means the owner caches the block in the
+     Exclusive state and no other node caches it at all (single writer);
+   - every cached copy of a [Shared] block is in the Shared state and is
+     listed in the sharer mask (stale *extra* sharers are legal — Shared
+     replacement is silent — but a cached-yet-unlisted sharer is not);
+   - a cached Exclusive line is always the directory's registered owner,
+     and a cached Shared line is always a registered sharer (no cached
+     copy of an Idle block);
+   - the pending-prefetch table is consistent: the live counter matches
+     the table, keys decode to real nodes, and every pending transaction
+     still has its line resident — a pending entry whose line is gone is
+     a stuck transition that [forget_prefetch] should have cleared. *)
+let check_invariants t =
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
+  (match Directory.validate t.dir with
+  | Some (blk, reason) -> fail "directory entry for block %d: %s" blk reason
+  | None -> ());
+  List.iter
+    (fun (blk, st) ->
+      match st with
+      | Directory.Idle -> ()
+      | Directory.Exclusive owner ->
+          (match Cache.find t.caches.(owner) blk with
+          | Some l when l.Cache.state = Cache.Exclusive -> ()
+          | Some _ ->
+              fail "block %d: directory owner %d holds a non-exclusive copy"
+                blk owner
+          | None ->
+              fail "block %d: directory owner %d holds no copy" blk owner);
+          for node = 0 to t.n_nodes - 1 do
+            if node <> owner && Cache.find t.caches.(node) blk <> None then
+              fail "block %d: exclusive at %d but also cached at %d" blk owner
+                node
+          done
+      | Directory.Shared mask ->
+          for node = 0 to t.n_nodes - 1 do
+            match Cache.find t.caches.(node) blk with
+            | None -> ()
+            | Some l ->
+                if l.Cache.state <> Cache.Shared then
+                  fail "block %d: cached exclusive at %d under a Shared entry"
+                    blk node
+                else if mask land (1 lsl node) = 0 then
+                  fail "block %d: node %d caches a copy but is not a sharer"
+                    blk node
+          done)
+    (Directory.entries t.dir);
+  for node = 0 to t.n_nodes - 1 do
+    Cache.iter t.caches.(node) (fun l ->
+        let blk = l.Cache.block in
+        match (l.Cache.state, Directory.get t.dir blk) with
+        | Cache.Exclusive, Directory.Exclusive owner when owner = node -> ()
+        | Cache.Exclusive, _ ->
+            fail "block %d: node %d caches exclusive without directory \
+                  ownership" blk node
+        | Cache.Shared, Directory.Shared mask when mask land (1 lsl node) <> 0
+          ->
+            ()
+        | Cache.Shared, _ ->
+            fail "block %d: node %d caches a shared copy the directory does \
+                  not list" blk node)
+  done;
+  if Hashtbl.length t.pf_pending <> t.pf_live then
+    fail "pending-prefetch counter %d disagrees with table size %d" t.pf_live
+      (Hashtbl.length t.pf_pending);
+  Hashtbl.iter
+    (fun key () ->
+      let node = key mod t.n_nodes and blk = key / t.n_nodes in
+      if node < 0 || node >= t.n_nodes then
+        fail "pending prefetch names node %d out of range" node
+      else if Cache.probe t.caches.(node) blk < 0 then
+        fail "stuck pending prefetch: block %d no longer resident at node %d"
+          blk node)
+    t.pf_pending;
+  !err
+
+let set_debug_checks t on = t.debug_checks <- on
+let debug_checks t = t.debug_checks
+
+(* Every public transition funnels its result through [guard]. *)
+let guard t v =
+  if t.debug_checks then begin
+    match check_invariants t with
+    | None -> ()
+    | Some msg -> raise (Invariant_violation msg)
+  end;
+  v
 
 let forget_prefetch t ~node ~blk =
   if t.pf_live > 0 then begin
@@ -259,7 +359,7 @@ let upgrade_resident t ~node ~blk =
    Cache hits run option-free (index probe, in-place LRU touch) and skip
    all directory bookkeeping; only the returned int is constructed. *)
 
-let read_p t ~node ~addr ~now =
+let read_p_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
   t.stat.shared_reads <- t.stat.shared_reads + 1;
   let c = t.caches.(node) in
@@ -277,7 +377,7 @@ let read_p t ~node ~addr ~now =
     pack ~latency ~kind:read_miss
   end
 
-let write_p t ~node ~addr ~now =
+let write_p_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
   t.stat.shared_writes <- t.stat.shared_writes + 1;
   let c = t.caches.(node) in
@@ -309,9 +409,12 @@ let write_p t ~node ~addr ~now =
     pack ~latency ~kind:write_miss
   end
 
+let read_p t ~node ~addr ~now = guard t (read_p_u t ~node ~addr ~now)
+let write_p t ~node ~addr ~now = guard t (write_p_u t ~node ~addr ~now)
+
 (* ---- CICO directives: latency-returning entry points (never misses) *)
 
-let check_out_x_lat t ~node ~addr ~now =
+let check_out_x_lat_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
   t.stat.check_outs_x <- t.stat.check_outs_x + 1;
   let overhead = t.cost.Network.check_out_overhead in
@@ -336,7 +439,10 @@ let check_out_x_lat t ~node ~addr ~now =
     overhead + latency
   end
 
-let check_out_s_lat t ~node ~addr ~now =
+let check_out_x_lat t ~node ~addr ~now =
+  guard t (check_out_x_lat_u t ~node ~addr ~now)
+
+let check_out_s_lat_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
   t.stat.check_outs_s <- t.stat.check_outs_s + 1;
   let overhead = t.cost.Network.check_out_overhead in
@@ -351,7 +457,10 @@ let check_out_s_lat t ~node ~addr ~now =
     overhead + latency
   end
 
-let check_in_lat t ~node ~addr ~now:_ =
+let check_out_s_lat t ~node ~addr ~now =
+  guard t (check_out_s_lat_u t ~node ~addr ~now)
+
+let check_in_lat_u t ~node ~addr ~now:_ =
   let blk = block_of_addr t addr in
   t.stat.check_ins <- t.stat.check_ins + 1;
   (match Cache.remove t.caches.(node) blk with
@@ -367,7 +476,10 @@ let check_in_lat t ~node ~addr ~now:_ =
       | Cache.Shared -> Directory.remove_sharer t.dir blk ~node));
   t.cost.Network.check_in_cost
 
-let prefetch_lat ~exclusive t ~node ~addr ~now =
+let check_in_lat t ~node ~addr ~now =
+  guard t (check_in_lat_u t ~node ~addr ~now)
+
+let prefetch_lat_u ~exclusive t ~node ~addr ~now =
   let blk = block_of_addr t addr in
   t.stat.prefetches <- t.stat.prefetches + 1;
   let c = t.caches.(node) in
@@ -394,10 +506,13 @@ let prefetch_lat ~exclusive t ~node ~addr ~now =
     t.cost.Network.prefetch_issue
   end
 
+let prefetch_lat ~exclusive t ~node ~addr ~now =
+  guard t (prefetch_lat_u ~exclusive t ~node ~addr ~now)
+
 let prefetch_x_lat t = prefetch_lat ~exclusive:true t
 let prefetch_s_lat t = prefetch_lat ~exclusive:false t
 
-let post_store_lat t ~node ~addr ~now =
+let post_store_lat_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
   t.stat.post_stores <- t.stat.post_stores + 1;
   let c = t.caches.(node) in
@@ -428,6 +543,9 @@ let post_store_lat t ~node ~addr ~now =
        Directory.set t.dir blk (Directory.Shared !mask)
      end);
   t.cost.Network.check_in_cost
+
+let post_store_lat t ~node ~addr ~now =
+  guard t (post_store_lat_u t ~node ~addr ~now)
 
 (* ---- allocating wrappers, kept for existing callers and tests ---- *)
 
@@ -462,7 +580,8 @@ let flush_node t ~node =
           if dirty then t.stat.writebacks <- t.stat.writebacks + 1;
           Directory.set t.dir blk Directory.Idle
       | Cache.Shared -> Directory.remove_sharer t.dir blk ~node)
-    flushed
+    flushed;
+  guard t ()
 
 let reset t =
   for node = 0 to t.n_nodes - 1 do

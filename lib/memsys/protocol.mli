@@ -116,5 +116,28 @@ val flush_node : t -> node:int -> unit
 (** Flush the node's entire shared-data cache, updating the directory.
     Used at barriers during trace-collection runs (Section 3.3). *)
 
+(** {2 Dir1SW invariant oracle (debug hook)}
+
+    For differential testing the protocol can audit itself after every
+    transition: single exclusive owner, sharer sets consistent with cache
+    states (stale extra sharers from silent Shared replacement are legal,
+    cached-but-unlisted sharers are not), no cached copy of an Idle block,
+    and no stuck pending prefetch whose line is gone. Off by default; the
+    hot path pays one predictable branch. *)
+
+exception Invariant_violation of string
+(** Raised by any transition entry point when {!set_debug_checks} is on
+    and the transition left the machine in a state violating a Dir1SW
+    invariant. *)
+
+val check_invariants : t -> string option
+(** One full audit of directory-versus-cache state, independent of the
+    debug flag. [None] when every invariant holds. *)
+
+val set_debug_checks : t -> bool -> unit
+(** Enable or disable the per-transition audit. *)
+
+val debug_checks : t -> bool
+
 val reset : t -> unit
 (** Drop all cache and directory state and zero the statistics. *)

@@ -73,7 +73,12 @@ let split ~nodes records =
     (fun r ->
       match r with
       | Event.Label { name; lo; hi } -> labels := (name, lo, hi) :: !labels
-      | Event.Barrier b -> current_barriers := b :: !current_barriers
+      | Event.Barrier b ->
+          current_barriers := b :: !current_barriers;
+          (* a group is complete once every node has arrived: close the
+             epoch now, so back-to-back barriers (an epoch with no
+             misses) form their own groups instead of merging *)
+          if List.length !current_barriers = nodes then flush_barriers ()
       | Event.Miss m ->
           flush_barriers ();
           current_misses := m :: !current_misses)

@@ -64,7 +64,17 @@ let of_string s =
     | line :: rest -> (
         match
           try parse_line lineno line
-          with Failure _ as e -> raise e
+          with Failure msg ->
+            (* int_of_string and friends fail without positional context;
+               keep messages that already carry it, wrap the rest. *)
+            let msg =
+              if String.length msg >= 10 && String.sub msg 0 10 = "trace line"
+              then msg
+              else
+                Printf.sprintf "trace line %d: %s in %S" lineno msg
+                  (String.trim line)
+            in
+            failwith msg
         with
         | None -> loop (lineno + 1) acc rest
         | Some r -> loop (lineno + 1) (r :: acc) rest)

@@ -811,6 +811,8 @@ let run ?poll ~machine program =
       ~cache_bytes:machine.Machine.cache_bytes ~assoc:machine.Machine.assoc
       ~block_size:machine.Machine.block_size ~costs:machine.Machine.costs
   in
+  if machine.Machine.debug_protocol then
+    Memsys.Protocol.set_debug_checks proto true;
   let total_elems =
     (Label.total_bytes layout + machine.Machine.elem_size - 1)
     / machine.Machine.elem_size

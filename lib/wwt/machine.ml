@@ -12,6 +12,7 @@ type t = {
   annotations : annot_mode;
   prefetch : bool;
   quantum : int;
+  debug_protocol : bool;
 }
 
 let default =
@@ -27,6 +28,7 @@ let default =
     annotations = Ignore_annotations;
     prefetch = false;
     quantum = 64;
+    debug_protocol = false;
   }
 
 let paper =

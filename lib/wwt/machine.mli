@@ -21,6 +21,10 @@ type t = {
       (** scheduling quantum in cycles: local work is accumulated and the
           fiber yields to the event loop once per quantum, like WWT's
           quantum-based simulation *)
+  debug_protocol : bool;
+      (** audit the Dir1SW invariants after every protocol transition
+          ({!Memsys.Protocol.set_debug_checks}); used by the differential
+          fuzzer, off for normal runs *)
 }
 
 val default : t

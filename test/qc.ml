@@ -1,0 +1,45 @@
+(* Shared qcheck-alcotest glue.
+
+   Every property suite runs from one fixed seed so `dune runtest` is
+   deterministic; set CACHIER_QCHECK_SEED to explore other schedules or
+   to replay a failure. The seed in use is printed once per run, and a
+   failing property reports it again next to qcheck's own shrunk
+   counterexample, so the reproduction recipe is always in the output. *)
+
+let default_seed = 20260806
+
+let seed =
+  match Sys.getenv_opt "CACHIER_QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf
+            "CACHIER_QCHECK_SEED=%S is not an integer; using default %d\n%!" s
+            default_seed;
+          default_seed)
+  | None -> default_seed
+
+let announced = ref false
+
+let announce () =
+  if not !announced then begin
+    announced := true;
+    Printf.printf "qcheck seed: %d (override with CACHIER_QCHECK_SEED)\n%!" seed
+  end
+
+(* Wrap a qcheck test for alcotest, pinning the RNG to [seed]. On failure
+   qcheck prints the shrunk counterexample; we add the seed so the run
+   reproduces with CACHIER_QCHECK_SEED=<seed> dune runtest. *)
+let qtest test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| seed |]) test
+  in
+  let run' () =
+    announce ();
+    try run ()
+    with e ->
+      Printf.printf "replay with: CACHIER_QCHECK_SEED=%d dune runtest\n%!" seed;
+      raise e
+  in
+  Alcotest.test_case name speed run'

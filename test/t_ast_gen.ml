@@ -1,165 +1,29 @@
-(* Property tests over randomly generated programs: the pretty-printer and
-   parser are exact inverses (modulo statement ids), semantic analysis
-   never crashes, and generated race-free programs run deterministically. *)
+(* Property tests over randomly generated programs. The generators now
+   live in the fuzz library (Fuzz.Gen) — [free_*] are the unconstrained
+   trees these round-trip properties always used, and [spmd] is the
+   differential fuzzer's well-formed generator, whose guarantees (sema
+   acceptance, deterministic runs, shrinker soundness) are checked
+   here. *)
 
 open Lang
 open QCheck
 
-let qtest = QCheck_alcotest.to_alcotest
-
-(* ---- generators ---- *)
-
-let var_names = [| "x"; "y"; "z"; "acc"; "tmp" |]
-let array_names = [| "A"; "B" |]
-
-let gen_expr =
-  Gen.sized (fun n ->
-      Gen.fix
-        (fun self n ->
-          if n <= 0 then
-            Gen.oneof
-              [
-                (* negative literals are spelled with an explicit Neg:
-                   [Eint (-34)] prints as ["(-34)"], which re-parses as
-                   [Eunop (Neg, Eint 34)] — same value, different tree *)
-                Gen.map (fun i -> Ast.Eint i) (Gen.int_range 0 99);
-                Gen.map (fun f -> Ast.Efloat (float_of_int f /. 4.0))
-                  (Gen.int_range 0 40);
-                Gen.map (fun i -> Ast.Evar var_names.(i))
-                  (Gen.int_range 0 (Array.length var_names - 1));
-                Gen.return (Ast.Evar "pid");
-              ]
-          else
-            Gen.oneof
-              [
-                Gen.map3
-                  (fun op a b -> Ast.Ebinop (op, a, b))
-                  (Gen.oneofl
-                     Ast.[ Add; Sub; Mul; Div; Mod; Lt; Le; Gt; Ge; Eq; Ne; And; Or ])
-                  (self (n / 2)) (self (n / 2));
-                Gen.map2
-                  (fun op a -> Ast.Eunop (op, a))
-                  (Gen.oneofl Ast.[ Neg; Not ])
-                  (self (n / 2));
-                Gen.map2
-                  (fun i e -> Ast.Eindex (array_names.(i), e))
-                  (Gen.int_range 0 (Array.length array_names - 1))
-                  (self (n / 2));
-                Gen.map2
-                  (fun a b -> Ast.Ecall ("min", [ a; b ]))
-                  (self (n / 2)) (self (n / 2));
-                Gen.map (fun a -> Ast.Ecall ("abs", [ a ])) (self (n / 2));
-              ])
-        (min n 8))
-
-let gen_stmt =
-  Gen.sized (fun n ->
-      Gen.fix
-        (fun self n ->
-          let leaf =
-            Gen.oneof
-              [
-                Gen.map2
-                  (fun i e ->
-                    { Ast.sid = -1; node = Ast.Sassign (Ast.Lvar var_names.(i), e) })
-                  (Gen.int_range 0 (Array.length var_names - 1))
-                  gen_expr;
-                Gen.map3
-                  (fun i idx e ->
-                    {
-                      Ast.sid = -1;
-                      node = Ast.Sassign (Ast.Lindex (array_names.(i), idx), e);
-                    })
-                  (Gen.int_range 0 (Array.length array_names - 1))
-                  gen_expr gen_expr;
-                Gen.map2
-                  (fun k e ->
-                    {
-                      Ast.sid = -1;
-                      node =
-                        Ast.Sannot
-                          ( k,
-                            { Ast.arr = "A"; lo = e; hi = e } );
-                    })
-                  (Gen.oneofl
-                     Ast.[ Check_out_x; Check_out_s; Check_in; Prefetch_s; Post_store ])
-                  gen_expr;
-                Gen.map
-                  (fun es -> { Ast.sid = -1; node = Ast.Sprint es })
-                  (Gen.list_size (Gen.int_range 1 3) gen_expr);
-              ]
-          in
-          if n <= 0 then leaf
-          else
-            Gen.oneof
-              [
-                leaf;
-                Gen.map3
-                  (fun c b1 b2 -> { Ast.sid = -1; node = Ast.Sif (c, b1, b2) })
-                  gen_expr
-                  (Gen.list_size (Gen.int_range 0 3) (self (n / 2)))
-                  (Gen.list_size (Gen.int_range 0 2) (self (n / 2)));
-                Gen.map3
-                  (fun (v, step) (lo, hi) body ->
-                    {
-                      Ast.sid = -1;
-                      node =
-                        Ast.Sfor
-                          {
-                            var = var_names.(v);
-                            from_ = Ast.Eint lo;
-                            to_ = Ast.Eint hi;
-                            step = Ast.Eint step;
-                            body;
-                          };
-                    })
-                  (Gen.pair
-                     (Gen.int_range 0 (Array.length var_names - 1))
-                     (Gen.oneofl [ 1; 2; 3 ]))
-                  (Gen.pair (Gen.int_range 0 4) (Gen.int_range 0 8))
-                  (Gen.list_size (Gen.int_range 1 3) (self (n / 2)));
-              ])
-        (min n 6))
-
-let gen_program =
-  Gen.map
-    (fun stmts ->
-      Ast.renumber
-        {
-          Ast.decls = [ Ast.Dshared ("A", Ast.Eint 64); Ast.Dshared ("B", Ast.Eint 64) ];
-          procs = [ { Ast.pname = "main"; params = []; body = stmts } ];
-        })
-    (Gen.list_size (Gen.int_range 1 8) gen_stmt)
+let qtest = Qc.qtest
 
 let arbitrary_program =
-  make ~print:(fun p -> Pretty.program_to_string p) gen_program
+  make ~print:(fun p -> Pretty.program_to_string p) Fuzz.Gen.free_program
 
-(* structural equality modulo sids *)
-let rec strip_stmt (s : Ast.stmt) =
-  let node =
-    match s.Ast.node with
-    | Ast.Sif (e, b1, b2) -> Ast.Sif (e, List.map strip_stmt b1, List.map strip_stmt b2)
-    | Ast.Sfor fl -> Ast.Sfor { fl with Ast.body = List.map strip_stmt fl.Ast.body }
-    | Ast.Swhile (e, b) -> Ast.Swhile (e, List.map strip_stmt b)
-    | n -> n
-  in
-  { Ast.sid = 0; node }
+let arbitrary_spmd =
+  make ~print:(fun p -> Pretty.program_to_string p) (Fuzz.Gen.spmd ?config:None)
 
-let strip (p : Ast.program) =
-  {
-    p with
-    Ast.procs =
-      List.map
-        (fun pr -> { pr with Ast.body = List.map strip_stmt pr.Ast.body })
-        p.Ast.procs;
-  }
+(* ---- free-form trees: front-end round trips ---- *)
 
 let prop_print_parse_inverse =
   Test.make ~count:300 ~name:"pretty then parse is the identity"
     arbitrary_program (fun p ->
       let printed = Pretty.program_to_string p in
       match Parser.parse printed with
-      | p' -> strip p' = strip p
+      | p' -> Ast.equal_modulo_sids p' p
       | exception Parser.Error msg ->
           Test.fail_reportf "parse error: %s\n%s" msg printed)
 
@@ -205,8 +69,44 @@ let prop_strip_annotations_idempotent =
 
 let prop_renumber_preserves_structure =
   Test.make ~count:200 ~name:"renumber preserves structure"
-    arbitrary_program (fun p ->
-      strip (Ast.renumber p) = strip p)
+    arbitrary_program (fun p -> Ast.equal_modulo_sids (Ast.renumber p) p)
+
+(* ---- well-formed SPMD programs: the fuzzer's guarantees ---- *)
+
+let prop_spmd_well_formed =
+  Test.make ~count:200 ~name:"spmd programs pass sema and round-trip"
+    arbitrary_spmd (fun p ->
+      (match Sema.check p with
+      | _ -> ()
+      | exception Sema.Error m -> Test.fail_reportf "sema rejected: %s" m);
+      Ast.equal_modulo_sids (Parser.parse (Pretty.program_to_string p)) p)
+
+let prop_spmd_runs =
+  Test.make ~count:40 ~name:"spmd programs run to completion on both engines"
+    arbitrary_spmd (fun p ->
+      let machine = { Wwt.Machine.default with Wwt.Machine.nodes = 3 } in
+      let a = Wwt.Run.measure ~engine:Wwt.Run.Tree_walk ~machine
+                ~annotations:true ~prefetch:true p
+      and b = Wwt.Run.measure ~engine:Wwt.Run.Compiled ~machine
+                ~annotations:true ~prefetch:true p in
+      a.Wwt.Interp.time = b.Wwt.Interp.time
+      && compare a.Wwt.Interp.shared b.Wwt.Interp.shared = 0)
+
+let prop_shrink_well_formed =
+  Test.make ~count:60
+    ~name:"every shrink candidate stays well-formed and smaller-or-equal"
+    arbitrary_spmd (fun p ->
+      let size = Fuzz.Gen.size_program p in
+      Seq.for_all
+        (fun c ->
+          Fuzz.Gen.size_program c <= size
+          && (match Sema.check c with
+             | _ -> true
+             | exception Sema.Error _ -> false)
+          && Ast.equal_modulo_sids
+               (Parser.parse (Pretty.program_to_string c))
+               c)
+        (Fuzz.Gen.shrink_spmd p))
 
 let suite =
   List.map qtest
@@ -217,4 +117,7 @@ let suite =
       prop_interp_deterministic;
       prop_strip_annotations_idempotent;
       prop_renumber_preserves_structure;
+      prop_spmd_well_formed;
+      prop_spmd_runs;
+      prop_shrink_well_formed;
     ]

@@ -1,0 +1,42 @@
+(* Deterministic replay of the counterexample corpus.
+
+   Every .cico file under test/corpus/ is a shrunk program that once made
+   an oracle fail (against a real bug, or against a deliberately broken
+   build used to validate the fuzzer). At HEAD each entry must run the
+   full five-oracle battery cleanly — these are regression tests in the
+   exact shape the bug was found in. *)
+
+let corpus_dir = "corpus"
+
+let machine_with_nodes nodes =
+  { Wwt.Machine.default with Wwt.Machine.nodes }
+
+let replay_entry (path, (e : Fuzz.Corpus.entry)) () =
+  let program =
+    try Lang.Parser.parse e.Fuzz.Corpus.source
+    with Lang.Parser.Error msg ->
+      Alcotest.failf "%s: corpus entry no longer parses: %s" path msg
+  in
+  let machine = machine_with_nodes e.Fuzz.Corpus.nodes in
+  let report = Fuzz.Oracle.run_all ~budget_s:10.0 ~machine program in
+  match Fuzz.Oracle.first_failure report with
+  | None -> ()
+  | Some (oracle, detail) ->
+      Alcotest.failf "%s: %s oracle fails again: %s (originally: %s — %s)"
+        path oracle detail e.Fuzz.Corpus.oracle e.Fuzz.Corpus.detail
+
+let entries = Fuzz.Corpus.load_dir corpus_dir
+
+let corpus_nonempty () =
+  (* The tree ships seed entries; an empty corpus here means the test is
+     looking in the wrong place (dune deps) rather than a clean corpus. *)
+  Alcotest.(check bool) "corpus entries found" true (entries <> [])
+
+let suite =
+  Alcotest.test_case "corpus directory is wired into the test" `Quick
+    corpus_nonempty
+  :: List.map
+       (fun ((path, _) as entry) ->
+         Alcotest.test_case ("replay " ^ Filename.basename path) `Quick
+           (replay_entry entry))
+       entries

@@ -41,6 +41,40 @@ let suite_equivalence () =
            ~annotations:false ~prefetch:false prog))
     (Benchmarks.Suite.all ~scale:1.0 ~nodes ())
 
+(* Both engines must also agree on every *annotated* variant of the
+   suite: Cachier's inserted directives (Sannot ranges and per-pid
+   Sannot_table statements) exercise engine paths — directive execution,
+   prefetch issue — that unannotated programs never touch. *)
+let annotated_suite_equivalence () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Lang.Parser.parse b.Benchmarks.Suite.source in
+      let name = b.Benchmarks.Suite.name in
+      let trace =
+        (Wwt.Run.collect_trace ~machine prog).Wwt.Interp.trace
+      in
+      List.iter
+        (fun (mname, mode, prefetch) ->
+          let options =
+            { Cachier.Placement.default_options with
+              Cachier.Placement.mode; prefetch }
+          in
+          let annotated =
+            (Cachier.Annotate.annotate_with_trace ~machine ~options prog trace)
+              .Cachier.Annotate.annotated
+          in
+          check_same
+            (Printf.sprintf "%s/%s annotated" name mname)
+            (Wwt.Run.measure ~engine:Wwt.Run.Tree_walk ~machine
+               ~annotations:true ~prefetch annotated)
+            (Wwt.Run.measure ~engine:Wwt.Run.Compiled ~machine
+               ~annotations:true ~prefetch annotated))
+        [
+          ("performance", Cachier.Equations.Performance, true);
+          ("programmer", Cachier.Equations.Programmer, false);
+        ])
+    (Benchmarks.Suite.all ~scale:1.0 ~nodes ())
+
 (* node 0 re-acquires lock 1 while holding it; A[0] and A[32] are in
    different 32-byte blocks, so both stores miss in trace mode. The miss
    after the inner unlock must still list the outer hold. *)
@@ -91,6 +125,8 @@ let remove_lock_innermost () =
 let suite =
   [
     Alcotest.test_case "suite equivalence (both modes)" `Slow suite_equivalence;
+    Alcotest.test_case "suite equivalence (annotated variants)" `Slow
+      annotated_suite_equivalence;
     Alcotest.test_case "sunlock keeps outer reentrant hold" `Quick
       sunlock_reentrant;
     Alcotest.test_case "remove_lock drops innermost occurrence" `Quick

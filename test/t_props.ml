@@ -2,59 +2,73 @@
 
 module Iset = Trace.Epoch.Iset
 
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qc.qtest
 
-(* ---- cache invariants ---- *)
+(* ---- cache invariants ----
+
+   Every cache/protocol property runs over several geometries, including
+   a 3-way 768-byte one: 8 sets (power of two, as Cache.create demands)
+   but 24 blocks total — a non-power-of-two capacity that catches
+   masking-based indexing mistakes 2-way/4-way configurations hide. *)
+
+let geometries = [ (512, 2, 32); (768, 3, 32); (2048, 4, 64); (256, 1, 32) ]
+
+let gname (size, assoc, block) = Printf.sprintf "%dB/%d-way/%dB" size assoc block
+
+let for_all_geometries f = List.for_all (fun g -> f g) geometries
 
 let cache_ops_gen =
-  QCheck.(list_of_size (Gen.int_range 0 200) (pair (int_range 0 63) bool))
+  QCheck.(list_of_size (Gen.int_range 0 300) (pair (int_range 0 63) bool))
 
 let prop_cache_occupancy =
-  QCheck.Test.make ~count:100 ~name:"cache occupancy bounded and consistent"
+  QCheck.Test.make ~count:300 ~name:"cache occupancy bounded and consistent"
     cache_ops_gen (fun ops ->
-      let c = Memsys.Cache.create ~size_bytes:512 ~assoc:2 ~block_size:32 in
-      List.iter
-        (fun (blk, insert) ->
-          if insert then
-            ignore
-              (Memsys.Cache.insert c ~block:blk ~state:Memsys.Cache.Shared
-                 ~dirty:false ~ready_at:0)
-          else ignore (Memsys.Cache.remove c blk))
-        ops;
-      let counted = ref 0 in
-      Memsys.Cache.iter c (fun _ -> incr counted);
-      !counted = Memsys.Cache.occupancy c
-      && Memsys.Cache.occupancy c <= Memsys.Cache.capacity_blocks c)
+      for_all_geometries (fun (size_bytes, assoc, block_size) ->
+          let c = Memsys.Cache.create ~size_bytes ~assoc ~block_size in
+          List.iter
+            (fun (blk, insert) ->
+              if insert then
+                ignore
+                  (Memsys.Cache.insert c ~block:blk ~state:Memsys.Cache.Shared
+                     ~dirty:false ~ready_at:0)
+              else ignore (Memsys.Cache.remove c blk))
+            ops;
+          let counted = ref 0 in
+          Memsys.Cache.iter c (fun _ -> incr counted);
+          !counted = Memsys.Cache.occupancy c
+          && Memsys.Cache.occupancy c <= Memsys.Cache.capacity_blocks c))
 
 let prop_cache_no_duplicates =
-  QCheck.Test.make ~count:100 ~name:"cache never holds a block twice"
+  QCheck.Test.make ~count:300 ~name:"cache never holds a block twice"
     cache_ops_gen (fun ops ->
-      let c = Memsys.Cache.create ~size_bytes:512 ~assoc:2 ~block_size:32 in
-      List.iter
-        (fun (blk, insert) ->
-          if insert then
-            ignore
-              (Memsys.Cache.insert c ~block:blk ~state:Memsys.Cache.Exclusive
-                 ~dirty:true ~ready_at:0)
-          else Memsys.Cache.touch c blk)
-        ops;
-      let seen = Hashtbl.create 16 in
-      let dup = ref false in
-      Memsys.Cache.iter c (fun l ->
-          if Hashtbl.mem seen l.Memsys.Cache.block then dup := true;
-          Hashtbl.add seen l.Memsys.Cache.block ());
-      not !dup)
+      for_all_geometries (fun (size_bytes, assoc, block_size) ->
+          let c = Memsys.Cache.create ~size_bytes ~assoc ~block_size in
+          List.iter
+            (fun (blk, insert) ->
+              if insert then
+                ignore
+                  (Memsys.Cache.insert c ~block:blk ~state:Memsys.Cache.Exclusive
+                     ~dirty:true ~ready_at:0)
+              else Memsys.Cache.touch c blk)
+            ops;
+          let seen = Hashtbl.create 16 in
+          let dup = ref false in
+          Memsys.Cache.iter c (fun l ->
+              if Hashtbl.mem seen l.Memsys.Cache.block then dup := true;
+              Hashtbl.add seen l.Memsys.Cache.block ());
+          not !dup))
 
 (* ---- protocol invariants ---- *)
 
 let access_gen =
   QCheck.(
-    list_of_size (Gen.int_range 1 300)
+    list_of_size (Gen.int_range 1 400)
       (triple (int_range 0 3) (int_range 0 511) (int_range 0 6)))
 
-let run_protocol ops =
+let run_protocol ?(geometry = (512, 2, 32)) ops =
+  let cache_bytes, assoc, block_size = geometry in
   let p =
-    Memsys.Protocol.create ~nodes:4 ~cache_bytes:512 ~assoc:2 ~block_size:32
+    Memsys.Protocol.create ~nodes:4 ~cache_bytes ~assoc ~block_size
       ~costs:Memsys.Network.default
   in
   List.iteri
@@ -71,8 +85,23 @@ let run_protocol ops =
     ops;
   p
 
+(* The same audit the fuzzer's protocol oracle runs after every
+   transition, here driven by raw directive sequences no program would
+   produce. *)
+let prop_protocol_invariants_hold =
+  QCheck.Test.make ~count:150
+    ~name:"raw access sequences never break the Dir1SW audit" access_gen
+    (fun ops ->
+      for_all_geometries (fun geometry ->
+          let p = run_protocol ~geometry ops in
+          match Memsys.Protocol.check_invariants p with
+          | None -> true
+          | Some m ->
+              QCheck.Test.fail_reportf "audit failed on %s: %s" (gname geometry)
+                m))
+
 let prop_directory_consistent_with_caches =
-  QCheck.Test.make ~count:60
+  QCheck.Test.make ~count:150
     ~name:"directory exclusive implies sole cached copy" access_gen (fun ops ->
       let p = run_protocol ops in
       let dir = Memsys.Protocol.directory p in
@@ -105,21 +134,22 @@ let prop_directory_consistent_with_caches =
         (Memsys.Directory.entries dir))
 
 let prop_latencies_positive =
-  QCheck.Test.make ~count:60 ~name:"every access has positive latency"
+  QCheck.Test.make ~count:150 ~name:"every access has positive latency"
     access_gen (fun ops ->
-      let p =
-        Memsys.Protocol.create ~nodes:4 ~cache_bytes:512 ~assoc:2 ~block_size:32
-          ~costs:Memsys.Network.default
-      in
-      List.for_all
-        (fun (node, addr, op) ->
-          let o =
-            match op mod 2 with
-            | 0 -> Memsys.Protocol.read p ~node ~addr ~now:0
-            | _ -> Memsys.Protocol.write p ~node ~addr ~now:0
+      for_all_geometries (fun (cache_bytes, assoc, block_size) ->
+          let p =
+            Memsys.Protocol.create ~nodes:4 ~cache_bytes ~assoc ~block_size
+              ~costs:Memsys.Network.default
           in
-          o.Memsys.Protocol.latency > 0)
-        ops)
+          List.for_all
+            (fun (node, addr, op) ->
+              let o =
+                match op mod 2 with
+                | 0 -> Memsys.Protocol.read p ~node ~addr ~now:0
+                | _ -> Memsys.Protocol.write p ~node ~addr ~now:0
+              in
+              o.Memsys.Protocol.latency > 0)
+            ops))
 
 (* ---- equation invariants ---- *)
 
@@ -155,7 +185,7 @@ let with_info ops f =
   | exception Failure _ -> true (* malformed barrier grouping: skip *)
 
 let prop_cox_subset_sw =
-  QCheck.Test.make ~count:100 ~name:"Programmer co_x ⊆ SW" trace_gen (fun ops ->
+  QCheck.Test.make ~count:250 ~name:"Programmer co_x ⊆ SW" trace_gen (fun ops ->
       with_info ops (fun info ->
           let all = Cachier.Equations.all Cachier.Equations.Programmer info in
           Array.to_list all
@@ -174,7 +204,7 @@ let prop_cox_subset_sw =
                              Iset.empty)))))
 
 let prop_perf_cox_subset_faults =
-  QCheck.Test.make ~count:100 ~name:"Performance co_x ⊆ write faults" trace_gen
+  QCheck.Test.make ~count:250 ~name:"Performance co_x ⊆ write faults" trace_gen
     (fun ops ->
       with_info ops (fun info ->
           let faults =
@@ -196,7 +226,7 @@ let prop_perf_cox_subset_faults =
             all))
 
 let prop_perf_cos_empty =
-  QCheck.Test.make ~count:100 ~name:"Performance co_s = ∅" trace_gen (fun ops ->
+  QCheck.Test.make ~count:250 ~name:"Performance co_s = ∅" trace_gen (fun ops ->
       with_info ops (fun info ->
           let all = Cachier.Equations.all Cachier.Equations.Performance info in
           Array.for_all
@@ -208,7 +238,7 @@ let prop_perf_cos_empty =
             all))
 
 let prop_ci_subset_s =
-  QCheck.Test.make ~count:100 ~name:"Programmer ci ⊆ S of the epoch" trace_gen
+  QCheck.Test.make ~count:250 ~name:"Programmer ci ⊆ S of the epoch" trace_gen
     (fun ops ->
       with_info ops (fun info ->
           let all = Cachier.Equations.all Cachier.Equations.Programmer info in
@@ -229,7 +259,7 @@ let prop_ci_subset_s =
 (* ---- presentation properties ---- *)
 
 let prop_coalesce_preserves =
-  QCheck.Test.make ~count:200 ~name:"coalesce preserves the element set"
+  QCheck.Test.make ~count:400 ~name:"coalesce preserves the element set"
     QCheck.(list_of_size (Gen.int_range 0 50) (int_range 0 100))
     (fun xs ->
       let ranges = Cachier.Presentation.coalesce xs in
@@ -239,7 +269,7 @@ let prop_coalesce_preserves =
       expanded = List.sort_uniq compare xs)
 
 let prop_coalesce_maximal =
-  QCheck.Test.make ~count:200 ~name:"coalesced ranges are maximal and sorted"
+  QCheck.Test.make ~count:400 ~name:"coalesced ranges are maximal and sorted"
     QCheck.(list_of_size (Gen.int_range 0 50) (int_range 0 100))
     (fun xs ->
       let ranges = Cachier.Presentation.coalesce xs in
@@ -252,7 +282,7 @@ let prop_coalesce_maximal =
       ok ranges)
 
 let prop_block_align_covers =
-  QCheck.Test.make ~count:200 ~name:"block alignment only widens coverage"
+  QCheck.Test.make ~count:400 ~name:"block alignment only widens coverage"
     QCheck.(list_of_size (Gen.int_range 0 20) (pair (int_range 0 50) (int_range 0 10)))
     (fun pairs ->
       let ranges = List.map (fun (lo, len) -> (lo, lo + len)) pairs in
@@ -297,7 +327,7 @@ let record_gen =
       ])
 
 let prop_trace_round_trip =
-  QCheck.Test.make ~count:100 ~name:"trace file round trip"
+  QCheck.Test.make ~count:250 ~name:"trace file round trip"
     (QCheck.make (QCheck.Gen.list_size (QCheck.Gen.int_range 0 60) record_gen))
     (fun records ->
       Trace.Trace_file.of_string (Trace.Trace_file.to_string records) = records)
@@ -305,7 +335,7 @@ let prop_trace_round_trip =
 (* ---- pqueue ---- *)
 
 let prop_pqueue_sorted =
-  QCheck.Test.make ~count:200 ~name:"pqueue drains in priority order"
+  QCheck.Test.make ~count:400 ~name:"pqueue drains in priority order"
     QCheck.(list_of_size (Gen.int_range 0 100) small_int)
     (fun prios ->
       let q = Wwt.Pqueue.create () in
@@ -323,6 +353,7 @@ let suite =
     [
       prop_cache_occupancy;
       prop_cache_no_duplicates;
+      prop_protocol_invariants_hold;
       prop_directory_consistent_with_caches;
       prop_latencies_positive;
       prop_cox_subset_sw;

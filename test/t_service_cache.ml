@@ -1,7 +1,7 @@
 (* Service.Cache: LRU artifact cache under a byte budget, checked against
    an executable model on random operation interleavings. *)
 
-let qtest = QCheck_alcotest.to_alcotest
+let qtest = Qc.qtest
 
 (* ---- unit tests ---- *)
 
