@@ -20,6 +20,11 @@
      CACHIER_BENCH_FAST    set to skip the Bechamel micro-benchmarks
      CACHIER_BENCH_JOBS    domains for the experiment fan-out (default:
                            Domain.recommended_domain_count)
+     CACHIER_BENCH_DOMAINS domains *inside* one simulation for the
+                           figure6-par experiment (default 4); keep
+                           jobs x domains within the core count
+     CACHIER_BENCH_ONLY    comma-separated experiment names; run just
+                           those (bechamel still runs unless FAST)
      CACHIER_BENCH_JSON    where to write the machine-readable results
                            (default BENCH_1.json) *)
 
@@ -34,6 +39,11 @@ let scale =
   | None -> 1.0
 
 let jobs = Wwt.Jobs.default_jobs ()
+
+let domains =
+  match Sys.getenv_opt "CACHIER_BENCH_DOMAINS" with
+  | Some s -> int_of_string s
+  | None -> 4
 
 let machine = { Wwt.Machine.default with Wwt.Machine.nodes }
 
@@ -106,6 +116,69 @@ let figure6 buf =
     "shape checks: cachier <= hand on every benchmark; largest win on the\n\
      sharing-heavy mp3d/ocean; tomcatv flat; mp3d hand ~45 points behind\n\
      cachier (the paper's hand version checked blocks in too early).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Parallel engine: figure6 single-run wall clock, sequential vs Par   *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike the experiment fan-out above (many independent simulations,
+   one per domain), this measures ONE simulation spread across domains:
+   the latency story for interactive requests. Jobs are forced to 1
+   here so the two engines compete for the same cores. The outcomes
+   must be bit-identical — the whole point of the quantum-synchronized
+   design — so any divergence fails the run. *)
+let par_speedup = ref nan
+
+(* Stdout sections must stay byte-identical across runs and jobs
+   settings, so only the deterministic parts (simulated cycles, outcome
+   equality) are buffered; the wall-clock table goes to stderr and the
+   aggregate speedup to the JSON [par_speedup] field. *)
+let figure6_par buf =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let d = max 1 domains in
+  pr "one simulation, %d domains, jobs=1 — Par vs sequential compiled\n" d;
+  pr "%-9s %12s  outcome vs sequential\n" "benchmark" "cycles";
+  Printf.eprintf "figure6-par wall clock (%d domains):\n" d;
+  Printf.eprintf "  %-9s %11s %11s %8s\n" "benchmark" "seq(ms)" "par(ms)"
+    "speedup";
+  let run engine prog =
+    let t0 = Unix.gettimeofday () in
+    let o =
+      Wwt.Run.measure ~engine ~machine ~annotations:false ~prefetch:false prog
+    in
+    (o, Unix.gettimeofday () -. t0)
+  in
+  let best engine prog =
+    (* two timed runs; the first also pays warmup (compile, page-in) *)
+    let o1, t1 = run engine prog in
+    let _o2, t2 = run engine prog in
+    (o1, min t1 t2)
+  in
+  let tot_seq = ref 0.0 and tot_par = ref 0.0 in
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = parse b.Benchmarks.Suite.source in
+      let os, ts = best Wwt.Run.Compiled prog in
+      let op, tp = best (Wwt.Run.Par d) prog in
+      if
+        os.Wwt.Interp.time <> op.Wwt.Interp.time
+        || os.Wwt.Interp.stats <> op.Wwt.Interp.stats
+        || os.Wwt.Interp.shared <> op.Wwt.Interp.shared
+        || os.Wwt.Interp.output <> op.Wwt.Interp.output
+      then
+        failwith
+          (Printf.sprintf "figure6-par: %s: par outcome differs from sequential"
+             b.Benchmarks.Suite.name);
+      tot_seq := !tot_seq +. ts;
+      tot_par := !tot_par +. tp;
+      pr "%-9s %12d  bit-identical\n" b.Benchmarks.Suite.name
+        os.Wwt.Interp.time;
+      Printf.eprintf "  %-9s %11.1f %11.1f %7.2fx\n" b.Benchmarks.Suite.name
+        (ts *. 1e3) (tp *. 1e3) (ts /. tp))
+    (Benchmarks.Suite.all ~scale ~nodes ());
+  par_speedup := !tot_seq /. !tot_par;
+  Printf.eprintf "  aggregate: %.2fx\n%!" !par_speedup;
+  pr "aggregate wall-clock speedup: see stderr and the JSON par_speedup\n"
 
 (* ------------------------------------------------------------------ *)
 (* E7 — sharing profile (Section 6 prose)                              *)
@@ -569,6 +642,11 @@ let bechamel_suite buf =
                ignore
                  (Wwt.Run.measure ~engine:Wwt.Run.Compiled ~machine:m4
                     ~annotations:false ~prefetch:false prog)));
+        Test.make ~name:"perf-run-par"
+          (Staged.stage (fun () ->
+               ignore
+                 (Wwt.Run.measure ~engine:(Wwt.Run.Par 2) ~machine:m4
+                    ~annotations:false ~prefetch:false prog)));
         Test.make ~name:"compile-only"
           (Staged.stage (fun () -> Wwt.Compile.compile_only ~machine:m4 prog));
       ]
@@ -603,6 +681,8 @@ let bechamel_suite buf =
 let experiments : (string * string * (Buffer.t -> unit)) list =
   [
     ("figure6", "E1/E6  Figure 6: normalised execution time", figure6);
+    ("figure6-par", "Parallel engine: figure6 wall clock, 1 run x N domains",
+     figure6_par);
     ("sharing-profile", "E7  Degree of sharing", sharing_profile);
     ("jacobi-cost", "E2  Section 2.1: Jacobi check-out counts", jacobi_cost);
     ("matmul-listings", "E3  Section 4.4: Cachier's MatMul annotations",
@@ -645,6 +725,10 @@ let write_json ~path ~timings ~bechamel ~total =
   Printf.bprintf b "  \"jobs\": %d,\n" jobs;
   Printf.bprintf b "  \"nodes\": %d,\n" nodes;
   Printf.bprintf b "  \"scale\": %g,\n" scale;
+  Printf.bprintf b "  \"domains\": %d,\n" domains;
+  (if Float.is_nan !par_speedup then
+     Buffer.add_string b "  \"par_speedup\": null,\n"
+   else Printf.bprintf b "  \"par_speedup\": %.3f,\n" !par_speedup);
   Printf.bprintf b "  \"total_seconds\": %.6f,\n" total;
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
@@ -674,6 +758,13 @@ let () =
     nodes
     (machine.Wwt.Machine.cache_bytes / 1024);
   let t_start = Unix.gettimeofday () in
+  let experiments =
+    match Sys.getenv_opt "CACHIER_BENCH_ONLY" with
+    | None -> experiments
+    | Some names ->
+        let wanted = String.split_on_char ',' names in
+        List.filter (fun (name, _, _) -> List.mem name wanted) experiments
+  in
   let timings =
     List.map
       (fun (name, title, f) ->

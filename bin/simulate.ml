@@ -12,7 +12,7 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let simulate_file machine annotations prefetch trace_mode trace_out
+let simulate_file machine engine annotations prefetch trace_mode trace_out
     print_memory ~many file =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
@@ -20,8 +20,8 @@ let simulate_file machine annotations prefetch trace_mode trace_out
   let program = Lang.Parser.parse (read_file file) in
   ignore (Lang.Sema.check program);
   let outcome =
-    if trace_mode then Wwt.Run.collect_trace ~machine program
-    else Wwt.Run.measure ~machine ~annotations ~prefetch program
+    if trace_mode then Wwt.Run.collect_trace ~engine ~machine program
+    else Wwt.Run.measure ~engine ~machine ~annotations ~prefetch program
   in
   Buffer.add_string buf (Service.Oneshot.simulate_report outcome);
   (match trace_out with
@@ -54,12 +54,27 @@ let simulate_file machine annotations prefetch trace_mode trace_out
   end;
   Buffer.contents buf
 
-let run files machine annotations prefetch trace_mode trace_out print_memory
-    jobs =
+let run files machine engine domains annotations prefetch trace_mode trace_out
+    print_memory jobs =
+  let engine =
+    match engine with
+    | "interp" -> Wwt.Run.Tree_walk
+    | "compiled" -> Wwt.Run.Compiled
+    | "par" ->
+        Wwt.Run.Par
+          (match domains with
+          | Some d -> d
+          | None -> Wwt.Par.default_domains ~nodes:machine.Wwt.Machine.nodes)
+    | other ->
+        prerr_endline
+          ("simulate: unknown engine " ^ other
+         ^ " (expected interp, compiled or par)");
+        exit 2
+  in
   let many = List.length files > 1 in
   let reports =
     Wwt.Jobs.map ?jobs
-      (simulate_file machine annotations prefetch trace_mode trace_out
+      (simulate_file machine engine annotations prefetch trace_mode trace_out
          print_memory ~many)
       files
   in
@@ -97,11 +112,26 @@ let jobs =
                domains (default: $(b,CACHIER_BENCH_JOBS) or the \
                recommended domain count).")
 
+let engine =
+  Arg.(value & opt string "compiled"
+       & info [ "engine" ] ~docv:"ENGINE"
+           ~doc:"Execution engine: $(b,interp) (tree walk), $(b,compiled) \
+                 (closure compiler, default) or $(b,par) (quantum-\
+                 synchronized parallel engine; results are bit-identical \
+                 to the sequential engines).")
+
+let domains =
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
+         ~doc:"Domains for $(b,--engine=par) (default: the recommended \
+               domain count capped at the node count). Combined with \
+               $(b,--jobs), keep jobs x domains within the core count.")
+
 let cmd =
   let doc = "simulate shared-memory programs on a Dir1SW machine" in
   Cmd.v
     (Cmd.info "simulate" ~doc)
-    Term.(const run $ files $ Service.Cli.machine_term $ annotations
-          $ prefetch $ trace_mode $ trace_out $ print_memory $ jobs)
+    Term.(const run $ files $ Service.Cli.machine_term $ engine $ domains
+          $ annotations $ prefetch $ trace_mode $ trace_out $ print_memory
+          $ jobs)
 
 let () = exit (Cmd.eval' cmd)

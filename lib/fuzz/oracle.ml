@@ -2,8 +2,9 @@
 
    Every generated program is pushed through:
 
-   1. engines       — the tree-walking and closure-compiling engines must
-                      agree exactly (time, stats, trace, output, memory)
+   1. engines       — the tree-walking, closure-compiling and parallel
+                      (2-domain quantum-synchronized) engines must agree
+                      exactly (time, stats, trace, output, memory)
                       on the program and on its annotated variants;
    2. semantics     — annotating never changes results: the original, the
                       program with its random directives executed, and
@@ -226,13 +227,17 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
           (classify (fun () ->
                Wwt.Run.measure ~poll ~engine ~machine ~annotations ~prefetch prog))
       in
-      (* -- the program itself, both engines, all three modes -- *)
+      (* -- the program itself, all three engines, all three modes -- *)
+      let par = Wwt.Run.Par 2 in
       let tw_tr = trace Wwt.Run.Tree_walk p in
       let co_tr = trace Wwt.Run.Compiled p in
+      let pa_tr = trace par p in
       let tw_pf = measure Wwt.Run.Tree_walk ~annotations:false ~prefetch:false p in
       let co_pf = measure Wwt.Run.Compiled ~annotations:false ~prefetch:false p in
+      let pa_pf = measure par ~annotations:false ~prefetch:false p in
       let tw_pa = measure Wwt.Run.Tree_walk ~annotations:true ~prefetch:true p in
       let co_pa = measure Wwt.Run.Compiled ~annotations:true ~prefetch:true p in
+      let pa_pa = measure par ~annotations:true ~prefetch:true p in
       (* -- annotated variants (need a trace and an annotator that ran) -- *)
       let annotate options =
         match co_tr with
@@ -256,24 +261,36 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
                 [
                   ( label,
                     measure Wwt.Run.Tree_walk ~annotations:true ~prefetch:true prog,
-                    measure Wwt.Run.Compiled ~annotations:true ~prefetch:true prog
-                  );
+                    measure Wwt.Run.Compiled ~annotations:true ~prefetch:true prog,
+                    measure par ~annotations:true ~prefetch:true prog );
                 ]
             | _ -> [])
           [ ("Performance-annotated", perf_r); ("Programmer-annotated", prog_r) ]
       in
-      (* -- oracle 1: engine equivalence -- *)
+      (* -- oracle 1: three-way engine equivalence. The tree-walk /
+         compiled pairs catch compiler bugs; the compiled / par pairs
+         catch record-replay bugs. Comparing both against compiled keeps
+         the failure messages pointed at the odd engine out. -- *)
       let engine_pairs =
         [
-          ("trace mode", tw_tr, co_tr);
-          ("perf mode", tw_pf, co_pf);
-          ("perf mode with directives", tw_pa, co_pa);
+          ("trace mode", "tree-walk", tw_tr, "compiled", co_tr);
+          ("trace mode", "compiled", co_tr, "par", pa_tr);
+          ("perf mode", "tree-walk", tw_pf, "compiled", co_pf);
+          ("perf mode", "compiled", co_pf, "par", pa_pf);
+          ("perf mode with directives", "tree-walk", tw_pa, "compiled", co_pa);
+          ("perf mode with directives", "compiled", co_pa, "par", pa_pa);
         ]
-        @ List.map (fun (l, a, b) -> (l ^ " perf mode", a, b)) annotated_runs
+        @ List.concat_map
+            (fun (l, tw, co, pa) ->
+              [
+                (l ^ " perf mode", "tree-walk", tw, "compiled", co);
+                (l ^ " perf mode", "compiled", co, "par", pa);
+              ])
+            annotated_runs
       in
       let engines =
         List.fold_left
-          (fun acc (name, a, b) ->
+          (fun acc (name, la, a, lb, b) ->
             match acc with
             | Fail _ -> acc
             | _ -> (
@@ -283,14 +300,15 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
                     | None -> acc
                     | Some field ->
                         Fail
-                          (Printf.sprintf "%s: engines disagree on %s" name field))
+                          (Printf.sprintf "%s: %s and %s disagree on %s" name
+                             la lb field))
                 | Runtime _, Runtime _ | Deadlock _, Deadlock _ -> acc
                 | Timeout, _ | _, Timeout -> acc
                 | Violation _, _ | _, Violation _ -> acc
                 | a, b ->
                     Fail
-                      (Printf.sprintf "%s: tree-walk %s but compiled %s" name
-                         (describe a) (describe b))))
+                      (Printf.sprintf "%s: %s %s but %s %s" name la
+                         (describe a) lb (describe b))))
           Pass engine_pairs
       in
       (* -- oracle 2: annotations preserve semantics -- *)
@@ -299,7 +317,7 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
         | Done base ->
             let variants =
               (("program with its own directives executed", co_pa)
-              :: List.map (fun (l, _, co) -> (l, co)) annotated_runs)
+              :: List.map (fun (l, _, co, _) -> (l, co)) annotated_runs)
             in
             let annot_error =
               List.find_map
@@ -390,7 +408,7 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
                 | None -> (
                     let annotated_stats =
                       List.find_map
-                        (fun (_, _, co) ->
+                        (fun (_, _, co, _) ->
                           match co with
                           | Done o -> Some o.Wwt.Interp.stats
                           | _ -> None)

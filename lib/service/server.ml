@@ -183,6 +183,21 @@ let parsed_program t ~source ~seed =
       Cache.put t.cache ~key ~size:(ast_size source) (Ast p);
       p
 
+(* Large-machine requests run on the quantum-synchronized parallel
+   engine: Par is bit-identical to Compiled (and transparently falls
+   back to it on programs it cannot replay), honours the same [?poll]
+   deadline hook, and cuts latency when cores are available. Small
+   machines stay sequential — there the recording pass is pure
+   overhead. Cache keys are engine-agnostic on purpose: both engines
+   produce the same artifact. *)
+let par_node_threshold = 16
+
+let engine_for (machine : Wwt.Machine.t) =
+  let nodes = machine.Wwt.Machine.nodes in
+  if nodes >= par_node_threshold then
+    Wwt.Run.Par (Wwt.Par.default_domains ~nodes)
+  else Wwt.Run.Compiled
+
 (* Stage: trace-mode simulation (shared by simulate --trace, annotate,
    race_report and trace_stats). Returns the artifact and whether it came
    from the cache (memory or disk). *)
@@ -209,9 +224,9 @@ let trace_stage t ~machine ~seed ~source ~poll =
       | _ ->
           Metrics.record_miss t.metrics ~stage:"trace";
           let program = parsed_program t ~source ~seed in
+          let wm = Protocol.to_machine machine in
           let outcome =
-            Wwt.Run.collect_trace ?poll
-              ~machine:(Protocol.to_machine machine)
+            Wwt.Run.collect_trace ?poll ~engine:(engine_for wm) ~machine:wm
               program
           in
           let payload = Oneshot.simulate_report outcome in
@@ -238,10 +253,10 @@ let measure_stage t ~machine ~seed ~source ~annotations ~prefetch ~poll =
   | _ ->
       Metrics.record_miss t.metrics ~stage:"measure";
       let program = parsed_program t ~source ~seed in
+      let wm = Protocol.to_machine machine in
       let outcome =
-        Wwt.Run.measure ?poll
-          ~machine:(Protocol.to_machine machine)
-          ~annotations ~prefetch program
+        Wwt.Run.measure ?poll ~engine:(engine_for wm) ~machine:wm ~annotations
+          ~prefetch program
       in
       let payload = Oneshot.simulate_report outcome in
       Cache.put t.cache ~key ~size:(String.length payload) (Text payload);

@@ -1,0 +1,578 @@
+(* Quantum-synchronized parallel engine: one simulation, many domains,
+   bit-identical results.
+
+   The sequential engines interleave all simulated nodes on one core
+   through [Sched]'s event loop. Following the conservative-window PDES
+   discipline of the real Wisconsin Wind Tunnel, this engine exploits the
+   barrier structure of the programs instead: between two global barriers
+   no node can observe another node's memory-system activity except
+   through shared data itself, so a whole barrier epoch can serve as the
+   synchronization window.
+
+   Each epoch runs in two phases:
+
+   {b Phase A (parallel recording).} Every node's compiled closures run
+   in {e recording mode} ([rt.reco = Some _], [rt.quantum = 0]) on a
+   fixed worker domain (node [n] on member [n mod domains]). Instead of
+   performing scheduler effects and protocol calls, the hot-path seams in
+   {!Compile} append compact events (see {!Record}) to a per-node stream:
+   local-op charges are delta-encoded, shared accesses carry their
+   pc/address (and stored value), annotations their site id and element
+   range. Nodes suspend at the barrier via their effect handler. Shared
+   reads during this phase return whatever is in memory — possibly stale
+   under a race — so every touched element is also tagged with per-node
+   read/write/rmw marks.
+
+   {b Conflict classification.} After the round, the marks are merged: if
+   any element was read by one node and written (or rmw-accumulated) by
+   another in the same epoch, the recorded streams cannot be trusted and
+   the whole run falls back to the sequential compiled engine (as it does
+   for locks and other unsupported constructs). Write-write and rmw-rmw
+   sharing is fine: replay re-applies those effects in the true order.
+   Soundness: for Phase A to diverge from the sequential execution at
+   all, some node must read a value another node wrote within the epoch —
+   and exactly that pattern is what the classifier rejects. "Classified
+   safe" therefore implies the recorded streams are exact.
+
+   {b Phase B (serial replay).} A hand-written loop replays all streams
+   through the real {!Memsys.Protocol}, mirroring [Sched.run]'s scheduling
+   exactly: same initial order, same priority queue with FIFO ties, same
+   advance fast-path semantics, same barrier-release rule. Misses land in
+   the shared {!Trace.Buf}, statistics in the protocol's {!Memsys.Stats},
+   prints in the output buffer — in the sequential order, so every
+   observable of the outcome is bit-identical to [Compile.run]. Elements
+   touched by recognised read-modify-write accumulations are restored
+   from an epoch-start snapshot first, then the recorded increments are
+   re-applied at their true schedule positions, which reproduces exact
+   floating-point results without assuming commutativity.
+
+   The speedup comes from Phase A: expression evaluation, control flow
+   and cost accounting (the bulk of simulation time) run on all domains,
+   while the serial Phase B only decodes events and drives the protocol. *)
+
+open Lang
+
+exception Fallback of string
+(* Internal: abandon the parallel attempt, rerun sequentially. *)
+
+type node_state = {
+  rc : Record.t;
+  rt : Compile.rt;
+  frame : Compile.frame;
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable started : bool;
+  (* replay cursors into [rc]'s stream and side arrays *)
+  mutable pos : int;
+  mutable vpos : int;
+  mutable spos : int;
+}
+
+let default_domains ~nodes = max 1 (min (Jobs.default_jobs ()) nodes)
+
+let run ?poll ?domains ~machine program =
+  let nodes = machine.Machine.nodes in
+  let ndomains =
+    match domains with
+    | Some d ->
+        if d < 1 then invalid_arg "Par.run: domains must be positive";
+        min d (max 1 nodes)
+    | None -> default_domains ~nodes
+  in
+  let info, layout, env = Compile.compile ~machine program in
+  let proto =
+    Memsys.Protocol.create ~nodes ~cache_bytes:machine.Machine.cache_bytes
+      ~assoc:machine.Machine.assoc ~block_size:machine.Machine.block_size
+      ~costs:machine.Machine.costs
+  in
+  if machine.Machine.debug_protocol then
+    Memsys.Protocol.set_debug_checks proto true;
+  let total_elems =
+    (Label.total_bytes layout + machine.Machine.elem_size - 1)
+    / machine.Machine.elem_size
+  in
+  let g =
+    {
+      Compile.machine;
+      layout;
+      proto;
+      shared = Array.make (max 1 total_elems) Value.zero;
+      elem_shift = Compile.elem_shift_of machine.Machine.elem_size;
+      trace_buf = Trace.Buf.create ();
+      output_buf = ref [];
+    }
+  in
+  if machine.Machine.collect_trace then
+    List.iter
+      (fun (name, lo, hi) -> Trace.Buf.add_label g.Compile.trace_buf ~name ~lo ~hi)
+      (Label.to_label_records layout);
+  let stats = Memsys.Protocol.stats proto in
+  let main =
+    match Compile.main_proc env with
+    | Some cp -> cp
+    | None -> raise (Interp.Runtime_error "program has no main procedure")
+  in
+  let annots = Compile.annot_table env in
+  let sts =
+    Array.init nodes (fun node ->
+        let rc = Record.create ~node ~elems:total_elems ~poll in
+        let rt =
+          {
+            Compile.node;
+            privates =
+              Array.of_list
+                (List.map
+                   (fun (_, elems) -> Array.make elems Value.zero)
+                   info.Sema.privates);
+            lop = machine.Machine.costs.Memsys.Network.local_op;
+            quantum = 0;  (* recording: every yield check emits an event *)
+            pending = 0;
+            base_now = 0;
+            held_locks = [];
+            held_id = Trace.Buf.empty_held;
+            reco = Some rc;
+          }
+        in
+        {
+          rc;
+          rt;
+          frame = Compile.make_frame main.Compile.nslots;
+          cont = None;
+          started = false;
+          pos = 0;
+          vpos = 0;
+          spos = 0;
+        })
+  in
+
+  (* ---- Phase A: recording fibers ---- *)
+
+  let handler st : (unit, unit) Effect.Deep.handler =
+    let rc = st.rc in
+    {
+      Effect.Deep.retc =
+        (fun () ->
+          (* the body's trailing [flush_pending] already emitted FLUSH *)
+          Record.finish rc st.rt.Compile.pending;
+          st.rt.Compile.pending <- 0);
+      exnc =
+        (fun e ->
+          match e with
+          | Record.Unsupported msg -> rc.Record.fallback <- Some msg
+          | e -> Record.error rc e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sched.Barrier_sync _ ->
+              (* BARRIER was emitted by the compiled [Sbarrier] seam; park
+                 until the next epoch's recording round resumes us *)
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  st.cont <- Some k)
+          | Sched.Now | Sched.Advance _ | Sched.Lock_acquire _
+          | Sched.Lock_release _ ->
+              (* the recording seams never perform these; if one slips
+                 through, surface it as a whole-run fallback *)
+              Some
+                (fun (k : (a, unit) Effect.Deep.continuation) ->
+                  Effect.Deep.discontinue k
+                    (Record.Unsupported "scheduler effect in recording mode"))
+          | _ -> None);
+    }
+  in
+  let record_round node =
+    let st = sts.(node) in
+    Record.reset_stream st.rc;
+    st.pos <- 0;
+    st.vpos <- 0;
+    st.spos <- 0;
+    if not st.started then begin
+      st.started <- true;
+      Effect.Deep.match_with
+        (fun () ->
+          (try main.Compile.cbody g st.rt st.frame
+           with Compile.Returning _ -> ());
+          Compile.flush_pending st.rt)
+        () (handler st)
+    end
+    else
+      match st.cont with
+      | Some k ->
+          st.cont <- None;
+          Effect.Deep.continue k ()
+      | None -> ()  (* finished in an earlier epoch: empty stream *)
+  in
+
+  (* Worker team: one persistent domain per member beyond the
+     orchestrator, each owning the nodes congruent to its index so a
+     parked continuation is always resumed on the domain that created
+     it. Round handshake over a mutex/condition pair; the mutex transfer
+     also publishes stream and shared-memory writes between phases. *)
+  let nworkers = ndomains - 1 in
+  let mtx = Mutex.create () in
+  let cv = Condition.create () in
+  let round_no = ref 0 in
+  let done_w = ref 0 in
+  let stop = ref false in
+  let fatal : exn option ref = ref None in
+  let worker member =
+    let seen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock mtx;
+      while (not !stop) && !round_no = !seen do
+        Condition.wait cv mtx
+      done;
+      if !stop then begin
+        Mutex.unlock mtx;
+        running := false
+      end
+      else begin
+        seen := !round_no;
+        Mutex.unlock mtx;
+        (try
+           let node = ref member in
+           while !node < nodes do
+             record_round !node;
+             node := !node + ndomains
+           done
+         with e -> (
+           Mutex.lock mtx;
+           (match !fatal with None -> fatal := Some e | Some _ -> ());
+           Mutex.unlock mtx));
+        Mutex.lock mtx;
+        incr done_w;
+        if !done_w = nworkers then Condition.broadcast cv;
+        Mutex.unlock mtx
+      end
+    done
+  in
+  let team =
+    Array.init nworkers (fun i -> Domain.spawn (fun () -> worker (i + 1)))
+  in
+  let shutdown () =
+    Mutex.lock mtx;
+    stop := true;
+    Condition.broadcast cv;
+    Mutex.unlock mtx;
+    Array.iter Domain.join team
+  in
+  let run_phase_a () =
+    if nworkers = 0 then
+      for node = 0 to nodes - 1 do
+        record_round node
+      done
+    else begin
+      Mutex.lock mtx;
+      incr round_no;
+      done_w := 0;
+      Condition.broadcast cv;
+      Mutex.unlock mtx;
+      let node = ref 0 in
+      while !node < nodes do
+        record_round !node;
+        node := !node + ndomains
+      done;
+      Mutex.lock mtx;
+      while !done_w < nworkers do
+        Condition.wait cv mtx
+      done;
+      let f = !fatal in
+      Mutex.unlock mtx;
+      match f with Some e -> raise e | None -> ()
+    end
+  in
+
+  (* ---- conflict classification ---- *)
+
+  let snap = Array.make (Array.length g.Compile.shared) Value.zero in
+  (* merged per-element marks for the current round: Record's read/write/
+     rmw bits plus bit 3 = touched by more than one node *)
+  let m_multi = 8 in
+  let agg = Bytes.make (max 1 total_elems) '\000' in
+  let owner = Array.make (max 1 total_elems) (-1) in
+  let tag = Array.make (max 1 total_elems) 0 in
+  let round_id = ref 0 in
+  let classify_and_restore () =
+    incr round_id;
+    let round = !round_id in
+    Array.iter
+      (fun st ->
+        let rc = st.rc in
+        for j = 0 to rc.Record.ntouched - 1 do
+          let e = rc.Record.touched.(j) in
+          let m = Char.code (Bytes.unsafe_get rc.Record.marks e) in
+          if tag.(e) <> round then begin
+            tag.(e) <- round;
+            owner.(e) <- rc.Record.node;
+            Bytes.unsafe_set agg e (Char.unsafe_chr m)
+          end
+          else begin
+            let a = Char.code (Bytes.unsafe_get agg e) in
+            let a =
+              a lor m lor (if owner.(e) <> rc.Record.node then m_multi else 0)
+            in
+            Bytes.unsafe_set agg e (Char.unsafe_chr a)
+          end
+        done)
+      sts;
+    let unsafe = ref false in
+    Array.iter
+      (fun st ->
+        let rc = st.rc in
+        for j = 0 to rc.Record.ntouched - 1 do
+          let e = rc.Record.touched.(j) in
+          let a = Char.code (Bytes.unsafe_get agg e) in
+          if
+            a land m_multi <> 0
+            && a land Record.m_read <> 0
+            && a land (Record.m_write lor Record.m_rmw) <> 0
+          then unsafe := true;
+          (* rmw elements were provisionally accumulated during recording;
+             rewind them so replay can re-apply the increments in true
+             schedule order (idempotent across overlapping touch lists) *)
+          if a land Record.m_rmw <> 0 then
+            g.Compile.shared.(e) <- snap.(e)
+        done;
+        Record.clear_marks rc)
+      sts;
+    if !unsafe then raise (Fallback "cross-node read/write conflict")
+  in
+
+  (* ---- Phase B: serial replay, mirroring Sched.run ---- *)
+
+  let quantum = machine.Machine.quantum in
+  let clock = Array.make nodes 0 in
+  let pend = Array.make nodes 0 in
+  let q : int Pqueue.t = Pqueue.create () in
+  let finished = ref 0 in
+  let waiters : (int * int) list ref = ref [] in
+  let round_over = ref false in
+  let release_barrier () =
+    let ws = List.rev !waiters in
+    waiters := [];
+    let vt =
+      machine.Machine.costs.Memsys.Network.barrier
+      + Array.fold_left max 0 clock
+    in
+    Array.fill clock 0 nodes vt;
+    let arrivals = List.sort compare ws in
+    stats.Memsys.Stats.barriers <- stats.Memsys.Stats.barriers + 1;
+    if machine.Machine.flush_at_barrier then
+      for node = 0 to nodes - 1 do
+        Memsys.Protocol.flush_node proto ~node
+      done;
+    if machine.Machine.collect_trace then
+      List.iter
+        (fun (node, bpc) ->
+          Trace.Buf.add_barrier g.Compile.trace_buf ~node ~pc:bpc ~vt)
+        arrivals;
+    List.iter (fun (n, _) -> Pqueue.push q ~prio:vt n) ws;
+    (* the next events for the released nodes live in the next epoch's
+       streams: hand control back to the orchestrator to record them *)
+    round_over := true
+  in
+  let get_byte st =
+    let b = Char.code (Bytes.unsafe_get st.rc.Record.buf st.pos) in
+    st.pos <- st.pos + 1;
+    b
+  in
+  let get_varint st =
+    let rec go shift acc =
+      let b = get_byte st in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b < 0x80 then acc else go (shift + 7) acc
+    in
+    go 0 0
+  in
+  let record_replay_miss node ~pc ~addr packed =
+    let kind = Memsys.Protocol.packed_kind packed in
+    if kind <> Memsys.Protocol.no_miss && machine.Machine.collect_trace
+    then begin
+      let bkind =
+        if kind = Memsys.Protocol.read_miss then Trace.Buf.kind_read
+        else if kind = Memsys.Protocol.write_miss then Trace.Buf.kind_write
+        else Trace.Buf.kind_fault
+      in
+      Trace.Buf.add_miss g.Compile.trace_buf ~node ~pc ~addr ~kind:bkind
+        ~held:Trace.Buf.empty_held
+    end;
+    pend.(node) <- pend.(node) + Memsys.Protocol.packed_latency packed
+  in
+  (* Advance the node's clock by its pending cycles. Mirrors Sched's
+     [Advance] handler: park (and yield to the queue) only when another
+     runnable node is at or before the new time — equal priorities must
+     round-trip through the queue to keep FIFO order. Sched's bounded
+     fast-path depth needs no mirror: a forced park there pushes the
+     unique strict minimum, which pops straight back with no side
+     effects, so it cannot reorder anything. *)
+  let advance_parks node =
+    clock.(node) <- clock.(node) + pend.(node);
+    pend.(node) <- 0;
+    match Pqueue.peek_prio q with
+    | Some p -> p <= clock.(node)
+    | None -> false
+  in
+  let step node =
+    let st = sts.(node) in
+    let rc = st.rc in
+    let rec loop () =
+      let t = get_byte st in
+      let d = get_varint st in
+      pend.(node) <- pend.(node) + d;
+      if t = Record.t_ycheck then begin
+        if pend.(node) >= quantum && pend.(node) > 0 then begin
+          if advance_parks node then Pqueue.push q ~prio:clock.(node) node
+          else loop ()
+        end
+        else loop ()
+      end
+      else if t = Record.t_flush then begin
+        if pend.(node) > 0 then begin
+          if advance_parks node then Pqueue.push q ~prio:clock.(node) node
+          else loop ()
+        end
+        else loop ()
+      end
+      else if t = Record.t_read || t = Record.t_rmw_rd then begin
+        let pc = get_varint st in
+        let addr = get_varint st in
+        let p =
+          Memsys.Protocol.read_p proto ~node ~addr
+            ~now:(clock.(node) + pend.(node))
+        in
+        record_replay_miss node ~pc ~addr p;
+        loop ()
+      end
+      else if t = Record.t_write || t = Record.t_rmw_wr then begin
+        let pc = get_varint st in
+        let addr = get_varint st in
+        let p =
+          Memsys.Protocol.write_p proto ~node ~addr
+            ~now:(clock.(node) + pend.(node))
+        in
+        record_replay_miss node ~pc ~addr p;
+        let v = rc.Record.vals.(st.vpos) in
+        st.vpos <- st.vpos + 1;
+        let e = Compile.elem_index g addr in
+        if t = Record.t_write then g.Compile.shared.(e) <- v
+        else g.Compile.shared.(e) <- Value.add g.Compile.shared.(e) v;
+        loop ()
+      end
+      else if t = Record.t_annot then begin
+        let id = get_varint st in
+        let lo = get_varint st in
+        let hi = get_varint st in
+        let desc = annots.(id) in
+        let entry = desc.Compile.a_entry in
+        let elem_size = entry.Label.elem_size in
+        let block_size = machine.Machine.block_size in
+        let lo_addr = entry.Label.base + (lo * elem_size) in
+        let hi_addr = entry.Label.base + (hi * elem_size) + elem_size - 1 in
+        List.iter
+          (fun blk ->
+            let addr = Memsys.Block.base_addr ~block_size blk in
+            let lat =
+              desc.Compile.a_directive proto ~node ~addr
+                ~now:(clock.(node) + pend.(node))
+            in
+            pend.(node) <- pend.(node) + lat)
+          (Memsys.Block.blocks_of_range ~block_size ~lo:lo_addr ~hi:hi_addr);
+        loop ()
+      end
+      else if t = Record.t_print then begin
+        let s = rc.Record.strs.(st.spos) in
+        st.spos <- st.spos + 1;
+        g.Compile.output_buf := s :: !(g.Compile.output_buf);
+        loop ()
+      end
+      else if t = Record.t_barrier then begin
+        let pc = get_varint st in
+        waiters := (node, pc) :: !waiters;
+        if List.length !waiters = nodes then release_barrier ()
+      end
+      else if t = Record.t_finish then incr finished
+      else if t = Record.t_error then (
+        match rc.Record.error with
+        | Some e -> raise e
+        | None -> assert false)
+      else assert false
+    in
+    loop ()
+  in
+  let poll_countdown = ref 256 in
+  let rec drain () =
+    if !round_over then ()
+    else
+      match Pqueue.pop q with
+      | Some (_, node) ->
+          (match poll with
+          | Some p ->
+              decr poll_countdown;
+              if !poll_countdown <= 0 then begin
+                poll_countdown := 256;
+                p ()
+              end
+          | None -> ());
+          step node;
+          drain ()
+      | None -> ()
+  in
+
+  (* ---- epochs ---- *)
+
+  let attempt () =
+    for node = 0 to nodes - 1 do
+      Pqueue.push q ~prio:0 node
+    done;
+    let running = ref true in
+    while !running do
+      Array.blit g.Compile.shared 0 snap 0 (Array.length snap);
+      run_phase_a ();
+      Array.iter
+        (fun st ->
+          match st.rc.Record.fallback with
+          | Some msg -> raise (Fallback msg)
+          | None -> ())
+        sts;
+      classify_and_restore ();
+      round_over := false;
+      drain ();
+      if not !round_over then begin
+        (* queue empty: every node has finished or is parked at a
+           barrier that can no longer release — exactly Sched's end *)
+        running := false;
+        if !finished < nodes then begin
+          let parked = List.length !waiters in
+          raise
+            (Sched.Deadlock
+               (Printf.sprintf
+                  "%d of %d nodes finished; %d parked at a barrier, %d \
+                   waiting on locks"
+                  !finished nodes parked 0))
+        end
+      end
+    done;
+    Array.iter
+      (fun st ->
+        stats.Memsys.Stats.private_reads <-
+          stats.Memsys.Stats.private_reads + st.rc.Record.priv_reads;
+        stats.Memsys.Stats.private_writes <-
+          stats.Memsys.Stats.private_writes + st.rc.Record.priv_writes)
+      sts;
+    {
+      Interp.time = Array.fold_left max 0 clock;
+      stats;
+      trace = Trace.Buf.to_records g.Compile.trace_buf;
+      output = List.rev !(g.Compile.output_buf);
+      shared = g.Compile.shared;
+      layout;
+      info;
+    }
+  in
+  match Fun.protect ~finally:shutdown attempt with
+  | outcome -> outcome
+  | exception Fallback _ ->
+      (* locks, unclassifiable sharing or an over-long stream: rerun the
+         whole simulation sequentially from scratch (fresh protocol,
+         memory and trace), which supports everything *)
+      Compile.run ?poll ~machine program

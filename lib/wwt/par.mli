@@ -1,0 +1,41 @@
+(** Quantum-synchronized parallel engine: one simulation, many domains,
+    bit-identical results.
+
+    Simulated nodes are partitioned across OCaml 5 domains and advance in
+    lockstep barrier epochs, following the conservative-window parallel
+    discrete-event discipline of the real Wisconsin Wind Tunnel. Each
+    epoch is executed twice: once in parallel {e recording mode}, where
+    every node runs its compiled closures freely against its own event
+    stream, and once in a serial {e replay} that drives the recorded
+    events through the real memory system in exactly the order the
+    sequential scheduler would have produced. Simulated time, statistics,
+    the packed miss trace, printed output and final shared memory are
+    therefore bit-identical to {!Compile.run} — the test suite checks
+    this for every benchmark and the fuzzer's three-way oracle for random
+    programs.
+
+    Programs the recorder cannot reproduce exactly — lock users, or
+    programs where one node reads an element another node writes within
+    the same epoch (not data-race-free at epoch granularity) — are
+    detected by a conflict classifier and transparently re-run on the
+    sequential compiled engine, so [run] is total over the same domain as
+    {!Compile.run}. *)
+
+val default_domains : nodes:int -> int
+(** [min (Jobs.default_jobs ()) nodes], at least 1: the worker count used
+    when [?domains] is omitted. Note the composition rule with
+    {!Jobs}: an outer per-run fan-out multiplied by inner domains should
+    not oversubscribe the machine — use [jobs × domains ≤ cores]. *)
+
+val run :
+  ?poll:(unit -> unit) ->
+  ?domains:int ->
+  machine:Machine.t ->
+  Lang.Ast.program ->
+  Interp.outcome
+(** Like {!Compile.run}, on [domains] domains (default
+    {!default_domains}; values above the node count are clamped).
+    [poll] is called periodically from the recording workers and the
+    replay loop; it may raise {!Sched.Cancelled} to abandon the run.
+    @raise Interp.Runtime_error as the sequential engines do.
+    @raise Invalid_argument if [domains < 1]. *)

@@ -1,0 +1,253 @@
+(* Per-node event streams for the parallel engine (Par).
+
+   In recording mode a node's compiled program runs with [rt.quantum = 0]
+   and [rt.reco = Some t]: instead of performing scheduler effects and
+   protocol calls, the hot-path seams in Compile append compact events to
+   this per-node stream. Par then replays all streams through the real
+   [Memsys.Protocol] in the exact global order the sequential scheduler
+   would have produced, so statistics, the packed miss trace, printed
+   output and final memory are bit-identical to the sequential engines.
+
+   Stream encoding: every event is a tag byte followed by LEB128 varints.
+   The first varint of every event is [delta] — the local-op charge
+   accumulated (in [rt.pending]) since the previous event. Replay
+   reconstructs the true [pending] as (recorded charges + protocol
+   latencies it computes itself), which is exactly what the sequential
+   engine accumulates.
+
+   Events:
+     YCHK  delta              conditional yield site ([Compile.maybe_yield]):
+                              flush iff pending >= quantum
+     FLUSH delta              unconditional flush site: flush iff pending > 0
+     READ  delta pc addr      shared read  -> Protocol.read_p + miss record
+     WRITE delta pc addr      shared write -> Protocol.write_p + miss record;
+                              the stored value is in [vals], in order
+     RMWRD delta pc addr      the read half of a recognised read-modify-write
+     RMWWR delta pc addr      the write half; [vals] holds the increment, and
+                              replay applies it to the *replay-time* value,
+                              so racy-but-commutative-free accumulations
+                              (matmul C, mp3d CELL) replay exactly
+     ANNOT delta id lo hi     executed CICO directive over element range
+                              [lo..hi] of the shared array behind annotation
+                              site [id]; replay charges the real per-block
+                              directive latencies
+     PRINT delta              print line (in [strs], in order)
+     BARR  delta pc           the node arrived at a barrier (epoch boundary)
+     FIN   delta              the node's main returned
+     ERR   delta              the node raised; the exception is in [error]
+                              and is re-raised at the same replay point *)
+
+exception Unsupported of string
+(** Raised inside a recording fiber to abandon the parallel attempt (locks,
+    or any construct the recorder cannot reproduce); Par falls back to the
+    sequential engine for the whole run. *)
+
+let t_ycheck = 1
+let t_flush = 2
+let t_read = 3
+let t_write = 4
+let t_rmw_rd = 5
+let t_rmw_wr = 6
+let t_annot = 7
+let t_print = 8
+let t_barrier = 9
+let t_finish = 10
+let t_error = 11
+
+(* conflict-mark bits, per shared element touched this epoch *)
+let m_read = 1
+let m_write = 2
+let m_rmw = 4
+
+type t = {
+  node : int;
+  mutable buf : Bytes.t;
+  mutable len : int;
+  mutable vals : Lang.Value.t array;
+  mutable nvals : int;
+  mutable strs : string array;
+  mutable nstrs : int;
+  mutable error : exn option;
+  mutable fallback : string option;
+  mutable priv_reads : int;
+  mutable priv_writes : int;
+  marks : Bytes.t;  (* per shared element: m_read / m_write / m_rmw bits *)
+  mutable touched : int array;
+  mutable ntouched : int;
+  poll : (unit -> unit) option;
+  mutable poll_countdown : int;
+}
+
+let poll_every = 16384
+
+let create ~node ~elems ~poll =
+  {
+    node;
+    buf = Bytes.create 4096;
+    len = 0;
+    vals = Array.make 64 Lang.Value.zero;
+    nvals = 0;
+    strs = Array.make 8 "";
+    nstrs = 0;
+    error = None;
+    fallback = None;
+    priv_reads = 0;
+    priv_writes = 0;
+    marks = Bytes.make (max 1 elems) '\000';
+    touched = Array.make 64 0;
+    ntouched = 0;
+    poll;
+    poll_countdown = poll_every;
+  }
+
+(* ---- emission ---- *)
+
+(* Belt-and-braces bound: no benchmark comes near this, but a program
+   whose control flow diverges under racy recording could otherwise grow
+   a stream without limit before the conflict classifier ever sees it. *)
+let max_stream_bytes = 1 lsl 28
+
+let ensure rc n =
+  if rc.len + n > Bytes.length rc.buf then begin
+    if rc.len + n > max_stream_bytes then
+      raise (Unsupported "recorded event stream exceeds cap");
+    let cap = min max_stream_bytes (max (2 * Bytes.length rc.buf) (rc.len + n)) in
+    let b = Bytes.create cap in
+    Bytes.blit rc.buf 0 b 0 rc.len;
+    rc.buf <- b
+  end
+
+let put_byte rc b =
+  Bytes.unsafe_set rc.buf rc.len (Char.unsafe_chr b);
+  rc.len <- rc.len + 1
+
+let rec put_varint rc v =
+  if v < 0x80 then put_byte rc v
+  else begin
+    put_byte rc (v land 0x7f lor 0x80);
+    put_varint rc (v lsr 7)
+  end
+
+let push_val rc v =
+  if rc.nvals = Array.length rc.vals then begin
+    let a = Array.make (2 * rc.nvals) Lang.Value.zero in
+    Array.blit rc.vals 0 a 0 rc.nvals;
+    rc.vals <- a
+  end;
+  rc.vals.(rc.nvals) <- v;
+  rc.nvals <- rc.nvals + 1
+
+let push_str rc s =
+  if rc.nstrs = Array.length rc.strs then begin
+    let a = Array.make (2 * rc.nstrs) "" in
+    Array.blit rc.strs 0 a 0 rc.nstrs;
+    rc.strs <- a
+  end;
+  rc.strs.(rc.nstrs) <- s;
+  rc.nstrs <- rc.nstrs + 1
+
+(* Every statement boundary passes through here in recording mode, so it
+   doubles as the cancellation-poll site: without it an epoch that loops
+   forever (possible only for programs the classifier would reject) could
+   never be interrupted by a service deadline or fuzz budget. *)
+let ycheck rc delta =
+  ensure rc 11;
+  put_byte rc t_ycheck;
+  put_varint rc delta;
+  match rc.poll with
+  | None -> ()
+  | Some p ->
+      rc.poll_countdown <- rc.poll_countdown - 1;
+      if rc.poll_countdown <= 0 then begin
+        rc.poll_countdown <- poll_every;
+        p ()
+      end
+
+let flush rc delta =
+  ensure rc 11;
+  put_byte rc t_flush;
+  put_varint rc delta
+
+let event3 rc tag delta ~pc ~addr =
+  ensure rc 31;
+  put_byte rc tag;
+  put_varint rc delta;
+  put_varint rc pc;
+  put_varint rc addr
+
+let read rc delta ~pc ~addr = event3 rc t_read delta ~pc ~addr
+
+let write rc delta ~pc ~addr v =
+  event3 rc t_write delta ~pc ~addr;
+  push_val rc v
+
+let rmw_read rc delta ~pc ~addr = event3 rc t_rmw_rd delta ~pc ~addr
+
+let rmw_write rc delta ~pc ~addr v =
+  event3 rc t_rmw_wr delta ~pc ~addr;
+  push_val rc v
+
+let annot rc delta ~id ~lo ~hi =
+  ensure rc 41;
+  put_byte rc t_annot;
+  put_varint rc delta;
+  put_varint rc id;
+  put_varint rc lo;
+  put_varint rc hi
+
+let print rc delta s =
+  ensure rc 11;
+  put_byte rc t_print;
+  put_varint rc delta;
+  push_str rc s
+
+let barrier rc delta ~pc =
+  ensure rc 21;
+  put_byte rc t_barrier;
+  put_varint rc delta;
+  put_varint rc pc
+
+let finish rc delta =
+  ensure rc 11;
+  put_byte rc t_finish;
+  put_varint rc delta
+
+let error rc e =
+  rc.error <- Some e;
+  ensure rc 11;
+  put_byte rc t_error;
+  put_varint rc 0
+
+let fail_unsupported reason = raise (Unsupported reason)
+
+(* ---- conflict marks ---- *)
+
+let mark rc e bit =
+  let b = Char.code (Bytes.unsafe_get rc.marks e) in
+  if b land bit = 0 then begin
+    if b = 0 then begin
+      if rc.ntouched = Array.length rc.touched then begin
+        let a = Array.make (2 * rc.ntouched) 0 in
+        Array.blit rc.touched 0 a 0 rc.ntouched;
+        rc.touched <- a
+      end;
+      rc.touched.(rc.ntouched) <- e;
+      rc.ntouched <- rc.ntouched + 1
+    end;
+    Bytes.unsafe_set rc.marks e (Char.unsafe_chr (b lor bit))
+  end
+
+let mark_read rc e = mark rc e m_read
+let mark_write rc e = mark rc e m_write
+let mark_rmw rc e = mark rc e m_rmw
+
+let clear_marks rc =
+  for j = 0 to rc.ntouched - 1 do
+    Bytes.unsafe_set rc.marks rc.touched.(j) '\000'
+  done;
+  rc.ntouched <- 0
+
+let reset_stream rc =
+  rc.len <- 0;
+  rc.nvals <- 0;
+  rc.nstrs <- 0

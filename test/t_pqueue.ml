@@ -65,11 +65,100 @@ let test_large_heap_property () =
   in
   Alcotest.(check int) "drained all" n (drain min_int 0)
 
+(* The FIFO tie-break is global insertion order, so it must survive pops
+   of other priorities in between (pqueue.mli). *)
+let test_fifo_across_pops () =
+  let q = Wwt.Pqueue.create () in
+  Wwt.Pqueue.push q ~prio:7 "old";
+  Wwt.Pqueue.push q ~prio:3 "low";
+  Wwt.Pqueue.push q ~prio:7 "mid";
+  Alcotest.(check bool) "low first" true (Wwt.Pqueue.pop q = Some (3, "low"));
+  Wwt.Pqueue.push q ~prio:7 "new";
+  Alcotest.(check bool) "oldest tie" true (Wwt.Pqueue.pop q = Some (7, "old"));
+  Alcotest.(check bool) "then mid" true (Wwt.Pqueue.pop q = Some (7, "mid"));
+  Alcotest.(check bool) "then new" true (Wwt.Pqueue.pop q = Some (7, "new"))
+
+(* A popped entry re-pushed at the same priority goes behind every
+   equal-priority entry still queued — the scheduler's re-parking case. *)
+let test_reinsertion_goes_last () =
+  let q = Wwt.Pqueue.create () in
+  Wwt.Pqueue.push q ~prio:5 "a";
+  Wwt.Pqueue.push q ~prio:5 "b";
+  Wwt.Pqueue.push q ~prio:5 "c";
+  Alcotest.(check bool) "a pops" true (Wwt.Pqueue.pop q = Some (5, "a"));
+  Wwt.Pqueue.push q ~prio:5 "a";
+  Alcotest.(check bool) "b next" true (Wwt.Pqueue.pop q = Some (5, "b"));
+  Alcotest.(check bool) "c next" true (Wwt.Pqueue.pop q = Some (5, "c"));
+  Alcotest.(check bool) "a re-queued last" true
+    (Wwt.Pqueue.pop q = Some (5, "a"))
+
+(* peek_prio always names the entry the next pop returns. *)
+let test_peek_matches_pop () =
+  let q = Wwt.Pqueue.create () in
+  List.iter (fun p -> Wwt.Pqueue.push q ~prio:p p) [ 9; 2; 6; 2; 8 ];
+  let rec drain () =
+    match Wwt.Pqueue.peek_prio q with
+    | None -> Alcotest.(check bool) "empty at end" true (Wwt.Pqueue.pop q = None)
+    | Some p -> (
+        match Wwt.Pqueue.pop q with
+        | Some (p', _) ->
+            Alcotest.(check int) "peek = pop" p p';
+            drain ()
+        | None -> Alcotest.fail "peek said non-empty but pop returned None")
+  in
+  drain ()
+
+(* Stress the sift paths, where naive binary heaps lose stability: many
+   pseudo-random pushes over few distinct priorities, with interleaved
+   pops, must still drain each priority class in push order. *)
+let test_fifo_stability_stress () =
+  let q = Wwt.Pqueue.create () in
+  let x = ref 987654321 in
+  let next () =
+    x := (!x * 1103515245) + 12345;
+    (!x lsr 4) land 0xFFFFFF
+  in
+  let counters = Array.make 8 0 in
+  let expected = Array.make 8 [] in
+  let popped = Array.make 8 [] in
+  let record_pop () =
+    match Wwt.Pqueue.pop q with
+    | Some (p, (_p, k)) -> popped.(p) <- k :: popped.(p)
+    | None -> ()
+  in
+  for _ = 1 to 3000 do
+    let r = next () in
+    if r land 3 = 0 && not (Wwt.Pqueue.is_empty q) then record_pop ()
+    else begin
+      let p = r land 7 in
+      let k = counters.(p) in
+      counters.(p) <- k + 1;
+      expected.(p) <- k :: expected.(p);
+      Wwt.Pqueue.push q ~prio:p (p, k)
+    end
+  done;
+  while not (Wwt.Pqueue.is_empty q) do
+    record_pop ()
+  done;
+  Array.iteri
+    (fun p exp ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "priority %d drains in push order" p)
+        (List.rev exp) (List.rev popped.(p)))
+    expected
+
 let suite =
   [
     Alcotest.test_case "empty queue" `Quick test_empty;
     Alcotest.test_case "priority ordering" `Quick test_ordering;
     Alcotest.test_case "FIFO on ties" `Quick test_fifo_ties;
+    Alcotest.test_case "FIFO across interleaved pops" `Quick
+      test_fifo_across_pops;
+    Alcotest.test_case "re-insertion queues behind ties" `Quick
+      test_reinsertion_goes_last;
+    Alcotest.test_case "peek matches pop" `Quick test_peek_matches_pop;
+    Alcotest.test_case "FIFO stability under stress" `Quick
+      test_fifo_stability_stress;
     Alcotest.test_case "interleaved push/pop" `Quick test_interleaved;
     Alcotest.test_case "large heap order" `Quick test_large_heap_property;
   ]
