@@ -649,6 +649,16 @@ let bechamel_suite buf =
                     ~annotations:false ~prefetch:false prog)));
         Test.make ~name:"compile-only"
           (Staged.stage (fun () -> Wwt.Compile.compile_only ~machine:m4 prog));
+        (* The disabled-observability hot path: 64 manual span open/close
+           pairs plus the [enabled] branch — should cost a few ns/run and
+           allocate nothing, guarding the zero-overhead promise. *)
+        Test.make ~name:"obs-overhead"
+          (Staged.stage (fun () ->
+               for _ = 1 to 64 do
+                 let t0 = Obs.start () in
+                 if Obs.enabled () then ignore (Sys.opaque_identity t0);
+                 Obs.finish "bench.noop" t0
+               done));
       ]
   in
   let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) () in

@@ -22,7 +22,7 @@ let load_source input nodes =
             (String.concat ", " Benchmarks.Suite.names))
 
 let run input machine mode prefetch trace_out show_trace_stats measure explain
-    train_seeds =
+    train_seeds (_obs : Obs.mode) =
   let nodes = machine.Wwt.Machine.nodes in
   let src = load_source input nodes in
   let program = Lang.Parser.parse src in
@@ -134,6 +134,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cachier" ~doc)
     Term.(const run $ input $ Service.Cli.machine_term $ mode $ prefetch
-          $ trace_out $ stats $ measure $ explain $ train_seeds)
+          $ trace_out $ stats $ measure $ explain $ train_seeds
+          $ Service.Cli.obs_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -75,7 +75,7 @@ let minimise_path ~budget_s ~fuel path =
       1
 
 let fuzz seed budget_s count nodes corpus_dir per_program_budget_s shrink_fuel
-    quiet replay minimise =
+    quiet replay minimise (_obs : Obs.mode) =
   match (replay, minimise) with
   | _ :: _, Some _ ->
       prerr_endline "--replay and --minimise are mutually exclusive";
@@ -160,6 +160,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cachier_fuzz" ~doc)
     Term.(const fuzz $ seed $ budget_s $ count $ nodes $ corpus_dir
-          $ per_program_budget_s $ shrink_fuel $ quiet $ replay $ minimise)
+          $ per_program_budget_s $ shrink_fuel $ quiet $ replay $ minimise
+          $ Service.Cli.obs_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,7 +6,8 @@
    so repeated work is answered without re-simulating. See the
    "Running the service" section of the README for the protocol. *)
 
-let run machine socket budget_mb cache_dir workers capacity =
+let run machine socket budget_mb cache_dir workers capacity
+    (_obs : Obs.mode) =
   let machine_defaults =
     {
       Service.Protocol.nodes = machine.Wwt.Machine.nodes;
@@ -70,6 +71,6 @@ let cmd =
   Cmd.v
     (Cmd.info "cachierd" ~doc)
     Term.(const run $ Service.Cli.machine_term $ socket $ budget_mb
-          $ cache_dir $ workers $ capacity)
+          $ cache_dir $ workers $ capacity $ Service.Cli.obs_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -55,7 +55,7 @@ let simulate_file machine engine annotations prefetch trace_mode trace_out
   Buffer.contents buf
 
 let run files machine engine domains annotations prefetch trace_mode trace_out
-    print_memory jobs =
+    print_memory jobs (_obs : Obs.mode) =
   let engine =
     match engine with
     | "interp" -> Wwt.Run.Tree_walk
@@ -132,6 +132,6 @@ let cmd =
     (Cmd.info "simulate" ~doc)
     Term.(const run $ files $ Service.Cli.machine_term $ engine $ domains
           $ annotations $ prefetch $ trace_mode $ trace_out $ print_memory
-          $ jobs)
+          $ jobs $ Service.Cli.obs_term)
 
 let () = exit (Cmd.eval' cmd)

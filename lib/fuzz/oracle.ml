@@ -228,6 +228,7 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
                Wwt.Run.measure ~poll ~engine ~machine ~annotations ~prefetch prog))
       in
       (* -- the program itself, all three engines, all three modes -- *)
+      let runs_t0 = Obs.start () in
       let par = Wwt.Run.Par 2 in
       let tw_tr = trace Wwt.Run.Tree_walk p in
       let co_tr = trace Wwt.Run.Compiled p in
@@ -267,6 +268,7 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
             | _ -> [])
           [ ("Performance-annotated", perf_r); ("Programmer-annotated", prog_r) ]
       in
+      Obs.finish "fuzz.runs" runs_t0;
       (* -- oracle 1: three-way engine equivalence. The tree-walk /
          compiled pairs catch compiler bugs; the compiled / par pairs
          catch record-replay bugs. Comparing both against compiled keeps
@@ -289,6 +291,7 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
             annotated_runs
       in
       let engines =
+        Obs.span "fuzz.oracle.engines" @@ fun () ->
         List.fold_left
           (fun acc (name, la, a, lb, b) ->
             match acc with
@@ -313,6 +316,7 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
       in
       (* -- oracle 2: annotations preserve semantics -- *)
       let semantics =
+        Obs.span "fuzz.oracle.semantics" @@ fun () ->
         match co_pf with
         | Done base ->
             let variants =
@@ -354,6 +358,7 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
       in
       (* -- oracle 3: annotation is a fixpoint -- *)
       let idempotence =
+        Obs.span "fuzz.oracle.idempotence" @@ fun () ->
         match co_tr with
         | Done tr ->
             let fixpoint label options r =
@@ -390,12 +395,14 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
       in
       (* -- oracle 4: Dir1SW invariants -- *)
       let protocol =
+        Obs.span "fuzz.oracle.protocol" @@ fun () ->
         match !violations with
         | m :: _ -> Fail m
         | [] -> if !completed then Pass else Skip "no run completed"
       in
       (* -- oracle 5: equation and cost-model sanity -- *)
       let equations =
+        Obs.span "fuzz.oracle.equations" @@ fun () ->
         match co_tr with
         | Done tr -> (
             match

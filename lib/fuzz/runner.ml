@@ -64,6 +64,8 @@ let machine_for ~nodes ~index =
     block_size;
   }
 
+let obs_programs = Obs.Registry.counter "fuzz.programs"
+
 let verdict_for ~oracle report =
   List.assoc_opt oracle (Oracle.to_list report)
 
@@ -118,7 +120,11 @@ let run cfg =
     in
     let p = Gen.spmd ~config:gcfg rng in
     incr programs;
-    let report = Oracle.run_all ~budget_s:cfg.per_program_budget_s ~machine p in
+    if Obs.enabled () then Obs.Counter.incr obs_programs;
+    let report =
+      Obs.span "fuzz.program" (fun () ->
+          Oracle.run_all ~budget_s:cfg.per_program_budget_s ~machine p)
+    in
     (match Oracle.first_failure report with
     | None ->
         if
@@ -131,8 +137,9 @@ let run cfg =
           (Printf.sprintf "#%d: %s oracle failed (%s); shrinking..." !programs
              oracle detail);
         let shrunk =
-          shrink ~machine ~budget_s:cfg.per_program_budget_s
-            ~fuel:cfg.shrink_fuel ~oracle p
+          Obs.span "fuzz.shrink" (fun () ->
+              shrink ~machine ~budget_s:cfg.per_program_budget_s
+                ~fuel:cfg.shrink_fuel ~oracle p)
         in
         let detail =
           match

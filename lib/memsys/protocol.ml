@@ -48,7 +48,20 @@ type t = {
 
 exception Invariant_violation of string
 
-let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
+(* ---- observability seams ----
+
+   Per-transition counters in the global registry; every update is
+   guarded by [Obs.enabled] so the [--obs=off] hot path pays exactly one
+   predictable branch per transition and allocates nothing. *)
+let obs_reads = Obs.Registry.counter "protocol.reads"
+let obs_read_misses = Obs.Registry.counter "protocol.read_misses"
+let obs_writes = Obs.Registry.counter "protocol.writes"
+let obs_write_misses = Obs.Registry.counter "protocol.write_misses"
+let obs_write_faults = Obs.Registry.counter "protocol.write_faults"
+let obs_directives = Obs.Registry.counter "protocol.directives"
+let obs_dir_occupancy = Obs.Registry.gauge "protocol.dir_occupancy"
+
+let create_u ~nodes ~cache_bytes ~assoc ~block_size ~costs =
   let blk_shift =
     let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
     log2 block_size 0
@@ -68,6 +81,10 @@ let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
     past_sharers = Hashtbl.create 256;
     debug_checks = false;
   }
+
+let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
+  Obs.span "protocol.create" (fun () ->
+      create_u ~nodes ~cache_bytes ~assoc ~block_size ~costs)
 
 let nodes t = t.n_nodes
 let block_size t = t.blk_size
@@ -409,8 +426,23 @@ let write_p_u t ~node ~addr ~now =
     pack ~latency ~kind:write_miss
   end
 
-let read_p t ~node ~addr ~now = guard t (read_p_u t ~node ~addr ~now)
-let write_p t ~node ~addr ~now = guard t (write_p_u t ~node ~addr ~now)
+let read_p t ~node ~addr ~now =
+  let p = guard t (read_p_u t ~node ~addr ~now) in
+  if Obs.enabled () then begin
+    Obs.Counter.incr obs_reads;
+    if packed_kind p <> no_miss then Obs.Counter.incr obs_read_misses
+  end;
+  p
+
+let write_p t ~node ~addr ~now =
+  let p = guard t (write_p_u t ~node ~addr ~now) in
+  if Obs.enabled () then begin
+    Obs.Counter.incr obs_writes;
+    let k = packed_kind p in
+    if k = write_miss then Obs.Counter.incr obs_write_misses
+    else if k = write_fault then Obs.Counter.incr obs_write_faults
+  end;
+  p
 
 (* ---- CICO directives: latency-returning entry points (never misses) *)
 
@@ -440,6 +472,7 @@ let check_out_x_lat_u t ~node ~addr ~now =
   end
 
 let check_out_x_lat t ~node ~addr ~now =
+  if Obs.enabled () then Obs.Counter.incr obs_directives;
   guard t (check_out_x_lat_u t ~node ~addr ~now)
 
 let check_out_s_lat_u t ~node ~addr ~now =
@@ -458,6 +491,7 @@ let check_out_s_lat_u t ~node ~addr ~now =
   end
 
 let check_out_s_lat t ~node ~addr ~now =
+  if Obs.enabled () then Obs.Counter.incr obs_directives;
   guard t (check_out_s_lat_u t ~node ~addr ~now)
 
 let check_in_lat_u t ~node ~addr ~now:_ =
@@ -477,6 +511,7 @@ let check_in_lat_u t ~node ~addr ~now:_ =
   t.cost.Network.check_in_cost
 
 let check_in_lat t ~node ~addr ~now =
+  if Obs.enabled () then Obs.Counter.incr obs_directives;
   guard t (check_in_lat_u t ~node ~addr ~now)
 
 let prefetch_lat_u ~exclusive t ~node ~addr ~now =
@@ -507,6 +542,7 @@ let prefetch_lat_u ~exclusive t ~node ~addr ~now =
   end
 
 let prefetch_lat ~exclusive t ~node ~addr ~now =
+  if Obs.enabled () then Obs.Counter.incr obs_directives;
   guard t (prefetch_lat_u ~exclusive t ~node ~addr ~now)
 
 let prefetch_x_lat t = prefetch_lat ~exclusive:true t
@@ -545,6 +581,7 @@ let post_store_lat_u t ~node ~addr ~now =
   t.cost.Network.check_in_cost
 
 let post_store_lat t ~node ~addr ~now =
+  if Obs.enabled () then Obs.Counter.incr obs_directives;
   guard t (post_store_lat_u t ~node ~addr ~now)
 
 (* ---- allocating wrappers, kept for existing callers and tests ---- *)
@@ -582,6 +619,10 @@ let flush_node t ~node =
       | Cache.Shared -> Directory.remove_sharer t.dir blk ~node)
     flushed;
   guard t ()
+
+let sample_occupancy t =
+  if Obs.enabled () then
+    Obs.Gauge.set obs_dir_occupancy (List.length (Directory.entries t.dir))
 
 let reset t =
   for node = 0 to t.n_nodes - 1 do

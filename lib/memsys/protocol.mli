@@ -112,6 +112,13 @@ val post_store : t -> node:int -> addr:int -> now:int -> outcome
     a one-transfer delay hidden behind [ready_at]. A no-op (beyond its
     cost) when the node does not hold the block exclusive. *)
 
+val sample_occupancy : t -> unit
+(** When observability is enabled ({!Obs.enabled}), set the
+    ["protocol.dir_occupancy"] gauge to the number of non-idle directory
+    entries. No-op (one branch) otherwise. Engines call this at epoch
+    barriers so the gauge tracks working-set growth without touching the
+    per-access hot path. *)
+
 val flush_node : t -> node:int -> unit
 (** Flush the node's entire shared-data cache, updating the directory.
     Used at barriers during trace-collection runs (Section 3.3). *)

@@ -1,0 +1,20 @@
+/* Monotonic nanosecond clock for the observability layer.
+
+   Returned as a tagged OCaml int: on 64-bit platforms the 62-bit range
+   holds ~146 years of CLOCK_MONOTONIC, which counts from boot. The stub
+   allocates nothing, so the OCaml external can carry [@@noalloc]. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value cachier_obs_now_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -16,6 +16,34 @@ let block =
   Arg.(value & opt int Wwt.Machine.default.Wwt.Machine.block_size
        & info [ "block" ] ~doc:"Cache block size in bytes.")
 
+(* --obs shared by every binary: parse the mode eagerly (so a bad value
+   is a usage error, not a mid-run surprise) and configure the global
+   pipeline as a side effect of term evaluation. *)
+let obs_conv =
+  let parse s =
+    match Obs.mode_of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt m = Format.pp_print_string fmt (Obs.mode_to_string m) in
+  Arg.conv ~docv:"MODE" (parse, print)
+
+let obs_term =
+  let doc =
+    "Observability sink: $(b,off) (default; zero-overhead), $(b,summary) \
+     (per-span aggregates and metrics on stderr at exit) or \
+     $(b,ndjson:PATH) (one JSON event per line to PATH). Never writes to \
+     stdout."
+  in
+  let mode =
+    Arg.(value & opt obs_conv Obs.Off & info [ "obs" ] ~docv:"MODE" ~doc)
+  in
+  let setup mode =
+    (match mode with Obs.Off -> () | _ -> Obs.configure mode);
+    mode
+  in
+  Term.(const setup $ mode)
+
 let machine_term =
   let build nodes cache_kb assoc block =
     {

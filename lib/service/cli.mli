@@ -11,3 +11,10 @@ val machine_term : Wwt.Machine.t Cmdliner.Term.t
 
 val nodes_term : int Cmdliner.Term.t
 (** Just [--nodes]/[-n], for tools that only need the node count. *)
+
+val obs_term : Obs.mode Cmdliner.Term.t
+(** [--obs={off,summary,ndjson:PATH}] (default [off]). Evaluating the
+    term calls {!Obs.configure} for non-[Off] modes, so binaries only
+    need to include it in their term expression; the returned mode is
+    informational. Obs output goes to stderr or the NDJSON file, never
+    stdout. *)

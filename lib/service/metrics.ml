@@ -1,100 +1,90 @@
-let buckets = 30 (* <=1us .. <=2^29us, then overflow *)
+(* Thin facade over [Obs.Registry]: each server keeps a private registry
+   so tests stay isolated, with category prefixes mapping the flat metric
+   namespace back onto the structured stats JSON. The JSON shape is part
+   of the service protocol and must not change. *)
 
-type hist = { mutable count : int; mutable sum_us : int; slots : int array }
+type t = { reg : Obs.Registry.t; requests : Obs.Counter.t }
 
-type t = {
-  mu : Mutex.t;
-  mutable nrequests : int;
-  ops : (string, hist) Hashtbl.t;
-  errors : (string, int) Hashtbl.t;
-  stage_hits : (string, int) Hashtbl.t;
-  stage_misses : (string, int) Hashtbl.t;
-}
+let k_err = "err:"
+let k_hit = "hit:"
+let k_miss = "miss:"
+let k_op = "op:"
 
 let create () =
-  {
-    mu = Mutex.create ();
-    nrequests = 0;
-    ops = Hashtbl.create 8;
-    errors = Hashtbl.create 8;
-    stage_hits = Hashtbl.create 8;
-    stage_misses = Hashtbl.create 8;
-  }
-
-let locked t f =
-  Mutex.lock t.mu;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
-
-let bump tbl key =
-  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
-
-let bucket_of us =
-  let rec find i bound =
-    if i >= buckets then buckets else if us <= bound then i else find (i + 1) (bound * 2)
-  in
-  find 0 1
+  let reg = Obs.Registry.create () in
+  { reg; requests = Obs.Registry.counter ~registry:reg "req" }
 
 let record_request t ~op ~elapsed_us =
-  locked t (fun () ->
-      t.nrequests <- t.nrequests + 1;
-      let h =
-        match Hashtbl.find_opt t.ops op with
-        | Some h -> h
-        | None ->
-            let h = { count = 0; sum_us = 0; slots = Array.make (buckets + 1) 0 } in
-            Hashtbl.add t.ops op h;
-            h
-      in
-      h.count <- h.count + 1;
-      h.sum_us <- h.sum_us + elapsed_us;
-      let b = bucket_of (max 0 elapsed_us) in
-      h.slots.(b) <- h.slots.(b) + 1)
+  Obs.Counter.incr t.requests;
+  Obs.Histogram.observe (Obs.Registry.histogram ~registry:t.reg (k_op ^ op))
+    elapsed_us
 
-let record_error t ~kind = locked t (fun () -> bump t.errors kind)
-let record_hit t ~stage = locked t (fun () -> bump t.stage_hits stage)
-let record_miss t ~stage = locked t (fun () -> bump t.stage_misses stage)
+let record_error t ~kind =
+  Obs.Counter.incr (Obs.Registry.counter ~registry:t.reg (k_err ^ kind))
 
-let requests t = locked t (fun () -> t.nrequests)
+let record_hit t ~stage =
+  Obs.Counter.incr (Obs.Registry.counter ~registry:t.reg (k_hit ^ stage))
+
+let record_miss t ~stage =
+  Obs.Counter.incr (Obs.Registry.counter ~registry:t.reg (k_miss ^ stage))
+
+let requests t = Obs.Counter.value t.requests
 
 let hits t ~stage =
-  locked t (fun () -> Option.value ~default:0 (Hashtbl.find_opt t.stage_hits stage))
+  Obs.Counter.value (Obs.Registry.counter ~registry:t.reg (k_hit ^ stage))
 
 let misses t ~stage =
-  locked t (fun () ->
-      Option.value ~default:0 (Hashtbl.find_opt t.stage_misses stage))
+  Obs.Counter.value (Obs.Registry.counter ~registry:t.reg (k_miss ^ stage))
 
-let sorted_fields tbl value =
-  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+(* Counters in the given category, prefix stripped. [Obs.Registry.counters]
+   sorts by full name; a constant prefix preserves that order. *)
+let category t prefix =
+  let plen = String.length prefix in
+  List.filter_map
+    (fun (name, v) ->
+      if String.length name > plen && String.sub name 0 plen = prefix then
+        Some (String.sub name plen (String.length name - plen), Json.Int v)
+      else None)
+    (Obs.Registry.counters t.reg)
 
-let hist_to_json h =
-  (* only the populated prefix, as [le_us, count] pairs *)
+let hist_to_json (s : Obs.Histogram.snapshot) =
+  (* only the populated cells, as [le_us, count] pairs *)
   let cells = ref [] in
-  for i = buckets downto 0 do
-    if h.slots.(i) > 0 then
-      let bound = if i >= buckets then -1 (* overflow *) else 1 lsl i in
-      cells := Json.List [ Json.Int bound; Json.Int h.slots.(i) ] :: !cells
+  for i = Obs.Histogram.buckets downto 0 do
+    if s.Obs.Histogram.slots.(i) > 0 then
+      cells :=
+        Json.List [ Json.Int (Obs.Histogram.bound_of i); Json.Int s.Obs.Histogram.slots.(i) ]
+        :: !cells
   done;
   Json.Obj
     [
-      ("count", Json.Int h.count);
-      ("sum_us", Json.Int h.sum_us);
+      ("count", Json.Int s.Obs.Histogram.count);
+      ("sum_us", Json.Int s.Obs.Histogram.sum);
       ( "mean_us",
-        Json.Int (if h.count = 0 then 0 else h.sum_us / h.count) );
+        Json.Int
+          (if s.Obs.Histogram.count = 0 then 0
+           else s.Obs.Histogram.sum / s.Obs.Histogram.count) );
       ("le_us_counts", Json.List !cells);
     ]
 
 let to_json t ~evictions ~cache_bytes ~cache_entries =
-  locked t (fun () ->
-      Json.Obj
-        [
-          ("requests", Json.Int t.nrequests);
-          ("errors", Json.Obj (sorted_fields t.errors (fun v -> Json.Int v)));
-          ("hits", Json.Obj (sorted_fields t.stage_hits (fun v -> Json.Int v)));
-          ( "misses",
-            Json.Obj (sorted_fields t.stage_misses (fun v -> Json.Int v)) );
-          ("evictions", Json.Int evictions);
-          ("cache_bytes", Json.Int cache_bytes);
-          ("cache_entries", Json.Int cache_entries);
-          ("latency", Json.Obj (sorted_fields t.ops hist_to_json));
-        ])
+  let latency =
+    let plen = String.length k_op in
+    List.filter_map
+      (fun (name, s) ->
+        if String.length name > plen && String.sub name 0 plen = k_op then
+          Some (String.sub name plen (String.length name - plen), hist_to_json s)
+        else None)
+      (Obs.Registry.histograms t.reg)
+  in
+  Json.Obj
+    [
+      ("requests", Json.Int (requests t));
+      ("errors", Json.Obj (category t k_err));
+      ("hits", Json.Obj (category t k_hit));
+      ("misses", Json.Obj (category t k_miss));
+      ("evictions", Json.Int evictions);
+      ("cache_bytes", Json.Int cache_bytes);
+      ("cache_entries", Json.Int cache_entries);
+      ("latency", Json.Obj latency);
+    ]

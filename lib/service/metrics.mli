@@ -6,8 +6,11 @@
     into power-of-two microsecond buckets ([<=1us, <=2us, ..., <=2^29us],
     plus an overflow bucket), cheap enough to keep on for every request.
 
-    All updates take one internal lock; {!to_json} renders a snapshot for
-    the [stats] operation. *)
+    Built on {!Obs.Registry}: each [t] owns a private registry (so
+    concurrent servers and tests stay isolated) with category-prefixed
+    metric names, and all updates are thread-safe through the registry's
+    atomics and per-histogram locks. {!to_json} renders a snapshot for
+    the [stats] operation; its shape is part of the service protocol. *)
 
 type t
 

@@ -15,6 +15,13 @@ let default_config =
     queue_capacity = 64;
   }
 
+(* Global observability seams (the per-server [Metrics.t] remains the
+   protocol-visible stats source; these feed the process-wide --obs
+   pipeline). Updates are gated on [Obs.enabled]. *)
+let obs_requests = Obs.Registry.counter "service.requests"
+let obs_cache_hits = Obs.Registry.counter "service.cache_hits"
+let obs_cache_misses = Obs.Registry.counter "service.cache_misses"
+
 (* Stage artifacts. ASTs are cached post-sema and treated as immutable by
    every consumer (the engines and the annotator copy before rewriting),
    so one cached program may serve concurrent requests. *)
@@ -426,6 +433,7 @@ let handle ?received t (req : Protocol.request) =
     match received with Some r -> r | None -> Unix.gettimeofday ()
   in
   let t0 = Unix.gettimeofday () in
+  let obs_t0 = Obs.start () in
   let finish resp =
     (match resp with
     | Protocol.Ok_response { op; elapsed_us; _ } ->
@@ -436,6 +444,14 @@ let handle ?received t (req : Protocol.request) =
             (int_of_float ((Unix.gettimeofday () -. t0) *. 1_000_000.));
         Metrics.record_error t.metrics
           ~kind:(Protocol.error_kind_to_string error));
+    if Obs.enabled () then begin
+      Obs.Counter.incr obs_requests;
+      (match resp with
+      | Protocol.Ok_response { cached; _ } ->
+          Obs.Counter.incr (if cached then obs_cache_hits else obs_cache_misses)
+      | Protocol.Error_response _ -> ());
+      Obs.finish ("service." ^ Protocol.op_name req.op) obs_t0
+    end;
     resp
   in
   let error kind message =

@@ -985,6 +985,7 @@ let run ?poll ~machine program =
       for node = 0 to machine.Machine.nodes - 1 do
         Memsys.Protocol.flush_node proto ~node
       done;
+    Memsys.Protocol.sample_occupancy proto;
     if machine.Machine.collect_trace then
       List.iter
         (fun (node, bpc) ->
@@ -1020,6 +1021,7 @@ let run ?poll ~machine program =
     (try main.cbody g r frame with Returning _ -> ());
     flush_pending r
   in
+  let engine_t0 = Obs.start () in
   let time =
     Sched.run ?poll
       {
@@ -1031,6 +1033,7 @@ let run ?poll ~machine program =
       }
       body
   in
+  Obs.finish "engine.compiled" engine_t0;
   {
     Interp.time;
     stats;

@@ -442,6 +442,7 @@ let run ?poll ~machine program =
       for node = 0 to machine.Machine.nodes - 1 do
         Memsys.Protocol.flush_node proto ~node
       done;
+    Memsys.Protocol.sample_occupancy proto;
     if machine.Machine.collect_trace then
       List.iter
         (fun (node, pc) -> Trace.Buf.add_barrier g.trace_buf ~node ~pc ~vt)
@@ -473,6 +474,7 @@ let run ?poll ~machine program =
     ignore (call_proc g n main []);
     flush_pending n
   in
+  let engine_t0 = Obs.start () in
   let time =
     Sched.run ?poll
       {
@@ -484,6 +486,7 @@ let run ?poll ~machine program =
       }
       body
   in
+  Obs.finish "engine.interp" engine_t0;
   {
     time;
     stats;

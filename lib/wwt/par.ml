@@ -55,6 +55,12 @@ open Lang
 exception Fallback of string
 (* Internal: abandon the parallel attempt, rerun sequentially. *)
 
+(* Observability: classifier fallbacks and cumulative worker wait time.
+   All updates are gated on [Obs.enabled] / a zero [Obs.start] stamp, so
+   disabled runs pay one branch per round and allocate nothing. *)
+let obs_fallbacks = Obs.Registry.counter "par.fallbacks"
+let obs_worker_idle = Obs.Registry.counter "par.worker_idle_ns"
+
 type node_state = {
   rc : Record.t;
   rt : Compile.rt;
@@ -219,9 +225,12 @@ let run ?poll ?domains ~machine program =
     let running = ref true in
     while !running do
       Mutex.lock mtx;
+      let idle_t0 = Obs.start () in
       while (not !stop) && !round_no = !seen do
         Condition.wait cv mtx
       done;
+      if idle_t0 <> 0 then
+        Obs.Counter.add obs_worker_idle (Obs.now_ns () - idle_t0);
       if !stop then begin
         Mutex.unlock mtx;
         running := false
@@ -361,6 +370,7 @@ let run ?poll ?domains ~machine program =
       for node = 0 to nodes - 1 do
         Memsys.Protocol.flush_node proto ~node
       done;
+    Memsys.Protocol.sample_occupancy proto;
     if machine.Machine.collect_trace then
       List.iter
         (fun (node, bpc) ->
@@ -527,6 +537,7 @@ let run ?poll ?domains ~machine program =
     let running = ref true in
     while !running do
       Array.blit g.Compile.shared 0 snap 0 (Array.length snap);
+      let phase_a_t0 = Obs.start () in
       run_phase_a ();
       Array.iter
         (fun st ->
@@ -535,8 +546,11 @@ let run ?poll ?domains ~machine program =
           | None -> ())
         sts;
       classify_and_restore ();
+      Obs.finish "par.phase_a" phase_a_t0;
       round_over := false;
+      let phase_b_t0 = Obs.start () in
       drain ();
+      Obs.finish "par.phase_b" phase_b_t0;
       if not !round_over then begin
         (* queue empty: every node has finished or is parked at a
            barrier that can no longer release — exactly Sched's end *)
@@ -569,10 +583,15 @@ let run ?poll ?domains ~machine program =
       info;
     }
   in
+  let engine_t0 = Obs.start () in
   match Fun.protect ~finally:shutdown attempt with
-  | outcome -> outcome
+  | outcome ->
+      Obs.finish "engine.par" engine_t0;
+      outcome
   | exception Fallback _ ->
       (* locks, unclassifiable sharing or an over-long stream: rerun the
          whole simulation sequentially from scratch (fresh protocol,
          memory and trace), which supports everything *)
+      Obs.finish "engine.par" engine_t0;
+      if Obs.enabled () then Obs.Counter.incr obs_fallbacks;
       Compile.run ?poll ~machine program

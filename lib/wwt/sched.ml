@@ -1,6 +1,11 @@
 exception Deadlock of string
 exception Cancelled of string
 
+(* Per-epoch spans and counters; every update is behind [Obs.enabled]
+   (or the zero-timestamp no-op of [Obs.finish]), so a disabled run pays
+   one branch per barrier and allocates nothing. *)
+let obs_epochs = Obs.Registry.counter "sched.epochs"
+
 type _ Effect.t +=
   | Now : int Effect.t
   | Advance : int -> unit Effect.t
@@ -41,6 +46,9 @@ let run ?poll cfg body =
      without a transfer and releases outermost-last. *)
   let lock_state : (int, int * int) Hashtbl.t = Hashtbl.create 8 in
   let lock_waiters : (int, waiting_lock Queue.t) Hashtbl.t = Hashtbl.create 8 in
+  (* Start of the current epoch (barrier-to-barrier region); 0 when
+     observability is off, making the [Obs.finish] below a no-op. *)
+  let epoch_t0 = ref (Obs.start ()) in
   let release_barrier () =
     let waiters = List.rev !barrier_waiters in
     barrier_waiters := [];
@@ -51,7 +59,10 @@ let run ?poll cfg body =
     let arrivals =
       List.sort compare (List.map (fun (n, pc, _) -> (n, pc)) waiters)
     in
+    Obs.finish "sched.epoch" !epoch_t0;
+    if Obs.enabled () then Obs.Counter.incr obs_epochs;
     cfg.on_barrier ~vt ~arrivals;
+    epoch_t0 := Obs.start ();
     List.iter (fun (_, _, resume) -> Pqueue.push ready ~prio:vt resume) waiters
   in
   let spawn node =
@@ -176,7 +187,11 @@ let run ?poll cfg body =
         drain ()
     | None -> ()
   in
+  let run_t0 = Obs.start () in
   drain ();
+  Obs.finish "sched.run" run_t0;
+  (* The tail region after the last barrier is an epoch too. *)
+  Obs.finish "sched.epoch" !epoch_t0;
   if !finished < cfg.nodes then begin
     let parked = List.length !barrier_waiters in
     let lock_parked =

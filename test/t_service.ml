@@ -449,10 +449,13 @@ let test_trace_persistence_across_restart () =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o700;
   Fun.protect
     ~finally:(fun () ->
+      (* best-effort: a failing removal must not mask the test outcome or
+         abandon the remaining files *)
       Array.iter
-        (fun f -> Sys.remove (Filename.concat dir f))
-        (Sys.readdir dir);
-      Unix.rmdir dir)
+        (fun f ->
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
     (fun () ->
       let config = { memory_config with cache_dir = Some dir } in
       let trace_req =
