@@ -21,8 +21,9 @@
      CACHIER_BENCH_JOBS    domains for the experiment fan-out (default:
                            Domain.recommended_domain_count)
      CACHIER_BENCH_DOMAINS domains *inside* one simulation for the
-                           figure6-par experiment (default 4); keep
-                           jobs x domains within the core count
+                           figure6-par experiment (default 4; 0 =
+                           auto-detect the recommended domain count);
+                           keep jobs x domains within the core count
      CACHIER_BENCH_ONLY    comma-separated experiment names; run just
                            those (bechamel still runs unless FAST)
      CACHIER_BENCH_JSON    where to write the machine-readable results
@@ -42,7 +43,10 @@ let jobs = Wwt.Jobs.default_jobs ()
 
 let domains =
   match Sys.getenv_opt "CACHIER_BENCH_DOMAINS" with
-  | Some s -> int_of_string s
+  | Some s -> (
+      match int_of_string s with
+      | 0 -> Wwt.Par.default_domains ~nodes  (* auto-detect *)
+      | d -> d)
   | None -> 4
 
 let machine = { Wwt.Machine.default with Wwt.Machine.nodes }
@@ -129,6 +133,43 @@ let figure6 buf =
    design — so any divergence fails the run. *)
 let par_speedup = ref nan
 
+(* Per-phase breakdown of the Par runs (from the engine's Obs spans and
+   counters), reported as BENCH json so CI can see *where* replay time
+   goes — recording (phase_a), replay (phase_b), the parallel shard
+   simulation inside it, cumulative worker wait — and how often the
+   epoch routing took each path (memo hit / sharded / serial /
+   pipelined). *)
+let par_phases : (string * float) list ref = ref []
+
+let capture_par_phases ~counters_before =
+  let span_ms name =
+    match List.assoc_opt name (Obs.span_summary ()) with
+    | Some agg -> float_of_int agg.Obs.s_total_ns /. 1e6
+    | None -> 0.0
+  in
+  let counters = Obs.Registry.counters Obs.Registry.default in
+  let delta name =
+    let v = Option.value ~default:0 (List.assoc_opt name counters) in
+    let v0 = Option.value ~default:0 (List.assoc_opt name counters_before) in
+    float_of_int (v - v0)
+  in
+  let hits = delta "par.memo_hits" and misses = delta "par.memo_misses" in
+  par_phases :=
+    [
+      ("phase_a_ms", span_ms "par.phase_a");
+      ("phase_b_ms", span_ms "par.phase_b");
+      ("shard_sim_ms", span_ms "par.shard_sim");
+      ("worker_idle_ms", delta "par.worker_idle_ns" /. 1e6);
+      ("memo_hits", hits);
+      ("memo_misses", misses);
+      ( "memo_hit_rate",
+        if hits +. misses > 0.0 then hits /. (hits +. misses) else 0.0 );
+      ("shard_epochs", delta "par.shard_epochs");
+      ("serial_epochs", delta "par.serial_epochs");
+      ("pipelined_epochs", delta "par.pipelined_epochs");
+      ("fallbacks", delta "par.fallbacks");
+    ]
+
 (* Stdout sections must stay byte-identical across runs and jobs
    settings, so only the deterministic parts (simulated cycles, outcome
    equality) are buffered; the wall-clock table goes to stderr and the
@@ -138,6 +179,12 @@ let figure6_par buf =
   let d = max 1 domains in
   pr "one simulation, %d domains, jobs=1 — Par vs sequential compiled\n" d;
   pr "%-9s %12s  outcome vs sequential\n" "benchmark" "cycles";
+  (* Collect the engine's span/counter breakdown for the JSON report;
+     Summary mode's stderr dump is suppressed by switching back to Off
+     (flush is then a no-op). Stdout determinism is unaffected. *)
+  let prev_mode = Obs.current_mode () in
+  let counters_before = Obs.Registry.counters Obs.Registry.default in
+  Obs.configure Obs.Summary;
   Printf.eprintf "figure6-par wall clock (%d domains):\n" d;
   Printf.eprintf "  %-9s %11s %11s %8s\n" "benchmark" "seq(ms)" "par(ms)"
     "speedup";
@@ -177,6 +224,8 @@ let figure6_par buf =
         (ts *. 1e3) (tp *. 1e3) (ts /. tp))
     (Benchmarks.Suite.all ~scale ~nodes ());
   par_speedup := !tot_seq /. !tot_par;
+  capture_par_phases ~counters_before;
+  Obs.configure prev_mode;
   Printf.eprintf "  aggregate: %.2fx\n%!" !par_speedup;
   pr "aggregate wall-clock speedup: see stderr and the JSON par_speedup\n"
 
@@ -739,6 +788,16 @@ let write_json ~path ~timings ~bechamel ~total =
   (if Float.is_nan !par_speedup then
      Buffer.add_string b "  \"par_speedup\": null,\n"
    else Printf.bprintf b "  \"par_speedup\": %.3f,\n" !par_speedup);
+  (match !par_phases with
+  | [] -> ()
+  | phases ->
+      Buffer.add_string b "  \"par_phases\": {\n";
+      List.iteri
+        (fun i (name, v) ->
+          Printf.bprintf b "    \"%s\": %.4f%s\n" (json_escape name) v
+            (if i = List.length phases - 1 then "" else ","))
+        phases;
+      Buffer.add_string b "  },\n");
   Printf.bprintf b "  \"total_seconds\": %.6f,\n" total;
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri

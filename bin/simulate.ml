@@ -54,17 +54,25 @@ let simulate_file machine engine annotations prefetch trace_mode trace_out
   end;
   Buffer.contents buf
 
-let run files machine engine domains annotations prefetch trace_mode trace_out
-    print_memory jobs (_obs : Obs.mode) =
+let run files machine engine domains no_pipeline replay_shards replay_memo
+    annotations prefetch trace_mode trace_out print_memory jobs
+    (_obs : Obs.mode) =
+  (* The replay knobs reach the engine through its environment defaults,
+     so the Run/Par plumbing stays engine-agnostic. *)
+  if no_pipeline then Unix.putenv "CACHIER_PAR_PIPELINE" "0";
+  (match replay_shards with
+  | Some s -> Unix.putenv "CACHIER_REPLAY_SHARDS" (string_of_int s)
+  | None -> ());
+  (match replay_memo with
+  | Some m -> Unix.putenv "CACHIER_REPLAY_MEMO" (string_of_int m)
+  | None -> ());
   let engine =
     match engine with
     | "interp" -> Wwt.Run.Tree_walk
     | "compiled" -> Wwt.Run.Compiled
     | "par" ->
-        Wwt.Run.Par
-          (match domains with
-          | Some d -> d
-          | None -> Wwt.Par.default_domains ~nodes:machine.Wwt.Machine.nodes)
+        (* 0 = auto-detect, resolved inside Par.run *)
+        Wwt.Run.Par (match domains with Some d -> d | None -> 0)
     | other ->
         prerr_endline
           ("simulate: unknown engine " ^ other
@@ -122,15 +130,34 @@ let engine =
 
 let domains =
   Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N"
-         ~doc:"Domains for $(b,--engine=par) (default: the recommended \
-               domain count capped at the node count). Combined with \
-               $(b,--jobs), keep jobs x domains within the core count.")
+         ~doc:"Domains for $(b,--engine=par); $(b,0) (and the default) \
+               auto-detects the recommended domain count, capped at the \
+               node count. Combined with $(b,--jobs), keep jobs x domains \
+               within the core count.")
+
+let no_pipeline =
+  Arg.(value & flag & info [ "no-pipeline" ]
+         ~doc:"Disable the parallel engine's record/replay pipelining \
+               (sets $(b,CACHIER_PAR_PIPELINE=0)).")
+
+let replay_shards =
+  Arg.(value & opt (some int) None & info [ "replay-shards" ] ~docv:"N"
+         ~doc:"Cap the parallel engine's replay shards: $(b,0) one per \
+               domain (default), $(b,1) always serial (sets \
+               $(b,CACHIER_REPLAY_SHARDS)).")
+
+let replay_memo =
+  Arg.(value & opt (some int) None & info [ "replay-memo" ] ~docv:"N"
+         ~doc:"Epoch-memo pool capacity for the parallel engine, in \
+               epochs; $(b,0) disables memoization (sets \
+               $(b,CACHIER_REPLAY_MEMO); default 64).")
 
 let cmd =
   let doc = "simulate shared-memory programs on a Dir1SW machine" in
   Cmd.v
     (Cmd.info "simulate" ~doc)
     Term.(const run $ files $ Service.Cli.machine_term $ engine $ domains
+          $ no_pipeline $ replay_shards $ replay_memo
           $ annotations $ prefetch $ trace_mode $ trace_out $ print_memory
           $ jobs $ Service.Cli.obs_term)
 

@@ -160,3 +160,84 @@ let flush_all t =
 
 let iter t f =
   Array.iter (fun l -> if l.block <> absent then f l) t.lines
+
+(* ---- snapshot / restore / canonical digest (epoch memoization) ---- *)
+
+type snapshot = {
+  s_lines : line array;  (* copied records, same flat layout *)
+  s_mru : int array;
+  s_tick : int;
+  s_resident : int;
+}
+
+let snapshot t =
+  {
+    s_lines =
+      Array.map
+        (fun l ->
+          { block = l.block; state = l.state; dirty = l.dirty;
+            ready_at = l.ready_at; last_use = l.last_use })
+        t.lines;
+    s_mru = Array.copy t.mru;
+    s_tick = t.tick;
+    s_resident = t.resident;
+  }
+
+(* [time_offset] rebases the absolute [ready_at] stamps: a snapshot taken
+   at virtual time T restored at virtual time T' must shift every pending
+   arrival by T' - T so residual stalls replay identically. *)
+let restore t s ~time_offset =
+  Array.iteri
+    (fun i (l : line) ->
+      let d = t.lines.(i) in
+      d.block <- l.block;
+      d.state <- l.state;
+      d.dirty <- l.dirty;
+      d.ready_at <- (if l.block = absent then 0 else l.ready_at + time_offset);
+      d.last_use <- l.last_use)
+    s.s_lines;
+  Array.blit s.s_mru 0 t.mru 0 (Array.length t.mru);
+  t.tick <- s.s_tick;
+  t.resident <- s.s_resident
+
+(* Canonical digest of the behaviourally relevant state at virtual time
+   [now]: per way — block, coherence state, dirty bit, residual stall
+   (ready_at clamped relative to [now]) and the way's LRU *rank* within
+   its set. Absolute [tick]/[last_use]/[ready_at] values and the MRU memo
+   are excluded: two caches that differ only in those respond identically
+   to every future access sequence, and the epoch memo must treat them as
+   equal. [f] folds over the canonical ints. *)
+let fold_state t ~now ~init f =
+  let acc = ref init in
+  let put v = acc := f !acc v in
+  let rank = Array.make t.n_assoc 0 in
+  for s = 0 to t.n_sets - 1 do
+    let base = s * t.n_assoc in
+    for i = 0 to t.n_assoc - 1 do
+      (* rank.(i) = number of resident ways in this set touched less
+         recently than way i (absent ways rank 0) *)
+      let li = t.lines.(base + i) in
+      if li.block = absent then rank.(i) <- -1
+      else begin
+        let r = ref 0 in
+        for j = 0 to t.n_assoc - 1 do
+          let lj = t.lines.(base + j) in
+          if j <> i && lj.block <> absent && lj.last_use < li.last_use then
+            incr r
+        done;
+        rank.(i) <- !r
+      end
+    done;
+    for i = 0 to t.n_assoc - 1 do
+      let l = t.lines.(base + i) in
+      if l.block = absent then put (-1)
+      else begin
+        put l.block;
+        put (match l.state with Shared -> 0 | Exclusive -> 1);
+        put (if l.dirty then 1 else 0);
+        put (max 0 (l.ready_at - now));
+        put rank.(i)
+      end
+    done
+  done;
+  !acc

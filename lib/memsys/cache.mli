@@ -72,3 +72,27 @@ val occupancy : t -> int
 
 val iter : t -> (line -> unit) -> unit
 (** Iterate over resident lines in unspecified order. *)
+
+(** {2 Snapshot, restore and canonical digest}
+
+    Support for the parallel engine's epoch memoization: a whole-cache
+    snapshot that can be restored at a different virtual time, and a
+    canonical fold over the behaviourally relevant state. *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Deep copy of every way, the LRU clock and the occupancy count. *)
+
+val restore : t -> snapshot -> time_offset:int -> unit
+(** Overwrite [t] in place from a snapshot taken on a cache of the same
+    geometry. [time_offset] is added to every pending [ready_at] stamp so
+    a snapshot taken at virtual time T behaves identically when restored
+    at time T + offset. *)
+
+val fold_state : t -> now:int -> init:'a -> ('a -> int -> 'a) -> 'a
+(** Fold over a canonical encoding of the state at virtual time [now]:
+    per way — block, state, dirty, residual stall relative to [now], and
+    LRU rank within the set. Two caches that fold equally respond
+    identically to every future access sequence; absolute LRU ticks,
+    elapsed [ready_at] stamps and the probe memo are excluded. *)

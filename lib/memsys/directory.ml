@@ -1,23 +1,49 @@
 type state = Idle | Shared of int | Exclusive of int
 
-type t = { n_nodes : int; table : (int, state) Hashtbl.t }
+(* An overlay directory ([parent = Some base]) records writes in its own
+   table — including explicit [Idle] entries, which shadow the parent —
+   while reads fall through to the (frozen) parent. The parallel engine's
+   shard replays each run against an overlay of the shared directory, so
+   concurrent shards never mutate one Hashtbl; [commit] folds the deltas
+   back deterministically at the epoch boundary. *)
+type t = {
+  n_nodes : int;
+  table : (int, state) Hashtbl.t;
+  parent : t option;
+}
 
 let max_nodes = 62
 
 let create ~nodes =
   if nodes <= 0 || nodes > max_nodes then
     invalid_arg "Directory.create: nodes must be in [1, 62]";
-  { n_nodes = nodes; table = Hashtbl.create 4096 }
+  { n_nodes = nodes; table = Hashtbl.create 4096; parent = None }
 
 let nodes t = t.n_nodes
 
-let get t blk =
-  match Hashtbl.find_opt t.table blk with None -> Idle | Some st -> st
+let rec get t blk =
+  match Hashtbl.find_opt t.table blk with
+  | Some st -> st
+  | None -> ( match t.parent with Some p -> get p blk | None -> Idle)
 
 let set t blk st =
-  match st with
-  | Idle | Shared 0 -> Hashtbl.remove t.table blk
-  | Shared _ | Exclusive _ -> Hashtbl.replace t.table blk st
+  match t.parent with
+  | Some _ ->
+      (* overlays must shadow the parent, so Idle is stored explicitly *)
+      Hashtbl.replace t.table blk (match st with Shared 0 -> Idle | st -> st)
+  | None -> (
+      match st with
+      | Idle | Shared 0 -> Hashtbl.remove t.table blk
+      | Shared _ | Exclusive _ -> Hashtbl.replace t.table blk st)
+
+let overlay base = { base with table = Hashtbl.create 64; parent = Some base }
+
+let commit t =
+  match t.parent with
+  | None -> invalid_arg "Directory.commit: not an overlay"
+  | Some base ->
+      Hashtbl.iter (fun blk st -> set base blk st) t.table;
+      Hashtbl.reset t.table
 
 let check_node t node =
   if node < 0 || node >= t.n_nodes then
@@ -60,7 +86,34 @@ let is_sharer t blk ~node =
   | Idle | Exclusive _ -> false
   | Shared mask -> mask land (1 lsl node) <> 0
 
-let entries t = Hashtbl.fold (fun blk st acc -> (blk, st) :: acc) t.table []
+let entries t =
+  let own = Hashtbl.fold (fun blk st acc -> (blk, st) :: acc) t.table [] in
+  match t.parent with
+  | None -> own
+  | Some base ->
+      (* parent entries not shadowed by the overlay, plus the overlay's
+         own non-idle writes *)
+      Hashtbl.fold
+        (fun blk st acc ->
+          if Hashtbl.mem t.table blk then acc else (blk, st) :: acc)
+        base.table
+        (List.filter (fun (_, st) -> st <> Idle && st <> Shared 0) own)
+
+(* Canonical fold for the epoch memo's state digest: non-idle entries in
+   ascending block order, each contributing (block, encoded state). *)
+let fold_state t ~init f =
+  let es =
+    List.filter (fun (_, st) -> st <> Idle && st <> Shared 0) (entries t)
+  in
+  let es = List.sort (fun (a, _) (b, _) -> compare a b) es in
+  List.fold_left
+    (fun acc (blk, st) ->
+      let acc = f acc blk in
+      match st with
+      | Idle -> acc
+      | Shared mask -> f acc (mask lsl 2)
+      | Exclusive owner -> f acc ((owner lsl 2) lor 1))
+    init es
 
 (* Structural well-formedness of the stored entries themselves: sharer
    masks name only real nodes and are never empty (Shared 0 normalises to

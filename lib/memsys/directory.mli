@@ -44,7 +44,25 @@ val sharer_count : t -> int -> int
 val is_sharer : t -> int -> node:int -> bool
 
 val entries : t -> (int * state) list
-(** All non-[Idle] entries, in unspecified order. *)
+(** All non-[Idle] entries, in unspecified order. For an overlay this
+    merges the parent's entries with the overlay's writes. *)
+
+val overlay : t -> t
+(** [overlay base] is an empty overlay directory: reads fall through to
+    [base], writes (including [Idle], which shadows the parent) land in
+    the overlay only. The parallel engine's shard replays run against
+    one overlay per shard so concurrent shards never mutate [base]'s
+    table; while any overlay is live, [base] must not be mutated. *)
+
+val commit : t -> unit
+(** [commit overlay] applies every overlay write to the parent (with the
+    usual [Idle]/[Shared 0] normalisation) and empties the overlay.
+    @raise Invalid_argument on a non-overlay directory. *)
+
+val fold_state : t -> init:'a -> ('a -> int -> 'a) -> 'a
+(** Fold over a canonical encoding of the directory (non-idle entries in
+    ascending block order) — the directory half of the epoch memo's
+    state digest. *)
 
 val popcount : int -> int
 (** Number of set bits (exposed for tests). *)

@@ -44,6 +44,15 @@ type t = {
   mutable debug_checks : bool;
       (* run [check_invariants] after every protocol transition; off by
          default so the hot path pays one predictable branch *)
+  pf_del : (int, unit) Hashtbl.t;
+      (* shard views only: tombstones for parent pf_pending entries *)
+  parent : t option;
+      (* [Some base] marks a shard view: [dir] is an overlay of the
+         base's directory, [stat]/[pf_pending]/[past_sharers] are
+         private deltas, and [caches] is the base's own array (a shard
+         only ever touches the caches of the nodes it owns). The base
+         must stay frozen while views are live; [merge_shard] folds a
+         view back in. *)
 }
 
 exception Invariant_violation of string
@@ -80,6 +89,8 @@ let create_u ~nodes ~cache_bytes ~assoc ~block_size ~costs =
     pf_live = 0;
     past_sharers = Hashtbl.create 256;
     debug_checks = false;
+    pf_del = Hashtbl.create 16;
+    parent = None;
   }
 
 let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
@@ -194,25 +205,55 @@ let guard t v =
   end;
   v
 
+(* ---- overlay-aware lookups ----
+   On a shard view the pending-prefetch set is (parent minus [pf_del])
+   plus the view's own [pf_pending], and a block's past-sharer mask is
+   the view-local mask if written, else the parent's. On a base protocol
+   ([parent = None]) these collapse to the plain table probes. *)
+
+let ps_find t blk =
+  match Hashtbl.find_opt t.past_sharers blk with
+  | Some mask -> mask
+  | None -> (
+      match t.parent with
+      | Some p -> Option.value ~default:0 (Hashtbl.find_opt p.past_sharers blk)
+      | None -> 0)
+
+let pf_mem t key =
+  Hashtbl.mem t.pf_pending key
+  ||
+  match t.parent with
+  | Some p -> Hashtbl.mem p.pf_pending key && not (Hashtbl.mem t.pf_del key)
+  | None -> false
+
+(* Remove [key] from the view of the pending set; true if it was there. *)
+let pf_remove t key =
+  if Hashtbl.mem t.pf_pending key then begin
+    Hashtbl.remove t.pf_pending key;
+    true
+  end
+  else
+    match t.parent with
+    | Some p when Hashtbl.mem p.pf_pending key && not (Hashtbl.mem t.pf_del key)
+      ->
+        Hashtbl.add t.pf_del key ();
+        true
+    | _ -> false
+
 let forget_prefetch t ~node ~blk =
   if t.pf_live > 0 then begin
     let key = pf_key t ~node ~blk in
-    if Hashtbl.mem t.pf_pending key then begin
-      Hashtbl.remove t.pf_pending key;
-      t.pf_live <- t.pf_live - 1
-    end
+    if pf_remove t key then t.pf_live <- t.pf_live - 1
   end
 
 let note_past_sharer t ~node ~blk =
-  let prev = Option.value ~default:0 (Hashtbl.find_opt t.past_sharers blk) in
-  Hashtbl.replace t.past_sharers blk (prev lor (1 lsl node))
+  Hashtbl.replace t.past_sharers blk (ps_find t blk lor (1 lsl node))
 
 (* Account a prefetched block that is touched for the first time. *)
 let note_prefetch_hit t ~node ~blk =
   if t.pf_live > 0 then begin
     let key = pf_key t ~node ~blk in
-    if Hashtbl.mem t.pf_pending key then begin
-      Hashtbl.remove t.pf_pending key;
+    if pf_remove t key then begin
       t.pf_live <- t.pf_live - 1;
       t.stat.useful_prefetches <- t.stat.useful_prefetches + 1
     end
@@ -534,8 +575,8 @@ let prefetch_lat_u ~exclusive t ~node ~addr ~now =
     let i = Cache.probe c blk in
     if i >= 0 then (Cache.line_at c i).Cache.ready_at <- now + fetch_latency;
     let key = pf_key t ~node ~blk in
-    if not (Hashtbl.mem t.pf_pending key) then begin
-      Hashtbl.add t.pf_pending key ();
+    if not (pf_mem t key) then begin
+      Hashtbl.replace t.pf_pending key ();
       t.pf_live <- t.pf_live + 1
     end;
     t.cost.Network.prefetch_issue
@@ -565,9 +606,7 @@ let post_store_lat_u t ~node ~addr ~now =
        line.Cache.dirty <- false;
        let mask = ref (1 lsl node) in
        (* broadcast read-only copies to every past holder *)
-       let past =
-         Option.value ~default:0 (Hashtbl.find_opt t.past_sharers blk)
-       in
+       let past = ps_find t blk in
        for recipient = 0 to t.n_nodes - 1 do
          if recipient <> node && past land (1 lsl recipient) <> 0 then begin
            t.stat.messages <- t.stat.messages + 1;
@@ -634,3 +673,139 @@ let reset t =
   t.pf_live <- 0;
   Hashtbl.reset t.past_sharers;
   Stats.reset t.stat
+
+(* ---- shard views (parallel epoch replay) ----
+
+   A view shares the base's cache array (the shard partition guarantees a
+   shard only drives transitions whose cache effects land on its own
+   nodes' caches) but gets an overlay directory, private counters, and
+   private pf/past-sharer deltas. Invariant checking is forced off on
+   views: [check_invariants] reads global state and the engine falls back
+   to serial replay whenever [debug_checks] is set on the base. *)
+
+(* Nodes a replayed transition on [blk] might reach: every cached copy
+   (the directory lists all residents — Dir1SW's stale-extra-sharers are
+   a superset, which is safe here) plus every past holder (the recipient
+   set of a post-store, and the only nodes an install can broadcast to).
+   Eviction side-effects stay inside this mask too: a victim block's
+   directory entry names its holder, so any shard touching the victim is
+   coupled to the evictor. *)
+let couple_mask t blk =
+  let d =
+    match Directory.get t.dir blk with
+    | Directory.Idle -> 0
+    | Directory.Shared mask -> mask
+    | Directory.Exclusive owner -> 1 lsl owner
+  in
+  d lor ps_find t blk
+
+let shard_view t =
+  if t.parent <> None then invalid_arg "Protocol.shard_view: already a view";
+  {
+    t with
+    dir = Directory.overlay t.dir;
+    stat = Stats.create ~nodes:t.n_nodes;
+    pf_pending = Hashtbl.create 16;
+    pf_del = Hashtbl.create 16;
+    past_sharers = Hashtbl.create 16;
+    debug_checks = false;
+    parent = Some t;
+  }
+
+let merge_shard base view =
+  (match view.parent with
+  | Some p when p == base -> ()
+  | _ -> invalid_arg "Protocol.merge_shard: not a view of this protocol");
+  Directory.commit view.dir;
+  Stats.add base.stat view.stat;
+  Hashtbl.iter
+    (fun blk mask ->
+      let prev =
+        Option.value ~default:0 (Hashtbl.find_opt base.past_sharers blk)
+      in
+      Hashtbl.replace base.past_sharers blk (prev lor mask))
+    view.past_sharers;
+  Hashtbl.iter
+    (fun key () ->
+      if Hashtbl.mem base.pf_pending key then begin
+        Hashtbl.remove base.pf_pending key;
+        base.pf_live <- base.pf_live - 1
+      end)
+    view.pf_del;
+  Hashtbl.iter
+    (fun key () ->
+      if not (Hashtbl.mem base.pf_pending key) then begin
+        Hashtbl.add base.pf_pending key ();
+        base.pf_live <- base.pf_live + 1
+      end)
+    view.pf_pending;
+  Hashtbl.reset view.past_sharers;
+  Hashtbl.reset view.pf_del;
+  Hashtbl.reset view.pf_pending
+
+(* ---- snapshot / restore / canonical digest (epoch memoization) ---- *)
+
+type snapshot = {
+  sn_caches : Cache.snapshot array;
+  sn_dir : (int * Directory.state) list;
+  sn_pf : (int, unit) Hashtbl.t;
+  sn_pf_live : int;
+  sn_past : (int, int) Hashtbl.t;
+}
+
+let snapshot t =
+  if t.parent <> None then invalid_arg "Protocol.snapshot: shard view";
+  {
+    sn_caches = Array.map Cache.snapshot t.caches;
+    sn_dir = Directory.entries t.dir;
+    sn_pf = Hashtbl.copy t.pf_pending;
+    sn_pf_live = t.pf_live;
+    sn_past = Hashtbl.copy t.past_sharers;
+  }
+
+(* Restore state captured at virtual time T at a new virtual time
+   T + [time_offset]; absolute [ready_at] stamps shift accordingly
+   (see [Cache.restore]). Stats are deliberately untouched: the memo
+   applies them as a {!Stats.diff} delta. *)
+let restore t s ~time_offset =
+  if t.parent <> None then invalid_arg "Protocol.restore: shard view";
+  Array.iteri
+    (fun i c -> Cache.restore c s.sn_caches.(i) ~time_offset)
+    t.caches;
+  List.iter
+    (fun (blk, _) -> Directory.set t.dir blk Directory.Idle)
+    (Directory.entries t.dir);
+  List.iter (fun (blk, st) -> Directory.set t.dir blk st) s.sn_dir;
+  Hashtbl.reset t.pf_pending;
+  Hashtbl.iter (fun k () -> Hashtbl.add t.pf_pending k ()) s.sn_pf;
+  t.pf_live <- s.sn_pf_live;
+  Hashtbl.reset t.past_sharers;
+  Hashtbl.iter (fun k v -> Hashtbl.add t.past_sharers k v) s.sn_past
+
+(* FNV-1a over the canonical machine state, relative to virtual time
+   [now] so two states reachable at different absolute times hash alike.
+   Two independent accumulators (different offset bases) drive the
+   collision probability for the epoch memo's key comparison well below
+   concern; the memo additionally compares the full event streams, so a
+   digest collision can only alias *incoming* protocol states. *)
+let state_digest t ~now =
+  if t.parent <> None then invalid_arg "Protocol.state_digest: shard view";
+  let h1 = ref 0x4bf29ce484222325 and h2 = ref 0x04222325cbf29ce4 in
+  let prime = 0x100000001b3 in
+  let put v =
+    h1 := (!h1 lxor v) * prime;
+    h2 := (!h2 lxor (v + 0x9e3779b9)) * prime
+  in
+  put t.n_nodes;
+  Array.iter (fun c -> Cache.fold_state c ~now ~init:() (fun () v -> put v))
+    t.caches;
+  Directory.fold_state t.dir ~init:() (fun () v -> put v);
+  let sorted tbl =
+    List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [])
+  in
+  List.iter
+    (fun (blk, mask) -> if mask <> 0 then (put blk; put mask))
+    (sorted t.past_sharers);
+  List.iter (fun (key, ()) -> put key) (sorted t.pf_pending);
+  put t.pf_live;
+  (!h1 land max_int, !h2 land max_int)

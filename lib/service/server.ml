@@ -196,13 +196,32 @@ let parsed_program t ~source ~seed =
    deadline hook, and cuts latency when cores are available. Small
    machines stay sequential — there the recording pass is pure
    overhead. Cache keys are engine-agnostic on purpose: both engines
-   produce the same artifact. *)
-let par_node_threshold = 16
+   produce the same artifact — and the engine's epoch-memo pool is
+   process-wide, so repeat workloads (the IDE edit-simulate loop the
+   stage cache exists for) skip most replay work even when a source
+   tweak misses the artifact cache.
+
+   Deployment knobs, read once per request so a restart is not needed:
+   CACHIER_PAR_THRESHOLD sets the node count at which requests go
+   parallel (0 = always, default 16); CACHIER_PAR_DOMAINS fixes the
+   domain count (0 or unset = recommended count capped at nodes). *)
+let par_node_threshold () =
+  match Sys.getenv_opt "CACHIER_PAR_THRESHOLD" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some v -> v
+    | None -> 16)
+  | None -> 16
 
 let engine_for (machine : Wwt.Machine.t) =
   let nodes = machine.Wwt.Machine.nodes in
-  if nodes >= par_node_threshold then
-    Wwt.Run.Par (Wwt.Par.default_domains ~nodes)
+  if nodes >= par_node_threshold () then
+    Wwt.Run.Par
+      (match Sys.getenv_opt "CACHIER_PAR_DOMAINS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some d when d > 0 -> d
+          | _ -> Wwt.Par.default_domains ~nodes)
+      | None -> Wwt.Par.default_domains ~nodes)
   else Wwt.Run.Compiled
 
 (* Stage: trace-mode simulation (shared by simulate --trace, annotate,

@@ -76,6 +76,21 @@ type t = {
   mutable ntouched : int;
   poll : (unit -> unit) option;
   mutable poll_countdown : int;
+  (* Annotation ranges recorded this epoch, as flat (id, lo, hi)
+     triples — the shard planner folds them into the touched-block sets
+     without decoding the stream. *)
+  mutable aranges : int array;
+  mutable naranges : int;
+  (* Shadow slot: [flip] parks the just-recorded epoch here for replay
+     while the next epoch records into the (recycled) active buffers —
+     the double-buffering behind the pipelined engine. *)
+  mutable sbuf : Bytes.t;
+  mutable slen : int;
+  mutable svals : Lang.Value.t array;
+  mutable snvals : int;
+  mutable sstrs : string array;
+  mutable snstrs : int;
+  mutable serror : exn option;
 }
 
 let poll_every = 16384
@@ -98,6 +113,15 @@ let create ~node ~elems ~poll =
     ntouched = 0;
     poll;
     poll_countdown = poll_every;
+    aranges = Array.make 24 0;
+    naranges = 0;
+    sbuf = Bytes.create 64;
+    slen = 0;
+    svals = Array.make 8 Lang.Value.zero;
+    snvals = 0;
+    sstrs = Array.make 4 "";
+    snstrs = 0;
+    serror = None;
   }
 
 (* ---- emission ---- *)
@@ -193,7 +217,16 @@ let annot rc delta ~id ~lo ~hi =
   put_varint rc delta;
   put_varint rc id;
   put_varint rc lo;
-  put_varint rc hi
+  put_varint rc hi;
+  if (3 * rc.naranges) + 3 > Array.length rc.aranges then begin
+    let a = Array.make (max 24 (2 * 3 * rc.naranges)) 0 in
+    Array.blit rc.aranges 0 a 0 (3 * rc.naranges);
+    rc.aranges <- a
+  end;
+  rc.aranges.(3 * rc.naranges) <- id;
+  rc.aranges.((3 * rc.naranges) + 1) <- lo;
+  rc.aranges.((3 * rc.naranges) + 2) <- hi;
+  rc.naranges <- rc.naranges + 1
 
 let print rc delta s =
   ensure rc 11;
@@ -250,4 +283,30 @@ let clear_marks rc =
 let reset_stream rc =
   rc.len <- 0;
   rc.nvals <- 0;
-  rc.nstrs <- 0
+  rc.nstrs <- 0;
+  rc.naranges <- 0
+
+(* Park the just-recorded epoch in the shadow slot and recycle the
+   previous shadow buffers as the next epoch's active stream. Replay
+   always consumes the shadow side, so the serial and pipelined engines
+   share one code path; the conflict marks and annotation ranges are
+   *not* shadowed — the classifier consumes them before the flip. *)
+let flip rc =
+  let b = rc.sbuf in
+  rc.sbuf <- rc.buf;
+  rc.buf <- b;
+  rc.slen <- rc.len;
+  rc.len <- 0;
+  let v = rc.svals in
+  rc.svals <- rc.vals;
+  rc.vals <- v;
+  rc.snvals <- rc.nvals;
+  rc.nvals <- 0;
+  let s = rc.sstrs in
+  rc.sstrs <- rc.strs;
+  rc.strs <- s;
+  rc.snstrs <- rc.nstrs;
+  rc.nstrs <- 0;
+  rc.serror <- rc.error;
+  rc.error <- None;
+  rc.naranges <- 0

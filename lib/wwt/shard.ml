@@ -1,0 +1,127 @@
+(* Ownership-shard planner for parallel epoch replay.
+
+   Input: per-node lists of the cache blocks the node touched during the
+   recorded epoch (shared reads/writes, rmw, and annotation directives,
+   mapped to blocks — false sharing included by construction), plus a
+   coupling oracle giving, per block, the bitmask of nodes whose caches a
+   replayed transition on that block might reach (directory entry plus
+   past-sharer set, computed against the pre-epoch protocol state).
+
+   Output: either a conflict (some block was touched by two nodes, so
+   the epoch's transitions interleave and must replay serially), or a
+   partition of the nodes into groups such that no replayed transition
+   from one group can read or write protocol state attributed to another
+   group: each touched block's coupling set lands entirely inside the
+   toucher's group, so directory entries, cache lines, past-sharer masks
+   and pending prefetches split cleanly along group lines. *)
+
+type plan =
+  | Conflict of int  (* a block touched by >= 2 nodes this epoch *)
+  | Groups of int array array
+      (* disjoint node groups covering [0, nodes); each sorted
+         ascending, groups ordered by their least node *)
+
+(* Union-find with path halving; sizes are tiny (<= 62 nodes). *)
+let find parent i =
+  let i = ref i in
+  while parent.(!i) <> !i do
+    parent.(!i) <- parent.(parent.(!i));
+    i := parent.(!i)
+  done;
+  !i
+
+let union parent a b =
+  let ra = find parent a and rb = find parent b in
+  if ra <> rb then if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+
+let plan ~nodes ~touched ~couple_mask =
+  if Array.length touched <> nodes then
+    invalid_arg "Shard.plan: touched array size mismatch";
+  let owner = Hashtbl.create 256 in
+  let parent = Array.init nodes (fun i -> i) in
+  let conflict = ref (-1) in
+  (try
+     Array.iteri
+       (fun node blks ->
+         List.iter
+           (fun blk ->
+             (match Hashtbl.find_opt owner blk with
+             | Some n when n <> node ->
+                 conflict := blk;
+                 raise Exit
+             | Some _ -> ()
+             | None ->
+                 Hashtbl.add owner blk node;
+                 (* couple the toucher to every node the block's replay
+                    might reach *)
+                 let mask = couple_mask blk in
+                 let m = ref mask in
+                 while !m <> 0 do
+                   let peer =
+                     (* index of lowest set bit *)
+                     let b = !m land - !m in
+                     let rec log2 v acc =
+                       if v <= 1 then acc else log2 (v lsr 1) (acc + 1)
+                     in
+                     log2 b 0
+                   in
+                   if peer < nodes && peer <> node then union parent node peer;
+                   m := !m land (!m - 1)
+                 done))
+           blks)
+       touched
+   with Exit -> ());
+  if !conflict >= 0 then Conflict !conflict
+  else begin
+    let groups = Hashtbl.create 16 in
+    for n = nodes - 1 downto 0 do
+      let r = find parent n in
+      let prev = try Hashtbl.find groups r with Not_found -> [] in
+      Hashtbl.replace groups r (n :: prev)
+    done;
+    let gs =
+      Hashtbl.fold (fun _ ns acc -> Array.of_list ns :: acc) groups []
+    in
+    let gs = Array.of_list gs in
+    Array.sort (fun a b -> compare a.(0) b.(0)) gs;
+    Groups gs
+  end
+
+(* Pack groups into at most [max_shards] shards, balancing by the given
+   per-node weight (recorded event-stream bytes is a good proxy for
+   replay work). Greedy longest-processing-time: heaviest group first
+   into the lightest shard. Returns per-shard sorted node arrays and a
+   node -> shard index map. *)
+let pack ~nodes ~max_shards ~weight groups =
+  let nshards = max 1 (min max_shards (Array.length groups)) in
+  let order = Array.copy groups in
+  let gw g = Array.fold_left (fun acc n -> acc + weight n) 0 g in
+  Array.sort (fun a b -> compare (gw b) (gw a)) order;
+  let loads = Array.make nshards 0 in
+  let members = Array.make nshards [] in
+  Array.iter
+    (fun g ->
+      let best = ref 0 in
+      for s = 1 to nshards - 1 do
+        if loads.(s) < loads.(!best) then best := s
+      done;
+      loads.(!best) <- loads.(!best) + gw g;
+      members.(!best) <- g :: members.(!best))
+    order;
+  let shards =
+    Array.map
+      (fun gs ->
+        let a = Array.concat gs in
+        Array.sort compare a;
+        a)
+      members
+  in
+  (* Drop empty shards (more shards requested than groups), keep
+     deterministic order by least node. *)
+  let shards = Array.of_list
+      (List.filter (fun a -> Array.length a > 0) (Array.to_list shards))
+  in
+  Array.sort (fun a b -> compare a.(0) b.(0)) shards;
+  let of_node = Array.make nodes (-1) in
+  Array.iteri (fun s ns -> Array.iter (fun n -> of_node.(n) <- s) ns) shards;
+  (shards, of_node)

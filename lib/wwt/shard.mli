@@ -1,0 +1,40 @@
+(** Ownership-shard planning for parallel epoch replay.
+
+    An epoch's recorded events can replay on several domains when the
+    nodes partition into groups whose protocol transitions cannot touch
+    each other's state. This module computes that partition from the
+    per-node sets of touched blocks and a per-block {e coupling mask}
+    (directory entry plus past sharers against the pre-epoch protocol
+    state). It is pure — no protocol or scheduler dependencies — so the
+    planner's safety properties are directly property-testable. *)
+
+type plan =
+  | Conflict of int
+      (** Some block (the payload) was touched by two or more nodes this
+          epoch; its transitions interleave, so the epoch must replay
+          serially. *)
+  | Groups of int array array
+      (** Disjoint node groups covering [0, nodes): replaying any
+          recorded transition of a group's node touches caches,
+          directory entries, past-sharer masks and pending prefetches of
+          that group's nodes only. Each group is sorted ascending;
+          groups are ordered by least node. *)
+
+val plan :
+  nodes:int -> touched:int list array -> couple_mask:(int -> int) -> plan
+(** [plan ~nodes ~touched ~couple_mask]: [touched.(n)] lists the blocks
+    node [n] touched in the epoch (duplicates fine); [couple_mask blk]
+    is the bitmask of nodes whose caches a replayed transition on [blk]
+    might reach. @raise Invalid_argument on a size mismatch. *)
+
+val pack :
+  nodes:int ->
+  max_shards:int ->
+  weight:(int -> int) ->
+  int array array ->
+  int array array * int array
+(** [pack ~nodes ~max_shards ~weight groups] bin-packs the groups into
+    at most [max_shards] shards balanced by the per-node [weight]
+    (greedy, heaviest group to lightest shard). Returns the per-shard
+    sorted node arrays (ordered by least node, no empties) and the
+    node-to-shard-index map. *)

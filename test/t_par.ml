@@ -123,6 +123,148 @@ let corpus_equivalence () =
         ])
     (Fuzz.Corpus.load_dir "corpus")
 
+(* ---- replay-mode matrix ----
+
+   The engine's three replay paths — classic serial, sharded, and
+   pipelined+sharded — must each be bit-identical to the sequential
+   engine, independent of the environment defaults. Forced via the
+   explicit knobs so this holds even when CACHIER_PAR_PIPELINE /
+   CACHIER_REPLAY_SHARDS are set in the ambient environment. Memo is
+   off here; the dedicated memo test below covers warm replays. *)
+let par_modes =
+  [
+    ("serial", false, 1);
+    ("sharded", false, 4);
+    ("pipelined+sharded", true, 4);
+  ]
+
+let mode_matrix_equivalence () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Lang.Parser.parse b.Benchmarks.Suite.source in
+      let name = b.Benchmarks.Suite.name in
+      let pmachine = Wwt.Machine.perf_mode ~annotations:false ~prefetch:false machine in
+      let seq = Wwt.Run.measure ~engine:Wwt.Run.Compiled ~machine ~annotations:false ~prefetch:false prog in
+      List.iter
+        (fun (mode, pipeline, shards) ->
+          check_same
+            (Printf.sprintf "%s/%s" name mode)
+            seq
+            (Wwt.Par.run ~domains:4 ~pipeline ~shards ~memo:0
+               ~machine:pmachine prog))
+        par_modes)
+    (Benchmarks.Suite.all ~scale:1.0 ~nodes ())
+
+let annotated_mode_matrix () =
+  List.iter
+    (fun (b : Benchmarks.Suite.t) ->
+      let prog = Lang.Parser.parse b.Benchmarks.Suite.source in
+      let name = b.Benchmarks.Suite.name in
+      let trace = (Wwt.Run.collect_trace ~machine prog).Wwt.Interp.trace in
+      let annotated =
+        (Cachier.Annotate.annotate_with_trace ~machine
+           ~options:Cachier.Placement.default_options prog trace)
+          .Cachier.Annotate.annotated
+      in
+      let pmachine = Wwt.Machine.perf_mode ~annotations:true ~prefetch:false machine in
+      let seq =
+        Wwt.Run.measure ~engine:Wwt.Run.Compiled ~machine ~annotations:true
+          ~prefetch:false annotated
+      in
+      List.iter
+        (fun (mode, pipeline, shards) ->
+          check_same
+            (Printf.sprintf "%s/annotated/%s" name mode)
+            seq
+            (Wwt.Par.run ~domains:4 ~pipeline ~shards ~memo:0
+               ~machine:pmachine annotated))
+        par_modes)
+    (Benchmarks.Suite.all ~scale:1.0 ~nodes ())
+
+let corpus_mode_matrix () =
+  List.iter
+    (fun (path, (e : Fuzz.Corpus.entry)) ->
+      let prog = Lang.Parser.parse e.Fuzz.Corpus.source in
+      let machine =
+        { Wwt.Machine.default with Wwt.Machine.nodes = e.Fuzz.Corpus.nodes }
+      in
+      let pmachine = Wwt.Machine.perf_mode ~annotations:false ~prefetch:false machine in
+      let name = Filename.basename path in
+      let seq =
+        run_catch (fun () ->
+            Wwt.Run.measure ~engine:Wwt.Run.Compiled ~machine
+              ~annotations:false ~prefetch:false prog)
+      in
+      List.iter
+        (fun (mode, pipeline, shards) ->
+          match
+            ( seq,
+              run_catch (fun () ->
+                  Wwt.Par.run ~domains:2 ~pipeline ~shards ~memo:0
+                    ~machine:pmachine prog) )
+          with
+          | Ok a, Ok b -> check_same (name ^ "/" ^ mode) a b
+          | Error a, Error b ->
+              Alcotest.(check string)
+                (name ^ "/" ^ mode ^ ": same exception")
+                (Printexc.to_string a) (Printexc.to_string b)
+          | Ok _, Error e ->
+              Alcotest.failf "%s/%s: only par raised: %s" name mode
+                (Printexc.to_string e)
+          | Error e, Ok _ ->
+              Alcotest.failf "%s/%s: only sequential raised: %s" name mode
+                (Printexc.to_string e))
+        par_modes)
+    (Fuzz.Corpus.load_dir "corpus")
+
+(* ---- epoch memoization ----
+
+   A warm replay (same machine, same program, same epoch streams) must
+   hit the process-wide epoch memo and still produce outcomes
+   byte-identical to both the cold parallel run and the sequential
+   engine. Counter deltas prove the hits actually happened — without
+   Obs the memo would be exercised but invisibly. *)
+let memo_warm_replay () =
+  let prev_mode = Obs.current_mode () in
+  Obs.configure Obs.Summary;
+  Fun.protect
+    ~finally:(fun () -> Obs.configure prev_mode)
+    (fun () ->
+      Wwt.Par.memo_clear ();
+      let counter_value name =
+        Option.value ~default:0
+          (List.assoc_opt name
+             (Obs.Registry.counters Obs.Registry.default))
+      in
+      List.iter
+        (fun (b : Benchmarks.Suite.t) ->
+          let prog = Lang.Parser.parse b.Benchmarks.Suite.source in
+          let name = b.Benchmarks.Suite.name in
+          let pmachine =
+            Wwt.Machine.perf_mode ~annotations:false ~prefetch:false machine
+          in
+          let par ?domains () =
+            Wwt.Par.run ?domains ~memo:256 ~machine:pmachine prog
+          in
+          let seq =
+            Wwt.Run.measure ~engine:Wwt.Run.Compiled ~machine
+              ~annotations:false ~prefetch:false prog
+          in
+          let cold = par ~domains:2 () in
+          let hits0 = counter_value "par.memo_hits" in
+          (* warm: every barrier epoch should hit (same streams, same
+             incoming state), including from a different domain count *)
+          let warm = par ~domains:2 () in
+          let warm_other = par ~domains:1 () in
+          let hits1 = counter_value "par.memo_hits" in
+          check_same (name ^ "/cold-vs-seq") seq cold;
+          check_same (name ^ "/warm-vs-cold") cold warm;
+          check_same (name ^ "/warm-1d-vs-cold") cold warm_other;
+          if hits1 <= hits0 then
+            Alcotest.failf "%s: no memo hits on the warm replays" name)
+        (Benchmarks.Suite.all ~scale:1.0 ~nodes ());
+      Wwt.Par.memo_clear ())
+
 (* ---- quantum edge cases ---- *)
 
 let check_three_way name ~machine src =
@@ -243,6 +385,13 @@ let suite =
   [
     Alcotest.test_case "suite equivalence par (1/2/4 domains)" `Slow
       suite_equivalence;
+    Alcotest.test_case "replay-mode matrix (serial/sharded/pipelined)" `Slow
+      mode_matrix_equivalence;
+    Alcotest.test_case "replay-mode matrix (annotated)" `Slow
+      annotated_mode_matrix;
+    Alcotest.test_case "replay-mode matrix (corpus)" `Slow corpus_mode_matrix;
+    Alcotest.test_case "epoch memo: warm replay byte-identical" `Slow
+      memo_warm_replay;
     Alcotest.test_case "cross-node conflict falls back" `Quick
       conflict_fallback;
     Alcotest.test_case "suite equivalence par (annotated)" `Slow

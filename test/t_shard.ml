@@ -1,0 +1,169 @@
+(* Property tests for the ownership-shard planner behind the parallel
+   engine's sharded epoch replay (Wwt.Shard).
+
+   The planner's safety contract is what makes sharded replay sound:
+
+   - any block touched by two nodes in one epoch forces the serial path
+     (Conflict), so interleaved transitions are never split;
+   - otherwise the node groups partition [0, nodes), no two groups share
+     a touched block, and each toucher's group swallows every node its
+     blocks' coupling masks name — so replaying a group cannot reach
+     another group's protocol state;
+   - [pack] only merges groups, so the per-shard guarantees survive
+     bin-packing, and every node maps to exactly one shard. *)
+
+let qtest = Qc.qtest
+
+(* Random epochs: per-node touched-block lists over a small block space
+   (collisions likely), plus a random coupling mask per block. [nodes]
+   stays small so cross-node interactions are frequent. *)
+let epoch_gen =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun nodes ->
+    int_range 1 24 >>= fun nblocks ->
+    array_size (return nodes)
+      (list_size (int_range 0 12) (int_range 0 (nblocks - 1)))
+    >>= fun touched ->
+    array_size (return nblocks) (int_range 0 ((1 lsl nodes) - 1))
+    >>= fun masks -> return (nodes, touched, masks))
+
+let epoch_print (nodes, touched, masks) =
+  Printf.sprintf "nodes=%d touched=[%s] masks=[%s]" nodes
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (fun l -> String.concat "," (List.map string_of_int l))
+             touched)))
+    (String.concat "," (Array.to_list (Array.map string_of_int masks)))
+
+let epoch_arb = QCheck.make ~print:epoch_print epoch_gen
+
+let multi_touched touched =
+  (* blocks touched by >= 2 distinct nodes *)
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun n blks ->
+      List.iter
+        (fun b ->
+          match Hashtbl.find_opt tbl b with
+          | None -> Hashtbl.replace tbl b (`One n)
+          | Some (`One m) when m <> n -> Hashtbl.replace tbl b `Many
+          | Some _ -> ())
+        blks)
+    touched;
+  Hashtbl.fold (fun b o acc -> match o with `Many -> b :: acc | _ -> acc) tbl []
+
+let prop_conflict_forces_serial =
+  QCheck.Test.make ~count:500
+    ~name:"cross-node touch forces the serial fallback" epoch_arb
+    (fun (nodes, touched, masks) ->
+      let plan =
+        Wwt.Shard.plan ~nodes ~touched ~couple_mask:(fun b -> masks.(b))
+      in
+      match (multi_touched touched, plan) with
+      | [], Wwt.Shard.Conflict b ->
+          QCheck.Test.fail_reportf
+            "Conflict %d reported for a single-toucher epoch" b
+      | [], Wwt.Shard.Groups _ -> true
+      | multi, Wwt.Shard.Conflict b ->
+          (* the reported block really is multi-touched *)
+          List.mem b multi
+      | _ :: _, Wwt.Shard.Groups _ ->
+          QCheck.Test.fail_reportf "multi-touched epoch produced Groups")
+
+let prop_groups_partition_and_isolate =
+  QCheck.Test.make ~count:500
+    ~name:"groups partition the nodes and never share a touched block"
+    epoch_arb (fun (nodes, touched, masks) ->
+      match
+        Wwt.Shard.plan ~nodes ~touched ~couple_mask:(fun b -> masks.(b))
+      with
+      | Wwt.Shard.Conflict _ -> QCheck.assume_fail ()
+      | Wwt.Shard.Groups groups ->
+          let group_of = Array.make nodes (-1) in
+          Array.iteri
+            (fun gi g ->
+              Array.iter
+                (fun n ->
+                  if group_of.(n) <> -1 then
+                    QCheck.Test.fail_reportf "node %d in two groups" n;
+                  group_of.(n) <- gi)
+                g)
+            groups;
+          Array.iteri
+            (fun n gi ->
+              if gi = -1 then QCheck.Test.fail_reportf "node %d unassigned" n)
+            group_of;
+          (* no block is touched from two groups, and each toucher's
+             group contains every node in the block's coupling mask *)
+          let block_group = Hashtbl.create 16 in
+          Array.iteri
+            (fun n blks ->
+              List.iter
+                (fun b ->
+                  (match Hashtbl.find_opt block_group b with
+                  | Some gi when gi <> group_of.(n) ->
+                      QCheck.Test.fail_reportf
+                        "block %d touched from groups %d and %d" b gi
+                        group_of.(n)
+                  | _ -> Hashtbl.replace block_group b group_of.(n));
+                  let mask = masks.(b) in
+                  for m = 0 to nodes - 1 do
+                    if mask land (1 lsl m) <> 0 && group_of.(m) <> group_of.(n)
+                    then
+                      QCheck.Test.fail_reportf
+                        "block %d couples node %d outside node %d's group" b m
+                        n
+                  done)
+                blks)
+            touched;
+          true)
+
+let prop_pack_preserves_groups =
+  QCheck.Test.make ~count:500
+    ~name:"pack keeps groups whole and maps every node once"
+    (QCheck.pair epoch_arb (QCheck.make (QCheck.Gen.int_range 1 4)))
+    (fun ((nodes, touched, masks), max_shards) ->
+      match
+        Wwt.Shard.plan ~nodes ~touched ~couple_mask:(fun b -> masks.(b))
+      with
+      | Wwt.Shard.Conflict _ -> QCheck.assume_fail ()
+      | Wwt.Shard.Groups groups ->
+          let shards, node_shard =
+            Wwt.Shard.pack ~nodes ~max_shards ~weight:(fun n -> n + 1) groups
+          in
+          if Array.length shards > max_shards then
+            QCheck.Test.fail_reportf "pack produced %d > %d shards"
+              (Array.length shards) max_shards;
+          let seen = Array.make nodes 0 in
+          Array.iteri
+            (fun si shard ->
+              Array.iter
+                (fun n ->
+                  seen.(n) <- seen.(n) + 1;
+                  if node_shard.(n) <> si then
+                    QCheck.Test.fail_reportf "node %d map disagrees" n)
+                shard)
+            shards;
+          Array.iteri
+            (fun n c ->
+              if c <> 1 then
+                QCheck.Test.fail_reportf "node %d in %d shards" n c)
+            seen;
+          (* groups stay whole: all members of a group share a shard *)
+          Array.iter
+            (fun g ->
+              Array.iter
+                (fun n ->
+                  if node_shard.(n) <> node_shard.(g.(0)) then
+                    QCheck.Test.fail_reportf "group split across shards")
+                g)
+            groups;
+          true)
+
+let suite =
+  [
+    qtest prop_conflict_forces_serial;
+    qtest prop_groups_partition_and_isolate;
+    qtest prop_pack_preserves_groups;
+  ]
