@@ -1,0 +1,410 @@
+(* cachier_loadgen — an open-loop load harness for cachierd's socket mode.
+
+   Drives a zipf-popularity request stream (drawn from the built-in
+   benchmarks plus any --corpus directory of .cico programs) over N
+   concurrent connections at a fixed arrival rate, independent of how
+   fast the server answers — so a slow server shows up as latency, not
+   as a politely reduced load. Latencies are measured from each
+   request's *scheduled* send time (no coordinated omission) and
+   reported as exact p50/p99/p999 over the full sorted sample, plus
+   sustained throughput, to stderr and as a BENCH_SERVICE.json section
+   consumable by scripts/bench_compare. *)
+
+module Json = Service.Json
+
+let pf = Printf.sprintf
+
+(* deterministic splitmix-style generator: runs must be reproducible *)
+let rng_state = ref 0x3779B97F4A7C15
+let rand_float () =
+  rng_state := (!rng_state * 2862933555777941757) + 1442695040888963407;
+  let bits = (!rng_state lsr 13) land 0xFFFFFFFFFFF in
+  float_of_int bits /. float_of_int 0x100000000000
+
+(* ---- workload population ---- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let population ~nodes ~corpus =
+  let benches =
+    List.map
+      (fun name -> (pf "bench:%s" name, Service.Protocol.Bench name))
+      Benchmarks.Suite.names
+  in
+  let corpus_sources =
+    match corpus with
+    | None -> []
+    | Some dir ->
+        Sys.readdir dir |> Array.to_list |> List.sort compare
+        |> List.filter (fun f -> Filename.check_suffix f ".cico")
+        |> List.map (fun f ->
+               ( pf "corpus:%s" f,
+                 Service.Protocol.Text (read_file (Filename.concat dir f)) ))
+  in
+  ignore nodes;
+  benches @ corpus_sources
+
+(* zipf(s) over ranks 1..n: cumulative weights + binary search *)
+let zipf_sampler ~s n =
+  let cum = Array.make n 0. in
+  let total = ref 0. in
+  for i = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (i + 1)) s);
+    cum.(i) <- !total
+  done;
+  fun () ->
+    let u = rand_float () *. !total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+(* ---- wire helpers ---- *)
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0;
+  fd
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let request_line ~id ~machine ~op =
+  Json.to_string
+    (Service.Protocol.request_to_json
+       { Service.Protocol.id; machine; seed = None; deadline_ms = None; op })
+  ^ "\n"
+
+(* one blocking request/response on a fresh connection *)
+let oneshot path ~machine op =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+      write_all fd (request_line ~id:1 ~machine ~op);
+      let framing = Aio.Framing.create () in
+      let buf = Bytes.create 4096 in
+      let rec read_line () =
+        match Aio.Framing.next_line framing with
+        | Some line -> line
+        | None -> (
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> failwith "server closed connection"
+            | n ->
+                Aio.Framing.feed framing buf 0 n;
+                read_line ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+              ->
+                failwith "timed out waiting for response")
+      in
+      Json.of_string (read_line ()))
+
+(* ---- percentiles ---- *)
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else sorted.(min (n - 1) (int_of_float (ceil (q *. float_of_int n)) - 1))
+
+(* ---- the run ---- *)
+
+let run machine socket corpus rate duration_s conns zipf_s seed drain_s spawn
+    out_path (_obs : Obs.mode) =
+  rng_state := 0x3779B97F4A7C15 + seed;
+  let machine_cfg =
+    {
+      Service.Protocol.nodes = machine.Wwt.Machine.nodes;
+      cache_kb = machine.Wwt.Machine.cache_bytes / 1024;
+      assoc = machine.Wwt.Machine.assoc;
+      block = machine.Wwt.Machine.block_size;
+    }
+  in
+  let path =
+    match socket with
+    | Some p -> p
+    | None -> Filename.concat (Filename.get_temp_dir_name ())
+                (pf "cachier_loadgen.%d.sock" (Unix.getpid ()))
+  in
+  (* optionally spawn a cachierd sibling binary to load *)
+  let child =
+    if not spawn then None
+    else begin
+      let dir = Filename.dirname Sys.executable_name in
+      let exe = Filename.concat dir "cachierd.exe" in
+      let exe = if Sys.file_exists exe then exe else Filename.concat dir "cachierd" in
+      let pid =
+        Unix.create_process exe
+          [| exe; "--socket"; path; "--workers"; "2"; "--listeners"; "2" |]
+          Unix.stdin Unix.stderr Unix.stderr
+      in
+      (* wait for the socket to appear *)
+      let deadline = Unix.gettimeofday () +. 10. in
+      while
+        (not (Sys.file_exists path)) && Unix.gettimeofday () < deadline
+      do
+        Unix.sleepf 0.05
+      done;
+      Some pid
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      match child with
+      | Some pid ->
+          (try ignore (oneshot path ~machine:machine_cfg Service.Protocol.Shutdown)
+           with _ -> (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ()));
+          ignore (Unix.waitpid [] pid)
+      | None -> ())
+    (fun () ->
+      let pop = population ~nodes:machine_cfg.Service.Protocol.nodes ~corpus in
+      if pop = [] then failwith "empty workload population";
+      let pop = Array.of_list pop in
+      let sample = zipf_sampler ~s:zipf_s (Array.length pop) in
+      let max_reqs = int_of_float (rate *. duration_s) + conns + 16 in
+      let sched = Array.make (max_reqs + 1) 0. in
+      let plan =
+        Array.init (max_reqs + 1) (fun _ -> sample ())
+      in
+      let fds = Array.init conns (fun _ -> connect path) in
+      let sent = Atomic.make 0 in
+      let completed = Atomic.make 0 in
+      let cached = Atomic.make 0 in
+      let errors = Atomic.make 0 in
+      let stop = Atomic.make false in
+      let lat_mu = Mutex.create () in
+      let latencies = ref [] in
+      (* readers: one domain per connection, framing partial reads *)
+      let reader i () =
+        let fd = fds.(i) in
+        let framing = Aio.Framing.create () in
+        let buf = Bytes.create 65536 in
+        let local = ref [] in
+        let running = ref true in
+        while !running && not (Atomic.get stop) do
+          (match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> running := false
+          | n -> Aio.Framing.feed framing buf 0 n
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            ->
+              ()
+          | exception Unix.Unix_error (Unix.EBADF, _, _) -> running := false);
+          let rec drain () =
+            match Aio.Framing.next_line framing with
+            | None -> ()
+            | Some line ->
+                let now = Unix.gettimeofday () in
+                (match
+                   Service.Protocol.response_of_json (Json.of_string line)
+                 with
+                | Ok (Service.Protocol.Ok_response { id; cached = c; _ }) ->
+                    Atomic.incr completed;
+                    if c then Atomic.incr cached;
+                    if id >= 1 && id <= max_reqs then
+                      local :=
+                        int_of_float ((now -. sched.(id)) *. 1_000_000.)
+                        :: !local
+                | Ok (Service.Protocol.Error_response _) ->
+                    Atomic.incr completed;
+                    Atomic.incr errors
+                | Error _ | (exception _) ->
+                    Atomic.incr completed;
+                    Atomic.incr errors);
+                drain ()
+          in
+          drain ()
+        done;
+        Mutex.lock lat_mu;
+        latencies := !local @ !latencies;
+        Mutex.unlock lat_mu
+      in
+      let readers = Array.init conns (fun i -> Domain.spawn (reader i)) in
+      (* open-loop sender: k-th request is due at t0 + k/rate, sent on
+         connection k mod conns with id k+1 *)
+      let t0 = Unix.gettimeofday () in
+      let k = ref 0 in
+      (try
+         while Unix.gettimeofday () -. t0 < duration_s && !k < max_reqs do
+           let due = t0 +. (float_of_int !k /. rate) in
+           let d = due -. Unix.gettimeofday () in
+           if d > 0. then Unix.sleepf d;
+           if Unix.gettimeofday () -. t0 < duration_s then begin
+             let id = !k + 1 in
+             sched.(id) <- due;
+             let _, source = pop.(plan.(id)) in
+             write_all fds.(!k mod conns)
+               (request_line ~id ~machine:machine_cfg
+                  ~op:
+                    (Service.Protocol.Simulate
+                       {
+                         source;
+                         annotations = false;
+                         prefetch = false;
+                         trace = false;
+                       }));
+             incr k;
+             Atomic.set sent !k
+           end
+         done
+       with Unix.Unix_error _ -> ());
+      let sent_n = !k in
+      (* drain: wait for the tail, bounded *)
+      let drain_deadline = Unix.gettimeofday () +. drain_s in
+      while
+        Atomic.get completed < sent_n
+        && Unix.gettimeofday () < drain_deadline
+      do
+        Unix.sleepf 0.02
+      done;
+      let t_end = Unix.gettimeofday () in
+      Atomic.set stop true;
+      Array.iter
+        (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        fds;
+      Array.iter Domain.join readers;
+      Array.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        fds;
+      (* server-side view, for the report *)
+      let server_stats =
+        try
+          match
+            Service.Protocol.response_of_json
+              (oneshot path ~machine:machine_cfg Service.Protocol.Stats)
+          with
+          | Ok (Service.Protocol.Ok_response { extra; _ }) ->
+              List.assoc_opt "stats" extra
+          | _ -> None
+        with _ -> None
+      in
+      let lat = Array.of_list !latencies in
+      Array.sort compare lat;
+      let completed_n = Atomic.get completed in
+      let elapsed = t_end -. t0 in
+      let sustained =
+        if elapsed > 0. then float_of_int completed_n /. elapsed else 0.
+      in
+      let p50 = percentile lat 0.50
+      and p99 = percentile lat 0.99
+      and p999 = percentile lat 0.999 in
+      let coalesced =
+        match server_stats with
+        | Some stats -> (
+            match Json.(to_int_opt (member "coalesced" stats)) with
+            | Some v -> v
+            | None -> 0)
+        | None -> 0
+      in
+      Fmt.epr
+        "loadgen: sent %d, completed %d (%d cached, %d errors, %d coalesced) \
+         in %.2fs@."
+        sent_n completed_n (Atomic.get cached) (Atomic.get errors) coalesced
+        elapsed;
+      Fmt.epr "loadgen: %.1f req/s sustained; p50 %dus p99 %dus p999 %dus@."
+        sustained p50 p99 p999;
+      let service =
+        Json.Obj
+          ([
+             ("rate_target_req_s", Json.Float rate);
+             ("duration_s", Json.Float duration_s);
+             ("conns", Json.Int conns);
+             ("zipf_s", Json.Float zipf_s);
+             ("population", Json.Int (Array.length pop));
+             ("sent", Json.Int sent_n);
+             ("completed", Json.Int completed_n);
+             ("cached", Json.Int (Atomic.get cached));
+             ("errors", Json.Int (Atomic.get errors));
+             ("coalesced", Json.Int coalesced);
+             ("sustained_req_s", Json.Float sustained);
+             ("p50_us", Json.Int p50);
+             ("p99_us", Json.Int p99);
+             ("p999_us", Json.Int p999);
+           ]
+          @
+          match server_stats with
+          | Some s -> [ ("server_stats", s) ]
+          | None -> [])
+      in
+      (match out_path with
+      | None -> ()
+      | Some out ->
+          let oc = open_out out in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc
+                (Json.to_string (Json.Obj [ ("service", service) ]));
+              output_char oc '\n');
+          Fmt.epr "loadgen: wrote %s@." out);
+      if out_path = None then
+        print_endline (Json.to_string (Json.Obj [ ("service", service) ]));
+      0)
+
+open Cmdliner
+
+let socket =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket of a running cachierd. Required unless \
+               $(b,--spawn).")
+
+let corpus =
+  Arg.(value & opt (some dir) None & info [ "corpus" ] ~docv:"DIR"
+         ~doc:"Add every .cico file under $(docv) to the workload \
+               population (alongside the built-in benchmarks).")
+
+let rate =
+  Arg.(value & opt float 50. & info [ "rate" ] ~docv:"R"
+         ~doc:"Open-loop arrival rate, requests per second.")
+
+let duration =
+  Arg.(value & opt float 10. & info [ "duration" ] ~docv:"S"
+         ~doc:"Seconds to keep sending.")
+
+let conns =
+  Arg.(value & opt int 4 & info [ "conns" ] ~docv:"N"
+         ~doc:"Concurrent connections; requests round-robin across them.")
+
+let zipf =
+  Arg.(value & opt float 1.1 & info [ "zipf" ] ~docv:"S"
+         ~doc:"Zipf popularity exponent over the workload population.")
+
+let seed =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
+         ~doc:"Workload RNG seed (runs are deterministic per seed).")
+
+let drain =
+  Arg.(value & opt float 10. & info [ "drain" ] ~docv:"S"
+         ~doc:"After the send window, wait up to $(docv) seconds for the \
+               response tail.")
+
+let spawn =
+  Arg.(value & flag & info [ "spawn" ]
+         ~doc:"Spawn a cachierd (the sibling binary) on a private socket, \
+               load it, then shut it down.")
+
+let out =
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE"
+         ~doc:"Write the JSON report to $(docv) (BENCH_SERVICE.json shape) \
+               instead of stdout.")
+
+let cmd =
+  let doc = "open-loop zipf load harness for cachierd" in
+  Cmd.v
+    (Cmd.info "cachier_loadgen" ~doc)
+    Term.(const run $ Service.Cli.machine_term $ socket $ corpus $ rate
+          $ duration $ conns $ zipf $ seed $ drain $ spawn $ out
+          $ Service.Cli.obs_term)
+
+let () = exit (Cmd.eval' cmd)

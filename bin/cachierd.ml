@@ -2,12 +2,19 @@
 
    Serves the operations of the one-shot tools (parse, simulate,
    annotate, race_report, trace_stats) over newline-delimited JSON, on
-   stdio or a Unix-domain socket, with a content-addressed artifact cache
-   so repeated work is answered without re-simulating. See the
-   "Running the service" section of the README for the protocol. *)
+   stdio or a Unix-domain socket, with a two-tier content-addressed
+   artifact cache so repeated work is answered without re-simulating.
+   The socket mode runs N event-loop listener shards over the shared
+   socket and coalesces identical concurrent requests. See the
+   "Running the service" section of the README for the protocol.
 
-let run machine socket budget_mb cache_dir workers capacity
-    (_obs : Obs.mode) =
+   SIGTERM/SIGINT shut down gracefully: stop accepting, drain in-flight
+   requests within the drain grace, flush sinks, exit 0. *)
+
+exception Interrupted
+
+let run machine socket budget_mb cache_dir workers capacity listeners
+    idle_timeout_ms drain_ms (_obs : Obs.mode) =
   let machine_defaults =
     {
       Service.Protocol.nodes = machine.Wwt.Machine.nodes;
@@ -26,18 +33,40 @@ let run machine socket budget_mb cache_dir workers capacity
     }
   in
   let server = Service.Server.create config in
+  let stop = Atomic.make false in
+  let on_signal =
+    Sys.Signal_handle
+      (fun _ ->
+        (* socket mode: the shards observe [stop] and drain; stdio mode:
+           unwind the blocking read loop *)
+        Atomic.set stop true;
+        if socket = None then raise Interrupted)
+  in
+  (try Sys.set_signal Sys.sigterm on_signal with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigint on_signal with Invalid_argument _ -> ());
   Fun.protect
-    ~finally:(fun () -> Service.Server.shutdown server)
+    ~finally:(fun () ->
+      Service.Server.shutdown server;
+      Obs.flush ())
     (fun () ->
       match socket with
       | Some path ->
-          Fmt.epr "cachierd: serving on %s (%d workers, %d MB cache)@." path
-            workers budget_mb;
-          Service.Server.serve_socket server ~path
-      | None ->
+          Fmt.epr
+            "cachierd: serving on %s (%d listeners, %d workers, %d MB cache)@."
+            path listeners workers budget_mb;
+          Service.Server.serve_shards server ~path
+            ~options:
+              {
+                Service.Server.listeners;
+                idle_timeout_s = float_of_int idle_timeout_ms /. 1000.;
+                drain_grace_s = float_of_int drain_ms /. 1000.;
+              }
+            ~stop ()
+      | None -> (
           Fmt.epr "cachierd: serving on stdio (%d workers, %d MB cache)@."
             workers budget_mb;
-          ignore (Service.Server.serve server stdin stdout));
+          try ignore (Service.Server.serve server stdin stdout)
+          with Interrupted -> Fmt.epr "cachierd: interrupted, draining@."));
   0
 
 open Cmdliner
@@ -49,13 +78,13 @@ let socket =
 
 let budget_mb =
   Arg.(value & opt int 64 & info [ "cache-budget-mb" ] ~docv:"MB"
-         ~doc:"Artifact-cache byte budget; least-recently-used entries are \
-               evicted beyond it.")
+         ~doc:"In-memory artifact-cache byte budget; least-recently-used \
+               entries are evicted beyond it.")
 
 let cache_dir =
   Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
-         ~doc:"Persist collected traces under $(docv) so the cache is warm \
-               after a restart.")
+         ~doc:"Persist stage artifacts under $(docv) (the disk tier) so \
+               the cache is warm after a restart.")
 
 let workers =
   Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N"
@@ -66,11 +95,27 @@ let capacity =
          ~doc:"Bounded submission queue; beyond it requests are refused \
                with an $(b,overloaded) error.")
 
+let listeners =
+  Arg.(value & opt int 2 & info [ "listeners" ] ~docv:"N"
+         ~doc:"Event-loop listener shards sharing the socket (socket mode \
+               only).")
+
+let idle_timeout_ms =
+  Arg.(value & opt int 30_000 & info [ "idle-timeout-ms" ] ~docv:"MS"
+         ~doc:"Drop connections idle longer than $(docv) (socket mode \
+               only).")
+
+let drain_ms =
+  Arg.(value & opt int 5_000 & info [ "drain-ms" ] ~docv:"MS"
+         ~doc:"On shutdown, bound the in-flight drain at $(docv) before \
+               closing remaining connections.")
+
 let cmd =
   let doc = "resident CICO annotation service with an artifact cache" in
   Cmd.v
     (Cmd.info "cachierd" ~doc)
     Term.(const run $ Service.Cli.machine_term $ socket $ budget_mb
-          $ cache_dir $ workers $ capacity $ Service.Cli.obs_term)
+          $ cache_dir $ workers $ capacity $ listeners $ idle_timeout_ms
+          $ drain_ms $ Service.Cli.obs_term)
 
 let () = exit (Cmd.eval' cmd)

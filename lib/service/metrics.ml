@@ -28,6 +28,12 @@ let record_hit t ~stage =
 let record_miss t ~stage =
   Obs.Counter.incr (Obs.Registry.counter ~registry:t.reg (k_miss ^ stage))
 
+let record_coalesced t =
+  Obs.Counter.incr (Obs.Registry.counter ~registry:t.reg "coalesced")
+
+let coalesced t =
+  Obs.Counter.value (Obs.Registry.counter ~registry:t.reg "coalesced")
+
 let requests t = Obs.Counter.value t.requests
 
 let hits t ~stage =
@@ -67,7 +73,7 @@ let hist_to_json (s : Obs.Histogram.snapshot) =
       ("le_us_counts", Json.List !cells);
     ]
 
-let to_json t ~evictions ~cache_bytes ~cache_entries =
+let to_json t ~evictions ~cache_bytes ~cache_entries ?store () =
   let latency =
     let plen = String.length k_op in
     List.filter_map
@@ -78,13 +84,29 @@ let to_json t ~evictions ~cache_bytes ~cache_entries =
       (Obs.Registry.histograms t.reg)
   in
   Json.Obj
-    [
-      ("requests", Json.Int (requests t));
-      ("errors", Json.Obj (category t k_err));
-      ("hits", Json.Obj (category t k_hit));
-      ("misses", Json.Obj (category t k_miss));
-      ("evictions", Json.Int evictions);
-      ("cache_bytes", Json.Int cache_bytes);
-      ("cache_entries", Json.Int cache_entries);
-      ("latency", Json.Obj latency);
-    ]
+    ([
+       ("requests", Json.Int (requests t));
+       ("errors", Json.Obj (category t k_err));
+       ("hits", Json.Obj (category t k_hit));
+       ("misses", Json.Obj (category t k_miss));
+       ("coalesced", Json.Int (coalesced t));
+       ("evictions", Json.Int evictions);
+       ("cache_bytes", Json.Int cache_bytes);
+       ("cache_entries", Json.Int cache_entries);
+       ("latency", Json.Obj latency);
+     ]
+    @
+    match store with
+    | None -> []
+    | Some s ->
+        [
+          ( "store",
+            Json.Obj
+              [
+                ("bytes", Json.Int (Store.bytes s));
+                ("entries", Json.Int (Store.entries s));
+                ("hits", Json.Int (Store.hits s));
+                ("misses", Json.Int (Store.misses s));
+                ("corrupt", Json.Int (Store.corrupt s));
+              ] );
+        ])

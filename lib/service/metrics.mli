@@ -21,9 +21,24 @@ val record_error : t -> kind:string -> unit
 val record_hit : t -> stage:string -> unit
 val record_miss : t -> stage:string -> unit
 
+val record_coalesced : t -> unit
+(** A request answered by attaching to an in-flight identical one
+    (single-flight follower): it cost no simulation of its own. *)
+
 val requests : t -> int
 val hits : t -> stage:string -> int
 val misses : t -> stage:string -> int
+val coalesced : t -> int
 
-val to_json : t -> evictions:int -> cache_bytes:int -> cache_entries:int -> Json.t
-(** Snapshot, embedding the artifact-cache gauges passed by the caller. *)
+val to_json :
+  t ->
+  evictions:int ->
+  cache_bytes:int ->
+  cache_entries:int ->
+  ?store:Store.t ->
+  unit ->
+  Json.t
+(** Snapshot, embedding the artifact-cache gauges passed by the caller
+    and, when the server has a disk tier, its [store] section (bytes,
+    entries, hits, misses, corrupt). Existing fields keep their exact
+    shape; [coalesced] and [store] are additive. *)

@@ -21,6 +21,7 @@ let default_config =
 let obs_requests = Obs.Registry.counter "service.requests"
 let obs_cache_hits = Obs.Registry.counter "service.cache_hits"
 let obs_cache_misses = Obs.Registry.counter "service.cache_misses"
+let obs_coalesced = Obs.Registry.counter "service.coalesced"
 
 (* Stage artifacts. ASTs are cached post-sema and treated as immutable by
    every consumer (the engines and the annotator copy before rewriting),
@@ -33,7 +34,9 @@ type artifact =
 
 type t = {
   config : config;
-  cache : artifact Cache.t;
+  cache : artifact Cache.t;  (* hot tier: in-memory, byte-budgeted LRU *)
+  store : Store.t option;  (* cold tier: on-disk artifact files *)
+  flight : (string * bool * (string * Json.t) list) Flight.t;
   metrics : Metrics.t;
   pool : Wwt.Jobs.Pool.t;
 }
@@ -42,6 +45,8 @@ let create config =
   {
     config;
     cache = Cache.create ~budget:config.budget_bytes;
+    store = Option.map (fun dir -> Store.create ~dir) config.cache_dir;
+    flight = Flight.create ();
     metrics = Metrics.create ();
     pool =
       Wwt.Jobs.Pool.create ~workers:(max 1 config.workers)
@@ -53,6 +58,7 @@ let cache_bytes t = Cache.size t.cache
 let cache_entries t = Cache.entries t.cache
 let cache_evictions t = Cache.evictions t.cache
 let metrics t = t.metrics
+let store t = t.store
 
 (* ------------------------------------------------------------------ *)
 (* cache keys and sizes                                                *)
@@ -68,66 +74,6 @@ let digest_hex s = Digest.to_hex (Digest.string s)
 (* sizes are estimates: the cache budgets memory, it does not meter it *)
 let ast_size source = 64 + (8 * String.length source)
 let trace_size records payload = (48 * List.length records) + String.length payload
-
-(* ------------------------------------------------------------------ *)
-(* trace persistence                                                   *)
-
-(* One file per trace artifact under the cache directory, named by the
-   hash of the stage key. The simulation report rides along as [#P ]
-   comment lines, which {!Trace.Trace_file.of_string} ignores, so the
-   file is simultaneously a loadable trace and a complete artifact. *)
-
-let persist_path dir key = Filename.concat dir (digest_hex key ^ ".trace")
-
-let persist_trace dir key ~records ~payload =
-  (try if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
-   with Unix.Unix_error _ -> ());
-  let path = persist_path dir key in
-  let tmp = path ^ ".tmp" in
-  let buf = Buffer.create 4096 in
-  let payload_lines =
-    match List.rev (String.split_on_char '\n' payload) with
-    | "" :: rest -> List.rev rest (* drop the split's trailing empty *)
-    | all -> List.rev all
-  in
-  List.iter
-    (fun line ->
-      Buffer.add_string buf "#P ";
-      Buffer.add_string buf line;
-      Buffer.add_char buf '\n')
-    payload_lines;
-  Trace.Trace_file.to_buffer buf records;
-  try
-    let oc = open_out tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out oc)
-      (fun () -> Buffer.output_buffer oc buf);
-    Sys.rename tmp path
-  with Sys_error _ -> ()
-
-let load_persisted_trace dir key =
-  let path = persist_path dir key in
-  if not (Sys.file_exists path) then None
-  else
-    try
-      let ic = open_in path in
-      let text =
-        Fun.protect
-          ~finally:(fun () -> close_in ic)
-          (fun () -> really_input_string ic (in_channel_length ic))
-      in
-      let payload =
-        String.split_on_char '\n' text
-        |> List.filter_map (fun line ->
-               if String.length line >= 3 && String.sub line 0 3 = "#P " then
-                 Some (String.sub line 3 (String.length line - 3))
-               else None)
-        |> List.map (fun l -> l ^ "\n")
-        |> String.concat ""
-      in
-      let records = Trace.Trace_file.of_string text in
-      Some (Trace_art { records; payload })
-    with Sys_error _ | Failure _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* request execution                                                   *)
@@ -224,6 +170,34 @@ let engine_for (machine : Wwt.Machine.t) =
       | None -> Wwt.Par.default_domains ~nodes)
   else Wwt.Run.Compiled
 
+(* The two-tier lookup for text-shaped artifacts: hot in-memory entry,
+   then the disk store, then compute. A disk hit is promoted into the
+   hot tier; a computed artifact is written through to both. *)
+let text_tiers t ~key ~stage ~wrap ~unwrap ~compute =
+  match Option.map unwrap (Cache.get t.cache key) with
+  | Some (Some v) ->
+      Metrics.record_hit t.metrics ~stage;
+      (v, true)
+  | _ -> (
+      let from_disk =
+        match t.store with
+        | Some s -> Store.get_text s ~key
+        | None -> None
+      in
+      match Option.bind from_disk (fun (payload, summary) -> wrap payload summary) with
+      | Some (v, size, art) ->
+          Metrics.record_hit t.metrics ~stage;
+          Cache.put t.cache ~key ~size art;
+          (v, true)
+      | None ->
+          Metrics.record_miss t.metrics ~stage;
+          let v, size, art, payload, summary = compute () in
+          Cache.put t.cache ~key ~size art;
+          (match t.store with
+          | Some s -> Store.put_text s ~key ?summary payload
+          | None -> ());
+          (v, false))
+
 (* Stage: trace-mode simulation (shared by simulate --trace, annotate,
    race_report and trace_stats). Returns the artifact and whether it came
    from the cache (memory or disk). *)
@@ -237,17 +211,17 @@ let trace_stage t ~machine ~seed ~source ~poll =
       (a.records, a.payload, true)
   | _ -> (
       let from_disk =
-        match t.config.cache_dir with
-        | Some dir -> load_persisted_trace dir key
+        match t.store with
+        | Some s -> Store.get_trace s ~key
         | None -> None
       in
       match from_disk with
-      | Some (Trace_art a) ->
+      | Some (records, payload) ->
           Metrics.record_hit t.metrics ~stage:"trace";
-          Cache.put t.cache ~key ~size:(trace_size a.records a.payload)
-            (Trace_art { records = a.records; payload = a.payload });
-          (a.records, a.payload, true)
-      | _ ->
+          Cache.put t.cache ~key ~size:(trace_size records payload)
+            (Trace_art { records; payload });
+          (records, payload, true)
+      | None ->
           Metrics.record_miss t.metrics ~stage:"trace";
           let program = parsed_program t ~source ~seed in
           let wm = Protocol.to_machine machine in
@@ -259,8 +233,8 @@ let trace_stage t ~machine ~seed ~source ~poll =
           let records = outcome.Wwt.Interp.trace in
           Cache.put t.cache ~key ~size:(trace_size records payload)
             (Trace_art { records; payload });
-          (match t.config.cache_dir with
-          | Some dir -> persist_trace dir key ~records ~payload
+          (match t.store with
+          | Some s -> Store.put_trace s ~key ~records ~payload
           | None -> ());
           (records, payload, false))
 
@@ -272,12 +246,11 @@ let measure_stage t ~machine ~seed ~source ~annotations ~prefetch ~poll =
       (if prefetch then 'p' else '-')
   in
   let key = stage_key ~stage ~machine ~seed ~source_digest:(digest_hex source) in
-  match Cache.get t.cache key with
-  | Some (Text payload) ->
-      Metrics.record_hit t.metrics ~stage:"measure";
-      (payload, true)
-  | _ ->
-      Metrics.record_miss t.metrics ~stage:"measure";
+  text_tiers t ~key ~stage:"measure"
+    ~unwrap:(function Text p -> Some p | _ -> None)
+    ~wrap:(fun payload _summary ->
+      Some (payload, String.length payload, Text payload))
+    ~compute:(fun () ->
       let program = parsed_program t ~source ~seed in
       let wm = Protocol.to_machine machine in
       let outcome =
@@ -285,8 +258,7 @@ let measure_stage t ~machine ~seed ~source ~annotations ~prefetch ~poll =
           ~prefetch program
       in
       let payload = Oneshot.simulate_report outcome in
-      Cache.put t.cache ~key ~size:(String.length payload) (Text payload);
-      (payload, false)
+      (payload, String.length payload, Text payload, payload, None))
 
 (* Stage: annotation. A hit skips parsing and simulation entirely; a miss
    reuses the cached trace when one exists. *)
@@ -297,46 +269,55 @@ let annotate_stage t ~machine ~seed ~source ~mode ~prefetch ~poll =
       (if prefetch then 'p' else '-')
   in
   let key = stage_key ~stage ~machine ~seed ~source_digest:(digest_hex source) in
-  match Cache.get t.cache key with
-  | Some (Annotate_art a) ->
-      Metrics.record_hit t.metrics ~stage:"annotate";
-      (a.payload, a.summary, true)
-  | _ ->
-      Metrics.record_miss t.metrics ~stage:"annotate";
-      let program = parsed_program t ~source ~seed in
-      let records, _, _ = trace_stage t ~machine ~seed ~source ~poll in
-      let options =
-        {
-          Cachier.Placement.default_options with
-          Cachier.Placement.mode =
-            (match mode with
-            | Protocol.Performance -> Cachier.Equations.Performance
-            | Protocol.Programmer -> Cachier.Equations.Programmer);
-          prefetch;
-        }
-      in
-      let result =
-        Cachier.Annotate.annotate_with_trace
-          ~machine:(Protocol.to_machine machine)
-          ~options program records
-      in
-      let payload = Cachier.Annotate.to_source result in
-      let summary = Oneshot.annotate_summary result in
-      Cache.put t.cache ~key
-        ~size:(String.length payload + String.length summary)
-        (Annotate_art { payload; summary });
-      (payload, summary, false)
+  let (payload, summary), cached =
+    text_tiers t ~key ~stage:"annotate"
+      ~unwrap:(function
+        | Annotate_art a -> Some (a.payload, a.summary)
+        | _ -> None)
+      ~wrap:(fun payload summary ->
+        match summary with
+        | Some summary ->
+            Some
+              ( (payload, summary),
+                String.length payload + String.length summary,
+                Annotate_art { payload; summary } )
+        | None -> None (* summary lost: recompute rather than degrade *))
+      ~compute:(fun () ->
+        let program = parsed_program t ~source ~seed in
+        let records, _, _ = trace_stage t ~machine ~seed ~source ~poll in
+        let options =
+          {
+            Cachier.Placement.default_options with
+            Cachier.Placement.mode =
+              (match mode with
+              | Protocol.Performance -> Cachier.Equations.Performance
+              | Protocol.Programmer -> Cachier.Equations.Programmer);
+            prefetch;
+          }
+        in
+        let result =
+          Cachier.Annotate.annotate_with_trace
+            ~machine:(Protocol.to_machine machine)
+            ~options program records
+        in
+        let payload = Cachier.Annotate.to_source result in
+        let summary = Oneshot.annotate_summary result in
+        ( (payload, summary),
+          String.length payload + String.length summary,
+          Annotate_art { payload; summary },
+          payload,
+          Some summary ))
+  in
+  (payload, summary, cached)
 
 let race_stage t ~machine ~seed ~source ~poll =
   let key =
     stage_key ~stage:"races" ~machine ~seed ~source_digest:(digest_hex source)
   in
-  match Cache.get t.cache key with
-  | Some (Text payload) ->
-      Metrics.record_hit t.metrics ~stage:"annotate";
-      (payload, true)
-  | _ ->
-      Metrics.record_miss t.metrics ~stage:"annotate";
+  text_tiers t ~key ~stage:"annotate"
+    ~unwrap:(function Text p -> Some p | _ -> None)
+    ~wrap:(fun payload _ -> Some (payload, String.length payload, Text payload))
+    ~compute:(fun () ->
       let program = parsed_program t ~source ~seed in
       let records, _, _ = trace_stage t ~machine ~seed ~source ~poll in
       let result =
@@ -345,48 +326,38 @@ let race_stage t ~machine ~seed ~source ~poll =
           ~options:Cachier.Placement.default_options program records
       in
       let payload = Oneshot.race_report result in
-      Cache.put t.cache ~key ~size:(String.length payload) (Text payload);
-      (payload, false)
+      (payload, String.length payload, Text payload, payload, None))
 
 let trace_stats_stage t ~machine ~seed ~input ~poll =
+  let text_stage ~key compute =
+    text_tiers t ~key ~stage:"trace_stats"
+      ~unwrap:(function Text p -> Some p | _ -> None)
+      ~wrap:(fun payload _ ->
+        Some (payload, String.length payload, Text payload))
+      ~compute:(fun () ->
+        let payload = compute () in
+        (payload, String.length payload, Text payload, payload, None))
+  in
   match input with
-  | `Trace_text text -> (
+  | `Trace_text text ->
       let key =
         stage_key ~stage:"trace_stats:inline" ~machine ~seed:None
           ~source_digest:(digest_hex text)
       in
-      match Cache.get t.cache key with
-      | Some (Text payload) ->
-          Metrics.record_hit t.metrics ~stage:"trace_stats";
-          (payload, true)
-      | _ ->
-          Metrics.record_miss t.metrics ~stage:"trace_stats";
+      text_stage ~key (fun () ->
           let records =
             try Trace.Trace_file.of_string text
             with Failure msg -> raise (Reject (Protocol.Parse_error, msg))
           in
-          let payload =
-            Oneshot.trace_stats_report ~nodes:machine.Protocol.nodes records
-          in
-          Cache.put t.cache ~key ~size:(String.length payload) (Text payload);
-          (payload, false))
-  | `Source source -> (
+          Oneshot.trace_stats_report ~nodes:machine.Protocol.nodes records)
+  | `Source source ->
       let key =
         stage_key ~stage:"trace_stats" ~machine ~seed
           ~source_digest:(digest_hex source)
       in
-      match Cache.get t.cache key with
-      | Some (Text payload) ->
-          Metrics.record_hit t.metrics ~stage:"trace_stats";
-          (payload, true)
-      | _ ->
-          Metrics.record_miss t.metrics ~stage:"trace_stats";
+      text_stage ~key (fun () ->
           let records, _, _ = trace_stage t ~machine ~seed ~source ~poll in
-          let payload =
-            Oneshot.trace_stats_report ~nodes:machine.Protocol.nodes records
-          in
-          Cache.put t.cache ~key ~size:(String.length payload) (Text payload);
-          (payload, false))
+          Oneshot.trace_stats_report ~nodes:machine.Protocol.nodes records)
 
 (* ------------------------------------------------------------------ *)
 (* the dispatcher                                                      *)
@@ -442,17 +413,73 @@ let execute t (req : Protocol.request) ~poll =
           ~evictions:(Cache.evictions t.cache)
           ~cache_bytes:(Cache.size t.cache)
           ~cache_entries:(Cache.entries t.cache)
+          ?store:t.store ()
       in
       ("", false, [ ("stats", stats) ])
   | Protocol.Ping -> ("pong", false, [])
   | Protocol.Shutdown -> ("shutting down", false, [])
 
-let handle ?received t (req : Protocol.request) =
-  let received =
-    match received with Some r -> r | None -> Unix.gettimeofday ()
+(* ------------------------------------------------------------------ *)
+(* single-flight coalescing                                            *)
+
+(* Everything that determines a work request's result, and nothing that
+   does not (id, deadline): identical concurrent requests share one
+   execution. Cheap ops are never coalesced. *)
+let flight_key (req : Protocol.request) =
+  let src = function
+    | Protocol.Text s -> "t:" ^ digest_hex s
+    | Protocol.Bench b -> "b:" ^ b
   in
-  let t0 = Unix.gettimeofday () in
-  let obs_t0 = Obs.start () in
+  let m = req.machine in
+  let base op rest =
+    Printf.sprintf "%s|n%d:c%d:a%d:b%d|%s|%s" op m.Protocol.nodes
+      m.Protocol.cache_kb m.Protocol.assoc m.Protocol.block
+      (match req.seed with Some s -> string_of_int s | None -> "-")
+      rest
+  in
+  match req.op with
+  | Protocol.Parse { source } -> Some (base "parse" (src source))
+  | Protocol.Simulate { source; annotations; prefetch; trace } ->
+      Some
+        (base "simulate"
+           (Printf.sprintf "%s:%B:%B:%B" (src source) annotations prefetch
+              trace))
+  | Protocol.Annotate { source; mode; prefetch } ->
+      Some
+        (base "annotate"
+           (Printf.sprintf "%s:%s:%B" (src source)
+              (match mode with
+              | Protocol.Performance -> "perf"
+              | Protocol.Programmer -> "prog")
+              prefetch))
+  | Protocol.Race_report { source } -> Some (base "races" (src source))
+  | Protocol.Trace_stats { source; trace_text } ->
+      Some
+        (base "trace_stats"
+           (match (trace_text, source) with
+           | Some text, _ -> "x:" ^ digest_hex text
+           | None, Some s -> src s
+           | None, None -> "-"))
+  | Protocol.Stats | Protocol.Ping | Protocol.Shutdown -> None
+
+(* A follower that inherited the leader's deadline cancellation retries
+   (bounded): its own deadline may still have room, and poisoning every
+   waiter with the leader's cancellation would defeat coalescing. *)
+let inherited_cancellation = function
+  | Wwt.Sched.Cancelled _ -> true
+  | Reject (Protocol.Deadline_exceeded, _) -> true
+  | _ -> false
+
+(* raises; the computation a flight leader runs *)
+let run_request t (req : Protocol.request) ~received =
+  check_deadline ~received req.deadline_ms;
+  let poll = make_poll ~received req.deadline_ms in
+  execute t req ~poll
+
+(* Map one computation result to one response, with the per-request
+   metrics and Obs bookkeeping. [t0]/[obs_t0] are the request's own
+   arrival stamps, so a coalesced follower reports its own latency. *)
+let finish_response t (req : Protocol.request) ~t0 ~obs_t0 ~coalesced result =
   let finish resp =
     (match resp with
     | Protocol.Ok_response { op; elapsed_us; _ } ->
@@ -465,6 +492,7 @@ let handle ?received t (req : Protocol.request) =
           ~kind:(Protocol.error_kind_to_string error));
     if Obs.enabled () then begin
       Obs.Counter.incr obs_requests;
+      if coalesced then Obs.Counter.incr obs_coalesced;
       (match resp with
       | Protocol.Ok_response { cached; _ } ->
           Obs.Counter.incr (if cached then obs_cache_hits else obs_cache_misses)
@@ -476,12 +504,8 @@ let handle ?received t (req : Protocol.request) =
   let error kind message =
     finish (Protocol.Error_response { id = req.id; error = kind; message })
   in
-  match
-    check_deadline ~received req.deadline_ms;
-    let poll = make_poll ~received req.deadline_ms in
-    execute t req ~poll
-  with
-  | payload, cached, extra ->
+  match result with
+  | Ok (payload, cached, extra) ->
       let elapsed_us =
         int_of_float ((Unix.gettimeofday () -. t0) *. 1_000_000.)
       in
@@ -490,21 +514,83 @@ let handle ?received t (req : Protocol.request) =
            {
              id = req.id;
              op = Protocol.op_name req.op;
-             cached;
+             cached = cached || coalesced;
              elapsed_us;
              payload;
              extra;
            })
-  | exception Reject (kind, msg) -> error kind msg
-  | exception Lang.Parser.Error msg -> error Protocol.Parse_error msg
-  | exception Lang.Sema.Error msg -> error Protocol.Parse_error msg
-  | exception Wwt.Sched.Cancelled msg -> error Protocol.Deadline_exceeded msg
-  | exception Wwt.Interp.Runtime_error msg -> error Protocol.Runtime_error msg
-  | exception Wwt.Sched.Deadlock msg -> error Protocol.Runtime_error msg
-  | exception e -> error Protocol.Internal (Printexc.to_string e)
+  | Error (Reject (kind, msg)) -> error kind msg
+  | Error (Lang.Parser.Error msg) -> error Protocol.Parse_error msg
+  | Error (Lang.Sema.Error msg) -> error Protocol.Parse_error msg
+  | Error (Wwt.Sched.Cancelled msg) -> error Protocol.Deadline_exceeded msg
+  | Error (Wwt.Interp.Runtime_error msg) -> error Protocol.Runtime_error msg
+  | Error (Wwt.Sched.Deadlock msg) -> error Protocol.Runtime_error msg
+  | Error e -> error Protocol.Internal (Printexc.to_string e)
+
+let handle ?received t (req : Protocol.request) =
+  let received =
+    match received with Some r -> r | None -> Unix.gettimeofday ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let obs_t0 = Obs.start () in
+  let compute () = run_request t req ~received in
+  let rec attempt tries =
+    match flight_key req with
+    | None -> ((try Ok (compute ()) with e -> Error e), false)
+    | Some key -> (
+        match Flight.run t.flight key compute with
+        | Error e, true when tries < 2 && inherited_cancellation e ->
+            attempt (tries + 1)
+        | r, coalesced -> (r, coalesced))
+  in
+  let result, coalesced = attempt 0 in
+  if coalesced then Metrics.record_coalesced t.metrics;
+  finish_response t req ~t0 ~obs_t0 ~coalesced result
+
+(* The event-loop entry point: never blocks the caller. Cheap ops are
+   answered inline; work ops join the flight table, and only a flight
+   leader submits a pool job — 10k concurrent identical requests cost
+   one queue slot and one simulation. [deliver] may be called on the
+   calling thread (inline ops, overload) or on a worker domain. *)
+let handle_async ?received t (req : Protocol.request) ~deliver =
+  let received =
+    match received with Some r -> r | None -> Unix.gettimeofday ()
+  in
+  match flight_key req with
+  | None -> deliver (handle ~received t req)
+  | Some key ->
+      let rec attempt tries =
+        let t0 = Unix.gettimeofday () in
+        let obs_t0 = Obs.start () in
+        let on_result ~coalesced result =
+          match result with
+          | Error e when coalesced && tries < 2 && inherited_cancellation e ->
+              attempt (tries + 1)
+          | _ ->
+              if coalesced then Metrics.record_coalesced t.metrics;
+              deliver (finish_response t req ~t0 ~obs_t0 ~coalesced result)
+        in
+        match Flight.join t.flight key ~deliver:on_result with
+        | `Joined -> ()
+        | `Leader complete -> (
+            match
+              Wwt.Jobs.Pool.submit t.pool (fun () ->
+                  complete
+                    (try Ok (run_request t req ~received) with e -> Error e))
+            with
+            | Some _ -> ()
+            | None ->
+                complete
+                  (Error
+                     (Reject
+                        ( Protocol.Overloaded,
+                          Printf.sprintf "submission queue full (capacity %d)"
+                            t.config.queue_capacity ))))
+      in
+      attempt 0
 
 (* ------------------------------------------------------------------ *)
-(* serving                                                             *)
+(* serving: blocking NDJSON loop (stdio)                               *)
 
 let serve t ic oc =
   let out_mu = Mutex.create () in
@@ -575,27 +661,82 @@ let serve t ic oc =
   drain ();
   outcome
 
-let serve_socket t ~path =
+(* ------------------------------------------------------------------ *)
+(* serving: sharded event-loop front end (Unix socket)                 *)
+
+type serve_options = {
+  listeners : int;
+  idle_timeout_s : float;
+  drain_grace_s : float;
+}
+
+let default_serve_options =
+  { listeners = 2; idle_timeout_s = 30.; drain_grace_s = 5. }
+
+let response_line resp =
+  let buf = Buffer.create 1024 in
+  Protocol.write_response buf resp;
+  Buffer.contents buf
+
+let serve_shards t ~path ?(options = default_serve_options) ?stop () =
+  let stop = match stop with Some s -> s | None -> Atomic.make false in
   (try Unix.unlink path with Unix.Unix_error _ -> ());
-  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let lsock = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock lsock;
   Fun.protect
     ~finally:(fun () ->
-      (try Unix.close sock with Unix.Unix_error _ -> ());
+      (try Unix.close lsock with Unix.Unix_error _ -> ());
       try Unix.unlink path with Unix.Unix_error _ -> ())
     (fun () ->
-      Unix.bind sock (Unix.ADDR_UNIX path);
-      Unix.listen sock 16;
-      let rec accept_loop () =
-        let fd, _ = Unix.accept sock in
-        let ic = Unix.in_channel_of_descr fd in
-        let oc = Unix.out_channel_of_descr fd in
-        let outcome =
-          match serve t ic oc with
-          | outcome -> outcome
-          | exception Sys_error _ -> `Eof (* client went away mid-write *)
+      Unix.bind lsock (Unix.ADDR_UNIX path);
+      Unix.listen lsock 1024;
+      let shard () =
+        let loop = Aio.Loop.create () in
+        let on_line conn line =
+          if String.trim line = "" then ()
+          else
+            match
+              Protocol.read_request ~defaults:t.config.machine_defaults line
+            with
+            | Error msg ->
+                Metrics.record_error t.metrics ~kind:"bad_request";
+                Aio.Loop.send conn
+                  (response_line
+                     (Protocol.Error_response
+                        { id = 0; error = Protocol.Bad_request; message = msg }))
+            | Ok req -> (
+                let received = Unix.gettimeofday () in
+                match req.Protocol.op with
+                | Protocol.Shutdown ->
+                    (* reply first, then trigger the drain: every loop
+                       stops accepting and finishes its in-flight work
+                       within the drain grace *)
+                    Aio.Loop.send conn (response_line (handle ~received t req));
+                    Atomic.set stop true
+                | Protocol.Stats | Protocol.Ping ->
+                    (* cheap and latency-sensitive: answer on the loop *)
+                    Aio.Loop.send conn (response_line (handle ~received t req))
+                | _ ->
+                    Aio.Loop.hold conn;
+                    handle_async ~received t req ~deliver:(fun resp ->
+                        Aio.Loop.post loop (fun () ->
+                            Aio.Loop.send conn (response_line resp);
+                            Aio.Loop.release conn)))
         in
-        (try flush oc with Sys_error _ -> ());
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        match outcome with `Shutdown -> () | `Eof -> accept_loop ()
+        Aio.Loop.add_listener loop lsock ~on_accept:(fun fd ->
+            ignore (Aio.Loop.add_conn loop fd ~on_line ()));
+        Aio.Loop.run loop ~idle_timeout:options.idle_timeout_s
+          ~drain_grace:options.drain_grace_s
+          ~stop:(fun () -> Atomic.get stop)
+          ()
       in
-      accept_loop ())
+      match max 1 options.listeners with
+      | 1 -> shard () (* run on the calling domain *)
+      | n ->
+          let shards = List.init n (fun _ -> Domain.spawn shard) in
+          List.iter Domain.join shards)
+
+let serve_socket t ~path =
+  serve_shards t ~path
+    ~options:{ default_serve_options with listeners = 1 }
+    ()

@@ -1,26 +1,34 @@
 (** The resident annotation service.
 
-    A server owns one content-addressed {!Cache} of stage artifacts, one
-    {!Metrics} instance, and one {!Wwt.Jobs.Pool} of worker domains.
-    Requests ({!Protocol.request}) arrive as newline-delimited JSON over
-    stdio or a Unix-domain socket; each is executed on the pool, so
-    several simulations proceed concurrently while the reader keeps
-    accepting. When the pool's bounded queue is full, the server answers
-    an [overloaded] error immediately instead of buffering.
+    A server owns one two-tier artifact cache (an in-memory
+    content-addressed {!Cache} over an optional on-disk {!Store}), one
+    {!Flight} table, one {!Metrics} instance, and one {!Wwt.Jobs.Pool}
+    of worker domains. Requests ({!Protocol.request}) arrive as
+    newline-delimited JSON over stdio or a Unix-domain socket; work
+    requests execute on the pool, so several simulations proceed
+    concurrently while the front end keeps accepting. When the pool's
+    bounded queue is full, the server answers an [overloaded] error
+    immediately instead of buffering.
 
     Stage artifacts are keyed by stable hashes of
     [(source text, machine config, seed, stage)]: a [parse] hit returns
     the cached AST, a trace hit returns the packed trace and the
     simulation report, and an [annotate] hit returns the finished
-    response without simulating. Trace artifacts are additionally
-    persisted to [cache_dir] (via {!Trace.Trace_file}), so warm state
-    survives a restart. *)
+    response without simulating. With a [cache_dir], every
+    simulation-priced artifact (trace, measure, annotate, races,
+    trace_stats) is also written through to the {!Store}, whose index is
+    rebuilt on startup — warm state survives a restart.
+
+    Identical concurrent work requests are single-flighted: followers
+    attach to the leader's in-flight computation and receive the same
+    result (marked [cached]), so a thundering herd of duplicates costs
+    one simulation. *)
 
 type config = {
   machine_defaults : Protocol.machine_config;
       (** for requests that omit machine fields *)
-  budget_bytes : int;  (** artifact-cache byte budget *)
-  cache_dir : string option;  (** persist traces here when set *)
+  budget_bytes : int;  (** hot-tier (in-memory) byte budget *)
+  cache_dir : string option;  (** on-disk artifact store root, when set *)
   workers : int;  (** worker domains *)
   queue_capacity : int;  (** bounded submission queue *)
 }
@@ -32,24 +40,68 @@ val default_config : config
 type t
 
 val create : config -> t
-(** Spawns the worker pool (workers are clamped to at least 1). *)
+(** Spawns the worker pool (workers are clamped to at least 1) and, with
+    a [cache_dir], indexes the existing on-disk artifacts. *)
 
 val handle : ?received:float -> t -> Protocol.request -> Protocol.response
 (** Execute one request synchronously on the calling domain, consulting
-    and filling the artifact cache. [received] (a [Unix.gettimeofday]
-    stamp) anchors the request's deadline; it defaults to now. Never
-    raises: failures become [Error_response]s. *)
+    and filling both cache tiers and coalescing with any identical
+    in-flight request. [received] (a [Unix.gettimeofday] stamp) anchors
+    the request's deadline; it defaults to now. Never raises: failures
+    become [Error_response]s. *)
+
+val handle_async :
+  ?received:float ->
+  t ->
+  Protocol.request ->
+  deliver:(Protocol.response -> unit) ->
+  unit
+(** Non-blocking [handle] for event-loop callers. Cheap operations
+    ([ping], [stats], [shutdown]) are answered before returning; work
+    operations join the flight table, and only a flight leader occupies
+    a pool slot. [deliver] is called exactly once — on the calling
+    thread for inline answers and pool-refused ([overloaded]) requests,
+    or on a worker domain otherwise — so callers that own an
+    {!Aio.Loop} must re-enter it via {!Aio.Loop.post}. *)
 
 val serve : t -> in_channel -> out_channel -> [ `Shutdown | `Eof ]
-(** NDJSON loop: read requests, fan them out on the pool, write one
-    response line per request (order follows completion; correlate by
-    [id]). Returns on end of input or on a [shutdown] request — after
-    every in-flight request has been answered. *)
+(** Blocking NDJSON loop over channels: read requests, fan them out on
+    the pool, write one response line per request (order follows
+    completion; correlate by [id]). Returns on end of input or on a
+    [shutdown] request — after every in-flight request has been
+    answered. *)
+
+type serve_options = {
+  listeners : int;  (** listener-shard domains sharing the socket *)
+  idle_timeout_s : float;  (** drop connections idle this long *)
+  drain_grace_s : float;  (** shutdown drain bound *)
+}
+
+val default_serve_options : serve_options
+(** 2 listeners, 30 s idle timeout, 5 s drain grace. *)
+
+val serve_shards :
+  t ->
+  path:string ->
+  ?options:serve_options ->
+  ?stop:bool Atomic.t ->
+  unit ->
+  unit
+(** The production front end: bind a Unix-domain socket at [path]
+    (replacing any stale file) and serve it with [options.listeners]
+    event-loop shards — each an {!Aio.Loop} on its own domain, all
+    accepting from the shared socket. Connections carry pipelined NDJSON
+    requests split at arbitrary byte boundaries; responses go back on
+    the connection that sent the request, in completion order.
+
+    Returns after [stop] turns true (set it from a signal handler for
+    graceful shutdown) or a [shutdown] request arrives: the shards stop
+    accepting, in-flight requests drain within [options.drain_grace_s],
+    and the socket file is removed. *)
 
 val serve_socket : t -> path:string -> unit
-(** Bind a Unix-domain socket at [path] (replacing any stale file) and
-    {!serve} connections one at a time until a [shutdown] request. The
-    socket file is removed on exit. *)
+(** [serve_shards] with a single listener shard run on the calling
+    domain. *)
 
 val shutdown : t -> unit
 (** Drain and join the worker pool. *)
@@ -60,8 +112,14 @@ val cache_bytes : t -> int
 val cache_entries : t -> int
 val cache_evictions : t -> int
 val metrics : t -> Metrics.t
+val store : t -> Store.t option
 
 val stage_key :
   stage:string -> machine:Protocol.machine_config -> seed:int option ->
   source_digest:string -> string
 (** The cache key for one pipeline stage (exposed for tests). *)
+
+val flight_key : Protocol.request -> string option
+(** The single-flight coalescing key: everything that determines a work
+    request's result and nothing that does not (id, deadline). [None]
+    for cheap operations, which are never coalesced. *)

@@ -1,0 +1,176 @@
+(* Content-hash-keyed artifact files under one directory; see store.mli
+   for the format. The index maps file basenames to sizes so existence
+   checks and the byte total never touch the filesystem. *)
+
+type t = {
+  dir : string;
+  mu : Mutex.t;
+  index : (string, int) Hashtbl.t;  (* basename -> size *)
+  mutable bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable corrupt : int;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let digest_hex s = Digest.to_hex (Digest.string s)
+
+let is_artifact name =
+  Filename.check_suffix name ".trace" || Filename.check_suffix name ".art"
+
+let create ~dir =
+  (try
+     if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+   with Unix.Unix_error _ -> ());
+  let index = Hashtbl.create 64 in
+  let bytes = ref 0 in
+  (try
+     Array.iter
+       (fun name ->
+         if is_artifact name then
+           match (Unix.stat (Filename.concat dir name)).Unix.st_size with
+           | size ->
+               Hashtbl.replace index name size;
+               bytes := !bytes + size
+           | exception Unix.Unix_error _ -> ())
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  {
+    dir;
+    mu = Mutex.create ();
+    index;
+    bytes = !bytes;
+    hits = 0;
+    misses = 0;
+    corrupt = 0;
+  }
+
+let dir t = t.dir
+let bytes t = locked t (fun () -> t.bytes)
+let entries t = locked t (fun () -> Hashtbl.length t.index)
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let corrupt t = locked t (fun () -> t.corrupt)
+
+(* ---- low-level file I/O ---- *)
+
+(* Immutable rename-published files: map the whole file and copy it out.
+   An empty or vanished file reads as "". *)
+let read_all path =
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let len = (Unix.fstat fd).Unix.st_size in
+      if len = 0 then ""
+      else
+        let map =
+          Bigarray.array1_of_genarray
+            (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| len |])
+        in
+        String.init len (Bigarray.Array1.get map))
+
+let publish t ~basename content =
+  let path = Filename.concat t.dir basename in
+  let tmp = Printf.sprintf "%s.%d.tmp" path (Unix.getpid ()) in
+  try
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc content);
+    Sys.rename tmp path;
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.index basename with
+        | Some old -> t.bytes <- t.bytes - old
+        | None -> ());
+        Hashtbl.replace t.index basename (String.length content);
+        t.bytes <- t.bytes + String.length content)
+  with Sys_error _ | Unix.Unix_error _ ->
+    (try Sys.remove tmp with Sys_error _ -> ())
+
+let known t basename = locked t (fun () -> Hashtbl.mem t.index basename)
+
+let discard t basename =
+  locked t (fun () ->
+      (match Hashtbl.find_opt t.index basename with
+      | Some size ->
+          t.bytes <- t.bytes - size;
+          Hashtbl.remove t.index basename
+      | None -> ());
+      t.corrupt <- t.corrupt + 1);
+  try Sys.remove (Filename.concat t.dir basename) with Sys_error _ -> ()
+
+let miss t = locked t (fun () -> t.misses <- t.misses + 1)
+let hit t = locked t (fun () -> t.hits <- t.hits + 1)
+
+(* [lookup t basename parse] is the shared read path: index check, map,
+   parse, with corruption degrading to a miss. *)
+let lookup t basename parse =
+  if not (known t basename) then begin
+    miss t;
+    None
+  end
+  else
+    match parse (read_all (Filename.concat t.dir basename)) with
+    | v ->
+        hit t;
+        Some v
+    | exception _ ->
+        discard t basename;
+        miss t;
+        None
+
+(* ---- trace artifacts ---- *)
+
+let trace_name key = digest_hex key ^ ".trace"
+
+let put_trace t ~key ~records ~payload =
+  let buf = Buffer.create 4096 in
+  let payload_lines =
+    match List.rev (String.split_on_char '\n' payload) with
+    | "" :: rest -> List.rev rest (* drop the split's trailing empty *)
+    | all -> List.rev all
+  in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf "#P ";
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n')
+    payload_lines;
+  Trace.Trace_file.to_buffer buf records;
+  publish t ~basename:(trace_name key) (Buffer.contents buf)
+
+let get_trace t ~key =
+  lookup t (trace_name key) (fun text ->
+      let payload =
+        String.split_on_char '\n' text
+        |> List.filter_map (fun line ->
+               if String.length line >= 3 && String.sub line 0 3 = "#P " then
+                 Some (String.sub line 3 (String.length line - 3))
+               else None)
+        |> List.map (fun l -> l ^ "\n")
+        |> String.concat ""
+      in
+      let records = Trace.Trace_file.of_string text in
+      (records, payload))
+
+(* ---- text artifacts ---- *)
+
+let text_name key = digest_hex key ^ ".art"
+
+let put_text t ~key ?summary payload =
+  let fields =
+    [ ("v", Json.Int 1); ("payload", Json.String payload) ]
+    @ match summary with Some s -> [ ("summary", Json.String s) ] | None -> []
+  in
+  publish t ~basename:(text_name key) (Json.to_string (Json.Obj fields) ^ "\n")
+
+let get_text t ~key =
+  lookup t (text_name key) (fun text ->
+      let j = Json.of_string (String.trim text) in
+      match Json.to_string_opt (Json.member "payload" j) with
+      | Some payload -> (payload, Json.to_string_opt (Json.member "summary" j))
+      | None -> failwith "artifact missing payload")

@@ -1,0 +1,56 @@
+(** The on-disk tier of the two-tier artifact cache.
+
+    Artifacts live as content-hash-keyed flat files under one directory:
+    each file is named by the hex digest of its stage key, published by
+    write-to-temp + atomic rename, and never mutated afterwards — so
+    files are safe to [mmap], to read concurrently from several server
+    processes, and to rsync. Two formats:
+
+    - [<digest>.trace] — a trace artifact: the simulation report as
+      [#P ]-prefixed comment lines followed by the {!Trace.Trace_file}
+      text form of the packed trace. The file doubles as a loadable
+      trace for [trace_stats]. (Same format the PR-2 server wrote, so
+      old cache directories stay warm.)
+    - [<digest>.art] — any other artifact: one JSON line carrying the
+      payload and an optional summary.
+
+    The index (digest → size) is rebuilt by scanning the directory on
+    startup, so warm state survives restarts with no journal to replay.
+    A file that fails to parse (truncated write, bit rot) is treated as
+    a miss: it is dropped from the index, unlinked best-effort, and
+    counted in {!corrupt} — corruption never fails a request.
+
+    Reads go through [Unix.map_file]; writes are synchronous, so there
+    is nothing to flush on shutdown. All operations are thread-safe. *)
+
+type t
+
+val create : dir:string -> t
+(** Create [dir] if needed (best-effort) and index existing artifacts. *)
+
+val dir : t -> string
+
+val put_trace :
+  t -> key:string -> records:Trace.Event.record list -> payload:string -> unit
+(** Persist a trace artifact. I/O failures are swallowed: the disk tier
+    is an optimisation, never a request failure. *)
+
+val get_trace :
+  t -> key:string -> (Trace.Event.record list * string) option
+
+val put_text : t -> key:string -> ?summary:string -> string -> unit
+(** Persist a text artifact (measure/annotate/race/trace-stats payloads;
+    [summary] carries the annotate report). *)
+
+val get_text : t -> key:string -> (string * string option) option
+
+(** Introspection (stats, tests): *)
+
+val bytes : t -> int
+val entries : t -> int
+val hits : t -> int
+val misses : t -> int
+(** Lookups that found no (valid) artifact on disk. *)
+
+val corrupt : t -> int
+(** Artifacts dropped because they failed to parse. *)

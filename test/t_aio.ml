@@ -1,0 +1,259 @@
+(* The event-loop core: byte-exact framing under arbitrary chunking
+   (property-tested), echo and interleaving over real sockets,
+   mid-request disconnects, and fd hygiene. *)
+
+(* ---- framing ---- *)
+
+(* split [s] at the given cut points and feed the chunks *)
+let feed_chunked framing s cuts =
+  let cuts = List.sort_uniq compare (List.filter (fun c -> c > 0 && c < String.length s) cuts) in
+  let rec go off = function
+    | [] -> Aio.Framing.feed_string framing (String.sub s off (String.length s - off))
+    | c :: rest ->
+        Aio.Framing.feed_string framing (String.sub s off (c - off));
+        go c rest
+  in
+  if String.length s > 0 then go 0 cuts
+
+let drain_lines framing =
+  let rec go acc =
+    match Aio.Framing.next_line framing with
+    | Some l -> go (l :: acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let line_gen =
+  (* arbitrary bytes except '\n' — including '\r' and NUL, the framer is
+     byte-exact *)
+  QCheck.Gen.(
+    string_size ~gen:(map (fun c -> if c = '\n' then 'x' else c) char)
+      (int_bound 40))
+
+let prop_framing_chunks =
+  QCheck.Test.make ~count:300
+    ~name:"framing: any chunking yields the sent lines byte-exactly"
+    QCheck.(
+      make
+        ~print:(fun (lines, cuts) ->
+          Printf.sprintf "lines=%s cuts=%s"
+            (String.concat "|" (List.map String.escaped lines))
+            (String.concat "," (List.map string_of_int cuts)))
+        Gen.(
+          pair
+            (list_size (int_bound 12) line_gen)
+            (list_size (int_bound 20) (int_bound 500))))
+    (fun (lines, cuts) ->
+      let wire = String.concat "" (List.map (fun l -> l ^ "\n") lines) in
+      let framing = Aio.Framing.create () in
+      feed_chunked framing wire cuts;
+      drain_lines framing = lines && Aio.Framing.buffered framing = 0)
+
+let prop_framing_partial_tail =
+  QCheck.Test.make ~count:200
+    ~name:"framing: a partial trailing line stays buffered until terminated"
+    QCheck.(pair (make line_gen ~print:String.escaped) (make line_gen ~print:String.escaped))
+    (fun (a, b) ->
+      let framing = Aio.Framing.create () in
+      Aio.Framing.feed_string framing (a ^ "\n" ^ b);
+      let first = Aio.Framing.next_line framing in
+      let none_yet = Aio.Framing.next_line framing in
+      Aio.Framing.feed_string framing "\n";
+      first = Some a && none_yet = None
+      && Aio.Framing.next_line framing = Some b
+      && Aio.Framing.buffered framing = 0)
+
+let test_framing_interleaved_conns () =
+  (* two independent framers never bleed into each other *)
+  let f1 = Aio.Framing.create () and f2 = Aio.Framing.create () in
+  Aio.Framing.feed_string f1 "al";
+  Aio.Framing.feed_string f2 "bravo";
+  Aio.Framing.feed_string f1 "pha\nsecond";
+  Aio.Framing.feed_string f2 "\n";
+  Alcotest.(check (option string)) "conn1 line" (Some "alpha")
+    (Aio.Framing.next_line f1);
+  Alcotest.(check (option string)) "conn2 line" (Some "bravo")
+    (Aio.Framing.next_line f2);
+  Alcotest.(check (option string)) "conn1 partial" None
+    (Aio.Framing.next_line f1);
+  Alcotest.(check int) "conn1 buffered tail" 6 (Aio.Framing.buffered f1)
+
+(* ---- the loop over real descriptors ---- *)
+
+let with_loop f =
+  let loop = Aio.Loop.create () in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Aio.Loop.run loop ~drain_grace:2.0
+          ~stop:(fun () -> Atomic.get stop)
+          ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join d)
+    (fun () -> f loop)
+
+(* adopt the server end of a socketpair into the loop as an echo conn *)
+let echo_conn loop =
+  let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Aio.Loop.post loop (fun () ->
+      ignore
+        (Aio.Loop.add_conn loop server
+           ~on_line:(fun conn line -> Aio.Loop.send conn (line ^ "\n"))
+           ()));
+  client
+
+let write_str fd s =
+  let b = Bytes.of_string s in
+  assert (Unix.write fd b 0 (Bytes.length b) = Bytes.length b)
+
+let read_lines fd n =
+  (* blocking reads until [n] complete lines arrive *)
+  let framing = Aio.Framing.create () in
+  let buf = Bytes.create 4096 in
+  let lines = ref [] in
+  while List.length !lines < n do
+    (match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> failwith "peer closed early"
+    | got -> Aio.Framing.feed framing buf 0 got);
+    let rec drain () =
+      match Aio.Framing.next_line framing with
+      | Some l ->
+          lines := l :: !lines;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  List.rev !lines
+
+let test_loop_echo_split_writes () =
+  with_loop (fun loop ->
+      let client = echo_conn loop in
+      Fun.protect
+        ~finally:(fun () -> Unix.close client)
+        (fun () ->
+          (* one logical line split into pathological chunks, then two
+             pipelined lines in a single write *)
+          write_str client "he";
+          write_str client "ll";
+          write_str client "o world";
+          write_str client "\nsecond\nthi";
+          write_str client "rd\n";
+          Alcotest.(check (list string)) "echoed byte-exactly"
+            [ "hello world"; "second"; "third" ]
+            (read_lines client 3)))
+
+let test_loop_interleaved_connections () =
+  with_loop (fun loop ->
+      let c1 = echo_conn loop and c2 = echo_conn loop in
+      Fun.protect
+        ~finally:(fun () ->
+          Unix.close c1;
+          Unix.close c2)
+        (fun () ->
+          (* interleave partial writes across the two connections *)
+          write_str c1 "from-one par";
+          write_str c2 "from-two\n";
+          write_str c1 "t-two\n";
+          Alcotest.(check (list string)) "conn2" [ "from-two" ]
+            (read_lines c2 1);
+          Alcotest.(check (list string)) "conn1" [ "from-one part-two" ]
+            (read_lines c1 1)))
+
+let await ?(timeout = 5.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while (not (pred ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  pred ()
+
+let test_loop_mid_request_disconnect () =
+  with_loop (fun loop ->
+      let closed = Atomic.make 0 in
+      let got_line = Atomic.make false in
+      let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Aio.Loop.post loop (fun () ->
+          ignore
+            (Aio.Loop.add_conn loop server
+               ~on_line:(fun _ _ -> Atomic.set got_line true)
+               ~on_close:(fun _ -> Atomic.incr closed)
+               ()));
+      Alcotest.(check bool) "conn registered" true
+        (await (fun () -> Aio.Loop.conn_count loop = 1));
+      (* half a request, then vanish *)
+      write_str client "simulate-without-a-newline";
+      Unix.close client;
+      Alcotest.(check bool) "conn dropped after eof" true
+        (await (fun () -> Aio.Loop.conn_count loop = 0));
+      Alcotest.(check int) "on_close ran exactly once" 1 (Atomic.get closed);
+      Alcotest.(check bool) "partial line never delivered" false
+        (Atomic.get got_line))
+
+let test_loop_hold_pins_connection () =
+  with_loop (fun loop ->
+      let conn_ref = Atomic.make None in
+      let client, server = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Aio.Loop.post loop (fun () ->
+          let conn =
+            Aio.Loop.add_conn loop server
+              ~on_line:(fun conn _ -> Aio.Loop.hold conn)
+              ()
+          in
+          Atomic.set conn_ref (Some conn));
+      write_str client "work\n";
+      Alcotest.(check bool) "line consumed" true
+        (await (fun () -> Atomic.get conn_ref <> None));
+      (* client is gone, but the in-flight hold keeps the conn alive *)
+      Unix.close client;
+      Unix.sleepf 0.3;
+      Alcotest.(check int) "held across eof" 1 (Aio.Loop.conn_count loop);
+      (match Atomic.get conn_ref with
+      | Some conn ->
+          Aio.Loop.post loop (fun () ->
+              Aio.Loop.send conn "late-response\n";
+              Aio.Loop.release conn)
+      | None -> Alcotest.fail "no conn");
+      Alcotest.(check bool) "released conn is reaped" true
+        (await (fun () -> Aio.Loop.conn_count loop = 0)))
+
+let open_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_loop_no_fd_leak () =
+  with_loop (fun loop ->
+      (* settle, then churn connections and compare the process fd count *)
+      let first = echo_conn loop in
+      write_str first "warm\n";
+      ignore (read_lines first 1);
+      Unix.close first;
+      ignore (await (fun () -> Aio.Loop.conn_count loop = 0));
+      let baseline = open_fds () in
+      for _ = 1 to 25 do
+        let c = echo_conn loop in
+        write_str c "ping\n";
+        ignore (read_lines c 1);
+        Unix.close c
+      done;
+      Alcotest.(check bool) "all conns reaped" true
+        (await (fun () -> Aio.Loop.conn_count loop = 0));
+      Alcotest.(check int) "no descriptor leak" baseline (open_fds ()))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_framing_chunks;
+    QCheck_alcotest.to_alcotest prop_framing_partial_tail;
+    Alcotest.test_case "framing: interleaved framers stay isolated" `Quick
+      test_framing_interleaved_conns;
+    Alcotest.test_case "loop: echo across split writes" `Quick
+      test_loop_echo_split_writes;
+    Alcotest.test_case "loop: interleaved connections" `Quick
+      test_loop_interleaved_connections;
+    Alcotest.test_case "loop: mid-request disconnect" `Quick
+      test_loop_mid_request_disconnect;
+    Alcotest.test_case "loop: hold pins a connection" `Quick
+      test_loop_hold_pins_connection;
+    Alcotest.test_case "loop: no fd leak across conn churn" `Quick
+      test_loop_no_fd_leak;
+  ]

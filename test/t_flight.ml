@@ -1,0 +1,169 @@
+(* Single-flight coalescing: the flight table in isolation, then the
+   acceptance property end-to-end — a 10k thundering herd of identical
+   requests costs exactly one simulation and every response is
+   byte-identical. *)
+
+open Service
+
+(* ---- the table ---- *)
+
+let test_leader_then_followers () =
+  let t = Flight.create () in
+  let delivered = ref [] in
+  let deliver tag ~coalesced r = delivered := (tag, coalesced, r) :: !delivered in
+  let complete =
+    match Flight.join t "k" ~deliver:(deliver "leader") with
+    | `Leader c -> c
+    | `Joined -> Alcotest.fail "first join must lead"
+  in
+  (match Flight.join t "k" ~deliver:(deliver "f1") with
+  | `Joined -> ()
+  | `Leader _ -> Alcotest.fail "second join must follow");
+  (match Flight.join t "other" ~deliver:(deliver "other") with
+  | `Leader c -> c (Ok 99)
+  | `Joined -> Alcotest.fail "distinct key must lead");
+  Alcotest.(check int) "two in flight before completion" 1 (Flight.in_flight t);
+  complete (Ok 7);
+  Alcotest.(check int) "entries retired" 0 (Flight.in_flight t);
+  let find tag =
+    match List.find_opt (fun (g, _, _) -> g = tag) !delivered with
+    | Some (_, coalesced, r) -> (coalesced, r)
+    | None -> Alcotest.failf "no delivery for %s" tag
+  in
+  Alcotest.(check bool) "leader not coalesced" false (fst (find "leader"));
+  Alcotest.(check bool) "follower coalesced" true (fst (find "f1"));
+  Alcotest.(check bool) "follower shares the result" true
+    (snd (find "f1") = Ok 7);
+  Alcotest.(check bool) "other key independent" true (snd (find "other") = Ok 99);
+  Alcotest.(check int) "one follower counted" 1 (Flight.coalesced_total t);
+  (* post-completion arrivals start a fresh flight *)
+  match Flight.join t "k" ~deliver:(deliver "late") with
+  | `Leader c -> c (Ok 8)
+  | `Joined -> Alcotest.fail "retired key must lead again"
+
+let test_error_propagates_to_followers () =
+  let t = Flight.create () in
+  let seen = ref None in
+  let complete =
+    match Flight.join t "k" ~deliver:(fun ~coalesced:_ _ -> ()) with
+    | `Leader c -> c
+    | `Joined -> assert false
+  in
+  (match Flight.join t "k" ~deliver:(fun ~coalesced r -> seen := Some (coalesced, r)) with
+  | `Joined -> ()
+  | `Leader _ -> assert false);
+  complete (Error Exit);
+  match !seen with
+  | Some (true, Error Exit) -> ()
+  | _ -> Alcotest.fail "follower did not receive the leader's error"
+
+let test_run_coalesces_across_domains () =
+  let t = Flight.create () in
+  let computed = Atomic.make 0 in
+  let compute () =
+    Atomic.incr computed;
+    Unix.sleepf 0.15;
+    42
+  in
+  let worker () = Flight.run t "k" compute in
+  let domains = Array.init 3 (fun _ -> Domain.spawn worker) in
+  let results = Array.map Domain.join domains in
+  Array.iter
+    (fun (r, _) ->
+      Alcotest.(check bool) "shared result" true (r = Ok 42))
+    results;
+  (* the sleep makes same-flight overlap overwhelmingly likely, but the
+     only hard guarantee is per-flight single execution *)
+  let runs = Atomic.get computed in
+  let followers = Array.to_list results |> List.filter snd |> List.length in
+  Alcotest.(check int) "every run either led or followed" 3 (runs + followers);
+  Alcotest.(check bool) "computed at least once" true (runs >= 1)
+
+(* ---- the acceptance property: 10k duplicates, one simulation ---- *)
+
+let herd_source =
+  (* small enough to simulate quickly, big enough to be real work *)
+  "const N = 64;\n\
+   shared A[N];\n\n\
+   proc main() {\n\
+  \  barrier;\n\
+  \  for i = 0 to N / 4 - 1 {\n\
+  \    A[pid * (N / 4) + i] = pid + i;\n\
+  \  }\n\
+  \  barrier;\n\
+   }\n"
+
+let test_10k_duplicates_one_simulation () =
+  let config =
+    {
+      Server.default_config with
+      machine_defaults = { Protocol.nodes = 4; cache_kb = 16; assoc = 4; block = 32 };
+      workers = 1;
+      queue_capacity = 4;
+    }
+  in
+  let server = Server.create config in
+  Fun.protect
+    ~finally:(fun () -> Server.shutdown server)
+    (fun () ->
+      let n = 10_000 in
+      let op =
+        Protocol.Simulate
+          {
+            source = Text herd_source;
+            annotations = false;
+            prefetch = false;
+            trace = false;
+          }
+      in
+      let mu = Mutex.create () in
+      let cond = Condition.create () in
+      let done_n = ref 0 in
+      let errors = ref [] in
+      let payloads = Hashtbl.create 4 in
+      let cached_n = ref 0 in
+      let deliver resp =
+        Mutex.lock mu;
+        (match resp with
+        | Protocol.Ok_response { payload; cached; _ } ->
+            Hashtbl.replace payloads payload ();
+            if cached then incr cached_n
+        | Protocol.Error_response { message; _ } -> errors := message :: !errors);
+        incr done_n;
+        if !done_n = n then Condition.signal cond;
+        Mutex.unlock mu
+      in
+      let machine = config.Server.machine_defaults in
+      for id = 1 to n do
+        Server.handle_async server
+          { Protocol.id; machine; seed = None; deadline_ms = None; op }
+          ~deliver
+      done;
+      Mutex.lock mu;
+      while !done_n < n do
+        Condition.wait cond mu
+      done;
+      Mutex.unlock mu;
+      Alcotest.(check (list string)) "no errors" [] !errors;
+      Alcotest.(check int) "byte-identical payloads" 1 (Hashtbl.length payloads);
+      let m = Server.metrics server in
+      Alcotest.(check int) "exactly one simulation (measure miss)" 1
+        (Metrics.misses m ~stage:"measure");
+      Alcotest.(check int) "exactly one parse" 1 (Metrics.misses m ~stage:"parse");
+      (* every response but the leader's was answered from the flight or
+         the artifact cache *)
+      Alcotest.(check int) "all but one answered without computing" (n - 1)
+        !cached_n;
+      Alcotest.(check bool) "coalescing observed" true (Metrics.coalesced m > 0))
+
+let suite =
+  [
+    Alcotest.test_case "leader computes, followers share" `Quick
+      test_leader_then_followers;
+    Alcotest.test_case "errors propagate to followers" `Quick
+      test_error_propagates_to_followers;
+    Alcotest.test_case "run coalesces across domains" `Quick
+      test_run_coalesces_across_domains;
+    Alcotest.test_case "10k duplicates cost one simulation" `Quick
+      test_10k_duplicates_one_simulation;
+  ]

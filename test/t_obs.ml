@@ -326,7 +326,7 @@ let test_metrics_json_shape () =
   Alcotest.(check int) "hits" 1 (Service.Metrics.hits m ~stage:"parse");
   Alcotest.(check int) "misses" 1 (Service.Metrics.misses m ~stage:"trace");
   let j =
-    Service.Metrics.to_json m ~evictions:1 ~cache_bytes:2 ~cache_entries:3
+    Service.Metrics.to_json m ~evictions:1 ~cache_bytes:2 ~cache_entries:3 ()
   in
   Alcotest.(check (option int)) "requests field" (Some 2)
     Json.(to_int_opt (member "requests" j));

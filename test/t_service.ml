@@ -490,6 +490,298 @@ let test_trace_persistence_across_restart () =
           Alcotest.(check string) "annotate identical across restart" cold_ann
             (ok_payload (Server.handle server ann_req))))
 
+(* ---- the two-tier cache: every priced stage survives a restart ---- *)
+
+let with_cache_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cachierd_tier_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let test_two_tier_restart_all_stages () =
+  with_cache_dir (fun dir ->
+      let config = { memory_config with cache_dir = Some dir } in
+      let reqs =
+        [
+          ( "simulate",
+            request
+              (Protocol.Simulate
+                 { source = Bench "matmul"; annotations = false;
+                   prefetch = false; trace = false }) );
+          ( "annotate",
+            request
+              (Protocol.Annotate
+                 { source = Bench "matmul"; mode = Performance;
+                   prefetch = false }) );
+          ("races", request (Protocol.Race_report { source = Bench "matmul" }));
+          ( "trace_stats",
+            request
+              (Protocol.Trace_stats
+                 { source = Some (Bench "matmul"); trace_text = None }) );
+        ]
+      in
+      let cold =
+        with_server ~config (fun server ->
+            List.map
+              (fun (name, req) -> (name, Server.handle server req))
+              reqs)
+      in
+      (* fresh server, same directory: every stage must be answered from
+         the disk tier, byte-identically, without simulating *)
+      with_server ~config (fun server ->
+          List.iter2
+            (fun (name, req) (_, cold_resp) ->
+              let warm = Server.handle server req in
+              Alcotest.(check bool) (name ^ " warm from disk") true
+                (ok_cached warm);
+              Alcotest.(check string) (name ^ " byte-identical")
+                (ok_payload cold_resp) (ok_payload warm);
+              match (extra "report" cold_resp, extra "report" warm) with
+              | Some c, Some w ->
+                  Alcotest.(check string) (name ^ " summary restored")
+                    (Json.to_string c) (Json.to_string w)
+              | None, None -> ()
+              | _ -> Alcotest.failf "%s: report field lost across restart" name)
+            reqs cold;
+          Alcotest.(check int) "no simulation after restart" 0
+            (Metrics.misses (Server.metrics server) ~stage:"trace"
+            + Metrics.misses (Server.metrics server) ~stage:"measure"
+            + Metrics.misses (Server.metrics server) ~stage:"annotate");
+          match Server.store server with
+          | Some s ->
+              Alcotest.(check bool) "disk hits recorded" true (Store.hits s > 0)
+          | None -> Alcotest.fail "server has no store"))
+
+let test_corrupt_artifact_degrades_to_miss () =
+  with_cache_dir (fun dir ->
+      let config = { memory_config with cache_dir = Some dir } in
+      let ann =
+        request
+          (Protocol.Annotate
+             { source = Bench "matmul"; mode = Performance; prefetch = false })
+      in
+      let cold =
+        with_server ~config (fun server -> Server.handle server ann)
+      in
+      (* smash every artifact on disk *)
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".art" || Filename.check_suffix f ".trace"
+          then begin
+            let oc = open_out_bin (Filename.concat dir f) in
+            output_string oc "\x00garbage";
+            close_out oc
+          end)
+        (Sys.readdir dir);
+      with_server ~config (fun server ->
+          let resp = Server.handle server ann in
+          Alcotest.(check bool) "recomputed, not failed" true
+            (match resp with Protocol.Ok_response _ -> true | _ -> false);
+          Alcotest.(check bool) "recomputed from scratch" false
+            (ok_cached resp);
+          Alcotest.(check string) "recomputation byte-identical"
+            (ok_payload cold) (ok_payload resp);
+          match Server.store server with
+          | Some s ->
+              Alcotest.(check bool) "corruption counted" true
+                (Store.corrupt s > 0)
+          | None -> Alcotest.fail "server has no store"))
+
+(* ---- the sharded socket front end ---- *)
+
+let await ?(timeout = 10.0) pred =
+  let deadline = Unix.gettimeofday () +. timeout in
+  while (not (pred ())) && Unix.gettimeofday () < deadline do
+    Unix.sleepf 0.01
+  done;
+  pred ()
+
+let connect_sock path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 10.0;
+  fd
+
+let write_str fd s =
+  let b = Bytes.of_string s in
+  let off = ref 0 in
+  while !off < Bytes.length b do
+    off := !off + Unix.write fd b !off (Bytes.length b - !off)
+  done
+
+let read_json_lines fd n =
+  let framing = Aio.Framing.create () in
+  let buf = Bytes.create 8192 in
+  let lines = ref [] in
+  while List.length !lines < n do
+    (match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> Alcotest.fail "server closed the connection early"
+    | got -> Aio.Framing.feed framing buf 0 got
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        Alcotest.fail "timed out waiting for a response");
+    let rec drain () =
+      match Aio.Framing.next_line framing with
+      | Some l ->
+          lines := Json.of_string l :: !lines;
+          drain ()
+      | None -> ()
+    in
+    drain ()
+  done;
+  List.rev !lines
+
+let with_shard_server ?(config = memory_config) ?(listeners = 2) f =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cachierd_shard_%d_%d.sock" (Unix.getpid ())
+         (Random.bits ()))
+  in
+  let server = Server.create config in
+  let stop = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.serve_shards server ~path
+          ~options:
+            { Server.listeners; idle_timeout_s = 30.; drain_grace_s = 5. }
+          ~stop ())
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Domain.join d;
+      Server.shutdown server)
+    (fun () ->
+      Alcotest.(check bool) "socket appears" true
+        (await (fun () -> Sys.file_exists path));
+      f ~path ~server ~stop)
+
+let sim_line ~id =
+  Printf.sprintf
+    {|{"id":%d,"op":"simulate","bench":"matmul","nodes":4,"cache_kb":16}|} id
+
+let test_shard_server_end_to_end () =
+  (* the reference payload comes from the in-process path: the socket
+     front end must serve the same bytes *)
+  let reference =
+    with_server (fun server ->
+        ok_payload
+          (Server.handle server
+             (request
+                (Protocol.Simulate
+                   { source = Bench "matmul"; annotations = false;
+                     prefetch = false; trace = false }))))
+  in
+  with_shard_server (fun ~path ~server:_ ~stop:_ ->
+      let fd = connect_sock path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* one request split at pathological byte boundaries, with a
+             pipelined ping in the same final chunk *)
+          let line = sim_line ~id:7 in
+          write_str fd (String.sub line 0 5);
+          Unix.sleepf 0.05;
+          write_str fd (String.sub line 5 (String.length line - 5));
+          write_str fd "\n{\"id\":8,\"op\":\"ping\"}\n";
+          let responses = read_json_lines fd 2 in
+          let by_id id =
+            match
+              List.find_opt
+                (fun j -> Json.(to_int_opt (member "id" j)) = Some id)
+                responses
+            with
+            | Some j -> j
+            | None -> Alcotest.failf "no response with id %d" id
+          in
+          Alcotest.(check (option string)) "socket payload byte-identical"
+            (Some reference)
+            Json.(to_string_opt (member "payload" (by_id 7)));
+          Alcotest.(check (option string)) "pipelined ping answered"
+            (Some "pong")
+            Json.(to_string_opt (member "payload" (by_id 8)));
+          (* same request again: served from the artifact cache *)
+          write_str fd (sim_line ~id:9 ^ "\n");
+          match read_json_lines fd 1 with
+          | [ j ] ->
+              Alcotest.(check (option bool)) "warm hit over socket"
+                (Some true)
+                Json.(
+                  match member "cached" j with
+                  | Bool b -> Some b
+                  | _ -> None);
+              Alcotest.(check (option string)) "warm hit byte-identical"
+                (Some reference)
+                Json.(to_string_opt (member "payload" j))
+          | _ -> Alcotest.fail "expected one response"))
+
+let test_shard_server_concurrent_conns () =
+  with_shard_server (fun ~path ~server:_ ~stop:_ ->
+      let fd1 = connect_sock path and fd2 = connect_sock path in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.close fd1 with Unix.Unix_error _ -> ());
+          try Unix.close fd2 with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* interleave partial writes across two connections *)
+          let l1 = sim_line ~id:21 and l2 = sim_line ~id:22 in
+          write_str fd1 (String.sub l1 0 10);
+          write_str fd2 (String.sub l2 0 17);
+          write_str fd1 (String.sub l1 10 (String.length l1 - 10) ^ "\n");
+          write_str fd2 (String.sub l2 17 (String.length l2 - 17) ^ "\n");
+          let r1 = read_json_lines fd1 1 and r2 = read_json_lines fd2 1 in
+          let payload j = Json.(to_string_opt (member "payload" j)) in
+          Alcotest.(check bool) "conn1 answered its own request" true
+            (Json.(to_int_opt (member "id" (List.hd r1))) = Some 21);
+          Alcotest.(check bool) "conn2 answered its own request" true
+            (Json.(to_int_opt (member "id" (List.hd r2))) = Some 22);
+          Alcotest.(check bool) "identical work, identical bytes" true
+            (payload (List.hd r1) = payload (List.hd r2)
+            && payload (List.hd r1) <> None)))
+
+let test_shard_server_shutdown_request () =
+  let path_holder = ref "" in
+  with_shard_server (fun ~path ~server:_ ~stop:_ ->
+      path_holder := path;
+      let fd = connect_sock path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* a work request immediately followed by shutdown: both are
+             answered, then the server drains and exits *)
+          write_str fd (sim_line ~id:31 ^ "\n");
+          write_str fd {|{"id":32,"op":"shutdown"}|};
+          write_str fd "\n";
+          let responses = read_json_lines fd 2 in
+          Alcotest.(check int) "both answered" 2 (List.length responses)));
+  (* with_shard_server joined the domain: serve_shards returned and
+     removed the socket file *)
+  Alcotest.(check bool) "socket file removed" false
+    (Sys.file_exists !path_holder)
+
+(* a disconnect mid-request must not wedge the server *)
+let test_shard_server_mid_request_disconnect () =
+  with_shard_server (fun ~path ~server:_ ~stop:_ ->
+      let fd = connect_sock path in
+      write_str fd (String.sub (sim_line ~id:41) 0 12);
+      Unix.close fd;
+      (* the server keeps serving *)
+      let fd2 = connect_sock path in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd2 with Unix.Unix_error _ -> ())
+        (fun () ->
+          write_str fd2 "{\"id\":42,\"op\":\"ping\"}\n";
+          Alcotest.(check int) "still serving after disconnect" 1
+            (List.length (read_json_lines fd2 1))))
+
 (* ---- stats ---- *)
 
 let test_stats_counters () =
@@ -548,5 +840,17 @@ let suite =
       test_serve_shutdown_and_bad_line;
     Alcotest.test_case "trace persistence across restart" `Quick
       test_trace_persistence_across_restart;
+    Alcotest.test_case "two-tier: all stages survive a restart" `Quick
+      test_two_tier_restart_all_stages;
+    Alcotest.test_case "corrupt artifact degrades to miss" `Quick
+      test_corrupt_artifact_degrades_to_miss;
+    Alcotest.test_case "shards: end-to-end over the socket" `Quick
+      test_shard_server_end_to_end;
+    Alcotest.test_case "shards: concurrent connections" `Quick
+      test_shard_server_concurrent_conns;
+    Alcotest.test_case "shards: shutdown request drains and exits" `Quick
+      test_shard_server_shutdown_request;
+    Alcotest.test_case "shards: mid-request disconnect" `Quick
+      test_shard_server_mid_request_disconnect;
     Alcotest.test_case "stats counters" `Quick test_stats_counters;
   ]

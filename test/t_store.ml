@@ -1,0 +1,140 @@
+(* The on-disk artifact tier: roundtrips, index rebuild on startup,
+   and corruption degrading to a miss instead of an error. *)
+
+open Service
+
+let with_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cachier_store_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f ->
+          try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let records =
+  [
+    Trace.Event.Label { name = "A"; lo = 0; hi = 63 };
+    Trace.Event.Miss
+      {
+        Trace.Event.node = 0;
+        pc = 3;
+        addr = 16;
+        kind = Trace.Event.Read_miss;
+        held = [];
+      };
+    Trace.Event.Barrier { Trace.Event.bnode = 1; bpc = 9; vt = 2 };
+  ]
+
+let test_trace_roundtrip () =
+  with_dir (fun dir ->
+      let s = Store.create ~dir in
+      Alcotest.(check int) "fresh store is empty" 0 (Store.entries s);
+      Store.put_trace s ~key:"k1" ~records ~payload:"line one\nline two\n";
+      Alcotest.(check int) "one entry" 1 (Store.entries s);
+      Alcotest.(check bool) "bytes accounted" true (Store.bytes s > 0);
+      (match Store.get_trace s ~key:"k1" with
+      | Some (r, payload) ->
+          Alcotest.(check string) "payload reconstructed byte-exactly"
+            "line one\nline two\n" payload;
+          Alcotest.(check string) "records roundtrip"
+            (Trace.Trace_file.to_string records)
+            (Trace.Trace_file.to_string r)
+      | None -> Alcotest.fail "expected a trace hit");
+      Alcotest.(check int) "hit counted" 1 (Store.hits s);
+      Alcotest.(check bool) "unknown key is a miss" true
+        (Store.get_trace s ~key:"absent" = None);
+      Alcotest.(check int) "miss counted" 1 (Store.misses s))
+
+let test_text_roundtrip () =
+  with_dir (fun dir ->
+      let s = Store.create ~dir in
+      Store.put_text s ~key:"plain" "payload only\n";
+      Store.put_text s ~key:"with-summary" ~summary:"3 edits" "annotated\n";
+      Alcotest.(check (option (pair string (option string))))
+        "payload-only artifact"
+        (Some ("payload only\n", None))
+        (Store.get_text s ~key:"plain");
+      Alcotest.(check (option (pair string (option string))))
+        "summary carried"
+        (Some ("annotated\n", Some "3 edits"))
+        (Store.get_text s ~key:"with-summary");
+      (* overwrite keeps the byte accounting consistent *)
+      let before = Store.bytes s in
+      Store.put_text s ~key:"plain" "much longer payload than before\n";
+      Alcotest.(check bool) "bytes updated on overwrite" true
+        (Store.bytes s > before);
+      Alcotest.(check int) "still two entries" 2 (Store.entries s))
+
+let test_index_rebuild_on_startup () =
+  with_dir (fun dir ->
+      let s1 = Store.create ~dir in
+      Store.put_trace s1 ~key:"t" ~records ~payload:"report\n";
+      Store.put_text s1 ~key:"x" ~summary:"s" "text\n";
+      (* a second store over the same directory: the index comes back
+         from the scan, and both artifacts are readable *)
+      let s2 = Store.create ~dir in
+      Alcotest.(check int) "entries rescanned" 2 (Store.entries s2);
+      Alcotest.(check int) "bytes rescanned" (Store.bytes s1) (Store.bytes s2);
+      Alcotest.(check bool) "trace readable after rescan" true
+        (Store.get_trace s2 ~key:"t" <> None);
+      Alcotest.(check bool) "text readable after rescan" true
+        (Store.get_text s2 ~key:"x" <> None))
+
+let corrupt_files dir suffix =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f suffix then begin
+        let oc = open_out_bin (Filename.concat dir f) in
+        output_string oc "\x00\xffnot a valid artifact";
+        close_out oc
+      end)
+    (Sys.readdir dir)
+
+let test_corruption_degrades_to_miss () =
+  with_dir (fun dir ->
+      let s1 = Store.create ~dir in
+      Store.put_trace s1 ~key:"t" ~records ~payload:"report\n";
+      Store.put_text s1 ~key:"x" "text\n";
+      corrupt_files dir ".trace";
+      corrupt_files dir ".art";
+      let s2 = Store.create ~dir in
+      Alcotest.(check int) "corrupt files indexed at first" 2
+        (Store.entries s2);
+      Alcotest.(check (option (pair string (option string))))
+        "corrupt text reads as a miss" None
+        (Store.get_text s2 ~key:"x");
+      Alcotest.(check bool) "corrupt trace reads as a miss" true
+        (Store.get_trace s2 ~key:"t" = None);
+      Alcotest.(check int) "corruption counted" 2 (Store.corrupt s2);
+      Alcotest.(check int) "corrupt entries dropped" 0 (Store.entries s2);
+      Alcotest.(check int) "corrupt files unlinked" 0
+        (Array.length
+           (Array.of_list
+              (List.filter
+                 (fun f ->
+                   Filename.check_suffix f ".trace"
+                   || Filename.check_suffix f ".art")
+                 (Array.to_list (Sys.readdir dir)))));
+      (* and the slot is reusable *)
+      Store.put_text s2 ~key:"x" "fresh\n";
+      Alcotest.(check (option (pair string (option string))))
+        "rewritten after corruption"
+        (Some ("fresh\n", None))
+        (Store.get_text s2 ~key:"x"))
+
+let suite =
+  [
+    Alcotest.test_case "trace artifact roundtrip" `Quick test_trace_roundtrip;
+    Alcotest.test_case "text artifact roundtrip" `Quick test_text_roundtrip;
+    Alcotest.test_case "index rebuilt on startup" `Quick
+      test_index_rebuild_on_startup;
+    Alcotest.test_case "corruption degrades to miss" `Quick
+      test_corruption_degrades_to_miss;
+  ]
