@@ -698,6 +698,16 @@ let bechamel_suite buf =
                     ~annotations:false ~prefetch:false prog)));
         Test.make ~name:"compile-only"
           (Staged.stage (fun () -> Wwt.Compile.compile_only ~machine:m4 prog));
+        (* The streaming race detector folded over the prepacked trace.
+           Detection is opt-in (--races), so the off cost is zero by
+           construction; this row prices the on cost, which must stay a
+           small fraction of trace-run (the simulate work it rides on) —
+           CI pins the row's existence with --require and the generic
+           25% regression gate holds its trajectory. *)
+        Test.make ~name:"races-overhead"
+          (Staged.stage
+             (let packed = Trace.Buf.of_records trace in
+              fun () -> ignore (Races.detect ~nodes:4 packed)));
         (* The disabled-observability hot path: 64 manual span open/close
            pairs plus the [enabled] branch — should cost a few ns/run and
            allocate nothing, guarding the zero-overhead promise. *)

@@ -1,9 +1,12 @@
 (* cachier_fuzz — differential fuzzing of the whole Cachier pipeline.
 
-   Generates well-formed SPMD programs and checks five oracles on each:
+   Generates well-formed SPMD programs and checks six oracles on each:
    engine equivalence, semantics preservation under annotation,
-   annotation idempotence, Dir1SW protocol invariants, and equation /
-   cost-model sanity. Failures are shrunk and saved to a corpus directory
+   annotation idempotence, Dir1SW protocol invariants, equation /
+   cost-model sanity, and race-detector soundness (streaming vs naive,
+   DRF-by-construction programs proven race-free, detected races
+   classified DRFS-unsafe). Failures are shrunk and saved to a corpus
+   directory
    as .cico files that replay deterministically (--replay), and can be
    shrunk further offline (--minimise).
 

@@ -12,18 +12,26 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let simulate_file machine engine annotations prefetch trace_mode trace_out
-    print_memory ~many file =
+let simulate_file machine engine annotations prefetch trace_mode races
+    trace_out print_memory ~many file =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   if many then pr "--- %s ---\n" file;
   let program = Lang.Parser.parse (read_file file) in
   ignore (Lang.Sema.check program);
+  (* race detection is only sound on trace-mode executions (caches flush
+     at barriers, so every node's first access per epoch is a recorded
+     miss) — --races implies --trace *)
+  let trace_mode = trace_mode || races in
   let outcome =
     if trace_mode then Wwt.Run.collect_trace ~engine ~machine program
     else Wwt.Run.measure ~engine ~machine ~annotations ~prefetch program
   in
   Buffer.add_string buf (Service.Oneshot.simulate_report outcome);
+  if races then
+    Buffer.add_string buf
+      (Service.Oneshot.races_report ~nodes:machine.Wwt.Machine.nodes
+         outcome.Wwt.Interp.trace);
   (match trace_out with
   | Some path ->
       (* with several inputs, write one trace per input *)
@@ -55,7 +63,7 @@ let simulate_file machine engine annotations prefetch trace_mode trace_out
   Buffer.contents buf
 
 let run files machine engine domains no_pipeline replay_shards replay_memo
-    annotations prefetch trace_mode trace_out print_memory jobs
+    annotations prefetch trace_mode races trace_out print_memory jobs
     (_obs : Obs.mode) =
   (* The replay knobs reach the engine through its environment defaults,
      so the Run/Par plumbing stays engine-agnostic. *)
@@ -82,8 +90,8 @@ let run files machine engine domains no_pipeline replay_shards replay_memo
   let many = List.length files > 1 in
   let reports =
     Wwt.Jobs.map ?jobs
-      (simulate_file machine engine annotations prefetch trace_mode trace_out
-         print_memory ~many)
+      (simulate_file machine engine annotations prefetch trace_mode races
+         trace_out print_memory ~many)
       files
   in
   List.iter print_string reports;
@@ -105,6 +113,11 @@ let prefetch =
 let trace_mode =
   Arg.(value & flag & info [ "t"; "trace" ]
          ~doc:"Trace-collection mode: flush caches at barriers and record misses.")
+
+let races =
+  Arg.(value & flag & info [ "races" ]
+         ~doc:"Run the sound streaming race detector on the collected \
+               trace and append its report (implies $(b,--trace)).")
 
 let trace_out =
   Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
@@ -158,7 +171,7 @@ let cmd =
     (Cmd.info "simulate" ~doc)
     Term.(const run $ files $ Service.Cli.machine_term $ engine $ domains
           $ no_pipeline $ replay_shards $ replay_memo
-          $ annotations $ prefetch $ trace_mode $ trace_out $ print_memory
-          $ jobs $ Service.Cli.obs_term)
+          $ annotations $ prefetch $ trace_mode $ races $ trace_out
+          $ print_memory $ jobs $ Service.Cli.obs_term)
 
 let () = exit (Cmd.eval' cmd)

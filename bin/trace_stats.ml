@@ -10,11 +10,13 @@
 (* Parsing and assimilation both reject damaged input with [Failure]
    (malformed records; barrier groups that do not match --nodes), so the
    whole pipeline shares one diagnostic path. *)
-let run file nodes =
+let run file nodes races =
   match
     match Trace.Trace_file.load file with
     | [] -> failwith "trace contains no records"
-    | records -> Service.Oneshot.trace_stats_report ~nodes records
+    | records ->
+        Service.Oneshot.trace_stats_report ~nodes records
+        ^ (if races then Service.Oneshot.races_report ~nodes records else "")
   with
   | report ->
       print_string report;
@@ -32,9 +34,14 @@ let file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE"
          ~doc:"Trace file to analyse.")
 
+let races =
+  Arg.(value & flag & info [ "races" ]
+         ~doc:"Also run the sound streaming race detector on the trace \
+               and append its report.")
+
 let cmd =
   let doc = "profile an execution trace (per-region, per-epoch, handoffs)" in
   Cmd.v (Cmd.info "trace_stats" ~doc)
-    Term.(const run $ file $ Service.Cli.nodes_term)
+    Term.(const run $ file $ Service.Cli.nodes_term $ races)
 
 let () = exit (Cmd.eval' cmd)

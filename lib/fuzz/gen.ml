@@ -125,6 +125,12 @@ type config = {
   max_stmts : int;  (** statements per segment *)
   max_depth : int;  (** expression depth *)
   annotations : bool;  (** sprinkle random CICO directives *)
+  racy : bool;
+      (** deliberately break the DRF discipline: some segments write
+          shared elements at unconstrained indices with no lock, so
+          several nodes may hit the same element in one epoch. Exercises
+          the race oracle's racy direction — never pass such programs
+          with [~expect_race_free]. *)
 }
 
 let default_config =
@@ -135,6 +141,7 @@ let default_config =
     max_stmts = 5;
     max_depth = 3;
     annotations = true;
+    racy = false;
   }
 
 (* A segment's sharing discipline decides which shared reads and writes
@@ -213,6 +220,7 @@ let sharing_of = function
   | `Local -> Own_chunk
   | `Read_only -> Any_shared
   | `Locked -> No_shared
+  | `Racy -> Any_shared
 
 (* One logical statement; the while pattern expands to two (counter init +
    loop) so the loop always terminates. *)
@@ -228,6 +236,16 @@ let rec stmt1 cfg kind ~sdepth st =
   | 3 when kind = `Local ->
       let idx = own_index (vexpr cfg sharing ~depth:(depth - 1) st) in
       [ mk (Ast.Sassign (Ast.Lindex ("A", idx), vexpr cfg sharing ~depth st)) ]
+  | 3 when kind = `Racy ->
+      (* unsynchronized shared write at an unconstrained index — the
+         deliberate race the detector must find *)
+      let idx = any_index (vexpr cfg sharing ~depth:(depth - 1) st) in
+      [
+        mk
+          (Ast.Sassign
+             ( Ast.Lindex (oneof array_names st, idx),
+               vexpr cfg sharing ~depth st ));
+      ]
   | 4 ->
       let n = int_range 1 2 st in
       [ mk (Ast.Sprint (List.init n (fun _ -> vexpr cfg sharing ~depth:(depth - 1) st))) ]
@@ -321,17 +339,21 @@ let lock_group cfg st =
 
 let segment cfg st =
   let kind =
-    match Random.State.int st 10 with
-    | 0 | 1 | 2 | 3 | 4 -> `Local
-    | 5 | 6 | 7 -> `Read_only
-    | _ -> `Locked
+    (* the racy branch draws first so a racy=false configuration consumes
+       the exact random stream it always did *)
+    if cfg.racy && Random.State.int st 2 = 0 then `Racy
+    else
+      match Random.State.int st 10 with
+      | 0 | 1 | 2 | 3 | 4 -> `Local
+      | 5 | 6 | 7 -> `Read_only
+      | _ -> `Locked
   in
   let body =
     match kind with
     | `Locked ->
         List.concat
           (List.init (int_range 1 2 st) (fun _ -> lock_group cfg st))
-    | (`Local | `Read_only) as k ->
+    | (`Local | `Read_only | `Racy) as k ->
         block cfg k ~sdepth:2 ~n:(int_range 1 cfg.max_stmts st) st
   in
   body @ [ mk Ast.Sbarrier ]
@@ -554,7 +576,19 @@ and block_shrinks (b : Ast.block) : Ast.block Seq.t =
             | _ -> close (k + 1) depth
         in
         match close (i + 1) 1 with
-        | Some j -> Seq.return (splice i j [])
+        | Some j ->
+            (* peeling one level of a reentrant hold keeps the body
+               protected by the inner hold, so it never introduces a
+               race *)
+            let peel =
+              if i + 1 < n && lock_lit arr.(i + 1) = Some (`Lock l) then
+                Seq.return
+                  (List.concat
+                     (List.init n (fun k ->
+                          if k = i || k = j then [] else [ arr.(k) ])))
+              else Seq.empty
+            in
+            Seq.append (Seq.return (splice i j [])) peel
         | None -> Seq.empty)
     | Ast.Slock _ | Ast.Sunlock _ | Ast.Sbarrier -> Seq.empty
     | Ast.Sif (_, b1, b2) ->

@@ -39,6 +39,11 @@ type config = {
   max_stmts : int;  (** statements per segment *)
   max_depth : int;  (** expression depth *)
   annotations : bool;  (** sprinkle random CICO directives *)
+  racy : bool;
+      (** deliberately break the DRF discipline with unsynchronized
+          shared writes at unconstrained indices (default [false]).
+          Exercises the race oracle's racy direction; such programs must
+          not be run with [~expect_race_free]. *)
 }
 
 val default_config : config
@@ -51,7 +56,8 @@ val size_program : Lang.Ast.program -> int
 
 val shrink_spmd : Lang.Ast.program -> Lang.Ast.program Seq.t
 (** Well-formedness-preserving shrink candidates, most aggressive first:
-    whole segments, balanced lock groups, single statements, loop-body
-    hoists, then expression simplifications. Shared indices keep their
+    whole segments, balanced lock groups (or one level of a reentrant
+    hold), single statements, loop-body hoists, then expression
+    simplifications. Shared indices keep their
     bounds-respecting wrapper so shrinking never introduces new races or
     out-of-bounds accesses. *)

@@ -1,4 +1,4 @@
-(* The five differential-testing oracles.
+(* The six differential-testing oracles.
 
    Every generated program is pushed through:
 
@@ -18,12 +18,25 @@
    5. equations     — Performance CICO's annotation sets are a subset of
                       Programmer CICO's for every epoch and node, and the
                       Section 2/5 cost-model closed forms are
-                      non-negative.
+                      non-negative;
+   6. races         — the streaming race detector (Races.detect, packed
+                      representation) agrees with the naive decompressed
+                      reference (Races.naive); a DRF-by-construction
+                      program (~expect_race_free) is proven race-free;
+                      and every race the detector finds is classified
+                      DRFS-unsafe by the paper's per-epoch predicate in
+                      that epoch, so Performance mode only ever hands
+                      racy data the conservative filter_drfs annotations
+                      — i.e. a proven-racy program never receives
+                      semantics-changing Performance annotations.
 
    Output comparison for oracle 2 is per node: annotations legitimately
    change timing, and timing changes the global interleaving of print
    lines across nodes, but never a single node's own output sequence.
-   All value comparisons use [Stdlib.compare] so NaN equals itself. *)
+   That only holds for data-race-free programs — when oracle 6's trusted
+   reference proves the program racy, oracle 2 skips (a race means even a
+   single node's values are timing-dependent). All value comparisons use
+   [Stdlib.compare] so NaN equals itself. *)
 
 type verdict = Pass | Skip of string | Fail of string
 
@@ -33,9 +46,11 @@ type report = {
   idempotence : verdict;
   protocol : verdict;
   equations : verdict;
+  races : verdict;
 }
 
-let names = [ "engines"; "semantics"; "idempotence"; "protocol"; "equations" ]
+let names =
+  [ "engines"; "semantics"; "idempotence"; "protocol"; "equations"; "races" ]
 
 let to_list r =
   [
@@ -44,6 +59,7 @@ let to_list r =
     ("idempotence", r.idempotence);
     ("protocol", r.protocol);
     ("equations", r.equations);
+    ("races", r.races);
   ]
 
 let first_failure r =
@@ -195,7 +211,8 @@ let cost_model_mismatch ~machine (annotated_stats : Memsys.Stats.t option) =
                  stats.Memsys.Stats.check_ins)
           else None)
 
-let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
+let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
+    (p : Lang.Ast.program) : report =
   let machine = { machine with Wwt.Machine.debug_protocol = true } in
   let nodes = machine.Wwt.Machine.nodes in
   let deadline = Unix.gettimeofday () +. budget_s in
@@ -208,7 +225,14 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
   match Lang.Sema.check p with
   | exception Lang.Sema.Error m ->
       let s = Skip ("sema rejects the program: " ^ m) in
-      { engines = s; semantics = s; idempotence = s; protocol = s; equations = s }
+      {
+        engines = s;
+        semantics = s;
+        idempotence = s;
+        protocol = s;
+        equations = s;
+        races = s;
+      }
   | _ ->
       let violations = ref [] in
       let completed = ref false in
@@ -269,6 +293,85 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
           [ ("Performance-annotated", perf_r); ("Programmer-annotated", prog_r) ]
       in
       Obs.finish "fuzz.runs" runs_t0;
+      (* -- oracle 6: streaming race detection. Computed up front because
+         oracle 2 consults the trusted (naive) verdict: a racy program's
+         per-node results are legitimately timing-dependent, so the
+         semantics oracle must not treat their drift as a counterexample.
+         Three checks: (a) the streaming detector over the re-packed
+         trace agrees with the naive decompressed reference; (b) a
+         program the generator promises is DRF-by-construction is proven
+         race-free; (c) every detected race is classified DRFS-unsafe by
+         the paper's per-epoch predicate for that epoch — by the
+         Equations construction that confines racy data to the
+         conservative filter_drfs annotations, so a proven-racy program
+         never receives semantics-changing Performance annotations. -- *)
+      let races, proven_racy =
+        Obs.span "fuzz.oracle.races" @@ fun () ->
+        match co_tr with
+        | Done tr -> (
+            let records = tr.Wwt.Interp.trace in
+            match
+              ( Races.detect_records ~nodes records,
+                Races.naive ~nodes records )
+            with
+            | exception e ->
+                (Fail ("race detector raised " ^ Printexc.to_string e), false)
+            | streaming, reference ->
+                let proven_racy = Races.racy reference in
+                if not (Races.verdict_equal streaming reference) then
+                  ( Fail
+                      (Printf.sprintf
+                         "streaming detector disagrees with the naive \
+                          reference (streaming: %d racy addrs over %d \
+                          epochs; reference: %d racy addrs over %d epochs)"
+                         (List.length streaming.Races.racy_addrs)
+                         streaming.Races.epochs
+                         (List.length reference.Races.racy_addrs)
+                         reference.Races.epochs),
+                    proven_racy )
+                else if expect_race_free && Races.racy streaming then
+                  let r = List.hd streaming.Races.races in
+                  ( Fail
+                      (Printf.sprintf
+                         "DRF-by-construction program proven racy: addr %d \
+                          in epoch %d (node %d pc %d vs node %d pc %d)"
+                         r.Races.r_addr r.Races.r_epoch
+                         r.Races.r_first.Races.a_node
+                         r.Races.r_first.Races.a_pc
+                         r.Races.r_second.Races.a_node
+                         r.Races.r_second.Races.a_pc),
+                    proven_racy )
+                else
+                  let drfs_miss =
+                    match
+                      Cachier.Epoch_info.build ~nodes
+                        ~block_size:machine.Wwt.Machine.block_size records
+                    with
+                    | einfo ->
+                        List.find_opt
+                          (fun (r : Races.race) ->
+                            r.Races.r_epoch
+                            < Array.length einfo.Cachier.Epoch_info.drfs
+                            && not
+                                 (Cachier.Drfs.in_race
+                                    einfo.Cachier.Epoch_info.drfs.(r.Races
+                                                                   .r_epoch)
+                                    r.Races.r_addr))
+                          streaming.Races.races
+                    | exception _ -> None (* oracle 5 reports this *)
+                  in
+                  (match drfs_miss with
+                  | Some r ->
+                      ( Fail
+                          (Printf.sprintf
+                             "addr %d races in epoch %d but the DRFS \
+                              predicate calls it race-free there — \
+                              Performance mode would annotate racy data"
+                             r.Races.r_addr r.Races.r_epoch),
+                        proven_racy )
+                  | None -> (Pass, proven_racy)))
+        | r -> (Skip ("trace collection: " ^ describe r), false)
+      in
       (* -- oracle 1: three-way engine equivalence. The tree-walk /
          compiled pairs catch compiler bugs; the compiled / par pairs
          catch record-replay bugs. Comparing both against compiled keeps
@@ -317,6 +420,9 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
       (* -- oracle 2: annotations preserve semantics -- *)
       let semantics =
         Obs.span "fuzz.oracle.semantics" @@ fun () ->
+        if proven_racy then
+          Skip "program proven racy: per-node results are timing-dependent"
+        else
         match co_pf with
         | Done base ->
             let variants =
@@ -428,4 +534,4 @@ let run_all ?(budget_s = 5.0) ~machine (p : Lang.Ast.program) : report =
                 Fail ("trace assimilation raised " ^ Printexc.to_string e))
         | r -> Skip ("trace collection: " ^ describe r)
       in
-      { engines; semantics; idempotence; protocol; equations }
+      { engines; semantics; idempotence; protocol; equations; races }

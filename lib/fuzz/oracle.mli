@@ -1,4 +1,4 @@
-(** The five differential-testing oracles.
+(** The six differential-testing oracles.
 
     {ol
     {- [engines] — the tree-walking and closure-compiling engines agree
@@ -14,7 +14,15 @@
        [Machine.debug_protocol]);}
     {- [equations] — Performance CICO's sets are a subset of Programmer
        CICO's for every epoch and node, and the cost-model closed forms
-       are non-negative.}} *)
+       are non-negative;}
+    {- [races] — the streaming race detector over the packed trace
+       ({!Races.detect}) agrees with the naive decompressed reference
+       ({!Races.naive}); a DRF-by-construction program is proven
+       race-free when the caller promises one ([~expect_race_free]); and
+       every detected race is classified DRFS-unsafe by the paper's
+       per-epoch predicate in its epoch, which confines racy data to the
+       conservative annotations — a proven-racy program never receives
+       semantics-changing Performance CICO.}} *)
 
 type verdict =
   | Pass
@@ -29,21 +37,30 @@ type report = {
   idempotence : verdict;
   protocol : verdict;
   equations : verdict;
+  races : verdict;
 }
 
 val names : string list
 (** Oracle names, report order: ["engines"; "semantics"; "idempotence";
-    "protocol"; "equations"]. *)
+    "protocol"; "equations"; "races"]. *)
 
 val to_list : report -> (string * verdict) list
 val first_failure : report -> (string * string) option
 
 val run_all :
-  ?budget_s:float -> machine:Wwt.Machine.t -> Lang.Ast.program -> report
+  ?budget_s:float ->
+  ?expect_race_free:bool ->
+  machine:Wwt.Machine.t ->
+  Lang.Ast.program ->
+  report
 (** Run every oracle on one program. All simulations run with
     [debug_protocol] forced on and are cancelled (and the affected
     oracles skipped) once [budget_s] wall-clock seconds have passed, so a
-    shrink candidate with a pathological loop cannot stall the fuzzer. *)
+    shrink candidate with a pathological loop cannot stall the fuzzer.
+    [expect_race_free] (default [false]) makes the races oracle fail if
+    the detector proves the program racy — pass it for
+    DRF-by-construction generator output, never for {!Gen.config.racy}
+    programs. *)
 
 val pp : Format.formatter -> report -> unit
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -69,15 +69,19 @@ let obs_programs = Obs.Registry.counter "fuzz.programs"
 let verdict_for ~oracle report =
   List.assoc_opt oracle (Oracle.to_list report)
 
-let still_fails ~machine ~budget_s ~oracle p =
-  match verdict_for ~oracle (Oracle.run_all ~budget_s ~machine p) with
+let still_fails ?(expect_race_free = false) ~machine ~budget_s ~oracle p =
+  match
+    verdict_for ~oracle (Oracle.run_all ~budget_s ~expect_race_free ~machine p)
+  with
   | Some (Oracle.Fail d) -> Some d
   | _ -> None
 
 (* Greedy shrink: take the first candidate that still fails the same
    oracle, repeat until no candidate does or the fuel (counted in oracle
-   re-runs) is gone. *)
-let shrink ~machine ~budget_s ~fuel ~oracle p =
+   re-runs) is gone. [expect_race_free] must match what the failing run
+   used, or a races-oracle counterexample of the DRF direction would
+   stop failing on every candidate. *)
+let shrink ?(expect_race_free = false) ~machine ~budget_s ~fuel ~oracle p =
   let fuel = ref fuel in
   let rec go p =
     let next =
@@ -86,7 +90,7 @@ let shrink ~machine ~budget_s ~fuel ~oracle p =
           if !fuel <= 0 then None
           else begin
             decr fuel;
-            match still_fails ~machine ~budget_s ~oracle c with
+            match still_fails ~expect_race_free ~machine ~budget_s ~oracle c with
             | Some _ -> Some c
             | None -> None
           end)
@@ -109,6 +113,12 @@ let run cfg =
     let i = !index in
     incr index;
     let machine = machine_for ~nodes:cfg.nodes ~index:i in
+    (* Every fourth program deliberately breaks the DRF discipline so the
+       race oracle's racy direction (detector vs naive reference, DRFS
+       classification) gets exercised; the other three are
+       DRF-by-construction and must be proven race-free. *)
+    let racy = i mod 4 = 3 in
+    let expect_race_free = not racy in
     let gcfg =
       {
         Gen.default_config with
@@ -116,6 +126,7 @@ let run cfg =
         max_stmts = Gen.int_range 2 6 rng;
         max_depth = Gen.int_range 2 3 rng;
         annotations = Random.State.bool rng;
+        racy;
       }
     in
     let p = Gen.spmd ~config:gcfg rng in
@@ -123,7 +134,8 @@ let run cfg =
     if Obs.enabled () then Obs.Counter.incr obs_programs;
     let report =
       Obs.span "fuzz.program" (fun () ->
-          Oracle.run_all ~budget_s:cfg.per_program_budget_s ~machine p)
+          Oracle.run_all ~budget_s:cfg.per_program_budget_s ~expect_race_free
+            ~machine p)
     in
     (match Oracle.first_failure report with
     | None ->
@@ -138,13 +150,14 @@ let run cfg =
              oracle detail);
         let shrunk =
           Obs.span "fuzz.shrink" (fun () ->
-              shrink ~machine ~budget_s:cfg.per_program_budget_s
-                ~fuel:cfg.shrink_fuel ~oracle p)
+              shrink ~expect_race_free ~machine
+                ~budget_s:cfg.per_program_budget_s ~fuel:cfg.shrink_fuel ~oracle
+                p)
         in
         let detail =
           match
-            still_fails ~machine ~budget_s:cfg.per_program_budget_s ~oracle
-              shrunk
+            still_fails ~expect_race_free ~machine
+              ~budget_s:cfg.per_program_budget_s ~oracle shrunk
           with
           | Some d -> d
           | None -> detail

@@ -1,11 +1,15 @@
-(** The fuzzing loop: generate SPMD programs, run the five-oracle battery
+(** The fuzzing loop: generate SPMD programs, run the six-oracle battery
     ({!Oracle.run_all}), shrink any failure with {!Gen.shrink_spmd}, and
     persist shrunk counterexamples to a {!Corpus} directory.
 
     A campaign is deterministic in its master seed: one [Random.State.t]
     drives generation, and machine geometry / node count / generator
     configuration cycle by iteration index, so re-running with the same
-    seed reproduces the same programs on the same machines. *)
+    seed reproduces the same programs on the same machines. Every fourth
+    program is generated with {!Gen.config.racy} set, exercising the race
+    oracle's racy direction; the rest are DRF-by-construction and run
+    with [~expect_race_free] so the detector must prove them race-free
+    (soundness in both directions). *)
 
 type config = {
   seed : int;
@@ -43,6 +47,7 @@ val machine_for : nodes:int -> index:int -> Wwt.Machine.t
     independently, capped at [nodes]. *)
 
 val shrink :
+  ?expect_race_free:bool ->
   machine:Wwt.Machine.t ->
   budget_s:float ->
   fuel:int ->
@@ -51,7 +56,9 @@ val shrink :
   Lang.Ast.program
 (** Greedy shrink: repeatedly take the first {!Gen.shrink_spmd} candidate
     on which [oracle] still fails, spending at most [fuel] oracle
-    re-runs. *)
+    re-runs. [expect_race_free] (default [false]) is forwarded to
+    {!Oracle.run_all} and must match what the original failing run
+    used. *)
 
 val run : config -> stats
 val pp_stats : Format.formatter -> stats -> unit

@@ -20,6 +20,9 @@ let trace_stats_report ~nodes records =
   in
   Trace.Summary.to_string summary ^ "\n" ^ tail
 
+let races_report ~nodes records =
+  Races.render (Races.detect ~nodes (Trace.Buf.of_records records))
+
 let race_report (result : Cachier.Annotate.result) =
   Cachier.Report.to_string result.Cachier.Annotate.report ^ "\n"
 

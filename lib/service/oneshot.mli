@@ -21,5 +21,11 @@ val trace_stats_report : nodes:int -> Trace.Event.record list -> string
 val race_report : Cachier.Annotate.result -> string
 (** The race / false-sharing report on its own, newline-terminated. *)
 
+val races_report : nodes:int -> Trace.Event.record list -> string
+(** The sound streaming race-detector report ({!Races.render}): human
+    block plus one JSON line. Shared by [simulate --races],
+    [trace_stats --races] and the daemon's [races] op, so all three
+    surfaces agree byte-for-byte. *)
+
 val parse_report : Lang.Ast.program -> string
 (** The pretty-printed program (the [parse] operation's payload). *)

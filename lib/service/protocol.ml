@@ -29,6 +29,7 @@ type op =
     }
   | Annotate of { source : source; mode : mode; prefetch : bool }
   | Race_report of { source : source }
+  | Races of { source : source }
   | Trace_stats of { source : source option; trace_text : string option }
   | Stats
   | Ping
@@ -86,6 +87,7 @@ let op_name = function
   | Simulate _ -> "simulate"
   | Annotate _ -> "annotate"
   | Race_report _ -> "race_report"
+  | Races _ -> "races"
   | Trace_stats _ -> "trace_stats"
   | Stats -> "stats"
   | Ping -> "ping"
@@ -118,6 +120,7 @@ let op_fields = function
           ("prefetch", Json.Bool prefetch);
         ]
   | Race_report { source } -> source_fields source
+  | Races { source } -> source_fields source
   | Trace_stats { source; trace_text } ->
       (match source with Some s -> source_fields s | None -> [])
       @ (match trace_text with
@@ -258,6 +261,9 @@ let op_of j =
       | "race_report" ->
           let* source = source_of j in
           Ok (Race_report { source })
+      | "races" ->
+          let* source = source_of j in
+          Ok (Races { source })
       | "trace_stats" -> (
           let* trace_text = string_field_opt j "trace_text" in
           match trace_text with

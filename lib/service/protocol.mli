@@ -41,6 +41,10 @@ type op =
           program); the response carries the stderr summary in [report] *)
   | Race_report of { source : source }
       (** payload is the race / false-sharing report *)
+  | Races of { source : source }
+      (** run the sound streaming race detector ({!Races.detect}) on the
+          program's collected trace; payload as printed by
+          [simulate --races] after the simulation report *)
   | Trace_stats of { source : source option; trace_text : string option }
       (** analyse either a trace collected from [source] (cached) or an
           inline trace in the {!Trace.Trace_file} format; payload as

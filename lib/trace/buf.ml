@@ -135,6 +135,52 @@ let add_label t ~name ~lo ~hi =
   t.len <- i + 4;
   t.records <- t.records + 1
 
+let iter_packed t ~miss ~barrier ~label =
+  let d = t.data in
+  let i = ref 0 in
+  while !i < t.len do
+    let w = d.(!i) in
+    let tag = w lsr 2 in
+    if tag = tag_miss then begin
+      miss ~node:d.(!i + 1) ~pc:d.(!i + 2) ~addr:d.(!i + 3) ~kind:(w land 3)
+        ~held:d.(!i + 4);
+      i := !i + 5
+    end
+    else if tag = tag_barrier then begin
+      barrier ~node:d.(!i + 1) ~pc:d.(!i + 2) ~vt:d.(!i + 3);
+      i := !i + 4
+    end
+    else begin
+      label ~name:t.names.(d.(!i + 1)) ~lo:d.(!i + 2) ~hi:d.(!i + 3);
+      i := !i + 4
+    end
+  done
+
+let n_held t = t.n_held
+
+let held_list t id =
+  if id < 0 || id >= t.n_held then
+    invalid_arg (Printf.sprintf "Trace.Buf.held_list: unknown id %d" id)
+  else t.held_sets.(id)
+
+let kind_of_event = function
+  | Event.Read_miss -> kind_read
+  | Event.Write_miss -> kind_write
+  | Event.Write_fault -> kind_fault
+
+let of_records records =
+  let t = create () in
+  List.iter
+    (function
+      | Event.Miss m ->
+          add_miss t ~node:m.node ~pc:m.pc ~addr:m.addr
+            ~kind:(kind_of_event m.kind)
+            ~held:(intern_held t m.held)
+      | Event.Barrier b -> add_barrier t ~node:b.bnode ~pc:b.bpc ~vt:b.vt
+      | Event.Label l -> add_label t ~name:l.name ~lo:l.lo ~hi:l.hi)
+    records;
+  t
+
 let to_records t =
   let d = t.data in
   let rec decode i acc =

@@ -40,3 +40,30 @@ val length : t -> int
 
 val to_records : t -> Event.record list
 (** Decode to the classic record list, in append order. *)
+
+(** {2 Streaming consumers}
+
+    The race detector ({!Races}) folds over the packed words directly —
+    one visitor call per record, no [Event.record] allocation, lock-sets
+    passed as interned ids. *)
+
+val iter_packed :
+  t ->
+  miss:(node:int -> pc:int -> addr:int -> kind:int -> held:int -> unit) ->
+  barrier:(node:int -> pc:int -> vt:int -> unit) ->
+  label:(name:string -> lo:int -> hi:int -> unit) ->
+  unit
+(** Visit every record in append order in its packed form. [kind] is one
+    of {!kind_read} / {!kind_write} / {!kind_fault}; [held] an interned
+    lock-set id valid with {!held_list}. *)
+
+val n_held : t -> int
+(** Number of distinct interned lock-sets (ids are [0 .. n_held - 1]). *)
+
+val held_list : t -> int -> int list
+(** Decode an interned lock-set id back to its lock list (innermost
+    first). @raise Invalid_argument on an unknown id. *)
+
+val of_records : Event.record list -> t
+(** Re-pack a decoded record list (e.g. a loaded trace file), interning
+    lock-sets and label names afresh. [to_records (of_records rs) = rs]. *)

@@ -3,7 +3,7 @@
    Every .cico file under test/corpus/ is a shrunk program that once made
    an oracle fail (against a real bug, or against a deliberately broken
    build used to validate the fuzzer). At HEAD each entry must run the
-   full five-oracle battery cleanly — these are regression tests in the
+   full six-oracle battery cleanly — these are regression tests in the
    exact shape the bug was found in. *)
 
 let corpus_dir = "corpus"

@@ -92,6 +92,7 @@ let test_request_roundtrip () =
       request ~id:8 Protocol.Shutdown;
       request ~id:9 (Protocol.Parse { source = Bench "mp3d" });
       request ~id:10 (Protocol.Race_report { source = Bench "matmul" });
+      request ~id:11 (Protocol.Races { source = Bench "mp3d" });
     ]
   in
   List.iter
@@ -245,14 +246,28 @@ let test_parse_and_race_and_trace_stats () =
       in
       Alcotest.(check bool) "race report non-empty" true
         (String.length (ok_payload race) > 0);
+      let machine = Protocol.to_machine small_machine in
+      let outcome = Wwt.Run.collect_trace ~machine program in
+      (* the races op serves the exact simulate --races payload *)
+      let races =
+        Server.handle server (request (Protocol.Races { source = Bench "matmul" }))
+      in
+      Alcotest.(check string) "races payload = detector render"
+        (Oneshot.races_report ~nodes:4 outcome.Wwt.Interp.trace)
+        (ok_payload races);
+      let races2 =
+        Server.handle server (request (Protocol.Races { source = Bench "matmul" }))
+      in
+      Alcotest.(check bool) "second races request is cached" true
+        (ok_cached races2);
+      Alcotest.(check string) "cached races byte-identical"
+        (ok_payload races) (ok_payload races2);
       let ts =
         Server.handle server
           (request
              (Protocol.Trace_stats { source = Some (Bench "matmul");
                                      trace_text = None }))
       in
-      let machine = Protocol.to_machine small_machine in
-      let outcome = Wwt.Run.collect_trace ~machine program in
       Alcotest.(check string) "trace_stats payload = CLI stdout"
         (Oneshot.trace_stats_report ~nodes:4 outcome.Wwt.Interp.trace)
         (ok_payload ts);
@@ -522,7 +537,9 @@ let test_two_tier_restart_all_stages () =
               (Protocol.Annotate
                  { source = Bench "matmul"; mode = Performance;
                    prefetch = false }) );
-          ("races", request (Protocol.Race_report { source = Bench "matmul" }));
+          ( "race_report",
+            request (Protocol.Race_report { source = Bench "matmul" }) );
+          ("races", request (Protocol.Races { source = Bench "matmul" }));
           ( "trace_stats",
             request
               (Protocol.Trace_stats
@@ -595,6 +612,32 @@ let test_corrupt_artifact_degrades_to_miss () =
               Alcotest.(check bool) "corruption counted" true
                 (Store.corrupt s > 0)
           | None -> Alcotest.fail "server has no store"))
+
+(* A corrupted persisted race report must degrade to a miss and be
+   recomputed byte-identically — never surface as a failed request. *)
+let test_corrupt_races_report_degrades_to_miss () =
+  with_cache_dir (fun dir ->
+      let config = { memory_config with cache_dir = Some dir } in
+      let races = request (Protocol.Races { source = Bench "matmul" }) in
+      let cold =
+        with_server ~config (fun server -> Server.handle server races)
+      in
+      Array.iter
+        (fun f ->
+          if Filename.check_suffix f ".art" || Filename.check_suffix f ".trace"
+          then begin
+            let oc = open_out_bin (Filename.concat dir f) in
+            output_string oc "\x00garbage";
+            close_out oc
+          end)
+        (Sys.readdir dir);
+      with_server ~config (fun server ->
+          let resp = Server.handle server races in
+          Alcotest.(check bool) "recomputed, not failed" true
+            (match resp with Protocol.Ok_response _ -> true | _ -> false);
+          Alcotest.(check bool) "served as a miss" false (ok_cached resp);
+          Alcotest.(check string) "recomputed report byte-identical"
+            (ok_payload cold) (ok_payload resp)))
 
 (* ---- the sharded socket front end ---- *)
 
@@ -844,6 +887,8 @@ let suite =
       test_two_tier_restart_all_stages;
     Alcotest.test_case "corrupt artifact degrades to miss" `Quick
       test_corrupt_artifact_degrades_to_miss;
+    Alcotest.test_case "corrupt races report degrades to miss" `Quick
+      test_corrupt_races_report_degrades_to_miss;
     Alcotest.test_case "shards: end-to-end over the socket" `Quick
       test_shard_server_end_to_end;
     Alcotest.test_case "shards: concurrent connections" `Quick

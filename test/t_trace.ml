@@ -103,6 +103,95 @@ let test_touched_nodes () =
   Alcotest.(check (list int)) "pcs for node 0 addr 0" [ 10 ]
     (Epoch.pcs_for_addr e0 ~node:0 ~addr:0)
 
+(* ---- packed buffer: streaming consumers ---- *)
+
+let lmiss node pc addr kind held = Event.Miss { node; pc; addr; kind; held }
+
+let sample_held =
+  [
+    lmiss 0 10 0 Event.Write_miss [ 1 ];
+    lmiss 1 11 8 Event.Read_miss [ 3; 1 ];
+    lmiss 0 12 0 Event.Write_fault [ 1 ];
+    barrier 0 20 100;
+    barrier 1 20 100;
+    lmiss 1 30 16 Event.Read_miss [];
+  ]
+
+let test_buf_of_records_round_trip () =
+  List.iter
+    (fun rs ->
+      let back = Buf.to_records (Buf.of_records rs) in
+      Alcotest.(check int) "same length" (List.length rs) (List.length back);
+      List.iter2
+        (fun a b -> Alcotest.(check bool) "record equal" true (Event.equal a b))
+        rs back)
+    [ sample; sample_held; [] ]
+
+let test_buf_iter_packed () =
+  let buf = Buf.of_records sample_held in
+  let barriers = ref 0 and held_ids = ref [] in
+  Buf.iter_packed buf
+    ~miss:(fun ~node:_ ~pc:_ ~addr:_ ~kind:_ ~held ->
+      held_ids := held :: !held_ids)
+    ~barrier:(fun ~node:_ ~pc:_ ~vt:_ -> incr barriers)
+    ~label:(fun ~name:_ ~lo:_ ~hi:_ -> ());
+  Alcotest.(check int) "two barriers" 2 !barriers;
+  (match List.rev !held_ids with
+  | [ a; b; c; d ] ->
+      Alcotest.(check bool) "same lock-set interned once" true (a = c);
+      Alcotest.(check (list int)) "held decodes innermost-first" [ 1 ]
+        (Buf.held_list buf a);
+      Alcotest.(check (list int)) "nested held decodes" [ 3; 1 ]
+        (Buf.held_list buf b);
+      Alcotest.(check int) "empty set is id 0" 0 d
+  | ids -> Alcotest.failf "expected four misses, saw %d" (List.length ids));
+  (* empty set + [1] + [3;1]: three interned sets *)
+  Alcotest.(check int) "three interned sets" 3 (Buf.n_held buf);
+  Alcotest.check_raises "unknown id rejected"
+    (Invalid_argument "Trace.Buf.held_list: unknown id 99") (fun () ->
+      ignore (Buf.held_list buf 99))
+
+(* Lock-set interning straight off a real trace on the non-power-of-two
+   machine (768 B, 3-way): the nested-lock program holds {3,1} and {3,2}
+   at its B misses, and the packed buffer must round-trip them. *)
+let test_buf_interning_non_pow2_geometry () =
+  let machine =
+    {
+      Wwt.Machine.default with
+      Wwt.Machine.nodes = 4;
+      cache_bytes = 768;
+      assoc = 3;
+      block_size = 32;
+    }
+  in
+  let source =
+    "const N = 16;\n\
+     shared B[N];\n\
+     proc main() {\n\
+    \  if (pid < 2) {\n\
+    \    lock(1); lock(3); B[0] = B[0] + 1; unlock(3); unlock(1);\n\
+    \  } else {\n\
+    \    lock(2); lock(3); B[0] = B[0] + 1; unlock(3); unlock(2);\n\
+    \  }\n\
+    \  barrier;\n\
+     }\n"
+  in
+  let records = (Wwt.Run.source_trace ~machine source).Wwt.Interp.trace in
+  let buf = Buf.of_records records in
+  let back = Buf.to_records buf in
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "record equal" true (Event.equal a b))
+    records back;
+  let seen = ref [] in
+  Buf.iter_packed buf
+    ~miss:(fun ~node:_ ~pc:_ ~addr:_ ~kind:_ ~held ->
+      let locks = List.sort compare (Buf.held_list buf held) in
+      if not (List.mem locks !seen) then seen := locks :: !seen)
+    ~barrier:(fun ~node:_ ~pc:_ ~vt:_ -> ())
+    ~label:(fun ~name:_ ~lo:_ ~hi:_ -> ());
+  Alcotest.(check bool) "lock-set {1,3} seen" true (List.mem [ 1; 3 ] !seen);
+  Alcotest.(check bool) "lock-set {2,3} seen" true (List.mem [ 2; 3 ] !seen)
+
 let suite =
   [
     Alcotest.test_case "serialise round trip" `Quick test_round_trip;
@@ -116,4 +205,10 @@ let suite =
     Alcotest.test_case "incomplete barrier group" `Quick
       test_epoch_incomplete_barrier_group;
     Alcotest.test_case "touched_nodes / pcs_for_addr" `Quick test_touched_nodes;
+    Alcotest.test_case "packed buffer of_records round trip" `Quick
+      test_buf_of_records_round_trip;
+    Alcotest.test_case "packed buffer iter_packed and interning" `Quick
+      test_buf_iter_packed;
+    Alcotest.test_case "interning on the non-power-of-two machine" `Quick
+      test_buf_interning_non_pow2_geometry;
   ]
