@@ -21,8 +21,29 @@ let load_source input nodes =
           Fmt.failwith "unknown benchmark %S (expected one of %s)" name
             (String.concat ", " Benchmarks.Suite.names))
 
+(* Annotate via the incremental engine: run the base pipeline once, diff
+   the two sources into a span edit, and serve it from the artifact DAG.
+   Output is byte-identical to a from-scratch run on the edited file
+   (the delta-smoke CI step compares the two). *)
+let run_delta ~machine ~options ~base_path src =
+  let base_src = read_file base_path in
+  let dag = Delta.Dag.create () in
+  let span, text =
+    match Delta.Splice.diff_span base_src src with
+    | Some (span, text) -> (span, text)
+    | None -> ({ Delta.Splice.start = 0; len = 0 }, "")
+  in
+  let outcome =
+    Delta.Engine.annotate_delta ~dag ~machine ~options ~base:base_src span text
+  in
+  print_string (Cachier.Annotate.to_source outcome.Delta.Engine.result);
+  prerr_string (Service.Oneshot.annotate_summary outcome.Delta.Engine.result);
+  Fmt.epr "delta: %s@."
+    (Delta.Engine.reuse_to_string outcome.Delta.Engine.reuse);
+  0
+
 let run input machine mode prefetch trace_out show_trace_stats measure explain
-    train_seeds (_obs : Obs.mode) =
+    train_seeds delta_from (_obs : Obs.mode) =
   let nodes = machine.Wwt.Machine.nodes in
   let src = load_source input nodes in
   let program = Lang.Parser.parse src in
@@ -37,6 +58,9 @@ let run input machine mode prefetch trace_out show_trace_stats measure explain
       prefetch;
     }
   in
+  match delta_from with
+  | Some base_path -> run_delta ~machine ~options ~base_path src
+  | None ->
   let trace_outcome = Wwt.Run.collect_trace ~machine program in
   (match trace_out with
   | Some path ->
@@ -129,12 +153,21 @@ let train_seeds =
          ~doc:"Annotate from the union of traces collected with each of \
                these SEED values (the Section 4.5 training-set mode).")
 
+let delta_from =
+  Arg.(value & opt (some file) None & info [ "delta-from" ] ~docv:"BASE"
+         ~doc:"Annotate incrementally: treat the input as an edit of \
+               $(docv), run the full pipeline once for $(docv), and serve \
+               the edit through the delta engine (trace-preserving edits \
+               reuse the base placement plan). Output is byte-identical \
+               to a from-scratch run; the reuse decision is reported on \
+               stderr.")
+
 let cmd =
   let doc = "automatically insert CICO annotations into shared-memory programs" in
   Cmd.v
     (Cmd.info "cachier" ~doc)
     Term.(const run $ input $ Service.Cli.machine_term $ mode $ prefetch
           $ trace_out $ stats $ measure $ explain $ train_seeds
-          $ Service.Cli.obs_term)
+          $ delta_from $ Service.Cli.obs_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -48,6 +48,63 @@ let population ~nodes ~corpus =
   ignore nodes;
   benches @ corpus_sources
 
+(* ---- edit workload (--edit-rate) ---- *)
+
+(* Single-token edits for one population item: the source, its artifact
+   id, and every int-literal span whose replacement the client-side
+   prover certifies as trace-preserving — so delta requests exercise the
+   server's warm plan-reuse path, not the resim fallback. The verdict
+   depends only on the literal's position, never its value, so proving
+   [v+1] proves every replacement at that span. *)
+type editable = {
+  e_source : string;
+  e_artifact : string;
+  e_spans : (Delta.Splice.span * int) array;
+}
+
+let editable ~nodes op =
+  let source =
+    match op with
+    | Service.Protocol.Text s -> Some s
+    | Service.Protocol.Bench name -> (
+        match Benchmarks.Suite.find ~nodes name with
+        | b -> Some b.Benchmarks.Suite.source
+        | exception Not_found -> None)
+  in
+  Option.bind source (fun src ->
+      match Lang.Parser.parse src with
+      | exception _ -> None
+      | base -> (
+          let provable =
+            List.filter
+              (fun ((span : Delta.Splice.span), v) ->
+                let edited =
+                  Delta.Splice.apply_edit src span (string_of_int (v + 1))
+                in
+                match Lang.Parser.parse edited with
+                | exception _ -> false
+                | ep -> (
+                    match Delta.Taint.compare_and_prove ~base ~edited:ep with
+                    | Delta.Taint.Preserved _ -> true
+                    | Delta.Taint.Broken _ -> false))
+              (try Delta.Splice.int_literals src with _ -> [])
+          in
+          match provable with
+          | [] -> None
+          | spans ->
+              Some
+                {
+                  e_source = src;
+                  e_artifact = Delta.Engine.source_digest src;
+                  e_spans = Array.of_list spans;
+                }))
+
+(* the k-th edit of an item: a fresh, unique replacement so neither the
+   delta stage key nor the cold annotate key ever hits a cache *)
+let pick_edit e ~k =
+  let span, v = e.e_spans.(k mod Array.length e.e_spans) in
+  (span, string_of_int (v + 1 + k))
+
 (* zipf(s) over ranks 1..n: cumulative weights + binary search *)
 let zipf_sampler ~s n =
   let cum = Array.make n 0. in
@@ -121,8 +178,8 @@ let percentile sorted q =
 
 (* ---- the run ---- *)
 
-let run machine socket corpus rate duration_s conns zipf_s seed drain_s spawn
-    out_path (_obs : Obs.mode) =
+let run machine socket corpus rate duration_s conns zipf_s seed edit_rate
+    drain_s spawn out_path (_obs : Obs.mode) =
   rng_state := 0x3779B97F4A7C15 + seed;
   let machine_cfg =
     {
@@ -178,6 +235,50 @@ let run machine socket corpus rate duration_s conns zipf_s seed drain_s spawn
       let plan =
         Array.init (max_reqs + 1) (fun _ -> sample ())
       in
+      let edit_plan =
+        Array.init (max_reqs + 1) (fun _ -> rand_float () < edit_rate)
+      in
+      let editables =
+        Array.map
+          (fun (_, op) ->
+            if edit_rate > 0. then
+              editable ~nodes:machine_cfg.Service.Protocol.nodes op
+            else None)
+          pop
+      in
+      (* register every editable base (and prime its pipeline with a
+         no-op delta) before the timed window, so in-window delta
+         requests measure the warm plan-reuse path *)
+      if edit_rate > 0. then
+        Array.iter
+          (function
+            | None -> ()
+            | Some e ->
+                (try
+                   ignore
+                     (oneshot path ~machine:machine_cfg
+                        (Service.Protocol.Annotate
+                           {
+                             source = Service.Protocol.Text e.e_source;
+                             mode = Service.Protocol.Performance;
+                             prefetch = false;
+                           }));
+                   ignore
+                     (oneshot path ~machine:machine_cfg
+                        (Service.Protocol.Annotate_delta
+                           {
+                             base = e.e_artifact;
+                             start = 0;
+                             len = 0;
+                             text = "";
+                             mode = Service.Protocol.Performance;
+                             prefetch = false;
+                           }))
+                 with _ -> ()))
+          editables;
+      (* per-request class: 0 background simulate, 1 annotate_delta,
+         2 cold annotate of the same edited text *)
+      let classes = Array.make (max_reqs + 1) 0 in
       let fds = Array.init conns (fun _ -> connect path) in
       let sent = Atomic.make 0 in
       let completed = Atomic.make 0 in
@@ -214,7 +315,8 @@ let run machine socket corpus rate duration_s conns zipf_s seed drain_s spawn
                     if c then Atomic.incr cached;
                     if id >= 1 && id <= max_reqs then
                       local :=
-                        int_of_float ((now -. sched.(id)) *. 1_000_000.)
+                        ( id,
+                          int_of_float ((now -. sched.(id)) *. 1_000_000.) )
                         :: !local
                 | Ok (Service.Protocol.Error_response _) ->
                     Atomic.incr completed;
@@ -244,16 +346,49 @@ let run machine socket corpus rate duration_s conns zipf_s seed drain_s spawn
              let id = !k + 1 in
              sched.(id) <- due;
              let _, source = pop.(plan.(id)) in
-             write_all fds.(!k mod conns)
-               (request_line ~id ~machine:machine_cfg
-                  ~op:
-                    (Service.Protocol.Simulate
+             let op =
+               match
+                 if edit_plan.(id) then editables.(plan.(id)) else None
+               with
+               | Some e ->
+                   (* an edit: even ids go through the delta engine,
+                      odd ids annotate the identical edited text from
+                      scratch — the delta-vs-cold split *)
+                   let span, text = pick_edit e ~k:!k in
+                   if id land 1 = 0 then begin
+                     classes.(id) <- 1;
+                     Service.Protocol.Annotate_delta
                        {
-                         source;
-                         annotations = false;
+                         base = e.e_artifact;
+                         start = span.Delta.Splice.start;
+                         len = span.Delta.Splice.len;
+                         text;
+                         mode = Service.Protocol.Performance;
                          prefetch = false;
-                         trace = false;
-                       }));
+                       }
+                   end
+                   else begin
+                     classes.(id) <- 2;
+                     Service.Protocol.Annotate
+                       {
+                         source =
+                           Service.Protocol.Text
+                             (Delta.Splice.apply_edit e.e_source span text);
+                         mode = Service.Protocol.Performance;
+                         prefetch = false;
+                       }
+                   end
+               | None ->
+                   Service.Protocol.Simulate
+                     {
+                       source;
+                       annotations = false;
+                       prefetch = false;
+                       trace = false;
+                     }
+             in
+             write_all fds.(!k mod conns)
+               (request_line ~id ~machine:machine_cfg ~op);
              incr k;
              Atomic.set sent !k
            end
@@ -289,8 +424,20 @@ let run machine socket corpus rate duration_s conns zipf_s seed drain_s spawn
           | _ -> None
         with _ -> None
       in
-      let lat = Array.of_list !latencies in
+      let samples = Array.of_list !latencies in
+      let lat = Array.map snd samples in
       Array.sort compare lat;
+      let class_lat c =
+        let a =
+          Array.of_list
+            (Array.fold_left
+               (fun acc (id, l) -> if classes.(id) = c then l :: acc else acc)
+               [] samples)
+        in
+        Array.sort compare a;
+        a
+      in
+      let delta_lat = class_lat 1 and cold_lat = class_lat 2 in
       let completed_n = Atomic.get completed in
       let elapsed = t_end -. t0 in
       let sustained =
@@ -314,6 +461,26 @@ let run machine socket corpus rate duration_s conns zipf_s seed drain_s spawn
         elapsed;
       Fmt.epr "loadgen: %.1f req/s sustained; p50 %dus p99 %dus p999 %dus@."
         sustained p50 p99 p999;
+      if edit_rate > 0. then
+        Fmt.epr
+          "loadgen: edits — delta %d (p50 %dus p99 %dus) vs cold %d (p50 \
+           %dus p99 %dus)@."
+          (Array.length delta_lat)
+          (percentile delta_lat 0.50)
+          (percentile delta_lat 0.99)
+          (Array.length cold_lat)
+          (percentile cold_lat 0.50)
+          (percentile cold_lat 0.99);
+      let edit_split name a =
+        ( name,
+          Json.Obj
+            [
+              ("count", Json.Int (Array.length a));
+              ("p50_us", Json.Int (percentile a 0.50));
+              ("p99_us", Json.Int (percentile a 0.99));
+              ("p999_us", Json.Int (percentile a 0.999));
+            ] )
+      in
       let service =
         Json.Obj
           ([
@@ -332,6 +499,13 @@ let run machine socket corpus rate duration_s conns zipf_s seed drain_s spawn
              ("p99_us", Json.Int p99);
              ("p999_us", Json.Int p999);
            ]
+          @ (if edit_rate > 0. then
+               [
+                 ("edit_rate", Json.Float edit_rate);
+                 edit_split "delta_edit" delta_lat;
+                 edit_split "cold_edit" cold_lat;
+               ]
+             else [])
           @
           match server_stats with
           | Some s -> [ ("server_stats", s) ]
@@ -384,6 +558,15 @@ let seed =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N"
          ~doc:"Workload RNG seed (runs are deterministic per seed).")
 
+let edit_rate =
+  Arg.(value & opt float 0. & info [ "edit-rate" ] ~docv:"F"
+         ~doc:"Fraction of requests that are single-token edits of the \
+               sampled program: halves go through $(b,annotate_delta) \
+               (warm plan reuse) and through a from-scratch \
+               $(b,annotate) of the identical edited text, and the \
+               report gains a delta-vs-cold latency split. Bases are \
+               registered and primed before the timed window.")
+
 let drain =
   Arg.(value & opt float 10. & info [ "drain" ] ~docv:"S"
          ~doc:"After the send window, wait up to $(docv) seconds for the \
@@ -404,7 +587,7 @@ let cmd =
   Cmd.v
     (Cmd.info "cachier_loadgen" ~doc)
     Term.(const run $ Service.Cli.machine_term $ socket $ corpus $ rate
-          $ duration $ conns $ zipf $ seed $ drain $ spawn $ out
+          $ duration $ conns $ zipf $ seed $ edit_rate $ drain $ spawn $ out
           $ Service.Cli.obs_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -13,12 +13,33 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let simulate_file machine engine annotations prefetch trace_mode races
-    trace_out print_memory ~many file =
+    trace_out print_memory delta_from ~many file =
   let buf = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   if many then pr "--- %s ---\n" file;
   let program = Lang.Parser.parse (read_file file) in
   ignore (Lang.Sema.check program);
+  (* --delta-from: when the delta prover certifies that the whole
+     outcome (output, time, statistics, trace) is identical to the base
+     program's, simulate the base instead — its artifacts may be warm —
+     and report the proof; otherwise fall through to a full run. *)
+  let program =
+    match delta_from with
+    | None -> program
+    | Some base_path -> (
+        let base = Lang.Parser.parse (read_file base_path) in
+        ignore (Lang.Sema.check base);
+        match Delta.Engine.prove_simulate ~base ~edited:program with
+        | Ok () ->
+            Printf.eprintf
+              "delta: %s proven outcome-identical to %s; simulating the \
+               base\n"
+              file base_path;
+            base
+        | Error why ->
+            Printf.eprintf "delta: full simulation of %s (%s)\n" file why;
+            program)
+  in
   (* race detection is only sound on trace-mode executions (caches flush
      at barriers, so every node's first access per epoch is a recorded
      miss) — --races implies --trace *)
@@ -63,8 +84,8 @@ let simulate_file machine engine annotations prefetch trace_mode races
   Buffer.contents buf
 
 let run files machine engine domains no_pipeline replay_shards replay_memo
-    annotations prefetch trace_mode races trace_out print_memory jobs
-    (_obs : Obs.mode) =
+    annotations prefetch trace_mode races trace_out print_memory delta_from
+    jobs (_obs : Obs.mode) =
   (* The replay knobs reach the engine through its environment defaults,
      so the Run/Par plumbing stays engine-agnostic. *)
   if no_pipeline then Unix.putenv "CACHIER_PAR_PIPELINE" "0";
@@ -91,7 +112,7 @@ let run files machine engine domains no_pipeline replay_shards replay_memo
   let reports =
     Wwt.Jobs.map ?jobs
       (simulate_file machine engine annotations prefetch trace_mode races
-         trace_out print_memory ~many)
+         trace_out print_memory delta_from ~many)
       files
   in
   List.iter print_string reports;
@@ -126,6 +147,14 @@ let trace_out =
 
 let print_memory =
   Arg.(value & flag & info [ "memory" ] ~doc:"Dump the first elements of each shared array.")
+
+let delta_from =
+  Arg.(value & opt (some file) None & info [ "delta-from" ] ~docv:"BASE"
+         ~doc:"Treat each input as an edit of $(docv): when the delta \
+               prover certifies the outcome identical to $(docv)'s, \
+               simulate the base instead (reusing its warm artifacts) \
+               and note the proof on stderr; otherwise run the input in \
+               full.")
 
 let jobs =
   Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
@@ -172,6 +201,6 @@ let cmd =
     Term.(const run $ files $ Service.Cli.machine_term $ engine $ domains
           $ no_pipeline $ replay_shards $ replay_memo
           $ annotations $ prefetch $ trace_mode $ races $ trace_out
-          $ print_memory $ jobs $ Service.Cli.obs_term)
+          $ print_memory $ delta_from $ jobs $ Service.Cli.obs_term)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,281 @@
+open Lang
+
+type verdict =
+  | Preserved of { output_changed : bool }
+  | Broken of string
+
+exception Fail of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Fail s)) fmt
+
+let is_intrinsic name = List.mem_assoc name Sema.intrinsics
+
+let compare_and_prove ~(base : Ast.program) ~(edited : Ast.program) =
+  let tainted : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let ret_tainted : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  let output_changed = ref false in
+  let changed = ref false in
+  let taint name =
+    if not (Hashtbl.mem tainted name) then begin
+      Hashtbl.replace tainted name ();
+      changed := true
+    end
+  in
+  let is_tainted name = Hashtbl.mem tainted name in
+  let params_of name =
+    match List.find_opt (fun (p : Ast.proc) -> p.pname = name) edited.procs with
+    | Some p -> p.params
+    | None -> fail "call of unknown procedure %S" name
+  in
+  let taint_param name k =
+    match List.nth_opt (params_of name) k with
+    | Some p -> taint p
+    | None -> fail "arity mismatch calling %S" name
+  in
+  try
+    (* Lockstep structural compare. [on_diff] says what a changed literal
+       leaf at this position means; strict positions fail outright. *)
+    let strict why () = fail "%s" why in
+    let rec cmp_expr ~on_diff b e =
+      match (b, e) with
+      | Ast.Eint x, Ast.Eint y -> if x <> y then on_diff ()
+      | Ast.Efloat x, Ast.Efloat y -> if x <> y then on_diff ()
+      | Ast.Evar a, Ast.Evar a' -> if a <> a' then fail "variable renamed"
+      | Ast.Eindex (n1, i1), Ast.Eindex (n2, i2) ->
+          if n1 <> n2 then fail "indexed array changed";
+          cmp_expr ~on_diff:(strict "edit inside an array subscript") i1 i2
+      | Ast.Ebinop (op1, a1, b1), Ast.Ebinop (op2, a2, b2) -> (
+          if op1 <> op2 then fail "operator changed";
+          match op1 with
+          | Ast.And | Ast.Or ->
+              (* The left operand decides whether the right one is
+                 evaluated at all — a value change there changes costs. *)
+              cmp_expr ~on_diff:(strict "edit in a short-circuit operand")
+                a1 a2;
+              cmp_expr ~on_diff b1 b2
+          | Ast.Div | Ast.Mod ->
+              cmp_expr ~on_diff a1 a2;
+              cmp_expr ~on_diff:(strict "edit in a divisor") b1 b2
+          | _ ->
+              cmp_expr ~on_diff a1 a2;
+              cmp_expr ~on_diff b1 b2)
+      | Ast.Eunop (o1, a1), Ast.Eunop (o2, a2) ->
+          if o1 <> o2 then fail "operator changed";
+          cmp_expr ~on_diff a1 a2
+      | Ast.Ecall (n1, args1), Ast.Ecall (n2, args2) ->
+          if n1 <> n2 then fail "called procedure changed";
+          if List.length args1 <> List.length args2 then
+            fail "call arity changed";
+          if is_intrinsic n1 then
+            List.iter2 (cmp_expr ~on_diff) args1 args2
+          else
+            List.iteri
+              (fun k (a1, a2) ->
+                cmp_expr ~on_diff:(fun () -> taint_param n1 k) a1 a2)
+              (List.combine args1 args2)
+      | _ -> fail "expression shape changed"
+    in
+    let cmp_lvalue lv1 lv2 =
+      match (lv1, lv2) with
+      | Ast.Lvar a, Ast.Lvar a' -> if a <> a' then fail "assignment target changed"
+      | Ast.Lindex (n1, i1), Ast.Lindex (n2, i2) ->
+          if n1 <> n2 then fail "assignment target changed";
+          cmp_expr ~on_diff:(strict "edit inside an assignment subscript") i1 i2
+      | _ -> fail "assignment target changed"
+    in
+    let rec cmp_stmt pname (s1 : Ast.stmt) (s2 : Ast.stmt) =
+      if s1.sid <> s2.sid then fail "statement ids diverge";
+      match (s1.node, s2.node) with
+      | Ast.Sassign (lv1, e1), Ast.Sassign (lv2, e2) ->
+          cmp_lvalue lv1 lv2;
+          let target =
+            match lv1 with Ast.Lvar n -> n | Ast.Lindex (n, _) -> n
+          in
+          cmp_expr ~on_diff:(fun () -> taint target) e1 e2
+      | Ast.Sif (c1, t1, f1), Ast.Sif (c2, t2, f2) ->
+          cmp_expr ~on_diff:(strict "edit in a branch condition") c1 c2;
+          cmp_block pname t1 t2;
+          cmp_block pname f1 f2
+      | Ast.Sfor f1, Ast.Sfor f2 ->
+          if f1.var <> f2.var then fail "loop variable changed";
+          let strict_loop = strict "edit in a loop bound" in
+          cmp_expr ~on_diff:strict_loop f1.from_ f2.from_;
+          cmp_expr ~on_diff:strict_loop f1.to_ f2.to_;
+          cmp_expr ~on_diff:strict_loop f1.step f2.step;
+          cmp_block pname f1.body f2.body
+      | Ast.Swhile (c1, b1), Ast.Swhile (c2, b2) ->
+          cmp_expr ~on_diff:(strict "edit in a loop condition") c1 c2;
+          cmp_block pname b1 b2
+      | Ast.Sbarrier, Ast.Sbarrier -> ()
+      | Ast.Scall (n1, args1), Ast.Scall (n2, args2) ->
+          if n1 <> n2 then fail "called procedure changed";
+          if List.length args1 <> List.length args2 then
+            fail "call arity changed";
+          if is_intrinsic n1 then
+            (* statement position: the value is discarded *)
+            List.iter2 (cmp_expr ~on_diff:(fun () -> ())) args1 args2
+          else
+            List.iteri
+              (fun k (a1, a2) ->
+                cmp_expr ~on_diff:(fun () -> taint_param n1 k) a1 a2)
+              (List.combine args1 args2)
+      | Ast.Sreturn (Some e1), Ast.Sreturn (Some e2) ->
+          cmp_expr
+            ~on_diff:(fun () ->
+              if not (Hashtbl.mem ret_tainted pname) then begin
+                Hashtbl.replace ret_tainted pname ();
+                changed := true
+              end)
+            e1 e2
+      | Ast.Sreturn None, Ast.Sreturn None -> ()
+      | Ast.Slock e1, Ast.Slock e2 ->
+          cmp_expr ~on_diff:(strict "edit in a lock argument") e1 e2
+      | Ast.Sunlock e1, Ast.Sunlock e2 ->
+          cmp_expr ~on_diff:(strict "edit in an unlock argument") e1 e2
+      | Ast.Sannot _, Ast.Sannot _ | Ast.Sannot_table _, Ast.Sannot_table _ ->
+          if s1.node <> s2.node then fail "edit in an annotation"
+      | Ast.Sprint args1, Ast.Sprint args2 ->
+          if List.length args1 <> List.length args2 then
+            fail "print arity changed";
+          List.iter2
+            (cmp_expr ~on_diff:(fun () -> output_changed := true))
+            args1 args2
+      | _ -> fail "statement kind changed"
+    and cmp_block pname b1 b2 =
+      if List.length b1 <> List.length b2 then fail "statement count changed";
+      List.iter2 (cmp_stmt pname) b1 b2
+    in
+    if base.decls <> edited.decls then fail "declarations differ";
+    if List.length base.procs <> List.length edited.procs then
+      fail "procedure count changed";
+    List.iter2
+      (fun (p1 : Ast.proc) (p2 : Ast.proc) ->
+        if p1.pname <> p2.pname then fail "procedure renamed";
+        if p1.params <> p2.params then fail "parameters changed";
+        cmp_block p1.pname p1.body p2.body)
+      base.procs edited.procs;
+
+    (* Taint propagation to a fixpoint over the edited program. *)
+    let rec visit_expr e =
+      match e with
+      | Ast.Eint _ | Ast.Efloat _ -> false
+      | Ast.Evar n -> is_tainted n
+      | Ast.Eindex (n, i) ->
+          let ti = visit_expr i in
+          is_tainted n || ti
+      | Ast.Ebinop (_, a, b) ->
+          let ta = visit_expr a in
+          let tb = visit_expr b in
+          ta || tb
+      | Ast.Eunop (_, a) -> visit_expr a
+      | Ast.Ecall (n, args) ->
+          let ts = List.map visit_expr args in
+          if is_intrinsic n then List.exists Fun.id ts
+          else begin
+            List.iteri (fun k t -> if t then taint_param n k) ts;
+            Hashtbl.mem ret_tainted n
+          end
+    in
+    let rec visit_stmt pname (s : Ast.stmt) =
+      match s.node with
+      | Ast.Sassign (Ast.Lvar x, e) -> if visit_expr e then taint x
+      | Ast.Sassign (Ast.Lindex (a, i), e) ->
+          ignore (visit_expr i : bool);
+          if visit_expr e then taint a
+      | Ast.Sif (c, t, f) ->
+          ignore (visit_expr c : bool);
+          List.iter (visit_stmt pname) t;
+          List.iter (visit_stmt pname) f
+      | Ast.Sfor { from_; to_; step; body; _ } ->
+          ignore (visit_expr from_ : bool);
+          ignore (visit_expr to_ : bool);
+          ignore (visit_expr step : bool);
+          List.iter (visit_stmt pname) body
+      | Ast.Swhile (c, b) ->
+          ignore (visit_expr c : bool);
+          List.iter (visit_stmt pname) b
+      | Ast.Sbarrier | Ast.Sannot _ | Ast.Sannot_table _ -> ()
+      | Ast.Scall (n, args) -> ignore (visit_expr (Ast.Ecall (n, args)) : bool)
+      | Ast.Sreturn (Some e) ->
+          if visit_expr e && not (Hashtbl.mem ret_tainted pname) then begin
+            Hashtbl.replace ret_tainted pname ();
+            changed := true
+          end
+      | Ast.Sreturn None -> ()
+      | Ast.Slock e | Ast.Sunlock e -> ignore (visit_expr e : bool)
+      | Ast.Sprint args ->
+          List.iter (fun e -> ignore (visit_expr e : bool)) args
+    in
+    changed := true;
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (p : Ast.proc) -> List.iter (visit_stmt p.pname) p.body)
+        edited.procs
+    done;
+
+    (* Soundness checks: taint must stay invisible to the memory system
+       and to control flow. *)
+    let expr_tainted = visit_expr in
+    let rec check_expr e =
+      match e with
+      | Ast.Eint _ | Ast.Efloat _ | Ast.Evar _ -> ()
+      | Ast.Eindex (_, i) ->
+          if expr_tainted i then fail "tainted array subscript";
+          check_expr i
+      | Ast.Ebinop (op, a, b) ->
+          (match op with
+          | Ast.Div | Ast.Mod ->
+              if expr_tainted b then fail "tainted divisor"
+          | Ast.And | Ast.Or ->
+              if expr_tainted a then fail "tainted short-circuit operand"
+          | _ -> ());
+          check_expr a;
+          check_expr b
+      | Ast.Eunop (_, a) -> check_expr a
+      | Ast.Ecall (_, args) -> List.iter check_expr args
+    in
+    let check_range { Ast.lo; hi; _ } =
+      if expr_tainted lo || expr_tainted hi then fail "tainted annotation range";
+      check_expr lo;
+      check_expr hi
+    in
+    let check_stmt (s : Ast.stmt) =
+      match s.node with
+      | Ast.Sassign (Ast.Lvar _, e) -> check_expr e
+      | Ast.Sassign (Ast.Lindex (_, i), e) ->
+          if expr_tainted i then fail "tainted assignment subscript";
+          check_expr i;
+          check_expr e
+      | Ast.Sif (c, _, _) ->
+          if expr_tainted c then fail "tainted branch condition";
+          check_expr c
+      | Ast.Sfor { from_; to_; step; _ } ->
+          if expr_tainted from_ || expr_tainted to_ || expr_tainted step then
+            fail "tainted loop bound";
+          check_expr from_;
+          check_expr to_;
+          check_expr step
+      | Ast.Swhile (c, _) ->
+          if expr_tainted c then fail "tainted loop condition";
+          check_expr c
+      | Ast.Sbarrier | Ast.Sreturn None -> ()
+      | Ast.Scall (_, args) -> List.iter check_expr args
+      | Ast.Sreturn (Some e) -> check_expr e
+      | Ast.Slock e | Ast.Sunlock e ->
+          if expr_tainted e then fail "tainted lock argument";
+          check_expr e
+      | Ast.Sannot (_, r) -> check_range r
+      | Ast.Sannot_table _ -> ()
+      | Ast.Sprint args ->
+          List.iter
+            (fun e ->
+              if expr_tainted e then output_changed := true;
+              check_expr e)
+            args
+    in
+    Ast.iter_stmts check_stmt edited;
+    Preserved { output_changed = !output_changed }
+  with
+  | Fail msg -> Broken msg
+  | Invalid_argument _ -> Broken "structure changed"

@@ -1,0 +1,36 @@
+(** Conservative trace-preservation proof for span edits.
+
+    [compare_and_prove ~base ~edited] walks the two programs in lockstep
+    and decides whether the edited program provably produces the same
+    miss trace (and the same simulated time) as the base program, so the
+    base trace, epoch info, placement plan and report can be reused
+    wholesale.
+
+    The proof obligations, matching what the simulator can observe:
+
+    - declarations, procedure headers and statement structure (sids
+      included) must be identical — the edit may only change literal
+      leaves ([Eint]/[Efloat] values) in place, so the evaluator visits
+      exactly the same nodes and charges exactly the same costs;
+    - a changed literal makes the enclosing value {e tainted}; taint
+      propagates through assignments (scalar and whole-array), procedure
+      arguments, and return values to a fixpoint;
+    - tainted values must never reach anything the memory system or the
+      control flow can see: array subscripts (addresses), [if]/[while]
+      conditions and [for] bounds (trip counts, short-circuit [&&]/[||]
+      left operands included), [lock]/[unlock] arguments, divisors (a
+      divide-by-zero would diverge), or annotation ranges.
+
+    Tainted [print] arguments are allowed but reported as
+    [output_changed], because program output appears in the [simulate]
+    payload (not in the annotate payload). Anything unprovable is
+    [Broken] with a reason, and the caller falls back to a full
+    re-simulation — the fallback is always sound, the proof only buys
+    speed. *)
+
+type verdict =
+  | Preserved of { output_changed : bool }
+  | Broken of string
+
+val compare_and_prove :
+  base:Lang.Ast.program -> edited:Lang.Ast.program -> verdict

@@ -1,4 +1,4 @@
-(* The six differential-testing oracles.
+(* The seven differential-testing oracles.
 
    Every generated program is pushed through:
 
@@ -28,7 +28,14 @@
                       that epoch, so Performance mode only ever hands
                       racy data the conservative filter_drfs annotations
                       — i.e. a proven-racy program never receives
-                      semantics-changing Performance annotations.
+                      semantics-changing Performance annotations;
+   7. delta         — a deterministic single-token edit served by the
+                      incremental engine (Delta.Engine.annotate_delta)
+                      produces byte-identical annotated source, an equal
+                      report and equal epoch info to a from-scratch
+                      annotation of the edited text; when either path
+                      rejects the edited program, both must reject it
+                      with the same class of error.
 
    Output comparison for oracle 2 is per node: annotations legitimately
    change timing, and timing changes the global interleaving of print
@@ -47,10 +54,14 @@ type report = {
   protocol : verdict;
   equations : verdict;
   races : verdict;
+  delta : verdict;
 }
 
 let names =
-  [ "engines"; "semantics"; "idempotence"; "protocol"; "equations"; "races" ]
+  [
+    "engines"; "semantics"; "idempotence"; "protocol"; "equations"; "races";
+    "delta";
+  ]
 
 let to_list r =
   [
@@ -60,6 +71,7 @@ let to_list r =
     ("protocol", r.protocol);
     ("equations", r.equations);
     ("races", r.races);
+    ("delta", r.delta);
   ]
 
 let first_failure r =
@@ -232,6 +244,7 @@ let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
         protocol = s;
         equations = s;
         races = s;
+        delta = s;
       }
   | _ ->
       let violations = ref [] in
@@ -534,4 +547,91 @@ let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
                 Fail ("trace assimilation raised " ^ Printexc.to_string e))
         | r -> Skip ("trace collection: " ^ describe r)
       in
-      { engines; semantics; idempotence; protocol; equations; races }
+      (* -- oracle 7: incremental re-annotation. A deterministic
+         single-token edit of the pretty-printed source is served once by
+         the delta engine and once from scratch; the annotated source
+         must be byte-identical and the report and epoch info equal. The
+         candidate index is hashed from the source, so a campaign replays
+         exactly; the edit's value is irrelevant to the engine's
+         reuse-vs-resim decision, which depends only on the span's
+         position — both branches are exercised across a campaign. -- *)
+      let delta =
+        Obs.span "fuzz.oracle.delta" @@ fun () ->
+        match co_tr with
+        | Done _ -> (
+            let source = Lang.Pretty.program_to_string p in
+            match Delta.Splice.int_literals source with
+            | [] -> Skip "no int-literal edit candidates"
+            | exception e ->
+                Fail ("edit enumeration raised " ^ Printexc.to_string e)
+            | lits -> (
+                let span, v =
+                  List.nth lits (Hashtbl.hash source mod List.length lits)
+                in
+                let text = string_of_int (v + 1) in
+                let edited = Delta.Splice.apply_edit source span text in
+                let attempt f =
+                  match f () with v -> Ok v | exception e -> Error e
+                in
+                let exn_class = function
+                  | Wwt.Interp.Runtime_error _ -> "runtime error"
+                  | Wwt.Sched.Deadlock _ -> "deadlock"
+                  | Memsys.Protocol.Invariant_violation _ ->
+                      "protocol violation"
+                  | Lang.Sema.Error _ -> "sema error"
+                  | Lang.Parser.Error _ -> "parse error"
+                  | e -> Printexc.to_string e
+                in
+                let cold =
+                  attempt (fun () ->
+                      let ep = Lang.Parser.parse edited in
+                      ignore (Lang.Sema.check ep);
+                      let tr = Wwt.Run.collect_trace ~machine ep in
+                      Cachier.Annotate.annotate_with_trace ~machine
+                        ~options:perf_options ep tr.Wwt.Interp.trace)
+                in
+                let incr_ =
+                  attempt (fun () ->
+                      let dag = Delta.Dag.create () in
+                      (Delta.Engine.annotate_delta ~dag ~machine
+                         ~options:perf_options ~base:source span text)
+                        .Delta.Engine.result)
+                in
+                match (cold, incr_) with
+                | Ok c, Ok d ->
+                    if
+                      not
+                        (String.equal
+                           (Cachier.Annotate.to_source c)
+                           (Cachier.Annotate.to_source d))
+                    then Fail "delta output differs from from-scratch"
+                    else if
+                      compare c.Cachier.Annotate.report
+                        d.Cachier.Annotate.report
+                      <> 0
+                    then Fail "delta report differs from from-scratch"
+                    else if
+                      compare c.Cachier.Annotate.einfo
+                        d.Cachier.Annotate.einfo
+                      <> 0
+                    then Fail "delta epoch info differs from from-scratch"
+                    else Pass
+                | Error a, Error b ->
+                    if String.equal (exn_class a) (exn_class b) then Pass
+                    else
+                      Fail
+                        (Printf.sprintf
+                           "paths reject differently: from-scratch %s, delta \
+                            %s"
+                           (exn_class a) (exn_class b))
+                | Ok _, Error e ->
+                    Fail
+                      ("delta raised but from-scratch succeeded: "
+                      ^ exn_class e)
+                | Error e, Ok _ ->
+                    Fail
+                      ("from-scratch raised but delta succeeded: "
+                      ^ exn_class e)))
+        | r -> Skip ("trace collection: " ^ describe r)
+      in
+      { engines; semantics; idempotence; protocol; equations; races; delta }

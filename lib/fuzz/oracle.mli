@@ -1,4 +1,4 @@
-(** The six differential-testing oracles.
+(** The seven differential-testing oracles.
 
     {ol
     {- [engines] — the tree-walking and closure-compiling engines agree
@@ -22,7 +22,13 @@
        every detected race is classified DRFS-unsafe by the paper's
        per-epoch predicate in its epoch, which confines racy data to the
        conservative annotations — a proven-racy program never receives
-       semantics-changing Performance CICO.}} *)
+       semantics-changing Performance CICO;}
+    {- [delta] — a deterministic single-token edit of the program served
+       by the incremental engine ({!Delta.Engine.annotate_delta}) yields
+       byte-identical annotated source, an equal report and equal epoch
+       info to a from-scratch annotation of the edited text; if either
+       path rejects the edited program, both must reject with the same
+       error class.}} *)
 
 type verdict =
   | Pass
@@ -38,11 +44,12 @@ type report = {
   protocol : verdict;
   equations : verdict;
   races : verdict;
+  delta : verdict;
 }
 
 val names : string list
 (** Oracle names, report order: ["engines"; "semantics"; "idempotence";
-    "protocol"; "equations"; "races"]. *)
+    "protocol"; "equations"; "races"; "delta"]. *)
 
 val to_list : report -> (string * verdict) list
 val first_failure : report -> (string * string) option

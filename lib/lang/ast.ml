@@ -147,7 +147,13 @@ let renumber program =
     incr next;
     let node =
       match s.node with
-      | Sif (e, b1, b2) -> Sif (e, List.map stmt b1, List.map stmt b2)
+      | Sif (e, b1, b2) ->
+          (* bind each block before building the node: constructor
+             arguments evaluate right-to-left, which would number the
+             else-branch first — the parser numbers left-to-right *)
+          let b1 = List.map stmt b1 in
+          let b2 = List.map stmt b2 in
+          Sif (e, b1, b2)
       | Sfor fl -> Sfor { fl with body = List.map stmt fl.body }
       | Swhile (e, b) -> Swhile (e, List.map stmt b)
       | (Sassign _ | Sbarrier | Scall _ | Sreturn _ | Slock _ | Sunlock _

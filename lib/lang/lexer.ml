@@ -22,13 +22,13 @@ let is_digit c = c >= '0' && c <= '9'
 let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 let is_ident_char c = is_ident_start c || is_digit c
 
-let tokenize src =
+let tokenize_loc src =
   let n = String.length src in
   let tokens = ref [] in
   let line = ref 1 in
-  let emit tok = tokens := (tok, !line) :: !tokens in
+  let emit tok start stop = tokens := (tok, !line, start, stop) :: !tokens in
   let rec scan i =
-    if i >= n then emit EOF
+    if i >= n then emit EOF n n
     else
       let c = src.[i] in
       match c with
@@ -51,34 +51,34 @@ let tokenize src =
             end
           in
           scan (skip (i + 2))
-      | '(' -> emit LPAREN; scan (i + 1)
-      | ')' -> emit RPAREN; scan (i + 1)
-      | '{' -> emit LBRACE; scan (i + 1)
-      | '}' -> emit RBRACE; scan (i + 1)
-      | '[' -> emit LBRACKET; scan (i + 1)
-      | ']' -> emit RBRACKET; scan (i + 1)
-      | ',' -> emit COMMA; scan (i + 1)
-      | ';' -> emit SEMI; scan (i + 1)
-      | ':' -> emit COLON; scan (i + 1)
-      | '@' -> emit AT; scan (i + 1)
-      | '+' -> emit PLUS; scan (i + 1)
-      | '-' -> emit MINUS; scan (i + 1)
-      | '*' -> emit STAR; scan (i + 1)
-      | '/' -> emit SLASH; scan (i + 1)
-      | '%' -> emit PERCENT; scan (i + 1)
+      | '(' -> emit LPAREN i (i + 1); scan (i + 1)
+      | ')' -> emit RPAREN i (i + 1); scan (i + 1)
+      | '{' -> emit LBRACE i (i + 1); scan (i + 1)
+      | '}' -> emit RBRACE i (i + 1); scan (i + 1)
+      | '[' -> emit LBRACKET i (i + 1); scan (i + 1)
+      | ']' -> emit RBRACKET i (i + 1); scan (i + 1)
+      | ',' -> emit COMMA i (i + 1); scan (i + 1)
+      | ';' -> emit SEMI i (i + 1); scan (i + 1)
+      | ':' -> emit COLON i (i + 1); scan (i + 1)
+      | '@' -> emit AT i (i + 1); scan (i + 1)
+      | '+' -> emit PLUS i (i + 1); scan (i + 1)
+      | '-' -> emit MINUS i (i + 1); scan (i + 1)
+      | '*' -> emit STAR i (i + 1); scan (i + 1)
+      | '/' -> emit SLASH i (i + 1); scan (i + 1)
+      | '%' -> emit PERCENT i (i + 1); scan (i + 1)
       | '.' when i + 1 < n && src.[i + 1] = '.' ->
-          emit DOTDOT;
+          emit DOTDOT i (i + 2);
           scan (i + 2)
-      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE; scan (i + 2)
-      | '<' -> emit LT; scan (i + 1)
-      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE; scan (i + 2)
-      | '>' -> emit GT; scan (i + 1)
-      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQ; scan (i + 2)
-      | '=' -> emit ASSIGN; scan (i + 1)
-      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE; scan (i + 2)
-      | '!' -> emit BANG; scan (i + 1)
-      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit ANDAND; scan (i + 2)
-      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit OROR; scan (i + 2)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> emit LE i (i + 2); scan (i + 2)
+      | '<' -> emit LT i (i + 1); scan (i + 1)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> emit GE i (i + 2); scan (i + 2)
+      | '>' -> emit GT i (i + 1); scan (i + 1)
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> emit EQ i (i + 2); scan (i + 2)
+      | '=' -> emit ASSIGN i (i + 1); scan (i + 1)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> emit NE i (i + 2); scan (i + 2)
+      | '!' -> emit BANG i (i + 1); scan (i + 1)
+      | '&' when i + 1 < n && src.[i + 1] = '&' -> emit ANDAND i (i + 2); scan (i + 2)
+      | '|' when i + 1 < n && src.[i + 1] = '|' -> emit OROR i (i + 2); scan (i + 2)
       | c when is_digit c ->
           let j = ref i in
           while !j < n && is_digit src.[!j] do incr j done;
@@ -106,23 +106,26 @@ let tokenize src =
             incr j;
             while !j < n && is_digit src.[!j] do incr j done;
             scan_exponent ();
-            emit (FLOAT (float_of_string (String.sub src i (!j - i))))
+            emit (FLOAT (float_of_string (String.sub src i (!j - i)))) i !j
           end
           else if exponent_at !j then begin
             scan_exponent ();
-            emit (FLOAT (float_of_string (String.sub src i (!j - i))))
+            emit (FLOAT (float_of_string (String.sub src i (!j - i)))) i !j
           end
-          else emit (INT (int_of_string (String.sub src i (!j - i))));
+          else emit (INT (int_of_string (String.sub src i (!j - i)))) i !j;
           scan !j
       | c when is_ident_start c ->
           let j = ref i in
           while !j < n && is_ident_char src.[!j] do incr j done;
-          emit (IDENT (String.sub src i (!j - i)));
+          emit (IDENT (String.sub src i (!j - i))) i !j;
           scan !j
       | c -> error !line "unexpected character %C" c
   in
   scan 0;
   List.rev !tokens
+
+let tokenize src =
+  List.map (fun (tok, line, _, _) -> (tok, line)) (tokenize_loc src)
 
 let token_to_string = function
   | INT i -> string_of_int i

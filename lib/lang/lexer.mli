@@ -25,4 +25,10 @@ exception Error of string
 val tokenize : string -> (token * int) list
 (** [tokenize src] is the token stream, ending with [(EOF, line)]. *)
 
+val tokenize_loc : string -> (token * int * int * int) list
+(** [tokenize_loc src] is the token stream with byte spans:
+    [(token, line, start, stop)] where [start] is the 0-based offset of the
+    token's first byte and [stop] is one past its last byte. The trailing
+    [EOF] carries the empty span [(n, n)] at the end of the source. *)
+
 val token_to_string : token -> string

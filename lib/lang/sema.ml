@@ -81,58 +81,9 @@ let array_elems info name =
   | Some n -> Some n
   | None -> List.assoc_opt name info.privates
 
-let check program =
-  (* Pass 1: declarations. *)
-  let consts = ref [] and shared = ref [] and privates = ref [] in
-  let declared name =
-    List.mem_assoc name !consts
-    || List.mem_assoc name !shared
-    || List.mem_assoc name !privates
-  in
-  let check_decl_name name =
-    if List.mem name reserved then error "%S is a reserved name" name;
-    if declared name then error "duplicate declaration of %S" name
-  in
-  List.iter
-    (fun d ->
-      match d with
-      | Ast.Dconst (name, e) ->
-          check_decl_name name;
-          consts := !consts @ [ (name, const_eval ~consts:!consts e) ]
-      | Ast.Dshared (name, e) | Ast.Dprivate (name, e) -> (
-          check_decl_name name;
-          match const_eval ~consts:!consts e with
-          | Value.Vint n when n > 0 ->
-              if (match d with Ast.Dshared _ -> true | _ -> false) then
-                shared := !shared @ [ (name, n) ]
-              else privates := !privates @ [ (name, n) ]
-          | v ->
-              error "array %S has non-positive or non-integer size %s" name
-                (Value.to_string v)))
-    program.Ast.decls;
-  let procs =
-    List.map (fun p -> (p.Ast.pname, List.length p.Ast.params)) program.Ast.procs
-  in
-  List.iter
-    (fun (name, _) ->
-      if List.mem name reserved then error "procedure %S uses a reserved name" name;
-      if declared name then error "procedure %S clashes with a declaration" name)
-    procs;
-  let dup =
-    List.find_opt
-      (fun (name, _) ->
-        List.length (List.filter (fun (n, _) -> n = name) procs) > 1)
-      procs
-  in
-  (match dup with
-  | Some (name, _) -> error "duplicate procedure %S" name
-  | None -> ());
-  (match List.assoc_opt "main" procs with
-  | Some 0 -> ()
-  | Some _ -> error "main must take no parameters"
-  | None -> error "program has no main procedure");
-  let info = { consts = !consts; shared = !shared; privates = !privates; procs } in
-  (* Pass 2: bodies. *)
+(* Check one procedure body against a completed declaration [info]. Split
+   out of [check] so the delta engine can re-check only edited procedures. *)
+let check_proc info (proc : Ast.proc) =
   let is_array name = array_elems info name <> None in
   let rec check_expr e =
     match e with
@@ -204,7 +155,61 @@ let check program =
           error "annotation on non-shared array %S" aarr
     | Ast.Sprint args -> List.iter check_expr args
   in
-  Ast.iter_stmts check_stmt program;
+  Ast.iter_stmts check_stmt { Ast.decls = []; procs = [ proc ] }
+
+let check program =
+  (* Pass 1: declarations. *)
+  let consts = ref [] and shared = ref [] and privates = ref [] in
+  let declared name =
+    List.mem_assoc name !consts
+    || List.mem_assoc name !shared
+    || List.mem_assoc name !privates
+  in
+  let check_decl_name name =
+    if List.mem name reserved then error "%S is a reserved name" name;
+    if declared name then error "duplicate declaration of %S" name
+  in
+  List.iter
+    (fun d ->
+      match d with
+      | Ast.Dconst (name, e) ->
+          check_decl_name name;
+          consts := !consts @ [ (name, const_eval ~consts:!consts e) ]
+      | Ast.Dshared (name, e) | Ast.Dprivate (name, e) -> (
+          check_decl_name name;
+          match const_eval ~consts:!consts e with
+          | Value.Vint n when n > 0 ->
+              if (match d with Ast.Dshared _ -> true | _ -> false) then
+                shared := !shared @ [ (name, n) ]
+              else privates := !privates @ [ (name, n) ]
+          | v ->
+              error "array %S has non-positive or non-integer size %s" name
+                (Value.to_string v)))
+    program.Ast.decls;
+  let procs =
+    List.map (fun p -> (p.Ast.pname, List.length p.Ast.params)) program.Ast.procs
+  in
+  List.iter
+    (fun (name, _) ->
+      if List.mem name reserved then error "procedure %S uses a reserved name" name;
+      if declared name then error "procedure %S clashes with a declaration" name)
+    procs;
+  let dup =
+    List.find_opt
+      (fun (name, _) ->
+        List.length (List.filter (fun (n, _) -> n = name) procs) > 1)
+      procs
+  in
+  (match dup with
+  | Some (name, _) -> error "duplicate procedure %S" name
+  | None -> ());
+  (match List.assoc_opt "main" procs with
+  | Some 0 -> ()
+  | Some _ -> error "main must take no parameters"
+  | None -> error "program has no main procedure");
+  let info = { consts = !consts; shared = !shared; privates = !privates; procs } in
+  (* Pass 2: bodies. *)
+  List.iter (check_proc info) program.Ast.procs;
   (* Unique sids. *)
   let seen = Hashtbl.create 64 in
   Ast.iter_stmts

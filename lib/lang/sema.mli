@@ -27,6 +27,12 @@ val const_eval : consts:(string * Value.t) list -> Ast.expr -> Value.t
 val check : Ast.program -> info
 (** Validate the program. @raise Error describing the first problem. *)
 
+val check_proc : info -> Ast.proc -> unit
+(** Re-check a single procedure body against an [info] produced by a prior
+    [check] (declarations and procedure arities must be unchanged). Used by
+    the delta engine to re-validate only edited procedures.
+    @raise Error describing the first problem. *)
+
 val is_shared : info -> string -> bool
 val array_elems : info -> string -> int option
 (** Element count of a shared or private array. *)

@@ -108,5 +108,10 @@ let to_json t ~evictions ~cache_bytes ~cache_entries ?store () =
                 ("hits", Json.Int (Store.hits s));
                 ("misses", Json.Int (Store.misses s));
                 ("corrupt", Json.Int (Store.corrupt s));
+                ( "corrupt_by_stage",
+                  Json.Obj
+                    (List.map
+                       (fun (stage, n) -> (stage, Json.Int n))
+                       (Store.corrupt_stages s)) );
               ] );
         ])

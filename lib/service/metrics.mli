@@ -10,7 +10,9 @@
     concurrent servers and tests stay isolated) with category-prefixed
     metric names, and all updates are thread-safe through the registry's
     atomics and per-histogram locks. {!to_json} renders a snapshot for
-    the [stats] operation; its shape is part of the service protocol. *)
+    the [stats] operation; its shape is part of the service protocol.
+    The [store] section additionally carries [corrupt_by_stage], the
+    per-stage breakdown from {!Store.corrupt_stages}. *)
 
 type t
 

@@ -28,6 +28,14 @@ type op =
       trace : bool;
     }
   | Annotate of { source : source; mode : mode; prefetch : bool }
+  | Annotate_delta of {
+      base : string;  (** artifact id: hex digest of the base source *)
+      start : int;  (** byte offset of the edit span *)
+      len : int;  (** byte length of the replaced span *)
+      text : string;  (** replacement text *)
+      mode : mode;
+      prefetch : bool;
+    }
   | Race_report of { source : source }
   | Races of { source : source }
   | Trace_stats of { source : source option; trace_text : string option }
@@ -86,6 +94,7 @@ let op_name = function
   | Parse _ -> "parse"
   | Simulate _ -> "simulate"
   | Annotate _ -> "annotate"
+  | Annotate_delta _ -> "annotate_delta"
   | Race_report _ -> "race_report"
   | Races _ -> "races"
   | Trace_stats _ -> "trace_stats"
@@ -119,6 +128,15 @@ let op_fields = function
           ("mode", Json.String (mode_to_string mode));
           ("prefetch", Json.Bool prefetch);
         ]
+  | Annotate_delta { base; start; len; text; mode; prefetch } ->
+      [
+        ("base", Json.String base);
+        ("start", Json.Int start);
+        ("len", Json.Int len);
+        ("text", Json.String text);
+        ("mode", Json.String (mode_to_string mode));
+        ("prefetch", Json.Bool prefetch);
+      ]
   | Race_report { source } -> source_fields source
   | Races { source } -> source_fields source
   | Trace_stats { source; trace_text } ->
@@ -258,6 +276,34 @@ let op_of j =
           in
           let* prefetch = bool_field j "prefetch" ~default:false in
           Ok (Annotate { source; mode; prefetch })
+      | "annotate_delta" ->
+          let* base =
+            match Json.to_string_opt (Json.member "base" j) with
+            | Some s -> Ok s
+            | None -> Error "missing string field \"base\""
+          in
+          let* start = int_field j "start" in
+          let* len = int_field j "len" in
+          let* text =
+            match Json.to_string_opt (Json.member "text" j) with
+            | Some s -> Ok s
+            | None -> Error "missing string field \"text\""
+          in
+          let* mode_s = string_field_opt j "mode" in
+          let* mode =
+            match mode_s with
+            | None | Some "performance" -> Ok Performance
+            | Some "programmer" -> Ok Programmer
+            | Some other ->
+                Error
+                  (Printf.sprintf
+                     "\"mode\" must be \"performance\" or \"programmer\", not %S"
+                     other)
+          in
+          let* prefetch = bool_field j "prefetch" ~default:false in
+          if start < 0 then Error "\"start\" must be non-negative"
+          else if len < 0 then Error "\"len\" must be non-negative"
+          else Ok (Annotate_delta { base; start; len; text; mode; prefetch })
       | "race_report" ->
           let* source = source_of j in
           Ok (Race_report { source })

@@ -39,6 +39,22 @@ type op =
   | Annotate of { source : source; mode : mode; prefetch : bool }
       (** payload as printed by [cachier_cli] on stdout (the annotated
           program); the response carries the stderr summary in [report] *)
+  | Annotate_delta of {
+      base : string;
+          (** artifact id of a previously annotated source: the hex digest
+              returned in the [artifact] extra of an [annotate] response *)
+      start : int;  (** byte offset of the edit span in the base source *)
+      len : int;  (** byte length of the span being replaced *)
+      text : string;  (** replacement text *)
+      mode : mode;
+      prefetch : bool;
+    }
+      (** incrementally re-annotate the base source after the edit
+          [\[start, start+len)] is replaced by [text]; payload is
+          byte-identical to a from-scratch [annotate] of the edited
+          source. The response's [extra] carries [artifact] (the edited
+          source's id, usable as a new base) and [reuse]
+          ([noop] / [plan-reuse] / [resim: <why>]) *)
   | Race_report of { source : source }
       (** payload is the race / false-sharing report *)
   | Races of { source : source }

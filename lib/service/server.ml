@@ -39,6 +39,7 @@ type t = {
   flight : (string * bool * (string * Json.t) list) Flight.t;
   metrics : Metrics.t;
   pool : Wwt.Jobs.Pool.t;
+  dag : Delta.Dag.t;  (* incremental-annotation artifact DAG *)
 }
 
 let create config =
@@ -51,6 +52,7 @@ let create config =
     pool =
       Wwt.Jobs.Pool.create ~workers:(max 1 config.workers)
         ~capacity:config.queue_capacity ();
+    dag = Delta.Dag.create ();
   }
 
 let shutdown t = Wwt.Jobs.Pool.shutdown t.pool
@@ -59,6 +61,7 @@ let cache_entries t = Cache.entries t.cache
 let cache_evictions t = Cache.evictions t.cache
 let metrics t = t.metrics
 let store t = t.store
+let dag t = t.dag
 
 (* ------------------------------------------------------------------ *)
 (* cache keys and sizes                                                *)
@@ -260,14 +263,17 @@ let measure_stage t ~machine ~seed ~source ~annotations ~prefetch ~poll =
       let payload = Oneshot.simulate_report outcome in
       (payload, String.length payload, Text payload, payload, None))
 
+let mode_tag = function
+  | Protocol.Performance -> "perf"
+  | Protocol.Programmer -> "prog"
+
+let annotate_stage_name ~mode ~prefetch =
+  Printf.sprintf "annotate:%s:%c" (mode_tag mode) (if prefetch then 'p' else '-')
+
 (* Stage: annotation. A hit skips parsing and simulation entirely; a miss
    reuses the cached trace when one exists. *)
 let annotate_stage t ~machine ~seed ~source ~mode ~prefetch ~poll =
-  let stage =
-    Printf.sprintf "annotate:%s:%c"
-      (match mode with Protocol.Performance -> "perf" | Programmer -> "prog")
-      (if prefetch then 'p' else '-')
-  in
+  let stage = annotate_stage_name ~mode ~prefetch in
   let key = stage_key ~stage ~machine ~seed ~source_digest:(digest_hex source) in
   let (payload, summary), cached =
     text_tiers t ~key ~stage:"annotate"
@@ -309,6 +315,122 @@ let annotate_stage t ~machine ~seed ~source ~mode ~prefetch ~poll =
           Some summary ))
   in
   (payload, summary, cached)
+
+(* ---- incremental re-annotation ---- *)
+
+(* Every annotated source becomes a delta base: remembered in the DAG
+   under its digest and, with a disk tier, persisted as an ["src|…"]
+   text artifact so bases survive a restart (the DAG itself is
+   LRU-bounded and process-local). *)
+let register_base t source =
+  let id = Delta.Engine.source_digest source in
+  (match Delta.Engine.find_source t.dag id with
+  | Some _ -> ()
+  | None ->
+      ignore (Delta.Engine.register_source t.dag source);
+      (match t.store with
+      | Some s -> Store.put_text s ~key:("src|" ^ id) source
+      | None -> ()));
+  id
+
+let resolve_base t id =
+  match Delta.Engine.find_source t.dag id with
+  | Some source -> source
+  | None -> (
+      let from_store =
+        match t.store with
+        | Some s -> Option.map fst (Store.get_text s ~key:("src|" ^ id))
+        | None -> None
+      in
+      match from_store with
+      | Some source ->
+          ignore (Delta.Engine.register_source t.dag source);
+          source
+      | None ->
+          raise
+            (Reject
+               ( Protocol.Bad_request,
+                 Printf.sprintf
+                   "unknown base artifact %S (annotate a source first and \
+                    use the returned artifact id)"
+                   id )))
+
+(* Stage: incremental re-annotation of a registered base. The result is
+   keyed by the EDITED source's digest — a repeated edit is a pure hit —
+   and written through to the plain annotate key as well, so a later
+   [annotate] of the edited text hits without simulating. Seed
+   substitution is rejected: the delta prover reasons about the source
+   text as written. *)
+let delta_stage t ~machine ~seed ~base ~span ~text ~mode ~prefetch =
+  (match seed with
+  | Some _ ->
+      raise
+        (Reject
+           ( Protocol.Bad_request,
+             "annotate_delta does not support seed substitution; edit the \
+              SEED constant instead" ))
+  | None -> ());
+  let base_source = resolve_base t base in
+  let edited =
+    try Delta.Splice.apply_edit base_source span text
+    with Invalid_argument msg -> raise (Reject (Protocol.Bad_request, msg))
+  in
+  let artifact = Delta.Engine.source_digest edited in
+  let stage =
+    Printf.sprintf "delta:%s:%c" (mode_tag mode) (if prefetch then 'p' else '-')
+  in
+  let key = stage_key ~stage ~machine ~seed:None ~source_digest:artifact in
+  let (payload, summary, reuse), cached =
+    text_tiers t ~key ~stage:"delta"
+      ~unwrap:(function
+        | Annotate_art a -> Some (a.payload, a.summary, "cached")
+        | _ -> None)
+      ~wrap:(fun payload summary ->
+        match summary with
+        | Some summary ->
+            Some
+              ( (payload, summary, "cached"),
+                String.length payload + String.length summary,
+                Annotate_art { payload; summary } )
+        | None -> None)
+      ~compute:(fun () ->
+        let wm = Protocol.to_machine machine in
+        let options =
+          {
+            Cachier.Placement.default_options with
+            Cachier.Placement.mode =
+              (match mode with
+              | Protocol.Performance -> Cachier.Equations.Performance
+              | Protocol.Programmer -> Cachier.Equations.Programmer);
+            prefetch;
+          }
+        in
+        let outcome =
+          Delta.Engine.annotate_delta ~dag:t.dag ~machine:wm ~options
+            ~engine:(engine_for wm) ~base:base_source span text
+        in
+        let payload = Cachier.Annotate.to_source outcome.Delta.Engine.result in
+        let summary = Oneshot.annotate_summary outcome.Delta.Engine.result in
+        let akey =
+          stage_key ~stage:(annotate_stage_name ~mode ~prefetch) ~machine
+            ~seed:None ~source_digest:artifact
+        in
+        Cache.put t.cache ~key:akey
+          ~size:(String.length payload + String.length summary)
+          (Annotate_art { payload; summary });
+        (match t.store with
+        | Some s -> Store.put_text s ~key:akey ~summary payload
+        | None -> ());
+        ignore (register_base t edited);
+        ( ( payload,
+            summary,
+            Delta.Engine.reuse_to_string outcome.Delta.Engine.reuse ),
+          String.length payload + String.length summary,
+          Annotate_art { payload; summary },
+          payload,
+          Some summary ))
+  in
+  (payload, summary, reuse, artifact, cached)
 
 let race_stage t ~machine ~seed ~source ~poll =
   let key =
@@ -402,11 +524,28 @@ let execute t (req : Protocol.request) ~poll =
       (payload, cached, [])
   | Protocol.Annotate { source; mode; prefetch } ->
       let source = resolve_source ~nodes source in
+      let artifact = register_base t source in
       let payload, summary, cached =
         annotate_stage t ~machine:req.machine ~seed:req.seed ~source ~mode
           ~prefetch ~poll
       in
-      (payload, cached, [ ("report", Json.String summary) ])
+      ( payload,
+        cached,
+        [
+          ("report", Json.String summary); ("artifact", Json.String artifact);
+        ] )
+  | Protocol.Annotate_delta { base; start; len; text; mode; prefetch } ->
+      let payload, summary, reuse, artifact, cached =
+        delta_stage t ~machine:req.machine ~seed:req.seed ~base
+          ~span:{ Delta.Splice.start; len } ~text ~mode ~prefetch
+      in
+      ( payload,
+        cached,
+        [
+          ("report", Json.String summary);
+          ("artifact", Json.String artifact);
+          ("reuse", Json.String reuse);
+        ] )
   | Protocol.Race_report { source } ->
       let source = resolve_source ~nodes source in
       let payload, cached =
@@ -438,6 +577,18 @@ let execute t (req : Protocol.request) ~poll =
           ~cache_bytes:(Cache.size t.cache)
           ~cache_entries:(Cache.entries t.cache)
           ?store:t.store ()
+      in
+      let delta_dag =
+        Json.Obj
+          (List.map
+             (fun (kind, (h, m)) ->
+               (kind, Json.Obj [ ("hits", Json.Int h); ("misses", Json.Int m) ]))
+             (Delta.Dag.stats t.dag))
+      in
+      let stats =
+        match stats with
+        | Json.Obj fields -> Json.Obj (fields @ [ ("delta_dag", delta_dag) ])
+        | j -> j
       in
       ("", false, [ ("stats", stats) ])
   | Protocol.Ping -> ("pong", false, [])
@@ -472,6 +623,14 @@ let flight_key (req : Protocol.request) =
       Some
         (base "annotate"
            (Printf.sprintf "%s:%s:%B" (src source)
+              (match mode with
+              | Protocol.Performance -> "perf"
+              | Protocol.Programmer -> "prog")
+              prefetch))
+  | Protocol.Annotate_delta { base = b; start; len; text; mode; prefetch } ->
+      Some
+        (base "annotate_delta"
+           (Printf.sprintf "%s:%d:%d:%s:%s:%B" b start len (digest_hex text)
               (match mode with
               | Protocol.Performance -> "perf"
               | Protocol.Programmer -> "prog")

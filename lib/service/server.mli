@@ -114,6 +114,12 @@ val cache_evictions : t -> int
 val metrics : t -> Metrics.t
 val store : t -> Store.t option
 
+val dag : t -> Delta.Dag.t
+(** The incremental-annotation artifact DAG. Every [annotate] response
+    registers its source as a delta base (returned in the [artifact]
+    extra); [annotate_delta] resolves bases against the DAG, falling
+    back to the disk store's ["src|…"] artifacts after a restart. *)
+
 val stage_key :
   stage:string -> machine:Protocol.machine_config -> seed:int option ->
   source_digest:string -> string

@@ -10,7 +10,19 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable corrupt : int;
+  corrupt_by : (string, int) Hashtbl.t;  (* stage -> dropped count *)
 }
+
+(* Stage keys look like "annotate:performance:..." or "base|<digest>|...";
+   the stage is whatever precedes the first separator. *)
+let stage_of_key key =
+  let cut =
+    match (String.index_opt key ':', String.index_opt key '|') with
+    | Some a, Some b -> Some (min a b)
+    | (Some _ as s), None | None, (Some _ as s) -> s
+    | None, None -> None
+  in
+  match cut with Some i -> String.sub key 0 i | None -> key
 
 let locked t f =
   Mutex.lock t.mu;
@@ -46,6 +58,7 @@ let create ~dir =
     hits = 0;
     misses = 0;
     corrupt = 0;
+    corrupt_by = Hashtbl.create 8;
   }
 
 let dir t = t.dir
@@ -54,6 +67,11 @@ let entries t = locked t (fun () -> Hashtbl.length t.index)
 let hits t = locked t (fun () -> t.hits)
 let misses t = locked t (fun () -> t.misses)
 let corrupt t = locked t (fun () -> t.corrupt)
+
+let corrupt_stages t =
+  locked t (fun () ->
+      Hashtbl.fold (fun stage n acc -> (stage, n) :: acc) t.corrupt_by []
+      |> List.sort compare)
 
 (* ---- low-level file I/O ---- *)
 
@@ -93,22 +111,25 @@ let publish t ~basename content =
 
 let known t basename = locked t (fun () -> Hashtbl.mem t.index basename)
 
-let discard t basename =
+let discard t ~stage basename =
   locked t (fun () ->
       (match Hashtbl.find_opt t.index basename with
       | Some size ->
           t.bytes <- t.bytes - size;
           Hashtbl.remove t.index basename
       | None -> ());
-      t.corrupt <- t.corrupt + 1);
+      t.corrupt <- t.corrupt + 1;
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.corrupt_by stage) in
+      Hashtbl.replace t.corrupt_by stage (n + 1));
   try Sys.remove (Filename.concat t.dir basename) with Sys_error _ -> ()
 
 let miss t = locked t (fun () -> t.misses <- t.misses + 1)
 let hit t = locked t (fun () -> t.hits <- t.hits + 1)
 
-(* [lookup t basename parse] is the shared read path: index check, map,
-   parse, with corruption degrading to a miss. *)
-let lookup t basename parse =
+(* [lookup t ~key basename parse] is the shared read path: index check,
+   map, parse, with corruption degrading to a miss charged to the stage
+   named by [key]'s prefix. *)
+let lookup t ~key basename parse =
   if not (known t basename) then begin
     miss t;
     None
@@ -119,7 +140,7 @@ let lookup t basename parse =
         hit t;
         Some v
     | exception _ ->
-        discard t basename;
+        discard t ~stage:(stage_of_key key) basename;
         miss t;
         None
 
@@ -144,7 +165,7 @@ let put_trace t ~key ~records ~payload =
   publish t ~basename:(trace_name key) (Buffer.contents buf)
 
 let get_trace t ~key =
-  lookup t (trace_name key) (fun text ->
+  lookup t ~key (trace_name key) (fun text ->
       let payload =
         String.split_on_char '\n' text
         |> List.filter_map (fun line ->
@@ -169,7 +190,7 @@ let put_text t ~key ?summary payload =
   publish t ~basename:(text_name key) (Json.to_string (Json.Obj fields) ^ "\n")
 
 let get_text t ~key =
-  lookup t (text_name key) (fun text ->
+  lookup t ~key (text_name key) (fun text ->
       let j = Json.of_string (String.trim text) in
       match Json.to_string_opt (Json.member "payload" j) with
       | Some payload -> (payload, Json.to_string_opt (Json.member "summary" j))

@@ -54,3 +54,10 @@ val misses : t -> int
 
 val corrupt : t -> int
 (** Artifacts dropped because they failed to parse. *)
+
+val corrupt_stages : t -> (string * int) list
+(** {!corrupt} broken down by pipeline stage — the prefix of the stage
+    key before the first [:] or [|] (e.g. ["annotate"], ["delta"],
+    ["trace"]) — sorted by stage name. Earlier servers counted every
+    corrupt artifact in one aggregate, which made it impossible to tell
+    a rotting trace cache from a rotting annotate cache. *)

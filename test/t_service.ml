@@ -93,6 +93,14 @@ let test_request_roundtrip () =
       request ~id:9 (Protocol.Parse { source = Bench "mp3d" });
       request ~id:10 (Protocol.Race_report { source = Bench "matmul" });
       request ~id:11 (Protocol.Races { source = Bench "mp3d" });
+      request ~id:12
+        (Protocol.Annotate_delta
+           { base = "0123456789abcdef0123456789abcdef"; start = 3; len = 2;
+             text = "42"; mode = Performance; prefetch = false });
+      request ~id:13
+        (Protocol.Annotate_delta
+           { base = "cafe"; start = 0; len = 0; text = ""; mode = Programmer;
+             prefetch = true });
     ]
   in
   List.iter
@@ -229,6 +237,136 @@ let test_annotate_byte_identity_and_cache () =
                 (name ^ ": warm report identical") c w
           | _ -> Alcotest.fail "annotate response missing report")
         [ "matmul"; "mp3d" ])
+
+(* annotate_delta: the incremental path must be byte-identical to a
+   from-scratch annotate of the edited text, repeats must hit the delta
+   cache, and the result must be written through so a plain annotate of
+   the edited source is already warm. *)
+let test_annotate_delta_byte_identity_and_cache () =
+  with_server (fun server ->
+      let base =
+        Server.handle server
+          (request
+             (Protocol.Annotate
+                { source = Bench "matmul"; mode = Performance;
+                  prefetch = false }))
+      in
+      let artifact =
+        match extra "artifact" base with
+        | Some (Json.String a) -> a
+        | _ -> Alcotest.fail "annotate response missing artifact id"
+      in
+      let source = (Benchmarks.Suite.find ~nodes:4 "matmul").source in
+      let span, v =
+        match Delta.Splice.int_literals source with
+        | [] -> Alcotest.fail "matmul has no int-literal edit candidates"
+        | (span, v) :: _ -> (span, v)
+      in
+      let text = string_of_int (v + 1) in
+      let edited = Delta.Splice.apply_edit source span text in
+      let delta_req =
+        request
+          (Protocol.Annotate_delta
+             { base = artifact; start = span.Delta.Splice.start;
+               len = span.Delta.Splice.len; text; mode = Performance;
+               prefetch = false })
+      in
+      let delta = Server.handle server delta_req in
+      let delta2 = Server.handle server delta_req in
+      (* from-scratch annotation of the identical edited text, on a fresh
+         server so nothing the delta path wrote through can leak in *)
+      let scratch =
+        with_server (fun fresh ->
+            ok_payload
+              (Server.handle fresh
+                 (request
+                    (Protocol.Annotate
+                       { source = Text edited; mode = Performance;
+                         prefetch = false }))))
+      in
+      Alcotest.(check string) "delta payload = from-scratch annotate" scratch
+        (ok_payload delta);
+      Alcotest.(check bool) "first delta is a miss" false (ok_cached delta);
+      Alcotest.(check bool) "repeat delta is a hit" true (ok_cached delta2);
+      Alcotest.(check string) "repeat payload identical" (ok_payload delta)
+        (ok_payload delta2);
+      (match extra "reuse" delta with
+      | Some (Json.String r) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "reuse %S is a known outcome" r)
+            true
+            (r = "noop" || r = "plan-reuse"
+            || String.length r >= 5 && String.sub r 0 5 = "resim")
+      | _ -> Alcotest.fail "delta response missing reuse extra");
+      (match extra "reuse" delta2 with
+      | Some (Json.String r) -> Alcotest.(check string) "hit reuse" "cached" r
+      | _ -> Alcotest.fail "cached delta response missing reuse extra");
+      (* write-through: a plain annotate of the edited text is warm *)
+      let warm =
+        Server.handle server
+          (request
+             (Protocol.Annotate
+                { source = Text edited; mode = Performance; prefetch = false }))
+      in
+      Alcotest.(check bool) "plain annotate of edited text is warm" true
+        (ok_cached warm);
+      Alcotest.(check string) "write-through payload identical"
+        (ok_payload delta) (ok_payload warm);
+      (* a no-op edit reproduces the base annotation *)
+      let noop =
+        Server.handle server
+          (request
+             (Protocol.Annotate_delta
+                { base = artifact; start = 0; len = 0; text = "";
+                  mode = Performance; prefetch = false }))
+      in
+      Alcotest.(check string) "no-op edit reproduces the base payload"
+        (ok_payload base) (ok_payload noop);
+      match extra "reuse" noop with
+      | Some (Json.String r) -> Alcotest.(check string) "no-op reuse" "noop" r
+      | _ -> Alcotest.fail "no-op delta response missing reuse extra")
+
+let test_annotate_delta_errors () =
+  with_server (fun server ->
+      let unknown =
+        Server.handle server
+          (request
+             (Protocol.Annotate_delta
+                { base = "feedfacefeedfacefeedfacefeedface"; start = 0;
+                  len = 0; text = ""; mode = Performance; prefetch = false }))
+      in
+      Alcotest.(check string) "unknown base rejected" "bad_request"
+        (error_kind unknown);
+      let artifact =
+        match
+          extra "artifact"
+            (Server.handle server
+               (request
+                  (Protocol.Annotate
+                     { source = Bench "matmul"; mode = Performance;
+                       prefetch = false })))
+        with
+        | Some (Json.String a) -> a
+        | _ -> Alcotest.fail "annotate response missing artifact id"
+      in
+      let oob =
+        Server.handle server
+          (request
+             (Protocol.Annotate_delta
+                { base = artifact; start = 1_000_000; len = 1; text = "x";
+                  mode = Performance; prefetch = false }))
+      in
+      Alcotest.(check string) "out-of-bounds span rejected" "bad_request"
+        (error_kind oob);
+      let seeded =
+        Server.handle server
+          (request ~seed:7
+             (Protocol.Annotate_delta
+                { base = artifact; start = 0; len = 0; text = "";
+                  mode = Performance; prefetch = false }))
+      in
+      Alcotest.(check string) "seed substitution rejected" "bad_request"
+        (error_kind seeded))
 
 let test_parse_and_race_and_trace_stats () =
   with_server (fun server ->
@@ -866,6 +1004,10 @@ let suite =
       test_simulate_byte_identity_and_cache;
     Alcotest.test_case "annotate byte-identity + cache" `Quick
       test_annotate_byte_identity_and_cache;
+    Alcotest.test_case "annotate_delta byte-identity + cache" `Quick
+      test_annotate_delta_byte_identity_and_cache;
+    Alcotest.test_case "annotate_delta rejects bad requests" `Quick
+      test_annotate_delta_errors;
     Alcotest.test_case "parse / race_report / trace_stats" `Quick
       test_parse_and_race_and_trace_stats;
     Alcotest.test_case "malformed inline trace" `Quick

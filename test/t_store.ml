@@ -129,6 +129,36 @@ let test_corruption_degrades_to_miss () =
         (Some ("fresh\n", None))
         (Store.get_text s2 ~key:"x"))
 
+(* corruption accounting is labelled by the stage prefix of the key, so
+   operators can tell a rotting trace tier from a rotting annotate tier *)
+let test_corruption_counted_by_stage () =
+  with_dir (fun dir ->
+      let s1 = Store.create ~dir in
+      Store.put_trace s1 ~key:"trace|aaaa|n4:c16:a4:b32|-" ~records
+        ~payload:"report\n";
+      Store.put_text s1 ~key:"annotate:perf:-|bbbb|n4:c16:a4:b32|-" "one\n";
+      Store.put_text s1 ~key:"annotate:perf:-|cccc|n4:c16:a4:b32|-" "two\n";
+      Store.put_text s1 ~key:"delta:perf:-|dddd|n4:c16:a4:b32|-" "three\n";
+      Store.put_text s1 ~key:"src|eeee" "base source\n";
+      corrupt_files dir ".trace";
+      corrupt_files dir ".art";
+      let s2 = Store.create ~dir in
+      ignore (Store.get_trace s2 ~key:"trace|aaaa|n4:c16:a4:b32|-");
+      ignore (Store.get_text s2 ~key:"annotate:perf:-|bbbb|n4:c16:a4:b32|-");
+      ignore (Store.get_text s2 ~key:"annotate:perf:-|cccc|n4:c16:a4:b32|-");
+      ignore (Store.get_text s2 ~key:"delta:perf:-|dddd|n4:c16:a4:b32|-");
+      ignore (Store.get_text s2 ~key:"src|eeee");
+      Alcotest.(check int) "total corruption count" 5 (Store.corrupt s2);
+      Alcotest.(check (list (pair string int)))
+        "per-stage corruption counts"
+        [ ("annotate", 2); ("delta", 1); ("src", 1); ("trace", 1) ]
+        (Store.corrupt_stages s2);
+      (* a healthy store reports no per-stage corruption *)
+      Store.put_text s2 ~key:"annotate:perf:-|ffff|n4:c16:a4:b32|-" "ok\n";
+      ignore (Store.get_text s2 ~key:"annotate:perf:-|ffff|n4:c16:a4:b32|-");
+      Alcotest.(check int) "healthy reads don't add counts" 5
+        (Store.corrupt s2))
+
 let suite =
   [
     Alcotest.test_case "trace artifact roundtrip" `Quick test_trace_roundtrip;
@@ -137,4 +167,6 @@ let suite =
       test_index_rebuild_on_startup;
     Alcotest.test_case "corruption degrades to miss" `Quick
       test_corruption_degrades_to_miss;
+    Alcotest.test_case "corruption counted by stage" `Quick
+      test_corruption_counted_by_stage;
   ]
