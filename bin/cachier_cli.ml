@@ -64,7 +64,7 @@ let run input machine mode prefetch trace_out show_trace_stats measure explain
   let trace_outcome = Wwt.Run.collect_trace ~machine program in
   (match trace_out with
   | Some path ->
-      Trace.Trace_file.save path trace_outcome.Wwt.Interp.trace;
+      Trace.Trace_file.save ~protocol:machine.Wwt.Machine.protocol path trace_outcome.Wwt.Interp.trace;
       Fmt.epr "trace written to %s@." path
   | None -> ());
   let result =

@@ -1,12 +1,14 @@
 (* cachier_fuzz — differential fuzzing of the whole Cachier pipeline.
 
-   Generates well-formed SPMD programs and checks six oracles on each:
+   Generates well-formed SPMD programs and checks seven oracles on each:
    engine equivalence, semantics preservation under annotation,
-   annotation idempotence, Dir1SW protocol invariants, equation /
-   cost-model sanity, and race-detector soundness (streaming vs naive,
+   annotation idempotence, protocol invariants, equation / cost-model
+   sanity, race-detector soundness (streaming vs naive,
    DRF-by-construction programs proven race-free, detected races
-   classified DRFS-unsafe). Failures are shrunk and saved to a corpus
-   directory
+   classified DRFS-unsafe), and delta re-annotation. --protocols rotates
+   the coherence backend: every program runs the whole battery once per
+   listed backend, with per-protocol counterexample corpora. Failures
+   are shrunk and saved to a corpus directory
    as .cico files that replay deterministically (--replay), and can be
    shrunk further offline (--minimise).
 
@@ -24,7 +26,12 @@ let parse_seed = function
       | Some n -> Ok n
       | None -> Error (`Msg (Printf.sprintf "seed must be an integer or 'from-calendar-week', got %S" s)))
 
-let machine_with_nodes nodes = { Wwt.Machine.default with Wwt.Machine.nodes }
+let machine_of_entry (e : Fuzz.Corpus.entry) =
+  {
+    Wwt.Machine.default with
+    Wwt.Machine.nodes = e.Fuzz.Corpus.nodes;
+    protocol = e.Fuzz.Corpus.protocol;
+  }
 
 let report_entry ~budget_s (path, (e : Fuzz.Corpus.entry)) =
   match Lang.Parser.parse e.Fuzz.Corpus.source with
@@ -32,7 +39,7 @@ let report_entry ~budget_s (path, (e : Fuzz.Corpus.entry)) =
       Printf.printf "%s: parse error: %s\n" path m;
       true
   | program ->
-      let machine = machine_with_nodes e.Fuzz.Corpus.nodes in
+      let machine = machine_of_entry e in
       let report = Fuzz.Oracle.run_all ~budget_s ~machine program in
       Format.printf "%s (expected failing oracle: %s)@.%a" path
         e.Fuzz.Corpus.oracle Fuzz.Oracle.pp report;
@@ -59,7 +66,7 @@ let replay_paths ~budget_s paths =
 let minimise_path ~budget_s ~fuel path =
   let e = Fuzz.Corpus.load path in
   let program = Lang.Parser.parse e.Fuzz.Corpus.source in
-  let machine = machine_with_nodes e.Fuzz.Corpus.nodes in
+  let machine = machine_of_entry e in
   let report = Fuzz.Oracle.run_all ~budget_s ~machine program in
   match Fuzz.Oracle.first_failure report with
   | None ->
@@ -77,8 +84,8 @@ let minimise_path ~budget_s ~fuel path =
         (Lang.Pretty.program_to_string shrunk);
       1
 
-let fuzz seed budget_s count nodes corpus_dir per_program_budget_s shrink_fuel
-    quiet replay minimise (_obs : Obs.mode) =
+let fuzz seed budget_s count nodes protocols corpus_dir per_program_budget_s
+    shrink_fuel quiet replay minimise (_obs : Obs.mode) =
   match (replay, minimise) with
   | _ :: _, Some _ ->
       prerr_endline "--replay and --minimise are mutually exclusive";
@@ -93,6 +100,7 @@ let fuzz seed budget_s count nodes corpus_dir per_program_budget_s shrink_fuel
           budget_s;
           max_programs = count;
           nodes;
+          protocols;
           corpus_dir;
           per_program_budget_s;
           shrink_fuel;
@@ -100,10 +108,14 @@ let fuzz seed budget_s count nodes corpus_dir per_program_budget_s shrink_fuel
         }
       in
       Printf.printf
-        "fuzzing: seed %d, budget %.0fs%s, machines up to %d nodes\n%!" seed
-        budget_s
+        "fuzzing: seed %d, budget %.0fs%s, machines up to %d nodes, \
+         protocols %s\n\
+         %!"
+        seed budget_s
         (if count > 0 then Printf.sprintf ", at most %d programs" count else "")
-        nodes;
+        nodes
+        (String.concat ","
+           (List.map Memsys.Protocol_id.to_string protocols));
       let stats = Fuzz.Runner.run cfg in
       Format.printf "@[<v>%a@]@." Fuzz.Runner.pp_stats stats;
       if stats.Fuzz.Runner.failures = [] then 0 else 1
@@ -129,6 +141,29 @@ let count =
 let nodes =
   Arg.(value & opt int 8 & info [ "nodes" ] ~docv:"N"
          ~doc:"Largest simulated machine to cycle through.")
+
+let protocols =
+  let proto_conv =
+    Arg.conv
+      ( (fun s ->
+          match Memsys.Protocol_id.of_string s with
+          | Some p -> Ok p
+          | None ->
+              Error
+                (`Msg
+                   (Printf.sprintf "unknown protocol %S (dir1sw, sisd or commute)"
+                      s))),
+        fun ppf p ->
+          Format.pp_print_string ppf (Memsys.Protocol_id.to_string p) )
+  in
+  Arg.(
+    value
+    & opt (list proto_conv) [ Memsys.Protocol_id.default ]
+    & info [ "protocols" ] ~docv:"PROTOCOLS"
+        ~doc:
+          "Comma-separated coherence backends to rotate ($(b,dir1sw), \
+           $(b,sisd), $(b,commute)); every generated program runs the whole \
+           oracle battery once per backend.")
 
 let corpus_dir =
   Arg.(value & opt (some string) None & info [ "corpus" ] ~docv:"DIR"
@@ -162,7 +197,7 @@ let cmd =
   let doc = "differential fuzzing of the Cachier annotator and simulator" in
   Cmd.v
     (Cmd.info "cachier_fuzz" ~doc)
-    Term.(const fuzz $ seed $ budget_s $ count $ nodes $ corpus_dir
+    Term.(const fuzz $ seed $ budget_s $ count $ nodes $ protocols $ corpus_dir
           $ per_program_budget_s $ shrink_fuel $ quiet $ replay $ minimise
           $ Service.Cli.obs_term)
 

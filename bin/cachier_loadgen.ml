@@ -187,6 +187,7 @@ let run machine socket corpus rate duration_s conns zipf_s seed edit_rate
       cache_kb = machine.Wwt.Machine.cache_bytes / 1024;
       assoc = machine.Wwt.Machine.assoc;
       block = machine.Wwt.Machine.block_size;
+      protocol = machine.Wwt.Machine.protocol;
     }
   in
   let path =

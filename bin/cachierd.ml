@@ -21,6 +21,7 @@ let run machine socket budget_mb cache_dir workers capacity listeners
       cache_kb = machine.Wwt.Machine.cache_bytes / 1024;
       assoc = machine.Wwt.Machine.assoc;
       block = machine.Wwt.Machine.block_size;
+      protocol = machine.Wwt.Machine.protocol;
     }
   in
   let config =

@@ -62,7 +62,7 @@ let simulate_file machine engine annotations prefetch trace_mode races
             (Filename.basename file ^ "." ^ Filename.basename path)
         else path
       in
-      Trace.Trace_file.save path outcome.Wwt.Interp.trace;
+      Trace.Trace_file.save ~protocol:machine.Wwt.Machine.protocol path outcome.Wwt.Interp.trace;
       pr "trace written to %s (%d records)\n" path
         (List.length outcome.Wwt.Interp.trace)
   | None -> ());

@@ -9,6 +9,7 @@ type entry = {
   detail : string;
   seed : int;
   nodes : int;
+  protocol : Memsys.Protocol_id.t;
   source : string;
 }
 
@@ -20,13 +21,20 @@ let render e =
     "// cachier_fuzz counterexample\n\
      // oracle: %s\n\
      // nodes: %d\n\
+     // protocol: %s\n\
      // seed: %d\n\
      // detail: %s\n\
      %s"
-    e.oracle e.nodes e.seed (one_line e.detail) e.source
+    e.oracle e.nodes
+    (Memsys.Protocol_id.to_string e.protocol)
+    e.seed (one_line e.detail) e.source
 
+(* Per-protocol corpora: the backend joins the name, so the same shrunk
+   program failing under two protocols keeps both counterexamples. *)
 let filename e =
-  Printf.sprintf "%s-%04x.cico" e.oracle (Hashtbl.hash e.source land 0xffff)
+  Printf.sprintf "%s-%s-%04x.cico" e.oracle
+    (Memsys.Protocol_id.to_string e.protocol)
+    (Hashtbl.hash e.source land 0xffff)
 
 let rec mkdir_p dir =
   if dir <> "/" && dir <> "." && dir <> "" && not (Sys.file_exists dir) then begin
@@ -80,6 +88,9 @@ let load path =
     detail = field "detail" "";
     seed = int_field "seed" 0;
     nodes = int_field "nodes" 4;
+    protocol =
+      Option.value ~default:Memsys.Protocol_id.default
+        (Memsys.Protocol_id.of_string (field "protocol" "dir1sw"));
     source = String.concat "\n" body;
   }
 

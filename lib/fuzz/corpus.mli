@@ -12,13 +12,17 @@ type entry = {
   detail : string;
   seed : int;
   nodes : int;
+  protocol : Memsys.Protocol_id.t;
+      (** coherence backend the failure reproduced under; [dir1sw] for
+          entries written before protocol rotation *)
   source : string;
 }
 
 val render : entry -> string
 val filename : entry -> string
-(** Content-derived name, [<oracle>-<hash>.cico], so re-finding the same
-    shrunk counterexample overwrites rather than accumulates. *)
+(** Content-derived name, [<oracle>-<protocol>-<hash>.cico], so
+    re-finding the same shrunk counterexample overwrites rather than
+    accumulates, and each backend keeps its own corpus. *)
 
 val save : dir:string -> entry -> string
 (** Write the entry (creating [dir] if needed); returns the path. *)

@@ -13,8 +13,11 @@
                       leave the same final shared memory;
    3. idempotence   — re-annotating an annotated program with the same
                       trace is a fixpoint of the pretty-printed source;
-   4. protocol      — no run may trip the Dir1SW directory/cache
-                      invariant audit (Machine.debug_protocol);
+   4. protocol      — no run may trip the active coherence backend's
+                      directory/cache invariant audit
+                      (Machine.debug_protocol); which backend runs is
+                      the machine's [protocol] field, so a rotating
+                      campaign audits Dir1SW, SiSd and Commute alike;
    5. equations     — Performance CICO's annotation sets are a subset of
                       Programmer CICO's for every epoch and node, and the
                       Section 2/5 cost-model closed forms are
@@ -43,7 +46,15 @@
    That only holds for data-race-free programs — when oracle 6's trusted
    reference proves the program racy, oracle 2 skips (a race means even a
    single node's values are timing-dependent). All value comparisons use
-   [Stdlib.compare] so NaN equals itself. *)
+   [Stdlib.compare] so NaN equals itself.
+
+   Protocol rotation: the machine's [protocol] backend governs every
+   execution, measurement and invariant audit, but the trace that feeds
+   annotation and race detection is always collected under the reference
+   Dir1SW backend. Dir1SW's write faults surface every cross-node
+   conflicting access in the miss log; SiSd's local write upgrades and
+   Commute's privatized accumulations hide conflicts by design, so a
+   rotated-protocol trace cannot serve as a race-visibility oracle. *)
 
 type verdict = Pass | Skip of string | Fail of string
 
@@ -256,9 +267,10 @@ let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
         | _ -> ());
         r
       in
-      let trace engine prog =
+      let trace_on machine engine prog =
         note (classify (fun () -> Wwt.Run.collect_trace ~poll ~engine ~machine prog))
       in
+      let trace engine prog = trace_on machine engine prog in
       let measure engine ~annotations ~prefetch prog =
         note
           (classify (fun () ->
@@ -270,6 +282,21 @@ let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
       let tw_tr = trace Wwt.Run.Tree_walk p in
       let co_tr = trace Wwt.Run.Compiled p in
       let pa_tr = trace par p in
+      (* Annotation and race visibility are defined over the reference
+         directory protocol's miss log: Dir1SW surfaces every cross-node
+         conflicting access as a fault, while SiSd's local write upgrades
+         and Commute's privatized accumulations legitimately hide
+         conflicts from the packed trace (that invisibility is why
+         self-invalidation protocols require DRF in the first place). The
+         rotated backend still governs every execution, measurement and
+         invariant audit below. *)
+      let ref_tr =
+        if machine.Wwt.Machine.protocol = Memsys.Protocol_id.Dir1sw then co_tr
+        else
+          trace_on
+            { machine with Wwt.Machine.protocol = Memsys.Protocol_id.Dir1sw }
+            Wwt.Run.Compiled p
+      in
       let tw_pf = measure Wwt.Run.Tree_walk ~annotations:false ~prefetch:false p in
       let co_pf = measure Wwt.Run.Compiled ~annotations:false ~prefetch:false p in
       let pa_pf = measure par ~annotations:false ~prefetch:false p in
@@ -278,7 +305,7 @@ let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
       let pa_pa = measure par ~annotations:true ~prefetch:true p in
       (* -- annotated variants (need a trace and an annotator that ran) -- *)
       let annotate options =
-        match co_tr with
+        match ref_tr with
         | Done tr -> (
             match
               Cachier.Annotate.annotate_with_trace ~machine ~options p
@@ -320,7 +347,7 @@ let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
          never receives semantics-changing Performance annotations. -- *)
       let races, proven_racy =
         Obs.span "fuzz.oracle.races" @@ fun () ->
-        match co_tr with
+        match ref_tr with
         | Done tr -> (
             let records = tr.Wwt.Interp.trace in
             match
@@ -478,7 +505,7 @@ let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
       (* -- oracle 3: annotation is a fixpoint -- *)
       let idempotence =
         Obs.span "fuzz.oracle.idempotence" @@ fun () ->
-        match co_tr with
+        match ref_tr with
         | Done tr ->
             let fixpoint label options r =
               match r with
@@ -512,7 +539,7 @@ let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
             | Ok () -> combine (fixpoint "Programmer" prog_options prog_r))
         | r -> Skip ("trace collection: " ^ describe r)
       in
-      (* -- oracle 4: Dir1SW invariants -- *)
+      (* -- oracle 4: protocol invariants (active backend's audit) -- *)
       let protocol =
         Obs.span "fuzz.oracle.protocol" @@ fun () ->
         match !violations with
@@ -522,7 +549,7 @@ let run_all ?(budget_s = 5.0) ?(expect_race_free = false) ~machine
       (* -- oracle 5: equation and cost-model sanity -- *)
       let equations =
         Obs.span "fuzz.oracle.equations" @@ fun () ->
-        match co_tr with
+        match ref_tr with
         | Done tr -> (
             match
               Cachier.Epoch_info.build ~nodes ~block_size:machine.Wwt.Machine.block_size

@@ -9,9 +9,10 @@
        annotations, in both Performance and Programmer mode;}
     {- [idempotence] — re-annotating an annotated program with the same
        trace reproduces the same source (fixpoint);}
-    {- [protocol] — no run trips the Dir1SW invariant audit
-       ({!Memsys.Protocol.check_invariants}, enabled through
-       [Machine.debug_protocol]);}
+    {- [protocol] — no run trips the invariant audit of the machine's
+       coherence backend — Dir1SW, SiSd or Commute, per
+       [Machine.protocol] — ({!Memsys.Protocol.check_invariants},
+       enabled through [Machine.debug_protocol]);}
     {- [equations] — Performance CICO's sets are a subset of Programmer
        CICO's for every epoch and node, and the cost-model closed forms
        are non-negative;}
@@ -67,7 +68,13 @@ val run_all :
     [expect_race_free] (default [false]) makes the races oracle fail if
     the detector proves the program racy — pass it for
     DRF-by-construction generator output, never for {!Gen.config.racy}
-    programs. *)
+    programs.
+
+    The machine's [protocol] backend (Dir1SW, SiSd or Commute) governs
+    every execution, measurement and invariant audit; the trace feeding
+    annotation and race detection is always collected under the reference
+    Dir1SW backend, whose write faults surface every cross-node conflict
+    in the miss log (SiSd and Commute hide conflicts by design). *)
 
 val pp : Format.formatter -> report -> unit
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -10,6 +10,9 @@ type config = {
   budget_s : float;  (** wall-clock budget for the whole campaign *)
   max_programs : int;  (** stop after this many programs; 0 = budget only *)
   nodes : int;  (** largest machine to cycle through *)
+  protocols : Memsys.Protocol_id.t list;
+      (** coherence backends to rotate; every program runs the battery
+          once per backend *)
   corpus_dir : string option;  (** persist shrunk counterexamples here *)
   per_program_budget_s : float;
   shrink_fuel : int;  (** oracle re-runs allowed while shrinking *)
@@ -22,6 +25,7 @@ let default =
     budget_s = 60.0;
     max_programs = 0;
     nodes = 4;
+    protocols = [ Memsys.Protocol_id.default ];
     corpus_dir = None;
     per_program_budget_s = 2.0;
     shrink_fuel = 300;
@@ -132,55 +136,68 @@ let run cfg =
     let p = Gen.spmd ~config:gcfg rng in
     incr programs;
     if Obs.enabled () then Obs.Counter.incr obs_programs;
-    let report =
-      Obs.span "fuzz.program" (fun () ->
-          Oracle.run_all ~budget_s:cfg.per_program_budget_s ~expect_race_free
-            ~machine p)
-    in
-    (match Oracle.first_failure report with
-    | None ->
+    (* Protocol rotation: the same program runs the whole battery once
+       per configured backend; a failure shrinks and persists under the
+       backend it reproduced on. *)
+    let all_skipped = ref true in
+    List.iter
+      (fun proto ->
+        let machine = { machine with Wwt.Machine.protocol = proto } in
+        let report =
+          Obs.span "fuzz.program" (fun () ->
+              Oracle.run_all ~budget_s:cfg.per_program_budget_s
+                ~expect_race_free ~machine p)
+        in
+        (match Oracle.first_failure report with
+        | None -> ()
+        | Some (oracle, detail) ->
+            cfg.log
+              (Printf.sprintf "#%d: %s oracle failed under %s (%s); shrinking..."
+                 !programs oracle
+                 (Memsys.Protocol_id.to_string proto)
+                 detail);
+            let shrunk =
+              Obs.span "fuzz.shrink" (fun () ->
+                  shrink ~expect_race_free ~machine
+                    ~budget_s:cfg.per_program_budget_s ~fuel:cfg.shrink_fuel
+                    ~oracle p)
+            in
+            let detail =
+              match
+                still_fails ~expect_race_free ~machine
+                  ~budget_s:cfg.per_program_budget_s ~oracle shrunk
+              with
+              | Some d -> d
+              | None -> detail
+            in
+            cfg.log
+              (Printf.sprintf "  shrunk %d -> %d AST nodes" (Gen.size_program p)
+                 (Gen.size_program shrunk));
+            let path =
+              Option.map
+                (fun dir ->
+                  Corpus.save ~dir
+                    {
+                      Corpus.oracle;
+                      detail;
+                      seed = cfg.seed;
+                      nodes = machine.Wwt.Machine.nodes;
+                      protocol = proto;
+                      source = Lang.Pretty.program_to_string shrunk;
+                    })
+                cfg.corpus_dir
+            in
+            failures :=
+              { oracle; detail; program = shrunk; original = p; machine; path }
+              :: !failures);
         if
-          List.for_all
-            (fun (_, v) -> match v with Oracle.Skip _ -> true | _ -> false)
-            (Oracle.to_list report)
-        then incr skips
-    | Some (oracle, detail) ->
-        cfg.log
-          (Printf.sprintf "#%d: %s oracle failed (%s); shrinking..." !programs
-             oracle detail);
-        let shrunk =
-          Obs.span "fuzz.shrink" (fun () ->
-              shrink ~expect_race_free ~machine
-                ~budget_s:cfg.per_program_budget_s ~fuel:cfg.shrink_fuel ~oracle
-                p)
-        in
-        let detail =
-          match
-            still_fails ~expect_race_free ~machine
-              ~budget_s:cfg.per_program_budget_s ~oracle shrunk
-          with
-          | Some d -> d
-          | None -> detail
-        in
-        cfg.log
-          (Printf.sprintf "  shrunk %d -> %d AST nodes" (Gen.size_program p)
-             (Gen.size_program shrunk));
-        let path =
-          Option.map
-            (fun dir ->
-              Corpus.save ~dir
-                {
-                  Corpus.oracle;
-                  detail;
-                  seed = cfg.seed;
-                  nodes = machine.Wwt.Machine.nodes;
-                  source = Lang.Pretty.program_to_string shrunk;
-                })
-            cfg.corpus_dir
-        in
-        failures :=
-          { oracle; detail; program = shrunk; original = p; machine; path }
-          :: !failures);
+          not
+            (List.for_all
+               (fun (_, v) -> match v with Oracle.Skip _ -> true | _ -> false)
+               (Oracle.to_list report))
+        then all_skipped := false)
+      (match cfg.protocols with [] -> [ Memsys.Protocol_id.default ] | ps -> ps);
+    if !all_skipped then incr skips;
     if !programs mod 100 = 0 then
       cfg.log
         (Printf.sprintf "%d programs, %d skipped, %d counterexamples (%.1fs)"

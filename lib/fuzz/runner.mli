@@ -1,4 +1,4 @@
-(** The fuzzing loop: generate SPMD programs, run the six-oracle battery
+(** The fuzzing loop: generate SPMD programs, run the seven-oracle battery
     ({!Oracle.run_all}), shrink any failure with {!Gen.shrink_spmd}, and
     persist shrunk counterexamples to a {!Corpus} directory.
 
@@ -16,6 +16,10 @@ type config = {
   budget_s : float;  (** wall-clock budget for the whole campaign *)
   max_programs : int;  (** stop after this many programs; 0 = budget only *)
   nodes : int;  (** largest machine to cycle through *)
+  protocols : Memsys.Protocol_id.t list;
+      (** coherence backends to rotate: every generated program runs the
+          whole battery once per backend, and a counterexample records
+          the backend it reproduced under ([[default]] when unset) *)
   corpus_dir : string option;  (** persist shrunk counterexamples here *)
   per_program_budget_s : float;  (** oracle budget per program *)
   shrink_fuel : int;  (** oracle re-runs allowed while shrinking *)

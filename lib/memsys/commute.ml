@@ -1,0 +1,10 @@
+(* Privatized commutative updates as a first-class PROTOCOL instance.
+   The behaviour lives in {!Protocol}; this module pins the backend at
+   creation. *)
+
+include Protocol
+
+let id = Protocol_id.Commute
+
+let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
+  Protocol.create_b ~backend:id ~nodes ~cache_bytes ~assoc ~block_size ~costs

@@ -1,0 +1,16 @@
+(** Dir1SW plus privatized commutative updates (Coup-style) as a
+    first-class {!Protocol_intf.PROTOCOL} instance; shares
+    {!Protocol.t}.
+
+    Accesses the classifier proves to be commutative read-modify-writes
+    ([A[i] = A[i] + e]) route through {!Protocol.read_rmw_p} /
+    {!Protocol.write_rmw_p} and accumulate into a per-node privatized
+    copy — no misses, no invalidations, one grant message per
+    privatization. Privatized copies merge deterministically at the
+    next plain access to the block or at the epoch boundary. All other
+    traffic is bit-identical to Dir1SW. *)
+
+include
+  Protocol_intf.PROTOCOL
+    with type t = Protocol.t
+     and type snapshot = Protocol.snapshot

@@ -1,0 +1,9 @@
+(* Dir1SW as a first-class PROTOCOL instance. The behaviour lives in
+   {!Protocol}; this module pins the backend at creation. *)
+
+include Protocol
+
+let id = Protocol_id.Dir1sw
+
+let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
+  Protocol.create_b ~backend:id ~nodes ~cache_bytes ~assoc ~block_size ~costs

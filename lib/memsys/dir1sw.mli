@@ -1,0 +1,7 @@
+(** The paper's Dir1SW directory protocol as a first-class
+    {!Protocol_intf.PROTOCOL} instance. Shares {!Protocol.t}. *)
+
+include
+  Protocol_intf.PROTOCOL
+    with type t = Protocol.t
+     and type snapshot = Protocol.snapshot

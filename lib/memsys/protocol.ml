@@ -25,6 +25,11 @@ let outcome_of_packed p =
   { latency = p lsr 2; miss }
 
 type t = {
+  backend : Protocol_id.t;
+      (* which protocol's transition rules this machine runs; the packed
+         access path, snapshot/restore, shard views and digests are shared
+         across backends, with the behavioural differences dispatched at
+         the transition level *)
   n_nodes : int;
   blk_size : int;
   blk_shift : int;  (* log2 block_size: addresses map to blocks by shift *)
@@ -44,6 +49,17 @@ type t = {
   mutable debug_checks : bool;
       (* run [check_invariants] after every protocol transition; off by
          default so the hot path pays one predictable branch *)
+  co : (int, int) Hashtbl.t;
+      (* SiSd only: block -> bitmask of nodes holding it checked out; a
+         checked-out line survives the epoch-boundary self-invalidation
+         sweep. Overlay discipline on shard views: reads fall back to the
+         parent, writes replace locally (a zero mask is stored, not
+         removed, so it shadows the parent's entry until merge). *)
+  cm : (int, int) Hashtbl.t;
+      (* Commute only: block -> bitmask of nodes holding a privatized
+         update-only copy of the block's accumulators; merged on any
+         plain access and at every epoch boundary. Same overlay
+         discipline as [co]. *)
   pf_del : (int, unit) Hashtbl.t;
       (* shard views only: tombstones for parent pf_pending entries *)
   parent : t option;
@@ -70,12 +86,14 @@ let obs_write_faults = Obs.Registry.counter "protocol.write_faults"
 let obs_directives = Obs.Registry.counter "protocol.directives"
 let obs_dir_occupancy = Obs.Registry.gauge "protocol.dir_occupancy"
 
-let create_u ~nodes ~cache_bytes ~assoc ~block_size ~costs =
+let create_u ?(backend = Protocol_id.Dir1sw) ~nodes ~cache_bytes ~assoc
+    ~block_size ~costs () =
   let blk_shift =
     let rec log2 n acc = if n <= 1 then acc else log2 (n lsr 1) (acc + 1) in
     log2 block_size 0
   in
   {
+    backend;
     n_nodes = nodes;
     blk_size = block_size;
     blk_shift;
@@ -89,14 +107,21 @@ let create_u ~nodes ~cache_bytes ~assoc ~block_size ~costs =
     pf_live = 0;
     past_sharers = Hashtbl.create 256;
     debug_checks = false;
+    co = Hashtbl.create 16;
+    cm = Hashtbl.create 16;
     pf_del = Hashtbl.create 16;
     parent = None;
   }
 
-let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
+let create_b ~backend ~nodes ~cache_bytes ~assoc ~block_size ~costs =
   Obs.span "protocol.create" (fun () ->
-      create_u ~nodes ~cache_bytes ~assoc ~block_size ~costs)
+      create_u ~backend ~nodes ~cache_bytes ~assoc ~block_size ~costs ())
 
+let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
+  create_b ~backend:Protocol_id.default ~nodes ~cache_bytes ~assoc ~block_size
+    ~costs
+
+let backend t = t.backend
 let nodes t = t.n_nodes
 let block_size t = t.blk_size
 let stats t = t.stat
@@ -111,10 +136,12 @@ let block_of_addr t addr =
 
 let pf_key t ~node ~blk = (blk * t.n_nodes) + node
 
-(* ---- Dir1SW invariant oracle (debug hook) ----
+(* ---- per-backend invariant oracle (debug hook) ----
 
    Cross-checks directory state against every per-node cache after a
-   transition. The invariants:
+   transition. The invariants depend on the backend:
+
+   Dir1SW (and Commute, whose non-privatized state is Dir1SW):
    - directory entries are structurally well formed ([Directory.validate]);
    - an [Exclusive owner] entry means the owner caches the block in the
      Exclusive state and no other node caches it at all (single writer);
@@ -123,62 +150,104 @@ let pf_key t ~node ~blk = (blk * t.n_nodes) + node
      replacement is silent — but a cached-yet-unlisted sharer is not);
    - a cached Exclusive line is always the directory's registered owner,
      and a cached Shared line is always a registered sharer (no cached
-     copy of an Idle block);
-   - the pending-prefetch table is consistent: the live counter matches
-     the table, keys decode to real nodes, and every pending transaction
-     still has its line resident — a pending entry whose line is gone is
-     a stuck transition that [forget_prefetch] should have cleared. *)
+     copy of an Idle block).
+
+   SiSd tracks no sharers at all and only remembers the last writer:
+   - directory entries are [Idle] or [Exclusive]; a [Shared] entry means
+     a Dir1SW transition leaked in;
+   - an [Exclusive owner] entry means the owner still caches the block
+     in the Exclusive state (stale copies at *other* nodes are legal —
+     that is the protocol's whole premise — and so are Exclusive lines
+     whose ownership was since taken by a later writer).
+
+   Commute additionally requires every privatized-copy mask to name real
+   nodes; SiSd requires the same of the checked-out masks.
+
+   All backends share the pending-prefetch consistency checks: the live
+   counter matches the table, keys decode to real nodes, and every
+   pending transaction still has its line resident — a pending entry
+   whose line is gone is a stuck transition that [forget_prefetch]
+   should have cleared. *)
 let check_invariants t =
   let err = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
   (match Directory.validate t.dir with
   | Some (blk, reason) -> fail "directory entry for block %d: %s" blk reason
   | None -> ());
-  List.iter
-    (fun (blk, st) ->
-      match st with
-      | Directory.Idle -> ()
-      | Directory.Exclusive owner ->
-          (match Cache.find t.caches.(owner) blk with
-          | Some l when l.Cache.state = Cache.Exclusive -> ()
-          | Some _ ->
-              fail "block %d: directory owner %d holds a non-exclusive copy"
-                blk owner
-          | None ->
-              fail "block %d: directory owner %d holds no copy" blk owner);
-          for node = 0 to t.n_nodes - 1 do
-            if node <> owner && Cache.find t.caches.(node) blk <> None then
-              fail "block %d: exclusive at %d but also cached at %d" blk owner
-                node
-          done
-      | Directory.Shared mask ->
-          for node = 0 to t.n_nodes - 1 do
-            match Cache.find t.caches.(node) blk with
-            | None -> ()
-            | Some l ->
-                if l.Cache.state <> Cache.Shared then
-                  fail "block %d: cached exclusive at %d under a Shared entry"
-                    blk node
-                else if mask land (1 lsl node) = 0 then
-                  fail "block %d: node %d caches a copy but is not a sharer"
-                    blk node
-          done)
-    (Directory.entries t.dir);
-  for node = 0 to t.n_nodes - 1 do
-    Cache.iter t.caches.(node) (fun l ->
-        let blk = l.Cache.block in
-        match (l.Cache.state, Directory.get t.dir blk) with
-        | Cache.Exclusive, Directory.Exclusive owner when owner = node -> ()
-        | Cache.Exclusive, _ ->
-            fail "block %d: node %d caches exclusive without directory \
-                  ownership" blk node
-        | Cache.Shared, Directory.Shared mask when mask land (1 lsl node) <> 0
-          ->
-            ()
-        | Cache.Shared, _ ->
-            fail "block %d: node %d caches a shared copy the directory does \
-                  not list" blk node)
-  done;
+  (match t.backend with
+  | Protocol_id.Dir1sw | Protocol_id.Commute ->
+      List.iter
+        (fun (blk, st) ->
+          match st with
+          | Directory.Idle -> ()
+          | Directory.Exclusive owner ->
+              (match Cache.find t.caches.(owner) blk with
+              | Some l when l.Cache.state = Cache.Exclusive -> ()
+              | Some _ ->
+                  fail "block %d: directory owner %d holds a non-exclusive copy"
+                    blk owner
+              | None ->
+                  fail "block %d: directory owner %d holds no copy" blk owner);
+              for node = 0 to t.n_nodes - 1 do
+                if node <> owner && Cache.find t.caches.(node) blk <> None then
+                  fail "block %d: exclusive at %d but also cached at %d" blk
+                    owner node
+              done
+          | Directory.Shared mask ->
+              for node = 0 to t.n_nodes - 1 do
+                match Cache.find t.caches.(node) blk with
+                | None -> ()
+                | Some l ->
+                    if l.Cache.state <> Cache.Shared then
+                      fail
+                        "block %d: cached exclusive at %d under a Shared entry"
+                        blk node
+                    else if mask land (1 lsl node) = 0 then
+                      fail "block %d: node %d caches a copy but is not a sharer"
+                        blk node
+              done)
+        (Directory.entries t.dir);
+      for node = 0 to t.n_nodes - 1 do
+        Cache.iter t.caches.(node) (fun l ->
+            let blk = l.Cache.block in
+            match (l.Cache.state, Directory.get t.dir blk) with
+            | Cache.Exclusive, Directory.Exclusive owner when owner = node -> ()
+            | Cache.Exclusive, _ ->
+                fail "block %d: node %d caches exclusive without directory \
+                      ownership" blk node
+            | Cache.Shared, Directory.Shared mask
+              when mask land (1 lsl node) <> 0 ->
+                ()
+            | Cache.Shared, _ ->
+                fail "block %d: node %d caches a shared copy the directory \
+                      does not list" blk node)
+      done
+  | Protocol_id.Sisd ->
+      List.iter
+        (fun (blk, st) ->
+          match st with
+          | Directory.Idle -> ()
+          | Directory.Shared _ ->
+              fail "block %d: SiSd directory must not track sharers" blk
+          | Directory.Exclusive owner -> (
+              match Cache.find t.caches.(owner) blk with
+              | Some l when l.Cache.state = Cache.Exclusive -> ()
+              | Some _ ->
+                  fail "block %d: SiSd last writer %d holds a non-exclusive \
+                        copy" blk owner
+              | None -> fail "block %d: SiSd last writer %d holds no copy" blk
+                          owner))
+        (Directory.entries t.dir));
+  let mask_check what tbl =
+    let node_mask = (1 lsl t.n_nodes) - 1 in
+    Hashtbl.iter
+      (fun blk mask ->
+        if mask land lnot node_mask <> 0 then
+          fail "block %d: %s mask %#x names nodes out of range" blk what mask)
+      tbl
+  in
+  mask_check "checked-out" t.co;
+  mask_check "privatized-copy" t.cm;
   if Hashtbl.length t.pf_pending <> t.pf_live then
     fail "pending-prefetch counter %d disagrees with table size %d" t.pf_live
       (Hashtbl.length t.pf_pending);
@@ -218,6 +287,33 @@ let ps_find t blk =
       match t.parent with
       | Some p -> Option.value ~default:0 (Hashtbl.find_opt p.past_sharers blk)
       | None -> 0)
+
+(* Per-block node masks with view-overlay semantics: a view's write
+   replaces locally (zero included, shadowing the parent until merge); a
+   base write removes zero masks to keep iteration and digests clean. *)
+let co_find t blk =
+  match Hashtbl.find_opt t.co blk with
+  | Some mask -> mask
+  | None -> (
+      match t.parent with
+      | Some p -> Option.value ~default:0 (Hashtbl.find_opt p.co blk)
+      | None -> 0)
+
+let co_set t blk mask =
+  if mask = 0 && t.parent = None then Hashtbl.remove t.co blk
+  else Hashtbl.replace t.co blk mask
+
+let cm_find t blk =
+  match Hashtbl.find_opt t.cm blk with
+  | Some mask -> mask
+  | None -> (
+      match t.parent with
+      | Some p -> Option.value ~default:0 (Hashtbl.find_opt p.cm blk)
+      | None -> 0)
+
+let cm_set t blk mask =
+  if mask = 0 && t.parent = None then Hashtbl.remove t.cm blk
+  else Hashtbl.replace t.cm blk mask
 
 let pf_mem t key =
   Hashtbl.mem t.pf_pending key
@@ -269,13 +365,28 @@ let install t ~node ~blk ~state ~dirty ~ready_at =
       t.stat.evictions <- t.stat.evictions + 1;
       forget_prefetch t ~node ~blk:victim;
       note_past_sharer t ~node ~blk:victim;
+      (match t.backend with
+      | Protocol_id.Sisd ->
+          (* Capacity eviction breaks an outstanding check-out. *)
+          let m = co_find t victim in
+          if m land (1 lsl node) <> 0 then
+            co_set t victim (m land lnot (1 lsl node))
+      | _ -> ());
       (match vstate with
       | Cache.Exclusive ->
           if vdirty then begin
             t.stat.writebacks <- t.stat.writebacks + 1;
             t.stat.messages <- t.stat.messages + 1
           end;
-          Directory.set t.dir victim Directory.Idle
+          (match t.backend with
+          | Protocol_id.Sisd -> (
+              (* Stale Exclusive copies are legal under SiSd: only the
+                 registered last writer releases the entry. *)
+              match Directory.get t.dir victim with
+              | Directory.Exclusive owner when owner = node ->
+                  Directory.set t.dir victim Directory.Idle
+              | _ -> ())
+          | _ -> Directory.set t.dir victim Directory.Idle)
       | Cache.Shared -> ())
 
 (* Remove [blk] from every cache in [mask] except [node]; returns the
@@ -413,12 +524,120 @@ let upgrade_resident t ~node ~blk =
       t.stat.messages <- t.stat.messages + 2;
       t.cost.Network.upgrade
 
+(* ---- SiSd transitions ----
+
+   Self-invalidation / self-downgrade keeps no sharer list and sends no
+   invalidations or recalls: every miss is a flat 2-hop fetch from the
+   home node, reads are allowed to return stale data until the next
+   epoch boundary, and the directory entry only remembers the last
+   writer (so writebacks have somewhere to release). The coherence work
+   Dir1SW does eagerly happens lazily instead: check-ins become local
+   self-downgrades, and {!epoch_boundary} self-invalidates every line
+   not currently checked out. *)
+
+let sisd_fetch_shared t ~node ~blk ~now =
+  t.stat.messages <- t.stat.messages + 2;
+  install t ~node ~blk ~state:Cache.Shared ~dirty:false ~ready_at:now;
+  t.cost.Network.miss_2hop
+
+let sisd_fetch_exclusive t ~node ~blk ~now ~dirty =
+  t.stat.messages <- t.stat.messages + 2;
+  install t ~node ~blk ~state:Cache.Exclusive ~dirty ~ready_at:now;
+  Directory.set t.dir blk (Directory.Exclusive node);
+  t.cost.Network.miss_2hop
+
+(* Write back and downgrade [node]'s copy in place; the self-downgrade
+   both check-in and post-store reduce to under SiSd. *)
+let sisd_self_downgrade t ~node ~blk =
+  let i = Cache.probe t.caches.(node) blk in
+  if i >= 0 then begin
+    let line = Cache.line_at t.caches.(node) i in
+    if line.Cache.state = Cache.Exclusive then begin
+      if line.Cache.dirty then begin
+        t.stat.writebacks <- t.stat.writebacks + 1;
+        t.stat.messages <- t.stat.messages + 1
+      end;
+      line.Cache.state <- Cache.Shared;
+      line.Cache.dirty <- false;
+      match Directory.get t.dir blk with
+      | Directory.Exclusive owner when owner = node ->
+          Directory.set t.dir blk Directory.Idle
+      | _ -> ()
+    end
+  end
+
+(* Backend-dispatching fetch paths (miss handling only; hits never reach
+   these). Commute's non-privatized traffic is exactly Dir1SW. *)
+let fetch_shared_b t ~node ~blk ~now =
+  match t.backend with
+  | Protocol_id.Sisd -> sisd_fetch_shared t ~node ~blk ~now
+  | _ -> fetch_shared t ~node ~blk ~now
+
+let fetch_exclusive_b t ~node ~blk ~now ~dirty =
+  match t.backend with
+  | Protocol_id.Sisd -> sisd_fetch_exclusive t ~node ~blk ~now ~dirty
+  | _ -> fetch_exclusive t ~node ~blk ~now ~dirty
+
+(* ---- Commute privatization ----
+
+   Classifier-proven RMW accumulations take an update-only privatized
+   copy per node (one permission-grant message, no data movement) and
+   accumulate locally; a plain access to the block — or the epoch
+   boundary — forces every holder to merge its accumulator back (one
+   writeback plus a request/reply pair per holder). Merge costs are
+   charged to the statistics only: the merge rides the barrier (or the
+   plain access's own miss), not the simulated critical path, which
+   keeps replayed latencies independent of merge order. *)
+
+let commute_merge t blk mask =
+  let count = Directory.popcount mask in
+  t.stat.writebacks <- t.stat.writebacks + count;
+  t.stat.messages <- t.stat.messages + (2 * count);
+  cm_set t blk 0
+
+(* Merge-before-plain-access seam: every non-RMW entry point runs this
+   first. One predictable branch for the other backends. *)
+let commute_plain t blk =
+  match t.backend with
+  | Protocol_id.Commute ->
+      let mask = cm_find t blk in
+      if mask <> 0 then commute_merge t blk mask
+  | _ -> ()
+
+let commute_rmw_read t ~node ~addr ~now:_ =
+  let blk = block_of_addr t addr in
+  t.stat.shared_reads <- t.stat.shared_reads + 1;
+  t.stat.read_hits <- t.stat.read_hits + 1;
+  let mask = cm_find t blk in
+  let bit = 1 lsl node in
+  if mask land bit = 0 then begin
+    (* First accumulation since the last merge: privatize. *)
+    t.stat.messages <- t.stat.messages + 1;
+    cm_set t blk (mask lor bit)
+  end;
+  pack ~latency:t.cost.Network.cache_hit ~kind:no_miss
+
+let commute_rmw_write t ~node ~addr ~now:_ =
+  let blk = block_of_addr t addr in
+  t.stat.shared_writes <- t.stat.shared_writes + 1;
+  t.stat.write_hits <- t.stat.write_hits + 1;
+  let mask = cm_find t blk in
+  let bit = 1 lsl node in
+  if mask land bit = 0 then begin
+    (* Defensive: a lone rmw-write (the paired read privatizes first on
+       every engine path) still takes the privatized copy. *)
+    t.stat.messages <- t.stat.messages + 1;
+    cm_set t blk (mask lor bit)
+  end;
+  pack ~latency:t.cost.Network.cache_hit ~kind:no_miss
+
 (* ---- the hot path: packed-int entry points ----
    Cache hits run option-free (index probe, in-place LRU touch) and skip
    all directory bookkeeping; only the returned int is constructed. *)
 
 let read_p_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
+  commute_plain t blk;
   t.stat.shared_reads <- t.stat.shared_reads + 1;
   let c = t.caches.(node) in
   let i = Cache.probe c blk in
@@ -431,12 +650,13 @@ let read_p_u t ~node ~addr ~now =
   end
   else begin
     t.stat.read_misses <- t.stat.read_misses + 1;
-    let latency = fetch_shared t ~node ~blk ~now in
+    let latency = fetch_shared_b t ~node ~blk ~now in
     pack ~latency ~kind:read_miss
   end
 
 let write_p_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
+  commute_plain t blk;
   t.stat.shared_writes <- t.stat.shared_writes + 1;
   let c = t.caches.(node) in
   let i = Cache.probe c blk in
@@ -451,19 +671,33 @@ let write_p_u t ~node ~addr ~now =
         ~kind:no_miss
     end
     else begin
-      (* Write fault: upgrade the Shared copy. *)
-      note_prefetch_hit t ~node ~blk;
-      Cache.touch_idx c i;
-      t.stat.write_faults <- t.stat.write_faults + 1;
-      let latency = upgrade_resident t ~node ~blk in
-      line.Cache.state <- Cache.Exclusive;
-      line.Cache.dirty <- true;
-      pack ~latency:(latency + residual line ~now) ~kind:write_fault
+      match t.backend with
+      | Protocol_id.Sisd ->
+          (* SiSd has no write faults: a store to a Shared copy writes
+             locally with no permission traffic; the directory just
+             remembers the new last writer. *)
+          note_prefetch_hit t ~node ~blk;
+          Cache.touch_idx c i;
+          line.Cache.state <- Cache.Exclusive;
+          line.Cache.dirty <- true;
+          Directory.set t.dir blk (Directory.Exclusive node);
+          t.stat.write_hits <- t.stat.write_hits + 1;
+          pack ~latency:(t.cost.Network.cache_hit + residual line ~now)
+            ~kind:no_miss
+      | _ ->
+          (* Write fault: upgrade the Shared copy. *)
+          note_prefetch_hit t ~node ~blk;
+          Cache.touch_idx c i;
+          t.stat.write_faults <- t.stat.write_faults + 1;
+          let latency = upgrade_resident t ~node ~blk in
+          line.Cache.state <- Cache.Exclusive;
+          line.Cache.dirty <- true;
+          pack ~latency:(latency + residual line ~now) ~kind:write_fault
     end
   end
   else begin
     t.stat.write_misses <- t.stat.write_misses + 1;
-    let latency = fetch_exclusive t ~node ~blk ~now ~dirty:true in
+    let latency = fetch_exclusive_b t ~node ~blk ~now ~dirty:true in
     pack ~latency ~kind:write_miss
   end
 
@@ -485,11 +719,54 @@ let write_p t ~node ~addr ~now =
   end;
   p
 
+(* RMW halves of a classifier-recognized commutative accumulation
+   (A[i] = A[i] + e). Everywhere except the Commute backend these are
+   the plain load and store — bit-identical costs, counters and trace
+   kinds — so engines can route recognized accumulations through them
+   unconditionally. Under Commute they privatize instead of fetching. *)
+
+let read_rmw_p_u t ~node ~addr ~now =
+  match t.backend with
+  | Protocol_id.Commute -> commute_rmw_read t ~node ~addr ~now
+  | _ -> read_p_u t ~node ~addr ~now
+
+let write_rmw_p_u t ~node ~addr ~now =
+  match t.backend with
+  | Protocol_id.Commute -> commute_rmw_write t ~node ~addr ~now
+  | _ -> write_p_u t ~node ~addr ~now
+
+let read_rmw_p t ~node ~addr ~now =
+  let p = guard t (read_rmw_p_u t ~node ~addr ~now) in
+  if Obs.enabled () then begin
+    Obs.Counter.incr obs_reads;
+    if packed_kind p <> no_miss then Obs.Counter.incr obs_read_misses
+  end;
+  p
+
+let write_rmw_p t ~node ~addr ~now =
+  let p = guard t (write_rmw_p_u t ~node ~addr ~now) in
+  if Obs.enabled () then begin
+    Obs.Counter.incr obs_writes;
+    let k = packed_kind p in
+    if k = write_miss then Obs.Counter.incr obs_write_misses
+    else if k = write_fault then Obs.Counter.incr obs_write_faults
+  end;
+  p
+
 (* ---- CICO directives: latency-returning entry points (never misses) *)
+
+(* SiSd: a check-out pins the line across epoch boundaries (it is the
+   programmer's declaration of intended use, so the self-invalidation
+   sweep must not drop it). *)
+let sisd_note_checkout t ~node ~blk =
+  if t.backend = Protocol_id.Sisd then
+    co_set t blk (co_find t blk lor (1 lsl node))
 
 let check_out_x_lat_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
+  commute_plain t blk;
   t.stat.check_outs_x <- t.stat.check_outs_x + 1;
+  sisd_note_checkout t ~node ~blk;
   let overhead = t.cost.Network.check_out_overhead in
   let c = t.caches.(node) in
   let i = Cache.probe c blk in
@@ -500,15 +777,24 @@ let check_out_x_lat_u t ~node ~addr ~now =
       overhead
     end
     else begin
-      (* Upgrade now, before the read, avoiding the later write fault. *)
-      Cache.touch_idx c i;
-      let latency = upgrade_resident t ~node ~blk in
-      line.Cache.state <- Cache.Exclusive;
-      overhead + latency
+      match t.backend with
+      | Protocol_id.Sisd ->
+          (* Local upgrade: SiSd asks nobody's permission to write. *)
+          Cache.touch_idx c i;
+          line.Cache.state <- Cache.Exclusive;
+          Directory.set t.dir blk (Directory.Exclusive node);
+          overhead
+      | _ ->
+          (* Upgrade now, before the read, avoiding the later write
+             fault. *)
+          Cache.touch_idx c i;
+          let latency = upgrade_resident t ~node ~blk in
+          line.Cache.state <- Cache.Exclusive;
+          overhead + latency
     end
   end
   else begin
-    let latency = fetch_exclusive t ~node ~blk ~now ~dirty:false in
+    let latency = fetch_exclusive_b t ~node ~blk ~now ~dirty:false in
     overhead + latency
   end
 
@@ -518,7 +804,9 @@ let check_out_x_lat t ~node ~addr ~now =
 
 let check_out_s_lat_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
+  commute_plain t blk;
   t.stat.check_outs_s <- t.stat.check_outs_s + 1;
+  sisd_note_checkout t ~node ~blk;
   let overhead = t.cost.Network.check_out_overhead in
   let c = t.caches.(node) in
   let i = Cache.probe c blk in
@@ -527,7 +815,7 @@ let check_out_s_lat_u t ~node ~addr ~now =
     overhead
   end
   else begin
-    let latency = fetch_shared t ~node ~blk ~now in
+    let latency = fetch_shared_b t ~node ~blk ~now in
     overhead + latency
   end
 
@@ -537,18 +825,32 @@ let check_out_s_lat t ~node ~addr ~now =
 
 let check_in_lat_u t ~node ~addr ~now:_ =
   let blk = block_of_addr t addr in
+  commute_plain t blk;
   t.stat.check_ins <- t.stat.check_ins + 1;
-  (match Cache.remove t.caches.(node) blk with
-  | None -> ()
-  | Some (state, dirty) ->
-      t.stat.check_in_flushes <- t.stat.check_in_flushes + 1;
-      forget_prefetch t ~node ~blk;
-      t.stat.messages <- t.stat.messages + 1;
-      (match state with
-      | Cache.Exclusive ->
-          if dirty then t.stat.writebacks <- t.stat.writebacks + 1;
-          Directory.set t.dir blk Directory.Idle
-      | Cache.Shared -> Directory.remove_sharer t.dir blk ~node));
+  (match t.backend with
+  | Protocol_id.Sisd ->
+      (* Check-in is a self-downgrade: write the data back but keep a
+         readable Shared copy (releasing the checked-out pin, so the
+         next epoch boundary may self-invalidate it). *)
+      let m = co_find t blk in
+      if m land (1 lsl node) <> 0 then co_set t blk (m land lnot (1 lsl node));
+      let i = Cache.probe t.caches.(node) blk in
+      if i >= 0
+         && (Cache.line_at t.caches.(node) i).Cache.state = Cache.Exclusive
+      then t.stat.check_in_flushes <- t.stat.check_in_flushes + 1;
+      sisd_self_downgrade t ~node ~blk
+  | _ -> (
+      match Cache.remove t.caches.(node) blk with
+      | None -> ()
+      | Some (state, dirty) ->
+          t.stat.check_in_flushes <- t.stat.check_in_flushes + 1;
+          forget_prefetch t ~node ~blk;
+          t.stat.messages <- t.stat.messages + 1;
+          (match state with
+          | Cache.Exclusive ->
+              if dirty then t.stat.writebacks <- t.stat.writebacks + 1;
+              Directory.set t.dir blk Directory.Idle
+          | Cache.Shared -> Directory.remove_sharer t.dir blk ~node)));
   t.cost.Network.check_in_cost
 
 let check_in_lat t ~node ~addr ~now =
@@ -557,6 +859,7 @@ let check_in_lat t ~node ~addr ~now =
 
 let prefetch_lat_u ~exclusive t ~node ~addr ~now =
   let blk = block_of_addr t addr in
+  commute_plain t blk;
   t.stat.prefetches <- t.stat.prefetches + 1;
   let c = t.caches.(node) in
   let i = Cache.probe c blk in
@@ -569,8 +872,8 @@ let prefetch_lat_u ~exclusive t ~node ~addr ~now =
     (* Run the transaction now but charge only the issue cost; the
        transfer latency is hidden behind [ready_at]. *)
     let fetch_latency =
-      if exclusive then fetch_exclusive t ~node ~blk ~now ~dirty:false
-      else fetch_shared t ~node ~blk ~now
+      if exclusive then fetch_exclusive_b t ~node ~blk ~now ~dirty:false
+      else fetch_shared_b t ~node ~blk ~now
     in
     let i = Cache.probe c blk in
     if i >= 0 then (Cache.line_at c i).Cache.ready_at <- now + fetch_latency;
@@ -591,7 +894,15 @@ let prefetch_s_lat t = prefetch_lat ~exclusive:false t
 
 let post_store_lat_u t ~node ~addr ~now =
   let blk = block_of_addr t addr in
+  commute_plain t blk;
   t.stat.post_stores <- t.stat.post_stores + 1;
+  match t.backend with
+  | Protocol_id.Sisd ->
+      (* No broadcast machinery under SiSd: a post-store degenerates to
+         the same self-downgrade a check-in performs. *)
+      sisd_self_downgrade t ~node ~blk;
+      t.cost.Network.check_in_cost
+  | _ ->
   let c = t.caches.(node) in
   let i = Cache.probe c blk in
   (if i >= 0 then
@@ -654,9 +965,70 @@ let flush_node t ~node =
       match state with
       | Cache.Exclusive ->
           if dirty then t.stat.writebacks <- t.stat.writebacks + 1;
-          Directory.set t.dir blk Directory.Idle
-      | Cache.Shared -> Directory.remove_sharer t.dir blk ~node)
+          (match t.backend with
+          | Protocol_id.Sisd -> (
+              match Directory.get t.dir blk with
+              | Directory.Exclusive owner when owner = node ->
+                  Directory.set t.dir blk Directory.Idle
+              | _ -> ())
+          | _ -> Directory.set t.dir blk Directory.Idle)
+      | Cache.Shared ->
+          (* SiSd never registered the sharer, so there is nothing to
+             remove (and the entry may track an unrelated last writer). *)
+          if t.backend <> Protocol_id.Sisd then
+            Directory.remove_sharer t.dir blk ~node)
     flushed;
+  guard t ()
+
+(* ---- epoch boundary (barrier-synchronized protocol work) ----
+
+   Dir1SW does all its coherence work eagerly, so its epoch boundary is
+   a no-op. SiSd self-invalidates every line not pinned by an
+   outstanding check-out (writing dirty data back first); Commute merges
+   every surviving privatized accumulator. Both are charged to the
+   statistics only — the work rides the barrier, whose cost the
+   scheduler already models. Engines call this on the base protocol
+   while releasing a barrier, before any trace-mode flush. *)
+let epoch_boundary t =
+  if t.parent <> None then invalid_arg "Protocol.epoch_boundary: shard view";
+  (match t.backend with
+  | Protocol_id.Dir1sw -> ()
+  | Protocol_id.Commute ->
+      let pending =
+        Hashtbl.fold
+          (fun blk mask acc -> if mask <> 0 then (blk, mask) :: acc else acc)
+          t.cm []
+      in
+      List.iter
+        (fun (blk, mask) -> commute_merge t blk mask)
+        (List.sort compare pending)
+  | Protocol_id.Sisd ->
+      for node = 0 to t.n_nodes - 1 do
+        let victims = ref [] in
+        Cache.iter t.caches.(node) (fun l ->
+            let blk = l.Cache.block in
+            if co_find t blk land (1 lsl node) = 0 then
+              victims := blk :: !victims);
+        List.iter
+          (fun blk ->
+            match Cache.remove t.caches.(node) blk with
+            | None -> ()
+            | Some (state, dirty) ->
+                forget_prefetch t ~node ~blk;
+                t.stat.invalidations <- t.stat.invalidations + 1;
+                (match state with
+                | Cache.Exclusive ->
+                    if dirty then begin
+                      t.stat.writebacks <- t.stat.writebacks + 1;
+                      t.stat.messages <- t.stat.messages + 1
+                    end;
+                    (match Directory.get t.dir blk with
+                    | Directory.Exclusive owner when owner = node ->
+                        Directory.set t.dir blk Directory.Idle
+                    | _ -> ())
+                | Cache.Shared -> ()))
+          (List.sort compare !victims)
+      done);
   guard t ()
 
 let sample_occupancy t =
@@ -672,6 +1044,8 @@ let reset t =
   Hashtbl.reset t.pf_pending;
   t.pf_live <- 0;
   Hashtbl.reset t.past_sharers;
+  Hashtbl.reset t.co;
+  Hashtbl.reset t.cm;
   Stats.reset t.stat
 
 (* ---- shard views (parallel epoch replay) ----
@@ -697,7 +1071,10 @@ let couple_mask t blk =
     | Directory.Shared mask -> mask
     | Directory.Exclusive owner -> 1 lsl owner
   in
-  d lor ps_find t blk
+  (* Check-out pins (SiSd) and privatized accumulators (Commute) are
+     shared per-block masks merged by replacement: couple every holder so
+     the planner serializes any cross-shard contention on them. *)
+  d lor ps_find t blk lor co_find t blk lor cm_find t blk
 
 let shard_view t =
   if t.parent <> None then invalid_arg "Protocol.shard_view: already a view";
@@ -708,6 +1085,8 @@ let shard_view t =
     pf_pending = Hashtbl.create 16;
     pf_del = Hashtbl.create 16;
     past_sharers = Hashtbl.create 16;
+    co = Hashtbl.create 16;
+    cm = Hashtbl.create 16;
     debug_checks = false;
     parent = Some t;
   }
@@ -739,9 +1118,16 @@ let merge_shard base view =
         base.pf_live <- base.pf_live + 1
       end)
     view.pf_pending;
+  (* co/cm masks merge by replacement: the planner coupled every holder
+     (see [couple_mask]), so at most one shard rewrote a given block's
+     mask. A zero written on the view means "cleared" on the base. *)
+  Hashtbl.iter (fun blk mask -> co_set base blk mask) view.co;
+  Hashtbl.iter (fun blk mask -> cm_set base blk mask) view.cm;
   Hashtbl.reset view.past_sharers;
   Hashtbl.reset view.pf_del;
-  Hashtbl.reset view.pf_pending
+  Hashtbl.reset view.pf_pending;
+  Hashtbl.reset view.co;
+  Hashtbl.reset view.cm
 
 (* ---- snapshot / restore / canonical digest (epoch memoization) ---- *)
 
@@ -751,6 +1137,8 @@ type snapshot = {
   sn_pf : (int, unit) Hashtbl.t;
   sn_pf_live : int;
   sn_past : (int, int) Hashtbl.t;
+  sn_co : (int, int) Hashtbl.t;
+  sn_cm : (int, int) Hashtbl.t;
 }
 
 let snapshot t =
@@ -761,6 +1149,8 @@ let snapshot t =
     sn_pf = Hashtbl.copy t.pf_pending;
     sn_pf_live = t.pf_live;
     sn_past = Hashtbl.copy t.past_sharers;
+    sn_co = Hashtbl.copy t.co;
+    sn_cm = Hashtbl.copy t.cm;
   }
 
 (* Restore state captured at virtual time T at a new virtual time
@@ -780,7 +1170,11 @@ let restore t s ~time_offset =
   Hashtbl.iter (fun k () -> Hashtbl.add t.pf_pending k ()) s.sn_pf;
   t.pf_live <- s.sn_pf_live;
   Hashtbl.reset t.past_sharers;
-  Hashtbl.iter (fun k v -> Hashtbl.add t.past_sharers k v) s.sn_past
+  Hashtbl.iter (fun k v -> Hashtbl.add t.past_sharers k v) s.sn_past;
+  Hashtbl.reset t.co;
+  Hashtbl.iter (fun k v -> Hashtbl.add t.co k v) s.sn_co;
+  Hashtbl.reset t.cm;
+  Hashtbl.iter (fun k v -> Hashtbl.add t.cm k v) s.sn_cm
 
 (* FNV-1a over the canonical machine state, relative to virtual time
    [now] so two states reachable at different absolute times hash alike.
@@ -797,6 +1191,7 @@ let state_digest t ~now =
     h2 := (!h2 lxor (v + 0x9e3779b9)) * prime
   in
   put t.n_nodes;
+  put (Protocol_id.to_int t.backend);
   Array.iter (fun c -> Cache.fold_state c ~now ~init:() (fun () v -> put v))
     t.caches;
   Directory.fold_state t.dir ~init:() (fun () v -> put v);
@@ -808,4 +1203,10 @@ let state_digest t ~now =
     (sorted t.past_sharers);
   List.iter (fun (key, ()) -> put key) (sorted t.pf_pending);
   put t.pf_live;
+  List.iter
+    (fun (blk, mask) -> if mask <> 0 then (put (blk lxor 0x105d); put mask))
+    (sorted t.co);
+  List.iter
+    (fun (blk, mask) -> if mask <> 0 then (put (blk lxor 0x2c4e); put mask))
+    (sorted t.cm);
   (!h1 land max_int, !h2 land max_int)

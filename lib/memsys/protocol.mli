@@ -1,4 +1,4 @@
-(** The Dir1SW cache-coherence protocol engine with CICO directives.
+(** The cache-coherence protocol engine with CICO directives.
 
     One [t] models a whole machine: per-node set-associative caches, a
     directory, and a cost table. Data values are *not* stored here — the
@@ -6,7 +6,24 @@
     so the protocol tracks only coherence state and cost, which is all the
     CICO model needs (annotations never change program semantics).
 
-    Protocol behaviour follows Dir1SW:
+    A [t] runs one of three backends, selected at {!create} time by a
+    {!Protocol_id.t}:
+
+    - [Dir1sw] (the default) — the paper's directory protocol, described
+      below;
+    - [Sisd] — self-invalidation / self-downgrade: fetches are plain
+      two-hop transfers, the directory tracks only the last writer (never
+      sharers), stores to a resident [Shared] copy upgrade locally without
+      asking permission, check-ins and post-stores become in-place
+      self-downgrades, and {!epoch_boundary} self-invalidates every
+      resident line not pinned by an outstanding check-out;
+    - [Commute] — Dir1SW plus privatized commutative updates: accesses
+      routed through {!read_rmw_p}/{!write_rmw_p} accumulate into a
+      per-node privatized copy (no misses, no invalidations) that merges
+      deterministically at the next plain access or epoch boundary. All
+      other traffic is bit-identical to [Dir1sw].
+
+    Default protocol behaviour follows Dir1SW:
     - a read miss performs an implicit check-out-shared;
     - a write miss performs an implicit check-out-exclusive;
     - a store that hits a [Shared] copy is a {e write fault}: if the block
@@ -55,7 +72,15 @@ type t
 val create :
   nodes:int -> cache_bytes:int -> assoc:int -> block_size:int ->
   costs:Network.costs -> t
+(** A machine running {!Protocol_id.default} ([Dir1sw]). *)
 
+val create_b :
+  backend:Protocol_id.t ->
+  nodes:int -> cache_bytes:int -> assoc:int -> block_size:int ->
+  costs:Network.costs -> t
+(** A machine running the given backend. *)
+
+val backend : t -> Protocol_id.t
 val nodes : t -> int
 val block_size : t -> int
 val stats : t -> Stats.t
@@ -73,6 +98,16 @@ val read_p : t -> node:int -> addr:int -> now:int -> int
 val write_p : t -> node:int -> addr:int -> now:int -> int
 (** A shared-data store by [node] at virtual time [now]; packed outcome.
     Exclusive hits are allocation-free like {!read_p}. *)
+
+val read_rmw_p : t -> node:int -> addr:int -> now:int -> int
+(** The load half of a classifier-recognized commutative read-modify-write
+    ([A[i] = A[i] + e]). Identical to {!read_p} under [Dir1sw] and [Sisd];
+    under [Commute] it reads the node's privatized accumulator (a hit,
+    never a miss), privatizing the block first if needed. *)
+
+val write_rmw_p : t -> node:int -> addr:int -> now:int -> int
+(** The store half of a recognized commutative RMW; see {!read_rmw_p}.
+    Identical to {!write_p} outside [Commute]. *)
 
 val read : t -> node:int -> addr:int -> now:int -> outcome
 (** A shared-data load by [node] at virtual time [now]. Allocating wrapper
@@ -123,7 +158,16 @@ val flush_node : t -> node:int -> unit
 (** Flush the node's entire shared-data cache, updating the directory.
     Used at barriers during trace-collection runs (Section 3.3). *)
 
-(** {2 Dir1SW invariant oracle (debug hook)}
+val epoch_boundary : t -> unit
+(** Barrier-synchronized protocol work, called by every engine while
+    releasing a barrier (before any trace-mode flush). A no-op under
+    [Dir1sw]. Under [Sisd], every node self-invalidates each resident
+    line whose block has no outstanding check-out by that node, writing
+    dirty data back first. Under [Commute], every surviving privatized
+    accumulator merges (deterministic block order). Runs on the base
+    protocol only. @raise Invalid_argument on a shard view. *)
+
+(** {2 Protocol invariant oracle (debug hook)}
 
     For differential testing the protocol can audit itself after every
     transition: single exclusive owner, sharer sets consistent with cache
@@ -134,8 +178,8 @@ val flush_node : t -> node:int -> unit
 
 exception Invariant_violation of string
 (** Raised by any transition entry point when {!set_debug_checks} is on
-    and the transition left the machine in a state violating a Dir1SW
-    invariant. *)
+    and the transition left the machine in a state violating the active
+    backend's invariants. *)
 
 val check_invariants : t -> string option
 (** One full audit of directory-versus-cache state, independent of the
@@ -164,9 +208,10 @@ val reset : t -> unit
 val couple_mask : t -> int -> int
 (** [couple_mask t blk] is the bitmask of nodes whose caches a replayed
     transition on [blk] could reach in the current state: the directory
-    entry's residents plus the block's past holders (post-store
-    recipients). The shard planner unions a block's toucher with this
-    mask, which keeps every transition's footprint inside one shard. *)
+    entry's residents, the block's past holders (post-store recipients),
+    its check-out pinners (SiSd) and its privatized-accumulator holders
+    (Commute). The shard planner unions a block's toucher with this mask,
+    which keeps every transition's footprint inside one shard. *)
 
 val shard_view : t -> t
 (** A fresh view of [t]. @raise Invalid_argument if [t] is itself a view. *)
@@ -194,4 +239,6 @@ val restore : t -> snapshot -> time_offset:int -> unit
 val state_digest : t -> now:int -> int * int
 (** Two independent FNV-1a digests of the canonical coherence state
     relative to virtual time [now] (absolute LRU ticks and arrival times
-    are excluded — states that behave identically hash identically). *)
+    are excluded — states that behave identically hash identically).
+    The backend id is folded in, so the same cache/directory state under
+    two different protocols never hashes alike. *)

@@ -1,0 +1,76 @@
+(* The first-class protocol seam. Every backend the memory system offers
+   satisfies [PROTOCOL]: the packed access path, the CICO directives,
+   shard views, snapshot/restore and the canonical digest. The concrete
+   implementations ({!Dir1sw}, {!Sisd}, {!Commute}) all share
+   {!Protocol.t} — dispatch lives inside the core so the engines keep a
+   single monomorphic hot path — but the signature lets conformance
+   tests, and any future out-of-tree backend, treat a protocol as a
+   first-class module:
+
+   {[
+     let m = (module Memsys.Sisd : Memsys.Protocol_intf.PROTOCOL) in
+     let module P = (val m) in
+     let p = P.create ~nodes:4 ... in
+     ...
+   ]} *)
+
+module type PROTOCOL = sig
+  val id : Protocol_id.t
+  (** Which backend this module constructs. *)
+
+  type t
+  type snapshot
+
+  val create :
+    nodes:int -> cache_bytes:int -> assoc:int -> block_size:int ->
+    costs:Network.costs -> t
+  (** A fresh machine running this module's backend. *)
+
+  val backend : t -> Protocol_id.t
+  val nodes : t -> int
+  val block_size : t -> int
+  val stats : t -> Stats.t
+  val costs : t -> Network.costs
+  val block_of_addr : t -> int -> int
+
+  (** {2 Packed access path} *)
+
+  val read_p : t -> node:int -> addr:int -> now:int -> int
+  val write_p : t -> node:int -> addr:int -> now:int -> int
+  val read_rmw_p : t -> node:int -> addr:int -> now:int -> int
+  val write_rmw_p : t -> node:int -> addr:int -> now:int -> int
+
+  (** {2 CICO directives (latency-only)} *)
+
+  val check_out_x_lat : t -> node:int -> addr:int -> now:int -> int
+  val check_out_s_lat : t -> node:int -> addr:int -> now:int -> int
+  val check_in_lat : t -> node:int -> addr:int -> now:int -> int
+  val prefetch_x_lat : t -> node:int -> addr:int -> now:int -> int
+  val prefetch_s_lat : t -> node:int -> addr:int -> now:int -> int
+  val post_store_lat : t -> node:int -> addr:int -> now:int -> int
+
+  (** {2 Epoch / node lifecycle} *)
+
+  val epoch_boundary : t -> unit
+  val flush_node : t -> node:int -> unit
+  val reset : t -> unit
+  val sample_occupancy : t -> unit
+
+  (** {2 Debug invariant audit} *)
+
+  val check_invariants : t -> string option
+  val set_debug_checks : t -> bool -> unit
+  val debug_checks : t -> bool
+
+  (** {2 Shard views (parallel epoch replay)} *)
+
+  val couple_mask : t -> int -> int
+  val shard_view : t -> t
+  val merge_shard : t -> t -> unit
+
+  (** {2 Snapshot / canonical digest (epoch memoization)} *)
+
+  val snapshot : t -> snapshot
+  val restore : t -> snapshot -> time_offset:int -> unit
+  val state_digest : t -> now:int -> int * int
+end

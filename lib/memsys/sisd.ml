@@ -1,0 +1,10 @@
+(* Self-invalidation / self-downgrade as a first-class PROTOCOL
+   instance. The behaviour lives in {!Protocol}; this module pins the
+   backend at creation. *)
+
+include Protocol
+
+let id = Protocol_id.Sisd
+
+let create ~nodes ~cache_bytes ~assoc ~block_size ~costs =
+  Protocol.create_b ~backend:id ~nodes ~cache_bytes ~assoc ~block_size ~costs

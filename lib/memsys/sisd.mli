@@ -1,0 +1,16 @@
+(** Self-invalidation / self-downgrade (SiSd) as a first-class
+    {!Protocol_intf.PROTOCOL} instance; shares {!Protocol.t}.
+
+    The directory keeps no sharer lists — only the last writer — so
+    there are no invalidation or write-fault messages: every fetch is a
+    plain two-hop transfer, a store to a resident [Shared] copy upgrades
+    locally, check-ins and post-stores write dirty data back in place
+    (self-downgrade), and {!Protocol.epoch_boundary} bulk
+    self-invalidates every resident line not pinned by an outstanding
+    check-out. Check-outs are the CICO contract that keeps hot lines
+    alive across epochs. *)
+
+include
+  Protocol_intf.PROTOCOL
+    with type t = Protocol.t
+     and type snapshot = Protocol.snapshot

@@ -16,6 +16,28 @@ let block =
   Arg.(value & opt int Wwt.Machine.default.Wwt.Machine.block_size
        & info [ "block" ] ~doc:"Cache block size in bytes.")
 
+let protocol_conv =
+  let parse s =
+    match Memsys.Protocol_id.of_string s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown protocol %S (dir1sw, sisd or commute)" s))
+  in
+  let print fmt p = Format.pp_print_string fmt (Memsys.Protocol_id.to_string p) in
+  Arg.conv ~docv:"PROTOCOL" (parse, print)
+
+let protocol =
+  Arg.(
+    value
+    & opt protocol_conv Memsys.Protocol_id.default
+    & info [ "protocol" ] ~docv:"PROTOCOL"
+        ~doc:
+          "Coherence backend: $(b,dir1sw) (the paper's directory protocol, \
+           default), $(b,sisd) (self-invalidation / self-downgrade) or \
+           $(b,commute) (privatized commutative updates).")
+
 (* --obs shared by every binary: parse the mode eagerly (so a bad value
    is a usage error, not a mid-run surprise) and configure the global
    pipeline as a side effect of term evaluation. *)
@@ -45,13 +67,14 @@ let obs_term =
   Term.(const setup $ mode)
 
 let machine_term =
-  let build nodes cache_kb assoc block =
+  let build nodes cache_kb assoc block protocol =
     {
       Wwt.Machine.default with
       Wwt.Machine.nodes;
       cache_bytes = cache_kb * 1024;
       assoc;
       block_size = block;
+      protocol;
     }
   in
-  Term.(const build $ nodes_term $ cache_kb $ assoc $ block)
+  Term.(const build $ nodes_term $ cache_kb $ assoc $ block $ protocol)

@@ -3,9 +3,17 @@ type machine_config = {
   cache_kb : int;
   assoc : int;
   block : int;
+  protocol : Memsys.Protocol_id.t;
 }
 
-let default_machine = { nodes = 8; cache_kb = 16; assoc = 4; block = 32 }
+let default_machine =
+  {
+    nodes = 8;
+    cache_kb = 16;
+    assoc = 4;
+    block = 32;
+    protocol = Memsys.Protocol_id.default;
+  }
 
 let to_machine m =
   {
@@ -14,6 +22,7 @@ let to_machine m =
     cache_bytes = m.cache_kb * 1024;
     assoc = m.assoc;
     block_size = m.block;
+    protocol = m.protocol;
   }
 
 type source = Text of string | Bench of string
@@ -155,6 +164,8 @@ let request_to_json r =
         ("cache_kb", Json.Int r.machine.cache_kb);
         ("assoc", Json.Int r.machine.assoc);
         ("block", Json.Int r.machine.block);
+        ( "protocol",
+          Json.String (Memsys.Protocol_id.to_string r.machine.protocol) );
       ]
   in
   Json.Obj
@@ -241,11 +252,26 @@ let machine_of ~defaults j =
   let* cache_kb = int_field ~default:defaults.cache_kb j "cache_kb" in
   let* assoc = int_field ~default:defaults.assoc j "assoc" in
   let* block = int_field ~default:defaults.block j "block" in
+  let* protocol =
+    match Json.member "protocol" j with
+    | Json.Null -> Ok defaults.protocol
+    | v -> (
+        match Json.to_string_opt v with
+        | None -> Error "field \"protocol\" must be a string"
+        | Some s -> (
+            match Memsys.Protocol_id.of_string s with
+            | Some p -> Ok p
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "\"protocol\" must be one of dir1sw, sisd, commute, not %S"
+                     s)))
+  in
   if nodes < 1 then Error "\"nodes\" must be positive"
   else if cache_kb < 1 then Error "\"cache_kb\" must be positive"
   else if assoc < 1 then Error "\"assoc\" must be positive"
   else if block < 8 then Error "\"block\" must be at least 8"
-  else Ok { nodes; cache_kb; assoc; block }
+  else Ok { nodes; cache_kb; assoc; block; protocol }
 
 let op_of j =
   match Json.to_string_opt (Json.member "op" j) with

@@ -16,6 +16,7 @@ type machine_config = {
   cache_kb : int;
   assoc : int;
   block : int;
+  protocol : Memsys.Protocol_id.t;
 }
 
 val default_machine : machine_config

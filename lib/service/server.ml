@@ -67,9 +67,10 @@ let dag t = t.dag
 (* cache keys and sizes                                                *)
 
 let stage_key ~stage ~machine ~seed ~source_digest =
-  Printf.sprintf "%s|%s|n%d:c%d:a%d:b%d|%s" stage source_digest
+  Printf.sprintf "%s|%s|n%d:c%d:a%d:b%d:p%s|%s" stage source_digest
     machine.Protocol.nodes machine.Protocol.cache_kb machine.Protocol.assoc
     machine.Protocol.block
+    (Memsys.Protocol_id.to_string machine.Protocol.protocol)
     (match seed with Some s -> string_of_int s | None -> "-")
 
 let digest_hex s = Digest.to_hex (Digest.string s)
@@ -607,8 +608,9 @@ let flight_key (req : Protocol.request) =
   in
   let m = req.machine in
   let base op rest =
-    Printf.sprintf "%s|n%d:c%d:a%d:b%d|%s|%s" op m.Protocol.nodes
+    Printf.sprintf "%s|n%d:c%d:a%d:b%d:p%s|%s|%s" op m.Protocol.nodes
       m.Protocol.cache_kb m.Protocol.assoc m.Protocol.block
+      (Memsys.Protocol_id.to_string m.Protocol.protocol)
       (match req.seed with Some s -> string_of_int s | None -> "-")
       rest
   in

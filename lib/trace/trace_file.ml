@@ -1,18 +1,38 @@
-let to_buffer buf records =
+let to_buffer ?protocol buf records =
+  (match protocol with
+  | Some p when p <> Memsys.Protocol_id.default ->
+      (* Stamp non-default backends so a saved trace identifies the
+         protocol that priced it; the parser skips [#] lines, so stamped
+         traces stay readable by older tools. *)
+      Buffer.add_string buf
+        (Printf.sprintf "# protocol %s\n" (Memsys.Protocol_id.to_string p))
+  | _ -> ());
   List.iter
     (fun r -> Buffer.add_string buf (Format.asprintf "%a@." Event.pp r))
     records
 
-let to_string records =
+let to_string ?protocol records =
   let buf = Buffer.create 4096 in
-  to_buffer buf records;
+  to_buffer ?protocol buf records;
   Buffer.contents buf
 
-let save path records =
+let save ?protocol path records =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string records))
+    (fun () -> output_string oc (to_string ?protocol records))
+
+let protocol_of_string s =
+  let rec scan = function
+    | [] -> Memsys.Protocol_id.default
+    | line :: rest -> (
+        match String.split_on_char ' ' (String.trim line) with
+        | [ "#"; "protocol"; p ] ->
+            Option.value ~default:Memsys.Protocol_id.default
+              (Memsys.Protocol_id.of_string p)
+        | _ -> scan rest)
+  in
+  scan (String.split_on_char '\n' s)
 
 let kind_of_string lineno = function
   | "R" -> Event.Read_miss

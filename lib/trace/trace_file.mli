@@ -4,16 +4,25 @@
     - ["M node pc addr kind"] — a miss ([kind] is [R], [W] or [F]);
     - ["B node pc vt"] — a barrier arrival;
     - ["L name lo hi"] — a labelled shared region;
-    - lines beginning with [#] are comments and are ignored. *)
+    - lines beginning with [#] are comments and are ignored.
 
-val to_buffer : Buffer.t -> Event.record list -> unit
-val to_string : Event.record list -> string
+    Traces priced by a non-default coherence backend are stamped with a
+    leading ["# protocol <id>"] comment (pass [?protocol] when writing);
+    {!protocol_of_string} recovers it. *)
 
-val save : string -> Event.record list -> unit
+val to_buffer : ?protocol:Memsys.Protocol_id.t -> Buffer.t -> Event.record list -> unit
+val to_string : ?protocol:Memsys.Protocol_id.t -> Event.record list -> string
+
+val save : ?protocol:Memsys.Protocol_id.t -> string -> Event.record list -> unit
 (** [save path records] writes the trace to [path]. *)
 
 val of_string : string -> Event.record list
 (** Parse a trace. @raise Failure on a malformed line, with its number. *)
+
+val protocol_of_string : string -> Memsys.Protocol_id.t
+(** The backend a serialized trace was priced under: the first
+    ["# protocol <id>"] stamp, or {!Memsys.Protocol_id.default} when
+    unstamped (every pre-seam trace). *)
 
 val load : string -> Event.record list
 (** [load path] parses the trace stored at [path]. *)

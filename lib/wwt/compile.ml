@@ -260,6 +260,32 @@ let shared_read g r ~pc (entry : Label.entry) i =
       Record.mark_read rc e;
       g.shared.(e)
 
+(* Direct-run halves of a recognized commutative RMW ([A[i] = A[i] + e]);
+   only called when not recording. The rmw entry points are bit-identical
+   to read_p/write_p except under the Commute backend, where the access
+   lands in a privatized per-node copy. *)
+let shared_read_rmw g r ~pc (entry : Label.entry) i =
+  if i < 0 || i >= entry.Label.elems then
+    error "index %d out of bounds for shared array %s[%d]" i entry.Label.name
+      entry.Label.elems;
+  let addr = entry.Label.base + (i * entry.Label.elem_size) in
+  let p =
+    Memsys.Protocol.read_rmw_p g.proto ~node:r.node ~addr ~now:(virtual_now r)
+  in
+  record_miss g r ~pc ~addr p;
+  g.shared.(elem_index g addr)
+
+let shared_write_rmw g r ~pc (entry : Label.entry) i v =
+  if i < 0 || i >= entry.Label.elems then
+    error "index %d out of bounds for shared array %s[%d]" i entry.Label.name
+      entry.Label.elems;
+  let addr = entry.Label.base + (i * entry.Label.elem_size) in
+  let p =
+    Memsys.Protocol.write_rmw_p g.proto ~node:r.node ~addr ~now:(virtual_now r)
+  in
+  record_miss g r ~pc ~addr p;
+  g.shared.(elem_index g addr) <- v
+
 let shared_write g r ~pc (entry : Label.entry) i v =
   if i < 0 || i >= entry.Label.elems then
     error "index %d out of bounds for shared array %s[%d]" i entry.Label.name
@@ -707,9 +733,21 @@ let rec compile_stmt env (s : Ast.stmt) : cstmt =
                 fun g r frame -> (
                   match r.reco with
                   | None ->
-                      let v = ce g r frame in
-                      let i = cidx g r frame in
-                      shared_write g r ~pc entry i v
+                      (* Same charges, in the same order, as the generic
+                         [ce]/[shared_write] path — only the protocol
+                         entry points differ (rmw-aware, so the Commute
+                         backend can privatize the accumulation). *)
+                      charge g r;  (* the Ebinop node *)
+                      charge g r;  (* the inner Eindex node *)
+                      let i1 = cidx_in g r frame in
+                      let va = shared_read_rmw g r ~pc entry i1 in
+                      let vb = crest g r frame in
+                      let v =
+                        try apply_binop Ast.Add va vb
+                        with Division_by_zero -> error "division by zero"
+                      in
+                      let i2 = cidx g r frame in
+                      shared_write_rmw g r ~pc entry i2 v
                   | Some rc ->
                       charge g r;  (* the Ebinop node, as in compile_expr *)
                       charge g r;  (* the inner Eindex node *)
@@ -953,9 +991,10 @@ let compile ~machine program =
 let run ?poll ~machine program =
   let info, layout, env = compile ~machine program in
   let proto =
-    Memsys.Protocol.create ~nodes:machine.Machine.nodes
-      ~cache_bytes:machine.Machine.cache_bytes ~assoc:machine.Machine.assoc
-      ~block_size:machine.Machine.block_size ~costs:machine.Machine.costs
+    Memsys.Protocol.create_b ~backend:machine.Machine.protocol
+      ~nodes:machine.Machine.nodes ~cache_bytes:machine.Machine.cache_bytes
+      ~assoc:machine.Machine.assoc ~block_size:machine.Machine.block_size
+      ~costs:machine.Machine.costs
   in
   if machine.Machine.debug_protocol then
     Memsys.Protocol.set_debug_checks proto true;
@@ -981,6 +1020,7 @@ let run ?poll ~machine program =
   let stats = Memsys.Protocol.stats proto in
   let on_barrier ~vt ~arrivals =
     stats.Memsys.Stats.barriers <- stats.Memsys.Stats.barriers + 1;
+    Memsys.Protocol.epoch_boundary proto;
     if machine.Machine.flush_at_barrier then
       for node = 0 to machine.Machine.nodes - 1 do
         Memsys.Protocol.flush_node proto ~node

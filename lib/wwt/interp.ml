@@ -115,6 +115,36 @@ let shared_write g n ~pc entry i v =
   record_miss g n ~pc ~addr p;
   g.shared.(addr / g.machine.Machine.elem_size) <- v
 
+(* Halves of a recognized commutative RMW ([A[i] = A[i] + e]); identical
+   to shared_read/shared_write except under the Commute backend, where
+   the access lands in a privatized per-node copy. *)
+let shared_read_rmw g n ~pc entry i =
+  let addr = elem_addr entry i in
+  let p =
+    Memsys.Protocol.read_rmw_p g.proto ~node:n.node ~addr ~now:(virtual_now n)
+  in
+  record_miss g n ~pc ~addr p;
+  g.shared.(addr / g.machine.Machine.elem_size)
+
+let shared_write_rmw g n ~pc entry i v =
+  let addr = elem_addr entry i in
+  let p =
+    Memsys.Protocol.write_rmw_p g.proto ~node:n.node ~addr ~now:(virtual_now n)
+  in
+  record_miss g n ~pc ~addr p;
+  g.shared.(addr / g.machine.Machine.elem_size) <- v
+
+(* Side-effect-free index expressions that evaluate to the same value
+   twice in a row; the RMW fast path may assume l-value index = r-value
+   index for these. Kept in sync with [Compile.simple_index] (Compile
+   depends on this module, so the shared definition lives twice). *)
+let rec simple_index (e : Ast.expr) =
+  match e with
+  | Ast.Eint _ | Ast.Efloat _ | Ast.Evar _ -> true
+  | Ast.Ebinop (_, a, b) -> simple_index a && simple_index b
+  | Ast.Eunop (_, a) -> simple_index a
+  | Ast.Eindex _ | Ast.Ecall _ -> false
+
 let private_array n name =
   match Hashtbl.find_opt n.privates name with
   | Some a -> a
@@ -267,6 +297,30 @@ and exec_stmt g n frame (s : Ast.stmt) =
     ->
       maybe_yield g n);
   match s.Ast.node with
+  | Ast.Sassign
+      ( Ast.Lindex (name, idx),
+        Ast.Ebinop (Ast.Add, Ast.Eindex (name2, idx2), rest) )
+    when name2 = name && idx2 = idx && simple_index idx
+         && Label.find_array g.layout name <> None -> (
+      match Label.find_array g.layout name with
+      | None -> assert false
+      | Some entry ->
+          (* Recognized commutative RMW accumulation. Same charges in
+             the same order as the generic arm below — [eval] charges
+             one local op on entry for the Ebinop and the inner Eindex
+             nodes, reproduced here — with the protocol accesses routed
+             through the rmw-aware entry points. *)
+          local_cost g n g.machine.Machine.costs.Memsys.Network.local_op;
+          local_cost g n g.machine.Machine.costs.Memsys.Network.local_op;
+          let i1 = Value.to_int (eval g n frame ~pc idx) in
+          let va = shared_read_rmw g n ~pc entry i1 in
+          let vb = eval g n frame ~pc rest in
+          let v =
+            try apply_binop Ast.Add va vb
+            with Division_by_zero -> error "division by zero"
+          in
+          let i2 = Value.to_int (eval g n frame ~pc idx) in
+          shared_write_rmw g n ~pc entry i2 v)
   | Ast.Sassign (lv, e) -> (
       let v = eval g n frame ~pc e in
       match lv with
@@ -406,9 +460,10 @@ let run ?poll ~machine program =
       ~elem_size:machine.Machine.elem_size info
   in
   let proto =
-    Memsys.Protocol.create ~nodes:machine.Machine.nodes
-      ~cache_bytes:machine.Machine.cache_bytes ~assoc:machine.Machine.assoc
-      ~block_size:machine.Machine.block_size ~costs:machine.Machine.costs
+    Memsys.Protocol.create_b ~backend:machine.Machine.protocol
+      ~nodes:machine.Machine.nodes ~cache_bytes:machine.Machine.cache_bytes
+      ~assoc:machine.Machine.assoc ~block_size:machine.Machine.block_size
+      ~costs:machine.Machine.costs
   in
   if machine.Machine.debug_protocol then
     Memsys.Protocol.set_debug_checks proto true;
@@ -438,6 +493,7 @@ let run ?poll ~machine program =
   let stats = Memsys.Protocol.stats proto in
   let on_barrier ~vt ~arrivals =
     stats.Memsys.Stats.barriers <- stats.Memsys.Stats.barriers + 1;
+    Memsys.Protocol.epoch_boundary proto;
     if machine.Machine.flush_at_barrier then
       for node = 0 to machine.Machine.nodes - 1 do
         Memsys.Protocol.flush_node proto ~node

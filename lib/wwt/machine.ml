@@ -13,6 +13,7 @@ type t = {
   prefetch : bool;
   quantum : int;
   debug_protocol : bool;
+  protocol : Memsys.Protocol_id.t;
 }
 
 let default =
@@ -29,6 +30,7 @@ let default =
     prefetch = false;
     quantum = 64;
     debug_protocol = false;
+    protocol = Memsys.Protocol_id.default;
   }
 
 let paper =

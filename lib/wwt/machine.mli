@@ -22,9 +22,12 @@ type t = {
           fiber yields to the event loop once per quantum, like WWT's
           quantum-based simulation *)
   debug_protocol : bool;
-      (** audit the Dir1SW invariants after every protocol transition
+      (** audit the protocol invariants after every transition
           ({!Memsys.Protocol.set_debug_checks}); used by the differential
           fuzzer, off for normal runs *)
+  protocol : Memsys.Protocol_id.t;
+      (** which coherence backend the memory system runs
+          ({!Memsys.Protocol_id.default} = Dir1SW) *)
 }
 
 val default : t

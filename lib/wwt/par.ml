@@ -359,9 +359,9 @@ let run ?poll ?domains ?pipeline ?shards ?memo ~machine program =
   in
   let info, layout, env = Compile.compile ~machine program in
   let proto =
-    Memsys.Protocol.create ~nodes ~cache_bytes:machine.Machine.cache_bytes
-      ~assoc:machine.Machine.assoc ~block_size:machine.Machine.block_size
-      ~costs:machine.Machine.costs
+    Memsys.Protocol.create_b ~backend:machine.Machine.protocol ~nodes
+      ~cache_bytes:machine.Machine.cache_bytes ~assoc:machine.Machine.assoc
+      ~block_size:machine.Machine.block_size ~costs:machine.Machine.costs
   in
   if debug then Memsys.Protocol.set_debug_checks proto true;
   let total_elems =
@@ -735,6 +735,7 @@ let run ?poll ?domains ?pipeline ?shards ?memo ~machine program =
     Array.fill clock 0 nodes vt;
     let arrivals = List.sort compare ws in
     stats.Memsys.Stats.barriers <- stats.Memsys.Stats.barriers + 1;
+    Memsys.Protocol.epoch_boundary proto;
     if machine.Machine.flush_at_barrier then
       for node = 0 to nodes - 1 do
         Memsys.Protocol.flush_node proto ~node
@@ -827,6 +828,9 @@ let run ?poll ?domains ?pipeline ?shards ?memo ~machine program =
         let addr = get_varint st in
         let p =
           if !use_lats then next_lat node
+          else if t = Record.t_rmw_rd then
+            Memsys.Protocol.read_rmw_p proto ~node ~addr
+              ~now:(clock.(node) + pend.(node))
           else
             Memsys.Protocol.read_p proto ~node ~addr
               ~now:(clock.(node) + pend.(node))
@@ -839,6 +843,9 @@ let run ?poll ?domains ?pipeline ?shards ?memo ~machine program =
         let addr = get_varint st in
         let p =
           if !use_lats then next_lat node
+          else if t = Record.t_rmw_wr then
+            Memsys.Protocol.write_rmw_p proto ~node ~addr
+              ~now:(clock.(node) + pend.(node))
           else
             Memsys.Protocol.write_p proto ~node ~addr
               ~now:(clock.(node) + pend.(node))
@@ -989,7 +996,11 @@ let run ?poll ?domains ?pipeline ?shards ?memo ~machine program =
           let _pc = varint n in
           let addr = varint n in
           let p =
-            Memsys.Protocol.read_p view ~node:n ~addr ~now:(cl.(n) + pd.(n))
+            if t = Record.t_rmw_rd then
+              Memsys.Protocol.read_rmw_p view ~node:n ~addr
+                ~now:(cl.(n) + pd.(n))
+            else
+              Memsys.Protocol.read_p view ~node:n ~addr ~now:(cl.(n) + pd.(n))
           in
           push_lat n p;
           pd.(n) <- pd.(n) + Memsys.Protocol.packed_latency p;
@@ -999,7 +1010,11 @@ let run ?poll ?domains ?pipeline ?shards ?memo ~machine program =
           let _pc = varint n in
           let addr = varint n in
           let p =
-            Memsys.Protocol.write_p view ~node:n ~addr ~now:(cl.(n) + pd.(n))
+            if t = Record.t_rmw_wr then
+              Memsys.Protocol.write_rmw_p view ~node:n ~addr
+                ~now:(cl.(n) + pd.(n))
+            else
+              Memsys.Protocol.write_p view ~node:n ~addr ~now:(cl.(n) + pd.(n))
           in
           push_lat n p;
           pd.(n) <- pd.(n) + Memsys.Protocol.packed_latency p;

@@ -97,7 +97,7 @@ let test_10k_duplicates_one_simulation () =
   let config =
     {
       Server.default_config with
-      machine_defaults = { Protocol.nodes = 4; cache_kb = 16; assoc = 4; block = 32 };
+      machine_defaults = { Protocol.nodes = 4; cache_kb = 16; assoc = 4; block = 32; protocol = Memsys.Protocol_id.default };
       workers = 1;
       queue_capacity = 4;
     }

@@ -217,6 +217,41 @@ let corpus_mode_matrix () =
         par_modes)
     (Fuzz.Corpus.load_dir "corpus")
 
+(* ---- protocol rotation ----
+
+   The replay-mode matrix again, under the SiSd and Commute backends:
+   every replay path (classic serial, sharded, pipelined+sharded) must
+   stay bit-identical to the sequential engine — same trace, stats and
+   time — whatever coherence backend the machine runs. Dir1SW is the
+   matrix above; scale is halved because this multiplies it by two more
+   backends. *)
+let protocol_mode_matrix () =
+  List.iter
+    (fun backend ->
+      let machine = { machine with Wwt.Machine.protocol = backend } in
+      let ptag = Memsys.Protocol_id.to_string backend in
+      List.iter
+        (fun (b : Benchmarks.Suite.t) ->
+          let prog = Lang.Parser.parse b.Benchmarks.Suite.source in
+          let name = b.Benchmarks.Suite.name in
+          let pmachine =
+            Wwt.Machine.perf_mode ~annotations:false ~prefetch:false machine
+          in
+          let seq =
+            Wwt.Run.measure ~engine:Wwt.Run.Compiled ~machine
+              ~annotations:false ~prefetch:false prog
+          in
+          List.iter
+            (fun (mode, pipeline, shards) ->
+              check_same
+                (Printf.sprintf "%s/%s/%s" ptag name mode)
+                seq
+                (Wwt.Par.run ~domains:4 ~pipeline ~shards ~memo:0
+                   ~machine:pmachine prog))
+            par_modes)
+        (Benchmarks.Suite.all ~scale:0.5 ~nodes ()))
+    [ Memsys.Protocol_id.Sisd; Memsys.Protocol_id.Commute ]
+
 (* ---- epoch memoization ----
 
    A warm replay (same machine, same program, same epoch streams) must
@@ -390,6 +425,8 @@ let suite =
     Alcotest.test_case "replay-mode matrix (annotated)" `Slow
       annotated_mode_matrix;
     Alcotest.test_case "replay-mode matrix (corpus)" `Slow corpus_mode_matrix;
+    Alcotest.test_case "replay-mode matrix (sisd/commute)" `Slow
+      protocol_mode_matrix;
     Alcotest.test_case "epoch memo: warm replay byte-identical" `Slow
       memo_warm_replay;
     Alcotest.test_case "cross-node conflict falls back" `Quick

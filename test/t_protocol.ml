@@ -195,6 +195,163 @@ let test_dir_hw_limit_exceeded () =
   Alcotest.(check int) "two foreign sharers: trap" 1
     (Protocol.stats p).Stats.sw_traps
 
+(* ---- SiSd backend ---- *)
+
+let mk_sisd () =
+  Protocol.create_b ~backend:Protocol_id.Sisd ~nodes:4 ~cache_bytes:1024
+    ~assoc:2 ~block_size:32 ~costs
+
+let test_sisd_no_write_fault () =
+  let p = mk_sisd () in
+  ignore (Protocol.read p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.read p ~node:1 ~addr:0 ~now:0);
+  (* a store to a resident Shared copy upgrades locally: a hit, no trap,
+     no invalidation of the other reader *)
+  let o = Protocol.write p ~node:0 ~addr:0 ~now:10 in
+  Alcotest.(check bool) "local upgrade is a hit" true (o.Protocol.miss = None);
+  Alcotest.(check int) "hit latency" costs.Network.cache_hit o.Protocol.latency;
+  let s = Protocol.stats p in
+  Alcotest.(check int) "no write faults" 0 s.Stats.write_faults;
+  Alcotest.(check int) "no traps" 0 s.Stats.sw_traps;
+  Alcotest.(check int) "no invalidations" 0 s.Stats.invalidations;
+  Alcotest.(check bool) "other reader keeps its copy" true
+    (Cache.find (Protocol.cache p ~node:1) 0 <> None);
+  (* the directory tracks only the last writer *)
+  Alcotest.(check bool) "directory records the writer" true
+    (Directory.get (Protocol.directory p) 0 = Directory.Exclusive 0)
+
+let test_sisd_fetches_are_two_hop () =
+  let p = mk_sisd () in
+  ignore (Protocol.write p ~node:3 ~addr:0 ~now:0);
+  (* even with a remote exclusive owner, a SiSd fetch is a plain 2-hop
+     transfer — no forwarding, no downgrade of the owner *)
+  let o = Protocol.read p ~node:0 ~addr:0 ~now:10 in
+  Alcotest.(check int) "2-hop, not 3-hop" costs.Network.miss_2hop
+    o.Protocol.latency;
+  Alcotest.(check bool) "owner keeps its line" true
+    (Cache.find (Protocol.cache p ~node:3) 0 <> None)
+
+let test_sisd_check_in_self_downgrades () =
+  let p = mk_sisd () in
+  ignore (Protocol.write p ~node:0 ~addr:0 ~now:0);
+  let o = Protocol.check_in p ~node:0 ~addr:0 ~now:10 in
+  Alcotest.(check int) "check-in cost" costs.Network.check_in_cost
+    o.Protocol.latency;
+  Alcotest.(check int) "dirty data written back" 1
+    (Protocol.stats p).Stats.writebacks;
+  (* in-place downgrade: the line survives as a clean Shared copy *)
+  (match Cache.find (Protocol.cache p ~node:0) 0 with
+  | Some line ->
+      Alcotest.(check bool) "line still resident, Shared" true
+        (line.Cache.state = Cache.Shared)
+  | None -> Alcotest.fail "self-downgrade must keep the line resident");
+  Alcotest.(check bool) "directory released" true
+    (Directory.get (Protocol.directory p) 0 = Directory.Idle)
+
+let test_sisd_epoch_boundary_self_invalidates () =
+  let p = mk_sisd () in
+  ignore (Protocol.read p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.write p ~node:1 ~addr:64 ~now:0);
+  (* node 2 pins block 4 with an outstanding check-out *)
+  ignore (Protocol.check_out_x_lat p ~node:2 ~addr:128 ~now:0);
+  Protocol.epoch_boundary p;
+  Alcotest.(check bool) "node 0's line self-invalidated" true
+    (Cache.find (Protocol.cache p ~node:0) 0 = None);
+  Alcotest.(check bool) "node 1's dirty line invalidated" true
+    (Cache.find (Protocol.cache p ~node:1) 2 = None);
+  Alcotest.(check bool) "checked-out line survives the boundary" true
+    (Cache.find (Protocol.cache p ~node:2) 4 <> None);
+  let s = Protocol.stats p in
+  Alcotest.(check int) "both victims counted" 2 s.Stats.invalidations;
+  Alcotest.(check bool) "dirty victim wrote back" true (s.Stats.writebacks >= 1);
+  Alcotest.(check bool) "audit clean after the boundary" true
+    (Protocol.check_invariants p = None)
+
+(* ---- Commute backend ---- *)
+
+let mk_commute () =
+  Protocol.create_b ~backend:Protocol_id.Commute ~nodes:4 ~cache_bytes:1024
+    ~assoc:2 ~block_size:32 ~costs
+
+let test_commute_rmw_privatizes () =
+  let p = mk_commute () in
+  (* two nodes accumulate into the same block: every access is a hit,
+     no invalidation traffic between them *)
+  for i = 0 to 3 do
+    ignore (Protocol.read_rmw_p p ~node:0 ~addr:0 ~now:(i * 10));
+    ignore (Protocol.write_rmw_p p ~node:0 ~addr:0 ~now:(i * 10));
+    ignore (Protocol.read_rmw_p p ~node:1 ~addr:8 ~now:(i * 10));
+    ignore (Protocol.write_rmw_p p ~node:1 ~addr:8 ~now:(i * 10))
+  done;
+  let s = Protocol.stats p in
+  Alcotest.(check int) "no read misses" 0 s.Stats.read_misses;
+  Alcotest.(check int) "no write misses" 0 s.Stats.write_misses;
+  Alcotest.(check int) "no invalidations" 0 s.Stats.invalidations;
+  Alcotest.(check int) "accumulations counted as hits" 8 s.Stats.write_hits
+
+let test_commute_merge_at_plain_access () =
+  let p = mk_commute () in
+  ignore (Protocol.read_rmw_p p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.write_rmw_p p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.read_rmw_p p ~node:1 ~addr:0 ~now:0);
+  ignore (Protocol.write_rmw_p p ~node:1 ~addr:0 ~now:0);
+  let wb0 = (Protocol.stats p).Stats.writebacks in
+  (* a plain read of the block forces the deterministic merge first *)
+  ignore (Protocol.read p ~node:2 ~addr:0 ~now:10);
+  let s = Protocol.stats p in
+  Alcotest.(check int) "merge wrote both accumulators back" (wb0 + 2)
+    s.Stats.writebacks;
+  Alcotest.(check bool) "audit clean after merge" true
+    (Protocol.check_invariants p = None)
+
+let test_commute_merge_at_epoch_boundary () =
+  let p = mk_commute () in
+  ignore (Protocol.read_rmw_p p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.write_rmw_p p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.read_rmw_p p ~node:3 ~addr:0 ~now:0);
+  ignore (Protocol.write_rmw_p p ~node:3 ~addr:0 ~now:0);
+  Protocol.epoch_boundary p;
+  Alcotest.(check int) "boundary merged both accumulators" 2
+    (Protocol.stats p).Stats.writebacks;
+  (* merged: the next epoch's accumulation privatizes afresh *)
+  let m0 = (Protocol.stats p).Stats.messages in
+  ignore (Protocol.read_rmw_p p ~node:0 ~addr:0 ~now:20);
+  ignore (Protocol.write_rmw_p p ~node:0 ~addr:0 ~now:20);
+  Alcotest.(check bool) "re-privatization pays a message" true
+    ((Protocol.stats p).Stats.messages > m0)
+
+let test_commute_plain_traffic_matches_dir1sw () =
+  (* without recognized RMWs the Commute backend is bit-identical to
+     Dir1SW: same misses, same latencies, same directory state *)
+  let pd = mk () and pc = mk_commute () in
+  let ops =
+    [ (0, 0, `R); (1, 0, `R); (0, 0, `W); (2, 64, `W); (3, 64, `R); (1, 32, `W) ]
+  in
+  List.iteri
+    (fun i (node, addr, kind) ->
+      let now = i * 7 in
+      let a, b =
+        match kind with
+        | `R ->
+            (Protocol.read_p pd ~node ~addr ~now, Protocol.read_p pc ~node ~addr ~now)
+        | `W ->
+            (Protocol.write_p pd ~node ~addr ~now, Protocol.write_p pc ~node ~addr ~now)
+      in
+      Alcotest.(check int) (Printf.sprintf "op %d packed outcome" i) a b)
+    ops;
+  Alcotest.(check bool) "same counters" true
+    (Protocol.stats pd = Protocol.stats pc)
+
+let test_dir1sw_epoch_boundary_is_noop () =
+  let p = mk () in
+  ignore (Protocol.read p ~node:0 ~addr:0 ~now:0);
+  ignore (Protocol.write p ~node:1 ~addr:64 ~now:0);
+  let s0 = Protocol.stats p in
+  Protocol.epoch_boundary p;
+  Alcotest.(check bool) "stats untouched" true (Protocol.stats p = s0);
+  Alcotest.(check bool) "line still resident" true
+    (Cache.find (Protocol.cache p ~node:0) 0 <> None)
+
 let suite =
   [
     Alcotest.test_case "read miss then hit" `Quick test_read_miss_then_hit;
@@ -218,4 +375,21 @@ let suite =
     Alcotest.test_case "reset" `Quick test_reset;
     Alcotest.test_case "directory hardware limit" `Quick test_dir_hw_limit;
     Alcotest.test_case "hardware limit exceeded" `Quick test_dir_hw_limit_exceeded;
+    Alcotest.test_case "sisd: stores never fault" `Quick test_sisd_no_write_fault;
+    Alcotest.test_case "sisd: fetches are plain 2-hop" `Quick
+      test_sisd_fetches_are_two_hop;
+    Alcotest.test_case "sisd: check-in self-downgrades in place" `Quick
+      test_sisd_check_in_self_downgrades;
+    Alcotest.test_case "sisd: epoch boundary self-invalidates" `Quick
+      test_sisd_epoch_boundary_self_invalidates;
+    Alcotest.test_case "commute: recognized RMWs privatize" `Quick
+      test_commute_rmw_privatizes;
+    Alcotest.test_case "commute: plain access forces the merge" `Quick
+      test_commute_merge_at_plain_access;
+    Alcotest.test_case "commute: epoch boundary merges" `Quick
+      test_commute_merge_at_epoch_boundary;
+    Alcotest.test_case "commute: plain traffic = dir1sw" `Quick
+      test_commute_plain_traffic_matches_dir1sw;
+    Alcotest.test_case "dir1sw: epoch boundary is a no-op" `Quick
+      test_dir1sw_epoch_boundary_is_noop;
   ]

@@ -6,7 +6,7 @@ open Service
 
 (* ---- helpers ---- *)
 
-let small_machine = { Protocol.nodes = 4; cache_kb = 16; assoc = 4; block = 32 }
+let small_machine = { Protocol.nodes = 4; cache_kb = 16; assoc = 4; block = 32; protocol = Memsys.Protocol_id.default }
 
 let request ?(id = 1) ?(machine = small_machine) ?seed ?deadline_ms op =
   { Protocol.id; machine; seed; deadline_ms; op }
@@ -206,6 +206,36 @@ let test_simulate_byte_identity_and_cache () =
           Alcotest.(check bool) (name ^ ": cold miss") false (ok_cached cold);
           Alcotest.(check bool) (name ^ ": warm hit") true (ok_cached warm))
         [ "matmul"; "mp3d" ])
+
+(* The protocol backend is part of every cache key: the same request
+   under a different backend must miss (and compute different numbers),
+   never serve another backend's cached payload. *)
+let test_protocol_in_cache_key () =
+  with_server (fun server ->
+      let req protocol =
+        request
+          ~machine:{ small_machine with Protocol.protocol }
+          (Protocol.Simulate
+             { source = Bench "matmul"; annotations = false; prefetch = false;
+               trace = false })
+      in
+      let dir = Server.handle server (req Memsys.Protocol_id.Dir1sw) in
+      let sisd = Server.handle server (req Memsys.Protocol_id.Sisd) in
+      let commute = Server.handle server (req Memsys.Protocol_id.Commute) in
+      Alcotest.(check bool) "dir1sw cold miss" false (ok_cached dir);
+      Alcotest.(check bool) "sisd misses despite warm dir1sw" false
+        (ok_cached sisd);
+      Alcotest.(check bool) "commute misses despite warm dir1sw/sisd" false
+        (ok_cached commute);
+      Alcotest.(check bool) "sisd payload differs from dir1sw" true
+        (ok_payload sisd <> ok_payload dir);
+      Alcotest.(check bool) "commute payload differs from dir1sw" true
+        (ok_payload commute <> ok_payload dir);
+      let sisd_warm = Server.handle server (req Memsys.Protocol_id.Sisd) in
+      Alcotest.(check bool) "same-backend repeat hits" true
+        (ok_cached sisd_warm);
+      Alcotest.(check string) "warm sisd byte-identical" (ok_payload sisd)
+        (ok_payload sisd_warm))
 
 let test_annotate_byte_identity_and_cache () =
   with_server (fun server ->
@@ -1002,6 +1032,8 @@ let suite =
     Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
     Alcotest.test_case "simulate byte-identity + cache" `Quick
       test_simulate_byte_identity_and_cache;
+    Alcotest.test_case "protocol backend is part of the cache key" `Quick
+      test_protocol_in_cache_key;
     Alcotest.test_case "annotate byte-identity + cache" `Quick
       test_annotate_byte_identity_and_cache;
     Alcotest.test_case "annotate_delta byte-identity + cache" `Quick

@@ -161,9 +161,120 @@ let prop_pack_preserves_groups =
             groups;
           true)
 
+(* ---- real coupling masks, rotated over the protocol backends ----
+
+   The random-mask properties above prove the planner honours whatever
+   [couple_mask] says; this one proves the masks the backends actually
+   produce keep their protocol-private state inside one shard. A random
+   access/directive history leaves behind directory residents, past
+   sharers, SiSd check-out pins and Commute privatized accumulators;
+   planning any epoch with the live [Protocol.couple_mask] must then
+   put every node the mask names into the toucher's group. *)
+
+type pop =
+  | P_read of int * int
+  | P_write of int * int
+  | P_rmw of int * int
+  | P_co of int * int
+  | P_ci of int * int
+
+let history_gen nodes =
+  QCheck.Gen.(
+    list_size (int_range 0 40)
+      ( int_range 0 (nodes - 1) >>= fun n ->
+        int_range 0 255 >>= fun a ->
+        oneof
+          [
+            return (P_read (n, a));
+            return (P_write (n, a));
+            return (P_rmw (n, a));
+            return (P_co (n, a));
+            return (P_ci (n, a));
+          ] ))
+
+let pop_print = function
+  | P_read (n, a) -> Printf.sprintf "r%d@%d" n a
+  | P_write (n, a) -> Printf.sprintf "w%d@%d" n a
+  | P_rmw (n, a) -> Printf.sprintf "m%d@%d" n a
+  | P_co (n, a) -> Printf.sprintf "co%d@%d" n a
+  | P_ci (n, a) -> Printf.sprintf "ci%d@%d" n a
+
+let proto_epoch_gen =
+  QCheck.Gen.(
+    int_range 2 4 >>= fun nodes ->
+    history_gen nodes >>= fun history ->
+    array_size (return nodes) (list_size (int_range 0 6) (int_range 0 7))
+    >>= fun touched ->
+    oneofl Memsys.Protocol_id.all >>= fun backend ->
+    return (backend, nodes, history, touched))
+
+let proto_epoch_print (backend, nodes, history, touched) =
+  Printf.sprintf "%s nodes=%d history=[%s] touched=[%s]"
+    (Memsys.Protocol_id.to_string backend)
+    nodes
+    (String.concat ";" (List.map pop_print history))
+    (String.concat "; "
+       (Array.to_list
+          (Array.map
+             (fun l -> String.concat "," (List.map string_of_int l))
+             touched)))
+
+let prop_protocol_masks_isolate =
+  QCheck.Test.make ~count:300
+    ~name:"live backend coupling masks keep holders in the toucher's shard"
+    (QCheck.make ~print:proto_epoch_print proto_epoch_gen)
+    (fun (backend, nodes, history, touched) ->
+      let t =
+        Memsys.Protocol.create_b ~backend ~nodes ~cache_bytes:256 ~assoc:2
+          ~block_size:32 ~costs:Memsys.Network.default
+      in
+      List.iteri
+        (fun i op ->
+          let now = i * 5 in
+          match op with
+          | P_read (node, addr) ->
+              ignore (Memsys.Protocol.read_p t ~node ~addr ~now)
+          | P_write (node, addr) ->
+              ignore (Memsys.Protocol.write_p t ~node ~addr ~now)
+          | P_rmw (node, addr) ->
+              ignore (Memsys.Protocol.read_rmw_p t ~node ~addr ~now);
+              ignore (Memsys.Protocol.write_rmw_p t ~node ~addr ~now)
+          | P_co (node, addr) ->
+              ignore (Memsys.Protocol.check_out_x_lat t ~node ~addr ~now)
+          | P_ci (node, addr) ->
+              ignore (Memsys.Protocol.check_in_lat t ~node ~addr ~now))
+        history;
+      let couple_mask = Memsys.Protocol.couple_mask t in
+      match Wwt.Shard.plan ~nodes ~touched ~couple_mask with
+      | Wwt.Shard.Conflict _ -> true
+      | Wwt.Shard.Groups groups ->
+          let group_of = Array.make nodes (-1) in
+          Array.iteri
+            (fun gi g -> Array.iter (fun n -> group_of.(n) <- gi) g)
+            groups;
+          Array.iteri
+            (fun n blks ->
+              List.iter
+                (fun b ->
+                  let mask = couple_mask b in
+                  for m = 0 to nodes - 1 do
+                    if
+                      mask land (1 lsl m) <> 0
+                      && group_of.(m) <> group_of.(n)
+                    then
+                      QCheck.Test.fail_reportf
+                        "%s: block %d couples node %d outside node %d's group"
+                        (Memsys.Protocol_id.to_string backend)
+                        b m n
+                  done)
+                blks)
+            touched;
+          true)
+
 let suite =
   [
     qtest prop_conflict_forces_serial;
     qtest prop_groups_partition_and_isolate;
     qtest prop_pack_preserves_groups;
+    qtest prop_protocol_masks_isolate;
   ]
